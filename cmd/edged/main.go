@@ -1,0 +1,81 @@
+// Command edged runs an (untrusted) edge server: it replicates every
+// table from the central server and answers client queries with
+// verification objects. A refresh interval implements the paper's
+// periodic update propagation; the -tamper flag simulates a compromised
+// edge so clients can be shown detecting it.
+//
+// Usage:
+//
+//	edged -central 127.0.0.1:7001 -listen :7002 [-refresh 30s] [-tamper mutate-value]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"edgeauth/internal/edge"
+	"edgeauth/internal/tamper"
+	"edgeauth/internal/vo"
+)
+
+func main() {
+	var (
+		centralAddr = flag.String("central", "127.0.0.1:7001", "central server address")
+		listen      = flag.String("listen", "127.0.0.1:7002", "address to serve clients on")
+		refresh     = flag.Duration("refresh", 0, "snapshot refresh interval (0 = never)")
+		tamperName  = flag.String("tamper", "", "simulate a compromised edge with the named attack (see internal/tamper)")
+	)
+	flag.Parse()
+
+	log.SetPrefix("edged: ")
+	srv := edge.New(*centralAddr)
+	start := time.Now()
+	if err := srv.PullAll(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("replicated tables %v in %v", srv.Tables(), time.Since(start).Round(time.Millisecond))
+
+	if *tamperName != "" {
+		var found bool
+		for _, a := range tamper.All() {
+			if a.Name == *tamperName {
+				attack := a
+				srv.SetTamper(func(rs *vo.ResultSet, w *vo.VO) error {
+					if err := attack.Apply(rs, w); err != nil {
+						log.Printf("attack %q inapplicable: %v", attack.Name, err)
+					}
+					return nil
+				})
+				found = true
+				log.Printf("COMPROMISED MODE: applying attack %q to every response", a.Name)
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("unknown attack %q; available:", *tamperName)
+		}
+	}
+
+	if *refresh > 0 {
+		go func() {
+			for range time.Tick(*refresh) {
+				for _, tbl := range srv.Tables() {
+					if err := srv.Pull(tbl); err != nil {
+						log.Printf("refresh %q: %v", tbl, err)
+					}
+				}
+				log.Printf("refreshed %d tables", len(srv.Tables()))
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edged serving tables %v on %s\n", srv.Tables(), ln.Addr())
+	srv.Serve(ln)
+}

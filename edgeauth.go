@@ -1,0 +1,141 @@
+// Package edgeauth is a Go implementation of "Authenticating Query
+// Results in Edge Computing" (Pang & Tan, ICDE 2004): verifiable B-trees
+// (VB-trees) whose signed digests let untrusted edge servers prove, with a
+// verification object (VO) linear in the result size and independent of
+// the database size, that query results are authentic — values untampered,
+// no spurious tuples.
+//
+// This package is the public facade over the implementation:
+//
+//   - NewCentral creates the trusted central DBMS (owns the signing key,
+//     builds VB-trees, applies inserts/deletes, serves snapshots).
+//   - NewEdge creates an untrusted edge server that replicates tables from
+//     the central server and answers queries with VOs.
+//   - NewClient creates a verifying client that rejects tampered results.
+//
+// See the examples directory for complete deployments, and cmd/bench for
+// the reproduction of every figure in the paper's evaluation.
+package edgeauth
+
+import (
+	"edgeauth/internal/central"
+	"edgeauth/internal/client"
+	"edgeauth/internal/digest"
+	"edgeauth/internal/edge"
+	"edgeauth/internal/query"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/vbtree"
+	"edgeauth/internal/verify"
+	"edgeauth/internal/vo"
+)
+
+// Core data-model types.
+type (
+	// Schema describes a table: identity, columns, primary key.
+	Schema = schema.Schema
+	// Column is one attribute of a table.
+	Column = schema.Column
+	// Datum is a typed value.
+	Datum = schema.Datum
+	// Tuple is one row.
+	Tuple = schema.Tuple
+	// Type enumerates column types.
+	Type = schema.Type
+)
+
+// Column type constants.
+const (
+	TypeInt64   = schema.TypeInt64
+	TypeFloat64 = schema.TypeFloat64
+	TypeString  = schema.TypeString
+	TypeBytes   = schema.TypeBytes
+)
+
+// Datum constructors.
+var (
+	Int64   = schema.Int64
+	Float64 = schema.Float64
+	Str     = schema.Str
+	Bytes   = schema.Bytes
+)
+
+// Query types.
+type (
+	// Predicate is a comparison: column OP literal.
+	Predicate = query.Predicate
+	// Op is a comparison operator.
+	Op = query.Op
+	// TreeQuery is the compiled form executed by a VB-tree.
+	TreeQuery = vbtree.Query
+)
+
+// Comparison operators.
+const (
+	OpEQ = query.OpEQ
+	OpNE = query.OpNE
+	OpLT = query.OpLT
+	OpLE = query.OpLE
+	OpGT = query.OpGT
+	OpGE = query.OpGE
+)
+
+// Protocol types.
+type (
+	// ResultSet is a verifiable query answer.
+	ResultSet = vo.ResultSet
+	// VO is the verification object accompanying a result.
+	VO = vo.VO
+	// Verifier checks results against the central server's public key.
+	Verifier = verify.Verifier
+	// PublicKey verifies and recovers signed digests.
+	PublicKey = sig.PublicKey
+	// PrivateKey signs digests (held only by the central server).
+	PrivateKey = sig.PrivateKey
+)
+
+// Server roles.
+type (
+	// Central is the trusted central DBMS.
+	Central = central.Server
+	// CentralOptions configures the central server.
+	CentralOptions = central.Options
+	// Edge is an untrusted edge server.
+	Edge = edge.Server
+	// Client is a verifying database client.
+	Client = client.Client
+	// VerifiedResult is a client query answer that passed verification.
+	VerifiedResult = client.QueryResult
+)
+
+// ErrTampered is returned by Client.Query when a result fails
+// verification — the signal that an edge server has been compromised.
+var ErrTampered = client.ErrTampered
+
+// NewCentral creates the trusted central server with a fresh signing key.
+func NewCentral(opts CentralOptions) (*Central, error) {
+	return central.NewServer(opts)
+}
+
+// NewEdge creates an edge server that replicates from the central server
+// at centralAddr.
+func NewEdge(centralAddr string) *Edge {
+	return edge.New(centralAddr)
+}
+
+// NewClient creates a client that queries edgeAddr and routes updates and
+// key fetches to centralAddr.
+func NewClient(edgeAddr, centralAddr string) *Client {
+	return client.New(edgeAddr, centralAddr)
+}
+
+// GenerateKey creates an RSA signing key pair of the given size.
+func GenerateKey(bits int) (*PrivateKey, error) {
+	return sig.GenerateKey(bits)
+}
+
+// DefaultDigestParams returns the paper's digest configuration (16-byte
+// digests, g(x) = x^15 mod 2^128).
+func DefaultDigestParams() digest.Params {
+	return digest.DefaultParams()
+}

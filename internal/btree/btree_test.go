@@ -1,0 +1,517 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"edgeauth/internal/storage"
+)
+
+func newPool(t testing.TB, pageSize, frames int) *storage.BufferPool {
+	t.Helper()
+	mem, err := storage.NewMemPager(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := storage.NewBufferPool(mem, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func val(i int) []byte { return []byte(fmt.Sprintf("val-%06d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	bp := newPool(t, 512, 64)
+	tr, err := New(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := tr.Search(key(1)); err != nil || found {
+		t.Fatalf("Search on empty tree: found=%v err=%v", found, err)
+	}
+	calls := 0
+	if err := tr.Range(nil, nil, func(k, v []byte) bool { calls++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("Range on empty tree visited %d entries", calls)
+	}
+	if err := tr.Delete(key(1)); err != ErrKeyNotFound {
+		t.Fatalf("Delete on empty tree: %v", err)
+	}
+}
+
+func TestInsertSearchSequential(t *testing.T) {
+	bp := newPool(t, 512, 256)
+	tr, err := New(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, found, err := tr.Search(key(i))
+		if err != nil || !found {
+			t.Fatalf("Search(%d): found=%v err=%v", i, found, err)
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Fatalf("Search(%d) = %q, want %q", i, v, val(i))
+		}
+	}
+	if _, found, _ := tr.Search(key(n + 5)); found {
+		t.Fatal("found a key that was never inserted")
+	}
+	st, err := tr.Stats(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != n {
+		t.Fatalf("Stats.Entries = %d, want %d", st.Entries, n)
+	}
+	if st.Height < 2 {
+		t.Fatalf("expected a multi-level tree, height = %d", st.Height)
+	}
+}
+
+func TestInsertRandomOrder(t *testing.T) {
+	bp := newPool(t, 512, 256)
+	tr, _ := New(bp)
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(2000)
+	for _, i := range perm {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	// Full-range scan must return all keys in order.
+	var got []int
+	if err := tr.Range(nil, nil, func(k, v []byte) bool {
+		got = append(got, int(binary.BigEndian.Uint64(k)))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2000 {
+		t.Fatalf("scan returned %d keys", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("scan out of order")
+	}
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	bp := newPool(t, 512, 64)
+	tr, _ := New(bp)
+	if err := tr.Insert(key(1), val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(key(1), val(2)); err != ErrDuplicateKey {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	bp := newPool(t, 512, 64)
+	tr, _ := New(bp)
+	if err := tr.Insert(nil, val(1)); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestOversizeEntryRejected(t *testing.T) {
+	bp := newPool(t, 512, 64)
+	tr, _ := New(bp)
+	if err := tr.Insert(key(1), make([]byte, 4096)); err == nil {
+		t.Fatal("oversize entry accepted")
+	}
+}
+
+func TestRangeQueries(t *testing.T) {
+	bp := newPool(t, 512, 256)
+	tr, _ := New(bp)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(key(i*2), val(i*2)); err != nil { // even keys only
+			t.Fatal(err)
+		}
+	}
+	collect := func(lo, hi []byte) []int {
+		var out []int
+		if err := tr.Range(lo, hi, func(k, v []byte) bool {
+			out = append(out, int(binary.BigEndian.Uint64(k)))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	got := collect(key(10), key(20))
+	want := []int{10, 12, 14, 16, 18, 20}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range [10,20] = %v, want %v", got, want)
+	}
+	// Bounds not present in the tree (odd keys).
+	got = collect(key(11), key(19))
+	want = []int{12, 14, 16, 18}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range [11,19] = %v, want %v", got, want)
+	}
+	// Open-ended ranges.
+	if got := collect(nil, key(4)); fmt.Sprint(got) != fmt.Sprint([]int{0, 2, 4}) {
+		t.Fatalf("range [nil,4] = %v", got)
+	}
+	if got := collect(key(994), nil); fmt.Sprint(got) != fmt.Sprint([]int{994, 996, 998}) {
+		t.Fatalf("range [994,nil] = %v", got)
+	}
+	// Empty range.
+	if got := collect(key(11), key(11)); len(got) != 0 {
+		t.Fatalf("range [11,11] = %v, want empty", got)
+	}
+	// Early stop.
+	count := 0
+	if err := tr.Range(nil, nil, func(k, v []byte) bool { count++; return count < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	bp := newPool(t, 512, 256)
+	tr, _ := New(bp)
+	for i := 0; i < 300; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i += 3 {
+		if err := tr.Delete(key(i)); err != nil {
+			t.Fatalf("Delete(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		_, found, err := tr.Search(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFound := i%3 != 0
+		if found != wantFound {
+			t.Fatalf("after delete, Search(%d) found=%v want %v", i, found, wantFound)
+		}
+	}
+	if err := tr.Delete(key(0)); err != ErrKeyNotFound {
+		t.Fatalf("re-delete: %v", err)
+	}
+}
+
+func TestDeleteAllAndReinsert(t *testing.T) {
+	bp := newPool(t, 512, 256)
+	tr, _ := New(bp)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := tr.Delete(key(i)); err != nil {
+			t.Fatalf("Delete(%d): %v", i, err)
+		}
+	}
+	count := 0
+	if err := tr.Range(nil, nil, func(k, v []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("tree not empty after deleting everything: %d entries", count)
+	}
+	// The tree must remain usable.
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatalf("reinsert(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, found, _ := tr.Search(key(i)); !found {
+			t.Fatalf("reinserted key %d missing", i)
+		}
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	bp := newPool(t, 512, 512)
+	tr, _ := New(bp)
+	rng := rand.New(rand.NewSource(99))
+	model := make(map[string]string)
+	for op := 0; op < 3000; op++ {
+		k := key(rng.Intn(800))
+		switch rng.Intn(3) {
+		case 0, 1: // insert
+			v := val(rng.Intn(1 << 20))
+			err := tr.Insert(k, v)
+			if _, exists := model[string(k)]; exists {
+				if err != ErrDuplicateKey {
+					t.Fatalf("op %d: duplicate insert err = %v", op, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("op %d: insert: %v", op, err)
+				}
+				model[string(k)] = string(v)
+			}
+		case 2: // delete
+			err := tr.Delete(k)
+			if _, exists := model[string(k)]; exists {
+				if err != nil {
+					t.Fatalf("op %d: delete: %v", op, err)
+				}
+				delete(model, string(k))
+			} else if err != ErrKeyNotFound {
+				t.Fatalf("op %d: delete missing: %v", op, err)
+			}
+		}
+	}
+	// Final state must match the model exactly.
+	seen := 0
+	if err := tr.Range(nil, nil, func(k, v []byte) bool {
+		seen++
+		want, ok := model[string(k)]
+		if !ok {
+			t.Fatalf("tree has unexpected key %x", k)
+		}
+		if want != string(v) {
+			t.Fatalf("key %x: value %q, want %q", k, v, want)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(model) {
+		t.Fatalf("tree has %d entries, model has %d", seen, len(model))
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	const n = 2000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = key(i)
+		vals[i] = val(i)
+	}
+	bp := newPool(t, 512, 1024)
+	tr, err := BulkLoad(bp, keys, vals, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 999, 1000, 1999} {
+		v, found, err := tr.Search(key(i))
+		if err != nil || !found {
+			t.Fatalf("Search(%d): found=%v err=%v", i, found, err)
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Fatalf("Search(%d) wrong value", i)
+		}
+	}
+	var got []int
+	if err := tr.Range(key(500), key(510), func(k, v []byte) bool {
+		got = append(got, int(binary.BigEndian.Uint64(k)))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 11 || got[0] != 500 || got[10] != 510 {
+		t.Fatalf("bulk range = %v", got)
+	}
+	// Bulk-loaded tree accepts further inserts.
+	if err := tr.Insert(key(n+1), val(n+1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := tr.Search(key(n + 1)); !found {
+		t.Fatal("insert after bulk load missing")
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	bp := newPool(t, 512, 64)
+	if _, err := BulkLoad(bp, [][]byte{key(1)}, nil, 1.0); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := BulkLoad(bp, [][]byte{key(2), key(1)}, [][]byte{val(1), val(2)}, 1.0); err == nil {
+		t.Fatal("unsorted keys accepted")
+	}
+	if _, err := BulkLoad(bp, [][]byte{key(1), key(1)}, [][]byte{val(1), val(2)}, 1.0); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+	if _, err := BulkLoad(bp, [][]byte{key(1)}, [][]byte{val(1)}, 1.5); err == nil {
+		t.Fatal("fill factor > 1 accepted")
+	}
+	// Empty bulk load yields a working empty tree.
+	tr, err := BulkLoad(bp, nil, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(key(1), val(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadFillFactor(t *testing.T) {
+	const n = 1000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = key(i)
+		vals[i] = val(i)
+	}
+	full, err := BulkLoad(newPool(t, 512, 1024), keys, vals, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := BulkLoad(newPool(t, 512, 1024), keys, vals, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, _ := full.Stats(8, 10)
+	sh, _ := half.Stats(8, 10)
+	if sh.LeafNodes <= sf.LeafNodes {
+		t.Fatalf("half-fill leaves (%d) should exceed full-fill leaves (%d)", sh.LeafNodes, sf.LeafNodes)
+	}
+}
+
+func TestSaveLoadRoot(t *testing.T) {
+	bp := newPool(t, 512, 64)
+	tr, _ := New(bp)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.SaveRoot(); err != nil {
+		t.Fatal(err)
+	}
+	root, err := LoadRoot(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := Open(bp, root)
+	if _, found, _ := re.Search(key(77)); !found {
+		t.Fatal("reopened tree missing key")
+	}
+	// LoadRoot with no metadata.
+	bp2 := newPool(t, 512, 8)
+	if _, err := LoadRoot(bp2); err == nil {
+		t.Fatal("LoadRoot with no metadata succeeded")
+	}
+}
+
+func TestFanOutFormulas(t *testing.T) {
+	// Fan-out must decrease monotonically with key size and match the
+	// byte-capacity arithmetic.
+	prev := 1 << 30
+	for _, kl := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		f := MaxInternalFanOut(4096, kl)
+		if f <= 1 {
+			t.Fatalf("fan-out %d for key length %d", f, kl)
+		}
+		if f > prev {
+			t.Fatalf("fan-out grew with key size at %d", kl)
+		}
+		prev = f
+	}
+	if got := MaxLeafEntries(4096, 8, 6); got != (4096-leafHeader)/(2+8+2+6) {
+		t.Fatalf("MaxLeafEntries = %d", got)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	f := func(a, b []byte) bool {
+		c1 := compare(a, b)
+		c2 := compare(b, a)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsHeightGrowsWithSize(t *testing.T) {
+	mkTree := func(n int) Stats {
+		keys := make([][]byte, n)
+		vals := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			keys[i] = key(i)
+			vals[i] = val(i)
+		}
+		tr, err := BulkLoad(newPool(t, 512, 4096), keys, vals, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := tr.Stats(8, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	small := mkTree(50)
+	large := mkTree(5000)
+	if large.Height <= small.Height {
+		t.Fatalf("height did not grow: %d -> %d", small.Height, large.Height)
+	}
+	if large.AvgInternalFanOut <= 1 {
+		t.Fatalf("average fan-out = %v", large.AvgInternalFanOut)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	bp := newPool(b, 4096, 4096)
+	tr, _ := New(bp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	bp := newPool(b, 4096, 4096)
+	const n = 100000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = key(i)
+		vals[i] = val(i)
+	}
+	tr, err := BulkLoad(bp, keys, vals, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, found, err := tr.Search(key(i % n)); err != nil || !found {
+			b.Fatal("search failed")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"edgeauth/internal/storage"
+)
+
+// BulkLoad builds a tree from keys/values already sorted in strictly
+// increasing key order. fill in (0,1] controls node occupancy (1 = fully
+// packed, the paper's analytic assumption). It is far cheaper than
+// repeated Insert and is used to build the measurement tables for the
+// fan-out/height experiments.
+func BulkLoad(bp *storage.BufferPool, keys, vals [][]byte, fill float64) (*Tree, error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("btree: %d keys but %d values", len(keys), len(vals))
+	}
+	if fill <= 0 || fill > 1 {
+		return nil, fmt.Errorf("btree: fill factor %v out of (0,1]", fill)
+	}
+	for i := 1; i < len(keys); i++ {
+		if compare(keys[i-1], keys[i]) >= 0 {
+			return nil, fmt.Errorf("btree: keys not strictly increasing at %d", i)
+		}
+	}
+	if len(keys) == 0 {
+		return New(bp)
+	}
+	pageSize := bp.PageSize()
+	leafBudget := int(float64(pageSize) * fill)
+	if leafBudget < leafHeader+1 {
+		leafBudget = pageSize
+	}
+
+	// Level 0: pack leaves.
+	type built struct {
+		id       storage.PageID
+		firstKey []byte
+	}
+	var leaves []built
+	var cur leafNode
+	curSize := leafHeader
+	flushLeaf := func() error {
+		f, err := bp.NewPage(storage.PageBTreeLeaf)
+		if err != nil {
+			return err
+		}
+		if err := cur.encode(f.Page().Bytes()); err != nil {
+			bp.Unpin(f, false)
+			return err
+		}
+		leaves = append(leaves, built{id: f.ID(), firstKey: cur.keys[0]})
+		bp.Unpin(f, true)
+		cur = leafNode{}
+		curSize = leafHeader
+		return nil
+	}
+	for i := range keys {
+		entry := 2 + len(keys[i]) + 2 + len(vals[i])
+		if leafHeader+entry > pageSize {
+			return nil, fmt.Errorf("btree: entry %d of %d bytes exceeds page size", i, entry)
+		}
+		if len(cur.keys) > 0 && (curSize+entry > leafBudget || curSize+entry > pageSize) {
+			if err := flushLeaf(); err != nil {
+				return nil, err
+			}
+		}
+		cur.keys = append(cur.keys, keys[i])
+		cur.vals = append(cur.vals, vals[i])
+		curSize += entry
+	}
+	if len(cur.keys) > 0 {
+		if err := flushLeaf(); err != nil {
+			return nil, err
+		}
+	}
+	// Chain the leaves.
+	for i := 0; i < len(leaves)-1; i++ {
+		f, err := bp.Fetch(leaves[i].id)
+		if err != nil {
+			return nil, err
+		}
+		n, err := decodeLeaf(f.Page().Bytes())
+		if err != nil {
+			bp.Unpin(f, false)
+			return nil, err
+		}
+		n.next = leaves[i+1].id
+		if err := n.encode(f.Page().Bytes()); err != nil {
+			bp.Unpin(f, false)
+			return nil, err
+		}
+		bp.Unpin(f, true)
+	}
+
+	// Upper levels: pack internal nodes until one root remains.
+	level := leaves
+	internalBudget := int(float64(pageSize) * fill)
+	if internalBudget < internalHeader+1 {
+		internalBudget = pageSize
+	}
+	for len(level) > 1 {
+		var next []built
+		var node internalNode
+		nodeSize := internalHeader
+		var nodeFirst []byte
+		flushInternal := func() error {
+			f, err := bp.NewPage(storage.PageBTreeInternal)
+			if err != nil {
+				return err
+			}
+			if err := node.encode(f.Page().Bytes()); err != nil {
+				bp.Unpin(f, false)
+				return err
+			}
+			next = append(next, built{id: f.ID(), firstKey: nodeFirst})
+			bp.Unpin(f, true)
+			node = internalNode{}
+			nodeSize = internalHeader
+			nodeFirst = nil
+			return nil
+		}
+		for _, child := range level {
+			if len(node.children) == 0 {
+				node.children = []storage.PageID{child.id}
+				nodeFirst = child.firstKey
+				continue
+			}
+			entry := 2 + len(child.firstKey) + 4
+			if nodeSize+entry > internalBudget || nodeSize+entry > pageSize {
+				if err := flushInternal(); err != nil {
+					return nil, err
+				}
+				node.children = []storage.PageID{child.id}
+				nodeFirst = child.firstKey
+				continue
+			}
+			node.keys = append(node.keys, child.firstKey)
+			node.children = append(node.children, child.id)
+			nodeSize += entry
+		}
+		if len(node.children) > 0 {
+			if err := flushInternal(); err != nil {
+				return nil, err
+			}
+		}
+		if len(next) >= len(level) {
+			return nil, errors.New("btree: bulk load failed to reduce level")
+		}
+		level = next
+	}
+	return &Tree{bp: bp, root: level[0].id}, nil
+}

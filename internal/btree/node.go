@@ -1,0 +1,201 @@
+// Package btree implements a page-based B+-tree over the storage layer.
+// It is the classic index the paper compares against in Figures 8–9
+// (fan-out and height versus key length) and the structural skeleton that
+// the VB-tree extends with signed digests.
+//
+// Keys are opaque byte strings compared lexicographically; callers use the
+// order-preserving encodings from package schema. Values are opaque
+// payloads stored in the leaves. Keys are unique (the tree indexes a
+// primary key).
+//
+// Deletion follows the policy the paper adopts from Johnson & Shasha:
+// nodes are not rebalanced at half-occupancy; a node is detached only when
+// it becomes empty.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"edgeauth/internal/storage"
+)
+
+// Node serialization (inside a storage page):
+//
+//	leaf:     type(1) | next(4) | count(2) | { keyLen(2) key valLen(2) val }*
+//	internal: type(1) | count(2) | child0(4) | { keyLen(2) key child(4) }*
+//
+// An internal node with count=k has k separator keys and k+1 children;
+// child i+1 holds keys >= key i.
+const (
+	leafHeader     = 1 + 4 + 2
+	internalHeader = 1 + 2 + 4
+)
+
+// leafNode is the decoded form of a leaf page.
+type leafNode struct {
+	next storage.PageID
+	keys [][]byte
+	vals [][]byte
+}
+
+// internalNode is the decoded form of an internal page.
+type internalNode struct {
+	keys     [][]byte
+	children []storage.PageID // len(keys)+1
+}
+
+func decodeLeaf(buf []byte) (*leafNode, error) {
+	if storage.PageType(buf[0]) != storage.PageBTreeLeaf {
+		return nil, fmt.Errorf("btree: page is %d, not a leaf", buf[0])
+	}
+	n := &leafNode{next: storage.PageID(binary.BigEndian.Uint32(buf[1:5]))}
+	count := int(binary.BigEndian.Uint16(buf[5:7]))
+	off := leafHeader
+	n.keys = make([][]byte, count)
+	n.vals = make([][]byte, count)
+	for i := 0; i < count; i++ {
+		if off+2 > len(buf) {
+			return nil, fmt.Errorf("btree: leaf entry %d truncated", i)
+		}
+		kl := int(binary.BigEndian.Uint16(buf[off : off+2]))
+		off += 2
+		if off+kl+2 > len(buf) {
+			return nil, fmt.Errorf("btree: leaf key %d truncated", i)
+		}
+		n.keys[i] = append([]byte(nil), buf[off:off+kl]...)
+		off += kl
+		vl := int(binary.BigEndian.Uint16(buf[off : off+2]))
+		off += 2
+		if off+vl > len(buf) {
+			return nil, fmt.Errorf("btree: leaf value %d truncated", i)
+		}
+		n.vals[i] = append([]byte(nil), buf[off:off+vl]...)
+		off += vl
+	}
+	return n, nil
+}
+
+func (n *leafNode) encodedSize() int {
+	sz := leafHeader
+	for i := range n.keys {
+		sz += 2 + len(n.keys[i]) + 2 + len(n.vals[i])
+	}
+	return sz
+}
+
+func (n *leafNode) encode(buf []byte) error {
+	if n.encodedSize() > len(buf) {
+		return fmt.Errorf("btree: leaf of %d bytes exceeds page size %d", n.encodedSize(), len(buf))
+	}
+	buf[0] = byte(storage.PageBTreeLeaf)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(n.next))
+	binary.BigEndian.PutUint16(buf[5:7], uint16(len(n.keys)))
+	off := leafHeader
+	for i := range n.keys {
+		binary.BigEndian.PutUint16(buf[off:off+2], uint16(len(n.keys[i])))
+		off += 2
+		copy(buf[off:], n.keys[i])
+		off += len(n.keys[i])
+		binary.BigEndian.PutUint16(buf[off:off+2], uint16(len(n.vals[i])))
+		off += 2
+		copy(buf[off:], n.vals[i])
+		off += len(n.vals[i])
+	}
+	for ; off < len(buf); off++ {
+		buf[off] = 0
+	}
+	return nil
+}
+
+// search returns the index of the first key >= k.
+func (n *leafNode) search(k []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return compare(n.keys[i], k) >= 0
+	})
+}
+
+func decodeInternal(buf []byte) (*internalNode, error) {
+	if storage.PageType(buf[0]) != storage.PageBTreeInternal {
+		return nil, fmt.Errorf("btree: page is %d, not internal", buf[0])
+	}
+	count := int(binary.BigEndian.Uint16(buf[1:3]))
+	n := &internalNode{
+		keys:     make([][]byte, count),
+		children: make([]storage.PageID, count+1),
+	}
+	n.children[0] = storage.PageID(binary.BigEndian.Uint32(buf[3:7]))
+	off := internalHeader
+	for i := 0; i < count; i++ {
+		if off+2 > len(buf) {
+			return nil, fmt.Errorf("btree: internal entry %d truncated", i)
+		}
+		kl := int(binary.BigEndian.Uint16(buf[off : off+2]))
+		off += 2
+		if off+kl+4 > len(buf) {
+			return nil, fmt.Errorf("btree: internal key %d truncated", i)
+		}
+		n.keys[i] = append([]byte(nil), buf[off:off+kl]...)
+		off += kl
+		n.children[i+1] = storage.PageID(binary.BigEndian.Uint32(buf[off : off+4]))
+		off += 4
+	}
+	return n, nil
+}
+
+func (n *internalNode) encodedSize() int {
+	sz := internalHeader
+	for i := range n.keys {
+		sz += 2 + len(n.keys[i]) + 4
+	}
+	return sz
+}
+
+func (n *internalNode) encode(buf []byte) error {
+	if n.encodedSize() > len(buf) {
+		return fmt.Errorf("btree: internal node of %d bytes exceeds page size %d", n.encodedSize(), len(buf))
+	}
+	buf[0] = byte(storage.PageBTreeInternal)
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	binary.BigEndian.PutUint32(buf[3:7], uint32(n.children[0]))
+	off := internalHeader
+	for i := range n.keys {
+		binary.BigEndian.PutUint16(buf[off:off+2], uint16(len(n.keys[i])))
+		off += 2
+		copy(buf[off:], n.keys[i])
+		off += len(n.keys[i])
+		binary.BigEndian.PutUint32(buf[off:off+4], uint32(n.children[i+1]))
+		off += 4
+	}
+	for ; off < len(buf); off++ {
+		buf[off] = 0
+	}
+	return nil
+}
+
+// childIndex returns which child to descend into for key k:
+// the child after the last separator <= k.
+func (n *internalNode) childIndex(k []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return compare(n.keys[i], k) > 0
+	})
+}
+
+func compare(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}

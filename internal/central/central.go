@@ -1,0 +1,497 @@
+// Package central implements the trusted central DBMS of the paper's
+// Figure 2. It owns the private signing key, builds and maintains the
+// VB-trees over the base tables (and over materialized join views),
+// executes insert/delete transactions under the §3.4 locking protocol with
+// write-ahead logging, and serves snapshots ("DB + VB-trees") to edge
+// servers plus its public key to clients over an authenticated channel —
+// the stand-in for the paper's PKI.
+package central
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/lock"
+	"edgeauth/internal/query"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/storage"
+	"edgeauth/internal/vbtree"
+	"edgeauth/internal/wal"
+	"edgeauth/internal/wire"
+)
+
+// Options configures a Server.
+type Options struct {
+	// KeyBits sizes the RSA signing key; 0 selects sig.DefaultBits.
+	KeyBits int
+	// PageSize for table storage; 0 selects storage.DefaultPageSize.
+	PageSize int
+	// AccParams configures the digest accumulator; the zero value selects
+	// digest.DefaultParams.
+	AccParams digest.Params
+	// WALDir, when non-empty, enables write-ahead logging of updates (one
+	// log per table) in that directory.
+	WALDir string
+	// BuildParallelism bounds signing workers during table builds.
+	BuildParallelism int
+}
+
+// Server is the central DBMS.
+type Server struct {
+	mu     sync.RWMutex
+	opts   Options
+	key    *sig.PrivateKey
+	acc    *digest.Accumulator
+	locks  *lock.Manager
+	tables map[string]*table
+
+	lnMu      sync.Mutex
+	listeners []net.Listener
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+type table struct {
+	mu      sync.RWMutex
+	sch     *schema.Schema
+	tree    *vbtree.Tree
+	pool    *storage.BufferPool
+	heap    *storage.HeapFile
+	log     *wal.Log
+	version uint64 // bumped on every committed update
+}
+
+// NewServer creates a central server with a fresh signing key.
+func NewServer(opts Options) (*Server, error) {
+	if opts.KeyBits == 0 {
+		opts.KeyBits = sig.DefaultBits
+	}
+	if opts.PageSize == 0 {
+		opts.PageSize = storage.DefaultPageSize
+	}
+	zero := digest.Params{}
+	if opts.AccParams == zero {
+		opts.AccParams = digest.DefaultParams()
+	}
+	key, err := sig.GenerateKey(opts.KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	return NewServerWithKey(opts, key)
+}
+
+// NewServerWithKey creates a central server around an existing key (used
+// by tests and tools that pre-generate keys).
+func NewServerWithKey(opts Options, key *sig.PrivateKey) (*Server, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = storage.DefaultPageSize
+	}
+	zero := digest.Params{}
+	if opts.AccParams == zero {
+		opts.AccParams = digest.DefaultParams()
+	}
+	acc, err := digest.New(opts.AccParams)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		opts:   opts,
+		key:    key,
+		acc:    acc,
+		locks:  lock.NewManager(0),
+		tables: make(map[string]*table),
+	}, nil
+}
+
+// PublicKey returns the server's public key.
+func (s *Server) PublicKey() *sig.PublicKey { return s.key.Public() }
+
+// Accumulator returns the digest accumulator.
+func (s *Server) Accumulator() *digest.Accumulator { return s.acc }
+
+// SetKeyValidity stamps the signing key's version and validity window
+// (paper §3.4 delayed-broadcast key rotation).
+func (s *Server) SetKeyValidity(version uint32, notBefore, notAfter int64) {
+	s.key.SetValidity(version, notBefore, notAfter)
+}
+
+// AddTable builds a VB-tree over tuples (sorted by key) and registers the
+// table.
+func (s *Server) AddTable(sch *schema.Schema, tuples []schema.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tables[sch.Table]; exists {
+		return fmt.Errorf("central: table %q already exists", sch.Table)
+	}
+	mem, err := storage.NewMemPager(s.opts.PageSize)
+	if err != nil {
+		return err
+	}
+	pool, err := storage.NewBufferPool(mem, 1<<20) // generous: pages stay resident
+	if err != nil {
+		return err
+	}
+	heap, err := storage.NewHeapFile(pool)
+	if err != nil {
+		return err
+	}
+	cfg := vbtree.Config{
+		Pool:             pool,
+		Heap:             heap,
+		Schema:           sch,
+		Acc:              s.acc,
+		Signer:           s.key,
+		Pub:              s.key.Public(),
+		Locks:            s.locks,
+		BuildParallelism: s.opts.BuildParallelism,
+	}
+	tree, err := vbtree.Build(cfg, tuples, 1.0)
+	if err != nil {
+		return err
+	}
+	t := &table{sch: sch, tree: tree, pool: pool, heap: heap}
+	if s.opts.WALDir != "" {
+		log, err := wal.Create(filepath.Join(s.opts.WALDir, sch.Table+".wal"))
+		if err != nil {
+			return err
+		}
+		t.log = log
+	}
+	s.tables[sch.Table] = t
+	return nil
+}
+
+// MaterializeJoin computes left ⋈ right on lcol = rcol and registers the
+// result as a view table with its own VB-tree (the paper's join story).
+func (s *Server) MaterializeJoin(viewName, left, right, lcol, rcol string) error {
+	lt, err := s.table(left)
+	if err != nil {
+		return err
+	}
+	rt, err := s.table(right)
+	if err != nil {
+		return err
+	}
+	ltuples, err := scanTuples(lt)
+	if err != nil {
+		return err
+	}
+	rtuples, err := scanTuples(rt)
+	if err != nil {
+		return err
+	}
+	viewSch, viewTuples, err := query.MaterializeEquiJoin(viewName, lt.sch, rt.sch, ltuples, rtuples, lcol, rcol)
+	if err != nil {
+		return err
+	}
+	return s.AddTable(viewSch, viewTuples)
+}
+
+func scanTuples(t *table) ([]schema.Tuple, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	stored, err := t.tree.ScanAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.Tuple, len(stored))
+	for i, st := range stored {
+		out[i] = st.Tuple
+	}
+	return out, nil
+}
+
+func (s *Server) table(name string) (*table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("central: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Tables lists registered tables in sorted order.
+func (s *Server) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version returns a table's update version (edges use it for staleness
+// checks under the paper's periodic-propagation mode).
+func (s *Server) Version(name string) (uint64, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version, nil
+}
+
+// Insert logs and applies a tuple insert.
+func (s *Server) Insert(tableName string, tup schema.Tuple) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.log != nil {
+		if _, err := t.log.Append(wal.RecInsert, tup.EncodeBytes()); err != nil {
+			return err
+		}
+		if err := t.log.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := t.tree.Insert(tup); err != nil {
+		return err
+	}
+	t.version++
+	return nil
+}
+
+// DeleteRange logs and applies a key-range delete; returns the count.
+func (s *Server) DeleteRange(tableName string, lo, hi *schema.Datum) (int, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.log != nil {
+		payload := encodeDeletePayload(lo, hi)
+		if _, err := t.log.Append(wal.RecDelete, payload); err != nil {
+			return 0, err
+		}
+		if err := t.log.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := t.tree.DeleteRange(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	if n > 0 {
+		t.version++
+	}
+	return n, nil
+}
+
+func encodeDeletePayload(lo, hi *schema.Datum) []byte {
+	var out []byte
+	if lo != nil {
+		out = append(out, 1)
+		out = lo.Encode(out)
+	} else {
+		out = append(out, 0)
+	}
+	if hi != nil {
+		out = append(out, 1)
+		out = hi.Encode(out)
+	} else {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// Snapshot captures a table replica for an edge server: every page of the
+// table's pager plus the tree metadata.
+func (s *Server) Snapshot(tableName string) (*wire.Snapshot, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.pool.FlushAll(); err != nil {
+		return nil, err
+	}
+	pager := t.pool.Pager()
+	snap := &wire.Snapshot{
+		Schema:     t.sch,
+		AccParams:  wire.AccParamsFrom(s.acc),
+		Root:       t.tree.Root(),
+		Height:     uint32(t.tree.Height()),
+		RootSig:    t.tree.RootSig(),
+		PageSize:   uint32(pager.PageSize()),
+		HeapPages:  t.heap.Pages(),
+		KeyVersion: s.key.Public().Version,
+	}
+	buf := make([]byte, pager.PageSize())
+	for id := 1; id < pager.NumPages(); id++ {
+		if err := pager.ReadPage(storage.PageID(id), buf); err != nil {
+			return nil, err
+		}
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		snap.PageIDs = append(snap.PageIDs, storage.PageID(id))
+		snap.PageData = append(snap.PageData, cp)
+	}
+	return snap, nil
+}
+
+// SchemaResponse builds the client-facing verification parameters.
+func (s *Server) SchemaResponse(tableName string) (*wire.SchemaResponse, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.SchemaResponse{
+		Schema:     t.sch,
+		AccParams:  wire.AccParamsFrom(s.acc),
+		KeyVersion: s.key.Public().Version,
+	}, nil
+}
+
+// RunQuery answers a query directly at the central server (trusted path,
+// used by tools and tests; production queries go through edges).
+func (s *Server) RunQuery(tableName string, q vbtree.Query) (*wire.QueryResponse, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rs, w, err := t.tree.RunQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.QueryResponse{Result: rs, VO: w}, nil
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(l net.Listener) {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		l.Close()
+		return
+	}
+	s.listeners = append(s.listeners, l)
+	s.lnMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops serving and waits for in-flight connections.
+func (s *Server) Close() {
+	s.lnMu.Lock()
+	s.closed = true
+	for _, l := range s.listeners {
+		l.Close()
+	}
+	s.listeners = nil
+	s.lnMu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tables {
+		if t.log != nil {
+			t.log.Close()
+		}
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	for {
+		mt, body, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(conn, mt, body); err != nil {
+			if werr := wire.WriteError(conn, err); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, mt wire.MsgType, body []byte) error {
+	switch mt {
+	case wire.MsgPubKeyReq:
+		blob, err := s.key.Public().MarshalBinary()
+		if err != nil {
+			return err
+		}
+		return wire.WriteFrame(conn, wire.MsgPubKeyResp, blob)
+
+	case wire.MsgListTablesReq:
+		return wire.WriteFrame(conn, wire.MsgListTablesResp, wire.EncodeStringList(s.Tables()))
+
+	case wire.MsgSnapshotReq:
+		snap, err := s.Snapshot(string(body))
+		if err != nil {
+			return err
+		}
+		return wire.WriteFrame(conn, wire.MsgSnapshotResp, snap.Encode())
+
+	case wire.MsgSchemaReq:
+		resp, err := s.SchemaResponse(string(body))
+		if err != nil {
+			return err
+		}
+		return wire.WriteFrame(conn, wire.MsgSchemaResp, resp.Encode())
+
+	case wire.MsgVersionReq:
+		v, err := s.Version(string(body))
+		if err != nil {
+			return err
+		}
+		return wire.WriteFrame(conn, wire.MsgVersionResp, wire.EncodeU64(v))
+
+	case wire.MsgInsertReq:
+		req, err := wire.DecodeInsertRequest(body)
+		if err != nil {
+			return err
+		}
+		if err := s.Insert(req.Table, req.Tuple); err != nil {
+			return err
+		}
+		return wire.WriteFrame(conn, wire.MsgInsertResp, nil)
+
+	case wire.MsgDeleteReq:
+		req, err := wire.DecodeDeleteRequest(body)
+		if err != nil {
+			return err
+		}
+		var lo, hi *schema.Datum
+		if req.HasLo {
+			lo = &req.Lo
+		}
+		if req.HasHi {
+			hi = &req.Hi
+		}
+		n, err := s.DeleteRange(req.Table, lo, hi)
+		if err != nil {
+			return err
+		}
+		return wire.WriteFrame(conn, wire.MsgDeleteResp, wire.EncodeU64(uint64(n)))
+
+	default:
+		return errors.New("central: unsupported message " + mt.String())
+	}
+}

@@ -1,0 +1,275 @@
+// Package client implements the trusted DB client of the paper's
+// Figure 2: it obtains the central server's public key over an
+// authenticated channel (the PKI stand-in), sends queries to an edge
+// server, and verifies every result against its verification object
+// before handing it to the application. Updates are routed to the central
+// server, since only the central server holds the signing key.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/query"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/verify"
+	"edgeauth/internal/vo"
+	"edgeauth/internal/wire"
+)
+
+// Client talks to one edge server and one central server.
+type Client struct {
+	mu          sync.Mutex
+	edgeAddr    string
+	centralAddr string
+	edgeConn    net.Conn
+	centralConn net.Conn
+	keys        *sig.Registry
+	verifiers   map[string]*verify.Verifier
+}
+
+// New creates a client. Connections are established lazily.
+func New(edgeAddr, centralAddr string) *Client {
+	return &Client{
+		edgeAddr:    edgeAddr,
+		centralAddr: centralAddr,
+		keys:        sig.NewRegistry(),
+		verifiers:   make(map[string]*verify.Verifier),
+	}
+}
+
+// Close drops both connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.edgeConn != nil {
+		c.edgeConn.Close()
+		c.edgeConn = nil
+	}
+	if c.centralConn != nil {
+		c.centralConn.Close()
+		c.centralConn = nil
+	}
+}
+
+func (c *Client) edge() (net.Conn, error) {
+	if c.edgeConn != nil {
+		return c.edgeConn, nil
+	}
+	conn, err := net.Dial("tcp", c.edgeAddr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing edge: %w", err)
+	}
+	c.edgeConn = conn
+	return conn, nil
+}
+
+func (c *Client) central() (net.Conn, error) {
+	if c.centralConn != nil {
+		return c.centralConn, nil
+	}
+	conn, err := net.Dial("tcp", c.centralAddr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing central: %w", err)
+	}
+	c.centralConn = conn
+	return conn, nil
+}
+
+// call sends one request frame and reads one response frame, resolving
+// error frames.
+func call(conn net.Conn, t wire.MsgType, body []byte, want wire.MsgType) ([]byte, error) {
+	if err := wire.WriteFrame(conn, t, body); err != nil {
+		return nil, err
+	}
+	mt, resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if mt == wire.MsgError {
+		return nil, wire.AsError(resp)
+	}
+	if mt != want {
+		return nil, fmt.Errorf("client: expected %v, got %v", want, mt)
+	}
+	return resp, nil
+}
+
+// FetchTrustedKey retrieves the central server's public key over the
+// authenticated channel and registers it for verification.
+func (c *Client) FetchTrustedKey() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, err := c.central()
+	if err != nil {
+		return err
+	}
+	body, err := call(conn, wire.MsgPubKeyReq, nil, wire.MsgPubKeyResp)
+	if err != nil {
+		return err
+	}
+	var pk sig.PublicKey
+	if err := pk.UnmarshalBinary(body); err != nil {
+		return err
+	}
+	c.keys.Put(&pk)
+	return nil
+}
+
+// TrustKey registers an out-of-band public key (e.g. baked into the app).
+func (c *Client) TrustKey(pk *sig.PublicKey) {
+	c.keys.Put(pk)
+}
+
+// verifier builds (and caches) the verifier for a table using the edge's
+// schema response. The schema and accumulator parameters are not secret —
+// a lying edge only causes verification to fail.
+func (c *Client) verifier(table string) (*verify.Verifier, error) {
+	if v, ok := c.verifiers[table]; ok {
+		return v, nil
+	}
+	conn, err := c.edge()
+	if err != nil {
+		return nil, err
+	}
+	body, err := call(conn, wire.MsgSchemaReq, []byte(table), wire.MsgSchemaResp)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeSchemaResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := digest.New(resp.AccParams.ToDigestParams())
+	if err != nil {
+		return nil, err
+	}
+	v := &verify.Verifier{Keys: c.keys, Acc: acc, Schema: resp.Schema}
+	c.verifiers[table] = v
+	return v, nil
+}
+
+// Schema returns the table schema as reported by the edge server.
+func (c *Client) Schema(table string) (*schema.Schema, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, err := c.verifier(table)
+	if err != nil {
+		return nil, err
+	}
+	return v.Schema, nil
+}
+
+// QueryResult is a verified query answer.
+type QueryResult struct {
+	Result *vo.ResultSet
+	VO     *vo.VO
+	// VOBytes / ResultBytes are the wire sizes, for cost accounting.
+	VOBytes     int
+	ResultBytes int
+}
+
+// ErrTampered wraps verification failures so applications can
+// distinguish a compromised edge from transport errors.
+var ErrTampered = errors.New("client: query result failed verification")
+
+// Query runs a selection/projection at the edge and verifies the answer.
+func (c *Client) Query(table string, preds []query.Predicate, project []string) (*QueryResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, err := c.verifier(table)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.edge()
+	if err != nil {
+		return nil, err
+	}
+	req := &wire.QueryRequest{
+		Table:      table,
+		Predicates: preds,
+		Project:    project,
+		ProjectAll: project == nil,
+	}
+	body, err := call(conn, wire.MsgQueryReq, req.Encode(), wire.MsgQueryResp)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeQueryResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.Verify(resp.Result, resp.VO); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	return &QueryResult{
+		Result:      resp.Result,
+		VO:          resp.VO,
+		VOBytes:     resp.VO.WireSize(),
+		ResultBytes: resp.Result.WireSize(),
+	}, nil
+}
+
+// Insert sends a tuple insert to the central server.
+func (c *Client) Insert(table string, tup schema.Tuple) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, err := c.central()
+	if err != nil {
+		return err
+	}
+	req := &wire.InsertRequest{Table: table, Tuple: tup}
+	_, err = call(conn, wire.MsgInsertReq, req.Encode(), wire.MsgInsertResp)
+	return err
+}
+
+// DeleteRange sends a key-range delete to the central server and returns
+// the number of removed tuples.
+func (c *Client) DeleteRange(table string, lo, hi *schema.Datum) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, err := c.central()
+	if err != nil {
+		return 0, err
+	}
+	req := &wire.DeleteRequest{Table: table}
+	if lo != nil {
+		req.HasLo, req.Lo = true, *lo
+	}
+	if hi != nil {
+		req.HasHi, req.Hi = true, *hi
+	}
+	body, err := call(conn, wire.MsgDeleteReq, req.Encode(), wire.MsgDeleteResp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := wire.DecodeU64(body)
+	return int(n), err
+}
+
+// EdgeTables lists tables available at the edge server.
+func (c *Client) EdgeTables() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, err := c.edge()
+	if err != nil {
+		return nil, err
+	}
+	body, err := call(conn, wire.MsgListTablesReq, nil, wire.MsgListTablesResp)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeStringList(body)
+}
+
+// InvalidateSchema drops the cached verifier for a table (after schema or
+// key changes).
+func (c *Client) InvalidateSchema(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.verifiers, table)
+}

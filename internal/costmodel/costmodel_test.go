@@ -1,0 +1,286 @@
+package costmodel
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.D = 0 },
+		func(p *Params) { p.NR = 0 },
+		func(p *Params) { p.QC = -1 },
+		func(p *Params) { p.QC = p.NC + 1 },
+		func(p *Params) { p.B = 8 },
+	}
+	for i, mutate := range cases {
+		p := Default()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestFanOutRelationship(t *testing.T) {
+	// Figure 8's shape: VB-tree fan-out strictly below B-tree fan-out,
+	// both decreasing in key length, converging for large keys.
+	prevB, prevVB := 1<<30, 1<<30
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		p := Default()
+		p.K = k
+		fb, fvb := p.BTreeFanOut(), p.VBTreeFanOut()
+		if fvb >= fb {
+			t.Errorf("K=%d: VB fan-out %d >= B fan-out %d", k, fvb, fb)
+		}
+		if fb > prevB || fvb > prevVB {
+			t.Errorf("K=%d: fan-out increased", k)
+		}
+		prevB, prevVB = fb, fvb
+	}
+	// Convergence: the ratio at K=256 is far smaller than at K=1.
+	small, large := Default(), Default()
+	small.K, large.K = 1, 256
+	r1 := float64(small.BTreeFanOut()) / float64(small.VBTreeFanOut())
+	r2 := float64(large.BTreeFanOut()) / float64(large.VBTreeFanOut())
+	if r2 >= r1 {
+		t.Errorf("fan-out gap did not converge: %v -> %v", r1, r2)
+	}
+}
+
+func TestHeightsNearlyEqual(t *testing.T) {
+	// Figure 9: despite the fan-out gap, heights differ by <= 2 levels.
+	for _, k := range []int{1, 4, 16, 64, 256} {
+		p := Default()
+		p.K = k
+		hb, hvb := p.BTreeHeight(), p.VBTreeHeight()
+		if hvb < hb {
+			t.Errorf("K=%d: VB height %d below B height %d", k, hvb, hb)
+		}
+		if hvb-hb > 2 {
+			t.Errorf("K=%d: height gap %d too large", k, hvb-hb)
+		}
+	}
+}
+
+func TestEnvelopeHeightBounds(t *testing.T) {
+	p := Default()
+	if got := p.EnvelopeHeight(1); got != 1 {
+		t.Errorf("EnvelopeHeight(1) = %d", got)
+	}
+	if got := p.EnvelopeHeight(p.NR); got != p.VBTreeHeight() {
+		t.Errorf("EnvelopeHeight(NR) = %d, want tree height %d", got, p.VBTreeHeight())
+	}
+	prev := 0
+	for _, qr := range []int{1, 100, 10_000, 1_000_000} {
+		h := p.EnvelopeHeight(qr)
+		if h < prev {
+			t.Errorf("envelope height decreased at qr=%d", qr)
+		}
+		prev = h
+	}
+}
+
+func TestCommunicationOrdering(t *testing.T) {
+	// Figure 10's shape: VB-tree below Naive at every selectivity, with
+	// the gap growing as selectivity rises.
+	for _, qc := range []int{2, 5, 8} {
+		p := Default()
+		p.QC = qc
+		prevGap := -1.0
+		for _, sel := range []float64{1, 20, 50, 80, 100} {
+			qr := p.QRForSelectivity(sel)
+			nv, vb := p.CommNaive(qr), p.CommVB(qr)
+			if vb >= nv {
+				t.Errorf("Qc=%d sel=%v: VB comm %d >= Naive %d", qc, sel, vb, nv)
+			}
+			gap := float64(nv - vb)
+			if gap < prevGap {
+				t.Errorf("Qc=%d sel=%v: gap shrank", qc, sel)
+			}
+			prevGap = gap
+		}
+	}
+	// Cost grows with Qc (more attribute bytes returned).
+	p2, p5 := Default(), Default()
+	p2.QC, p5.QC = 2, 5
+	qr := p2.QRForSelectivity(50)
+	if p5.CommVB(qr) <= p2.CommVB(qr) {
+		t.Error("communication cost did not grow with Qc")
+	}
+}
+
+func TestFig11Convergence(t *testing.T) {
+	// Figure 11: relative overhead shrinks as attribute size grows, but
+	// the absolute Naive-minus-VB gap stays positive and significant.
+	p := Default()
+	qr := p.QRForSelectivity(80)
+	var prevRatio float64 = math.Inf(1)
+	for fac := 0; fac <= 6; fac++ {
+		q := p
+		q.AttrSize = q.D * (1 << fac)
+		nv, vb := q.CommNaive(qr), q.CommVB(qr)
+		ratio := float64(nv) / float64(vb)
+		if ratio > prevRatio+1e-9 {
+			t.Errorf("factor %d: ratio %v grew", fac, ratio)
+		}
+		prevRatio = ratio
+		if nv-vb < 3_000_000 {
+			t.Errorf("factor %d: absolute gap %d below ~MBs", fac, nv-vb)
+		}
+	}
+}
+
+func TestComputationOrdering(t *testing.T) {
+	// Figure 12: VB-tree below Naive, difference widening with X.
+	var prevGap float64
+	for _, x := range []float64{5, 10, 100} {
+		p := Default()
+		p.X = x
+		qr := p.QRForSelectivity(50)
+		nv, vb := p.CompNaive(qr), p.CompVB(qr)
+		if vb >= nv {
+			t.Errorf("X=%v: VB comp %v >= Naive %v", x, vb, nv)
+		}
+		gap := nv - vb
+		if gap <= prevGap {
+			t.Errorf("X=%v: gap %v did not widen", x, gap)
+		}
+		prevGap = gap
+	}
+}
+
+func TestFig13aGapNearlyConstant(t *testing.T) {
+	// Figure 13(a): the Naive-minus-VB difference is dominated by
+	// signature recoveries and barely moves with Cost_k.
+	p := Default()
+	p.X = 10
+	qr := p.QRForSelectivity(80)
+	base := p.CompNaive(qr) - p.CompVB(qr)
+	for r := 0.0; r <= 3; r += 0.5 {
+		q := p
+		q.CostK = r
+		gap := q.CompNaive(qr) - q.CompVB(qr)
+		if math.Abs(gap-base)/base > 0.25 {
+			t.Errorf("Cost_k=%v: gap %v drifted from %v", r, gap, base)
+		}
+	}
+}
+
+func TestFig13bOrderingStable(t *testing.T) {
+	p := Default()
+	p.X = 10
+	for qc := 0; qc <= p.NC; qc++ {
+		q := p
+		q.QC = qc
+		for _, sel := range []float64{20, 80} {
+			qr := q.QRForSelectivity(sel)
+			if q.CompVB(qr) >= q.CompNaive(qr) {
+				t.Errorf("Qc=%d sel=%v: ordering flipped", qc, sel)
+			}
+		}
+	}
+}
+
+func TestInsertCostLogarithmic(t *testing.T) {
+	small, large := Default(), Default()
+	small.NR, large.NR = 1_000, 100_000_000
+	cs, cl := small.InsertCost(), large.InsertCost()
+	if cl <= cs {
+		t.Fatal("insert cost must grow with table size")
+	}
+	// Growth must be height-like (a few Cost_k), not linear in N_R.
+	if cl-cs > 10*small.CostK*10 {
+		t.Fatalf("insert cost growth %v looks non-logarithmic", cl-cs)
+	}
+}
+
+func TestDeleteCostGrowsWithRange(t *testing.T) {
+	p := Default()
+	if p.DeleteCost(0) != 0 {
+		t.Error("deleting nothing should cost nothing")
+	}
+	prev := 0.0
+	for _, qr := range []int{1, 100, 10_000, 1_000_000} {
+		c := p.DeleteCost(qr)
+		if c < prev {
+			t.Errorf("delete cost decreased at qr=%d", qr)
+		}
+		prev = c
+	}
+}
+
+func TestQRForSelectivityClamps(t *testing.T) {
+	p := Default()
+	if got := p.QRForSelectivity(-5); got != 0 {
+		t.Errorf("negative selectivity -> %d", got)
+	}
+	if got := p.QRForSelectivity(250); got != p.NR {
+		t.Errorf("over-100%% selectivity -> %d", got)
+	}
+	if got := p.QRForSelectivity(50); got != p.NR/2 {
+		t.Errorf("50%% -> %d", got)
+	}
+}
+
+func TestAllFiguresRender(t *testing.T) {
+	figs := AllFigures(Default())
+	if len(figs) != 13 {
+		t.Fatalf("AllFigures returned %d figures, want 13", len(figs))
+	}
+	var buf bytes.Buffer
+	for _, f := range figs {
+		if len(f.X) == 0 {
+			t.Errorf("%s: empty x-axis", f.ID)
+		}
+		for _, s := range f.Series {
+			if len(s.Y) != len(f.X) {
+				t.Errorf("%s/%s: %d points for %d x values", f.ID, s.Name, len(s.Y), len(f.X))
+			}
+		}
+		f.Render(&buf)
+	}
+	out := buf.String()
+	for _, want := range []string{"F8", "F9", "F10(Qc=5)", "F11", "F12(X=10)", "F13a", "F13b", "UPD-I", "UPD-D"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable1(&buf, Default())
+	for _, want := range []string{"|D|", "N_R", "F_VB", "4096", "1000000"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestPaperDefaults(t *testing.T) {
+	p := Default()
+	if p.D != 16 || p.K != 16 || p.P != 4 || p.B != 4096 {
+		t.Errorf("size defaults diverge from Table 1: %+v", p)
+	}
+	if p.NR != 1_000_000 || p.NC != 10 || p.QC != 10 {
+		t.Errorf("cardinality defaults diverge from Table 1: %+v", p)
+	}
+	if p.X != 10 {
+		t.Errorf("X default = %v, want 10", p.X)
+	}
+	if p.TupleSize() != 200 {
+		t.Errorf("tuple size = %d, want 200 (paper §4.2)", p.TupleSize())
+	}
+	if p.CostS() != 10 {
+		t.Errorf("CostS = %v", p.CostS())
+	}
+}

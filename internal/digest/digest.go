@@ -1,0 +1,493 @@
+// Package digest implements the cryptographic digest machinery of the
+// VB-tree (Pang & Tan, ICDE 2004): a domain-separated one-way hash h over
+// attribute values, and the commutative combination function
+//
+//	g(x) = x^e mod m
+//
+// whose outputs are coalesced with multiplication modulo m. Because
+// multiplication is commutative, a set of digests {d1..dn} can be combined
+// in any order without affecting the final digest — the property the paper
+// relies on for (a) order-free verification objects, (b) projection at the
+// edge server, and (c) incremental digest maintenance on insert.
+//
+// Two modulus profiles are provided (paper §3.2, "we can implement g by
+// picking m = 2^k ... to optimize the modulo operation"):
+//
+//   - Mod2K: m = 2^(8·Size). This is the paper's optimization and keeps
+//     digests at exactly Size bytes (Table 1 default: 16). Digests are
+//     forced odd so every digest is a unit modulo 2^k, which makes the
+//     accumulator invertible (required for incremental removal, and
+//     harmless for the paper's insert path).
+//   - ModBig: m is a caller-supplied odd modulus (e.g. an RSA modulus),
+//     trading speed and size for a hardened multiplicative group.
+//
+// The hash h follows formula (1) of the paper: it binds the database name,
+// table name, attribute name, tuple key and attribute value, so a digest
+// for one attribute cannot be replayed as a digest for another.
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync/atomic"
+)
+
+// Mode selects the modulus profile of an Accumulator.
+type Mode int
+
+const (
+	// Mod2K uses m = 2^(8·Size), the paper's fast profile.
+	Mod2K Mode = iota
+	// ModBig uses a caller-supplied odd modulus.
+	ModBig
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Mod2K:
+		return "mod2k"
+	case ModBig:
+		return "modbig"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// DefaultSize is the digest length in bytes from Table 1 of the paper.
+const DefaultSize = 16
+
+// DefaultExponent is the exponent e of g(x) = x^e mod m. The paper's
+// worked example evaluates x^15 with four squarings and four reductions;
+// we adopt the same exponent as the default. It must be odd so that g
+// maps units to units modulo 2^k.
+const DefaultExponent = 15
+
+// Value is an unsigned digest: the canonical big-endian, fixed-width
+// encoding of an element of Z_m. Its length equals Accumulator.Len().
+type Value []byte
+
+// Clone returns an independent copy of v.
+func (v Value) Clone() Value {
+	c := make(Value, len(v))
+	copy(c, v)
+	return c
+}
+
+// Equal reports whether two digests are byte-identical.
+func (v Value) Equal(o Value) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short hex prefix, for logs and tests.
+func (v Value) String() string {
+	const max = 8
+	if len(v) <= max {
+		return fmt.Sprintf("%x", []byte(v))
+	}
+	return fmt.Sprintf("%x…", []byte(v[:max]))
+}
+
+// Counters accumulates operation counts for the cost accounting of the
+// paper's §4.3 (Figure 12/13 reproduce client computation cost in units of
+// Cost_h). All fields are updated atomically and may be shared across
+// goroutines.
+type Counters struct {
+	HashOps    atomic.Int64 // evaluations of h (Cost_h)
+	CombineOps atomic.Int64 // pairwise digest combinations (Cost_k)
+	RecoverOps atomic.Int64 // signature recoveries s⁻¹ (Cost_s); bumped by package sig
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		HashOps:    c.HashOps.Load(),
+		CombineOps: c.CombineOps.Load(),
+		RecoverOps: c.RecoverOps.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.HashOps.Store(0)
+	c.CombineOps.Store(0)
+	c.RecoverOps.Store(0)
+}
+
+// CounterSnapshot is an immutable copy of Counters.
+type CounterSnapshot struct {
+	HashOps    int64
+	CombineOps int64
+	RecoverOps int64
+}
+
+// Sub returns the element-wise difference s - o.
+func (s CounterSnapshot) Sub(o CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		HashOps:    s.HashOps - o.HashOps,
+		CombineOps: s.CombineOps - o.CombineOps,
+		RecoverOps: s.RecoverOps - o.RecoverOps,
+	}
+}
+
+// Params configures an Accumulator.
+type Params struct {
+	// Size is the digest length in bytes for the Mod2K profile.
+	// Ignored for ModBig (the modulus determines the length).
+	Size int
+	// Exponent is e in g(x) = x^e mod m. Must be positive and odd.
+	Exponent int64
+	// Mode selects the modulus profile.
+	Mode Mode
+	// Modulus is required for ModBig and must be odd and > 2.
+	Modulus *big.Int
+	// Counters, when non-nil, receives operation counts.
+	Counters *Counters
+}
+
+// DefaultParams returns the paper's defaults: 16-byte digests, e = 15,
+// m = 2^128.
+func DefaultParams() Params {
+	return Params{Size: DefaultSize, Exponent: DefaultExponent, Mode: Mod2K}
+}
+
+// Accumulator implements h, g and the commutative combination. It is
+// immutable after construction and safe for concurrent use.
+type Accumulator struct {
+	size     int      // canonical encoded length of a Value
+	exponent *big.Int // e
+	mode     Mode
+	modulus  *big.Int // m
+	mask     *big.Int // m-1 when mode == Mod2K (for fast reduction)
+	counters *Counters
+}
+
+// New validates p and builds an Accumulator.
+func New(p Params) (*Accumulator, error) {
+	if p.Exponent == 0 {
+		p.Exponent = DefaultExponent
+	}
+	if p.Exponent < 0 || p.Exponent%2 == 0 {
+		return nil, fmt.Errorf("digest: exponent must be positive and odd, got %d", p.Exponent)
+	}
+	a := &Accumulator{
+		exponent: big.NewInt(p.Exponent),
+		mode:     p.Mode,
+		counters: p.Counters,
+	}
+	switch p.Mode {
+	case Mod2K:
+		if p.Size == 0 {
+			p.Size = DefaultSize
+		}
+		if p.Size < 4 || p.Size > 512 {
+			return nil, fmt.Errorf("digest: size must be in [4,512] bytes, got %d", p.Size)
+		}
+		a.size = p.Size
+		a.modulus = new(big.Int).Lsh(big.NewInt(1), uint(8*p.Size))
+		a.mask = new(big.Int).Sub(a.modulus, big.NewInt(1))
+	case ModBig:
+		if p.Modulus == nil || p.Modulus.Sign() <= 0 || p.Modulus.Bit(0) == 0 || p.Modulus.BitLen() < 24 {
+			return nil, errors.New("digest: ModBig requires an odd modulus of at least 24 bits")
+		}
+		a.modulus = new(big.Int).Set(p.Modulus)
+		a.size = (a.modulus.BitLen() + 7) / 8
+	default:
+		return nil, fmt.Errorf("digest: unknown mode %v", p.Mode)
+	}
+	return a, nil
+}
+
+// MustNew is New for parameters known to be valid; it panics on error.
+func MustNew(p Params) *Accumulator {
+	a, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Len returns the canonical byte length of a Value under this accumulator.
+func (a *Accumulator) Len() int { return a.size }
+
+// Mode returns the modulus profile.
+func (a *Accumulator) Mode() Mode { return a.mode }
+
+// Modulus returns a copy of m.
+func (a *Accumulator) Modulus() *big.Int { return new(big.Int).Set(a.modulus) }
+
+// Exponent returns e.
+func (a *Accumulator) Exponent() int64 { return a.exponent.Int64() }
+
+// Counters returns the counter sink (possibly nil).
+func (a *Accumulator) Counters() *Counters { return a.counters }
+
+func (a *Accumulator) countHash() {
+	if a.counters != nil {
+		a.counters.HashOps.Add(1)
+	}
+}
+
+func (a *Accumulator) countCombine(n int64) {
+	if a.counters != nil && n > 0 {
+		a.counters.CombineOps.Add(n)
+	}
+}
+
+// encode renders x (already reduced mod m) as a fixed-width big-endian
+// Value of length a.size.
+func (a *Accumulator) encode(x *big.Int) Value {
+	v := make(Value, a.size)
+	x.FillBytes(v)
+	return v
+}
+
+// decode parses a canonical Value and reduces it modulo m.
+func (a *Accumulator) decode(v Value) (*big.Int, error) {
+	if len(v) != a.size {
+		return nil, fmt.Errorf("digest: value length %d, want %d", len(v), a.size)
+	}
+	x := new(big.Int).SetBytes(v)
+	if x.Cmp(a.modulus) >= 0 {
+		x.Mod(x, a.modulus)
+	}
+	return x, nil
+}
+
+// forceUnit coerces x into the unit group. For Mod2K this sets the low bit
+// (odd residues are exactly the units of Z_{2^k}); for ModBig a zero is
+// mapped to one (any other residue is a unit with overwhelming probability
+// for an RSA-style modulus).
+func (a *Accumulator) forceUnit(x *big.Int) {
+	switch a.mode {
+	case Mod2K:
+		x.SetBit(x, 0, 1)
+	case ModBig:
+		if x.Sign() == 0 {
+			x.SetInt64(1)
+		}
+	}
+}
+
+// HashAttribute computes formula (1)'s inner hash
+//
+//	h(dbName | tableName | attrName | key | value)
+//
+// with length-prefixed framing of each field (so no two distinct field
+// tuples collide by concatenation ambiguity), truncated/reduced into Z_m
+// and coerced to a unit.
+func (a *Accumulator) HashAttribute(db, table, attr string, key, value []byte) Value {
+	a.countHash()
+	hw := sha256.New()
+	var lenbuf [4]byte
+	writeField := func(b []byte) {
+		binary.BigEndian.PutUint32(lenbuf[:], uint32(len(b)))
+		hw.Write(lenbuf[:])
+		hw.Write(b)
+	}
+	writeField([]byte(db))
+	writeField([]byte(table))
+	writeField([]byte(attr))
+	writeField(key)
+	writeField(value)
+	return a.digestFromHash(hw.Sum(nil))
+}
+
+// HashBytes computes a generic domain-separated one-way digest of data under
+// the given domain label. It is used for node-level payloads that are not
+// attribute values (e.g. Naive-baseline tuple serializations).
+func (a *Accumulator) HashBytes(domain string, data []byte) Value {
+	a.countHash()
+	hw := sha256.New()
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(domain)))
+	hw.Write(lenbuf[:])
+	hw.Write([]byte(domain))
+	hw.Write(data)
+	return a.digestFromHash(hw.Sum(nil))
+}
+
+// digestFromHash maps a raw hash output into a canonical unit Value.
+// When the target is wider than one SHA-256 block, the hash is expanded
+// with counter-mode rehashing.
+func (a *Accumulator) digestFromHash(sum []byte) Value {
+	need := a.size
+	buf := make([]byte, 0, need)
+	buf = append(buf, sum...)
+	ctr := uint32(0)
+	for len(buf) < need {
+		hw := sha256.New()
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		hw.Write(cb[:])
+		hw.Write(sum)
+		buf = hw.Sum(buf)
+		ctr++
+	}
+	x := new(big.Int).SetBytes(buf[:need])
+	x.Mod(x, a.modulus)
+	a.forceUnit(x)
+	return a.encode(x)
+}
+
+// G applies the one-way combiner g(x) = x^e mod m to a single digest.
+func (a *Accumulator) G(v Value) (Value, error) {
+	x, err := a.decode(v)
+	if err != nil {
+		return nil, err
+	}
+	x.Exp(x, a.exponent, a.modulus)
+	return a.encode(x), nil
+}
+
+// Combine coalesces a set of digests into one:
+//
+//	Combine(d1..dn) = Π g(di)  (mod m)
+//
+// The multiplication is commutative, so the order of vs never affects the
+// result. Combine of an empty set yields the multiplicative identity.
+func (a *Accumulator) Combine(vs ...Value) (Value, error) {
+	acc := a.NewAcc()
+	for _, v := range vs {
+		if err := acc.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	return acc.Value(), nil
+}
+
+// Identity returns the digest of the empty combination (the canonical
+// encoding of 1).
+func (a *Accumulator) Identity() Value {
+	return a.encode(big.NewInt(1))
+}
+
+// Lift applies g to v k times: Lift(v, k) = g^k(v). Because g is
+// multiplicative, lifting a combined product equals combining the lifted
+// factors — the property that lets a verifier reconstruct a multi-level
+// subtree digest as a flat product of lifted digests.
+func (a *Accumulator) Lift(v Value, k int) (Value, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("digest: negative lift %d", k)
+	}
+	x, err := a.decode(v)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		x.Exp(x, a.exponent, a.modulus)
+	}
+	a.countCombine(int64(k))
+	return a.encode(x), nil
+}
+
+// Mul multiplies two already-combined digests modulo m (no g applied).
+func (a *Accumulator) Mul(u, v Value) (Value, error) {
+	x, err := a.decode(u)
+	if err != nil {
+		return nil, err
+	}
+	y, err := a.decode(v)
+	if err != nil {
+		return nil, err
+	}
+	x.Mul(x, y)
+	x.Mod(x, a.modulus)
+	a.countCombine(1)
+	return a.encode(x), nil
+}
+
+// Acc is a running accumulator over digests: it maintains Π g(di) mod m
+// incrementally. An Acc is not safe for concurrent use.
+type Acc struct {
+	a *Accumulator
+	v *big.Int
+}
+
+// NewAcc returns an accumulator initialized to the identity.
+func (a *Accumulator) NewAcc() *Acc {
+	return &Acc{a: a, v: big.NewInt(1)}
+}
+
+// AccFrom resumes accumulation from a previously combined digest. This is
+// the basis of the paper's incremental insert: the central server decodes
+// the current (unsigned) node digest and multiplies in the new tuple's
+// digest.
+func (a *Accumulator) AccFrom(combined Value) (*Acc, error) {
+	x, err := a.decode(combined)
+	if err != nil {
+		return nil, err
+	}
+	return &Acc{a: a, v: x}, nil
+}
+
+// Add multiplies g(d) into the accumulator.
+func (acc *Acc) Add(d Value) error {
+	x, err := acc.a.decode(d)
+	if err != nil {
+		return err
+	}
+	x.Exp(x, acc.a.exponent, acc.a.modulus)
+	acc.v.Mul(acc.v, x)
+	acc.reduce()
+	acc.a.countCombine(1)
+	return nil
+}
+
+// AddCombined multiplies an already-combined digest (a product of g-values)
+// into the accumulator without applying g again. This is how a parent
+// digest absorbs a child subtree's combined digest during verification of
+// multi-level enveloping subtrees, where the child side is reconstructed
+// bottom-up and then g-lifted exactly once by the caller.
+func (acc *Acc) AddCombined(d Value) error {
+	x, err := acc.a.decode(d)
+	if err != nil {
+		return err
+	}
+	acc.v.Mul(acc.v, x)
+	acc.reduce()
+	acc.a.countCombine(1)
+	return nil
+}
+
+// Remove divides g(d) out of the accumulator. It fails if g(d) is not a
+// unit modulo m (impossible under Mod2K, where all digests are odd).
+func (acc *Acc) Remove(d Value) error {
+	x, err := acc.a.decode(d)
+	if err != nil {
+		return err
+	}
+	x.Exp(x, acc.a.exponent, acc.a.modulus)
+	inv := new(big.Int).ModInverse(x, acc.a.modulus)
+	if inv == nil {
+		return fmt.Errorf("digest: %v is not invertible modulo m", d)
+	}
+	acc.v.Mul(acc.v, inv)
+	acc.reduce()
+	acc.a.countCombine(1)
+	return nil
+}
+
+func (acc *Acc) reduce() {
+	if acc.a.mode == Mod2K {
+		acc.v.And(acc.v, acc.a.mask)
+	} else {
+		acc.v.Mod(acc.v, acc.a.modulus)
+	}
+}
+
+// Value returns the canonical encoding of the current accumulator state.
+// The Acc remains usable afterwards.
+func (acc *Acc) Value() Value {
+	return acc.a.encode(new(big.Int).Set(acc.v))
+}

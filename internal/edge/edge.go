@@ -1,0 +1,349 @@
+// Package edge implements the unsecured edge server of the paper's
+// Figure 2: it pulls table replicas ("DB + VB-trees") from the central
+// server, executes selection/projection queries locally, and returns each
+// result together with its verification object.
+//
+// Because edge servers are the untrusted component of the architecture,
+// the server carries an optional tamper hook that mutates responses before
+// they are sent — the adversary used by the security tests and the demo
+// binaries to show clients detecting a compromised edge.
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sort"
+	"sync"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/query"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/storage"
+	"edgeauth/internal/vbtree"
+	"edgeauth/internal/vo"
+	"edgeauth/internal/wire"
+)
+
+// TamperFn mutates a response in place before it leaves the edge server —
+// the model of a hacked edge. Returning an error suppresses the response.
+type TamperFn func(rs *vo.ResultSet, w *vo.VO) error
+
+// Server is an edge server holding replicated tables.
+type Server struct {
+	mu     sync.RWMutex
+	tables map[string]*replica
+	tamper TamperFn
+
+	centralAddr string
+
+	lnMu      sync.Mutex
+	listeners []net.Listener
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+type replica struct {
+	sch     *schema.Schema
+	tree    *vbtree.Tree
+	acc     *digest.Accumulator
+	params  wire.AccParams
+	keyVer  uint32
+	version uint64
+}
+
+// New creates an edge server that replicates from centralAddr.
+func New(centralAddr string) *Server {
+	return &Server{
+		tables:      make(map[string]*replica),
+		centralAddr: centralAddr,
+	}
+}
+
+// SetTamper installs (or clears, with nil) the compromised-edge hook.
+func (s *Server) SetTamper(fn TamperFn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tamper = fn
+}
+
+// Tables lists the replicated tables.
+func (s *Server) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PullAll replicates every table the central server advertises.
+func (s *Server) PullAll() error {
+	conn, err := net.Dial("tcp", s.centralAddr)
+	if err != nil {
+		return fmt.Errorf("edge: dialing central: %w", err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.MsgListTablesReq, nil); err != nil {
+		return err
+	}
+	mt, body, err := wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if mt == wire.MsgError {
+		return wire.AsError(body)
+	}
+	names, err := wire.DecodeStringList(body)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := s.pullOn(conn, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pull replicates (or refreshes) one table.
+func (s *Server) Pull(tableName string) error {
+	conn, err := net.Dial("tcp", s.centralAddr)
+	if err != nil {
+		return fmt.Errorf("edge: dialing central: %w", err)
+	}
+	defer conn.Close()
+	return s.pullOn(conn, tableName)
+}
+
+func (s *Server) pullOn(conn net.Conn, tableName string) error {
+	if err := wire.WriteFrame(conn, wire.MsgSnapshotReq, []byte(tableName)); err != nil {
+		return err
+	}
+	mt, body, err := wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if mt == wire.MsgError {
+		return wire.AsError(body)
+	}
+	snap, err := wire.DecodeSnapshot(body)
+	if err != nil {
+		return err
+	}
+	rep, err := InstallSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.tables[tableName] = rep
+	s.mu.Unlock()
+	return nil
+}
+
+// InstallSnapshot materializes a snapshot into a queryable replica.
+func InstallSnapshot(snap *wire.Snapshot) (*replica, error) {
+	if snap.PageSize < storage.MinPageSize {
+		return nil, errors.New("edge: snapshot page size too small")
+	}
+	mem, err := storage.NewMemPager(int(snap.PageSize))
+	if err != nil {
+		return nil, err
+	}
+	// Recreate the page address space, then overlay the snapshot pages.
+	var maxID storage.PageID
+	for _, id := range snap.PageIDs {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for i := storage.PageID(1); i <= maxID; i++ {
+		if _, err := mem.Allocate(); err != nil {
+			return nil, err
+		}
+	}
+	for i, id := range snap.PageIDs {
+		if len(snap.PageData[i]) != int(snap.PageSize) {
+			return nil, fmt.Errorf("edge: page %d has %d bytes, want %d", id, len(snap.PageData[i]), snap.PageSize)
+		}
+		if err := mem.WritePage(id, snap.PageData[i]); err != nil {
+			return nil, err
+		}
+	}
+	pool, err := storage.NewBufferPool(mem, 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	heap, err := storage.OpenHeapFile(pool, snap.HeapPages)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := digest.New(snap.AccParams.ToDigestParams())
+	if err != nil {
+		return nil, err
+	}
+	// The edge holds no trusted key material: signed digests are opaque
+	// bytes it serves back to clients, and queries never recover them.
+	// The tree still wants a public key for the VO's key-version stamp,
+	// so build a placeholder carrying only the version.
+	pub := &sig.PublicKey{
+		N:       new(big.Int).Lsh(big.NewInt(1), 512),
+		E:       big.NewInt(65537),
+		Version: snap.KeyVersion,
+	}
+	cfg := vbtree.Config{
+		Pool:   pool,
+		Heap:   heap,
+		Schema: snap.Schema,
+		Acc:    acc,
+		Pub:    pub,
+	}
+	tree, err := vbtree.Open(cfg, snap.Root, int(snap.Height), snap.RootSig)
+	if err != nil {
+		return nil, err
+	}
+	return &replica{
+		sch:    snap.Schema,
+		tree:   tree,
+		acc:    acc,
+		params: snap.AccParams,
+		keyVer: snap.KeyVersion,
+	}, nil
+}
+
+// RunQuery executes a compiled query against a replica.
+func (s *Server) RunQuery(tableName string, q vbtree.Query) (*vo.ResultSet, *vo.VO, error) {
+	s.mu.RLock()
+	rep, ok := s.tables[tableName]
+	tamper := s.tamper
+	s.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("edge: table %q not replicated", tableName)
+	}
+	rs, w, err := rep.tree.RunQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.KeyVersion = rep.keyVer
+	if tamper != nil {
+		if err := tamper(rs, w); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rs, w, nil
+}
+
+// Schema returns a replica's schema.
+func (s *Server) Schema(tableName string) (*schema.Schema, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rep, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("edge: table %q not replicated", tableName)
+	}
+	return rep.sch, nil
+}
+
+// Serve accepts client connections until the listener closes.
+func (s *Server) Serve(l net.Listener) {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		l.Close()
+		return
+	}
+	s.listeners = append(s.listeners, l)
+	s.lnMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops serving.
+func (s *Server) Close() {
+	s.lnMu.Lock()
+	s.closed = true
+	for _, l := range s.listeners {
+		l.Close()
+	}
+	s.listeners = nil
+	s.lnMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	for {
+		mt, body, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(conn, mt, body); err != nil {
+			if werr := wire.WriteError(conn, err); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, mt wire.MsgType, body []byte) error {
+	switch mt {
+	case wire.MsgListTablesReq:
+		return wire.WriteFrame(conn, wire.MsgListTablesResp, wire.EncodeStringList(s.Tables()))
+
+	case wire.MsgSchemaReq:
+		s.mu.RLock()
+		rep, ok := s.tables[string(body)]
+		s.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("edge: table %q not replicated", string(body))
+		}
+		resp := &wire.SchemaResponse{
+			Schema:     rep.sch,
+			AccParams:  rep.params,
+			KeyVersion: rep.keyVer,
+		}
+		return wire.WriteFrame(conn, wire.MsgSchemaResp, resp.Encode())
+
+	case wire.MsgQueryReq:
+		req, err := wire.DecodeQueryRequest(body)
+		if err != nil {
+			return err
+		}
+		s.mu.RLock()
+		rep, ok := s.tables[req.Table]
+		s.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("edge: table %q not replicated", req.Table)
+		}
+		spec := query.Spec{Predicates: req.Predicates}
+		if !req.ProjectAll {
+			spec.Project = req.Project
+		}
+		q, err := query.Compile(rep.sch, spec)
+		if err != nil {
+			return err
+		}
+		rs, w, err := s.RunQuery(req.Table, q)
+		if err != nil {
+			return err
+		}
+		resp := &wire.QueryResponse{Result: rs, VO: w}
+		return wire.WriteFrame(conn, wire.MsgQueryResp, resp.Encode())
+
+	default:
+		return errors.New("edge: unsupported message " + mt.String())
+	}
+}

@@ -1,0 +1,235 @@
+package edge
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"edgeauth/internal/central"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/vbtree"
+	"edgeauth/internal/verify"
+	"edgeauth/internal/vo"
+	"edgeauth/internal/wire"
+	"edgeauth/internal/workload"
+)
+
+var (
+	keyOnce sync.Once
+	testKey *sig.PrivateKey
+)
+
+func serverKey(t testing.TB) *sig.PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() { testKey = sig.MustGenerateKey(512) })
+	return testKey
+}
+
+// startCentral brings up a central server with one table on loopback.
+func startCentral(t *testing.T, rows int) (*central.Server, string) {
+	t.Helper()
+	srv, err := central.NewServerWithKey(central.Options{PageSize: 1024}, serverKey(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.DefaultSpec(rows)
+	sch, err := spec.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := spec.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddTable(sch, tuples); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return srv, ln.Addr().String()
+}
+
+func TestPullAndQueryLocally(t *testing.T) {
+	srv, addr := startCentral(t, 150)
+	eg := New(addr)
+	if err := eg.PullAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eg.Tables(); len(got) != 1 || got[0] != "items" {
+		t.Fatalf("Tables = %v", got)
+	}
+	lo, hi := schema.Int64(10), schema.Int64(29)
+	rs, w, err := eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Tuples) != 20 {
+		t.Fatalf("got %d tuples", len(rs.Tuples))
+	}
+	// The replica's answers verify against the central key.
+	sch, err := eg.Schema("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver := &verify.Verifier{
+		Key:    srv.PublicKey(),
+		Acc:    srv.Accumulator(),
+		Schema: sch,
+	}
+	if err := ver.Verify(rs, w); err != nil {
+		t.Fatalf("edge replica answer failed verification: %v", err)
+	}
+}
+
+func TestInstallSnapshotValidation(t *testing.T) {
+	if _, err := InstallSnapshot(&wire.Snapshot{PageSize: 8}); err == nil {
+		t.Fatal("tiny page size accepted")
+	}
+	srv, _ := startCentral(t, 30)
+	snap, err := srv.Snapshot("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt page length.
+	snap.PageData[0] = snap.PageData[0][:10]
+	if _, err := InstallSnapshot(snap); err == nil {
+		t.Fatal("short page accepted")
+	}
+}
+
+func TestReplicaIsolationFromCentral(t *testing.T) {
+	srv, addr := startCentral(t, 60)
+	eg := New(addr)
+	if err := eg.PullAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the central copy; the edge replica must be unaffected until
+	// it re-pulls (snapshot semantics, not shared state).
+	lo := schema.Int64(0)
+	hi := schema.Int64(9)
+	if _, err := srv.DeleteRange("items", &lo, &hi); err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Tuples) != 10 {
+		t.Fatalf("replica saw central's delete without a pull: %d tuples", len(rs.Tuples))
+	}
+	if err := eg.Pull("items"); err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err = eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Tuples) != 0 {
+		t.Fatalf("after pull, deleted tuples still visible: %d", len(rs.Tuples))
+	}
+}
+
+func TestUnknownTableErrors(t *testing.T) {
+	_, addr := startCentral(t, 10)
+	eg := New(addr)
+	if err := eg.Pull("ghost"); err == nil {
+		t.Fatal("pull of unknown table succeeded")
+	}
+	if _, _, err := eg.RunQuery("ghost", vbtree.Query{}); err == nil {
+		t.Fatal("query of unreplicated table succeeded")
+	}
+	if _, err := eg.Schema("ghost"); err == nil {
+		t.Fatal("schema of unreplicated table succeeded")
+	}
+}
+
+func TestUnreachableCentral(t *testing.T) {
+	eg := New("127.0.0.1:1") // nothing listens there
+	if err := eg.PullAll(); err == nil {
+		t.Fatal("PullAll against dead central succeeded")
+	}
+	if err := eg.Pull("items"); err == nil {
+		t.Fatal("Pull against dead central succeeded")
+	}
+}
+
+func TestTamperHookAppliesAndClears(t *testing.T) {
+	_, addr := startCentral(t, 80)
+	eg := New(addr)
+	if err := eg.PullAll(); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	eg.SetTamper(func(rs *vo.ResultSet, w *vo.VO) error {
+		calls++
+		return nil
+	})
+	lo, hi := schema.Int64(1), schema.Int64(5)
+	if _, _, err := eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("tamper hook called %d times", calls)
+	}
+	eg.SetTamper(nil)
+	if _, _, err := eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatal("cleared tamper hook still firing")
+	}
+}
+
+func TestServeProtocolDispatch(t *testing.T) {
+	_, addr := startCentral(t, 50)
+	eg := New(addr)
+	if err := eg.PullAll(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go eg.Serve(ln)
+	t.Cleanup(eg.Close)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// List tables.
+	if err := wire.WriteFrame(conn, wire.MsgListTablesReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	mt, body, err := wire.ReadFrame(conn)
+	if err != nil || mt != wire.MsgListTablesResp {
+		t.Fatalf("list: %v %v", mt, err)
+	}
+	names, err := wire.DecodeStringList(body)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("names = %v, %v", names, err)
+	}
+
+	// Unsupported message type gets an error frame, and the connection
+	// stays usable.
+	if err := wire.WriteFrame(conn, wire.MsgSnapshotReq, []byte("items")); err != nil {
+		t.Fatal(err)
+	}
+	mt, _, err = wire.ReadFrame(conn)
+	if err != nil || mt != wire.MsgError {
+		t.Fatalf("unsupported message: %v %v", mt, err)
+	}
+	if err := wire.WriteFrame(conn, wire.MsgListTablesReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	if mt, _, err = wire.ReadFrame(conn); err != nil || mt != wire.MsgListTablesResp {
+		t.Fatalf("connection unusable after error frame: %v %v", mt, err)
+	}
+}

@@ -1,0 +1,289 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func res(id uint64) Resource { return Resource{Space: "t", ID: id} }
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := NewManager(time.Second)
+	t1, t2 := m.Begin(), m.Begin()
+	if err := m.Acquire(t1, res(1), Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(t2, res(1), Shared); err != nil {
+		t.Fatalf("second shared lock blocked: %v", err)
+	}
+	h, q := m.Holders(res(1))
+	if h != 2 || q != 0 {
+		t.Fatalf("holders=%d queued=%d, want 2/0", h, q)
+	}
+}
+
+func TestExclusiveExcludes(t *testing.T) {
+	m := NewManager(50 * time.Millisecond)
+	t1, t2 := m.Begin(), m.Begin()
+	if err := m.Acquire(t1, res(1), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(t2, res(1), Shared); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("S under X: %v, want timeout", err)
+	}
+	if err := m.Acquire(t2, res(1), Exclusive); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("X under X: %v, want timeout", err)
+	}
+	// Different resource is free.
+	if err := m.Acquire(t2, res(2), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseWakesWaiter(t *testing.T) {
+	m := NewManager(2 * time.Second)
+	t1, t2 := m.Begin(), m.Begin()
+	if err := m.Acquire(t1, res(1), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(t2, res(1), Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Release(t1, res(1))
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestReentrantAcquire(t *testing.T) {
+	m := NewManager(50 * time.Millisecond)
+	t1 := m.Begin()
+	if err := m.Acquire(t1, res(1), Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(t1, res(1), Shared); err != nil {
+		t.Fatalf("re-acquire S: %v", err)
+	}
+	if err := m.Acquire(t1, res(1), Exclusive); err != nil {
+		t.Fatalf("upgrade S->X as sole holder: %v", err)
+	}
+	// X implies S.
+	if err := m.Acquire(t1, res(1), Shared); err != nil {
+		t.Fatalf("S while holding X: %v", err)
+	}
+	h, _ := m.Holders(res(1))
+	if h != 1 {
+		t.Fatalf("holders = %d, want 1", h)
+	}
+}
+
+func TestUpgradeBlockedByOtherReader(t *testing.T) {
+	m := NewManager(50 * time.Millisecond)
+	t1, t2 := m.Begin(), m.Begin()
+	if err := m.Acquire(t1, res(1), Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(t2, res(1), Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(t1, res(1), Exclusive); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("upgrade with co-reader: %v, want timeout", err)
+	}
+	// After the co-reader leaves, the upgrade succeeds.
+	m.Release(t2, res(1))
+	if err := m.Acquire(t1, res(1), Exclusive); err != nil {
+		t.Fatalf("upgrade after release: %v", err)
+	}
+}
+
+func TestUpgradeWakesAfterRelease(t *testing.T) {
+	m := NewManager(2 * time.Second)
+	t1, t2 := m.Begin(), m.Begin()
+	if err := m.Acquire(t1, res(1), Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(t2, res(1), Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(t1, res(1), Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Release(t2, res(1))
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("queued upgrade got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued upgrade never woke")
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	m := NewManager(time.Second)
+	t1, t2 := m.Begin(), m.Begin()
+	for i := uint64(1); i <= 5; i++ {
+		if err := m.Acquire(t1, res(i), Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.HeldBy(t1)); got != 5 {
+		t.Fatalf("HeldBy = %d, want 5", got)
+	}
+	m.ReleaseAll(t1)
+	if got := len(m.HeldBy(t1)); got != 0 {
+		t.Fatalf("HeldBy after ReleaseAll = %d", got)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if err := m.Acquire(t2, res(i), Exclusive); err != nil {
+			t.Fatalf("resource %d still locked: %v", i, err)
+		}
+	}
+}
+
+func TestAcquireManyRollsBackOnFailure(t *testing.T) {
+	m := NewManager(50 * time.Millisecond)
+	t1, t2 := m.Begin(), m.Begin()
+	if err := m.Acquire(t1, res(3), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	err := m.AcquireMany(t2, []Resource{res(1), res(2), res(3)}, Exclusive)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("AcquireMany: %v, want timeout", err)
+	}
+	// 1 and 2 must have been released.
+	if got := len(m.HeldBy(t2)); got != 0 {
+		t.Fatalf("t2 still holds %d locks after failed AcquireMany", got)
+	}
+	t3 := m.Begin()
+	if err := m.AcquireMany(t3, []Resource{res(1), res(2)}, Exclusive); err != nil {
+		t.Fatalf("resources leaked by rollback: %v", err)
+	}
+}
+
+func TestFIFOFairness(t *testing.T) {
+	// A queued X waiter must not be starved by later S requests.
+	m := NewManager(2 * time.Second)
+	t1, t2, t3 := m.Begin(), m.Begin(), m.Begin()
+	if err := m.Acquire(t1, res(1), Shared); err != nil {
+		t.Fatal(err)
+	}
+	xDone := make(chan struct{})
+	go func() {
+		if err := m.Acquire(t2, res(1), Exclusive); err == nil {
+			close(xDone)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the X waiter enqueue
+	sDone := make(chan struct{})
+	go func() {
+		if err := m.Acquire(t3, res(1), Shared); err == nil {
+			close(sDone)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-sDone:
+		t.Fatal("late S request jumped the queued X waiter")
+	default:
+	}
+	m.Release(t1, res(1))
+	<-xDone // X granted first
+	select {
+	case <-sDone:
+		t.Fatal("S granted while X held")
+	default:
+	}
+	m.Release(t2, res(1))
+	select {
+	case <-sDone:
+	case <-time.After(time.Second):
+		t.Fatal("S waiter never granted")
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := NewManager(5 * time.Second)
+	const goroutines = 16
+	const iterations = 200
+	var counter int64 // protected by resource 42's X lock
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				txn := m.Begin()
+				if err := m.Acquire(txn, res(42), Exclusive); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				v := atomic.LoadInt64(&counter)
+				atomic.StoreInt64(&counter, v+1)
+				m.ReleaseAll(txn)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iterations {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, goroutines*iterations)
+	}
+}
+
+func TestDisjointSubtreesProceedConcurrently(t *testing.T) {
+	// The paper's §3.4 property: a query whose enveloping subtree does not
+	// overlap a delete's path is not blocked.
+	m := NewManager(200 * time.Millisecond)
+	deleteTxn := m.Begin()
+	queryTxn := m.Begin()
+	// Delete X-locks pages 10..12 (its subtree).
+	if err := m.AcquireMany(deleteTxn, []Resource{res(10), res(11), res(12)}, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Query S-locks pages 20..22 (a disjoint subtree) without blocking.
+	start := time.Now()
+	if err := m.AcquireMany(queryTxn, []Resource{res(20), res(21), res(22)}, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("disjoint query was delayed by the delete")
+	}
+	// An overlapping query blocks until the delete finishes.
+	q2 := m.Begin()
+	blocked := make(chan error, 1)
+	go func() { blocked <- m.Acquire(q2, res(11), Shared) }()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(deleteTxn)
+	if err := <-blocked; err != nil {
+		t.Fatalf("overlapping query after delete release: %v", err)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	m := NewManager(time.Second)
+	t1 := m.Begin()
+	m.Release(t1, res(1)) // releasing an unheld lock is a no-op
+	m.ReleaseAll(t1)      // likewise
+	if err := m.Acquire(t1, res(1), Shared); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(t1, res(1))
+	m.Release(t1, res(1))
+}
+
+func TestModeAndResourceString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Fatal("Mode.String mismatch")
+	}
+	if res(7).String() != "t/7" {
+		t.Fatalf("Resource.String = %q", res(7).String())
+	}
+}

@@ -1,0 +1,272 @@
+package query
+
+import (
+	"testing"
+
+	"edgeauth/internal/schema"
+)
+
+func testSchema() *schema.Schema {
+	return &schema.Schema{
+		DB:    "db",
+		Table: "items",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TypeInt64},
+			{Name: "cat", Type: schema.TypeString},
+			{Name: "price", Type: schema.TypeFloat64},
+		},
+		Key: 0,
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := map[Op]string{OpEQ: "=", OpNE: "!=", OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v renders %q", want, op.String())
+		}
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op should render")
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		v    schema.Datum
+		want bool
+	}{
+		{Predicate{"id", OpEQ, schema.Int64(5)}, schema.Int64(5), true},
+		{Predicate{"id", OpEQ, schema.Int64(5)}, schema.Int64(6), false},
+		{Predicate{"id", OpNE, schema.Int64(5)}, schema.Int64(6), true},
+		{Predicate{"id", OpLT, schema.Int64(5)}, schema.Int64(4), true},
+		{Predicate{"id", OpLE, schema.Int64(5)}, schema.Int64(5), true},
+		{Predicate{"id", OpGT, schema.Int64(5)}, schema.Int64(5), false},
+		{Predicate{"id", OpGE, schema.Int64(5)}, schema.Int64(5), true},
+		{Predicate{"cat", OpEQ, schema.Str("x")}, schema.Str("x"), true},
+	}
+	for _, c := range cases {
+		if got := c.p.eval(c.v); got != c.want {
+			t.Errorf("%v on %v = %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompileKeyRange(t *testing.T) {
+	sch := testSchema()
+	q, err := Compile(sch, Spec{Predicates: []Predicate{
+		{"id", OpGE, schema.Int64(10)},
+		{"id", OpLE, schema.Int64(20)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Lo == nil || !q.Lo.Equal(schema.Int64(10)) {
+		t.Fatalf("Lo = %v", q.Lo)
+	}
+	if q.Hi == nil || !q.Hi.Equal(schema.Int64(20)) {
+		t.Fatalf("Hi = %v", q.Hi)
+	}
+	if q.Filter != nil {
+		t.Fatal("pure range should have no residual filter")
+	}
+}
+
+func TestCompileEquality(t *testing.T) {
+	sch := testSchema()
+	q, err := Compile(sch, Spec{Predicates: []Predicate{{"id", OpEQ, schema.Int64(7)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Lo == nil || q.Hi == nil || !q.Lo.Equal(*q.Hi) {
+		t.Fatalf("EQ should pin both bounds: lo=%v hi=%v", q.Lo, q.Hi)
+	}
+}
+
+func TestCompileStrictBoundsKeepResidual(t *testing.T) {
+	sch := testSchema()
+	q, err := Compile(sch, Spec{Predicates: []Predicate{
+		{"id", OpGT, schema.Int64(10)},
+		{"id", OpLT, schema.Int64(20)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Lo == nil || q.Hi == nil {
+		t.Fatal("strict bounds should still tighten the range")
+	}
+	if q.Filter == nil {
+		t.Fatal("strict bounds need a residual filter")
+	}
+	// Boundary values must be filtered out.
+	row10 := schema.NewTuple(schema.Int64(10), schema.Str("a"), schema.Float64(1))
+	row15 := schema.NewTuple(schema.Int64(15), schema.Str("a"), schema.Float64(1))
+	row20 := schema.NewTuple(schema.Int64(20), schema.Str("a"), schema.Float64(1))
+	if q.Filter(row10) || q.Filter(row20) {
+		t.Fatal("strict boundaries passed the filter")
+	}
+	if !q.Filter(row15) {
+		t.Fatal("interior value rejected")
+	}
+}
+
+func TestCompileTightestBounds(t *testing.T) {
+	sch := testSchema()
+	q, err := Compile(sch, Spec{Predicates: []Predicate{
+		{"id", OpGE, schema.Int64(5)},
+		{"id", OpGE, schema.Int64(15)}, // tighter
+		{"id", OpLE, schema.Int64(50)},
+		{"id", OpLE, schema.Int64(30)}, // tighter
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Lo.Equal(schema.Int64(15)) || !q.Hi.Equal(schema.Int64(30)) {
+		t.Fatalf("bounds = [%v,%v], want [15,30]", q.Lo, q.Hi)
+	}
+}
+
+func TestCompileNonKeyFilter(t *testing.T) {
+	sch := testSchema()
+	q, err := Compile(sch, Spec{
+		Predicates: []Predicate{
+			{"cat", OpEQ, schema.Str("tools")},
+			{"price", OpGT, schema.Float64(9.5)},
+		},
+		Project: []string{"id", "price"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Lo != nil || q.Hi != nil {
+		t.Fatal("non-key predicates must not bound the key range")
+	}
+	if q.Filter == nil {
+		t.Fatal("missing residual filter")
+	}
+	hit := schema.NewTuple(schema.Int64(1), schema.Str("tools"), schema.Float64(10))
+	miss1 := schema.NewTuple(schema.Int64(2), schema.Str("toys"), schema.Float64(10))
+	miss2 := schema.NewTuple(schema.Int64(3), schema.Str("tools"), schema.Float64(9.5))
+	if !q.Filter(hit) || q.Filter(miss1) || q.Filter(miss2) {
+		t.Fatal("residual filter misbehaves")
+	}
+	if len(q.Project) != 2 {
+		t.Fatalf("projection = %v", q.Project)
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	sch := testSchema()
+	if _, err := Compile(sch, Spec{Predicates: []Predicate{{"ghost", OpEQ, schema.Int64(1)}}}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := Compile(sch, Spec{Predicates: []Predicate{{"id", OpEQ, schema.Str("x")}}}); err == nil {
+		t.Fatal("type-mismatched predicate accepted")
+	}
+}
+
+func TestEvalAll(t *testing.T) {
+	sch := testSchema()
+	row := schema.NewTuple(schema.Int64(1), schema.Str("tools"), schema.Float64(10))
+	ok, err := EvalAll(sch, []Predicate{
+		{"cat", OpEQ, schema.Str("tools")},
+		{"price", OpLE, schema.Float64(10)},
+	}, row)
+	if err != nil || !ok {
+		t.Fatalf("EvalAll = %v, %v", ok, err)
+	}
+	ok, err = EvalAll(sch, []Predicate{{"cat", OpNE, schema.Str("tools")}}, row)
+	if err != nil || ok {
+		t.Fatalf("EvalAll NE = %v, %v", ok, err)
+	}
+	if _, err := EvalAll(sch, []Predicate{{"nope", OpEQ, schema.Int64(1)}}, row); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func usersSchema() *schema.Schema {
+	return &schema.Schema{
+		DB:    "db",
+		Table: "users",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TypeInt64},
+			{Name: "name", Type: schema.TypeString},
+		},
+		Key: 0,
+	}
+}
+
+func ordersSchema() *schema.Schema {
+	return &schema.Schema{
+		DB:    "db",
+		Table: "orders",
+		Columns: []schema.Column{
+			{Name: "oid", Type: schema.TypeInt64},
+			{Name: "user_id", Type: schema.TypeInt64},
+			{Name: "total", Type: schema.TypeFloat64},
+		},
+		Key: 0,
+	}
+}
+
+func TestMaterializeEquiJoin(t *testing.T) {
+	users := []schema.Tuple{
+		schema.NewTuple(schema.Int64(1), schema.Str("alice")),
+		schema.NewTuple(schema.Int64(2), schema.Str("bob")),
+		schema.NewTuple(schema.Int64(3), schema.Str("carol")),
+	}
+	orders := []schema.Tuple{
+		schema.NewTuple(schema.Int64(100), schema.Int64(1), schema.Float64(9.5)),
+		schema.NewTuple(schema.Int64(101), schema.Int64(2), schema.Float64(12)),
+		schema.NewTuple(schema.Int64(102), schema.Int64(1), schema.Float64(3.25)),
+		schema.NewTuple(schema.Int64(103), schema.Int64(9), schema.Float64(1)), // dangling
+	}
+	view, rows, err := MaterializeEquiJoin("user_orders", ordersSchema(), usersSchema(),
+		orders, users, "user_id", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Table != "user_orders" || view.KeyColumn().Name != "rowid" {
+		t.Fatalf("view identity: %+v", view)
+	}
+	// rowid + 3 order cols + 2 prefixed user cols.
+	if len(view.Columns) != 6 {
+		t.Fatalf("view columns = %v", view.Columns)
+	}
+	if view.ColumnIndex("users_name") < 0 {
+		t.Fatalf("right columns not prefixed: %v", view.Columns)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("join produced %d rows, want 3 (dangling order dropped)", len(rows))
+	}
+	// rowids sequential and unique.
+	for i, r := range rows {
+		if !r.Values[0].Equal(schema.Int64(int64(i))) {
+			t.Fatalf("rowid %d = %v", i, r.Values[0])
+		}
+		if len(r.Values) != 6 {
+			t.Fatalf("row %d has %d values", i, len(r.Values))
+		}
+	}
+	// Join semantics: order 100 matched alice.
+	if rows[0].Values[5].S != "alice" {
+		t.Fatalf("row 0 joined name = %v", rows[0].Values[5])
+	}
+}
+
+func TestMaterializeEquiJoinValidation(t *testing.T) {
+	u, o := usersSchema(), ordersSchema()
+	if _, _, err := MaterializeEquiJoin("", o, u, nil, nil, "user_id", "id"); err == nil {
+		t.Fatal("empty view name accepted")
+	}
+	if _, _, err := MaterializeEquiJoin("v", o, u, nil, nil, "ghost", "id"); err == nil {
+		t.Fatal("bad left column accepted")
+	}
+	if _, _, err := MaterializeEquiJoin("v", o, u, nil, nil, "user_id", "ghost"); err == nil {
+		t.Fatal("bad right column accepted")
+	}
+	if _, _, err := MaterializeEquiJoin("v", o, u, nil, nil, "total", "id"); err == nil {
+		t.Fatal("type-mismatched join accepted")
+	}
+}

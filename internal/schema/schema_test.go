@@ -1,0 +1,307 @@
+package schema
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return &Schema{
+		DB:    "testdb",
+		Table: "orders",
+		Columns: []Column{
+			{Name: "id", Type: TypeInt64},
+			{Name: "amount", Type: TypeFloat64},
+			{Name: "customer", Type: TypeString},
+			{Name: "blob", Type: TypeBytes},
+		},
+		Key: 0,
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := testSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Schema)
+	}{
+		{"empty db", func(s *Schema) { s.DB = "" }},
+		{"empty table", func(s *Schema) { s.Table = "" }},
+		{"no columns", func(s *Schema) { s.Columns = nil }},
+		{"empty column name", func(s *Schema) { s.Columns[1].Name = "" }},
+		{"duplicate column", func(s *Schema) { s.Columns[1].Name = "id" }},
+		{"bad type", func(s *Schema) { s.Columns[2].Type = TypeInvalid }},
+		{"key out of range", func(s *Schema) { s.Key = 9 }},
+		{"negative key", func(s *Schema) { s.Key = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := testSchema()
+			c.mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Fatal("invalid schema accepted")
+			}
+		})
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	s := testSchema()
+	if got := s.ColumnIndex("customer"); got != 2 {
+		t.Errorf("ColumnIndex(customer) = %d, want 2", got)
+	}
+	if got := s.ColumnIndex("nope"); got != -1 {
+		t.Errorf("ColumnIndex(nope) = %d, want -1", got)
+	}
+	if s.KeyColumn().Name != "id" {
+		t.Errorf("KeyColumn = %q, want id", s.KeyColumn().Name)
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := testSchema()
+	p, idx, err := s.Project([]string{"customer", "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Columns) != 2 || p.Columns[0].Name != "customer" || p.Columns[1].Name != "id" {
+		t.Fatalf("projected columns wrong: %+v", p.Columns)
+	}
+	if p.Key != 1 {
+		t.Errorf("projected key index = %d, want 1", p.Key)
+	}
+	if idx[0] != 2 || idx[1] != 0 {
+		t.Errorf("projection index map = %v", idx)
+	}
+
+	p2, _, err := s.Project([]string{"amount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Key != -1 {
+		t.Errorf("keyless projection Key = %d, want -1", p2.Key)
+	}
+	if _, _, err := s.Project([]string{"ghost"}); err == nil {
+		t.Fatal("projection of unknown column accepted")
+	}
+}
+
+func TestDatumCompare(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{Int64(1), Int64(2), -1},
+		{Int64(2), Int64(2), 0},
+		{Int64(3), Int64(2), 1},
+		{Int64(-5), Int64(5), -1},
+		{Float64(1.5), Float64(2.5), -1},
+		{Float64(-0.0), Float64(0.0), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Bytes([]byte{1}), Bytes([]byte{1, 0}), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched comparison")
+		}
+	}()
+	Int64(1).Compare(Str("1"))
+}
+
+func TestKeyEncodingOrderPreservingInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := Int64(a).KeyBytes()
+		kb := Int64(b).KeyBytes()
+		cmp := bytes.Compare(ka, kb)
+		want := Int64(a).Compare(Int64(b))
+		return cmp == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyEncodingOrderPreservingFloat(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := Float64(a).KeyBytes()
+		kb := Float64(b).KeyBytes()
+		cmp := bytes.Compare(ka, kb)
+		want := Float64(a).Compare(Float64(b))
+		// -0.0 and 0.0 compare equal but encode differently; accept
+		// either order for that single pair.
+		if a == b {
+			return true
+		}
+		return cmp == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Spot checks across sign/magnitude boundaries.
+	vals := []float64{math.Inf(-1), -1e300, -1, -1e-300, 0, 1e-300, 1, 1e300, math.Inf(1)}
+	for i := 0; i < len(vals)-1; i++ {
+		ka := Float64(vals[i]).KeyBytes()
+		kb := Float64(vals[i+1]).KeyBytes()
+		if bytes.Compare(ka, kb) >= 0 {
+			t.Errorf("key encoding not increasing between %v and %v", vals[i], vals[i+1])
+		}
+	}
+}
+
+func TestKeyEncodingOrderPreservingString(t *testing.T) {
+	f := func(a, b string) bool {
+		cmp := bytes.Compare(Str(a).KeyBytes(), Str(b).KeyBytes())
+		return cmp == Str(a).Compare(Str(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalTypeTagged(t *testing.T) {
+	a := Int64(3).CanonicalBytes()
+	b := Float64(3).CanonicalBytes()
+	if bytes.Equal(a, b) {
+		t.Fatal("int64(3) and float64(3) share a canonical encoding")
+	}
+	c := Str("abc").CanonicalBytes()
+	d := Bytes([]byte("abc")).CanonicalBytes()
+	if bytes.Equal(c, d) {
+		t.Fatal("string and bytes share a canonical encoding")
+	}
+}
+
+func TestDatumEncodeDecodeRoundTrip(t *testing.T) {
+	datums := []Datum{
+		Int64(0), Int64(-1), Int64(math.MaxInt64), Int64(math.MinInt64),
+		Float64(0), Float64(-math.Pi), Float64(math.MaxFloat64),
+		Str(""), Str("hello"), Str("unicode ✔"),
+		Bytes(nil), Bytes([]byte{0, 1, 2, 255}),
+	}
+	for _, d := range datums {
+		enc := d.Encode(nil)
+		if len(enc) != d.WireSize() {
+			t.Errorf("%v: encoded %d bytes, WireSize says %d", d, len(enc), d.WireSize())
+		}
+		got, n, err := DecodeDatum(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", d, err)
+		}
+		if n != len(enc) {
+			t.Errorf("%v: consumed %d of %d bytes", d, n, len(enc))
+		}
+		if !got.Equal(d) {
+			t.Errorf("round trip: got %v, want %v", got, d)
+		}
+	}
+}
+
+func TestDecodeDatumRejectsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"unknown type":     {0x7F},
+		"short int":        {byte(TypeInt64), 1, 2},
+		"short header":     {byte(TypeString), 0, 0},
+		"short payload":    {byte(TypeString), 0, 0, 0, 5, 'a'},
+		"short bytes hdr":  {byte(TypeBytes), 0},
+		"invalid type tag": {byte(TypeInvalid)},
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := DecodeDatum(data); err == nil {
+				t.Fatal("corrupt datum accepted")
+			}
+		})
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	tup := NewTuple(Int64(42), Float64(9.75), Str("alice"), Bytes([]byte{9, 9}))
+	enc := tup.EncodeBytes()
+	if len(enc) != tup.WireSize() {
+		t.Errorf("encoded %d bytes, WireSize says %d", len(enc), tup.WireSize())
+	}
+	got, n, err := DecodeTuple(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Errorf("consumed %d of %d", n, len(enc))
+	}
+	if len(got.Values) != 4 {
+		t.Fatalf("got %d values", len(got.Values))
+	}
+	for i := range tup.Values {
+		if !got.Values[i].Equal(tup.Values[i]) {
+			t.Errorf("value %d: got %v, want %v", i, got.Values[i], tup.Values[i])
+		}
+	}
+}
+
+func TestDecodeTupleRejectsCorrupt(t *testing.T) {
+	tup := NewTuple(Int64(1), Str("x"))
+	enc := tup.EncodeBytes()
+	if _, _, err := DecodeTuple(enc[:1]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, _, err := DecodeTuple(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestTupleKeyAndClone(t *testing.T) {
+	s := testSchema()
+	tup := NewTuple(Int64(7), Float64(1), Str("bob"), Bytes([]byte{1, 2}))
+	if k := tup.Key(s); !k.Equal(Int64(7)) {
+		t.Fatalf("Key = %v, want 7", k)
+	}
+	c := tup.Clone()
+	c.Values[3].B[0] = 99
+	if tup.Values[3].B[0] == 99 {
+		t.Fatal("Clone shares bytes storage")
+	}
+}
+
+func TestDatumStringRendering(t *testing.T) {
+	if got := Int64(-3).String(); got != "-3" {
+		t.Errorf("Int64 render = %q", got)
+	}
+	if got := Str("a").String(); got != `"a"` {
+		t.Errorf("Str render = %q", got)
+	}
+	if got := Bytes([]byte{0xAB}).String(); got != "0xab" {
+		t.Errorf("Bytes render = %q", got)
+	}
+	if got := (Datum{}).String(); got != "<invalid>" {
+		t.Errorf("invalid render = %q", got)
+	}
+	tup := NewTuple(Int64(1), Str("x"))
+	if got := tup.String(); got != `(1, "x")` {
+		t.Errorf("tuple render = %q", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeInt64.String() != "int64" || TypeBytes.String() != "bytes" {
+		t.Error("Type.String mismatch")
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type should render")
+	}
+}

@@ -1,0 +1,84 @@
+package sig
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Wire format of a public key:
+//
+//	u32 version | i64 notBefore | i64 notAfter |
+//	u32 len(N) | N bytes | u32 len(E) | E bytes
+//
+// Big-endian throughout, matching the rest of the repository's codecs.
+
+// MarshalBinary encodes the public key for distribution to clients.
+func (p *PublicKey) MarshalBinary() ([]byte, error) {
+	if p.N == nil || p.E == nil {
+		return nil, errors.New("sig: cannot marshal incomplete public key")
+	}
+	nb := p.N.Bytes()
+	eb := p.E.Bytes()
+	out := make([]byte, 0, 4+8+8+4+len(nb)+4+len(eb))
+	var b8 [8]byte
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], p.Version)
+	out = append(out, b4[:]...)
+	binary.BigEndian.PutUint64(b8[:], uint64(p.NotBefore))
+	out = append(out, b8[:]...)
+	binary.BigEndian.PutUint64(b8[:], uint64(p.NotAfter))
+	out = append(out, b8[:]...)
+	binary.BigEndian.PutUint32(b4[:], uint32(len(nb)))
+	out = append(out, b4[:]...)
+	out = append(out, nb...)
+	binary.BigEndian.PutUint32(b4[:], uint32(len(eb)))
+	out = append(out, b4[:]...)
+	out = append(out, eb...)
+	return out, nil
+}
+
+// UnmarshalBinary decodes a public key produced by MarshalBinary.
+func (p *PublicKey) UnmarshalBinary(data []byte) error {
+	const fixed = 4 + 8 + 8
+	if len(data) < fixed+4 {
+		return errors.New("sig: public key blob truncated")
+	}
+	p.Version = binary.BigEndian.Uint32(data[0:4])
+	p.NotBefore = int64(binary.BigEndian.Uint64(data[4:12]))
+	p.NotAfter = int64(binary.BigEndian.Uint64(data[12:20]))
+	off := fixed
+	readBig := func() (*big.Int, error) {
+		if off+4 > len(data) {
+			return nil, errors.New("sig: public key blob truncated")
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		off += 4
+		if n < 0 || off+n > len(data) {
+			return nil, errors.New("sig: public key blob truncated")
+		}
+		v := new(big.Int).SetBytes(data[off : off+n])
+		off += n
+		return v, nil
+	}
+	n, err := readBig()
+	if err != nil {
+		return err
+	}
+	e, err := readBig()
+	if err != nil {
+		return err
+	}
+	if off != len(data) {
+		return fmt.Errorf("sig: %d trailing bytes in public key blob", len(data)-off)
+	}
+	if n.BitLen() < MinBits {
+		return fmt.Errorf("sig: unmarshaled modulus too small (%d bits)", n.BitLen())
+	}
+	if e.Sign() <= 0 {
+		return errors.New("sig: unmarshaled exponent not positive")
+	}
+	p.N, p.E = n, e
+	return nil
+}

@@ -1,0 +1,295 @@
+// Package sig implements the digital-signature scheme s / s⁻¹ of the
+// VB-tree paper: signing with the central DBMS's private key, and
+// *recovery* of the signed payload with the public key.
+//
+// The paper's verification protocol (formulas (1)–(5)) requires signatures
+// with message recovery — the client "decrypts" each signed digest with the
+// public key to obtain the unsigned digest, then combines the recovered
+// digests with the commutative hash. We therefore implement RSA directly on
+// math/big with deterministic PKCS#1 v1.5-style type-01 padding, so that
+//
+//	Recover(Sign(d)) = d
+//
+// holds exactly and the recovered payload's padding structure is checked on
+// the way out. Signing uses the Chinese Remainder Theorem for speed; the
+// paper notes (citing Rivest & Shamir) that signature generation is ~10000×
+// and verification ~100× the cost of a hash — the VB-tree's whole point is
+// to keep the number of recoveries small at the client.
+//
+// Key generation is self-contained (crypto/rand.Prime) so the key size is
+// fully configurable: small keys for unit tests and cost benches, larger
+// keys for a hardened profile.
+package sig
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"edgeauth/internal/digest"
+)
+
+// DefaultBits is the default RSA modulus size. 1024 bits reproduces the
+// era of the paper (2004); tests and benchmarks may use smaller keys.
+const DefaultBits = 1024
+
+// MinBits is the smallest modulus this package will generate. It exists to
+// keep padding workable (k ≥ payload + 11), not as a security floor.
+const MinBits = 256
+
+var (
+	// ErrBadSignature is returned when a signature fails structural
+	// validation during recovery (wrong length, bad padding, value ≥ N).
+	ErrBadSignature = errors.New("sig: invalid signature")
+	// ErrPayloadTooLong is returned when the payload cannot fit the
+	// modulus with minimum padding.
+	ErrPayloadTooLong = errors.New("sig: payload too long for modulus")
+)
+
+// Signature is the raw big-endian RSA signature, always exactly the
+// modulus length of the signing key.
+type Signature []byte
+
+// Clone returns an independent copy of s.
+func (s Signature) Clone() Signature {
+	c := make(Signature, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports byte equality.
+func (s Signature) Equal(o Signature) bool { return bytes.Equal(s, o) }
+
+// PublicKey verifies/recovers signatures. Version and the validity window
+// implement the paper's §3.4 key-rotation scheme for delayed update
+// broadcast: edge servers cannot masquerade stale data signed under an
+// expired key, because clients check the key version's validity period.
+type PublicKey struct {
+	N *big.Int // modulus
+	E *big.Int // public exponent
+
+	// Version identifies the key generation; bumped when the central
+	// server rotates keys after propagating updates.
+	Version uint32
+	// NotBefore/NotAfter bound the validity period (Unix seconds).
+	// Zero values mean unbounded.
+	NotBefore int64
+	NotAfter  int64
+
+	// Counters, when non-nil, has RecoverOps bumped on every Recover —
+	// the Cost_s accounting of the paper's §4.3.
+	Counters *digest.Counters
+}
+
+// Len returns the signature length in bytes (the modulus length).
+func (p *PublicKey) Len() int { return (p.N.BitLen() + 7) / 8 }
+
+// ValidAt reports whether the key's validity window covers the given Unix
+// time.
+func (p *PublicKey) ValidAt(unix int64) bool {
+	if p.NotBefore != 0 && unix < p.NotBefore {
+		return false
+	}
+	if p.NotAfter != 0 && unix > p.NotAfter {
+		return false
+	}
+	return true
+}
+
+// PrivateKey signs digests. It retains CRT precomputation for fast signing.
+type PrivateKey struct {
+	pub  PublicKey
+	d    *big.Int // private exponent
+	p, q *big.Int // prime factors
+	dp   *big.Int // d mod (p-1)
+	dq   *big.Int // d mod (q-1)
+	qinv *big.Int // q⁻¹ mod p
+}
+
+// Public returns the public half of the key. The returned value shares the
+// modulus but carries its own Counters slot.
+func (k *PrivateKey) Public() *PublicKey {
+	p := k.pub
+	return &p
+}
+
+// Len returns the signature length in bytes.
+func (k *PrivateKey) Len() int { return k.pub.Len() }
+
+// SetValidity stamps the key pair's version and validity window (paper
+// §3.4: "the central server can include the timestamp or version number in
+// its public key").
+func (k *PrivateKey) SetValidity(version uint32, notBefore, notAfter int64) {
+	k.pub.Version = version
+	k.pub.NotBefore = notBefore
+	k.pub.NotAfter = notAfter
+}
+
+// GenerateKey creates a fresh RSA key pair with the given modulus size.
+func GenerateKey(bits int) (*PrivateKey, error) {
+	if bits < MinBits {
+		return nil, fmt.Errorf("sig: key size %d below minimum %d", bits, MinBits)
+	}
+	e := big.NewInt(65537)
+	one := big.NewInt(1)
+	for {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("sig: generating prime: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("sig: generating prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		phi := new(big.Int).Mul(pm1, qm1)
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			continue // e not coprime to phi; re-draw primes
+		}
+		k := &PrivateKey{
+			pub:  PublicKey{N: n, E: new(big.Int).Set(e)},
+			d:    d,
+			p:    p,
+			q:    q,
+			dp:   new(big.Int).Mod(d, pm1),
+			dq:   new(big.Int).Mod(d, qm1),
+			qinv: new(big.Int).ModInverse(q, p),
+		}
+		if k.qinv == nil {
+			continue
+		}
+		return k, nil
+	}
+}
+
+// MustGenerateKey is GenerateKey panicking on error, for tests and tools.
+func MustGenerateKey(bits int) *PrivateKey {
+	k, err := GenerateKey(bits)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// pad builds the deterministic type-01 encoding
+//
+//	0x00 0x01 0xFF…0xFF 0x00 payload
+//
+// of exactly k bytes. At least 8 bytes of 0xFF are required, mirroring
+// PKCS#1 v1.5.
+func pad(payload []byte, k int) ([]byte, error) {
+	if len(payload) > k-11 {
+		return nil, ErrPayloadTooLong
+	}
+	em := make([]byte, k)
+	em[0] = 0x00
+	em[1] = 0x01
+	ffEnd := k - len(payload) - 1
+	for i := 2; i < ffEnd; i++ {
+		em[i] = 0xFF
+	}
+	em[ffEnd] = 0x00
+	copy(em[ffEnd+1:], payload)
+	return em, nil
+}
+
+// unpad validates the type-01 structure and extracts the payload.
+func unpad(em []byte) ([]byte, error) {
+	if len(em) < 11 || em[0] != 0x00 || em[1] != 0x01 {
+		return nil, ErrBadSignature
+	}
+	i := 2
+	for i < len(em) && em[i] == 0xFF {
+		i++
+	}
+	if i < 2+8 || i >= len(em) || em[i] != 0x00 {
+		return nil, ErrBadSignature
+	}
+	return em[i+1:], nil
+}
+
+// Sign produces the signature s(payload) = pad(payload)^d mod N.
+// The payload is normally an unsigned digest (digest.Value).
+func (k *PrivateKey) Sign(payload []byte) (Signature, error) {
+	em, err := pad(payload, k.Len())
+	if err != nil {
+		return nil, err
+	}
+	m := new(big.Int).SetBytes(em)
+	c := k.crtExp(m)
+	out := make(Signature, k.Len())
+	c.FillBytes(out)
+	return out, nil
+}
+
+// MustSign is Sign panicking on error, for contexts where the payload
+// length is known valid.
+func (k *PrivateKey) MustSign(payload []byte) Signature {
+	s, err := k.Sign(payload)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// crtExp computes m^d mod N with the Chinese Remainder Theorem.
+func (k *PrivateKey) crtExp(m *big.Int) *big.Int {
+	m1 := new(big.Int).Exp(m, k.dp, k.p)
+	m2 := new(big.Int).Exp(m, k.dq, k.q)
+	h := new(big.Int).Sub(m1, m2)
+	h.Mul(h, k.qinv)
+	h.Mod(h, k.p)
+	res := new(big.Int).Mul(h, k.q)
+	res.Add(res, m2)
+	return res
+}
+
+// Recover implements s⁻¹: it raises the signature to the public exponent,
+// validates the padding structure, and returns the embedded payload. Any
+// tampering with the signature bytes invalidates the padding with
+// overwhelming probability and yields ErrBadSignature.
+func (p *PublicKey) Recover(s Signature) ([]byte, error) {
+	if p.Counters != nil {
+		p.Counters.RecoverOps.Add(1)
+	}
+	if len(s) != p.Len() {
+		return nil, ErrBadSignature
+	}
+	c := new(big.Int).SetBytes(s)
+	if c.Cmp(p.N) >= 0 {
+		return nil, ErrBadSignature
+	}
+	m := c.Exp(c, p.E, p.N)
+	em := make([]byte, p.Len())
+	m.FillBytes(em)
+	payload, err := unpad(em)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+// Verify checks that s recovers exactly to want.
+func (p *PublicKey) Verify(s Signature, want []byte) error {
+	got, err := p.Recover(s)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return ErrBadSignature
+	}
+	return nil
+}

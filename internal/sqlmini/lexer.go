@@ -1,0 +1,120 @@
+// Package sqlmini implements a small SQL subset for driving the
+// authenticated query system from the CLI and examples:
+//
+//	SELECT col, … | * FROM table [WHERE col OP literal [AND …]]
+//	INSERT INTO table VALUES (literal, …)
+//	DELETE FROM table [WHERE …]
+//
+// OP is one of = != <> < <= > >=. Literals are integers, decimals and
+// single-quoted strings (” escapes a quote). Keywords are
+// case-insensitive; identifiers are [A-Za-z_][A-Za-z0-9_]*.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlmini: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			i++
+			seenDot := false
+			for i < len(input) {
+				d := input[i]
+				if d == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				if !unicode.IsDigit(rune(d)) {
+					break
+				}
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[start:i], pos: start})
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < len(input) {
+				two := input[i : i+2]
+				switch two {
+				case "<=", ">=", "!=", "<>":
+					toks = append(toks, token{kind: tokSymbol, text: two, pos: start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '=', '<', '>', ',', '(', ')', '*', ';':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlmini: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}

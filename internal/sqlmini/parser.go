@@ -1,0 +1,361 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"edgeauth/internal/query"
+	"edgeauth/internal/schema"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is SELECT cols FROM table WHERE preds.
+type SelectStmt struct {
+	// Columns is nil for SELECT *.
+	Columns []string
+	Table   string
+	Where   []query.Predicate
+}
+
+// InsertStmt is INSERT INTO table VALUES (…).
+type InsertStmt struct {
+	Table  string
+	Values []schema.Datum
+}
+
+// DeleteStmt is DELETE FROM table WHERE preds.
+type DeleteStmt struct {
+	Table string
+	Where []query.Predicate
+}
+
+func (*SelectStmt) stmt() {}
+func (*InsertStmt) stmt() {}
+func (*DeleteStmt) stmt() {}
+
+// Parse parses one statement (an optional trailing semicolon is allowed).
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlmini: unexpected %s after statement", p.peek())
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// acceptKeyword consumes an identifier equal (case-insensitively) to kw.
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sqlmini: expected %s, got %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return fmt.Errorf("sqlmini: expected %q, got %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlmini: expected identifier, got %s", t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.acceptKeyword("select"):
+		return p.selectStmt()
+	case p.acceptKeyword("insert"):
+		return p.insertStmt()
+	case p.acceptKeyword("delete"):
+		return p.deleteStmt()
+	default:
+		return nil, fmt.Errorf("sqlmini: expected SELECT, INSERT or DELETE, got %s", p.peek())
+	}
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	st := &SelectStmt{}
+	if p.acceptSymbol("*") {
+		st.Columns = nil
+	} else {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = tbl
+	where, err := p.whereClause()
+	if err != nil {
+		return nil, err
+	}
+	st.Where = where
+	return st, nil
+}
+
+func (p *parser) insertStmt() (Statement, error) {
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: tbl}
+	for {
+		d, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		st.Values = append(st.Values, d)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.whereClause()
+	if err != nil {
+		return nil, err
+	}
+	return &DeleteStmt{Table: tbl, Where: where}, nil
+}
+
+func (p *parser) whereClause() ([]query.Predicate, error) {
+	if !p.acceptKeyword("where") {
+		return nil, nil
+	}
+	var preds []query.Predicate
+	for {
+		prs, err := p.whereTerm()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, prs...)
+		if !p.acceptKeyword("and") {
+			break
+		}
+	}
+	return preds, nil
+}
+
+func (p *parser) whereTerm() ([]query.Predicate, error) {
+	// Lookahead for "col BETWEEN lo AND hi", which expands to two
+	// predicates; otherwise parse a plain comparison.
+	save := p.i
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("between") {
+		lo, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return []query.Predicate{
+			{Column: col, Op: query.OpGE, Value: lo},
+			{Column: col, Op: query.OpLE, Value: hi},
+		}, nil
+	}
+	p.i = save
+	pr, err := p.predicate()
+	if err != nil {
+		return nil, err
+	}
+	return []query.Predicate{pr}, nil
+}
+
+func (p *parser) predicate() (query.Predicate, error) {
+	col, err := p.expectIdent()
+	if err != nil {
+		return query.Predicate{}, err
+	}
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return query.Predicate{}, fmt.Errorf("sqlmini: expected comparison operator, got %s", t)
+	}
+	var op query.Op
+	switch t.text {
+	case "=":
+		op = query.OpEQ
+	case "!=", "<>":
+		op = query.OpNE
+	case "<":
+		op = query.OpLT
+	case "<=":
+		op = query.OpLE
+	case ">":
+		op = query.OpGT
+	case ">=":
+		op = query.OpGE
+	default:
+		return query.Predicate{}, fmt.Errorf("sqlmini: unknown operator %q", t.text)
+	}
+	p.next()
+	val, err := p.literal()
+	if err != nil {
+		return query.Predicate{}, err
+	}
+	return query.Predicate{Column: col, Op: op, Value: val}, nil
+}
+
+func (p *parser) literal() (schema.Datum, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return schema.Str(t.text), nil
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return schema.Datum{}, fmt.Errorf("sqlmini: bad float literal %q", t.text)
+			}
+			return schema.Float64(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return schema.Datum{}, fmt.Errorf("sqlmini: bad integer literal %q", t.text)
+		}
+		return schema.Int64(n), nil
+	default:
+		return schema.Datum{}, fmt.Errorf("sqlmini: expected literal, got %s", t)
+	}
+}
+
+// BindPredicates coerces predicate literal types against a schema (int64
+// literals are widened to float64 where the column is float64) and
+// validates column names. It returns the adjusted predicates.
+func BindPredicates(sch *schema.Schema, preds []query.Predicate) ([]query.Predicate, error) {
+	out := make([]query.Predicate, len(preds))
+	for i, p := range preds {
+		ci := sch.ColumnIndex(p.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqlmini: unknown column %q", p.Column)
+		}
+		want := sch.Columns[ci].Type
+		if p.Value.Type == schema.TypeInt64 && want == schema.TypeFloat64 {
+			p.Value = schema.Float64(float64(p.Value.I))
+		}
+		if p.Value.Type != want {
+			return nil, fmt.Errorf("sqlmini: column %q is %v but literal is %v", p.Column, want, p.Value.Type)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// BindValues coerces an INSERT's literal list to a schema-typed tuple.
+func BindValues(sch *schema.Schema, vals []schema.Datum) (schema.Tuple, error) {
+	if len(vals) != len(sch.Columns) {
+		return schema.Tuple{}, fmt.Errorf("sqlmini: %d values for %d columns", len(vals), len(sch.Columns))
+	}
+	out := make([]schema.Datum, len(vals))
+	for i, v := range vals {
+		want := sch.Columns[i].Type
+		if v.Type == schema.TypeInt64 && want == schema.TypeFloat64 {
+			v = schema.Float64(float64(v.I))
+		}
+		if v.Type == schema.TypeString && want == schema.TypeBytes {
+			v = schema.Bytes([]byte(v.S))
+		}
+		if v.Type != want {
+			return schema.Tuple{}, fmt.Errorf("sqlmini: column %q is %v but value is %v",
+				sch.Columns[i].Name, want, v.Type)
+		}
+		out[i] = v
+	}
+	return schema.Tuple{Values: out}, nil
+}

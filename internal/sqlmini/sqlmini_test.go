@@ -1,0 +1,241 @@
+package sqlmini
+
+import (
+	"testing"
+
+	"edgeauth/internal/query"
+	"edgeauth/internal/schema"
+)
+
+func TestParseSelectStar(t *testing.T) {
+	st, err := Parse("SELECT * FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if sel.Columns != nil || sel.Table != "items" || sel.Where != nil {
+		t.Fatalf("parsed: %+v", sel)
+	}
+}
+
+func TestParseSelectColumnsAndWhere(t *testing.T) {
+	st, err := Parse("select id, cat FROM items WHERE id >= 10 AND id <= 20 AND cat = 'tools'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	if len(sel.Columns) != 2 || sel.Columns[1] != "cat" {
+		t.Fatalf("columns = %v", sel.Columns)
+	}
+	if len(sel.Where) != 3 {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	if sel.Where[0].Op != query.OpGE || !sel.Where[0].Value.Equal(schema.Int64(10)) {
+		t.Fatalf("pred 0 = %v", sel.Where[0])
+	}
+	if sel.Where[2].Column != "cat" || !sel.Where[2].Value.Equal(schema.Str("tools")) {
+		t.Fatalf("pred 2 = %v", sel.Where[2])
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	ops := map[string]query.Op{
+		"=": query.OpEQ, "!=": query.OpNE, "<>": query.OpNE,
+		"<": query.OpLT, "<=": query.OpLE, ">": query.OpGT, ">=": query.OpGE,
+	}
+	for sym, want := range ops {
+		st, err := Parse("SELECT * FROM t WHERE x " + sym + " 5")
+		if err != nil {
+			t.Fatalf("%s: %v", sym, err)
+		}
+		got := st.(*SelectStmt).Where[0].Op
+		if got != want {
+			t.Errorf("%s parsed as %v, want %v", sym, got, want)
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	st, err := Parse("INSERT INTO t VALUES (42, -7, 3.5, 'it''s here')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	want := []schema.Datum{
+		schema.Int64(42), schema.Int64(-7), schema.Float64(3.5), schema.Str("it's here"),
+	}
+	if len(ins.Values) != len(want) {
+		t.Fatalf("values = %v", ins.Values)
+	}
+	for i := range want {
+		if !ins.Values[i].Equal(want[i]) {
+			t.Errorf("value %d = %v, want %v", i, ins.Values[i], want[i])
+		}
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st, err := Parse("DELETE FROM items WHERE id >= 5 AND id <= 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := st.(*DeleteStmt)
+	if del.Table != "items" || len(del.Where) != 2 {
+		t.Fatalf("parsed: %+v", del)
+	}
+	// Unconditional delete parses too.
+	st2, err := Parse("DELETE FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.(*DeleteStmt).Where != nil {
+		t.Fatal("phantom where clause")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE x",
+		"SELECT FROM x",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE x",
+		"SELECT * FROM t WHERE x ==",
+		"SELECT * FROM t WHERE x = ",
+		"SELECT * FROM t extra",
+		"INSERT INTO t VALUES 1",
+		"INSERT INTO t VALUES (1",
+		"INSERT t VALUES (1)",
+		"SELECT * FROM t WHERE x = 'unterminated",
+		"SELECT * FROM t WHERE x = 5 AND",
+		"SELECT a,, b FROM t",
+		"SELECT * FROM t WHERE x @ 5",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted: %q", q)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("sElEcT * fRoM t wHeRe x = 1 AnD y = 2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testSchema() *schema.Schema {
+	return &schema.Schema{
+		DB:    "db",
+		Table: "t",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TypeInt64},
+			{Name: "price", Type: schema.TypeFloat64},
+			{Name: "name", Type: schema.TypeString},
+			{Name: "blob", Type: schema.TypeBytes},
+		},
+		Key: 0,
+	}
+}
+
+func TestBindPredicates(t *testing.T) {
+	sch := testSchema()
+	preds := []query.Predicate{
+		{Column: "price", Op: query.OpGT, Value: schema.Int64(5)}, // widened
+		{Column: "id", Op: query.OpEQ, Value: schema.Int64(1)},
+	}
+	bound, err := BindPredicates(sch, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound[0].Value.Type != schema.TypeFloat64 || bound[0].Value.F != 5 {
+		t.Fatalf("widening failed: %v", bound[0].Value)
+	}
+	if _, err := BindPredicates(sch, []query.Predicate{{Column: "ghost", Op: query.OpEQ, Value: schema.Int64(1)}}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := BindPredicates(sch, []query.Predicate{{Column: "id", Op: query.OpEQ, Value: schema.Str("x")}}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestBindValues(t *testing.T) {
+	sch := testSchema()
+	tup, err := BindValues(sch, []schema.Datum{
+		schema.Int64(1), schema.Int64(10), schema.Str("n"), schema.Str("payload"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tup.Values[1].Type != schema.TypeFloat64 {
+		t.Fatal("int not widened to float")
+	}
+	if tup.Values[3].Type != schema.TypeBytes {
+		t.Fatal("string not coerced to bytes")
+	}
+	if _, err := BindValues(sch, []schema.Datum{schema.Int64(1)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := BindValues(sch, []schema.Datum{
+		schema.Str("x"), schema.Int64(1), schema.Str("n"), schema.Str("b"),
+	}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	toks, err := lex("a<=b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 || toks[1].text != "<=" {
+		t.Fatalf("tokens: %+v", toks)
+	}
+	if _, err := lex("price = 3.5.1"); err != nil {
+		// "3.5.1" lexes as number 3.5 then symbol error on '.'; either way
+		// the parser rejects it — but the lexer must not panic.
+		t.Logf("lex error (acceptable): %v", err)
+	}
+	if _, err := lex("#"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	st, err := Parse("SELECT * FROM items WHERE id BETWEEN 10 AND 20 AND cat = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	if len(sel.Where) != 3 {
+		t.Fatalf("BETWEEN expanded to %d predicates: %v", len(sel.Where), sel.Where)
+	}
+	if sel.Where[0].Op != query.OpGE || !sel.Where[0].Value.Equal(schema.Int64(10)) {
+		t.Fatalf("lo predicate = %v", sel.Where[0])
+	}
+	if sel.Where[1].Op != query.OpLE || !sel.Where[1].Value.Equal(schema.Int64(20)) {
+		t.Fatalf("hi predicate = %v", sel.Where[1])
+	}
+	if sel.Where[2].Column != "cat" {
+		t.Fatalf("trailing predicate = %v", sel.Where[2])
+	}
+	// Malformed BETWEEN forms are rejected.
+	for _, q := range []string{
+		"SELECT * FROM t WHERE x BETWEEN 1",
+		"SELECT * FROM t WHERE x BETWEEN 1 AND",
+		"SELECT * FROM t WHERE x BETWEEN AND 2",
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted %q", q)
+		}
+	}
+	// A column literally named "between" would be ambiguous; the keyword
+	// wins, which the delete path also exercises.
+	if _, err := Parse("DELETE FROM t WHERE id BETWEEN 5 AND 9"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+package storage
+
+import "os"
+
+// osWriteFile is indirected for test use without importing os in the main
+// test file's namespace twice.
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

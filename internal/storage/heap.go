@@ -1,0 +1,288 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RecordID locates a tuple in a heap file: page and slot.
+type RecordID struct {
+	Page PageID
+	Slot uint16
+}
+
+// IsValid reports whether the RecordID refers to a real page.
+func (r RecordID) IsValid() bool { return r.Page != InvalidPageID }
+
+// Encode appends the 6-byte wire form.
+func (r RecordID) Encode(dst []byte) []byte {
+	var b [6]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(r.Page))
+	binary.BigEndian.PutUint16(b[4:6], r.Slot)
+	return append(dst, b[:]...)
+}
+
+// DecodeRecordID parses a 6-byte RecordID.
+func DecodeRecordID(data []byte) (RecordID, error) {
+	if len(data) < 6 {
+		return RecordID{}, errors.New("storage: truncated record id")
+	}
+	return RecordID{
+		Page: PageID(binary.BigEndian.Uint32(data[0:4])),
+		Slot: binary.BigEndian.Uint16(data[4:6]),
+	}, nil
+}
+
+func (r RecordID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// HeapFile stores variable-length records in slotted pages linked by
+// allocation order. It tracks the last page with free space for appends;
+// records never move once inserted, so RecordIDs are stable.
+//
+// Records larger than a page spill into chained overflow pages: the slot
+// cell holds a one-byte tag, and oversized records store a descriptor
+// (total length + first overflow page) whose payload is reassembled on
+// Get. Overflow pages are dedicated to a single record.
+type HeapFile struct {
+	bp      *BufferPool
+	pages   []PageID // slotted heap pages, in allocation order
+	current PageID   // page currently receiving inserts
+}
+
+// Record cell layout: tag(1) | payload. Inline records carry the payload
+// directly; overflow records carry totalLen(4) | firstOverflowPage(4).
+const (
+	recInline   = 0x00
+	recOverflow = 0x01
+)
+
+// Overflow page layout: type(1) | next(4) | chunkLen(2) | chunk.
+const overflowHeader = 1 + 4 + 2
+
+// NewHeapFile creates an empty heap over the buffer pool.
+func NewHeapFile(bp *BufferPool) (*HeapFile, error) {
+	f, err := bp.NewPage(PageHeap)
+	if err != nil {
+		return nil, err
+	}
+	id := f.ID()
+	bp.Unpin(f, true)
+	return &HeapFile{bp: bp, pages: []PageID{id}, current: id}, nil
+}
+
+// OpenHeapFile reattaches to heap pages recorded elsewhere (e.g. in pager
+// metadata).
+func OpenHeapFile(bp *BufferPool, pages []PageID) (*HeapFile, error) {
+	if len(pages) == 0 {
+		return nil, errors.New("storage: heap requires at least one page")
+	}
+	cp := append([]PageID(nil), pages...)
+	return &HeapFile{bp: bp, pages: cp, current: cp[len(cp)-1]}, nil
+}
+
+// Pages returns the heap's page ids in allocation order.
+func (h *HeapFile) Pages() []PageID { return append([]PageID(nil), h.pages...) }
+
+// Insert stores a record and returns its id.
+func (h *HeapFile) Insert(rec []byte) (RecordID, error) {
+	inlineMax := h.bp.PageSize() - pageHeaderSize - slotSize - 1
+	var cell []byte
+	if len(rec) <= inlineMax {
+		cell = make([]byte, 1+len(rec))
+		cell[0] = recInline
+		copy(cell[1:], rec)
+	} else {
+		first, err := h.writeOverflow(rec)
+		if err != nil {
+			return RecordID{}, err
+		}
+		cell = make([]byte, 1+4+4)
+		cell[0] = recOverflow
+		binary.BigEndian.PutUint32(cell[1:5], uint32(len(rec)))
+		binary.BigEndian.PutUint32(cell[5:9], uint32(first))
+	}
+	return h.insertCell(cell)
+}
+
+// writeOverflow spills rec into a chain of overflow pages and returns the
+// first page id.
+func (h *HeapFile) writeOverflow(rec []byte) (PageID, error) {
+	chunkMax := h.bp.PageSize() - overflowHeader
+	var first, prev PageID
+	var prevFrame *Frame
+	for off := 0; off < len(rec); off += chunkMax {
+		end := off + chunkMax
+		if end > len(rec) {
+			end = len(rec)
+		}
+		f, err := h.bp.NewPage(PageHeap)
+		if err != nil {
+			if prevFrame != nil {
+				h.bp.Unpin(prevFrame, true)
+			}
+			return 0, err
+		}
+		buf := f.Page().Bytes()
+		buf[0] = byte(PageHeap)
+		binary.BigEndian.PutUint32(buf[1:5], 0) // next, patched below
+		binary.BigEndian.PutUint16(buf[5:7], uint16(end-off))
+		copy(buf[overflowHeader:], rec[off:end])
+		if prevFrame != nil {
+			binary.BigEndian.PutUint32(prevFrame.Page().Bytes()[1:5], uint32(f.ID()))
+			h.bp.Unpin(prevFrame, true)
+		} else {
+			first = f.ID()
+		}
+		prev = f.ID()
+		prevFrame = f
+	}
+	_ = prev
+	if prevFrame != nil {
+		h.bp.Unpin(prevFrame, true)
+	}
+	return first, nil
+}
+
+// insertCell places a prepared cell into the current (or a fresh) page.
+func (h *HeapFile) insertCell(cell []byte) (RecordID, error) {
+	f, err := h.bp.Fetch(h.current)
+	if err != nil {
+		return RecordID{}, err
+	}
+	slot, err := f.Page().InsertCell(cell)
+	if err == nil {
+		rid := RecordID{Page: h.current, Slot: uint16(slot)}
+		h.bp.Unpin(f, true)
+		return rid, nil
+	}
+	h.bp.Unpin(f, false)
+	if !errors.Is(err, ErrPageFull) {
+		return RecordID{}, err
+	}
+	nf, err := h.bp.NewPage(PageHeap)
+	if err != nil {
+		return RecordID{}, err
+	}
+	h.current = nf.ID()
+	h.pages = append(h.pages, nf.ID())
+	slot, err = nf.Page().InsertCell(cell)
+	if err != nil {
+		h.bp.Unpin(nf, false)
+		return RecordID{}, err
+	}
+	rid := RecordID{Page: h.current, Slot: uint16(slot)}
+	h.bp.Unpin(nf, true)
+	return rid, nil
+}
+
+// Get returns a copy of the record at rid, reassembling overflow chains.
+func (h *HeapFile) Get(rid RecordID) ([]byte, error) {
+	f, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	cell, err := f.Page().Cell(int(rid.Slot))
+	if err != nil {
+		h.bp.Unpin(f, false)
+		return nil, err
+	}
+	out, err := h.resolveCell(cell)
+	h.bp.Unpin(f, false)
+	return out, err
+}
+
+// resolveCell decodes a record cell, following overflow chains.
+func (h *HeapFile) resolveCell(cell []byte) ([]byte, error) {
+	if len(cell) < 1 {
+		return nil, errors.New("storage: empty record cell")
+	}
+	switch cell[0] {
+	case recInline:
+		out := make([]byte, len(cell)-1)
+		copy(out, cell[1:])
+		return out, nil
+	case recOverflow:
+		if len(cell) != 1+4+4 {
+			return nil, errors.New("storage: malformed overflow descriptor")
+		}
+		total := int(binary.BigEndian.Uint32(cell[1:5]))
+		next := PageID(binary.BigEndian.Uint32(cell[5:9]))
+		out := make([]byte, 0, total)
+		for next != InvalidPageID {
+			f, err := h.bp.Fetch(next)
+			if err != nil {
+				return nil, err
+			}
+			buf := f.Page().Bytes()
+			n := int(binary.BigEndian.Uint16(buf[5:7]))
+			if overflowHeader+n > len(buf) {
+				h.bp.Unpin(f, false)
+				return nil, errors.New("storage: corrupt overflow chunk")
+			}
+			out = append(out, buf[overflowHeader:overflowHeader+n]...)
+			next = PageID(binary.BigEndian.Uint32(buf[1:5]))
+			h.bp.Unpin(f, false)
+			if len(out) > total {
+				return nil, errors.New("storage: overflow chain longer than declared")
+			}
+		}
+		if len(out) != total {
+			return nil, fmt.Errorf("storage: overflow chain yields %d bytes, want %d", len(out), total)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("storage: unknown record tag %d", cell[0])
+	}
+}
+
+// Delete tombstones the record at rid.
+func (h *HeapFile) Delete(rid RecordID) error {
+	f, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.bp.Unpin(f, true)
+	return f.Page().DeleteCell(int(rid.Slot))
+}
+
+// Scan calls fn for every live record in heap order. fn's record slice is
+// only valid during the call. Scanning stops early if fn returns false.
+func (h *HeapFile) Scan(fn func(rid RecordID, rec []byte) bool) error {
+	for _, pid := range h.pages {
+		f, err := h.bp.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		p := f.Page()
+		n := p.NumSlots()
+		for i := 0; i < n; i++ {
+			if p.IsDeleted(i) {
+				continue
+			}
+			cell, err := p.Cell(i)
+			if err != nil {
+				h.bp.Unpin(f, false)
+				return err
+			}
+			rec, err := h.resolveCell(cell)
+			if err != nil {
+				h.bp.Unpin(f, false)
+				return err
+			}
+			if !fn(RecordID{Page: pid, Slot: uint16(i)}, rec) {
+				h.bp.Unpin(f, false)
+				return nil
+			}
+		}
+		h.bp.Unpin(f, false)
+	}
+	return nil
+}
+
+// Count returns the number of live records (a full scan).
+func (h *HeapFile) Count() (int, error) {
+	n := 0
+	err := h.Scan(func(RecordID, []byte) bool { n++; return true })
+	return n, err
+}

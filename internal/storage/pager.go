@@ -1,0 +1,347 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Pager is the raw page I/O interface shared by the disk and memory
+// backends. Page 0 is a metadata page managed via Meta/SetMeta; user pages
+// are allocated from 1 upward.
+type Pager interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// NumPages returns the number of allocated pages, including page 0.
+	NumPages() int
+	// Allocate reserves a fresh zeroed page and returns its id.
+	Allocate() (PageID, error)
+	// ReadPage fills buf (of PageSize bytes) with the page's content.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists buf (of PageSize bytes) as the page's content.
+	WritePage(id PageID, buf []byte) error
+	// Meta returns the user metadata blob stored in page 0.
+	Meta() ([]byte, error)
+	// SetMeta stores a user metadata blob in page 0. It must fit in
+	// PageSize minus a small header.
+	SetMeta(meta []byte) error
+	// Sync flushes to stable storage (no-op for the memory pager).
+	Sync() error
+	// Close releases resources. The pager is unusable afterwards.
+	Close() error
+}
+
+// metaHeaderSize is the page-0 layout: magic (4) | pageSize (4) |
+// numPages (4) | metaLen (4).
+const metaHeaderSize = 16
+
+const pagerMagic = 0x56425452 // "VBTR"
+
+// errClosed is returned by operations on a closed pager.
+var errClosed = errors.New("storage: pager closed")
+
+// MemPager is an in-memory Pager, used by tests and benchmarks that do not
+// need persistence.
+type MemPager struct {
+	mu       sync.RWMutex
+	pageSize int
+	pages    [][]byte
+	meta     []byte
+	closed   bool
+}
+
+// NewMemPager creates an in-memory pager with the given page size.
+func NewMemPager(pageSize int) (*MemPager, error) {
+	if pageSize < MinPageSize {
+		return nil, fmt.Errorf("storage: page size %d below minimum %d", pageSize, MinPageSize)
+	}
+	return &MemPager{
+		pageSize: pageSize,
+		pages:    [][]byte{make([]byte, pageSize)}, // page 0
+	}, nil
+}
+
+// PageSize implements Pager.
+func (m *MemPager) PageSize() int { return m.pageSize }
+
+// NumPages implements Pager.
+func (m *MemPager) NumPages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
+}
+
+// Allocate implements Pager.
+func (m *MemPager) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, errClosed
+	}
+	m.pages = append(m.pages, make([]byte, m.pageSize))
+	return PageID(len(m.pages) - 1), nil
+}
+
+// ReadPage implements Pager.
+func (m *MemPager) ReadPage(id PageID, buf []byte) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return errClosed
+	}
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	if len(buf) != m.pageSize {
+		return fmt.Errorf("storage: read buffer %d bytes, want %d", len(buf), m.pageSize)
+	}
+	copy(buf, m.pages[id])
+	return nil
+}
+
+// WritePage implements Pager.
+func (m *MemPager) WritePage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed
+	}
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	if len(buf) != m.pageSize {
+		return fmt.Errorf("storage: write buffer %d bytes, want %d", len(buf), m.pageSize)
+	}
+	copy(m.pages[id], buf)
+	return nil
+}
+
+// Meta implements Pager.
+func (m *MemPager) Meta() ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, errClosed
+	}
+	out := make([]byte, len(m.meta))
+	copy(out, m.meta)
+	return out, nil
+}
+
+// SetMeta implements Pager.
+func (m *MemPager) SetMeta(meta []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed
+	}
+	if len(meta) > m.pageSize-metaHeaderSize {
+		return fmt.Errorf("storage: metadata %d bytes exceeds page capacity", len(meta))
+	}
+	m.meta = append([]byte(nil), meta...)
+	return nil
+}
+
+// Sync implements Pager.
+func (m *MemPager) Sync() error { return nil }
+
+// Close implements Pager.
+func (m *MemPager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.pages = nil
+	return nil
+}
+
+// DiskPager is a file-backed Pager. The file begins with page 0 carrying
+// the pager header and user metadata.
+type DiskPager struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	numPages int
+	closed   bool
+}
+
+// CreateDiskPager creates (truncating) a page file at path.
+func CreateDiskPager(path string, pageSize int) (*DiskPager, error) {
+	if pageSize < MinPageSize {
+		return nil, fmt.Errorf("storage: page size %d below minimum %d", pageSize, MinPageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating page file: %w", err)
+	}
+	d := &DiskPager{f: f, pageSize: pageSize, numPages: 1}
+	if err := d.writeHeader(nil); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// OpenDiskPager opens an existing page file.
+func OpenDiskPager(path string) (*DiskPager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening page file: %w", err)
+	}
+	var hdr [metaHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: reading page file header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != pagerMagic {
+		f.Close()
+		return nil, errors.New("storage: not a page file (bad magic)")
+	}
+	ps := int(binary.BigEndian.Uint32(hdr[4:8]))
+	np := int(binary.BigEndian.Uint32(hdr[8:12]))
+	if ps < MinPageSize || np < 1 {
+		f.Close()
+		return nil, errors.New("storage: corrupt page file header")
+	}
+	return &DiskPager{f: f, pageSize: ps, numPages: np}, nil
+}
+
+func (d *DiskPager) writeHeader(meta []byte) error {
+	buf := make([]byte, d.pageSize)
+	binary.BigEndian.PutUint32(buf[0:4], pagerMagic)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(d.pageSize))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(d.numPages))
+	binary.BigEndian.PutUint32(buf[12:16], uint32(len(meta)))
+	copy(buf[metaHeaderSize:], meta)
+	if _, err := d.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("storage: writing page file header: %w", err)
+	}
+	return nil
+}
+
+func (d *DiskPager) readMetaLocked() ([]byte, error) {
+	buf := make([]byte, d.pageSize)
+	if _, err := d.f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("storage: reading metadata page: %w", err)
+	}
+	n := int(binary.BigEndian.Uint32(buf[12:16]))
+	if n < 0 || n > d.pageSize-metaHeaderSize {
+		return nil, errors.New("storage: corrupt metadata length")
+	}
+	out := make([]byte, n)
+	copy(out, buf[metaHeaderSize:metaHeaderSize+n])
+	return out, nil
+}
+
+// PageSize implements Pager.
+func (d *DiskPager) PageSize() int { return d.pageSize }
+
+// NumPages implements Pager.
+func (d *DiskPager) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.numPages
+}
+
+// Allocate implements Pager.
+func (d *DiskPager) Allocate() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, errClosed
+	}
+	id := PageID(d.numPages)
+	zero := make([]byte, d.pageSize)
+	if _, err := d.f.WriteAt(zero, int64(id)*int64(d.pageSize)); err != nil {
+		return 0, fmt.Errorf("storage: extending page file: %w", err)
+	}
+	d.numPages++
+	meta, err := d.readMetaLocked()
+	if err != nil {
+		return 0, err
+	}
+	if err := d.writeHeader(meta); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// ReadPage implements Pager.
+func (d *DiskPager) ReadPage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	if int(id) >= d.numPages {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	if len(buf) != d.pageSize {
+		return fmt.Errorf("storage: read buffer %d bytes, want %d", len(buf), d.pageSize)
+	}
+	_, err := d.f.ReadAt(buf, int64(id)*int64(d.pageSize))
+	return err
+}
+
+// WritePage implements Pager.
+func (d *DiskPager) WritePage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	if int(id) >= d.numPages {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	if len(buf) != d.pageSize {
+		return fmt.Errorf("storage: write buffer %d bytes, want %d", len(buf), d.pageSize)
+	}
+	_, err := d.f.WriteAt(buf, int64(id)*int64(d.pageSize))
+	return err
+}
+
+// Meta implements Pager.
+func (d *DiskPager) Meta() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, errClosed
+	}
+	return d.readMetaLocked()
+}
+
+// SetMeta implements Pager.
+func (d *DiskPager) SetMeta(meta []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	if len(meta) > d.pageSize-metaHeaderSize {
+		return fmt.Errorf("storage: metadata %d bytes exceeds page capacity", len(meta))
+	}
+	return d.writeHeader(meta)
+}
+
+// Sync implements Pager.
+func (d *DiskPager) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	return d.f.Sync()
+}
+
+// Close implements Pager.
+func (d *DiskPager) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}

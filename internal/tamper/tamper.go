@@ -1,0 +1,258 @@
+// Package tamper is the adversary toolkit: a catalogue of attacks a
+// compromised edge server could mount on query responses. Each attack is
+// an edge.TamperFn-compatible mutation; the security test-suite and the
+// demo binaries drive them through real deployments to show that client
+// verification rejects every one.
+//
+// The catalogue covers the two integrity properties of the paper — value
+// authenticity and freedom from spurious tuples — plus protocol-level
+// attacks (digest swapping, VO truncation, stale-key replay).
+package tamper
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/vo"
+)
+
+// Attack mutates a query response in place, as a hacked edge would.
+type Attack struct {
+	// Name identifies the attack in test output and demos.
+	Name string
+	// Description says what the attack models.
+	Description string
+	// Apply performs the mutation. It returns an error when the response
+	// shape makes the attack inapplicable (e.g. no tuples to modify).
+	Apply func(rs *vo.ResultSet, w *vo.VO) error
+}
+
+// ErrNotApplicable signals a response the attack cannot target.
+var ErrNotApplicable = errors.New("tamper: attack not applicable to this response")
+
+// MutateValue flips a returned attribute value — the classic data-
+// tampering attack (e.g. changing a price).
+func MutateValue() Attack {
+	return Attack{
+		Name:        "mutate-value",
+		Description: "modify an attribute value in a result tuple",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if len(rs.Tuples) == 0 || len(rs.Tuples[0].Values) == 0 {
+				return ErrNotApplicable
+			}
+			j := len(rs.Tuples) / 2
+			v := &rs.Tuples[j].Values[len(rs.Tuples[j].Values)-1]
+			switch v.Type {
+			case schema.TypeInt64:
+				v.I += 1_000_000
+			case schema.TypeFloat64:
+				v.F *= -3.5
+			case schema.TypeString:
+				v.S = v.S + "!"
+			case schema.TypeBytes:
+				v.B = append(v.B, 0xFF)
+			default:
+				return ErrNotApplicable
+			}
+			return nil
+		},
+	}
+}
+
+// DropTuple removes a qualifying tuple from the result.
+func DropTuple() Attack {
+	return Attack{
+		Name:        "drop-tuple",
+		Description: "omit a qualifying tuple from the result",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if len(rs.Tuples) == 0 {
+				return ErrNotApplicable
+			}
+			j := len(rs.Tuples) / 2
+			rs.Tuples = append(rs.Tuples[:j], rs.Tuples[j+1:]...)
+			rs.Keys = append(rs.Keys[:j], rs.Keys[j+1:]...)
+			return nil
+		},
+	}
+}
+
+// InjectTuple fabricates a tuple and appends it to the result.
+func InjectTuple() Attack {
+	return Attack{
+		Name:        "inject-tuple",
+		Description: "introduce a spurious tuple into the result",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if len(rs.Tuples) == 0 {
+				return ErrNotApplicable
+			}
+			fake := rs.Tuples[0].Clone()
+			if len(fake.Values) > 0 && fake.Values[0].Type == schema.TypeInt64 {
+				fake.Values[0].I += 424242
+			}
+			key := rs.Keys[0]
+			if key.Type == schema.TypeInt64 {
+				key.I += 424242
+			}
+			rs.Tuples = append(rs.Tuples, fake)
+			rs.Keys = append(rs.Keys, key)
+			return nil
+		},
+	}
+}
+
+// DuplicateTuple replays a legitimate tuple twice.
+func DuplicateTuple() Attack {
+	return Attack{
+		Name:        "duplicate-tuple",
+		Description: "return a qualifying tuple twice",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if len(rs.Tuples) == 0 {
+				return ErrNotApplicable
+			}
+			rs.Tuples = append(rs.Tuples, rs.Tuples[0].Clone())
+			rs.Keys = append(rs.Keys, rs.Keys[0])
+			return nil
+		},
+	}
+}
+
+// CorruptVODigest flips bits in a D_S signature.
+func CorruptVODigest() Attack {
+	return Attack{
+		Name:        "corrupt-vo-digest",
+		Description: "alter a signed digest inside the VO",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if len(w.DS) == 0 {
+				return ErrNotApplicable
+			}
+			w.DS[0].Sig[len(w.DS[0].Sig)/2] ^= 0x55
+			return nil
+		},
+	}
+}
+
+// DropVODigest removes a D_S entry (hiding a filtered branch).
+func DropVODigest() Attack {
+	return Attack{
+		Name:        "drop-vo-digest",
+		Description: "omit a D_S digest from the VO",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if len(w.DS) == 0 {
+				return ErrNotApplicable
+			}
+			w.DS = w.DS[1:]
+			return nil
+		},
+	}
+}
+
+// ForgeTopDigest replaces the enveloping-subtree digest with random bytes.
+func ForgeTopDigest() Attack {
+	return Attack{
+		Name:        "forge-top-digest",
+		Description: "substitute a forged signature for the subtree digest",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			rng := rand.New(rand.NewSource(1))
+			forged := make(sig.Signature, len(w.TopDigest))
+			rng.Read(forged)
+			w.TopDigest = forged
+			return nil
+		},
+	}
+}
+
+// MisliftDS perturbs a D_S lift tag, trying to slot a digest in at the
+// wrong tree level.
+func MisliftDS() Attack {
+	return Attack{
+		Name:        "mislift-ds",
+		Description: "change the level tag of a D_S digest",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if len(w.DS) == 0 {
+				return ErrNotApplicable
+			}
+			w.DS[0].Lift++
+			return nil
+		},
+	}
+}
+
+// CrossTableReplay relabels the result as coming from another table.
+func CrossTableReplay(otherTable string) Attack {
+	return Attack{
+		Name:        "cross-table-replay",
+		Description: "replay a result under a different table's name",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if rs.Table == otherTable {
+				return ErrNotApplicable
+			}
+			rs.Table = otherTable
+			return nil
+		},
+	}
+}
+
+// StaleKeyReplay rewinds the VO's key version, modelling an edge serving
+// data signed under a retired key.
+func StaleKeyReplay(oldVersion uint32) Attack {
+	return Attack{
+		Name:        "stale-key-replay",
+		Description: "present the VO under an expired signing-key version",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			w.KeyVersion = oldVersion
+			return nil
+		},
+	}
+}
+
+// SwapProjectionDigest moves a D_P digest into D_S, probing set-confusion.
+func SwapProjectionDigest() Attack {
+	return Attack{
+		Name:        "swap-projection-digest",
+		Description: "move a filtered-attribute digest into the tuple set",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if len(w.DP) == 0 {
+				return ErrNotApplicable
+			}
+			moved := w.DP[0]
+			w.DP = w.DP[1:]
+			w.DS = append(w.DS, vo.Entry{Sig: moved, Lift: w.TopLevel})
+			return nil
+		},
+	}
+}
+
+// All returns the full catalogue (attacks needing parameters get
+// placeholder arguments suitable for single-table deployments).
+func All() []Attack {
+	return []Attack{
+		MutateValue(),
+		DropTuple(),
+		InjectTuple(),
+		DuplicateTuple(),
+		CorruptVODigest(),
+		DropVODigest(),
+		ForgeTopDigest(),
+		MisliftDS(),
+		CrossTableReplay("other_table"),
+		SwapProjectionDigest(),
+	}
+}
+
+// Validate sanity-checks the catalogue.
+func Validate(attacks []Attack) error {
+	seen := map[string]bool{}
+	for _, a := range attacks {
+		if a.Name == "" || a.Apply == nil {
+			return fmt.Errorf("tamper: malformed attack %+v", a)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("tamper: duplicate attack %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

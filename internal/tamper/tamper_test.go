@@ -1,0 +1,189 @@
+package tamper
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/storage"
+	"edgeauth/internal/vbtree"
+	"edgeauth/internal/verify"
+	"edgeauth/internal/vo"
+	"edgeauth/internal/workload"
+)
+
+var (
+	keyOnce sync.Once
+	testKey *sig.PrivateKey
+)
+
+func signer(t testing.TB) *sig.PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() { testKey = sig.MustGenerateKey(512) })
+	return testKey
+}
+
+type harness struct {
+	tree *vbtree.Tree
+	ver  *verify.Verifier
+}
+
+func newHarness(t *testing.T, rows int) *harness {
+	t.Helper()
+	k := signer(t)
+	spec := workload.DefaultSpec(rows)
+	sch, err := spec.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := spec.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, _ := storage.NewMemPager(1024)
+	bp, _ := storage.NewBufferPool(mem, 8192)
+	heap, _ := storage.NewHeapFile(bp)
+	acc := digest.MustNew(digest.DefaultParams())
+	tree, err := vbtree.Build(vbtree.Config{
+		Pool: bp, Heap: heap, Schema: sch, Acc: acc,
+		Signer: k, Pub: k.Public(),
+	}, tuples, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{
+		tree: tree,
+		ver:  &verify.Verifier{Key: k.Public(), Acc: acc, Schema: sch},
+	}
+}
+
+func (h *harness) freshResponse(t *testing.T, projected bool) (*vo.ResultSet, *vo.VO) {
+	t.Helper()
+	lo, hi := schema.Int64(20), schema.Int64(80)
+	q := vbtree.Query{Lo: &lo, Hi: &hi}
+	if projected {
+		q.Project = []string{"id", "cat"}
+	}
+	rs, w, err := h.tree.RunQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ver.Verify(rs, w); err != nil {
+		t.Fatalf("baseline verification failed: %v", err)
+	}
+	return rs, w
+}
+
+func TestCatalogueIsValid(t *testing.T) {
+	if err := Validate(All()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate([]Attack{{Name: ""}}); err == nil {
+		t.Fatal("malformed attack accepted")
+	}
+	if err := Validate([]Attack{MutateValue(), MutateValue()}); err == nil {
+		t.Fatal("duplicate attack accepted")
+	}
+}
+
+func TestEveryAttackIsDetected(t *testing.T) {
+	h := newHarness(t, 300)
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			// Projected responses give attacks like swap-projection-digest
+			// something to work with.
+			rs, w := h.freshResponse(t, true)
+			if err := a.Apply(rs, w); err != nil {
+				if errors.Is(err, ErrNotApplicable) {
+					t.Skipf("attack not applicable: %v", err)
+				}
+				t.Fatal(err)
+			}
+			if err := h.ver.Verify(rs, w); err == nil {
+				t.Fatalf("attack %q went undetected", a.Name)
+			}
+		})
+	}
+}
+
+func TestEveryAttackIsDetectedUnprojected(t *testing.T) {
+	h := newHarness(t, 300)
+	for _, a := range All() {
+		if a.Name == "swap-projection-digest" {
+			continue // needs D_P, exercised in the projected variant
+		}
+		t.Run(a.Name, func(t *testing.T) {
+			rs, w := h.freshResponse(t, false)
+			if err := a.Apply(rs, w); err != nil {
+				if errors.Is(err, ErrNotApplicable) {
+					t.Skipf("attack not applicable: %v", err)
+				}
+				t.Fatal(err)
+			}
+			if err := h.ver.Verify(rs, w); err == nil {
+				t.Fatalf("attack %q went undetected", a.Name)
+			}
+		})
+	}
+}
+
+func TestAttacksOnEmptyResultMostlyInapplicable(t *testing.T) {
+	h := newHarness(t, 100)
+	lo, hi := schema.Int64(5000), schema.Int64(6000)
+	rs, w, err := h.tree.RunQuery(vbtree.Query{Lo: &lo, Hi: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Attack{MutateValue(), DropTuple(), InjectTuple(), DuplicateTuple()} {
+		if err := a.Apply(rs, w); !errors.Is(err, ErrNotApplicable) {
+			t.Errorf("%s on empty result: %v, want ErrNotApplicable", a.Name, err)
+		}
+	}
+	// The forged-digest attack still applies and is still caught.
+	fa := ForgeTopDigest()
+	if err := fa.Apply(rs, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ver.Verify(rs, w); err == nil {
+		t.Fatal("forged top digest on empty result went undetected")
+	}
+}
+
+func TestStaleKeyReplayDetectedViaRegistry(t *testing.T) {
+	h := newHarness(t, 100)
+	rs, w := h.freshResponse(t, false)
+
+	// A registry that knows version 0 (valid) and version 7 (expired
+	// before the VO's timestamp).
+	k := signer(t)
+	reg := sig.NewRegistry()
+	cur := k.Public()
+	cur.Version = 0
+	reg.Put(cur)
+	old := k.Public()
+	old.Version = 7
+	old.NotAfter = 1 // expired in 1970
+	reg.Put(old)
+	ver := &verify.Verifier{Keys: reg, Acc: h.ver.Acc, Schema: h.ver.Schema}
+	if err := ver.Verify(rs, w); err != nil {
+		t.Fatalf("baseline with registry: %v", err)
+	}
+	if err := StaleKeyReplay(7).Apply(rs, w); err != nil {
+		t.Fatal(err)
+	}
+	err := ver.Verify(rs, w)
+	if !errors.Is(err, verify.ErrKeyVersion) {
+		t.Fatalf("stale key replay: %v, want ErrKeyVersion", err)
+	}
+}
+
+func TestCrossTableReplaySkipsSameName(t *testing.T) {
+	a := CrossTableReplay("items")
+	rs := &vo.ResultSet{Table: "items"}
+	if err := a.Apply(rs, &vo.VO{}); !errors.Is(err, ErrNotApplicable) {
+		t.Fatalf("same-name replay: %v", err)
+	}
+}

@@ -1,0 +1,266 @@
+package vbtree
+
+import (
+	"fmt"
+	"sync"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/storage"
+)
+
+// Build constructs a fully packed VB-tree from tuples sorted in strictly
+// increasing primary-key order (the usual way the central server creates
+// the index over an existing table). fill in (0,1] controls node occupancy.
+//
+// Signing dominates build cost — the paper acknowledges that signing every
+// attribute, tuple and node digest "imposes processing overhead on the
+// central server" — so attribute/tuple signatures are produced by a small
+// worker pool.
+func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
+	t, err := attach(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if t.signer == nil {
+		return nil, ErrReadOnly
+	}
+	if fill <= 0 || fill > 1 {
+		return nil, fmt.Errorf("vbtree: fill factor %v out of (0,1]", fill)
+	}
+
+	type prepared struct {
+		keyBytes []byte
+		rid      storage.RecordID
+		ut       digest.Value // unsigned tuple digest
+		dt       sig.Signature
+	}
+	prep := make([]prepared, len(tuples))
+
+	// Phase 1: digests + signatures, parallel across tuples.
+	var firstErr error
+	var errMu sync.Mutex
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	stored := make([][]byte, len(tuples)) // encoded heap records
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < t.buildPar; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				tup := tuples[i]
+				attrs, ut, err := t.tupleDigests(tup)
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				st, err := t.makeStored(tup, attrs)
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				dt, err := t.sign(ut)
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				prep[i] = prepared{
+					keyBytes: tup.Key(t.sch).KeyBytes(),
+					ut:       ut,
+					dt:       dt,
+				}
+				stored[i] = st.EncodeBytes()
+			}
+		}()
+	}
+	for i := range tuples {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Key-order check (strictly increasing).
+	for i := 1; i < len(prep); i++ {
+		if compare(prep[i-1].keyBytes, prep[i].keyBytes) >= 0 {
+			return nil, fmt.Errorf("vbtree: tuples not in strictly increasing key order at %d", i)
+		}
+	}
+
+	// Phase 2: heap inserts (sequential to keep record order stable).
+	for i := range prep {
+		rid, err := t.heap.Insert(stored[i])
+		if err != nil {
+			return nil, err
+		}
+		prep[i].rid = rid
+	}
+
+	// Phase 3: pack leaves.
+	pageSize := t.bp.PageSize()
+	budget := int(float64(pageSize) * fill)
+	type levelEntry struct {
+		firstKey []byte
+		pid      storage.PageID
+		u        digest.Value // unsigned node digest
+	}
+	var leaves []levelEntry
+	var cur vbLeaf
+	curAcc := t.acc.NewAcc()
+	curSize := vbLeafHeader
+	flushLeaf := func() error {
+		f, err := t.bp.NewPage(storage.PageVBLeaf)
+		if err != nil {
+			return err
+		}
+		if err := cur.encode(f.Page().Bytes()); err != nil {
+			t.bp.Unpin(f, false)
+			return err
+		}
+		leaves = append(leaves, levelEntry{firstKey: cur.keys[0], pid: f.ID(), u: curAcc.Value()})
+		t.bp.Unpin(f, true)
+		cur = vbLeaf{}
+		curAcc = t.acc.NewAcc()
+		curSize = vbLeafHeader
+		return nil
+	}
+	for i := range prep {
+		entry := 2 + len(prep[i].keyBytes) + 6 + 2 + len(prep[i].dt)
+		if vbLeafHeader+entry > pageSize {
+			return nil, fmt.Errorf("vbtree: entry %d of %d bytes exceeds page size", i, entry)
+		}
+		if len(cur.keys) > 0 && (curSize+entry > budget || curSize+entry > pageSize) {
+			if err := flushLeaf(); err != nil {
+				return nil, err
+			}
+		}
+		cur.keys = append(cur.keys, prep[i].keyBytes)
+		cur.rids = append(cur.rids, prep[i].rid)
+		cur.sigs = append(cur.sigs, prep[i].dt)
+		if err := curAcc.Add(prep[i].ut); err != nil {
+			return nil, err
+		}
+		curSize += entry
+	}
+	if len(cur.keys) > 0 {
+		if err := flushLeaf(); err != nil {
+			return nil, err
+		}
+	}
+	if len(leaves) == 0 {
+		// Empty table: a single empty leaf, identity digest.
+		f, err := t.bp.NewPage(storage.PageVBLeaf)
+		if err != nil {
+			return nil, err
+		}
+		empty := &vbLeaf{}
+		if err := empty.encode(f.Page().Bytes()); err != nil {
+			t.bp.Unpin(f, false)
+			return nil, err
+		}
+		t.root = f.ID()
+		t.bp.Unpin(f, true)
+		t.height = 1
+		rs, err := t.sign(t.acc.Identity())
+		if err != nil {
+			return nil, err
+		}
+		t.rootSig = rs
+		return t, nil
+	}
+	// Chain the leaves.
+	for i := 0; i < len(leaves)-1; i++ {
+		n, err := t.fetchLeaf(leaves[i].pid)
+		if err != nil {
+			return nil, err
+		}
+		n.next = leaves[i+1].pid
+		if err := t.writeLeaf(leaves[i].pid, n); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 4: internal levels.
+	level := leaves
+	t.height = 1
+	for len(level) > 1 {
+		var next []levelEntry
+		var node vbInternal
+		nodeAcc := t.acc.NewAcc()
+		nodeSize := vbInternalHeader
+		var nodeFirst []byte
+		flushInternal := func() error {
+			f, err := t.bp.NewPage(storage.PageVBInternal)
+			if err != nil {
+				return err
+			}
+			if err := node.encode(f.Page().Bytes()); err != nil {
+				t.bp.Unpin(f, false)
+				return err
+			}
+			next = append(next, levelEntry{firstKey: nodeFirst, pid: f.ID(), u: nodeAcc.Value()})
+			t.bp.Unpin(f, true)
+			node = vbInternal{}
+			nodeAcc = t.acc.NewAcc()
+			nodeSize = vbInternalHeader
+			nodeFirst = nil
+			return nil
+		}
+		addChild := func(c levelEntry) error {
+			cs, err := t.sign(c.u)
+			if err != nil {
+				return err
+			}
+			if len(node.children) == 0 {
+				node.children = []storage.PageID{c.pid}
+				node.sigs = []sig.Signature{cs}
+				nodeFirst = c.firstKey
+				nodeSize += 4 + 2 + len(cs)
+			} else {
+				node.keys = append(node.keys, c.firstKey)
+				node.children = append(node.children, c.pid)
+				node.sigs = append(node.sigs, cs)
+				nodeSize += 2 + len(c.firstKey) + 4 + 2 + len(cs)
+			}
+			return nodeAcc.Add(c.u)
+		}
+		for _, child := range level {
+			entrySize := 2 + len(child.firstKey) + 4 + 2 + t.signer.Len()
+			if len(node.children) > 0 && (nodeSize+entrySize > budget || nodeSize+entrySize > pageSize) {
+				if err := flushInternal(); err != nil {
+					return nil, err
+				}
+			}
+			if err := addChild(child); err != nil {
+				return nil, err
+			}
+		}
+		if len(node.children) > 0 {
+			if err := flushInternal(); err != nil {
+				return nil, err
+			}
+		}
+		if len(next) >= len(level) {
+			return nil, fmt.Errorf("vbtree: build failed to reduce level of %d nodes", len(level))
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].pid
+	rs, err := t.sign(level[0].u)
+	if err != nil {
+		return nil, err
+	}
+	t.rootSig = rs
+	return t, nil
+}

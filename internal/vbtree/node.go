@@ -1,0 +1,302 @@
+package vbtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"edgeauth/internal/sig"
+	"edgeauth/internal/storage"
+)
+
+// Node serialization (paper Figure 3(b)/(c)):
+//
+//	leaf:     type(1) | next(4) | count(2) |
+//	          { keyLen(2) key rid(6) sigLen(2) D_T }*
+//	internal: type(1) | count(2) | child0(4) sigLen(2) D_0 |
+//	          { keyLen(2) key child(4) sigLen(2) D }*
+//
+// count is the number of keys; an internal node has count+1 (child, digest)
+// pairs. The digest stored with each child pointer is the *signed* digest
+// of that child's subtree, exactly as the paper prescribes ("the node
+// digest is stored with the corresponding child pointer in the parent").
+const (
+	vbLeafHeader     = 1 + 4 + 2
+	vbInternalHeader = 1 + 2
+)
+
+type vbLeaf struct {
+	next storage.PageID
+	keys [][]byte
+	rids []storage.RecordID
+	sigs []sig.Signature // D_T per entry
+}
+
+type vbInternal struct {
+	keys     [][]byte
+	children []storage.PageID // len(keys)+1
+	sigs     []sig.Signature  // len(keys)+1, child digests
+}
+
+func decodeVBLeaf(buf []byte) (*vbLeaf, error) {
+	if storage.PageType(buf[0]) != storage.PageVBLeaf {
+		return nil, fmt.Errorf("vbtree: page type %d is not a VB leaf", buf[0])
+	}
+	n := &vbLeaf{next: storage.PageID(binary.BigEndian.Uint32(buf[1:5]))}
+	count := int(binary.BigEndian.Uint16(buf[5:7]))
+	off := vbLeafHeader
+	n.keys = make([][]byte, count)
+	n.rids = make([]storage.RecordID, count)
+	n.sigs = make([]sig.Signature, count)
+	for i := 0; i < count; i++ {
+		if off+2 > len(buf) {
+			return nil, fmt.Errorf("vbtree: leaf entry %d truncated", i)
+		}
+		kl := int(binary.BigEndian.Uint16(buf[off : off+2]))
+		off += 2
+		if off+kl+6+2 > len(buf) {
+			return nil, fmt.Errorf("vbtree: leaf entry %d truncated", i)
+		}
+		n.keys[i] = append([]byte(nil), buf[off:off+kl]...)
+		off += kl
+		rid, err := storage.DecodeRecordID(buf[off : off+6])
+		if err != nil {
+			return nil, err
+		}
+		n.rids[i] = rid
+		off += 6
+		sl := int(binary.BigEndian.Uint16(buf[off : off+2]))
+		off += 2
+		if off+sl > len(buf) {
+			return nil, fmt.Errorf("vbtree: leaf signature %d truncated", i)
+		}
+		n.sigs[i] = append(sig.Signature(nil), buf[off:off+sl]...)
+		off += sl
+	}
+	return n, nil
+}
+
+func (n *vbLeaf) encodedSize() int {
+	sz := vbLeafHeader
+	for i := range n.keys {
+		sz += 2 + len(n.keys[i]) + 6 + 2 + len(n.sigs[i])
+	}
+	return sz
+}
+
+func (n *vbLeaf) encode(buf []byte) error {
+	if n.encodedSize() > len(buf) {
+		return fmt.Errorf("vbtree: leaf of %d bytes exceeds page size %d", n.encodedSize(), len(buf))
+	}
+	buf[0] = byte(storage.PageVBLeaf)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(n.next))
+	binary.BigEndian.PutUint16(buf[5:7], uint16(len(n.keys)))
+	off := vbLeafHeader
+	for i := range n.keys {
+		binary.BigEndian.PutUint16(buf[off:off+2], uint16(len(n.keys[i])))
+		off += 2
+		copy(buf[off:], n.keys[i])
+		off += len(n.keys[i])
+		ridb := n.rids[i].Encode(nil)
+		copy(buf[off:], ridb)
+		off += 6
+		binary.BigEndian.PutUint16(buf[off:off+2], uint16(len(n.sigs[i])))
+		off += 2
+		copy(buf[off:], n.sigs[i])
+		off += len(n.sigs[i])
+	}
+	for ; off < len(buf); off++ {
+		buf[off] = 0
+	}
+	return nil
+}
+
+// search returns the index of the first key >= k.
+func (n *vbLeaf) search(k []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool { return compare(n.keys[i], k) >= 0 })
+}
+
+func decodeVBInternal(buf []byte) (*vbInternal, error) {
+	if storage.PageType(buf[0]) != storage.PageVBInternal {
+		return nil, fmt.Errorf("vbtree: page type %d is not a VB internal node", buf[0])
+	}
+	count := int(binary.BigEndian.Uint16(buf[1:3]))
+	n := &vbInternal{
+		keys:     make([][]byte, count),
+		children: make([]storage.PageID, count+1),
+		sigs:     make([]sig.Signature, count+1),
+	}
+	off := vbInternalHeader
+	readChild := func(i int) error {
+		if off+4+2 > len(buf) {
+			return fmt.Errorf("vbtree: internal child %d truncated", i)
+		}
+		n.children[i] = storage.PageID(binary.BigEndian.Uint32(buf[off : off+4]))
+		off += 4
+		sl := int(binary.BigEndian.Uint16(buf[off : off+2]))
+		off += 2
+		if off+sl > len(buf) {
+			return fmt.Errorf("vbtree: internal digest %d truncated", i)
+		}
+		n.sigs[i] = append(sig.Signature(nil), buf[off:off+sl]...)
+		off += sl
+		return nil
+	}
+	if err := readChild(0); err != nil {
+		return nil, err
+	}
+	for i := 0; i < count; i++ {
+		if off+2 > len(buf) {
+			return nil, fmt.Errorf("vbtree: internal key %d truncated", i)
+		}
+		kl := int(binary.BigEndian.Uint16(buf[off : off+2]))
+		off += 2
+		if off+kl > len(buf) {
+			return nil, fmt.Errorf("vbtree: internal key %d truncated", i)
+		}
+		n.keys[i] = append([]byte(nil), buf[off:off+kl]...)
+		off += kl
+		if err := readChild(i + 1); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func (n *vbInternal) encodedSize() int {
+	sz := vbInternalHeader + 4 + 2 + len(n.sigs[0])
+	for i := range n.keys {
+		sz += 2 + len(n.keys[i]) + 4 + 2 + len(n.sigs[i+1])
+	}
+	return sz
+}
+
+func (n *vbInternal) encode(buf []byte) error {
+	if n.encodedSize() > len(buf) {
+		return fmt.Errorf("vbtree: internal node of %d bytes exceeds page size %d", n.encodedSize(), len(buf))
+	}
+	buf[0] = byte(storage.PageVBInternal)
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	off := vbInternalHeader
+	writeChild := func(i int) {
+		binary.BigEndian.PutUint32(buf[off:off+4], uint32(n.children[i]))
+		off += 4
+		binary.BigEndian.PutUint16(buf[off:off+2], uint16(len(n.sigs[i])))
+		off += 2
+		copy(buf[off:], n.sigs[i])
+		off += len(n.sigs[i])
+	}
+	writeChild(0)
+	for i := range n.keys {
+		binary.BigEndian.PutUint16(buf[off:off+2], uint16(len(n.keys[i])))
+		off += 2
+		copy(buf[off:], n.keys[i])
+		off += len(n.keys[i])
+		writeChild(i + 1)
+	}
+	for ; off < len(buf); off++ {
+		buf[off] = 0
+	}
+	return nil
+}
+
+// childIndex returns which child covers key k.
+func (n *vbInternal) childIndex(k []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool { return compare(n.keys[i], k) > 0 })
+}
+
+// childSpan returns the key interval [lo, hi) covered by child i, with nil
+// meaning unbounded on that side.
+func (n *vbInternal) childSpan(i int) (lo, hi []byte) {
+	if i > 0 {
+		lo = n.keys[i-1]
+	}
+	if i < len(n.keys) {
+		hi = n.keys[i]
+	}
+	return lo, hi
+}
+
+// spanIntersects reports whether child span [clo, chi) intersects the
+// closed query interval [qlo, qhi] (nil = unbounded).
+func spanIntersects(clo, chi, qlo, qhi []byte) bool {
+	if chi != nil && qlo != nil && compare(chi, qlo) <= 0 {
+		return false // child entirely below the query
+	}
+	if clo != nil && qhi != nil && compare(clo, qhi) > 0 {
+		return false // child entirely above the query
+	}
+	return true
+}
+
+func compare(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// fetchLeaf / fetchInternal decode a pinned page and release the pin.
+func (t *Tree) fetchLeaf(pid storage.PageID) (*vbLeaf, error) {
+	f, err := t.bp.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodeVBLeaf(f.Page().Bytes())
+	t.bp.Unpin(f, false)
+	return n, err
+}
+
+func (t *Tree) fetchInternal(pid storage.PageID) (*vbInternal, error) {
+	f, err := t.bp.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodeVBInternal(f.Page().Bytes())
+	t.bp.Unpin(f, false)
+	return n, err
+}
+
+// pageType peeks a page's type byte.
+func (t *Tree) pageType(pid storage.PageID) (storage.PageType, error) {
+	f, err := t.bp.Fetch(pid)
+	if err != nil {
+		return 0, err
+	}
+	pt := storage.PageType(f.Page().Bytes()[0])
+	t.bp.Unpin(f, false)
+	return pt, nil
+}
+
+// writeLeaf encodes n into its page.
+func (t *Tree) writeLeaf(pid storage.PageID, n *vbLeaf) error {
+	f, err := t.bp.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	err = n.encode(f.Page().Bytes())
+	t.bp.Unpin(f, err == nil)
+	return err
+}
+
+// writeInternal encodes n into its page.
+func (t *Tree) writeInternal(pid storage.PageID, n *vbInternal) error {
+	f, err := t.bp.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	err = n.encode(f.Page().Bytes())
+	t.bp.Unpin(f, err == nil)
+	return err
+}

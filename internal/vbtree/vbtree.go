@@ -1,0 +1,352 @@
+// Package vbtree implements the Verifiable B-tree of Pang & Tan (ICDE
+// 2004): a B+-tree on the primary key of a table, extended with signed
+// digests at every level —
+//
+//	attribute: d_a = s(h(db|table|attr|key|value))          (formula 1)
+//	tuple:     D_T = s(Π g(d_a unsigned))                   (formula 2)
+//	node:      D_N = s(Π g(U_child))                        (formula 3)
+//
+// — with the root's signed digest kept in the tree metadata. Tuples live
+// in a heap file as vo.StoredTuple records (values + signed attribute
+// digests); leaves store (key, record id, D_T); internal nodes store the
+// signed digest of each child alongside the child pointer, exactly as in
+// the paper's Figure 3.
+//
+// The tree plays two roles. At the trusted central server (Config.Signer
+// set) it supports construction, insert and delete, maintaining digests
+// incrementally via the commutative combiner. At an untrusted edge server
+// (Signer nil) it answers range/filter/projection queries, producing a
+// verification object over the enveloping subtree (paper §3.3).
+//
+// When a lock.Manager is configured, operations follow the paper's §3.4
+// protocol: queries S-lock the nodes of their enveloping subtree, updates
+// X-lock the nodes on their root-to-leaf paths, so non-overlapping queries
+// and updates proceed concurrently.
+package vbtree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/lock"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/storage"
+	"edgeauth/internal/vo"
+)
+
+// Common errors.
+var (
+	ErrDuplicateKey = errors.New("vbtree: duplicate key")
+	ErrKeyNotFound  = errors.New("vbtree: key not found")
+	ErrReadOnly     = errors.New("vbtree: tree has no signer (edge replica is read-only)")
+)
+
+// Config assembles a tree's dependencies.
+type Config struct {
+	// Pool is the buffer pool holding the tree and heap pages.
+	Pool *storage.BufferPool
+	// Heap stores the vo.StoredTuple records.
+	Heap *storage.HeapFile
+	// Schema describes the indexed table.
+	Schema *schema.Schema
+	// Acc is the digest accumulator (hash h + combiner g).
+	Acc *digest.Accumulator
+	// Signer is the central server's private key; nil for edge replicas.
+	Signer *sig.PrivateKey
+	// Pub verifies/recovers digests; required.
+	Pub *sig.PublicKey
+	// Locks, when non-nil, enables the §3.4 locking protocol.
+	Locks *lock.Manager
+	// Now supplies timestamps for VOs; defaults to time.Now.
+	Now func() int64
+	// BuildParallelism bounds the signing workers used by Build.
+	// Zero selects a reasonable default.
+	BuildParallelism int
+}
+
+func (c *Config) validate() error {
+	if c.Pool == nil || c.Heap == nil {
+		return errors.New("vbtree: config requires Pool and Heap")
+	}
+	if c.Schema == nil {
+		return errors.New("vbtree: config requires Schema")
+	}
+	if err := c.Schema.Validate(); err != nil {
+		return err
+	}
+	if c.Acc == nil {
+		return errors.New("vbtree: config requires Acc")
+	}
+	if c.Pub == nil {
+		return errors.New("vbtree: config requires Pub")
+	}
+	return nil
+}
+
+// Tree is a verifiable B-tree.
+type Tree struct {
+	mu     sync.RWMutex
+	bp     *storage.BufferPool
+	heap   *storage.HeapFile
+	sch    *schema.Schema
+	acc    *digest.Accumulator
+	signer *sig.PrivateKey
+	pub    *sig.PublicKey
+	locks  *lock.Manager
+	now    func() int64
+
+	root    storage.PageID
+	height  int // levels, leaves = level 1
+	rootSig sig.Signature
+
+	buildPar int
+}
+
+// New creates an empty tree (a single empty leaf whose digest is the
+// signed identity). Requires a signer.
+func New(cfg Config) (*Tree, error) {
+	t, err := attach(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if t.signer == nil {
+		return nil, ErrReadOnly
+	}
+	f, err := t.bp.NewPage(storage.PageVBLeaf)
+	if err != nil {
+		return nil, err
+	}
+	leaf := &vbLeaf{}
+	if err := leaf.encode(f.Page().Bytes()); err != nil {
+		t.bp.Unpin(f, false)
+		return nil, err
+	}
+	t.root = f.ID()
+	t.bp.Unpin(f, true)
+	t.height = 1
+	rs, err := t.signer.Sign(t.acc.Identity())
+	if err != nil {
+		return nil, err
+	}
+	t.rootSig = rs
+	return t, nil
+}
+
+// Open reattaches to an existing tree (e.g. an edge replica restored from
+// a snapshot).
+func Open(cfg Config, root storage.PageID, height int, rootSig sig.Signature) (*Tree, error) {
+	t, err := attach(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if root == storage.InvalidPageID || height < 1 || len(rootSig) == 0 {
+		return nil, errors.New("vbtree: invalid tree metadata")
+	}
+	t.root = root
+	t.height = height
+	t.rootSig = rootSig.Clone()
+	return t, nil
+}
+
+func attach(cfg Config) (*Tree, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	now := cfg.Now
+	if now == nil {
+		now = func() int64 { return time.Now().Unix() }
+	}
+	par := cfg.BuildParallelism
+	if par <= 0 {
+		par = 4
+	}
+	return &Tree{
+		bp:       cfg.Pool,
+		heap:     cfg.Heap,
+		sch:      cfg.Schema,
+		acc:      cfg.Acc,
+		signer:   cfg.Signer,
+		pub:      cfg.Pub,
+		locks:    cfg.Locks,
+		now:      now,
+		buildPar: par,
+	}, nil
+}
+
+// Schema returns the indexed table's schema.
+func (t *Tree) Schema() *schema.Schema { return t.sch }
+
+// Accumulator returns the digest accumulator.
+func (t *Tree) Accumulator() *digest.Accumulator { return t.acc }
+
+// Root returns the root page id.
+func (t *Tree) Root() storage.PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root
+}
+
+// Height returns the number of levels (leaves = 1).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// RootSig returns the signed digest of the root node — the value a client
+// ultimately anchors trust in (via the VO's enveloping-subtree digest).
+func (t *Tree) RootSig() sig.Signature {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rootSig.Clone()
+}
+
+// lockRes names a page in the lock manager's space.
+func (t *Tree) lockRes(id storage.PageID) lock.Resource {
+	return lock.Resource{Space: "vb:" + t.sch.Table, ID: uint64(id)}
+}
+
+// sign signs an unsigned digest with the central server's key.
+func (t *Tree) sign(u digest.Value) (sig.Signature, error) {
+	if t.signer == nil {
+		return nil, ErrReadOnly
+	}
+	return t.signer.Sign(u)
+}
+
+// recover applies s⁻¹ and validates the payload length.
+func (t *Tree) recoverDigest(s sig.Signature) (digest.Value, error) {
+	payload, err := t.pub.Recover(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != t.acc.Len() {
+		return nil, fmt.Errorf("vbtree: recovered digest has %d bytes, want %d", len(payload), t.acc.Len())
+	}
+	return digest.Value(payload), nil
+}
+
+// attrDigest computes the unsigned attribute digest of formula (1).
+func (t *Tree) attrDigest(keyBytes []byte, col int, val schema.Datum) digest.Value {
+	return t.acc.HashAttribute(t.sch.DB, t.sch.Table, t.sch.Columns[col].Name, keyBytes, val.CanonicalBytes())
+}
+
+// tupleDigests computes all unsigned attribute digests and the unsigned
+// tuple digest U_T of formula (2).
+func (t *Tree) tupleDigests(tup schema.Tuple) (attrs []digest.Value, ut digest.Value, err error) {
+	if len(tup.Values) != len(t.sch.Columns) {
+		return nil, nil, fmt.Errorf("vbtree: tuple has %d values for %d columns", len(tup.Values), len(t.sch.Columns))
+	}
+	keyBytes := tup.Key(t.sch).KeyBytes()
+	attrs = make([]digest.Value, len(tup.Values))
+	acc := t.acc.NewAcc()
+	for i, v := range tup.Values {
+		if v.Type != t.sch.Columns[i].Type {
+			return nil, nil, fmt.Errorf("vbtree: column %q: value type %v, want %v",
+				t.sch.Columns[i].Name, v.Type, t.sch.Columns[i].Type)
+		}
+		attrs[i] = t.attrDigest(keyBytes, i, v)
+		if err := acc.Add(attrs[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return attrs, acc.Value(), nil
+}
+
+// makeStored signs the attribute digests and assembles the heap record.
+func (t *Tree) makeStored(tup schema.Tuple, attrs []digest.Value) (*vo.StoredTuple, error) {
+	st := &vo.StoredTuple{Tuple: tup, AttrSigs: make([]sig.Signature, len(attrs))}
+	for i, a := range attrs {
+		s, err := t.sign(a)
+		if err != nil {
+			return nil, err
+		}
+		st.AttrSigs[i] = s
+	}
+	return st, nil
+}
+
+// Stats describes the tree's physical shape (Figures 8–9 measurements).
+type Stats struct {
+	Height            int
+	InternalNodes     int
+	LeafNodes         int
+	Entries           int
+	AvgInternalFanOut float64
+	MaxLeafEntries    int
+	MaxInternalFanOut int
+}
+
+// Stats walks the tree. keyLen parameterizes the analytic capacity bounds
+// (formula (6): VB-tree fan-out for a given key and signature length).
+func (t *Tree) Stats(keyLen int) (Stats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	sigLen := t.pub.Len()
+	s := Stats{
+		MaxLeafEntries:    MaxLeafEntries(t.bp.PageSize(), keyLen, sigLen),
+		MaxInternalFanOut: MaxInternalFanOut(t.bp.PageSize(), keyLen, sigLen),
+	}
+	var totalChildren int
+	var walk func(pid storage.PageID, depth int) error
+	walk = func(pid storage.PageID, depth int) error {
+		f, err := t.bp.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		buf := f.Page().Bytes()
+		switch storage.PageType(buf[0]) {
+		case storage.PageVBLeaf:
+			n, err := decodeVBLeaf(buf)
+			t.bp.Unpin(f, false)
+			if err != nil {
+				return err
+			}
+			s.LeafNodes++
+			s.Entries += len(n.keys)
+			if depth+1 > s.Height {
+				s.Height = depth + 1
+			}
+			return nil
+		case storage.PageVBInternal:
+			n, err := decodeVBInternal(buf)
+			t.bp.Unpin(f, false)
+			if err != nil {
+				return err
+			}
+			s.InternalNodes++
+			totalChildren += len(n.children)
+			for _, c := range n.children {
+				if err := walk(c, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			t.bp.Unpin(f, false)
+			return fmt.Errorf("vbtree: unexpected page type %d", buf[0])
+		}
+	}
+	if err := walk(t.root, 0); err != nil {
+		return Stats{}, err
+	}
+	if s.InternalNodes > 0 {
+		s.AvgInternalFanOut = float64(totalChildren) / float64(s.InternalNodes)
+	}
+	return s, nil
+}
+
+// MaxLeafEntries is the leaf capacity for fixed key and signature lengths.
+func MaxLeafEntries(pageSize, keyLen, sigLen int) int {
+	return (pageSize - vbLeafHeader) / (2 + keyLen + 6 + 2 + sigLen)
+}
+
+// MaxInternalFanOut is the paper's formula (6): the VB-tree fan-out, where
+// each child entry additionally carries a signed digest of length sigLen.
+func MaxInternalFanOut(pageSize, keyLen, sigLen int) int {
+	return 1 + (pageSize-vbInternalHeader-(2+sigLen)-4)/(2+keyLen+4+2+sigLen)
+}

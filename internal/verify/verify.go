@@ -1,0 +1,235 @@
+// Package verify implements the client side of the authentication
+// protocol: given a query result and its verification object, it
+// recomputes the enveloping subtree's digest and compares it against the
+// signed digest from the trusted central server (Lemmas 1 and 2 of the
+// paper).
+//
+// The verification equation, for an enveloping subtree top at level L
+// (leaves = 1), is
+//
+//	s⁻¹(D_N) = Π_j g^L(U_Tj)                 — result tuples
+//	         · Π g^(L+1)(s⁻¹(d)), d ∈ D_P    — filtered attributes
+//	         · Π g^lift(s⁻¹(d)), (d,lift) ∈ D_S — filtered tuples/branches
+//	                                             (mod m)
+//
+// where U_Tj is recomputed from the returned attribute values with the
+// one-way hash h of formula (1). Each result tuple's partial digest is the
+// product of its computed attribute digests; because g is multiplicative,
+// the per-tuple products and the D_P digests can be accumulated in a
+// single flat product and lifted together. Any change to a returned value,
+// any dropped digest, or any spurious tuple breaks the equation with
+// overwhelming probability; a forged signature fails structural recovery.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/vo"
+)
+
+// Errors distinguishing rejection causes (all wrap ErrVerification).
+var (
+	// ErrVerification is the base failure: the reconstructed digest does
+	// not match the signed digest.
+	ErrVerification = errors.New("verify: result failed verification")
+	// ErrBadSignature marks a VO digest whose signature does not recover.
+	ErrBadSignature = errors.New("verify: invalid signature in VO")
+	// ErrKeyVersion marks an unknown or expired signing-key version.
+	ErrKeyVersion = errors.New("verify: signing key version not valid")
+	// ErrMalformed marks a structurally invalid result or VO.
+	ErrMalformed = errors.New("verify: malformed result or VO")
+)
+
+// Verifier checks query results against the central server's public keys.
+type Verifier struct {
+	// Keys resolves key versions. Either Keys or Key must be set.
+	Keys *sig.Registry
+	// Key pins a single public key (used when no registry is deployed).
+	Key *sig.PublicKey
+	// Acc must match the accumulator parameters the central server used.
+	Acc *digest.Accumulator
+	// Schema is the base-table schema (for column name/type resolution).
+	Schema *schema.Schema
+}
+
+// resolveKey picks the public key for a VO.
+func (v *Verifier) resolveKey(keyVersion uint32, atUnix int64) (*sig.PublicKey, error) {
+	if v.Keys != nil {
+		k, err := v.Keys.Resolve(keyVersion, atUnix)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrKeyVersion, err)
+		}
+		return k, nil
+	}
+	if v.Key == nil {
+		return nil, errors.New("verify: no trusted key configured")
+	}
+	if v.Key.Version != keyVersion {
+		return nil, fmt.Errorf("%w: VO signed with version %d, trusted key is %d",
+			ErrKeyVersion, keyVersion, v.Key.Version)
+	}
+	if !v.Key.ValidAt(atUnix) {
+		return nil, fmt.Errorf("%w: trusted key expired", ErrKeyVersion)
+	}
+	return v.Key, nil
+}
+
+// Verify checks rs against w. A nil error means the result is authentic:
+// the returned values are untampered and no spurious tuples are present.
+func (v *Verifier) Verify(rs *vo.ResultSet, w *vo.VO) error {
+	if v.Acc == nil || v.Schema == nil {
+		return errors.New("verify: verifier not configured")
+	}
+	if rs == nil || w == nil {
+		return fmt.Errorf("%w: missing result or VO", ErrMalformed)
+	}
+	if err := rs.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if rs.DB != v.Schema.DB || rs.Table != v.Schema.Table {
+		return fmt.Errorf("%w: result identity %s.%s does not match schema %s.%s",
+			ErrMalformed, rs.DB, rs.Table, v.Schema.DB, v.Schema.Table)
+	}
+	if w.TopLevel < 1 {
+		return fmt.Errorf("%w: top level %d", ErrMalformed, w.TopLevel)
+	}
+	pub, err := v.resolveKey(w.KeyVersion, w.Timestamp)
+	if err != nil {
+		return err
+	}
+
+	// Map result columns to schema columns, and find which are filtered.
+	colIdx := make([]int, len(rs.Columns))
+	seen := make(map[int]bool, len(rs.Columns))
+	for i, name := range rs.Columns {
+		ci := v.Schema.ColumnIndex(name)
+		if ci < 0 {
+			return fmt.Errorf("%w: unknown column %q", ErrMalformed, name)
+		}
+		if seen[ci] {
+			return fmt.Errorf("%w: duplicate column %q", ErrMalformed, name)
+		}
+		seen[ci] = true
+		colIdx[i] = ci
+	}
+	nFilteredPerTuple := len(v.Schema.Columns) - len(rs.Columns)
+	if want := nFilteredPerTuple * len(rs.Tuples); len(w.DP) != want {
+		return fmt.Errorf("%w: D_P carries %d digests, want %d", ErrMalformed, len(w.DP), want)
+	}
+
+	// Anchor: recover the enveloping subtree's signed digest.
+	topU, err := recoverDigest(pub, v.Acc, w.TopDigest)
+	if err != nil {
+		return err
+	}
+
+	L := int(w.TopLevel)
+
+	// Attribute-level product: computed digests for returned values plus
+	// recovered digests for projected-out attributes. Lifted L+1 times.
+	attrAcc := v.Acc.NewAcc()
+	for j := range rs.Tuples {
+		keyBytes := rs.Keys[j].KeyBytes()
+		for i, ci := range colIdx {
+			val := rs.Tuples[j].Values[i]
+			if val.Type != v.Schema.Columns[ci].Type {
+				return fmt.Errorf("%w: tuple %d column %q has type %v, want %v",
+					ErrMalformed, j, rs.Columns[i], val.Type, v.Schema.Columns[ci].Type)
+			}
+			d := v.Acc.HashAttribute(rs.DB, rs.Table, v.Schema.Columns[ci].Name, keyBytes, val.CanonicalBytes())
+			if err := attrAcc.Add(d); err != nil {
+				return fmt.Errorf("%w: %v", ErrMalformed, err)
+			}
+		}
+	}
+	for _, ds := range w.DP {
+		u, err := recoverDigest(pub, v.Acc, ds)
+		if err != nil {
+			return err
+		}
+		if err := attrAcc.Add(u); err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+	}
+	product, err := v.Acc.Lift(attrAcc.Value(), L) // attribute level is L+1; Acc already applied one g
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+
+	// D_S: filtered tuples and branches at their tagged lifts.
+	for i, e := range w.DS {
+		if int(e.Lift) < 1 || int(e.Lift) > L {
+			return fmt.Errorf("%w: D_S entry %d has lift %d outside [1,%d]", ErrMalformed, i, e.Lift, L)
+		}
+		u, err := recoverDigest(pub, v.Acc, e.Sig)
+		if err != nil {
+			return err
+		}
+		lifted, err := v.Acc.Lift(u, int(e.Lift))
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		product, err = v.Acc.Mul(product, lifted)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+	}
+
+	if !product.Equal(topU) {
+		return fmt.Errorf("%w: digest mismatch (computed %v, signed %v)", ErrVerification, product, topU)
+	}
+	return nil
+}
+
+// recoverDigest applies s⁻¹ and validates the digest length.
+func recoverDigest(pub *sig.PublicKey, acc *digest.Accumulator, s sig.Signature) (digest.Value, error) {
+	payload, err := pub.Recover(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	if len(payload) != acc.Len() {
+		return nil, fmt.Errorf("%w: recovered %d bytes, want %d", ErrBadSignature, len(payload), acc.Len())
+	}
+	return digest.Value(payload), nil
+}
+
+// VerifyTuple authenticates a single stored tuple against its signed
+// attribute digests and signed tuple digest — the unit check used by the
+// Naive baseline and by point lookups.
+func (v *Verifier) VerifyTuple(st *vo.StoredTuple, tupleSig sig.Signature, pub *sig.PublicKey) error {
+	if err := st.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if len(st.Tuple.Values) != len(v.Schema.Columns) {
+		return fmt.Errorf("%w: tuple has %d values for %d columns",
+			ErrMalformed, len(st.Tuple.Values), len(v.Schema.Columns))
+	}
+	keyBytes := st.Tuple.Key(v.Schema).KeyBytes()
+	acc := v.Acc.NewAcc()
+	for i, val := range st.Tuple.Values {
+		d := v.Acc.HashAttribute(v.Schema.DB, v.Schema.Table, v.Schema.Columns[i].Name, keyBytes, val.CanonicalBytes())
+		// The signed attribute digest must recover to the computed one.
+		u, err := recoverDigest(pub, v.Acc, st.AttrSigs[i])
+		if err != nil {
+			return err
+		}
+		if !u.Equal(d) {
+			return fmt.Errorf("%w: attribute %q digest mismatch", ErrVerification, v.Schema.Columns[i].Name)
+		}
+		if err := acc.Add(d); err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+	}
+	ut, err := recoverDigest(pub, v.Acc, tupleSig)
+	if err != nil {
+		return err
+	}
+	if !ut.Equal(acc.Value()) {
+		return fmt.Errorf("%w: tuple digest mismatch", ErrVerification)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package vo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+)
+
+// StoredTuple is the on-heap representation of a base-table row in the
+// paper's Figure 3: the tuple values together with the signed digest of
+// every attribute (formula (1)). Edge servers read these records to build
+// D_P sets for projections, and the Naive baseline ships the signatures
+// directly.
+type StoredTuple struct {
+	Tuple schema.Tuple
+	// AttrSigs holds one signed attribute digest per column, in schema
+	// column order.
+	AttrSigs []sig.Signature
+}
+
+// Validate checks that the signature count matches the value count.
+func (s *StoredTuple) Validate() error {
+	if len(s.AttrSigs) != len(s.Tuple.Values) {
+		return fmt.Errorf("vo: stored tuple has %d signatures for %d values",
+			len(s.AttrSigs), len(s.Tuple.Values))
+	}
+	return nil
+}
+
+// WireSize returns the encoded size in bytes.
+func (s *StoredTuple) WireSize() int {
+	sz := s.Tuple.WireSize() + 2
+	for _, as := range s.AttrSigs {
+		sz += 4 + len(as)
+	}
+	return sz
+}
+
+// Encode appends the stored-tuple wire form.
+func (s *StoredTuple) Encode(dst []byte) []byte {
+	dst = s.Tuple.Encode(dst)
+	var b2 [2]byte
+	binary.BigEndian.PutUint16(b2[:], uint16(len(s.AttrSigs)))
+	dst = append(dst, b2[:]...)
+	for _, as := range s.AttrSigs {
+		dst = appendSig(dst, as)
+	}
+	return dst
+}
+
+// EncodeBytes returns Encode into a fresh slice.
+func (s *StoredTuple) EncodeBytes() []byte {
+	return s.Encode(make([]byte, 0, s.WireSize()))
+}
+
+// DecodeStoredTuple parses a stored tuple, returning bytes consumed.
+func DecodeStoredTuple(data []byte) (*StoredTuple, int, error) {
+	t, off, err := schema.DecodeTuple(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("vo: stored tuple: %w", err)
+	}
+	if len(data[off:]) < 2 {
+		return nil, 0, errors.New("vo: truncated signature count")
+	}
+	n := int(binary.BigEndian.Uint16(data[off : off+2]))
+	off += 2
+	st := &StoredTuple{Tuple: t, AttrSigs: make([]sig.Signature, 0, n)}
+	for i := 0; i < n; i++ {
+		s, used, err := readSig(data[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("vo: attr signature %d: %w", i, err)
+		}
+		st.AttrSigs = append(st.AttrSigs, s)
+		off += used
+	}
+	if err := st.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return st, off, nil
+}

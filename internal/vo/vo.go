@@ -1,0 +1,320 @@
+// Package vo defines the verification object (VO) and result-set types
+// exchanged between edge servers and clients, together with their binary
+// wire codecs.
+//
+// A VO proves a query result against the signed digest of the enveloping
+// subtree (paper §3.3). Thanks to the multiplicative combiner
+// g(x) = x^e mod m, the digest of a node at level L of the subtree is a
+// flat product of lifted constituent digests:
+//
+//	s⁻¹(D_N) = Π g^L(U_T result tuples) · Π g^lift(s⁻¹(d)) for d in D_S
+//	           · Π g^(L+1)(s⁻¹(d)) for d in D_P                    (mod m)
+//
+// where g^k denotes k applications of g, and lift = L − level(entry). The
+// VO therefore carries only *sets* of signed digests plus a small lift tag
+// per D_S entry — no tree structure — which is the paper's headline
+// advantage over root-anchored Merkle schemes. Leaves sit at level 1;
+// tuples contribute at lift L and attribute digests at lift L+1.
+//
+// One practical note the paper leaves implicit: the attribute hash h binds
+// the tuple's primary key, so the result set always carries each tuple's
+// key, even when the key column itself is projected away (its value digest
+// then travels in D_P like any other filtered attribute).
+package vo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+)
+
+// Entry is one signed digest in the D_S set: a filtered tuple or a
+// non-overlapping branch of the enveloping subtree.
+type Entry struct {
+	// Sig is the signed digest.
+	Sig sig.Signature
+	// Lift is how many times the verifier applies g before multiplying
+	// this digest into the product: L for filtered tuples in boundary
+	// leaves, L - level for filtered branches.
+	Lift uint8
+}
+
+// VO is the verification object for one query result.
+type VO struct {
+	// KeyVersion identifies which central-server public key signed the
+	// digests (paper §3.4 key rotation).
+	KeyVersion uint32
+	// Timestamp is when the edge produced the response (Unix seconds);
+	// clients check it against the key version's validity window.
+	Timestamp int64
+	// TopLevel is the level L of the enveloping subtree's top node
+	// (leaf = 1).
+	TopLevel uint8
+	// TopDigest is D_N, the signed digest of the enveloping subtree's top
+	// node (the root digest when the subtree is the whole tree).
+	TopDigest sig.Signature
+	// DS holds signed digests for filtered tuples and non-overlapping
+	// branches.
+	DS []Entry
+	// DP holds signed digests for attributes filtered out by projection.
+	DP []sig.Signature
+}
+
+// NumDigests returns the total signed digests carried (the paper's VO size
+// accounting unit).
+func (v *VO) NumDigests() int { return 1 + len(v.DS) + len(v.DP) }
+
+// WireSize returns the exact encoded size in bytes.
+func (v *VO) WireSize() int {
+	sz := 4 + 8 + 1 + 4 + len(v.TopDigest) + 4
+	for _, e := range v.DS {
+		sz += 4 + len(e.Sig) + 1
+	}
+	sz += 4
+	for _, s := range v.DP {
+		sz += 4 + len(s)
+	}
+	return sz
+}
+
+func appendSig(dst []byte, s sig.Signature) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(len(s)))
+	dst = append(dst, b[:]...)
+	return append(dst, s...)
+}
+
+func readSig(data []byte) (sig.Signature, int, error) {
+	if len(data) < 4 {
+		return nil, 0, errors.New("vo: truncated signature length")
+	}
+	n := int(binary.BigEndian.Uint32(data[:4]))
+	if n < 0 || len(data) < 4+n {
+		return nil, 0, errors.New("vo: truncated signature")
+	}
+	s := make(sig.Signature, n)
+	copy(s, data[4:4+n])
+	return s, 4 + n, nil
+}
+
+// Encode appends the VO wire form.
+func (v *VO) Encode(dst []byte) []byte {
+	var b8 [8]byte
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], v.KeyVersion)
+	dst = append(dst, b4[:]...)
+	binary.BigEndian.PutUint64(b8[:], uint64(v.Timestamp))
+	dst = append(dst, b8[:]...)
+	dst = append(dst, v.TopLevel)
+	dst = appendSig(dst, v.TopDigest)
+	binary.BigEndian.PutUint32(b4[:], uint32(len(v.DS)))
+	dst = append(dst, b4[:]...)
+	for _, e := range v.DS {
+		dst = appendSig(dst, e.Sig)
+		dst = append(dst, e.Lift)
+	}
+	binary.BigEndian.PutUint32(b4[:], uint32(len(v.DP)))
+	dst = append(dst, b4[:]...)
+	for _, s := range v.DP {
+		dst = appendSig(dst, s)
+	}
+	return dst
+}
+
+// DecodeVO parses a VO, returning bytes consumed.
+func DecodeVO(data []byte) (*VO, int, error) {
+	if len(data) < 4+8+1 {
+		return nil, 0, errors.New("vo: truncated VO header")
+	}
+	v := &VO{
+		KeyVersion: binary.BigEndian.Uint32(data[0:4]),
+		Timestamp:  int64(binary.BigEndian.Uint64(data[4:12])),
+		TopLevel:   data[12],
+	}
+	off := 13
+	s, n, err := readSig(data[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("vo: top digest: %w", err)
+	}
+	v.TopDigest = s
+	off += n
+	if len(data[off:]) < 4 {
+		return nil, 0, errors.New("vo: truncated DS count")
+	}
+	dsCount := int(binary.BigEndian.Uint32(data[off : off+4]))
+	off += 4
+	if dsCount < 0 || dsCount > len(data) { // cheap bound against corrupt counts
+		return nil, 0, errors.New("vo: implausible DS count")
+	}
+	v.DS = make([]Entry, 0, dsCount)
+	for i := 0; i < dsCount; i++ {
+		s, n, err := readSig(data[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("vo: DS entry %d: %w", i, err)
+		}
+		off += n
+		if off >= len(data)+1 || len(data[off:]) < 1 {
+			return nil, 0, errors.New("vo: truncated DS lift")
+		}
+		v.DS = append(v.DS, Entry{Sig: s, Lift: data[off]})
+		off++
+	}
+	if len(data[off:]) < 4 {
+		return nil, 0, errors.New("vo: truncated DP count")
+	}
+	dpCount := int(binary.BigEndian.Uint32(data[off : off+4]))
+	off += 4
+	if dpCount < 0 || dpCount > len(data) {
+		return nil, 0, errors.New("vo: implausible DP count")
+	}
+	v.DP = make([]sig.Signature, 0, dpCount)
+	for i := 0; i < dpCount; i++ {
+		s, n, err := readSig(data[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("vo: DP entry %d: %w", i, err)
+		}
+		v.DP = append(v.DP, s)
+		off += n
+	}
+	return v, off, nil
+}
+
+// ResultSet is the verifiable payload of a query answer.
+type ResultSet struct {
+	// DB and Table identify the base relation (bound into every attribute
+	// hash, so results cannot be replayed across tables).
+	DB    string
+	Table string
+	// Columns are the returned column names, in tuple order.
+	Columns []string
+	// Keys holds each result tuple's primary-key datum; required by the
+	// verifier to recompute attribute hashes.
+	Keys []schema.Datum
+	// Tuples are the result rows, with len(Values) == len(Columns).
+	Tuples []schema.Tuple
+}
+
+// Validate checks internal consistency.
+func (r *ResultSet) Validate() error {
+	if r.DB == "" || r.Table == "" {
+		return errors.New("vo: result set missing relation identity")
+	}
+	if len(r.Keys) != len(r.Tuples) {
+		return fmt.Errorf("vo: %d keys for %d tuples", len(r.Keys), len(r.Tuples))
+	}
+	for i, t := range r.Tuples {
+		if len(t.Values) != len(r.Columns) {
+			return fmt.Errorf("vo: tuple %d has %d values for %d columns", i, len(t.Values), len(r.Columns))
+		}
+	}
+	return nil
+}
+
+// WireSize returns the exact encoded size in bytes.
+func (r *ResultSet) WireSize() int {
+	sz := 2 + len(r.DB) + 2 + len(r.Table) + 2
+	for _, c := range r.Columns {
+		sz += 2 + len(c)
+	}
+	sz += 4
+	for i := range r.Tuples {
+		sz += r.Keys[i].WireSize() + r.Tuples[i].WireSize()
+	}
+	return sz
+}
+
+func appendStr16(dst []byte, s string) []byte {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], uint16(len(s)))
+	dst = append(dst, b[:]...)
+	return append(dst, s...)
+}
+
+func readStr16(data []byte) (string, int, error) {
+	if len(data) < 2 {
+		return "", 0, errors.New("vo: truncated string length")
+	}
+	n := int(binary.BigEndian.Uint16(data[:2]))
+	if len(data) < 2+n {
+		return "", 0, errors.New("vo: truncated string")
+	}
+	return string(data[2 : 2+n]), 2 + n, nil
+}
+
+// Encode appends the result-set wire form.
+func (r *ResultSet) Encode(dst []byte) []byte {
+	dst = appendStr16(dst, r.DB)
+	dst = appendStr16(dst, r.Table)
+	var b2 [2]byte
+	binary.BigEndian.PutUint16(b2[:], uint16(len(r.Columns)))
+	dst = append(dst, b2[:]...)
+	for _, c := range r.Columns {
+		dst = appendStr16(dst, c)
+	}
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], uint32(len(r.Tuples)))
+	dst = append(dst, b4[:]...)
+	for i := range r.Tuples {
+		dst = r.Keys[i].Encode(dst)
+		dst = r.Tuples[i].Encode(dst)
+	}
+	return dst
+}
+
+// DecodeResultSet parses a result set, returning bytes consumed.
+func DecodeResultSet(data []byte) (*ResultSet, int, error) {
+	r := &ResultSet{}
+	db, off, err := readStr16(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("vo: db name: %w", err)
+	}
+	r.DB = db
+	tbl, n, err := readStr16(data[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("vo: table name: %w", err)
+	}
+	r.Table = tbl
+	off += n
+	if len(data[off:]) < 2 {
+		return nil, 0, errors.New("vo: truncated column count")
+	}
+	nc := int(binary.BigEndian.Uint16(data[off : off+2]))
+	off += 2
+	r.Columns = make([]string, nc)
+	for i := 0; i < nc; i++ {
+		c, n, err := readStr16(data[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("vo: column %d: %w", i, err)
+		}
+		r.Columns[i] = c
+		off += n
+	}
+	if len(data[off:]) < 4 {
+		return nil, 0, errors.New("vo: truncated tuple count")
+	}
+	nt := int(binary.BigEndian.Uint32(data[off : off+4]))
+	off += 4
+	if nt < 0 || nt > len(data) {
+		return nil, 0, errors.New("vo: implausible tuple count")
+	}
+	r.Keys = make([]schema.Datum, 0, nt)
+	r.Tuples = make([]schema.Tuple, 0, nt)
+	for i := 0; i < nt; i++ {
+		k, n, err := schema.DecodeDatum(data[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("vo: key %d: %w", i, err)
+		}
+		off += n
+		t, n, err := schema.DecodeTuple(data[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("vo: tuple %d: %w", i, err)
+		}
+		off += n
+		r.Keys = append(r.Keys, k)
+		r.Tuples = append(r.Tuples, t)
+	}
+	return r, off, nil
+}

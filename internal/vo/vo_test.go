@@ -1,0 +1,218 @@
+package vo
+
+import (
+	"bytes"
+	"testing"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+)
+
+func sigOf(b ...byte) sig.Signature { return sig.Signature(b) }
+
+func sampleVO() *VO {
+	return &VO{
+		KeyVersion: 3,
+		Timestamp:  1717000000,
+		TopLevel:   4,
+		TopDigest:  sigOf(1, 2, 3, 4, 5, 6, 7, 8),
+		DS: []Entry{
+			{Sig: sigOf(9, 9, 9), Lift: 4},
+			{Sig: sigOf(8, 8), Lift: 1},
+		},
+		DP: []sig.Signature{sigOf(7), sigOf(6, 6)},
+	}
+}
+
+func TestVOEncodeDecodeRoundTrip(t *testing.T) {
+	v := sampleVO()
+	enc := v.Encode(nil)
+	if len(enc) != v.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(enc), v.WireSize())
+	}
+	got, n, err := DecodeVO(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d", n, len(enc))
+	}
+	if got.KeyVersion != v.KeyVersion || got.Timestamp != v.Timestamp || got.TopLevel != v.TopLevel {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !got.TopDigest.Equal(v.TopDigest) {
+		t.Fatal("top digest mismatch")
+	}
+	if len(got.DS) != 2 || got.DS[0].Lift != 4 || !got.DS[1].Sig.Equal(v.DS[1].Sig) {
+		t.Fatalf("DS mismatch: %+v", got.DS)
+	}
+	if len(got.DP) != 2 || !got.DP[1].Equal(v.DP[1]) {
+		t.Fatalf("DP mismatch: %+v", got.DP)
+	}
+	if got.NumDigests() != 5 {
+		t.Fatalf("NumDigests = %d, want 5", got.NumDigests())
+	}
+}
+
+func TestVOEmptySets(t *testing.T) {
+	v := &VO{KeyVersion: 1, TopLevel: 1, TopDigest: sigOf(1)}
+	enc := v.Encode(nil)
+	got, _, err := DecodeVO(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.DS) != 0 || len(got.DP) != 0 {
+		t.Fatal("empty sets did not round-trip")
+	}
+	if got.NumDigests() != 1 {
+		t.Fatalf("NumDigests = %d, want 1", got.NumDigests())
+	}
+}
+
+func TestVODecodeRejectsCorrupt(t *testing.T) {
+	enc := sampleVO().Encode(nil)
+	for cut := 1; cut < len(enc); cut += 3 {
+		if _, _, err := DecodeVO(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, err := DecodeVO(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+}
+
+func sampleResultSet() *ResultSet {
+	return &ResultSet{
+		DB:      "db",
+		Table:   "orders",
+		Columns: []string{"id", "amount"},
+		Keys:    []schema.Datum{schema.Int64(1), schema.Int64(2)},
+		Tuples: []schema.Tuple{
+			schema.NewTuple(schema.Int64(1), schema.Float64(10.5)),
+			schema.NewTuple(schema.Int64(2), schema.Float64(20.25)),
+		},
+	}
+}
+
+func TestResultSetRoundTrip(t *testing.T) {
+	r := sampleResultSet()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	enc := r.Encode(nil)
+	if len(enc) != r.WireSize() {
+		t.Fatalf("encoded %d, WireSize %d", len(enc), r.WireSize())
+	}
+	got, n, err := DecodeResultSet(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d", n, len(enc))
+	}
+	if got.DB != "db" || got.Table != "orders" {
+		t.Fatalf("identity mismatch: %+v", got)
+	}
+	if len(got.Columns) != 2 || got.Columns[1] != "amount" {
+		t.Fatalf("columns mismatch: %v", got.Columns)
+	}
+	if len(got.Tuples) != 2 || !got.Keys[1].Equal(schema.Int64(2)) {
+		t.Fatalf("tuples mismatch")
+	}
+	if !got.Tuples[1].Values[1].Equal(schema.Float64(20.25)) {
+		t.Fatal("tuple value mismatch")
+	}
+}
+
+func TestResultSetValidate(t *testing.T) {
+	r := sampleResultSet()
+	r.Keys = r.Keys[:1]
+	if err := r.Validate(); err == nil {
+		t.Fatal("key/tuple mismatch accepted")
+	}
+	r = sampleResultSet()
+	r.Tuples[0].Values = r.Tuples[0].Values[:1]
+	if err := r.Validate(); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+	r = sampleResultSet()
+	r.DB = ""
+	if err := r.Validate(); err == nil {
+		t.Fatal("missing identity accepted")
+	}
+}
+
+func TestResultSetDecodeRejectsCorrupt(t *testing.T) {
+	enc := sampleResultSet().Encode(nil)
+	for cut := 1; cut < len(enc); cut += 5 {
+		if _, _, err := DecodeResultSet(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestResultSetEmpty(t *testing.T) {
+	r := &ResultSet{DB: "db", Table: "t", Columns: []string{"a"}}
+	enc := r.Encode(nil)
+	got, _, err := DecodeResultSet(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != 0 {
+		t.Fatal("phantom tuples after decode")
+	}
+}
+
+func TestStoredTupleRoundTrip(t *testing.T) {
+	st := &StoredTuple{
+		Tuple:    schema.NewTuple(schema.Int64(5), schema.Str("x")),
+		AttrSigs: []sig.Signature{sigOf(1, 1), sigOf(2, 2, 2)},
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	enc := st.EncodeBytes()
+	if len(enc) != st.WireSize() {
+		t.Fatalf("encoded %d, WireSize %d", len(enc), st.WireSize())
+	}
+	got, n, err := DecodeStoredTuple(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d", n, len(enc))
+	}
+	if !got.Tuple.Values[1].Equal(schema.Str("x")) {
+		t.Fatal("tuple mismatch")
+	}
+	if !bytes.Equal(got.AttrSigs[1], st.AttrSigs[1]) {
+		t.Fatal("signatures mismatch")
+	}
+}
+
+func TestStoredTupleValidate(t *testing.T) {
+	st := &StoredTuple{
+		Tuple:    schema.NewTuple(schema.Int64(5), schema.Str("x")),
+		AttrSigs: []sig.Signature{sigOf(1)},
+	}
+	if err := st.Validate(); err == nil {
+		t.Fatal("signature count mismatch accepted")
+	}
+	enc := st.EncodeBytes()
+	if _, _, err := DecodeStoredTuple(enc); err == nil {
+		t.Fatal("decode accepted inconsistent stored tuple")
+	}
+}
+
+func TestStoredTupleDecodeRejectsCorrupt(t *testing.T) {
+	st := &StoredTuple{
+		Tuple:    schema.NewTuple(schema.Int64(5)),
+		AttrSigs: []sig.Signature{sigOf(1, 2, 3)},
+	}
+	enc := st.EncodeBytes()
+	for cut := 1; cut < len(enc); cut += 2 {
+		if _, _, err := DecodeStoredTuple(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/query"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/storage"
+	"edgeauth/internal/vo"
+)
+
+// QueryRequest asks an edge server to run a selection/projection.
+type QueryRequest struct {
+	Table      string
+	Predicates []query.Predicate
+	Project    []string // nil = all columns
+	ProjectAll bool     // true when Project is nil (distinguishes SELECT *)
+}
+
+// Encode serializes the request.
+func (q *QueryRequest) Encode() []byte {
+	out := appendStr(nil, q.Table)
+	out = appendU32(out, uint32(len(q.Predicates)))
+	for _, p := range q.Predicates {
+		out = appendStr(out, p.Column)
+		out = appendU8(out, uint8(p.Op))
+		out = p.Value.Encode(out)
+	}
+	if q.ProjectAll || q.Project == nil {
+		out = appendU8(out, 1)
+		return out
+	}
+	out = appendU8(out, 0)
+	out = appendU32(out, uint32(len(q.Project)))
+	for _, c := range q.Project {
+		out = appendStr(out, c)
+	}
+	return out
+}
+
+// DecodeQueryRequest parses a QueryRequest.
+func DecodeQueryRequest(body []byte) (*QueryRequest, error) {
+	r := &reader{data: body}
+	q := &QueryRequest{Table: r.str("table")}
+	n := int(r.u32("predicate count"))
+	if r.err == nil && n > len(body) {
+		return nil, errors.New("wire: implausible predicate count")
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		col := r.str("predicate column")
+		op := query.Op(r.u8("predicate op"))
+		if r.err != nil {
+			break
+		}
+		d, used, err := schema.DecodeDatum(r.data[r.off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: predicate %d literal: %w", i, err)
+		}
+		r.off += used
+		q.Predicates = append(q.Predicates, query.Predicate{Column: col, Op: op, Value: d})
+	}
+	all := r.u8("projection flag")
+	if all == 1 {
+		q.ProjectAll = true
+	} else {
+		pn := int(r.u32("projection count"))
+		if r.err == nil && pn > len(body) {
+			return nil, errors.New("wire: implausible projection count")
+		}
+		for i := 0; i < pn && r.err == nil; i++ {
+			q.Project = append(q.Project, r.str("projection column"))
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// QueryResponse carries the verifiable answer.
+type QueryResponse struct {
+	Result *vo.ResultSet
+	VO     *vo.VO
+}
+
+// Encode serializes the response.
+func (q *QueryResponse) Encode() []byte {
+	rs := q.Result.Encode(nil)
+	vb := q.VO.Encode(nil)
+	out := appendBytes(nil, rs)
+	out = appendBytes(out, vb)
+	return out
+}
+
+// DecodeQueryResponse parses a QueryResponse.
+func DecodeQueryResponse(body []byte) (*QueryResponse, error) {
+	r := &reader{data: body}
+	rsb := r.bytes("result set")
+	vb := r.bytes("verification object")
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	rs, _, err := vo.DecodeResultSet(rsb)
+	if err != nil {
+		return nil, err
+	}
+	w, _, err := vo.DecodeVO(vb)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResponse{Result: rs, VO: w}, nil
+}
+
+// Snapshot replicates a table and its VB-tree to an edge server: the raw
+// pages (tree + heap), the tree metadata, the heap page list, the schema
+// and the accumulator parameters.
+type Snapshot struct {
+	Schema    *schema.Schema
+	AccParams AccParams
+	Root      storage.PageID
+	Height    uint32
+	RootSig   []byte
+	PageSize  uint32
+	HeapPages []storage.PageID
+	// Pages holds (id, content) for every live page.
+	PageIDs  []storage.PageID
+	PageData [][]byte
+	// KeyVersion is the signing-key version in force.
+	KeyVersion uint32
+}
+
+// AccParams serializes digest.Params across the wire.
+type AccParams struct {
+	Size     uint32
+	Exponent int64
+	Mode     uint8
+	Modulus  []byte // empty for Mod2K
+}
+
+// ToDigestParams converts to digest.Params.
+func (a AccParams) ToDigestParams() digest.Params {
+	p := digest.Params{
+		Size:     int(a.Size),
+		Exponent: a.Exponent,
+		Mode:     digest.Mode(a.Mode),
+	}
+	if len(a.Modulus) > 0 {
+		p.Modulus = new(big.Int).SetBytes(a.Modulus)
+	}
+	return p
+}
+
+// AccParamsFrom captures an accumulator's parameters.
+func AccParamsFrom(acc *digest.Accumulator) AccParams {
+	a := AccParams{
+		Size:     uint32(acc.Len()),
+		Exponent: acc.Exponent(),
+		Mode:     uint8(acc.Mode()),
+	}
+	if acc.Mode() == digest.ModBig {
+		a.Modulus = acc.Modulus().Bytes()
+		a.Size = 0 // derived from the modulus on the far side
+	}
+	return a
+}
+
+// EncodeSchema serializes a schema.
+func EncodeSchema(s *schema.Schema) []byte {
+	out := appendStr(nil, s.DB)
+	out = appendStr(out, s.Table)
+	out = appendU32(out, uint32(len(s.Columns)))
+	for _, c := range s.Columns {
+		out = appendStr(out, c.Name)
+		out = appendU8(out, uint8(c.Type))
+	}
+	out = appendU32(out, uint32(s.Key))
+	return out
+}
+
+// DecodeSchema parses a schema and validates it.
+func DecodeSchema(body []byte) (*schema.Schema, error) {
+	r := &reader{data: body}
+	s, err := decodeSchemaAt(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func decodeSchemaAt(r *reader) (*schema.Schema, error) {
+	s := &schema.Schema{DB: r.str("db"), Table: r.str("table")}
+	n := int(r.u32("column count"))
+	if r.err == nil && n > len(r.data) {
+		return nil, errors.New("wire: implausible column count")
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.str("column name")
+		typ := schema.Type(r.u8("column type"))
+		s.Columns = append(s.Columns, schema.Column{Name: name, Type: typ})
+	}
+	s.Key = int(r.u32("key index"))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Encode serializes the snapshot.
+func (s *Snapshot) Encode() []byte {
+	out := appendBytes(nil, EncodeSchema(s.Schema))
+	out = appendU32(out, s.AccParams.Size)
+	out = appendU64(out, uint64(s.AccParams.Exponent))
+	out = appendU8(out, s.AccParams.Mode)
+	out = appendBytes(out, s.AccParams.Modulus)
+	out = appendU32(out, uint32(s.Root))
+	out = appendU32(out, s.Height)
+	out = appendBytes(out, s.RootSig)
+	out = appendU32(out, s.PageSize)
+	out = appendU32(out, s.KeyVersion)
+	out = appendU32(out, uint32(len(s.HeapPages)))
+	for _, p := range s.HeapPages {
+		out = appendU32(out, uint32(p))
+	}
+	out = appendU32(out, uint32(len(s.PageIDs)))
+	for i, id := range s.PageIDs {
+		out = appendU32(out, uint32(id))
+		out = appendBytes(out, s.PageData[i])
+	}
+	return out
+}
+
+// DecodeSnapshot parses a snapshot.
+func DecodeSnapshot(body []byte) (*Snapshot, error) {
+	r := &reader{data: body}
+	schBlob := r.bytes("schema")
+	if r.err != nil {
+		return nil, r.err
+	}
+	sch, err := DecodeSchema(schBlob)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{Schema: sch}
+	s.AccParams.Size = r.u32("acc size")
+	s.AccParams.Exponent = int64(r.u64("acc exponent"))
+	s.AccParams.Mode = r.u8("acc mode")
+	s.AccParams.Modulus = r.bytes("acc modulus")
+	s.Root = storage.PageID(r.u32("root"))
+	s.Height = r.u32("height")
+	s.RootSig = r.bytes("root sig")
+	s.PageSize = r.u32("page size")
+	s.KeyVersion = r.u32("key version")
+	hn := int(r.u32("heap page count"))
+	if r.err == nil && hn > len(body) {
+		return nil, errors.New("wire: implausible heap page count")
+	}
+	for i := 0; i < hn && r.err == nil; i++ {
+		s.HeapPages = append(s.HeapPages, storage.PageID(r.u32("heap page")))
+	}
+	pn := int(r.u32("page count"))
+	if r.err == nil && pn > len(body) {
+		return nil, errors.New("wire: implausible page count")
+	}
+	for i := 0; i < pn && r.err == nil; i++ {
+		id := storage.PageID(r.u32("page id"))
+		data := r.bytes("page data")
+		s.PageIDs = append(s.PageIDs, id)
+		s.PageData = append(s.PageData, data)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// InsertRequest sends a tuple insert to the central server.
+type InsertRequest struct {
+	Table string
+	Tuple schema.Tuple
+}
+
+// Encode serializes the request.
+func (i *InsertRequest) Encode() []byte {
+	out := appendStr(nil, i.Table)
+	return i.Tuple.Encode(out)
+}
+
+// DecodeInsertRequest parses an InsertRequest.
+func DecodeInsertRequest(body []byte) (*InsertRequest, error) {
+	r := &reader{data: body}
+	tbl := r.str("table")
+	if r.err != nil {
+		return nil, r.err
+	}
+	tup, used, err := schema.DecodeTuple(body[r.off:])
+	if err != nil {
+		return nil, err
+	}
+	if r.off+used != len(body) {
+		return nil, errors.New("wire: trailing bytes in insert request")
+	}
+	return &InsertRequest{Table: tbl, Tuple: tup}, nil
+}
+
+// DeleteRequest sends a key-range delete to the central server.
+type DeleteRequest struct {
+	Table string
+	HasLo bool
+	Lo    schema.Datum
+	HasHi bool
+	Hi    schema.Datum
+}
+
+// Encode serializes the request.
+func (d *DeleteRequest) Encode() []byte {
+	out := appendStr(nil, d.Table)
+	if d.HasLo {
+		out = appendU8(out, 1)
+		out = d.Lo.Encode(out)
+	} else {
+		out = appendU8(out, 0)
+	}
+	if d.HasHi {
+		out = appendU8(out, 1)
+		out = d.Hi.Encode(out)
+	} else {
+		out = appendU8(out, 0)
+	}
+	return out
+}
+
+// DecodeDeleteRequest parses a DeleteRequest.
+func DecodeDeleteRequest(body []byte) (*DeleteRequest, error) {
+	r := &reader{data: body}
+	d := &DeleteRequest{Table: r.str("table")}
+	if r.u8("lo flag") == 1 && r.err == nil {
+		v, used, err := schema.DecodeDatum(body[r.off:])
+		if err != nil {
+			return nil, err
+		}
+		r.off += used
+		d.HasLo, d.Lo = true, v
+	}
+	if r.u8("hi flag") == 1 && r.err == nil {
+		v, used, err := schema.DecodeDatum(body[r.off:])
+		if err != nil {
+			return nil, err
+		}
+		r.off += used
+		d.HasHi, d.Hi = true, v
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SchemaResponse tells a client how to verify results for a table: the
+// schema, the accumulator parameters, and the signing-key version in
+// force.
+type SchemaResponse struct {
+	Schema     *schema.Schema
+	AccParams  AccParams
+	KeyVersion uint32
+}
+
+// Encode serializes the response.
+func (s *SchemaResponse) Encode() []byte {
+	out := appendBytes(nil, EncodeSchema(s.Schema))
+	out = appendU32(out, s.AccParams.Size)
+	out = appendU64(out, uint64(s.AccParams.Exponent))
+	out = appendU8(out, s.AccParams.Mode)
+	out = appendBytes(out, s.AccParams.Modulus)
+	out = appendU32(out, s.KeyVersion)
+	return out
+}
+
+// DecodeSchemaResponse parses a SchemaResponse.
+func DecodeSchemaResponse(body []byte) (*SchemaResponse, error) {
+	r := &reader{data: body}
+	blob := r.bytes("schema")
+	if r.err != nil {
+		return nil, r.err
+	}
+	sch, err := DecodeSchema(blob)
+	if err != nil {
+		return nil, err
+	}
+	s := &SchemaResponse{Schema: sch}
+	s.AccParams.Size = r.u32("acc size")
+	s.AccParams.Exponent = int64(r.u64("acc exponent"))
+	s.AccParams.Mode = r.u8("acc mode")
+	s.AccParams.Modulus = r.bytes("acc modulus")
+	s.KeyVersion = r.u32("key version")
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EncodeStringList / DecodeStringList serve ListTablesResp.
+func EncodeStringList(ss []string) []byte {
+	out := appendU32(nil, uint32(len(ss)))
+	for _, s := range ss {
+		out = appendStr(out, s)
+	}
+	return out
+}
+
+// DecodeStringList parses a string list.
+func DecodeStringList(body []byte) ([]string, error) {
+	r := &reader{data: body}
+	n := int(r.u32("count"))
+	if r.err == nil && n > len(body) {
+		return nil, errors.New("wire: implausible list length")
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.str("item"))
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncodeU64 / DecodeU64 serve DeleteResp (count) and VersionResp.
+func EncodeU64(v uint64) []byte { return appendU64(nil, v) }
+
+// DecodeU64 parses an 8-byte integer body.
+func DecodeU64(body []byte) (uint64, error) {
+	r := &reader{data: body}
+	v := r.u64("value")
+	if err := r.done(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}

@@ -1,0 +1,203 @@
+// Package wire defines the binary protocol spoken between clients, edge
+// servers and the central server (the arrows of the paper's Figure 2):
+//
+//	client → edge:    QueryReq            (selection/projection over a table)
+//	edge   → client:  QueryResp           (result set + verification object)
+//	edge   → central: SnapshotReq         (pull "DB + VB-trees")
+//	central→ edge:    SnapshotResp        (pages + tree metadata)
+//	client → central: InsertReq/DeleteReq (updates go to the trusted server)
+//	client → central: PubKeyReq           (the PKI stand-in: an authenticated
+//	                                       channel to the signer's public key)
+//
+// Frames are u32 length | u8 type | body, big-endian, with a hard frame
+// cap to bound allocation from untrusted peers.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType tags a frame.
+type MsgType uint8
+
+const (
+	MsgError MsgType = iota + 1
+	MsgQueryReq
+	MsgQueryResp
+	MsgSnapshotReq
+	MsgSnapshotResp
+	MsgListTablesReq
+	MsgListTablesResp
+	MsgPubKeyReq
+	MsgPubKeyResp
+	MsgSchemaReq
+	MsgSchemaResp
+	MsgInsertReq
+	MsgInsertResp
+	MsgDeleteReq
+	MsgDeleteResp
+	MsgVersionReq
+	MsgVersionResp
+)
+
+func (m MsgType) String() string {
+	names := map[MsgType]string{
+		MsgError: "error", MsgQueryReq: "query-req", MsgQueryResp: "query-resp",
+		MsgSnapshotReq: "snapshot-req", MsgSnapshotResp: "snapshot-resp",
+		MsgListTablesReq: "list-tables-req", MsgListTablesResp: "list-tables-resp",
+		MsgPubKeyReq: "pubkey-req", MsgPubKeyResp: "pubkey-resp",
+		MsgSchemaReq: "schema-req", MsgSchemaResp: "schema-resp",
+		MsgInsertReq: "insert-req", MsgInsertResp: "insert-resp",
+		MsgDeleteReq: "delete-req", MsgDeleteResp: "delete-resp",
+		MsgVersionReq: "version-req", MsgVersionResp: "version-resp",
+	}
+	if n, ok := names[m]; ok {
+		return n
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(m))
+}
+
+// MaxFrameSize bounds a single frame (1 GiB) to keep a malicious peer from
+// forcing unbounded allocation.
+const MaxFrameSize = 1 << 30
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, t MsgType, body []byte) error {
+	if len(body)+1 > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return MsgType(buf[0]), buf[1:], nil
+}
+
+// WriteError sends an error frame.
+func WriteError(w io.Writer, err error) error {
+	return WriteFrame(w, MsgError, []byte(err.Error()))
+}
+
+// AsError converts an error frame's body.
+func AsError(body []byte) error { return errors.New(string(body)) }
+
+// --- primitive encoding helpers shared by the message codecs ---
+
+func appendU8(dst []byte, v uint8) []byte { return append(dst, v) }
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+func appendStr(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = appendU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// reader is a cursor over a frame body.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *reader) u8(what string) uint8 {
+	if r.err != nil || r.off+1 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil || r.off+4 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) str(what string) string {
+	n := int(r.u32(what))
+	if r.err != nil || n < 0 || r.off+n > len(r.data) {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) bytes(what string) []byte {
+	n := int(r.u32(what))
+	if r.err != nil || n < 0 || r.off+n > len(r.data) {
+		r.fail(what)
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.data[r.off:r.off+n])
+	r.off += n
+	return b
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.data)-r.off)
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/query"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/storage"
+	"edgeauth/internal/vo"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("hello frame")
+	if err := WriteFrame(&buf, MsgQueryReq, body); err != nil {
+		t.Fatal(err)
+	}
+	mt, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MsgQueryReq || !bytes.Equal(got, body) {
+		t.Fatalf("frame = %v %q", mt, got)
+	}
+}
+
+func TestFrameEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgPubKeyReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	mt, body, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MsgPubKeyReq || len(body) != 0 {
+		t.Fatalf("frame = %v %q", mt, body)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// Zero length.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// Excessive length.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Truncated body.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 9, 1, 2})); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Truncated header.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestErrorFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteError(&buf, AsError([]byte("boom"))); err != nil {
+		t.Fatal(err)
+	}
+	mt, body, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MsgError || AsError(body).Error() != "boom" {
+		t.Fatalf("error frame = %v %q", mt, body)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgQueryReq.String() != "query-req" || MsgSnapshotResp.String() != "snapshot-resp" {
+		t.Fatal("MsgType rendering")
+	}
+	if MsgType(200).String() == "" {
+		t.Fatal("unknown type should render")
+	}
+}
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	req := &QueryRequest{
+		Table: "items",
+		Predicates: []query.Predicate{
+			{Column: "id", Op: query.OpGE, Value: schema.Int64(10)},
+			{Column: "cat", Op: query.OpEQ, Value: schema.Str("tools")},
+		},
+		Project: []string{"id", "cat"},
+	}
+	got, err := DecodeQueryRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table != "items" || len(got.Predicates) != 2 || len(got.Project) != 2 {
+		t.Fatalf("decoded: %+v", got)
+	}
+	if got.Predicates[1].Op != query.OpEQ || !got.Predicates[1].Value.Equal(schema.Str("tools")) {
+		t.Fatalf("predicate 1 = %v", got.Predicates[1])
+	}
+	if got.ProjectAll {
+		t.Fatal("explicit projection flagged as all")
+	}
+}
+
+func TestQueryRequestSelectStar(t *testing.T) {
+	req := &QueryRequest{Table: "t", ProjectAll: true}
+	got, err := DecodeQueryRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ProjectAll || got.Project != nil {
+		t.Fatalf("decoded: %+v", got)
+	}
+}
+
+func TestQueryRequestRejectsCorrupt(t *testing.T) {
+	req := &QueryRequest{Table: "t", ProjectAll: true}
+	enc := req.Encode()
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeQueryRequest(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestQueryResponseRoundTrip(t *testing.T) {
+	resp := &QueryResponse{
+		Result: &vo.ResultSet{
+			DB: "db", Table: "t", Columns: []string{"id"},
+			Keys:   []schema.Datum{schema.Int64(1)},
+			Tuples: []schema.Tuple{schema.NewTuple(schema.Int64(1))},
+		},
+		VO: &vo.VO{
+			KeyVersion: 2, Timestamp: 99, TopLevel: 3,
+			TopDigest: sig.Signature{1, 2, 3},
+			DS:        []vo.Entry{{Sig: sig.Signature{4}, Lift: 2}},
+			DP:        []sig.Signature{{5, 6}},
+		},
+	}
+	got, err := DecodeQueryResponse(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Table != "t" || len(got.Result.Tuples) != 1 {
+		t.Fatalf("result: %+v", got.Result)
+	}
+	if got.VO.TopLevel != 3 || len(got.VO.DS) != 1 || got.VO.DS[0].Lift != 2 {
+		t.Fatalf("vo: %+v", got.VO)
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := &schema.Schema{
+		DB: "db", Table: "t",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TypeInt64},
+			{Name: "v", Type: schema.TypeBytes},
+		},
+		Key: 0,
+	}
+	got, err := DecodeSchema(EncodeSchema(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table != "t" || len(got.Columns) != 2 || got.Columns[1].Type != schema.TypeBytes {
+		t.Fatalf("decoded: %+v", got)
+	}
+	// An invalid schema must not decode.
+	bad := *s
+	bad.Key = 7
+	if _, err := DecodeSchema(EncodeSchema(&bad)); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := &Snapshot{
+		Schema: &schema.Schema{
+			DB: "db", Table: "t",
+			Columns: []schema.Column{{Name: "id", Type: schema.TypeInt64}},
+			Key:     0,
+		},
+		AccParams:  AccParams{Size: 16, Exponent: 15, Mode: 0},
+		Root:       7,
+		Height:     3,
+		RootSig:    []byte{9, 9, 9},
+		PageSize:   4096,
+		KeyVersion: 5,
+		HeapPages:  []storage.PageID{1, 2, 3},
+		PageIDs:    []storage.PageID{1, 2},
+		PageData:   [][]byte{{0xAA}, {0xBB, 0xCC}},
+	}
+	got, err := DecodeSnapshot(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root != 7 || got.Height != 3 || got.KeyVersion != 5 {
+		t.Fatalf("meta: %+v", got)
+	}
+	if len(got.HeapPages) != 3 || got.HeapPages[2] != 3 {
+		t.Fatalf("heap pages: %v", got.HeapPages)
+	}
+	if len(got.PageIDs) != 2 || !bytes.Equal(got.PageData[1], []byte{0xBB, 0xCC}) {
+		t.Fatalf("pages: %v %v", got.PageIDs, got.PageData)
+	}
+	// Accumulator params reconstruct.
+	acc, err := digest.New(got.AccParams.ToDigestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Len() != 16 || acc.Exponent() != 15 {
+		t.Fatalf("acc params: len=%d e=%d", acc.Len(), acc.Exponent())
+	}
+}
+
+func TestSnapshotRejectsCorrupt(t *testing.T) {
+	s := &Snapshot{
+		Schema: &schema.Schema{
+			DB: "db", Table: "t",
+			Columns: []schema.Column{{Name: "id", Type: schema.TypeInt64}},
+		},
+		PageIDs:  []storage.PageID{1},
+		PageData: [][]byte{{1}},
+	}
+	enc := s.Encode()
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, err := DecodeSnapshot(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestAccParamsModBig(t *testing.T) {
+	acc := digest.MustNew(digest.DefaultParams())
+	a := AccParamsFrom(acc)
+	if a.Mode != 0 || a.Size != 16 || len(a.Modulus) != 0 {
+		t.Fatalf("Mod2K params: %+v", a)
+	}
+}
+
+func TestInsertRequestRoundTrip(t *testing.T) {
+	req := &InsertRequest{
+		Table: "t",
+		Tuple: schema.NewTuple(schema.Int64(1), schema.Str("x")),
+	}
+	got, err := DecodeInsertRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table != "t" || len(got.Tuple.Values) != 2 || !got.Tuple.Values[1].Equal(schema.Str("x")) {
+		t.Fatalf("decoded: %+v", got)
+	}
+	// Trailing garbage rejected.
+	if _, err := DecodeInsertRequest(append(req.Encode(), 0xEE)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestDeleteRequestRoundTrip(t *testing.T) {
+	cases := []*DeleteRequest{
+		{Table: "t", HasLo: true, Lo: schema.Int64(5), HasHi: true, Hi: schema.Int64(10)},
+		{Table: "t", HasLo: true, Lo: schema.Int64(5)},
+		{Table: "t", HasHi: true, Hi: schema.Int64(10)},
+		{Table: "t"},
+	}
+	for i, req := range cases {
+		got, err := DecodeDeleteRequest(req.Encode())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.HasLo != req.HasLo || got.HasHi != req.HasHi {
+			t.Fatalf("case %d: flags mismatch", i)
+		}
+		if got.HasLo && !got.Lo.Equal(req.Lo) {
+			t.Fatalf("case %d: lo mismatch", i)
+		}
+		if got.HasHi && !got.Hi.Equal(req.Hi) {
+			t.Fatalf("case %d: hi mismatch", i)
+		}
+	}
+}
+
+func TestStringListRoundTrip(t *testing.T) {
+	in := []string{"users", "orders", "user_orders"}
+	got, err := DecodeStringList(EncodeStringList(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != "user_orders" {
+		t.Fatalf("decoded: %v", got)
+	}
+	empty, err := DecodeStringList(EncodeStringList(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty list: %v %v", empty, err)
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	got, err := DecodeU64(EncodeU64(123456789))
+	if err != nil || got != 123456789 {
+		t.Fatalf("u64 round trip: %d %v", got, err)
+	}
+	if _, err := DecodeU64([]byte{1, 2}); err == nil {
+		t.Fatal("short u64 accepted")
+	}
+	if _, err := DecodeU64(append(EncodeU64(1), 0)); err == nil {
+		t.Fatal("long u64 accepted")
+	}
+}

@@ -1,0 +1,194 @@
+// Package workload generates the deterministic synthetic tables and query
+// mixes used by the experiments. The default table shape follows the
+// paper's §4.2 settings: tuples of N_C = 10 attributes averaging 20 bytes
+// each (200-byte tuples), keyed by a sequential int64 primary key, with
+// range queries sized by a selectivity factor Q_R / N_R.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgeauth/internal/schema"
+)
+
+// TableSpec describes a synthetic table.
+type TableSpec struct {
+	// DB and Table name the relation.
+	DB, Table string
+	// Rows is N_R.
+	Rows int
+	// Cols is N_C, including the key column.
+	Cols int
+	// AttrSize is the payload size of each non-key attribute in bytes.
+	AttrSize int
+	// Categories controls the cardinality of the "cat" column used by
+	// non-key filter queries. Zero disables the category column.
+	Categories int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultSpec mirrors the paper's evaluation table at a configurable row
+// count.
+func DefaultSpec(rows int) TableSpec {
+	return TableSpec{
+		DB:         "edgedb",
+		Table:      "items",
+		Rows:       rows,
+		Cols:       10,
+		AttrSize:   20,
+		Categories: 20,
+		Seed:       42,
+	}
+}
+
+// Schema builds the schema for the spec: column 0 is the int64 key "id";
+// column 1 is the filterable "cat" column when Categories > 0; remaining
+// columns are fixed-size string payloads "a2", "a3", ….
+func (s TableSpec) Schema() (*schema.Schema, error) {
+	if s.Cols < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 column, got %d", s.Cols)
+	}
+	sch := &schema.Schema{DB: s.DB, Table: s.Table, Key: 0}
+	sch.Columns = append(sch.Columns, schema.Column{Name: "id", Type: schema.TypeInt64})
+	for i := 1; i < s.Cols; i++ {
+		if i == 1 && s.Categories > 0 {
+			sch.Columns = append(sch.Columns, schema.Column{Name: "cat", Type: schema.TypeString})
+			continue
+		}
+		sch.Columns = append(sch.Columns, schema.Column{Name: fmt.Sprintf("a%d", i), Type: schema.TypeString})
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	return sch, nil
+}
+
+// Tuples generates the table content in key order.
+func (s TableSpec) Tuples() ([]schema.Tuple, error) {
+	sch, err := s.Schema()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	out := make([]schema.Tuple, s.Rows)
+	for r := 0; r < s.Rows; r++ {
+		vals := make([]schema.Datum, len(sch.Columns))
+		vals[0] = schema.Int64(int64(r))
+		for c := 1; c < len(sch.Columns); c++ {
+			if sch.Columns[c].Name == "cat" {
+				vals[c] = schema.Str(CategoryName(rng.Intn(s.Categories)))
+				continue
+			}
+			vals[c] = schema.Str(payload(rng, s.AttrSize))
+		}
+		out[r] = schema.Tuple{Values: vals}
+	}
+	return out, nil
+}
+
+// CategoryName renders category i's value ("cat-07" style, fixed width).
+func CategoryName(i int) string { return fmt.Sprintf("cat-%02d", i) }
+
+// payload builds a printable string of exactly n bytes.
+func payload(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// RangeForSelectivity returns a key range [lo, hi] covering pct percent of
+// a table with rows sequential int64 keys, starting at a deterministic
+// offset derived from seed.
+func RangeForSelectivity(rows int, pct float64, seed int64) (lo, hi int64, qr int) {
+	if pct <= 0 || rows == 0 {
+		return 0, -1, 0 // empty range
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	qr = int(float64(rows)*pct/100 + 0.5)
+	if qr < 1 {
+		qr = 1
+	}
+	if qr > rows {
+		qr = rows
+	}
+	maxStart := rows - qr
+	start := 0
+	if maxStart > 0 {
+		start = int(rand.New(rand.NewSource(seed)).Int63n(int64(maxStart + 1)))
+	}
+	return int64(start), int64(start + qr - 1), qr
+}
+
+// Selectivities is the sweep used by Figures 10 and 12.
+func Selectivities() []float64 {
+	out := []float64{1}
+	for s := 10.0; s <= 100; s += 10 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// ProjectFirstN returns the first n column names of the schema — the
+// paper's assumption that the Q_C returned attributes are the first ones.
+func ProjectFirstN(sch *schema.Schema, n int) []string {
+	if n >= len(sch.Columns) {
+		n = len(sch.Columns)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = sch.Columns[i].Name
+	}
+	return out
+}
+
+// JoinSpec describes the two-table equijoin workload used by the
+// materialized-view experiments: an "orders" table referencing "users" by
+// a foreign key.
+type JoinSpec struct {
+	Users  TableSpec
+	Orders int // order rows
+	Seed   int64
+}
+
+// DefaultJoinSpec sizes a small join workload.
+func DefaultJoinSpec(users, orders int) JoinSpec {
+	u := DefaultSpec(users)
+	u.Table = "users"
+	u.Cols = 4
+	return JoinSpec{Users: u, Orders: orders, Seed: 77}
+}
+
+// OrdersSchema is the orders side of the join.
+func (j JoinSpec) OrdersSchema() *schema.Schema {
+	return &schema.Schema{
+		DB:    j.Users.DB,
+		Table: "orders",
+		Columns: []schema.Column{
+			{Name: "oid", Type: schema.TypeInt64},
+			{Name: "user_id", Type: schema.TypeInt64},
+			{Name: "total", Type: schema.TypeFloat64},
+		},
+		Key: 0,
+	}
+}
+
+// OrderTuples generates the orders table; user_id references [0, users).
+func (j JoinSpec) OrderTuples() []schema.Tuple {
+	rng := rand.New(rand.NewSource(j.Seed))
+	out := make([]schema.Tuple, j.Orders)
+	for i := 0; i < j.Orders; i++ {
+		out[i] = schema.NewTuple(
+			schema.Int64(int64(i)),
+			schema.Int64(int64(rng.Intn(j.Users.Rows))),
+			schema.Float64(float64(rng.Intn(100000))/100),
+		)
+	}
+	return out
+}

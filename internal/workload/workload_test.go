@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"testing"
+
+	"edgeauth/internal/schema"
+)
+
+func TestSchemaShape(t *testing.T) {
+	spec := DefaultSpec(100)
+	sch, err := spec.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Columns) != 10 {
+		t.Fatalf("columns = %d, want 10", len(sch.Columns))
+	}
+	if sch.Columns[0].Name != "id" || sch.Columns[0].Type != schema.TypeInt64 {
+		t.Fatalf("key column = %+v", sch.Columns[0])
+	}
+	if sch.Columns[1].Name != "cat" {
+		t.Fatalf("second column = %q, want cat", sch.Columns[1].Name)
+	}
+	spec.Categories = 0
+	sch2, err := spec.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch2.ColumnIndex("cat") != -1 {
+		t.Fatal("cat column present with Categories=0")
+	}
+	spec.Cols = 0
+	if _, err := spec.Schema(); err == nil {
+		t.Fatal("zero columns accepted")
+	}
+}
+
+func TestTuplesDeterministicAndSorted(t *testing.T) {
+	spec := DefaultSpec(200)
+	t1, err := spec.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := spec.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != 200 {
+		t.Fatalf("generated %d tuples", len(t1))
+	}
+	for i := range t1 {
+		if !t1[i].Values[0].Equal(schema.Int64(int64(i))) {
+			t.Fatalf("row %d key = %v", i, t1[i].Values[0])
+		}
+		for c := range t1[i].Values {
+			if !t1[i].Values[c].Equal(t2[i].Values[c]) {
+				t.Fatalf("generation not deterministic at row %d col %d", i, c)
+			}
+		}
+	}
+	// Payload sizes honor AttrSize.
+	if got := len(t1[0].Values[2].S); got != spec.AttrSize {
+		t.Fatalf("payload size = %d, want %d", got, spec.AttrSize)
+	}
+}
+
+func TestCategoriesBounded(t *testing.T) {
+	spec := DefaultSpec(500)
+	tuples, err := spec.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tp := range tuples {
+		seen[tp.Values[1].S] = true
+	}
+	if len(seen) > spec.Categories {
+		t.Fatalf("%d distinct categories, want <= %d", len(seen), spec.Categories)
+	}
+	if len(seen) < 2 {
+		t.Fatal("degenerate category distribution")
+	}
+}
+
+func TestRangeForSelectivity(t *testing.T) {
+	lo, hi, qr := RangeForSelectivity(1000, 10, 1)
+	if qr != 100 {
+		t.Fatalf("qr = %d, want 100", qr)
+	}
+	if hi-lo+1 != int64(qr) {
+		t.Fatalf("range [%d,%d] does not cover %d keys", lo, hi, qr)
+	}
+	if lo < 0 || hi >= 1000 {
+		t.Fatalf("range [%d,%d] out of table", lo, hi)
+	}
+	// Determinism per seed; variety across seeds.
+	lo2, _, _ := RangeForSelectivity(1000, 10, 1)
+	if lo != lo2 {
+		t.Fatal("same seed gave different ranges")
+	}
+	// 100% covers everything.
+	lo3, hi3, qr3 := RangeForSelectivity(1000, 100, 9)
+	if lo3 != 0 || hi3 != 999 || qr3 != 1000 {
+		t.Fatalf("full range = [%d,%d] qr=%d", lo3, hi3, qr3)
+	}
+	// Empty and clamped cases.
+	if _, _, qr := RangeForSelectivity(1000, 0, 1); qr != 0 {
+		t.Fatal("zero selectivity should be empty")
+	}
+	if _, _, qr := RangeForSelectivity(1000, 300, 1); qr != 1000 {
+		t.Fatal("selectivity must clamp at 100%")
+	}
+}
+
+func TestSelectivitiesSweep(t *testing.T) {
+	s := Selectivities()
+	if s[0] != 1 || s[len(s)-1] != 100 || len(s) != 11 {
+		t.Fatalf("sweep = %v", s)
+	}
+}
+
+func TestProjectFirstN(t *testing.T) {
+	sch, _ := DefaultSpec(10).Schema()
+	cols := ProjectFirstN(sch, 3)
+	if len(cols) != 3 || cols[0] != "id" {
+		t.Fatalf("ProjectFirstN = %v", cols)
+	}
+	all := ProjectFirstN(sch, 99)
+	if len(all) != len(sch.Columns) {
+		t.Fatalf("over-request returned %d cols", len(all))
+	}
+}
+
+func TestJoinSpec(t *testing.T) {
+	j := DefaultJoinSpec(50, 200)
+	if j.Users.Table != "users" {
+		t.Fatalf("users table = %q", j.Users.Table)
+	}
+	orders := j.OrderTuples()
+	if len(orders) != 200 {
+		t.Fatalf("orders = %d", len(orders))
+	}
+	osch := j.OrdersSchema()
+	if err := osch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range orders {
+		uid := o.Values[1].I
+		if uid < 0 || uid >= 50 {
+			t.Fatalf("order %d references user %d out of range", i, uid)
+		}
+	}
+}
