@@ -11,10 +11,12 @@
 package edgeauth_test
 
 import (
+	"fmt"
 	"math/big"
 	"sync"
 	"testing"
 
+	"edgeauth/internal/central"
 	"edgeauth/internal/costmodel"
 	"edgeauth/internal/digest"
 	"edgeauth/internal/experiments"
@@ -442,4 +444,85 @@ func BenchmarkVBQueryPath(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRefreshDeltaVsSnapshot measures the wire bytes of edge-replica
+// refresh under the two propagation modes: a signed delta carrying only
+// the pages dirtied by a small update batch, versus re-shipping the full
+// snapshot. Delta bytes track the batch size (O(batch × tree height)
+// pages); snapshot bytes track the table size — the asymptotic gap that
+// makes periodic propagation viable at scale.
+func BenchmarkRefreshDeltaVsSnapshot(b *testing.B) {
+	for _, rows := range []int{1_000, 4_000} {
+		for _, batch := range []int{1, 16} {
+			b.Run(fmt.Sprintf("rows=%d/batch=%d", rows, batch), func(b *testing.B) {
+				srv, err := central.NewServerWithKey(
+					central.Options{PageSize: 1024},
+					benchDeltaKey(b),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spec := workload.DefaultSpec(rows)
+				sch, err := spec.Schema()
+				if err != nil {
+					b.Fatal(err)
+				}
+				tuples, err := spec.Tuples()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := srv.AddTable(sch, tuples); err != nil {
+					b.Fatal(err)
+				}
+				base, err := srv.Version("items")
+				if err != nil {
+					b.Fatal(err)
+				}
+				epoch, err := srv.TableEpoch("items")
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < batch; i++ {
+					vals := make([]schema.Datum, len(sch.Columns))
+					vals[0] = schema.Int64(int64(1_000_000 + i))
+					for c := 1; c < len(vals); c++ {
+						vals[c] = schema.Str("bench-delta-payload-")
+					}
+					if err := srv.Insert("items", schema.Tuple{Values: vals}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var deltaBytes, snapBytes int
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d, err := srv.Delta("items", base, epoch)
+					if err != nil {
+						b.Fatal(err)
+					}
+					deltaBytes = len(d.Encode())
+					snap, err := srv.Snapshot("items")
+					if err != nil {
+						b.Fatal(err)
+					}
+					snapBytes = len(snap.Encode())
+				}
+				b.ReportMetric(float64(deltaBytes), "delta-B")
+				b.ReportMetric(float64(snapBytes), "snapshot-B")
+				b.ReportMetric(float64(snapBytes)/float64(deltaBytes), "saving-x")
+			})
+		}
+	}
+}
+
+var (
+	deltaKeyOnce sync.Once
+	deltaKey     *sig.PrivateKey
+)
+
+func benchDeltaKey(b *testing.B) *sig.PrivateKey {
+	b.Helper()
+	deltaKeyOnce.Do(func() { deltaKey = sig.MustGenerateKey(512) })
+	return deltaKey
 }

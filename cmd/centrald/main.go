@@ -27,15 +27,17 @@ func main() {
 		pageSz  = flag.Int("pagesize", 4096, "VB-tree node size")
 		walDir  = flag.String("waldir", "", "directory for write-ahead logs (empty = disabled)")
 		join    = flag.Bool("join", false, "also materialize the users/orders join view")
+		deltas  = flag.Int("deltaretention", 0, "updates retained per table for edge delta refresh (0 = default, <0 = disabled)")
 	)
 	flag.Parse()
 
 	log.SetPrefix("centrald: ")
 	start := time.Now()
 	srv, err := central.NewServer(central.Options{
-		KeyBits:  *keyBits,
-		PageSize: *pageSz,
-		WALDir:   *walDir,
+		KeyBits:        *keyBits,
+		PageSize:       *pageSz,
+		WALDir:         *walDir,
+		DeltaRetention: *deltas,
 	})
 	if err != nil {
 		log.Fatal(err)

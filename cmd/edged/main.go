@@ -1,8 +1,11 @@
 // Command edged runs an (untrusted) edge server: it replicates every
 // table from the central server and answers client queries with
 // verification objects. A refresh interval implements the paper's
-// periodic update propagation; the -tamper flag simulates a compromised
-// edge so clients can be shown detecting it.
+// periodic update propagation — each tick pulls signed deltas (only the
+// pages changed since the replica's version) and falls back to a full
+// snapshot when the central server's retained changelog cannot cover the
+// gap. The -tamper flag simulates a compromised edge so clients can be
+// shown detecting it.
 //
 // Usage:
 //
@@ -14,6 +17,9 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"edgeauth/internal/edge"
@@ -25,7 +31,7 @@ func main() {
 	var (
 		centralAddr = flag.String("central", "127.0.0.1:7001", "central server address")
 		listen      = flag.String("listen", "127.0.0.1:7002", "address to serve clients on")
-		refresh     = flag.Duration("refresh", 0, "snapshot refresh interval (0 = never)")
+		refresh     = flag.Duration("refresh", 0, "update propagation interval (0 = never)")
 		tamperName  = flag.String("tamper", "", "simulate a compromised edge with the named attack (see internal/tamper)")
 	)
 	flag.Parse()
@@ -59,23 +65,71 @@ func main() {
 		}
 	}
 
+	// The refresh loop owns its ticker and stops when the server shuts
+	// down (time.Tick would leak the ticker and never stop).
+	stop := make(chan struct{})
+	refreshDone := make(chan struct{})
 	if *refresh > 0 {
 		go func() {
-			for range time.Tick(*refresh) {
-				for _, tbl := range srv.Tables() {
-					if err := srv.Pull(tbl); err != nil {
-						log.Printf("refresh %q: %v", tbl, err)
-					}
+			defer close(refreshDone)
+			ticker := time.NewTicker(*refresh)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					refreshOnce(srv)
+				case <-stop:
+					return
 				}
-				log.Printf("refreshed %d tables", len(srv.Tables()))
 			}
 		}()
+	} else {
+		close(refreshDone)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("received %v, shutting down", sig)
+		close(stop)
+		srv.Close() // closes listeners; Serve returns
+	}()
+
 	fmt.Printf("edged serving tables %v on %s\n", srv.Tables(), ln.Addr())
 	srv.Serve(ln)
+	<-refreshDone
+	log.Printf("stopped")
+}
+
+// refreshOnce propagates pending updates for every table and logs what
+// the delta protocol saved over full snapshots.
+func refreshOnce(srv *edge.Server) {
+	stats, err := srv.RefreshAll()
+	if err != nil {
+		// Per-table failures are isolated; report them and keep the
+		// stats of the tables that did refresh.
+		log.Printf("refresh: %v", err)
+	}
+	var deltas, snapshots, noops, bytes int
+	for _, st := range stats {
+		bytes += st.Bytes
+		switch st.Mode {
+		case "delta":
+			deltas++
+			log.Printf("refresh %q: delta v%d→v%d, %d bytes", st.Table, st.FromVersion, st.ToVersion, st.Bytes)
+		case "snapshot":
+			snapshots++
+			log.Printf("refresh %q: full snapshot to v%d, %d bytes", st.Table, st.ToVersion, st.Bytes)
+		default:
+			noops++
+		}
+	}
+	log.Printf("refreshed %d tables (%d delta, %d snapshot, %d current) in %d bytes",
+		len(stats), deltas, snapshots, noops, bytes)
 }

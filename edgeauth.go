@@ -102,6 +102,9 @@ type (
 	CentralOptions = central.Options
 	// Edge is an untrusted edge server.
 	Edge = edge.Server
+	// RefreshStat reports how an edge refresh brought one replica up to
+	// date (signed delta, full snapshot, or noop) and what it cost.
+	RefreshStat = edge.RefreshStat
 	// Client is a verifying database client.
 	Client = client.Client
 	// VerifiedResult is a client query answer that passed verification.

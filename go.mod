@@ -1,0 +1,3 @@
+module edgeauth
+
+go 1.21

@@ -8,6 +8,8 @@
 package central
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -40,7 +42,18 @@ type Options struct {
 	WALDir string
 	// BuildParallelism bounds signing workers during table builds.
 	BuildParallelism int
+	// DeltaRetention bounds the per-table changelog used to serve
+	// incremental updates to edge servers: the dirtied-page sets of the
+	// most recent DeltaRetention committed updates are retained. Edges
+	// whose replica version has fallen out of the window are told to pull
+	// a full snapshot. 0 selects DefaultDeltaRetention; negative disables
+	// delta serving entirely (every DeltaReq answers SnapshotNeeded).
+	DeltaRetention int
 }
+
+// DefaultDeltaRetention is the changelog depth kept per table when
+// Options.DeltaRetention is zero.
+const DefaultDeltaRetention = 512
 
 // Server is the central DBMS.
 type Server struct {
@@ -65,6 +78,23 @@ type table struct {
 	heap    *storage.HeapFile
 	log     *wal.Log
 	version uint64 // bumped on every committed update
+	epoch   uint64 // random per incarnation; versions compare only within it
+
+	// changes is the retained changelog: one entry per committed update,
+	// oldest first, with contiguous versions ending at version. pending
+	// accumulates journaled pages that have not yet been attributed to a
+	// version bump.
+	changes []changeEntry
+	pending []storage.PageID
+}
+
+// changeEntry records what one committed update touched: the pages it
+// dirtied (tree nodes, heap pages, overflow pages) and the WAL LSN it was
+// logged under (0 when logging is disabled).
+type changeEntry struct {
+	version uint64
+	lsn     uint64
+	pages   []storage.PageID
 }
 
 // NewServer creates a central server with a fresh signing key.
@@ -155,7 +185,16 @@ func (s *Server) AddTable(sch *schema.Schema, tuples []schema.Tuple) error {
 	if err != nil {
 		return err
 	}
-	t := &table{sch: sch, tree: tree, pool: pool, heap: heap}
+	epoch, err := newEpoch()
+	if err != nil {
+		return err
+	}
+	t := &table{sch: sch, tree: tree, pool: pool, heap: heap, epoch: epoch}
+	if s.retention() > 0 {
+		// The initial build is the snapshot baseline; journal only the
+		// pages later updates dirty.
+		pool.EnableJournal()
+	}
 	if s.opts.WALDir != "" {
 		log, err := wal.Create(filepath.Join(s.opts.WALDir, sch.Table+".wal"))
 		if err != nil {
@@ -165,6 +204,55 @@ func (s *Server) AddTable(sch *schema.Schema, tuples []schema.Tuple) error {
 	}
 	s.tables[sch.Table] = t
 	return nil
+}
+
+// newEpoch draws a random nonzero table-incarnation id. Replica versions
+// are only meaningful within one epoch: a central server that rebuilds a
+// table (e.g. after a restart) gets a fresh epoch, so stale edges are
+// steered to a full snapshot instead of a delta from a divergent history.
+func newEpoch() (uint64, error) {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0, fmt.Errorf("central: generating table epoch: %w", err)
+		}
+		if e := binary.BigEndian.Uint64(b[:]); e != 0 {
+			return e, nil
+		}
+	}
+}
+
+// retention resolves Options.DeltaRetention: 0 = default, negative =
+// disabled.
+func (s *Server) retention() int {
+	switch {
+	case s.opts.DeltaRetention == 0:
+		return DefaultDeltaRetention
+	case s.opts.DeltaRetention < 0:
+		return 0
+	default:
+		return s.opts.DeltaRetention
+	}
+}
+
+// commitChange attributes the pages journaled since the last call to the
+// just-committed version and trims the changelog to the retention window.
+// Callers hold t.mu.
+func (t *table) commitChange(version, lsn uint64, retention int) {
+	t.pending = append(t.pending, t.pool.DrainJournal()...)
+	entry := changeEntry{version: version, lsn: lsn, pages: t.pending}
+	t.pending = nil
+	t.changes = append(t.changes, entry)
+	if over := len(t.changes) - retention; over > 0 {
+		t.changes = append([]changeEntry(nil), t.changes[over:]...)
+	}
+}
+
+// stashJournal collects journaled pages that did not result in a version
+// bump (e.g. a delete matching no rows) so they are attributed to the
+// next committed update instead of being lost. Callers hold t.mu.
+func (t *table) stashJournal() {
+	t.pending = append(t.pending, t.pool.DrainJournal()...)
 }
 
 // MaterializeJoin computes left ⋈ right on lcol = rcol and registers the
@@ -241,6 +329,15 @@ func (s *Server) Version(name string) (uint64, error) {
 	return t.version, nil
 }
 
+// TableEpoch returns a table's incarnation id.
+func (s *Server) TableEpoch(name string) (uint64, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.epoch, nil
+}
+
 // Insert logs and applies a tuple insert.
 func (s *Server) Insert(tableName string, tup schema.Tuple) error {
 	t, err := s.table(tableName)
@@ -249,8 +346,9 @@ func (s *Server) Insert(tableName string, tup schema.Tuple) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var lsn uint64
 	if t.log != nil {
-		if _, err := t.log.Append(wal.RecInsert, tup.EncodeBytes()); err != nil {
+		if lsn, err = t.log.Append(wal.RecInsert, wal.EncodeInsertPayload(tup)); err != nil {
 			return err
 		}
 		if err := t.log.Sync(); err != nil {
@@ -258,9 +356,11 @@ func (s *Server) Insert(tableName string, tup schema.Tuple) error {
 		}
 	}
 	if err := t.tree.Insert(tup); err != nil {
+		t.stashJournal()
 		return err
 	}
 	t.version++
+	t.commitChange(t.version, lsn, s.retention())
 	return nil
 }
 
@@ -272,9 +372,9 @@ func (s *Server) DeleteRange(tableName string, lo, hi *schema.Datum) (int, error
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var lsn uint64
 	if t.log != nil {
-		payload := encodeDeletePayload(lo, hi)
-		if _, err := t.log.Append(wal.RecDelete, payload); err != nil {
+		if lsn, err = t.log.Append(wal.RecDelete, wal.EncodeDeletePayload(lo, hi)); err != nil {
 			return 0, err
 		}
 		if err := t.log.Sync(); err != nil {
@@ -283,29 +383,16 @@ func (s *Server) DeleteRange(tableName string, lo, hi *schema.Datum) (int, error
 	}
 	n, err := t.tree.DeleteRange(lo, hi)
 	if err != nil {
+		t.stashJournal()
 		return 0, err
 	}
 	if n > 0 {
 		t.version++
+		t.commitChange(t.version, lsn, s.retention())
+	} else {
+		t.stashJournal()
 	}
 	return n, nil
-}
-
-func encodeDeletePayload(lo, hi *schema.Datum) []byte {
-	var out []byte
-	if lo != nil {
-		out = append(out, 1)
-		out = lo.Encode(out)
-	} else {
-		out = append(out, 0)
-	}
-	if hi != nil {
-		out = append(out, 1)
-		out = hi.Encode(out)
-	} else {
-		out = append(out, 0)
-	}
-	return out
 }
 
 // Snapshot captures a table replica for an edge server: every page of the
@@ -330,6 +417,8 @@ func (s *Server) Snapshot(tableName string) (*wire.Snapshot, error) {
 		PageSize:   uint32(pager.PageSize()),
 		HeapPages:  t.heap.Pages(),
 		KeyVersion: s.key.Public().Version,
+		Version:    t.version,
+		Epoch:      t.epoch,
 	}
 	buf := make([]byte, pager.PageSize())
 	for id := 1; id < pager.NumPages(); id++ {
@@ -342,6 +431,112 @@ func (s *Server) Snapshot(tableName string) (*wire.Snapshot, error) {
 		snap.PageData = append(snap.PageData, cp)
 	}
 	return snap, nil
+}
+
+// Delta builds the incremental update that takes a replica at
+// fromVersion to the table's current version: the union of the pages
+// dirtied by the committed updates in (fromVersion, current], the new
+// tree metadata, and a signature over the whole payload. When the
+// retained changelog no longer covers fromVersion the returned delta has
+// SnapshotNeeded set and the edge must pull a full snapshot instead.
+func (s *Server) Delta(tableName string, fromVersion, epoch uint64) (*wire.Delta, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d := &wire.Delta{
+		Table:       tableName,
+		FromVersion: fromVersion,
+		ToVersion:   t.version,
+		Epoch:       t.epoch,
+	}
+	if epoch != t.epoch || fromVersion > t.version {
+		// The replica descends from a different table incarnation (or
+		// claims a future version): its history has diverged from ours,
+		// so a delta would silently corrupt it.
+		d.SnapshotNeeded = true
+		return s.signDelta(d)
+	}
+	// Changelog entries carry contiguous versions ending at t.version, so
+	// coverage is a simple window check.
+	oldestCovered := t.version - uint64(len(t.changes))
+	if fromVersion < oldestCovered {
+		d.SnapshotNeeded = true
+		return s.signDelta(d)
+	}
+	seen := make(map[storage.PageID]struct{})
+	for _, e := range t.changes {
+		if e.version <= fromVersion {
+			continue
+		}
+		for _, id := range e.pages {
+			seen[id] = struct{}{}
+		}
+	}
+	ids := make([]storage.PageID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if err := t.pool.FlushAll(); err != nil {
+		return nil, err
+	}
+	pager := t.pool.Pager()
+	buf := make([]byte, pager.PageSize())
+	for _, id := range ids {
+		if err := pager.ReadPage(id, buf); err != nil {
+			return nil, err
+		}
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		d.PageIDs = append(d.PageIDs, id)
+		d.PageData = append(d.PageData, cp)
+	}
+	d.Root = t.tree.Root()
+	d.Height = uint32(t.tree.Height())
+	d.RootSig = t.tree.RootSig()
+	d.HeapPages = t.heap.Pages()
+	d.NumPages = uint32(pager.NumPages())
+	d.KeyVersion = s.key.Public().Version
+	return s.signDelta(d)
+}
+
+// signDelta stamps the central server's signature on a delta so edges can
+// reject forged or corrupted updates.
+func (s *Server) signDelta(d *wire.Delta) (*wire.Delta, error) {
+	sg, err := s.key.Sign(d.SigPayload())
+	if err != nil {
+		return nil, err
+	}
+	d.Sig = sg
+	return d, nil
+}
+
+// LoggedOps replays a table's write-ahead log (post-checkpoint) as typed
+// operations — the logical history backing the page-level changelog.
+// Requires Options.WALDir.
+func (s *Server) LoggedOps(tableName string) ([]wal.Op, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if t.log == nil {
+		return nil, errors.New("central: write-ahead logging not enabled")
+	}
+	if err := t.log.Sync(); err != nil {
+		return nil, err
+	}
+	var ops []wal.Op
+	path := filepath.Join(s.opts.WALDir, tableName+".wal")
+	if err := wal.ReplayOps(path, func(op wal.Op) error {
+		ops = append(ops, op)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return ops, nil
 }
 
 // SchemaResponse builds the client-facing verification parameters.
@@ -448,6 +643,17 @@ func (s *Server) dispatch(conn net.Conn, mt wire.MsgType, body []byte) error {
 			return err
 		}
 		return wire.WriteFrame(conn, wire.MsgSnapshotResp, snap.Encode())
+
+	case wire.MsgDeltaReq:
+		req, err := wire.DecodeDeltaRequest(body)
+		if err != nil {
+			return err
+		}
+		d, err := s.Delta(req.Table, req.FromVersion, req.Epoch)
+		if err != nil {
+			return err
+		}
+		return wire.WriteFrame(conn, wire.MsgDeltaResp, d.Encode())
 
 	case wire.MsgSchemaReq:
 		resp, err := s.SchemaResponse(string(body))

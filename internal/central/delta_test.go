@@ -1,0 +1,225 @@
+package central
+
+import (
+	"testing"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/wal"
+	"edgeauth/internal/workload"
+)
+
+// newDeltaServer builds a central server with the "items" table and the
+// given changelog retention.
+func newDeltaServer(t *testing.T, rows, retention int, walDir string) *Server {
+	t.Helper()
+	srv, err := NewServerWithKey(Options{
+		PageSize:       1024,
+		DeltaRetention: retention,
+		WALDir:         walDir,
+	}, serverKey(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.DefaultSpec(rows)
+	sch, err := spec.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := spec.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddTable(sch, tuples); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// tableEpoch fetches the "items" incarnation id.
+func tableEpoch(t *testing.T, srv *Server) uint64 {
+	t.Helper()
+	ep, err := srv.TableEpoch("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+// insertRow adds a fresh row with the workload's column layout.
+func insertRow(t *testing.T, srv *Server, id int64) {
+	t.Helper()
+	sch, err := workload.DefaultSpec(1).Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]schema.Datum, len(sch.Columns))
+	vals[0] = schema.Int64(id)
+	for i := 1; i < len(vals); i++ {
+		if sch.Columns[i].Name == "cat" {
+			vals[i] = schema.Str(workload.CategoryName(0))
+			continue
+		}
+		vals[i] = schema.Str("delta-test-payload-xx")
+	}
+	if err := srv.Insert("items", schema.Tuple{Values: vals}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaEmptyWhenCurrent(t *testing.T) {
+	srv := newDeltaServer(t, 50, 0, "")
+	v, err := srv.Version("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := srv.Delta("items", v, tableEpoch(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SnapshotNeeded || d.ToVersion != v || len(d.PageIDs) != 0 {
+		t.Fatalf("empty delta: %+v", d)
+	}
+	if err := srv.PublicKey().Verify(d.Sig, d.SigPayload()); err != nil {
+		t.Fatalf("delta signature invalid: %v", err)
+	}
+}
+
+func TestDeltaCarriesOnlyChangedPages(t *testing.T) {
+	srv := newDeltaServer(t, 400, 0, "")
+	snapBefore, err := srv.Snapshot("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertRow(t, srv, 10_000)
+	lo := schema.Int64(0)
+	hi := schema.Int64(3)
+	if _, err := srv.DeleteRange("items", &lo, &hi); err != nil {
+		t.Fatal(err)
+	}
+	d, err := srv.Delta("items", snapBefore.Version, snapBefore.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SnapshotNeeded {
+		t.Fatal("delta within retention answered SnapshotNeeded")
+	}
+	if d.ToVersion != snapBefore.Version+2 {
+		t.Fatalf("ToVersion = %d, want %d", d.ToVersion, snapBefore.Version+2)
+	}
+	if len(d.PageIDs) == 0 {
+		t.Fatal("delta carries no pages after updates")
+	}
+	if len(d.PageIDs) >= len(snapBefore.PageIDs) {
+		t.Fatalf("delta has %d pages, snapshot only %d — no savings", len(d.PageIDs), len(snapBefore.PageIDs))
+	}
+	if err := srv.PublicKey().Verify(d.Sig, d.SigPayload()); err != nil {
+		t.Fatalf("delta signature invalid: %v", err)
+	}
+}
+
+func TestDeltaFallsBackPastRetention(t *testing.T) {
+	srv := newDeltaServer(t, 100, 3, "")
+	base, err := srv.Version("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		insertRow(t, srv, 20_000+int64(i))
+	}
+	// base is 5 versions behind with only 3 retained: snapshot needed.
+	d, err := srv.Delta("items", base, tableEpoch(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.SnapshotNeeded {
+		t.Fatal("delta served beyond retention window")
+	}
+	// base+2 is exactly 3 behind: still covered.
+	d, err = srv.Delta("items", base+2, tableEpoch(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SnapshotNeeded {
+		t.Fatal("delta within retention answered SnapshotNeeded")
+	}
+	// A "future" version (central restarted, edge ahead) needs a snapshot.
+	d, err = srv.Delta("items", base+100, tableEpoch(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.SnapshotNeeded {
+		t.Fatal("future version did not force a snapshot")
+	}
+}
+
+func TestDeltaDisabledRetention(t *testing.T) {
+	srv := newDeltaServer(t, 40, -1, "")
+	base, err := srv.Version("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertRow(t, srv, 30_000)
+	d, err := srv.Delta("items", base, tableEpoch(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.SnapshotNeeded {
+		t.Fatal("disabled retention still served a delta")
+	}
+}
+
+func TestDeltaRejectsForeignEpoch(t *testing.T) {
+	// Two incarnations of the same table (same key, same rows — the
+	// central-restart scenario): versions are not comparable across them,
+	// so a replica of one must get SnapshotNeeded from the other even
+	// when its version appears covered.
+	srvA := newDeltaServer(t, 30, 0, "")
+	srvB := newDeltaServer(t, 30, 0, "")
+	insertRow(t, srvB, 30_001)
+	d, err := srvB.Delta("items", 0, tableEpoch(t, srvA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.SnapshotNeeded {
+		t.Fatal("delta served across table incarnations")
+	}
+	if d.Epoch != tableEpoch(t, srvB) {
+		t.Fatal("delta does not advertise the server's epoch")
+	}
+	// Same epoch works.
+	d, err = srvB.Delta("items", 0, tableEpoch(t, srvB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SnapshotNeeded {
+		t.Fatal("matching epoch refused a delta")
+	}
+}
+
+func TestLoggedOpsMatchChangelog(t *testing.T) {
+	srv := newDeltaServer(t, 60, 0, t.TempDir())
+	insertRow(t, srv, 40_000)
+	lo := schema.Int64(5)
+	if _, err := srv.DeleteRange("items", &lo, &lo); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := srv.LoggedOps("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("logged %d ops, want 2", len(ops))
+	}
+	if ops[0].Kind != wal.RecInsert || ops[0].Tuple.Values[0].I != 40_000 {
+		t.Fatalf("op0 = %+v", ops[0])
+	}
+	if ops[1].Kind != wal.RecDelete || ops[1].Lo.I != 5 || ops[1].Hi.I != 5 {
+		t.Fatalf("op1 = %+v", ops[1])
+	}
+	// LoggedOps without WAL configured errors.
+	plain := newDeltaServer(t, 10, 0, "")
+	if _, err := plain.LoggedOps("items"); err == nil {
+		t.Fatal("LoggedOps without WALDir succeeded")
+	}
+}

@@ -39,19 +39,44 @@ type Server struct {
 
 	centralAddr string
 
+	pubMu      sync.Mutex
+	centralPub *sig.PublicKey
+
 	lnMu      sync.Mutex
 	listeners []net.Listener
 	wg        sync.WaitGroup
 	closed    bool
 }
 
+// replica is one replicated table. Its mu serializes queries against
+// in-place delta application: deltas overwrite pages of the shared pool,
+// so a traversal must never interleave with an apply.
 type replica struct {
+	mu      sync.RWMutex
 	sch     *schema.Schema
 	tree    *vbtree.Tree
+	pool    *storage.BufferPool
 	acc     *digest.Accumulator
 	params  wire.AccParams
 	keyVer  uint32
 	version uint64
+	epoch   uint64
+}
+
+// request sends one frame and reads one response, resolving error frames
+// — the request/response shape of every edge→central exchange.
+func request(conn net.Conn, t wire.MsgType, body []byte) ([]byte, error) {
+	if err := wire.WriteFrame(conn, t, body); err != nil {
+		return nil, err
+	}
+	mt, resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if mt == wire.MsgError {
+		return nil, wire.AsError(resp)
+	}
+	return resp, nil
 }
 
 // New creates an edge server that replicates from centralAddr.
@@ -88,61 +113,52 @@ func (s *Server) PullAll() error {
 		return fmt.Errorf("edge: dialing central: %w", err)
 	}
 	defer conn.Close()
-	if err := wire.WriteFrame(conn, wire.MsgListTablesReq, nil); err != nil {
-		return err
-	}
-	mt, body, err := wire.ReadFrame(conn)
+	body, err := request(conn, wire.MsgListTablesReq, nil)
 	if err != nil {
 		return err
-	}
-	if mt == wire.MsgError {
-		return wire.AsError(body)
 	}
 	names, err := wire.DecodeStringList(body)
 	if err != nil {
 		return err
 	}
 	for _, name := range names {
-		if err := s.pullOn(conn, name); err != nil {
+		if _, err := s.pullOn(conn, name); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Pull replicates (or refreshes) one table.
+// Pull replicates (or refreshes) one table with a full snapshot.
 func (s *Server) Pull(tableName string) error {
 	conn, err := net.Dial("tcp", s.centralAddr)
 	if err != nil {
 		return fmt.Errorf("edge: dialing central: %w", err)
 	}
 	defer conn.Close()
-	return s.pullOn(conn, tableName)
+	_, err = s.pullOn(conn, tableName)
+	return err
 }
 
-func (s *Server) pullOn(conn net.Conn, tableName string) error {
-	if err := wire.WriteFrame(conn, wire.MsgSnapshotReq, []byte(tableName)); err != nil {
-		return err
-	}
-	mt, body, err := wire.ReadFrame(conn)
+// pullOn replicates one table over an existing connection and returns the
+// snapshot's wire size.
+func (s *Server) pullOn(conn net.Conn, tableName string) (int, error) {
+	body, err := request(conn, wire.MsgSnapshotReq, []byte(tableName))
 	if err != nil {
-		return err
-	}
-	if mt == wire.MsgError {
-		return wire.AsError(body)
+		return 0, err
 	}
 	snap, err := wire.DecodeSnapshot(body)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	rep, err := InstallSnapshot(snap)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	s.mu.Lock()
 	s.tables[tableName] = rep
 	s.mu.Unlock()
-	return nil
+	return len(body), nil
 }
 
 // InstallSnapshot materializes a snapshot into a queryable replica.
@@ -186,33 +202,280 @@ func InstallSnapshot(snap *wire.Snapshot) (*replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The edge holds no trusted key material: signed digests are opaque
-	// bytes it serves back to clients, and queries never recover them.
-	// The tree still wants a public key for the VO's key-version stamp,
-	// so build a placeholder carrying only the version.
-	pub := &sig.PublicKey{
-		N:       new(big.Int).Lsh(big.NewInt(1), 512),
-		E:       big.NewInt(65537),
-		Version: snap.KeyVersion,
-	}
 	cfg := vbtree.Config{
 		Pool:   pool,
 		Heap:   heap,
 		Schema: snap.Schema,
 		Acc:    acc,
-		Pub:    pub,
+		Pub:    placeholderPub(snap.KeyVersion),
 	}
 	tree, err := vbtree.Open(cfg, snap.Root, int(snap.Height), snap.RootSig)
 	if err != nil {
 		return nil, err
 	}
 	return &replica{
-		sch:    snap.Schema,
-		tree:   tree,
-		acc:    acc,
-		params: snap.AccParams,
-		keyVer: snap.KeyVersion,
+		sch:     snap.Schema,
+		tree:    tree,
+		pool:    pool,
+		acc:     acc,
+		params:  snap.AccParams,
+		keyVer:  snap.KeyVersion,
+		version: snap.Version,
+		epoch:   snap.Epoch,
 	}, nil
+}
+
+// placeholderPub builds the stand-in public key an edge replica's tree is
+// configured with. The edge holds no trusted key material: signed digests
+// are opaque bytes it serves back to clients, and queries never recover
+// them. The tree still wants a public key for the VO's key-version stamp,
+// so the placeholder carries only the version.
+func placeholderPub(keyVersion uint32) *sig.PublicKey {
+	return &sig.PublicKey{
+		N:       new(big.Int).Lsh(big.NewInt(1), 512),
+		E:       big.NewInt(65537),
+		Version: keyVersion,
+	}
+}
+
+// applyDelta overlays a verified delta onto the replica in place: it
+// extends the page address space, overwrites the changed pages through
+// the buffer pool (keeping cached frames coherent), and re-anchors the
+// tree at the delta's root metadata and signed root digest.
+func (r *replica) applyDelta(d *wire.Delta) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d.Epoch != r.epoch {
+		return fmt.Errorf("edge: delta from epoch %d, replica from %d", d.Epoch, r.epoch)
+	}
+	if d.FromVersion != r.version {
+		return fmt.Errorf("edge: delta starts at version %d, replica at %d", d.FromVersion, r.version)
+	}
+	pager := r.pool.Pager()
+	pageSize := pager.PageSize()
+	// Validate every page before mutating anything: a bad page mid-apply
+	// would otherwise leave the pool half-overwritten while the tree
+	// still anchors to the old state.
+	for i, id := range d.PageIDs {
+		if len(d.PageData[i]) != pageSize {
+			return fmt.Errorf("edge: delta page %d has %d bytes, want %d", id, len(d.PageData[i]), pageSize)
+		}
+		if id == 0 || int(id) >= int(d.NumPages) {
+			return fmt.Errorf("edge: delta page %d outside advertised page count %d", id, d.NumPages)
+		}
+	}
+	for pager.NumPages() < int(d.NumPages) {
+		if _, err := pager.Allocate(); err != nil {
+			return err
+		}
+	}
+	for i, id := range d.PageIDs {
+		f, err := r.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		copy(f.Page().Bytes(), d.PageData[i])
+		r.pool.Unpin(f, true)
+	}
+	heap, err := storage.OpenHeapFile(r.pool, d.HeapPages)
+	if err != nil {
+		return err
+	}
+	cfg := vbtree.Config{
+		Pool:   r.pool,
+		Heap:   heap,
+		Schema: r.sch,
+		Acc:    r.acc,
+		Pub:    placeholderPub(d.KeyVersion),
+	}
+	tree, err := vbtree.Open(cfg, d.Root, int(d.Height), d.RootSig)
+	if err != nil {
+		return err
+	}
+	r.tree = tree
+	r.keyVer = d.KeyVersion
+	r.version = d.ToVersion
+	return nil
+}
+
+// RefreshStat reports how one table was brought up to date.
+type RefreshStat struct {
+	Table string
+	// Mode is "delta", "snapshot" (first pull or fallback), or "noop"
+	// (replica already current).
+	Mode string
+	// Bytes is the wire size of the response body that carried the state.
+	Bytes                  int
+	FromVersion, ToVersion uint64
+}
+
+// RefreshAll brings every replica up to date, preferring signed deltas
+// and falling back to full snapshots for new tables or replicas that
+// have fallen out of the central server's retained changelog. Tables are
+// refreshed independently: one failing table does not starve the rest,
+// and the stats of the tables that did refresh are returned alongside
+// the joined errors.
+func (s *Server) RefreshAll() ([]RefreshStat, error) {
+	conn, err := net.Dial("tcp", s.centralAddr)
+	if err != nil {
+		return nil, fmt.Errorf("edge: dialing central: %w", err)
+	}
+	defer conn.Close()
+	body, err := request(conn, wire.MsgListTablesReq, nil)
+	if err != nil {
+		return nil, err
+	}
+	names, err := wire.DecodeStringList(body)
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]RefreshStat, 0, len(names))
+	var errs []error
+	for _, name := range names {
+		st, err := s.refreshOn(conn, name)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("edge: refreshing %q: %w", name, err))
+			// A failed exchange may leave unread frames on the shared
+			// connection; reconnect so later tables get a clean channel.
+			conn.Close()
+			if conn, err = net.Dial("tcp", s.centralAddr); err != nil {
+				errs = append(errs, fmt.Errorf("edge: redialing central: %w", err))
+				break
+			}
+			continue
+		}
+		stats = append(stats, st)
+	}
+	return stats, errors.Join(errs...)
+}
+
+// Refresh brings one replica up to date (delta if possible, snapshot
+// otherwise) and reports what was transferred.
+func (s *Server) Refresh(tableName string) (RefreshStat, error) {
+	conn, err := net.Dial("tcp", s.centralAddr)
+	if err != nil {
+		return RefreshStat{}, fmt.Errorf("edge: dialing central: %w", err)
+	}
+	defer conn.Close()
+	return s.refreshOn(conn, tableName)
+}
+
+func (s *Server) refreshOn(conn net.Conn, tableName string) (RefreshStat, error) {
+	s.mu.RLock()
+	rep := s.tables[tableName]
+	s.mu.RUnlock()
+	if rep == nil {
+		n, err := s.pullOn(conn, tableName)
+		if err != nil {
+			return RefreshStat{}, err
+		}
+		return s.statFor(tableName, "snapshot", n, 0), nil
+	}
+	rep.mu.RLock()
+	from := rep.version
+	epoch := rep.epoch
+	rep.mu.RUnlock()
+	req := &wire.DeltaRequest{Table: tableName, FromVersion: from, Epoch: epoch}
+	body, err := request(conn, wire.MsgDeltaReq, req.Encode())
+	if err != nil {
+		return RefreshStat{}, err
+	}
+	d, err := wire.DecodeDelta(body)
+	if err != nil {
+		return RefreshStat{}, err
+	}
+	payload, err := d.SigPayloadOfBody(body)
+	if err != nil {
+		return RefreshStat{}, err
+	}
+	pub, err := s.centralKey(conn)
+	if err != nil {
+		return RefreshStat{}, err
+	}
+	if err := pub.Verify(d.Sig, payload); err != nil {
+		// The central server may have rotated or regenerated its key
+		// (e.g. after a restart); refetch once over the authenticated
+		// channel before rejecting the delta.
+		if pub, err = s.refetchCentralKey(conn); err != nil {
+			return RefreshStat{}, err
+		}
+		if err := pub.Verify(d.Sig, payload); err != nil {
+			return RefreshStat{}, fmt.Errorf("edge: delta signature rejected: %w", err)
+		}
+	}
+	if d.SnapshotNeeded {
+		n, err := s.pullOn(conn, tableName)
+		if err != nil {
+			return RefreshStat{}, err
+		}
+		return s.statFor(tableName, "snapshot", n, from), nil
+	}
+	if d.ToVersion == from {
+		return RefreshStat{Table: tableName, Mode: "noop", Bytes: len(body), FromVersion: from, ToVersion: from}, nil
+	}
+	if err := rep.applyDelta(d); err != nil {
+		return RefreshStat{}, err
+	}
+	return RefreshStat{Table: tableName, Mode: "delta", Bytes: len(body), FromVersion: from, ToVersion: d.ToVersion}, nil
+}
+
+func (s *Server) statFor(tableName, mode string, bytes int, from uint64) RefreshStat {
+	st := RefreshStat{Table: tableName, Mode: mode, Bytes: bytes, FromVersion: from}
+	s.mu.RLock()
+	if rep := s.tables[tableName]; rep != nil {
+		rep.mu.RLock()
+		st.ToVersion = rep.version
+		rep.mu.RUnlock()
+	}
+	s.mu.RUnlock()
+	return st
+}
+
+// centralKey fetches (once) the central server's public key over the
+// replication connection — the edge's authenticated channel — so deltas
+// can be signature-checked before they touch a replica.
+func (s *Server) centralKey(conn net.Conn) (*sig.PublicKey, error) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	if s.centralPub != nil {
+		return s.centralPub, nil
+	}
+	return s.fetchCentralKeyLocked(conn)
+}
+
+// refetchCentralKey discards the cached key and fetches the current one
+// (the central server may have rotated keys since the cache was filled).
+func (s *Server) refetchCentralKey(conn net.Conn) (*sig.PublicKey, error) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.centralPub = nil
+	return s.fetchCentralKeyLocked(conn)
+}
+
+func (s *Server) fetchCentralKeyLocked(conn net.Conn) (*sig.PublicKey, error) {
+	body, err := request(conn, wire.MsgPubKeyReq, nil)
+	if err != nil {
+		return nil, err
+	}
+	var pk sig.PublicKey
+	if err := pk.UnmarshalBinary(body); err != nil {
+		return nil, err
+	}
+	s.centralPub = &pk
+	return s.centralPub, nil
+}
+
+// Version reports a replica's update version.
+func (s *Server) Version(tableName string) (uint64, error) {
+	s.mu.RLock()
+	rep := s.tables[tableName]
+	s.mu.RUnlock()
+	if rep == nil {
+		return 0, fmt.Errorf("edge: table %q not replicated", tableName)
+	}
+	rep.mu.RLock()
+	defer rep.mu.RUnlock()
+	return rep.version, nil
 }
 
 // RunQuery executes a compiled query against a replica.
@@ -224,11 +487,14 @@ func (s *Server) RunQuery(tableName string, q vbtree.Query) (*vo.ResultSet, *vo.
 	if !ok {
 		return nil, nil, fmt.Errorf("edge: table %q not replicated", tableName)
 	}
+	rep.mu.RLock()
 	rs, w, err := rep.tree.RunQuery(q)
+	keyVer := rep.keyVer
+	rep.mu.RUnlock()
 	if err != nil {
 		return nil, nil, err
 	}
-	w.KeyVersion = rep.keyVer
+	w.KeyVersion = keyVer
 	if tamper != nil {
 		if err := tamper(rs, w); err != nil {
 			return nil, nil, err
@@ -310,11 +576,13 @@ func (s *Server) dispatch(conn net.Conn, mt wire.MsgType, body []byte) error {
 		if !ok {
 			return fmt.Errorf("edge: table %q not replicated", string(body))
 		}
+		rep.mu.RLock()
 		resp := &wire.SchemaResponse{
 			Schema:     rep.sch,
 			AccParams:  rep.params,
 			KeyVersion: rep.keyVer,
 		}
+		rep.mu.RUnlock()
 		return wire.WriteFrame(conn, wire.MsgSchemaResp, resp.Encode())
 
 	case wire.MsgQueryReq:

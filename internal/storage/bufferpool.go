@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -36,6 +37,11 @@ type BufferPool struct {
 	cap    int
 	frames map[PageID]*Frame
 	lru    *list.List // of PageID; front = most recently unpinned
+
+	// journal, when non-nil, records every page id dirtied through the
+	// pool since the last DrainJournal — the page-level changelog the
+	// central server turns into delta updates for edge replicas.
+	journal map[PageID]struct{}
 
 	// stats
 	hits, misses, evictions uint64
@@ -104,7 +110,42 @@ func (bp *BufferPool) NewPage(t PageType) (*Frame, error) {
 	}
 	InitPage(f.buf, t)
 	f.dirty = true
+	bp.recordLocked(id)
 	return f, nil
+}
+
+// EnableJournal starts recording dirtied page ids. Pages dirtied before
+// the call are not recorded.
+func (bp *BufferPool) EnableJournal() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.journal == nil {
+		bp.journal = make(map[PageID]struct{})
+	}
+}
+
+// DrainJournal returns the page ids dirtied since the previous drain, in
+// ascending order, and resets the journal. It returns nil when the
+// journal is disabled or empty.
+func (bp *BufferPool) DrainJournal() []PageID {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if len(bp.journal) == 0 {
+		return nil
+	}
+	out := make([]PageID, 0, len(bp.journal))
+	for id := range bp.journal {
+		out = append(out, id)
+	}
+	bp.journal = make(map[PageID]struct{})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (bp *BufferPool) recordLocked(id PageID) {
+	if bp.journal != nil {
+		bp.journal[id] = struct{}{}
+	}
 }
 
 // allocFrameLocked finds or evicts a frame for id and pins it once.
@@ -144,6 +185,7 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 	defer bp.mu.Unlock()
 	if dirty {
 		f.dirty = true
+		bp.recordLocked(f.id)
 	}
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("storage: unpin of unpinned page %d", f.id))
@@ -159,6 +201,7 @@ func (bp *BufferPool) MarkDirty(f *Frame) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	f.dirty = true
+	bp.recordLocked(f.id)
 }
 
 // FlushAll writes every dirty frame back to the pager and syncs it.

@@ -1,0 +1,106 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"edgeauth/internal/schema"
+)
+
+// Typed records: the logical view of the log the central server replays to
+// derive delta updates for edge replicas. The payload encodings here are
+// the single source of truth — the central server writes them, recovery
+// and delta propagation read them back.
+
+// Op is a parsed log record: the logical update a record describes.
+type Op struct {
+	LSN  uint64
+	Kind RecordType
+	// Tuple is set for RecInsert.
+	Tuple schema.Tuple
+	// Lo/Hi bound the key range for RecDelete; nil means unbounded.
+	Lo, Hi *schema.Datum
+}
+
+// EncodeInsertPayload serializes an insert's payload.
+func EncodeInsertPayload(tup schema.Tuple) []byte { return tup.EncodeBytes() }
+
+// EncodeDeletePayload serializes a key-range delete's payload:
+// presence byte + datum for each bound.
+func EncodeDeletePayload(lo, hi *schema.Datum) []byte {
+	var out []byte
+	for _, d := range []*schema.Datum{lo, hi} {
+		if d != nil {
+			out = append(out, 1)
+			out = d.Encode(out)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// DecodeDeletePayload parses a payload written by EncodeDeletePayload.
+func DecodeDeletePayload(payload []byte) (lo, hi *schema.Datum, err error) {
+	off := 0
+	bounds := [2]*schema.Datum{}
+	for i := range bounds {
+		if off >= len(payload) {
+			return nil, nil, errors.New("wal: truncated delete payload")
+		}
+		present := payload[off]
+		off++
+		if present == 0 {
+			continue
+		}
+		d, used, err := schema.DecodeDatum(payload[off:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: delete bound %d: %w", i, err)
+		}
+		off += used
+		bounds[i] = &d
+	}
+	if off != len(payload) {
+		return nil, nil, errors.New("wal: trailing bytes in delete payload")
+	}
+	return bounds[0], bounds[1], nil
+}
+
+// ParseOp decodes a record into its logical operation. Checkpoint records
+// parse to an Op with only LSN and Kind set.
+func ParseOp(r Record) (Op, error) {
+	op := Op{LSN: r.LSN, Kind: r.Type}
+	switch r.Type {
+	case RecInsert:
+		tup, used, err := schema.DecodeTuple(r.Payload)
+		if err != nil {
+			return Op{}, fmt.Errorf("wal: insert record %d: %w", r.LSN, err)
+		}
+		if used != len(r.Payload) {
+			return Op{}, fmt.Errorf("wal: insert record %d has trailing bytes", r.LSN)
+		}
+		op.Tuple = tup
+	case RecDelete:
+		lo, hi, err := DecodeDeletePayload(r.Payload)
+		if err != nil {
+			return Op{}, fmt.Errorf("wal: delete record %d: %w", r.LSN, err)
+		}
+		op.Lo, op.Hi = lo, hi
+	case RecCheckpoint:
+	default:
+		return Op{}, fmt.Errorf("wal: record %d has unknown type %v", r.LSN, r.Type)
+	}
+	return op, nil
+}
+
+// ReplayOps calls fn with the typed form of every record after the last
+// checkpoint, in LSN order.
+func ReplayOps(path string, fn func(Op) error) error {
+	return Replay(path, func(r Record) error {
+		op, err := ParseOp(r)
+		if err != nil {
+			return err
+		}
+		return fn(op)
+	})
+}

@@ -1,0 +1,79 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+
+	"edgeauth/internal/schema"
+)
+
+func testTuple(id int64, payload string) schema.Tuple {
+	return schema.Tuple{Values: []schema.Datum{schema.Int64(id), schema.Str(payload)}}
+}
+
+func TestTypedRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "typed.wal")
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(RecInsert, EncodeInsertPayload(testTuple(7, "seven"))); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := schema.Int64(3), schema.Int64(9)
+	if _, err := l.Append(RecDelete, EncodeDeletePayload(&lo, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(RecDelete, EncodeDeletePayload(&lo, &hi)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(RecDelete, EncodeDeletePayload(nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var ops []Op
+	if err := ReplayOps(path, func(op Op) error {
+		ops = append(ops, op)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("replayed %d ops, want 4", len(ops))
+	}
+	if ops[0].Kind != RecInsert || ops[0].LSN != 1 {
+		t.Fatalf("op0 = %+v", ops[0])
+	}
+	if got := ops[0].Tuple.Values[0].I; got != 7 {
+		t.Fatalf("insert key = %d", got)
+	}
+	if ops[1].Kind != RecDelete || ops[1].Lo == nil || ops[1].Hi != nil {
+		t.Fatalf("op1 = %+v", ops[1])
+	}
+	if ops[2].Lo.I != 3 || ops[2].Hi.I != 9 {
+		t.Fatalf("op2 bounds = %v %v", ops[2].Lo, ops[2].Hi)
+	}
+	if ops[3].Lo != nil || ops[3].Hi != nil {
+		t.Fatalf("op3 bounds = %v %v", ops[3].Lo, ops[3].Hi)
+	}
+}
+
+func TestParseOpRejectsGarbage(t *testing.T) {
+	if _, err := ParseOp(Record{LSN: 1, Type: RecInsert, Payload: []byte{0xFF}}); err == nil {
+		t.Fatal("garbage insert payload accepted")
+	}
+	if _, err := ParseOp(Record{LSN: 1, Type: RecDelete, Payload: []byte{1}}); err == nil {
+		t.Fatal("truncated delete payload accepted")
+	}
+	if _, err := ParseOp(Record{LSN: 1, Type: RecordType(99)}); err == nil {
+		t.Fatal("unknown record type accepted")
+	}
+	op, err := ParseOp(Record{LSN: 5, Type: RecCheckpoint})
+	if err != nil || op.LSN != 5 || op.Kind != RecCheckpoint {
+		t.Fatalf("checkpoint parse: %+v, %v", op, err)
+	}
+}

@@ -130,6 +130,12 @@ type Snapshot struct {
 	PageData [][]byte
 	// KeyVersion is the signing-key version in force.
 	KeyVersion uint32
+	// Version is the table's update version at capture time; edges record
+	// it so later refreshes can request a delta from this point.
+	Version uint64
+	// Epoch identifies the table incarnation (fresh per AddTable), so a
+	// rebuilt central cannot serve deltas against a divergent history.
+	Epoch uint64
 }
 
 // AccParams serializes digest.Params across the wire.
@@ -226,6 +232,8 @@ func (s *Snapshot) Encode() []byte {
 	out = appendBytes(out, s.RootSig)
 	out = appendU32(out, s.PageSize)
 	out = appendU32(out, s.KeyVersion)
+	out = appendU64(out, s.Version)
+	out = appendU64(out, s.Epoch)
 	out = appendU32(out, uint32(len(s.HeapPages)))
 	for _, p := range s.HeapPages {
 		out = appendU32(out, uint32(p))
@@ -259,6 +267,8 @@ func DecodeSnapshot(body []byte) (*Snapshot, error) {
 	s.RootSig = r.bytes("root sig")
 	s.PageSize = r.u32("page size")
 	s.KeyVersion = r.u32("key version")
+	s.Version = r.u64("table version")
+	s.Epoch = r.u64("table epoch")
 	hn := int(r.u32("heap page count"))
 	if r.err == nil && hn > len(body) {
 		return nil, errors.New("wire: implausible heap page count")

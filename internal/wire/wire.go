@@ -4,10 +4,33 @@
 //	client → edge:    QueryReq            (selection/projection over a table)
 //	edge   → client:  QueryResp           (result set + verification object)
 //	edge   → central: SnapshotReq         (pull "DB + VB-trees")
-//	central→ edge:    SnapshotResp        (pages + tree metadata)
+//	central→ edge:    SnapshotResp        (pages + tree metadata + version)
+//	edge   → central: DeltaReq            (table + the replica's version)
+//	central→ edge:    DeltaResp           (signed incremental update)
 //	client → central: InsertReq/DeleteReq (updates go to the trusted server)
 //	client → central: PubKeyReq           (the PKI stand-in: an authenticated
 //	                                       channel to the signer's public key)
+//
+// # Delta propagation
+//
+// The paper propagates updates from the trusted central DBMS to edge
+// servers periodically. Re-shipping a full snapshot per refresh is
+// O(table); the delta frames ship only what changed:
+//
+//   - DeltaReq carries {table, fromVersion}, where fromVersion is the
+//     table version the edge's replica currently reflects (versions are
+//     bumped once per committed insert/delete at the central server, in
+//     lockstep with the WAL's LSNs).
+//   - DeltaResp carries {fromVersion, toVersion, tree metadata, the pages
+//     dirtied by the ops in (fromVersion, toVersion]} plus a signature by
+//     the central server over a hash of the delta content, so an edge
+//     rejects corrupted or forged deltas before touching its replica.
+//     Page payloads carry the VB-tree's signed digests, so a delta also
+//     re-anchors client verification at the new root signature.
+//   - When the central server's retained changelog no longer covers
+//     fromVersion (retention window passed, or the server restarted),
+//     DeltaResp has SnapshotNeeded set and the edge falls back to a full
+//     SnapshotReq.
 //
 // Frames are u32 length | u8 type | body, big-endian, with a hard frame
 // cap to bound allocation from untrusted peers.
@@ -41,6 +64,8 @@ const (
 	MsgDeleteResp
 	MsgVersionReq
 	MsgVersionResp
+	MsgDeltaReq
+	MsgDeltaResp
 )
 
 func (m MsgType) String() string {
@@ -53,6 +78,7 @@ func (m MsgType) String() string {
 		MsgInsertReq: "insert-req", MsgInsertResp: "insert-resp",
 		MsgDeleteReq: "delete-req", MsgDeleteResp: "delete-resp",
 		MsgVersionReq: "version-req", MsgVersionResp: "version-resp",
+		MsgDeltaReq: "delta-req", MsgDeltaResp: "delta-resp",
 	}
 	if n, ok := names[m]; ok {
 		return n
