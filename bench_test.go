@@ -11,16 +11,21 @@
 package edgeauth_test
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+	"net"
 	"sync"
 	"testing"
 
 	"edgeauth/internal/central"
+	"edgeauth/internal/client"
 	"edgeauth/internal/costmodel"
 	"edgeauth/internal/digest"
+	"edgeauth/internal/edge"
 	"edgeauth/internal/experiments"
 	"edgeauth/internal/naive"
+	"edgeauth/internal/query"
 	"edgeauth/internal/schema"
 	"edgeauth/internal/sig"
 	"edgeauth/internal/storage"
@@ -525,4 +530,101 @@ func benchDeltaKey(b *testing.B) *sig.PrivateKey {
 	b.Helper()
 	deltaKeyOnce.Do(func() { deltaKey = sig.MustGenerateKey(512) })
 	return deltaKey
+}
+
+// BenchmarkConcurrentQueries quantifies the API redesign: N goroutines
+// issuing verified queries through one shared Client, on the multiplexed
+// v2 protocol (requests pipeline over one connection, responses return
+// out of order) versus the legacy serial one-frame-in/one-frame-out mode.
+// The serial column is what every concurrency level degraded to before
+// the redesign.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	ctx := context.Background()
+	srv, err := central.NewServerWithKey(central.Options{PageSize: 1024}, benchDeltaKey(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.DefaultSpec(2_000)
+	sch, err := spec.Schema()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples, err := spec.Tuples()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.AddTable(sch, tuples); err != nil {
+		b.Fatal(err)
+	}
+	centralLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(centralLn)
+	defer srv.Close()
+
+	eg := edge.NewWithOptions(centralLn.Addr().String(), edge.Options{MaxConcurrent: 64})
+	if err := eg.PullAll(ctx); err != nil {
+		b.Fatal(err)
+	}
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go eg.Serve(edgeLn)
+	defer eg.Close()
+
+	preds := []query.Predicate{
+		{Column: "id", Op: query.OpGE, Value: schema.Int64(100)},
+		{Column: "id", Op: query.OpLE, Value: schema.Int64(119)},
+	}
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"pipelined", false}, {"serial", true}} {
+		for _, goroutines := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", mode.name, goroutines), func(b *testing.B) {
+				cl, err := client.Dial(ctx, client.Config{
+					EdgeAddr:         edgeLn.Addr().String(),
+					CentralAddr:      centralLn.Addr().String(),
+					DisableMultiplex: mode.serial,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				if err := cl.FetchTrustedKey(ctx); err != nil {
+					b.Fatal(err)
+				}
+				// Prime the verifier cache outside the timed region.
+				if _, err := cl.Query(ctx, "items", preds, nil); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				errCh := make(chan error, goroutines)
+				per := b.N / goroutines
+				if b.N%goroutines != 0 {
+					per++
+				}
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							if _, err := cl.Query(ctx, "items", preds, nil); err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				close(errCh)
+				for err := range errCh {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
 }

@@ -28,6 +28,7 @@ func main() {
 		walDir  = flag.String("waldir", "", "directory for write-ahead logs (empty = disabled)")
 		join    = flag.Bool("join", false, "also materialize the users/orders join view")
 		deltas  = flag.Int("deltaretention", 0, "updates retained per table for edge delta refresh (0 = default, <0 = disabled)")
+		idle    = flag.Duration("idletimeout", 0, "drop connections idle past this (0 = default, <0 = never)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 		PageSize:       *pageSz,
 		WALDir:         *walDir,
 		DeltaRetention: *deltas,
+		IdleTimeout:    *idle,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,14 +33,16 @@ func main() {
 		centralAddr = flag.String("central", "127.0.0.1:7001", "central server address")
 		listen      = flag.String("listen", "127.0.0.1:7002", "address to serve clients on")
 		refresh     = flag.Duration("refresh", 0, "update propagation interval (0 = never)")
+		idle        = flag.Duration("idletimeout", 0, "drop client connections idle past this (0 = default, <0 = never)")
 		tamperName  = flag.String("tamper", "", "simulate a compromised edge with the named attack (see internal/tamper)")
 	)
 	flag.Parse()
 
 	log.SetPrefix("edged: ")
-	srv := edge.New(*centralAddr)
+	ctx := context.Background()
+	srv := edge.NewWithOptions(*centralAddr, edge.Options{IdleTimeout: *idle})
 	start := time.Now()
-	if err := srv.PullAll(); err != nil {
+	if err := srv.PullAll(ctx); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("replicated tables %v in %v", srv.Tables(), time.Since(start).Round(time.Millisecond))
@@ -77,7 +80,7 @@ func main() {
 			for {
 				select {
 				case <-ticker.C:
-					refreshOnce(srv)
+					refreshOnce(ctx, srv, *refresh)
 				case <-stop:
 					return
 				}
@@ -108,9 +111,12 @@ func main() {
 }
 
 // refreshOnce propagates pending updates for every table and logs what
-// the delta protocol saved over full snapshots.
-func refreshOnce(srv *edge.Server) {
-	stats, err := srv.RefreshAll()
+// the delta protocol saved over full snapshots. Each tick is bounded by
+// its own deadline so a hung central server cannot wedge the loop.
+func refreshOnce(ctx context.Context, srv *edge.Server, interval time.Duration) {
+	tctx, cancel := context.WithTimeout(ctx, 2*interval)
+	defer cancel()
+	stats, err := srv.RefreshAll(tctx)
 	if err != nil {
 		// Per-table failures are isolated; report them and keep the
 		// stats of the tables that did refresh.

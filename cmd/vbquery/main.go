@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,14 +34,18 @@ func main() {
 	)
 	flag.Parse()
 
-	cl := client.New(*edgeAddr, *centralAddr)
+	ctx := context.Background()
+	cl, err := client.Dial(ctx, client.Config{EdgeAddr: *edgeAddr, CentralAddr: *centralAddr})
+	if err != nil {
+		log.Fatalf("vbquery: %v", err)
+	}
 	defer cl.Close()
-	if err := cl.FetchTrustedKey(); err != nil {
+	if err := cl.FetchTrustedKey(ctx); err != nil {
 		log.Fatalf("vbquery: fetching trusted key: %v", err)
 	}
 
 	if flag.NArg() > 0 {
-		if err := runStatement(cl, strings.Join(flag.Args(), " ")); err != nil {
+		if err := runStatement(ctx, cl, strings.Join(flag.Args(), " ")); err != nil {
 			log.Fatalf("vbquery: %v", err)
 		}
 		return
@@ -61,22 +66,22 @@ func main() {
 		if strings.EqualFold(line, "exit") || strings.EqualFold(line, "quit") {
 			return
 		}
-		if err := runStatement(cl, line); err != nil {
+		if err := runStatement(ctx, cl, line); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
 }
 
-func runStatement(cl *client.Client, sql string) error {
+func runStatement(ctx context.Context, cl *client.Client, sql string) error {
 	st, err := sqlmini.Parse(sql)
 	if err != nil {
 		return err
 	}
 	switch s := st.(type) {
 	case *sqlmini.SelectStmt:
-		return runSelect(cl, s)
+		return runSelect(ctx, cl, s)
 	case *sqlmini.InsertStmt:
-		sch, err := cl.Schema(s.Table)
+		sch, err := cl.Schema(ctx, s.Table)
 		if err != nil {
 			return err
 		}
@@ -84,13 +89,13 @@ func runStatement(cl *client.Client, sql string) error {
 		if err != nil {
 			return err
 		}
-		if err := cl.Insert(s.Table, tup); err != nil {
+		if err := cl.Insert(ctx, s.Table, tup); err != nil {
 			return err
 		}
 		fmt.Println("INSERT ok (applied at central server; edges see it after refresh)")
 		return nil
 	case *sqlmini.DeleteStmt:
-		sch, err := cl.Schema(s.Table)
+		sch, err := cl.Schema(ctx, s.Table)
 		if err != nil {
 			return err
 		}
@@ -102,7 +107,7 @@ func runStatement(cl *client.Client, sql string) error {
 		if err != nil {
 			return err
 		}
-		n, err := cl.DeleteRange(s.Table, lo, hi)
+		n, err := cl.DeleteRange(ctx, s.Table, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -136,8 +141,8 @@ func keyRangeOnly(sch *schema.Schema, preds []query.Predicate) (lo, hi *schema.D
 	return lo, hi, nil
 }
 
-func runSelect(cl *client.Client, s *sqlmini.SelectStmt) error {
-	sch, err := cl.Schema(s.Table)
+func runSelect(ctx context.Context, cl *client.Client, s *sqlmini.SelectStmt) error {
+	sch, err := cl.Schema(ctx, s.Table)
 	if err != nil {
 		return err
 	}
@@ -146,7 +151,7 @@ func runSelect(cl *client.Client, s *sqlmini.SelectStmt) error {
 		return err
 	}
 	start := time.Now()
-	res, err := cl.Query(s.Table, preds, s.Columns)
+	res, err := cl.Query(ctx, s.Table, preds, s.Columns)
 	if err != nil {
 		if errors.Is(err, client.ErrTampered) {
 			return fmt.Errorf("!! VERIFICATION FAILED — the edge server returned tampered data: %w", err)

@@ -11,13 +11,25 @@
 //     builds VB-trees, applies inserts/deletes, serves snapshots).
 //   - NewEdge creates an untrusted edge server that replicates tables from
 //     the central server and answers queries with VOs.
-//   - NewClient creates a verifying client that rejects tampered results.
+//   - Dial creates a verifying client that rejects tampered results.
+//
+// The client API is context-first and concurrent: every network-facing
+// method takes a context.Context (cancellation and deadlines are observed
+// mid-request), and one Client may be shared by many goroutines — their
+// requests pipeline over a single multiplexed connection per server (wire
+// protocol v2) with responses demultiplexed by request ID. Peers speaking
+// the original serial protocol interoperate transparently through the
+// version-negotiating handshake. Remote failures carry typed codes:
+// errors.Is distinguishes ErrTampered (verification failure at the
+// client), ErrUnknownTable and ErrStaleReplica.
 //
 // See the examples directory for complete deployments, and cmd/bench for
 // the reproduction of every figure in the paper's evaluation.
 package edgeauth
 
 import (
+	"context"
+
 	"edgeauth/internal/central"
 	"edgeauth/internal/client"
 	"edgeauth/internal/digest"
@@ -28,6 +40,7 @@ import (
 	"edgeauth/internal/vbtree"
 	"edgeauth/internal/verify"
 	"edgeauth/internal/vo"
+	"edgeauth/internal/wire"
 )
 
 // Core data-model types.
@@ -102,11 +115,16 @@ type (
 	CentralOptions = central.Options
 	// Edge is an untrusted edge server.
 	Edge = edge.Server
+	// EdgeOptions configures an edge server's serving side.
+	EdgeOptions = edge.Options
 	// RefreshStat reports how an edge refresh brought one replica up to
 	// date (signed delta, full snapshot, or noop) and what it cost.
 	RefreshStat = edge.RefreshStat
-	// Client is a verifying database client.
+	// Client is a verifying database client. It is safe for concurrent
+	// use; every method takes a context.
 	Client = client.Client
+	// Config configures Dial.
+	Config = client.Config
 	// VerifiedResult is a client query answer that passed verification.
 	VerifiedResult = client.QueryResult
 )
@@ -114,6 +132,16 @@ type (
 // ErrTampered is returned by Client.Query when a result fails
 // verification — the signal that an edge server has been compromised.
 var ErrTampered = client.ErrTampered
+
+// Typed remote errors (wire protocol v2), matched with errors.Is.
+var (
+	// ErrUnknownTable reports a table that is not registered at the
+	// central server or not replicated at the edge.
+	ErrUnknownTable = wire.ErrUnknownTable
+	// ErrStaleReplica reports a replica whose version history has
+	// diverged from the request's assumption.
+	ErrStaleReplica = wire.ErrStaleReplica
+)
 
 // NewCentral creates the trusted central server with a fresh signing key.
 func NewCentral(opts CentralOptions) (*Central, error) {
@@ -126,8 +154,24 @@ func NewEdge(centralAddr string) *Edge {
 	return edge.New(centralAddr)
 }
 
+// NewEdgeWithOptions creates an edge server with explicit serving options
+// (idle timeout, per-connection concurrency bound).
+func NewEdgeWithOptions(centralAddr string, opts EdgeOptions) *Edge {
+	return edge.NewWithOptions(centralAddr, opts)
+}
+
+// Dial creates a client that queries cfg.EdgeAddr and routes updates and
+// key fetches to cfg.CentralAddr. The edge connection is established (and
+// its protocol version negotiated) before Dial returns.
+func Dial(ctx context.Context, cfg Config) (*Client, error) {
+	return client.Dial(ctx, cfg)
+}
+
 // NewClient creates a client that queries edgeAddr and routes updates and
-// key fetches to centralAddr.
+// key fetches to centralAddr, connecting lazily.
+//
+// Deprecated: use Dial, which takes a context and reports an unreachable
+// edge immediately.
 func NewClient(edgeAddr, centralAddr string) *Client {
 	return client.New(edgeAddr, centralAddr)
 }

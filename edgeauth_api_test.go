@@ -1,6 +1,7 @@
 package edgeauth_test
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -38,8 +39,9 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	go srv.Serve(centralLn)
 	defer srv.Close()
 
+	ctx := context.Background()
 	eg := edgeauth.NewEdge(centralLn.Addr().String())
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(ctx); err != nil {
 		t.Fatal(err)
 	}
 	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -49,13 +51,19 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	go eg.Serve(edgeLn)
 	defer eg.Close()
 
-	cl := edgeauth.NewClient(edgeLn.Addr().String(), centralLn.Addr().String())
+	cl, err := edgeauth.Dial(ctx, edgeauth.Config{
+		EdgeAddr:    edgeLn.Addr().String(),
+		CentralAddr: centralLn.Addr().String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer cl.Close()
-	if err := cl.FetchTrustedKey(); err != nil {
+	if err := cl.FetchTrustedKey(ctx); err != nil {
 		t.Fatal(err)
 	}
 
-	res, err := cl.Query("items", []edgeauth.Predicate{
+	res, err := cl.Query(ctx, "items", []edgeauth.Predicate{
 		{Column: "id", Op: edgeauth.OpGE, Value: edgeauth.Int64(10)},
 		{Column: "id", Op: edgeauth.OpLE, Value: edgeauth.Int64(29)},
 	}, []string{"id", "cat"})
@@ -72,12 +80,12 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	for i := 1; i < len(vals); i++ {
 		vals[i] = edgeauth.Str("facade-value-aaaaaaa")
 	}
-	if err := cl.Insert("items", edgeauth.Tuple{Values: vals}); err != nil {
+	if err := cl.Insert(ctx, "items", edgeauth.Tuple{Values: vals}); err != nil {
 		t.Fatal(err)
 	}
 	lo := edgeauth.Int64(0)
 	hi := edgeauth.Int64(4)
-	if n, err := cl.DeleteRange("items", &lo, &hi); err != nil || n != 5 {
+	if n, err := cl.DeleteRange(ctx, "items", &lo, &hi); err != nil || n != 5 {
 		t.Fatalf("delete: n=%d err=%v", n, err)
 	}
 
@@ -88,7 +96,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		}
 		return nil
 	})
-	_, err = cl.Query("items", []edgeauth.Predicate{
+	_, err = cl.Query(ctx, "items", []edgeauth.Predicate{
 		{Column: "id", Op: edgeauth.OpLE, Value: edgeauth.Int64(50)},
 	}, nil)
 	if !errors.Is(err, edgeauth.ErrTampered) {

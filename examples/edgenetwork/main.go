@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Central server.
 	srv, err := edgeauth.NewCentral(central.Options{KeyBits: 512})
 	if err != nil {
@@ -51,7 +53,7 @@ func main() {
 	edgeAddrs := make([]string, 3)
 	for i := 0; i < 3; i++ {
 		eg := edgeauth.NewEdge(centralLn.Addr().String())
-		if err := eg.PullAll(); err != nil {
+		if err := eg.PullAll(ctx); err != nil {
 			log.Fatal(err)
 		}
 		if i == 1 {
@@ -85,11 +87,17 @@ func main() {
 		fmt.Printf("\nclient prefers edges in order %v:\n", order)
 		var res *edgeauth.VerifiedResult
 		for _, i := range order {
-			cl := edgeauth.NewClient(edgeAddrs[i], centralLn.Addr().String())
-			if err := cl.FetchTrustedKey(); err != nil {
+			cl, err := edgeauth.Dial(ctx, edgeauth.Config{
+				EdgeAddr:    edgeAddrs[i],
+				CentralAddr: centralLn.Addr().String(),
+			})
+			if err != nil {
 				log.Fatal(err)
 			}
-			r, err := cl.Query("items", preds, nil)
+			if err := cl.FetchTrustedKey(ctx); err != nil {
+				log.Fatal(err)
+			}
+			r, err := cl.Query(ctx, "items", preds, nil)
 			cl.Close()
 			if errors.Is(err, edgeauth.ErrTampered) {
 				fmt.Printf("  edge-%d: VERIFICATION FAILED — compromised, failing over\n", i)

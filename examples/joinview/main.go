@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	srv, err := edgeauth.NewCentral(central.Options{KeyBits: 512})
 	if err != nil {
 		log.Fatal(err)
@@ -54,7 +56,7 @@ func main() {
 	go srv.Serve(centralLn)
 
 	eg := edgeauth.NewEdge(centralLn.Addr().String())
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(ctx); err != nil {
 		log.Fatal(err)
 	}
 	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -63,15 +65,21 @@ func main() {
 	}
 	go eg.Serve(edgeLn)
 
-	cl := edgeauth.NewClient(edgeLn.Addr().String(), centralLn.Addr().String())
+	cl, err := edgeauth.Dial(ctx, edgeauth.Config{
+		EdgeAddr:    edgeLn.Addr().String(),
+		CentralAddr: centralLn.Addr().String(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer cl.Close()
-	if err := cl.FetchTrustedKey(); err != nil {
+	if err := cl.FetchTrustedKey(ctx); err != nil {
 		log.Fatal(err)
 	}
 
 	// "All orders of user 42, with the user's attributes" — a join query,
 	// answered from the view with selection + projection at the edge.
-	res, err := cl.Query("user_orders", []edgeauth.Predicate{
+	res, err := cl.Query(ctx, "user_orders", []edgeauth.Predicate{
 		{Column: "user_id", Op: edgeauth.OpEQ, Value: edgeauth.Int64(42)},
 	}, []string{"oid", "total", "users_id", "users_cat"})
 	if err != nil {
@@ -95,7 +103,7 @@ func main() {
 		}
 		return nil
 	})
-	_, err = cl.Query("user_orders", []edgeauth.Predicate{
+	_, err = cl.Query(ctx, "user_orders", []edgeauth.Predicate{
 		{Column: "user_id", Op: edgeauth.OpEQ, Value: edgeauth.Int64(7)},
 	}, []string{"oid", "total", "users_id", "users_cat"})
 	if !errors.Is(err, edgeauth.ErrTampered) {

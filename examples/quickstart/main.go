@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. Central server: owns the signing key, builds the VB-tree.
 	srv, err := edgeauth.NewCentral(central.Options{KeyBits: 512})
 	if err != nil {
@@ -48,7 +50,7 @@ func main() {
 
 	// 2. Edge server: replicates "DB + VB-trees" and answers queries.
 	eg := edgeauth.NewEdge(centralLn.Addr().String())
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(ctx); err != nil {
 		log.Fatal(err)
 	}
 	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -58,14 +60,23 @@ func main() {
 	go eg.Serve(edgeLn)
 	fmt.Printf("edge server: replicated %v\n", eg.Tables())
 
-	// 3. Client: fetches the trusted public key, queries, verifies.
-	cl := edgeauth.NewClient(edgeLn.Addr().String(), centralLn.Addr().String())
+	// 3. Client: dials the edge, fetches the trusted public key,
+	// queries, verifies. Every method is context-aware, and one client
+	// can be shared by any number of goroutines — requests pipeline over
+	// a single multiplexed connection.
+	cl, err := edgeauth.Dial(ctx, edgeauth.Config{
+		EdgeAddr:    edgeLn.Addr().String(),
+		CentralAddr: centralLn.Addr().String(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer cl.Close()
-	if err := cl.FetchTrustedKey(); err != nil {
+	if err := cl.FetchTrustedKey(ctx); err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := cl.Query("items", []edgeauth.Predicate{
+	res, err := cl.Query(ctx, "items", []edgeauth.Predicate{
 		{Column: "id", Op: edgeauth.OpGE, Value: edgeauth.Int64(100)},
 		{Column: "id", Op: edgeauth.OpLE, Value: edgeauth.Int64(109)},
 	}, nil)
@@ -80,7 +91,7 @@ func main() {
 	fmt.Println("  …")
 
 	// Projection: filtered attributes travel as signed digests (D_P).
-	res, err = cl.Query("items", []edgeauth.Predicate{
+	res, err = cl.Query(ctx, "items", []edgeauth.Predicate{
 		{Column: "cat", Op: edgeauth.OpEQ, Value: edgeauth.Str(workload.CategoryName(5))},
 	}, []string{"id", "cat"})
 	if err != nil {
@@ -96,7 +107,7 @@ func main() {
 		}
 		return nil
 	})
-	_, err = cl.Query("items", []edgeauth.Predicate{
+	_, err = cl.Query(ctx, "items", []edgeauth.Predicate{
 		{Column: "id", Op: edgeauth.OpLE, Value: edgeauth.Int64(50)},
 	}, nil)
 	if errors.Is(err, edgeauth.ErrTampered) {

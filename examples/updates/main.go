@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	walDir, err := os.MkdirTemp("", "edgeauth-wal-*")
 	if err != nil {
 		log.Fatal(err)
@@ -52,7 +54,7 @@ func main() {
 	fmt.Printf("central: %d tuples, WAL at %s\n", len(tuples), walDir)
 
 	eg := edgeauth.NewEdge(centralLn.Addr().String())
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(ctx); err != nil {
 		log.Fatal(err)
 	}
 	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -61,14 +63,20 @@ func main() {
 	}
 	go eg.Serve(edgeLn)
 
-	cl := edgeauth.NewClient(edgeLn.Addr().String(), centralLn.Addr().String())
+	cl, err := edgeauth.Dial(ctx, edgeauth.Config{
+		EdgeAddr:    edgeLn.Addr().String(),
+		CentralAddr: centralLn.Addr().String(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer cl.Close()
-	if err := cl.FetchTrustedKey(); err != nil {
+	if err := cl.FetchTrustedKey(ctx); err != nil {
 		log.Fatal(err)
 	}
 
 	count := func(label string) {
-		res, err := cl.Query("items", []edgeauth.Predicate{
+		res, err := cl.Query(ctx, "items", []edgeauth.Predicate{
 			{Column: "id", Op: edgeauth.OpGE, Value: edgeauth.Int64(0)},
 		}, []string{"id"})
 		if err != nil {
@@ -87,14 +95,14 @@ func main() {
 		for c := 1; c < len(sch.Columns); c++ {
 			vals[c] = edgeauth.Str(fmt.Sprintf("new-attribute-%02d-%02d", c, i))
 		}
-		if err := cl.Insert("items", edgeauth.Tuple{Values: vals}); err != nil {
+		if err := cl.Insert(ctx, "items", edgeauth.Tuple{Values: vals}); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Println("inserted 25 tuples at central (WAL-logged, digests patched incrementally)")
 	count("before refresh (edge still stale)")
 
-	if err := eg.Pull("items"); err != nil {
+	if err := eg.Pull(ctx, "items"); err != nil {
 		log.Fatal(err)
 	}
 	cl.InvalidateSchema("items")
@@ -103,12 +111,12 @@ func main() {
 	// Range delete: X-locks the paths, removes tuples, recomputes digests
 	// up to the root.
 	lo, hi := edgeauth.Int64(100), edgeauth.Int64(299)
-	n, err := cl.DeleteRange("items", &lo, &hi)
+	n, err := cl.DeleteRange(ctx, "items", &lo, &hi)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("deleted %d tuples at central (paths recomputed)\n", n)
-	if err := eg.Pull("items"); err != nil {
+	if err := eg.Pull(ctx, "items"); err != nil {
 		log.Fatal(err)
 	}
 	count("after delete + refresh")

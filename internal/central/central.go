@@ -16,10 +16,12 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"edgeauth/internal/digest"
 	"edgeauth/internal/lock"
 	"edgeauth/internal/query"
+	"edgeauth/internal/rpc"
 	"edgeauth/internal/schema"
 	"edgeauth/internal/sig"
 	"edgeauth/internal/storage"
@@ -49,6 +51,15 @@ type Options struct {
 	// a full snapshot. 0 selects DefaultDeltaRetention; negative disables
 	// delta serving entirely (every DeltaReq answers SnapshotNeeded).
 	DeltaRetention int
+	// IdleTimeout disconnects a peer that sends no complete request
+	// within the window, so a hung or slowloris connection cannot pin a
+	// server goroutine forever. 0 selects rpc.DefaultIdleTimeout;
+	// negative disables the deadline.
+	IdleTimeout time.Duration
+	// MaxConcurrent bounds the requests executing concurrently on one
+	// multiplexed (protocol v2) connection. 0 selects
+	// rpc.DefaultMaxConcurrent.
+	MaxConcurrent int
 }
 
 // DefaultDeltaRetention is the changelog depth kept per table when
@@ -66,6 +77,7 @@ type Server struct {
 
 	lnMu      sync.Mutex
 	listeners []net.Listener
+	conns     rpc.ConnSet
 	wg        sync.WaitGroup
 	closed    bool
 }
@@ -300,7 +312,7 @@ func (s *Server) table(name string) (*table, error) {
 	defer s.mu.RUnlock()
 	t, ok := s.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("central: unknown table %q", name)
+		return nil, wire.UnknownTable("central", name)
 	}
 	return t, nil
 }
@@ -583,16 +595,22 @@ func (s *Server) Serve(l net.Listener) {
 		if err != nil {
 			return
 		}
+		if !s.conns.Add(conn) {
+			conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.conns.Remove(conn)
 			defer conn.Close()
 			s.handleConn(conn)
 		}()
 	}
 }
 
-// Close stops serving and waits for in-flight connections.
+// Close stops serving: listeners and live connections are closed, then
+// in-flight handlers are drained.
 func (s *Server) Close() {
 	s.lnMu.Lock()
 	s.closed = true
@@ -601,6 +619,7 @@ func (s *Server) Close() {
 	}
 	s.listeners = nil
 	s.lnMu.Unlock()
+	s.conns.CloseAll()
 	s.wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -611,78 +630,76 @@ func (s *Server) Close() {
 	}
 }
 
+// handleConn negotiates the protocol with the peer and dispatches its
+// requests — concurrently, on multiplexed v2 sessions — until it
+// disconnects or idles out.
 func (s *Server) handleConn(conn net.Conn) {
-	for {
-		mt, body, err := wire.ReadFrame(conn)
-		if err != nil {
-			return
-		}
-		if err := s.dispatch(conn, mt, body); err != nil {
-			if werr := wire.WriteError(conn, err); werr != nil {
-				return
-			}
-		}
-	}
+	rpc.ServeConn(conn, s.dispatch, rpc.ServeOptions{
+		IdleTimeout:   s.opts.IdleTimeout,
+		MaxConcurrent: s.opts.MaxConcurrent,
+	})
 }
 
-func (s *Server) dispatch(conn net.Conn, mt wire.MsgType, body []byte) error {
+// dispatch executes one request and returns the response frame. It must
+// be safe for concurrent use: v2 connections run requests in parallel.
+func (s *Server) dispatch(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
 	switch mt {
 	case wire.MsgPubKeyReq:
 		blob, err := s.key.Public().MarshalBinary()
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return wire.WriteFrame(conn, wire.MsgPubKeyResp, blob)
+		return wire.MsgPubKeyResp, blob, nil
 
 	case wire.MsgListTablesReq:
-		return wire.WriteFrame(conn, wire.MsgListTablesResp, wire.EncodeStringList(s.Tables()))
+		return wire.MsgListTablesResp, wire.EncodeStringList(s.Tables()), nil
 
 	case wire.MsgSnapshotReq:
 		snap, err := s.Snapshot(string(body))
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return wire.WriteFrame(conn, wire.MsgSnapshotResp, snap.Encode())
+		return wire.MsgSnapshotResp, snap.Encode(), nil
 
 	case wire.MsgDeltaReq:
 		req, err := wire.DecodeDeltaRequest(body)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		d, err := s.Delta(req.Table, req.FromVersion, req.Epoch)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return wire.WriteFrame(conn, wire.MsgDeltaResp, d.Encode())
+		return wire.MsgDeltaResp, d.Encode(), nil
 
 	case wire.MsgSchemaReq:
 		resp, err := s.SchemaResponse(string(body))
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return wire.WriteFrame(conn, wire.MsgSchemaResp, resp.Encode())
+		return wire.MsgSchemaResp, resp.Encode(), nil
 
 	case wire.MsgVersionReq:
 		v, err := s.Version(string(body))
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return wire.WriteFrame(conn, wire.MsgVersionResp, wire.EncodeU64(v))
+		return wire.MsgVersionResp, wire.EncodeU64(v), nil
 
 	case wire.MsgInsertReq:
 		req, err := wire.DecodeInsertRequest(body)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		if err := s.Insert(req.Table, req.Tuple); err != nil {
-			return err
+			return 0, nil, err
 		}
-		return wire.WriteFrame(conn, wire.MsgInsertResp, nil)
+		return wire.MsgInsertResp, nil, nil
 
 	case wire.MsgDeleteReq:
 		req, err := wire.DecodeDeleteRequest(body)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		var lo, hi *schema.Datum
 		if req.HasLo {
@@ -693,11 +710,11 @@ func (s *Server) dispatch(conn net.Conn, mt wire.MsgType, body []byte) error {
 		}
 		n, err := s.DeleteRange(req.Table, lo, hi)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		return wire.WriteFrame(conn, wire.MsgDeleteResp, wire.EncodeU64(uint64(n)))
+		return wire.MsgDeleteResp, wire.EncodeU64(uint64(n)), nil
 
 	default:
-		return errors.New("central: unsupported message " + mt.String())
+		return 0, nil, wire.Unsupported("central", mt)
 	}
 }

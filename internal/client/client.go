@@ -4,16 +4,27 @@
 // server, and verifies every result against its verification object
 // before handing it to the application. Updates are routed to the central
 // server, since only the central server holds the signing key.
+//
+// The client is context-first and safe for concurrent use: N goroutines
+// can query through one Client and their requests pipeline over a single
+// multiplexed (wire protocol v2) connection per server, with responses
+// demultiplexed by request ID. Against a legacy v1 server the client
+// transparently downgrades to serial one-in/one-out exchanges. A dead
+// cached connection is redialed with backoff instead of poisoning the
+// client, and idempotent requests (queries, schema and key fetches) are
+// retried once on a fresh connection.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"net"
 	"sync"
+	"time"
 
 	"edgeauth/internal/digest"
 	"edgeauth/internal/query"
+	"edgeauth/internal/rpc"
 	"edgeauth/internal/schema"
 	"edgeauth/internal/sig"
 	"edgeauth/internal/verify"
@@ -21,94 +32,87 @@ import (
 	"edgeauth/internal/wire"
 )
 
-// Client talks to one edge server and one central server.
-type Client struct {
-	mu          sync.Mutex
-	edgeAddr    string
-	centralAddr string
-	edgeConn    net.Conn
-	centralConn net.Conn
-	keys        *sig.Registry
-	verifiers   map[string]*verify.Verifier
+// Config configures a Client.
+type Config struct {
+	// EdgeAddr is the edge server answering queries.
+	EdgeAddr string
+	// CentralAddr is the trusted central server receiving updates and
+	// serving the public key.
+	CentralAddr string
+	// DialTimeout bounds each TCP connect attempt. 0 selects
+	// rpc.DefaultDialTimeout.
+	DialTimeout time.Duration
+	// RedialAttempts is how many connect attempts are made when a cached
+	// connection has died. 0 selects rpc.DefaultRedialAttempts.
+	RedialAttempts int
+	// RedialBackoff is the wait before the second connect attempt,
+	// doubling per attempt. 0 selects rpc.DefaultRedialBackoff.
+	RedialBackoff time.Duration
+	// DisableMultiplex forces wire protocol v1 (serial
+	// one-frame-in/one-frame-out) even against a v2 server. Used by the
+	// pipelined-vs-serial benchmarks and compatibility tests.
+	DisableMultiplex bool
 }
 
-// New creates a client. Connections are established lazily.
+func (c Config) rpcOptions() rpc.Options {
+	return rpc.Options{
+		DialTimeout:    c.DialTimeout,
+		RedialAttempts: c.RedialAttempts,
+		RedialBackoff:  c.RedialBackoff,
+		ForceV1:        c.DisableMultiplex,
+	}
+}
+
+// Client talks to one edge server and one central server.
+type Client struct {
+	cfg     Config
+	edge    *rpc.Conn
+	central *rpc.Conn
+	keys    *sig.Registry
+
+	vmu       sync.Mutex
+	verifiers map[string]*verify.Verifier
+}
+
+// Dial creates a client and eagerly connects (and handshakes) to the
+// edge server, so an unreachable edge surfaces immediately. The central
+// connection is established on first use.
+func Dial(ctx context.Context, cfg Config) (*Client, error) {
+	c := newClient(cfg)
+	if err := c.edge.Connect(ctx); err != nil {
+		return nil, fmt.Errorf("client: dialing edge: %w", err)
+	}
+	return c, nil
+}
+
+// New creates a client with lazy connections.
+//
+// Deprecated: use Dial, which takes a context and reports an unreachable
+// edge immediately.
 func New(edgeAddr, centralAddr string) *Client {
+	return newClient(Config{EdgeAddr: edgeAddr, CentralAddr: centralAddr})
+}
+
+func newClient(cfg Config) *Client {
 	return &Client{
-		edgeAddr:    edgeAddr,
-		centralAddr: centralAddr,
-		keys:        sig.NewRegistry(),
-		verifiers:   make(map[string]*verify.Verifier),
+		cfg:       cfg,
+		edge:      rpc.New(cfg.EdgeAddr, cfg.rpcOptions()),
+		central:   rpc.New(cfg.CentralAddr, cfg.rpcOptions()),
+		keys:      sig.NewRegistry(),
+		verifiers: make(map[string]*verify.Verifier),
 	}
 }
 
 // Close drops both connections.
 func (c *Client) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.edgeConn != nil {
-		c.edgeConn.Close()
-		c.edgeConn = nil
-	}
-	if c.centralConn != nil {
-		c.centralConn.Close()
-		c.centralConn = nil
-	}
-}
-
-func (c *Client) edge() (net.Conn, error) {
-	if c.edgeConn != nil {
-		return c.edgeConn, nil
-	}
-	conn, err := net.Dial("tcp", c.edgeAddr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dialing edge: %w", err)
-	}
-	c.edgeConn = conn
-	return conn, nil
-}
-
-func (c *Client) central() (net.Conn, error) {
-	if c.centralConn != nil {
-		return c.centralConn, nil
-	}
-	conn, err := net.Dial("tcp", c.centralAddr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dialing central: %w", err)
-	}
-	c.centralConn = conn
-	return conn, nil
-}
-
-// call sends one request frame and reads one response frame, resolving
-// error frames.
-func call(conn net.Conn, t wire.MsgType, body []byte, want wire.MsgType) ([]byte, error) {
-	if err := wire.WriteFrame(conn, t, body); err != nil {
-		return nil, err
-	}
-	mt, resp, err := wire.ReadFrame(conn)
-	if err != nil {
-		return nil, err
-	}
-	if mt == wire.MsgError {
-		return nil, wire.AsError(resp)
-	}
-	if mt != want {
-		return nil, fmt.Errorf("client: expected %v, got %v", want, mt)
-	}
-	return resp, nil
+	c.edge.Close()
+	c.central.Close()
 }
 
 // FetchTrustedKey retrieves the central server's public key over the
 // authenticated channel and registers it for verification.
-func (c *Client) FetchTrustedKey() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	conn, err := c.central()
-	if err != nil {
-		return err
-	}
-	body, err := call(conn, wire.MsgPubKeyReq, nil, wire.MsgPubKeyResp)
+func (c *Client) FetchTrustedKey(ctx context.Context) error {
+	body, err := c.central.Call(ctx, wire.MsgPubKeyReq, nil, wire.MsgPubKeyResp, true)
 	if err != nil {
 		return err
 	}
@@ -127,16 +131,17 @@ func (c *Client) TrustKey(pk *sig.PublicKey) {
 
 // verifier builds (and caches) the verifier for a table using the edge's
 // schema response. The schema and accumulator parameters are not secret —
-// a lying edge only causes verification to fail.
-func (c *Client) verifier(table string) (*verify.Verifier, error) {
-	if v, ok := c.verifiers[table]; ok {
+// a lying edge only causes verification to fail. Concurrent callers for
+// an uncached table may fetch the schema twice; the last one wins, which
+// is harmless because the response is deterministic.
+func (c *Client) verifier(ctx context.Context, table string) (*verify.Verifier, error) {
+	c.vmu.Lock()
+	v, ok := c.verifiers[table]
+	c.vmu.Unlock()
+	if ok {
 		return v, nil
 	}
-	conn, err := c.edge()
-	if err != nil {
-		return nil, err
-	}
-	body, err := call(conn, wire.MsgSchemaReq, []byte(table), wire.MsgSchemaResp)
+	body, err := c.edge.Call(ctx, wire.MsgSchemaReq, []byte(table), wire.MsgSchemaResp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -148,16 +153,16 @@ func (c *Client) verifier(table string) (*verify.Verifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := &verify.Verifier{Keys: c.keys, Acc: acc, Schema: resp.Schema}
+	v = &verify.Verifier{Keys: c.keys, Acc: acc, Schema: resp.Schema}
+	c.vmu.Lock()
 	c.verifiers[table] = v
+	c.vmu.Unlock()
 	return v, nil
 }
 
 // Schema returns the table schema as reported by the edge server.
-func (c *Client) Schema(table string) (*schema.Schema, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, err := c.verifier(table)
+func (c *Client) Schema(ctx context.Context, table string) (*schema.Schema, error) {
+	v, err := c.verifier(ctx, table)
 	if err != nil {
 		return nil, err
 	}
@@ -178,14 +183,8 @@ type QueryResult struct {
 var ErrTampered = errors.New("client: query result failed verification")
 
 // Query runs a selection/projection at the edge and verifies the answer.
-func (c *Client) Query(table string, preds []query.Predicate, project []string) (*QueryResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, err := c.verifier(table)
-	if err != nil {
-		return nil, err
-	}
-	conn, err := c.edge()
+func (c *Client) Query(ctx context.Context, table string, preds []query.Predicate, project []string) (*QueryResult, error) {
+	v, err := c.verifier(ctx, table)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +194,7 @@ func (c *Client) Query(table string, preds []query.Predicate, project []string) 
 		Project:    project,
 		ProjectAll: project == nil,
 	}
-	body, err := call(conn, wire.MsgQueryReq, req.Encode(), wire.MsgQueryResp)
+	body, err := c.edge.Call(ctx, wire.MsgQueryReq, req.Encode(), wire.MsgQueryResp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -214,28 +213,18 @@ func (c *Client) Query(table string, preds []query.Predicate, project []string) 
 	}, nil
 }
 
-// Insert sends a tuple insert to the central server.
-func (c *Client) Insert(table string, tup schema.Tuple) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	conn, err := c.central()
-	if err != nil {
-		return err
-	}
+// Insert sends a tuple insert to the central server. Inserts are not
+// idempotent, so a connection failure after the request may have been
+// sent is reported instead of retried.
+func (c *Client) Insert(ctx context.Context, table string, tup schema.Tuple) error {
 	req := &wire.InsertRequest{Table: table, Tuple: tup}
-	_, err = call(conn, wire.MsgInsertReq, req.Encode(), wire.MsgInsertResp)
+	_, err := c.central.Call(ctx, wire.MsgInsertReq, req.Encode(), wire.MsgInsertResp, false)
 	return err
 }
 
 // DeleteRange sends a key-range delete to the central server and returns
 // the number of removed tuples.
-func (c *Client) DeleteRange(table string, lo, hi *schema.Datum) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	conn, err := c.central()
-	if err != nil {
-		return 0, err
-	}
+func (c *Client) DeleteRange(ctx context.Context, table string, lo, hi *schema.Datum) (int, error) {
 	req := &wire.DeleteRequest{Table: table}
 	if lo != nil {
 		req.HasLo, req.Lo = true, *lo
@@ -243,7 +232,7 @@ func (c *Client) DeleteRange(table string, lo, hi *schema.Datum) (int, error) {
 	if hi != nil {
 		req.HasHi, req.Hi = true, *hi
 	}
-	body, err := call(conn, wire.MsgDeleteReq, req.Encode(), wire.MsgDeleteResp)
+	body, err := c.central.Call(ctx, wire.MsgDeleteReq, req.Encode(), wire.MsgDeleteResp, false)
 	if err != nil {
 		return 0, err
 	}
@@ -252,14 +241,8 @@ func (c *Client) DeleteRange(table string, lo, hi *schema.Datum) (int, error) {
 }
 
 // EdgeTables lists tables available at the edge server.
-func (c *Client) EdgeTables() ([]string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	conn, err := c.edge()
-	if err != nil {
-		return nil, err
-	}
-	body, err := call(conn, wire.MsgListTablesReq, nil, wire.MsgListTablesResp)
+func (c *Client) EdgeTables(ctx context.Context) ([]string, error) {
+	body, err := c.edge.Call(ctx, wire.MsgListTablesReq, nil, wire.MsgListTablesResp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +252,7 @@ func (c *Client) EdgeTables() ([]string, error) {
 // InvalidateSchema drops the cached verifier for a table (after schema or
 // key changes).
 func (c *Client) InvalidateSchema(table string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
 	delete(c.verifiers, table)
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -61,7 +62,7 @@ func deploy(t *testing.T, rows int) *deployment {
 	go srv.Serve(centralLn)
 
 	eg := edge.New(centralLn.Addr().String())
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -70,8 +71,14 @@ func deploy(t *testing.T, rows int) *deployment {
 	}
 	go eg.Serve(edgeLn)
 
-	cl := New(edgeLn.Addr().String(), centralLn.Addr().String())
-	if err := cl.FetchTrustedKey(); err != nil {
+	cl, err := Dial(context.Background(), Config{
+		EdgeAddr:    edgeLn.Addr().String(),
+		CentralAddr: centralLn.Addr().String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FetchTrustedKey(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {
@@ -88,8 +95,9 @@ func i64(v int) *schema.Datum {
 }
 
 func TestEndToEndQueryVerifies(t *testing.T) {
+	ctx := context.Background()
 	d := deploy(t, 300)
-	res, err := d.client.Query("items", []query.Predicate{
+	res, err := d.client.Query(ctx, "items", []query.Predicate{
 		{Column: "id", Op: query.OpGE, Value: schema.Int64(50)},
 		{Column: "id", Op: query.OpLE, Value: schema.Int64(99)},
 	}, nil)
@@ -105,8 +113,9 @@ func TestEndToEndQueryVerifies(t *testing.T) {
 }
 
 func TestEndToEndProjectionAndFilter(t *testing.T) {
+	ctx := context.Background()
 	d := deploy(t, 200)
-	res, err := d.client.Query("items", []query.Predicate{
+	res, err := d.client.Query(ctx, "items", []query.Predicate{
 		{Column: "cat", Op: query.OpEQ, Value: schema.Str(workload.CategoryName(3))},
 	}, []string{"id", "cat"})
 	if err != nil {
@@ -126,8 +135,9 @@ func TestEndToEndProjectionAndFilter(t *testing.T) {
 }
 
 func TestEndToEndEmptyResult(t *testing.T) {
+	ctx := context.Background()
 	d := deploy(t, 100)
-	res, err := d.client.Query("items", []query.Predicate{
+	res, err := d.client.Query(ctx, "items", []query.Predicate{
 		{Column: "id", Op: query.OpGE, Value: schema.Int64(5000)},
 	}, nil)
 	if err != nil {
@@ -139,6 +149,7 @@ func TestEndToEndEmptyResult(t *testing.T) {
 }
 
 func TestEndToEndTamperDetected(t *testing.T) {
+	ctx := context.Background()
 	d := deploy(t, 200)
 
 	cases := map[string]edge.TamperFn{
@@ -179,27 +190,28 @@ func TestEndToEndTamperDetected(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			d.edge.SetTamper(fn)
 			defer d.edge.SetTamper(nil)
-			_, err := d.client.Query("items", preds, nil)
+			_, err := d.client.Query(ctx, "items", preds, nil)
 			if !errors.Is(err, ErrTampered) {
 				t.Fatalf("tampering %q: err = %v, want ErrTampered", name, err)
 			}
 		})
 	}
 	// Clean queries pass again once the edge behaves.
-	if _, err := d.client.Query("items", preds, nil); err != nil {
+	if _, err := d.client.Query(ctx, "items", preds, nil); err != nil {
 		t.Fatalf("clean query after tamper: %v", err)
 	}
 }
 
 func TestEndToEndUpdatePropagation(t *testing.T) {
+	ctx := context.Background()
 	d := deploy(t, 100)
 	// Insert through the client (goes to central).
 	newTuple := mkWorkloadTuple(t, d, 5000)
-	if err := d.client.Insert("items", newTuple); err != nil {
+	if err := d.client.Insert(ctx, "items", newTuple); err != nil {
 		t.Fatal(err)
 	}
 	// Edge is stale: the new tuple is not there yet, but results verify.
-	res, err := d.client.Query("items", []query.Predicate{
+	res, err := d.client.Query(ctx, "items", []query.Predicate{
 		{Column: "id", Op: query.OpEQ, Value: schema.Int64(5000)},
 	}, nil)
 	if err != nil {
@@ -209,10 +221,10 @@ func TestEndToEndUpdatePropagation(t *testing.T) {
 		t.Fatal("stale edge returned the new tuple without a refresh")
 	}
 	// Refresh (the paper's periodic propagation) and re-query.
-	if err := d.edge.Pull("items"); err != nil {
+	if err := d.edge.Pull(ctx, "items"); err != nil {
 		t.Fatal(err)
 	}
-	res, err = d.client.Query("items", []query.Predicate{
+	res, err = d.client.Query(ctx, "items", []query.Predicate{
 		{Column: "id", Op: query.OpEQ, Value: schema.Int64(5000)},
 	}, nil)
 	if err != nil {
@@ -222,17 +234,17 @@ func TestEndToEndUpdatePropagation(t *testing.T) {
 		t.Fatalf("refreshed edge returned %d tuples", len(res.Result.Tuples))
 	}
 	// Delete through the client, refresh, verify again.
-	n, err := d.client.DeleteRange("items", i64(0), i64(9))
+	n, err := d.client.DeleteRange(ctx, "items", i64(0), i64(9))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 10 {
 		t.Fatalf("deleted %d, want 10", n)
 	}
-	if err := d.edge.Pull("items"); err != nil {
+	if err := d.edge.Pull(ctx, "items"); err != nil {
 		t.Fatal(err)
 	}
-	res, err = d.client.Query("items", []query.Predicate{
+	res, err = d.client.Query(ctx, "items", []query.Predicate{
 		{Column: "id", Op: query.OpLE, Value: schema.Int64(20)},
 	}, nil)
 	if err != nil {
@@ -246,7 +258,7 @@ func TestEndToEndUpdatePropagation(t *testing.T) {
 // mkWorkloadTuple builds a schema-conformant tuple with the given id.
 func mkWorkloadTuple(t *testing.T, d *deployment, id int) schema.Tuple {
 	t.Helper()
-	sch, err := d.client.Schema("items")
+	sch, err := d.client.Schema(context.Background(), "items")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,6 +271,7 @@ func mkWorkloadTuple(t *testing.T, d *deployment, id int) schema.Tuple {
 }
 
 func TestEndToEndJoinView(t *testing.T) {
+	ctx := context.Background()
 	d := deploy(t, 50)
 	// Materialize a self-referential demo view at the central server:
 	// items joined with itself on cat (cheap but structurally a join).
@@ -280,11 +293,11 @@ func TestEndToEndJoinView(t *testing.T) {
 	if err := d.central.MaterializeJoin("user_orders", "orders", "users", "user_id", "id"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.edge.Pull("user_orders"); err != nil {
+	if err := d.edge.Pull(ctx, "user_orders"); err != nil {
 		t.Fatal(err)
 	}
 	// Query the authenticated join view through the normal path.
-	res, err := d.client.Query("user_orders", []query.Predicate{
+	res, err := d.client.Query(ctx, "user_orders", []query.Predicate{
 		{Column: "user_id", Op: query.OpEQ, Value: schema.Int64(3)},
 	}, []string{"rowid", "oid", "user_id"})
 	if err != nil {
@@ -298,17 +311,18 @@ func TestEndToEndJoinView(t *testing.T) {
 }
 
 func TestEndToEndErrors(t *testing.T) {
+	ctx := context.Background()
 	d := deploy(t, 20)
-	if _, err := d.client.Query("ghost", nil, nil); err == nil {
+	if _, err := d.client.Query(ctx, "ghost", nil, nil); err == nil {
 		t.Fatal("query of unknown table succeeded")
 	}
-	if err := d.client.Insert("ghost", schema.NewTuple(schema.Int64(1))); err == nil {
+	if err := d.client.Insert(ctx, "ghost", schema.NewTuple(schema.Int64(1))); err == nil {
 		t.Fatal("insert into unknown table succeeded")
 	}
-	if _, err := d.client.DeleteRange("ghost", nil, nil); err == nil {
+	if _, err := d.client.DeleteRange(ctx, "ghost", nil, nil); err == nil {
 		t.Fatal("delete from unknown table succeeded")
 	}
-	tables, err := d.client.EdgeTables()
+	tables, err := d.client.EdgeTables(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +348,7 @@ func TestCentralDirectQueryPath(t *testing.T) {
 }
 
 func compileRange(d *deployment, lo, hi int) (q2 vbtree.Query, err error) {
-	sch, err := d.client.Schema("items")
+	sch, err := d.client.Schema(context.Background(), "items")
 	if err != nil {
 		return q2, err
 	}

@@ -10,15 +10,18 @@
 package edge
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"edgeauth/internal/digest"
 	"edgeauth/internal/query"
+	"edgeauth/internal/rpc"
 	"edgeauth/internal/schema"
 	"edgeauth/internal/sig"
 	"edgeauth/internal/storage"
@@ -31,19 +34,36 @@ import (
 // the model of a hacked edge. Returning an error suppresses the response.
 type TamperFn func(rs *vo.ResultSet, w *vo.VO) error
 
+// Options configures an edge server's serving side.
+type Options struct {
+	// IdleTimeout disconnects a client that sends no complete request
+	// within the window (slowloris protection). 0 selects
+	// rpc.DefaultIdleTimeout; negative disables the deadline.
+	IdleTimeout time.Duration
+	// MaxConcurrent bounds the requests executing concurrently on one
+	// multiplexed (protocol v2) client connection. 0 selects
+	// rpc.DefaultMaxConcurrent.
+	MaxConcurrent int
+}
+
 // Server is an edge server holding replicated tables.
 type Server struct {
 	mu     sync.RWMutex
 	tables map[string]*replica
 	tamper TamperFn
 
-	centralAddr string
+	opts Options
+	// central is the pipelined, auto-redialing connection to the central
+	// server; every replication exchange (snapshots, deltas, the key
+	// fetch) multiplexes over it.
+	central *rpc.Conn
 
 	pubMu      sync.Mutex
 	centralPub *sig.PublicKey
 
 	lnMu      sync.Mutex
 	listeners []net.Listener
+	conns     rpc.ConnSet
 	wg        sync.WaitGroup
 	closed    bool
 }
@@ -63,27 +83,17 @@ type replica struct {
 	epoch   uint64
 }
 
-// request sends one frame and reads one response, resolving error frames
-// — the request/response shape of every edge→central exchange.
-func request(conn net.Conn, t wire.MsgType, body []byte) ([]byte, error) {
-	if err := wire.WriteFrame(conn, t, body); err != nil {
-		return nil, err
-	}
-	mt, resp, err := wire.ReadFrame(conn)
-	if err != nil {
-		return nil, err
-	}
-	if mt == wire.MsgError {
-		return nil, wire.AsError(resp)
-	}
-	return resp, nil
-}
-
 // New creates an edge server that replicates from centralAddr.
 func New(centralAddr string) *Server {
+	return NewWithOptions(centralAddr, Options{})
+}
+
+// NewWithOptions creates an edge server with explicit serving options.
+func NewWithOptions(centralAddr string, opts Options) *Server {
 	return &Server{
-		tables:      make(map[string]*replica),
-		centralAddr: centralAddr,
+		tables:  make(map[string]*replica),
+		opts:    opts,
+		central: rpc.New(centralAddr, rpc.Options{}),
 	}
 }
 
@@ -107,13 +117,8 @@ func (s *Server) Tables() []string {
 }
 
 // PullAll replicates every table the central server advertises.
-func (s *Server) PullAll() error {
-	conn, err := net.Dial("tcp", s.centralAddr)
-	if err != nil {
-		return fmt.Errorf("edge: dialing central: %w", err)
-	}
-	defer conn.Close()
-	body, err := request(conn, wire.MsgListTablesReq, nil)
+func (s *Server) PullAll(ctx context.Context) error {
+	body, err := s.central.Call(ctx, wire.MsgListTablesReq, nil, wire.MsgListTablesResp, true)
 	if err != nil {
 		return err
 	}
@@ -122,7 +127,7 @@ func (s *Server) PullAll() error {
 		return err
 	}
 	for _, name := range names {
-		if _, err := s.pullOn(conn, name); err != nil {
+		if _, err := s.pull(ctx, name); err != nil {
 			return err
 		}
 	}
@@ -130,20 +135,14 @@ func (s *Server) PullAll() error {
 }
 
 // Pull replicates (or refreshes) one table with a full snapshot.
-func (s *Server) Pull(tableName string) error {
-	conn, err := net.Dial("tcp", s.centralAddr)
-	if err != nil {
-		return fmt.Errorf("edge: dialing central: %w", err)
-	}
-	defer conn.Close()
-	_, err = s.pullOn(conn, tableName)
+func (s *Server) Pull(ctx context.Context, tableName string) error {
+	_, err := s.pull(ctx, tableName)
 	return err
 }
 
-// pullOn replicates one table over an existing connection and returns the
-// snapshot's wire size.
-func (s *Server) pullOn(conn net.Conn, tableName string) (int, error) {
-	body, err := request(conn, wire.MsgSnapshotReq, []byte(tableName))
+// pull replicates one table and returns the snapshot's wire size.
+func (s *Server) pull(ctx context.Context, tableName string) (int, error) {
+	body, err := s.central.Call(ctx, wire.MsgSnapshotReq, []byte(tableName), wire.MsgSnapshotResp, true)
 	if err != nil {
 		return 0, err
 	}
@@ -246,10 +245,10 @@ func (r *replica) applyDelta(d *wire.Delta) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if d.Epoch != r.epoch {
-		return fmt.Errorf("edge: delta from epoch %d, replica from %d", d.Epoch, r.epoch)
+		return wire.StaleReplica(d.Table, fmt.Sprintf("edge: delta from epoch %d, replica version history from %d", d.Epoch, r.epoch))
 	}
 	if d.FromVersion != r.version {
-		return fmt.Errorf("edge: delta starts at version %d, replica at %d", d.FromVersion, r.version)
+		return wire.StaleReplica(d.Table, fmt.Sprintf("edge: delta starts at version %d, replica at %d", d.FromVersion, r.version))
 	}
 	pager := r.pool.Pager()
 	pageSize := pager.PageSize()
@@ -315,13 +314,8 @@ type RefreshStat struct {
 // refreshed independently: one failing table does not starve the rest,
 // and the stats of the tables that did refresh are returned alongside
 // the joined errors.
-func (s *Server) RefreshAll() ([]RefreshStat, error) {
-	conn, err := net.Dial("tcp", s.centralAddr)
-	if err != nil {
-		return nil, fmt.Errorf("edge: dialing central: %w", err)
-	}
-	defer conn.Close()
-	body, err := request(conn, wire.MsgListTablesReq, nil)
+func (s *Server) RefreshAll(ctx context.Context) ([]RefreshStat, error) {
+	body, err := s.central.Call(ctx, wire.MsgListTablesReq, nil, wire.MsgListTablesResp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -332,16 +326,9 @@ func (s *Server) RefreshAll() ([]RefreshStat, error) {
 	stats := make([]RefreshStat, 0, len(names))
 	var errs []error
 	for _, name := range names {
-		st, err := s.refreshOn(conn, name)
+		st, err := s.Refresh(ctx, name)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("edge: refreshing %q: %w", name, err))
-			// A failed exchange may leave unread frames on the shared
-			// connection; reconnect so later tables get a clean channel.
-			conn.Close()
-			if conn, err = net.Dial("tcp", s.centralAddr); err != nil {
-				errs = append(errs, fmt.Errorf("edge: redialing central: %w", err))
-				break
-			}
 			continue
 		}
 		stats = append(stats, st)
@@ -351,21 +338,12 @@ func (s *Server) RefreshAll() ([]RefreshStat, error) {
 
 // Refresh brings one replica up to date (delta if possible, snapshot
 // otherwise) and reports what was transferred.
-func (s *Server) Refresh(tableName string) (RefreshStat, error) {
-	conn, err := net.Dial("tcp", s.centralAddr)
-	if err != nil {
-		return RefreshStat{}, fmt.Errorf("edge: dialing central: %w", err)
-	}
-	defer conn.Close()
-	return s.refreshOn(conn, tableName)
-}
-
-func (s *Server) refreshOn(conn net.Conn, tableName string) (RefreshStat, error) {
+func (s *Server) Refresh(ctx context.Context, tableName string) (RefreshStat, error) {
 	s.mu.RLock()
 	rep := s.tables[tableName]
 	s.mu.RUnlock()
 	if rep == nil {
-		n, err := s.pullOn(conn, tableName)
+		n, err := s.pull(ctx, tableName)
 		if err != nil {
 			return RefreshStat{}, err
 		}
@@ -376,7 +354,7 @@ func (s *Server) refreshOn(conn net.Conn, tableName string) (RefreshStat, error)
 	epoch := rep.epoch
 	rep.mu.RUnlock()
 	req := &wire.DeltaRequest{Table: tableName, FromVersion: from, Epoch: epoch}
-	body, err := request(conn, wire.MsgDeltaReq, req.Encode())
+	body, err := s.central.Call(ctx, wire.MsgDeltaReq, req.Encode(), wire.MsgDeltaResp, true)
 	if err != nil {
 		return RefreshStat{}, err
 	}
@@ -388,7 +366,7 @@ func (s *Server) refreshOn(conn net.Conn, tableName string) (RefreshStat, error)
 	if err != nil {
 		return RefreshStat{}, err
 	}
-	pub, err := s.centralKey(conn)
+	pub, err := s.centralKey(ctx)
 	if err != nil {
 		return RefreshStat{}, err
 	}
@@ -396,7 +374,7 @@ func (s *Server) refreshOn(conn net.Conn, tableName string) (RefreshStat, error)
 		// The central server may have rotated or regenerated its key
 		// (e.g. after a restart); refetch once over the authenticated
 		// channel before rejecting the delta.
-		if pub, err = s.refetchCentralKey(conn); err != nil {
+		if pub, err = s.refetchCentralKey(ctx); err != nil {
 			return RefreshStat{}, err
 		}
 		if err := pub.Verify(d.Sig, payload); err != nil {
@@ -404,7 +382,7 @@ func (s *Server) refreshOn(conn net.Conn, tableName string) (RefreshStat, error)
 		}
 	}
 	if d.SnapshotNeeded {
-		n, err := s.pullOn(conn, tableName)
+		n, err := s.pull(ctx, tableName)
 		if err != nil {
 			return RefreshStat{}, err
 		}
@@ -434,26 +412,26 @@ func (s *Server) statFor(tableName, mode string, bytes int, from uint64) Refresh
 // centralKey fetches (once) the central server's public key over the
 // replication connection — the edge's authenticated channel — so deltas
 // can be signature-checked before they touch a replica.
-func (s *Server) centralKey(conn net.Conn) (*sig.PublicKey, error) {
+func (s *Server) centralKey(ctx context.Context) (*sig.PublicKey, error) {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
 	if s.centralPub != nil {
 		return s.centralPub, nil
 	}
-	return s.fetchCentralKeyLocked(conn)
+	return s.fetchCentralKeyLocked(ctx)
 }
 
 // refetchCentralKey discards the cached key and fetches the current one
 // (the central server may have rotated keys since the cache was filled).
-func (s *Server) refetchCentralKey(conn net.Conn) (*sig.PublicKey, error) {
+func (s *Server) refetchCentralKey(ctx context.Context) (*sig.PublicKey, error) {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
 	s.centralPub = nil
-	return s.fetchCentralKeyLocked(conn)
+	return s.fetchCentralKeyLocked(ctx)
 }
 
-func (s *Server) fetchCentralKeyLocked(conn net.Conn) (*sig.PublicKey, error) {
-	body, err := request(conn, wire.MsgPubKeyReq, nil)
+func (s *Server) fetchCentralKeyLocked(ctx context.Context) (*sig.PublicKey, error) {
+	body, err := s.central.Call(ctx, wire.MsgPubKeyReq, nil, wire.MsgPubKeyResp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -471,7 +449,7 @@ func (s *Server) Version(tableName string) (uint64, error) {
 	rep := s.tables[tableName]
 	s.mu.RUnlock()
 	if rep == nil {
-		return 0, fmt.Errorf("edge: table %q not replicated", tableName)
+		return 0, wire.UnknownTable("edge", tableName)
 	}
 	rep.mu.RLock()
 	defer rep.mu.RUnlock()
@@ -485,7 +463,7 @@ func (s *Server) RunQuery(tableName string, q vbtree.Query) (*vo.ResultSet, *vo.
 	tamper := s.tamper
 	s.mu.RUnlock()
 	if !ok {
-		return nil, nil, fmt.Errorf("edge: table %q not replicated", tableName)
+		return nil, nil, wire.UnknownTable("edge", tableName)
 	}
 	rep.mu.RLock()
 	rs, w, err := rep.tree.RunQuery(q)
@@ -509,7 +487,7 @@ func (s *Server) Schema(tableName string) (*schema.Schema, error) {
 	defer s.mu.RUnlock()
 	rep, ok := s.tables[tableName]
 	if !ok {
-		return nil, fmt.Errorf("edge: table %q not replicated", tableName)
+		return nil, wire.UnknownTable("edge", tableName)
 	}
 	return rep.sch, nil
 }
@@ -529,16 +507,22 @@ func (s *Server) Serve(l net.Listener) {
 		if err != nil {
 			return
 		}
+		if !s.conns.Add(conn) {
+			conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.conns.Remove(conn)
 			defer conn.Close()
 			s.handleConn(conn)
 		}()
 	}
 }
 
-// Close stops serving.
+// Close stops serving (listeners and live client connections) and drops
+// the central connection.
 func (s *Server) Close() {
 	s.lnMu.Lock()
 	s.closed = true
@@ -547,34 +531,36 @@ func (s *Server) Close() {
 	}
 	s.listeners = nil
 	s.lnMu.Unlock()
+	s.conns.CloseAll()
 	s.wg.Wait()
+	s.central.Close()
 }
 
+// handleConn negotiates the protocol with the client and dispatches its
+// requests — concurrently, on multiplexed v2 sessions — until it
+// disconnects or idles out.
 func (s *Server) handleConn(conn net.Conn) {
-	for {
-		mt, body, err := wire.ReadFrame(conn)
-		if err != nil {
-			return
-		}
-		if err := s.dispatch(conn, mt, body); err != nil {
-			if werr := wire.WriteError(conn, err); werr != nil {
-				return
-			}
-		}
-	}
+	rpc.ServeConn(conn, s.dispatch, rpc.ServeOptions{
+		IdleTimeout:   s.opts.IdleTimeout,
+		MaxConcurrent: s.opts.MaxConcurrent,
+	})
 }
 
-func (s *Server) dispatch(conn net.Conn, mt wire.MsgType, body []byte) error {
+// dispatch executes one client request and returns the response frame.
+// It must be safe for concurrent use: v2 connections run requests in
+// parallel (queries take the replica read lock, so they interleave
+// safely with delta application).
+func (s *Server) dispatch(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
 	switch mt {
 	case wire.MsgListTablesReq:
-		return wire.WriteFrame(conn, wire.MsgListTablesResp, wire.EncodeStringList(s.Tables()))
+		return wire.MsgListTablesResp, wire.EncodeStringList(s.Tables()), nil
 
 	case wire.MsgSchemaReq:
 		s.mu.RLock()
 		rep, ok := s.tables[string(body)]
 		s.mu.RUnlock()
 		if !ok {
-			return fmt.Errorf("edge: table %q not replicated", string(body))
+			return 0, nil, wire.UnknownTable("edge", string(body))
 		}
 		rep.mu.RLock()
 		resp := &wire.SchemaResponse{
@@ -583,18 +569,18 @@ func (s *Server) dispatch(conn net.Conn, mt wire.MsgType, body []byte) error {
 			KeyVersion: rep.keyVer,
 		}
 		rep.mu.RUnlock()
-		return wire.WriteFrame(conn, wire.MsgSchemaResp, resp.Encode())
+		return wire.MsgSchemaResp, resp.Encode(), nil
 
 	case wire.MsgQueryReq:
 		req, err := wire.DecodeQueryRequest(body)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		s.mu.RLock()
 		rep, ok := s.tables[req.Table]
 		s.mu.RUnlock()
 		if !ok {
-			return fmt.Errorf("edge: table %q not replicated", req.Table)
+			return 0, nil, wire.UnknownTable("edge", req.Table)
 		}
 		spec := query.Spec{Predicates: req.Predicates}
 		if !req.ProjectAll {
@@ -602,16 +588,16 @@ func (s *Server) dispatch(conn net.Conn, mt wire.MsgType, body []byte) error {
 		}
 		q, err := query.Compile(rep.sch, spec)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		rs, w, err := s.RunQuery(req.Table, q)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		resp := &wire.QueryResponse{Result: rs, VO: w}
-		return wire.WriteFrame(conn, wire.MsgQueryResp, resp.Encode())
+		return wire.MsgQueryResp, resp.Encode(), nil
 
 	default:
-		return errors.New("edge: unsupported message " + mt.String())
+		return 0, nil, wire.Unsupported("edge", mt)
 	}
 }

@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -57,7 +58,7 @@ func startCentral(t *testing.T, rows int) (*central.Server, string) {
 func TestPullAndQueryLocally(t *testing.T) {
 	srv, addr := startCentral(t, 150)
 	eg := New(addr)
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := eg.Tables(); len(got) != 1 || got[0] != "items" {
@@ -105,7 +106,7 @@ func TestInstallSnapshotValidation(t *testing.T) {
 func TestReplicaIsolationFromCentral(t *testing.T) {
 	srv, addr := startCentral(t, 60)
 	eg := New(addr)
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Mutate the central copy; the edge replica must be unaffected until
@@ -122,7 +123,7 @@ func TestReplicaIsolationFromCentral(t *testing.T) {
 	if len(rs.Tuples) != 10 {
 		t.Fatalf("replica saw central's delete without a pull: %d tuples", len(rs.Tuples))
 	}
-	if err := eg.Pull("items"); err != nil {
+	if err := eg.Pull(context.Background(), "items"); err != nil {
 		t.Fatal(err)
 	}
 	rs, _, err = eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi})
@@ -137,7 +138,7 @@ func TestReplicaIsolationFromCentral(t *testing.T) {
 func TestUnknownTableErrors(t *testing.T) {
 	_, addr := startCentral(t, 10)
 	eg := New(addr)
-	if err := eg.Pull("ghost"); err == nil {
+	if err := eg.Pull(context.Background(), "ghost"); err == nil {
 		t.Fatal("pull of unknown table succeeded")
 	}
 	if _, _, err := eg.RunQuery("ghost", vbtree.Query{}); err == nil {
@@ -150,10 +151,10 @@ func TestUnknownTableErrors(t *testing.T) {
 
 func TestUnreachableCentral(t *testing.T) {
 	eg := New("127.0.0.1:1") // nothing listens there
-	if err := eg.PullAll(); err == nil {
+	if err := eg.PullAll(context.Background()); err == nil {
 		t.Fatal("PullAll against dead central succeeded")
 	}
-	if err := eg.Pull("items"); err == nil {
+	if err := eg.Pull(context.Background(), "items"); err == nil {
 		t.Fatal("Pull against dead central succeeded")
 	}
 }
@@ -161,7 +162,7 @@ func TestUnreachableCentral(t *testing.T) {
 func TestTamperHookAppliesAndClears(t *testing.T) {
 	_, addr := startCentral(t, 80)
 	eg := New(addr)
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	calls := 0
@@ -188,7 +189,7 @@ func TestTamperHookAppliesAndClears(t *testing.T) {
 func TestServeProtocolDispatch(t *testing.T) {
 	_, addr := startCentral(t, 50)
 	eg := New(addr)
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

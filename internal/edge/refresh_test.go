@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -88,23 +89,26 @@ func startEdge(t *testing.T, eg *Server) string {
 func TestRefreshDeltaEndToEnd(t *testing.T) {
 	srv, centralAddr := startCentralOpts(t, 200, central.Options{PageSize: 1024})
 	eg := New(centralAddr)
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	edgeAddr := startEdge(t, eg)
 
-	cl := client.New(edgeAddr, centralAddr)
+	cl, err := client.Dial(context.Background(), client.Config{EdgeAddr: edgeAddr, CentralAddr: centralAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer cl.Close()
-	if err := cl.FetchTrustedKey(); err != nil {
+	if err := cl.FetchTrustedKey(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
 	// Route updates through the client to the central server.
-	if err := cl.Insert("items", freshRow(t, 50_000)); err != nil {
+	if err := cl.Insert(context.Background(), "items", freshRow(t, 50_000)); err != nil {
 		t.Fatal(err)
 	}
 	lo, hi := schema.Int64(0), schema.Int64(4)
-	if n, err := cl.DeleteRange("items", &lo, &hi); err != nil || n != 5 {
+	if n, err := cl.DeleteRange(context.Background(), "items", &lo, &hi); err != nil || n != 5 {
 		t.Fatalf("delete: n=%d err=%v", n, err)
 	}
 
@@ -113,7 +117,7 @@ func TestRefreshDeltaEndToEnd(t *testing.T) {
 		t.Fatalf("replica version before refresh: %d, %v", v, err)
 	}
 
-	stats, err := eg.RefreshAll()
+	stats, err := eg.RefreshAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +133,7 @@ func TestRefreshDeltaEndToEnd(t *testing.T) {
 	}
 
 	// A verified client query reflects both updates.
-	res, err := cl.Query("items", []query.Predicate{
+	res, err := cl.Query(context.Background(), "items", []query.Predicate{
 		{Column: "id", Op: query.OpGE, Value: schema.Int64(49_999)},
 	}, nil)
 	if err != nil {
@@ -138,7 +142,7 @@ func TestRefreshDeltaEndToEnd(t *testing.T) {
 	if len(res.Result.Tuples) != 1 || res.Result.Tuples[0].Values[0].I != 50_000 {
 		t.Fatalf("inserted row not visible after delta refresh: %+v", res.Result.Tuples)
 	}
-	res, err = cl.Query("items", []query.Predicate{
+	res, err = cl.Query(context.Background(), "items", []query.Predicate{
 		{Column: "id", Op: query.OpLE, Value: schema.Int64(4)},
 	}, nil)
 	if err != nil {
@@ -149,7 +153,7 @@ func TestRefreshDeltaEndToEnd(t *testing.T) {
 	}
 
 	// A second tick with nothing pending is a signed noop.
-	stats, err = eg.RefreshAll()
+	stats, err = eg.RefreshAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +168,7 @@ func TestRefreshDeltaEndToEnd(t *testing.T) {
 func TestRefreshSnapshotFallback(t *testing.T) {
 	srv, centralAddr := startCentralOpts(t, 150, central.Options{PageSize: 1024, DeltaRetention: 2})
 	eg := New(centralAddr)
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	edgeAddr := startEdge(t, eg)
@@ -174,7 +178,7 @@ func TestRefreshSnapshotFallback(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	stats, err := eg.RefreshAll()
+	stats, err := eg.RefreshAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,12 +193,15 @@ func TestRefreshSnapshotFallback(t *testing.T) {
 		t.Fatalf("replica at v%d after fallback, central at v%d (%v)", got, want, err)
 	}
 
-	cl := client.New(edgeAddr, centralAddr)
-	defer cl.Close()
-	if err := cl.FetchTrustedKey(); err != nil {
+	cl, err := client.Dial(context.Background(), client.Config{EdgeAddr: edgeAddr, CentralAddr: centralAddr})
+	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Query("items", []query.Predicate{
+	defer cl.Close()
+	if err := cl.FetchTrustedKey(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Query(context.Background(), "items", []query.Predicate{
 		{Column: "id", Op: query.OpGE, Value: schema.Int64(60_000)},
 	}, nil)
 	if err != nil {
@@ -208,7 +215,7 @@ func TestRefreshSnapshotFallback(t *testing.T) {
 	if err := srv.Insert("items", freshRow(t, 70_000)); err != nil {
 		t.Fatal(err)
 	}
-	stats, err = eg.RefreshAll()
+	stats, err = eg.RefreshAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +230,7 @@ func TestRefreshSnapshotFallback(t *testing.T) {
 func TestDeltaTransfersLessThanSnapshot(t *testing.T) {
 	srv, centralAddr := startCentralOpts(t, 2_000, central.Options{PageSize: 1024})
 	eg := New(centralAddr)
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	snap, err := srv.Snapshot("items")
@@ -237,7 +244,7 @@ func TestDeltaTransfersLessThanSnapshot(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st, err := eg.Refresh("items")
+	st, err := eg.Refresh(context.Background(), "items")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +263,7 @@ func TestDeltaTransfersLessThanSnapshot(t *testing.T) {
 func TestRefreshRejectsForgedDelta(t *testing.T) {
 	srv, centralAddr := startCentralOpts(t, 100, central.Options{PageSize: 1024})
 	eg := New(centralAddr)
-	if err := eg.PullAll(); err != nil {
+	if err := eg.PullAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Insert("items", freshRow(t, 90_000)); err != nil {

@@ -1,0 +1,512 @@
+// Package rpc is the transport layer shared by every network role of the
+// system: the verifying client and the edge server's central-facing side
+// use Conn (a context-aware, pipelined request connection), while the
+// central and edge servers' listening sides use ServeConn (a concurrent,
+// multiplexed dispatch loop). Both ends negotiate the wire protocol
+// version with a Hello handshake and interoperate transparently with v1
+// peers (see internal/wire/v2.go for the framing).
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"edgeauth/internal/wire"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultDialTimeout    = 5 * time.Second
+	DefaultRedialAttempts = 3
+	DefaultRedialBackoff  = 25 * time.Millisecond
+)
+
+// Options configures a Conn.
+type Options struct {
+	// DialTimeout bounds each TCP connect attempt. 0 selects
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+	// RedialAttempts is how many connect attempts are made when
+	// (re-)establishing the connection. 0 selects DefaultRedialAttempts.
+	RedialAttempts int
+	// RedialBackoff is the wait before the second connect attempt; it
+	// doubles per attempt. 0 selects DefaultRedialBackoff.
+	RedialBackoff time.Duration
+	// ForceV1 skips the Hello handshake and speaks protocol v1
+	// (one-frame-in/one-frame-out). Used by compatibility tests and the
+	// pipelined-vs-serial benchmarks.
+	ForceV1 bool
+}
+
+func (o Options) dialTimeout() time.Duration {
+	if o.DialTimeout <= 0 {
+		return DefaultDialTimeout
+	}
+	return o.DialTimeout
+}
+
+func (o Options) redialAttempts() int {
+	if o.RedialAttempts <= 0 {
+		return DefaultRedialAttempts
+	}
+	return o.RedialAttempts
+}
+
+func (o Options) redialBackoff() time.Duration {
+	if o.RedialBackoff <= 0 {
+		return DefaultRedialBackoff
+	}
+	return o.RedialBackoff
+}
+
+// frame is one demultiplexed response.
+type frame struct {
+	mt   wire.MsgType
+	body []byte
+}
+
+// session is one live connection. Conn replaces its session on redial, so
+// in-flight state never leaks across connection generations.
+type session struct {
+	nc    net.Conn
+	proto uint32
+
+	// v2 state: the in-flight request table and the per-connection write
+	// slot (a 1-slot semaphore rather than a mutex, so a caller queued
+	// behind a stalled writer can still observe its own context). The
+	// reader goroutine owns the read side exclusively.
+	writeSem chan struct{}
+	pendMu   sync.Mutex
+	pending  map[uint32]chan frame
+	nextID   uint32
+	dead     error // set once the reader fails; guarded by pendMu
+
+	// v1 state: the whole request/response exchange is serialized.
+	callMu sync.Mutex
+}
+
+// Conn is a context-aware client connection. N goroutines may call Call
+// concurrently: on a v2 session their requests are pipelined over one TCP
+// connection and responses are demultiplexed by request ID; against a v1
+// server the calls are transparently serialized. The connection is
+// established lazily and re-established (with backoff) after it dies, so
+// a transient peer outage does not poison the Conn forever.
+type Conn struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex // guards sess, closed and dialing
+	sess   *session
+	closed bool
+	// dialing is non-nil while one goroutine runs the dial-with-backoff
+	// loop (outside mu); it is closed when that attempt settles, so
+	// concurrent callers can wait on it or on their own context instead
+	// of queueing behind the mutex for the whole dial.
+	dialing chan struct{}
+}
+
+// New creates a lazily-connecting Conn to addr.
+func New(addr string, opts Options) *Conn {
+	return &Conn{addr: addr, opts: opts}
+}
+
+// Addr reports the remote address.
+func (c *Conn) Addr() string { return c.addr }
+
+// Close tears down the connection; subsequent calls fail.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.sess != nil {
+		err := c.sess.nc.Close()
+		c.sess = nil
+		return err
+	}
+	return nil
+}
+
+// Connect eagerly establishes (and handshakes) the connection.
+func (c *Conn) Connect(ctx context.Context) error {
+	_, err := c.ensureSession(ctx)
+	return err
+}
+
+// Proto reports the negotiated protocol version (0 before the first
+// successful connect).
+func (c *Conn) Proto() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess == nil {
+		return 0
+	}
+	return c.sess.proto
+}
+
+// ensureSession returns the live session, dialing and handshaking with
+// backoff if there is none. Only one goroutine dials at a time; the rest
+// wait for that attempt or for their own context, whichever ends first,
+// so a short-deadline caller is never stuck behind a slow dial loop.
+func (c *Conn) ensureSession(ctx context.Context) (*session, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, errors.New("rpc: connection closed")
+		}
+		if c.sess != nil {
+			s := c.sess
+			c.mu.Unlock()
+			return s, nil
+		}
+		if c.dialing == nil {
+			gate := make(chan struct{})
+			c.dialing = gate
+			c.mu.Unlock()
+
+			s, err := c.dialLoop(ctx)
+
+			c.mu.Lock()
+			c.dialing = nil
+			if err == nil {
+				if c.closed {
+					s.nc.Close()
+					err = errors.New("rpc: connection closed")
+				} else {
+					c.sess = s
+				}
+			}
+			close(gate)
+			c.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		gate := c.dialing
+		c.mu.Unlock()
+		select {
+		case <-gate:
+			// The dialer settled; re-check the session (it may have
+			// failed, in which case this caller becomes the dialer).
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// dialLoop makes up to redialAttempts connect attempts with doubling
+// backoff. It runs outside the Conn mutex.
+func (c *Conn) dialLoop(ctx context.Context) (*session, error) {
+	var lastErr error
+	backoff := c.opts.redialBackoff()
+	for attempt := 0; attempt < c.opts.redialAttempts(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := c.dialAndHandshake(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("rpc: dialing %s: %w", c.addr, lastErr)
+}
+
+// dialAndHandshake makes one connect attempt and negotiates the protocol.
+func (c *Conn) dialAndHandshake(ctx context.Context) (*session, error) {
+	dctx, cancel := context.WithTimeout(ctx, c.opts.dialTimeout())
+	defer cancel()
+	var d net.Dialer
+	nc, err := d.DialContext(dctx, "tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{nc: nc, proto: wire.ProtocolV1}
+	if c.opts.ForceV1 {
+		return s, nil
+	}
+	// Hello travels in v1 framing so a legacy server can answer it with
+	// its usual error frame instead of dropping the connection.
+	deadline := time.Now().Add(c.opts.dialTimeout())
+	nc.SetDeadline(deadline)
+	if err := wire.WriteFrame(nc, wire.MsgHello, wire.EncodeHello(wire.MaxProtocol)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("rpc: hello: %w", err)
+	}
+	mt, body, err := wire.ReadFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("rpc: hello response: %w", err)
+	}
+	nc.SetDeadline(time.Time{})
+	switch mt {
+	case wire.MsgHelloResp:
+		v, err := wire.DecodeHello(body)
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		if v > wire.MaxProtocol {
+			nc.Close()
+			return nil, fmt.Errorf("rpc: server negotiated unknown protocol %d", v)
+		}
+		s.proto = v
+	case wire.MsgError:
+		// A v1 server does not know MsgHello and reports an error; the
+		// connection stays usable in one-in/one-out mode.
+		s.proto = wire.ProtocolV1
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("rpc: unexpected handshake reply %v", mt)
+	}
+	if s.proto >= wire.ProtocolV2 {
+		s.pending = make(map[uint32]chan frame)
+		s.writeSem = make(chan struct{}, 1)
+		go s.readLoop()
+	}
+	return s, nil
+}
+
+// dropSession discards a dead session (if it is still the current one).
+func (c *Conn) dropSession(s *session) {
+	c.mu.Lock()
+	if c.sess == s {
+		c.sess = nil
+	}
+	c.mu.Unlock()
+	s.nc.Close()
+}
+
+// readLoop is the v2 demultiplexer: it owns the connection's read side
+// and routes each response frame to the in-flight call that owns its
+// request ID. Responses may arrive in any order.
+func (s *session) readLoop() {
+	for {
+		mt, id, body, err := wire.ReadFrameV2(s.nc)
+		if err != nil {
+			s.failAll(fmt.Errorf("rpc: connection lost: %w", err))
+			return
+		}
+		s.pendMu.Lock()
+		ch := s.pending[id]
+		delete(s.pending, id)
+		s.pendMu.Unlock()
+		if ch != nil {
+			ch <- frame{mt: mt, body: body}
+		}
+	}
+}
+
+// failAll marks the session dead and wakes every in-flight call.
+func (s *session) failAll(err error) {
+	s.pendMu.Lock()
+	s.dead = err
+	pending := s.pending
+	s.pending = nil
+	s.pendMu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// errTransport wraps failures of the connection itself (as opposed to
+// errors reported by the remote side), the class of failure a redial can
+// fix. sent records whether a complete request frame may have reached
+// the server: a dead-session check or a failed/partial write provably
+// never delivered an executable request (the server cannot dispatch a
+// truncated frame), so those remain retryable even for non-idempotent
+// requests.
+type errTransport struct {
+	err  error
+	sent bool
+}
+
+func (e *errTransport) Error() string { return e.err.Error() }
+func (e *errTransport) Unwrap() error { return e.err }
+
+// Call sends one request and returns the matching response body. Remote
+// error frames come back as errors (typed *wire.WireError on v2
+// sessions). When the connection itself fails, Call redials with backoff
+// and retries once on the fresh connection — always when the request
+// provably never reached the server, and otherwise only for idempotent
+// requests (a non-idempotent request that was fully written may already
+// have executed).
+func (c *Conn) Call(ctx context.Context, t wire.MsgType, body []byte, want wire.MsgType, idempotent bool) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := c.callOnce(ctx, t, body, want)
+	var te *errTransport
+	if err != nil && errors.As(err, &te) && (idempotent || !te.sent) && ctx.Err() == nil {
+		// The conn died under us: one redial-and-retry, then give up.
+		resp, err = c.callOnce(ctx, t, body, want)
+	}
+	if te2 := (*errTransport)(nil); errors.As(err, &te2) {
+		err = te2.err
+	}
+	return resp, err
+}
+
+func (c *Conn) callOnce(ctx context.Context, t wire.MsgType, body []byte, want wire.MsgType) ([]byte, error) {
+	s, err := c.ensureSession(ctx)
+	if err != nil {
+		return nil, &errTransport{err: err}
+	}
+	var f frame
+	if s.proto >= wire.ProtocolV2 {
+		f, err = c.callV2(ctx, s, t, body)
+	} else {
+		f, err = c.callV1(ctx, s, t, body)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if f.mt == wire.MsgError {
+		if s.proto >= wire.ProtocolV2 {
+			return nil, wire.DecodeWireError(f.body)
+		}
+		return nil, wire.AsError(f.body)
+	}
+	if f.mt != want {
+		return nil, fmt.Errorf("rpc: expected %v, got %v", want, f.mt)
+	}
+	return f.body, nil
+}
+
+// callV2 runs one pipelined exchange: register an in-flight entry, write
+// the frame under the connection write lock, then wait for the reader
+// goroutine to deliver the tagged response (or for ctx to expire).
+func (c *Conn) callV2(ctx context.Context, s *session, t wire.MsgType, body []byte) (frame, error) {
+	ch := make(chan frame, 1)
+	s.pendMu.Lock()
+	if s.dead != nil {
+		err := s.dead
+		s.pendMu.Unlock()
+		c.dropSession(s)
+		return frame{}, &errTransport{err: err}
+	}
+	s.nextID++
+	id := s.nextID
+	s.pending[id] = ch
+	s.pendMu.Unlock()
+
+	unregister := func() {
+		s.pendMu.Lock()
+		delete(s.pending, id)
+		s.pendMu.Unlock()
+	}
+
+	// Acquire the write slot without ignoring ctx: a caller queued behind
+	// a stalled writer still honors its own deadline.
+	select {
+	case s.writeSem <- struct{}{}:
+	case <-ctx.Done():
+		unregister()
+		return frame{}, ctx.Err()
+	}
+	// Each writer arms its own write deadline (and a cancellation hook)
+	// while holding the slot, so a peer that stops draining its socket
+	// cannot block the write past this call's context. A hook that fires
+	// late can at worst poison the next writer's deadline for one write;
+	// that write errors, drops the session, and the caller's retry logic
+	// takes over.
+	if d, ok := ctx.Deadline(); ok {
+		s.nc.SetWriteDeadline(d)
+	} else {
+		s.nc.SetWriteDeadline(time.Time{})
+	}
+	stopW := context.AfterFunc(ctx, func() {
+		s.nc.SetWriteDeadline(time.Unix(1, 0))
+	})
+	err := wire.WriteFrameV2(s.nc, t, id, body)
+	stopW()
+	<-s.writeSem
+	if err != nil {
+		// Whether the write stalled or was cancelled mid-frame, bytes may
+		// have been partially flushed: the stream is desynchronized and
+		// the session cannot be reused.
+		unregister()
+		c.dropSession(s)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return frame{}, ctxErr
+		}
+		return frame{}, &errTransport{err: fmt.Errorf("rpc: write: %w", err)}
+	}
+
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			// readLoop failed the session after the request went out.
+			s.pendMu.Lock()
+			err := s.dead
+			s.pendMu.Unlock()
+			c.dropSession(s)
+			if err == nil {
+				err = errors.New("rpc: connection lost")
+			}
+			return frame{}, &errTransport{err: err, sent: true}
+		}
+		return f, nil
+	case <-ctx.Done():
+		// Abandon the in-flight entry; if the response arrives later the
+		// readLoop finds no owner and discards it. The connection remains
+		// healthy for other callers.
+		s.pendMu.Lock()
+		delete(s.pending, id)
+		s.pendMu.Unlock()
+		return frame{}, ctx.Err()
+	}
+}
+
+// callV1 runs one serial exchange against a legacy peer. Cancellation is
+// honored by yanking the read deadline, which kills the connection (a v1
+// stream has no request IDs, so an abandoned response would desynchronize
+// every later exchange).
+func (c *Conn) callV1(ctx context.Context, s *session, t wire.MsgType, body []byte) (frame, error) {
+	s.callMu.Lock()
+	defer s.callMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return frame{}, err
+	}
+	s.nc.SetDeadline(time.Time{})
+	stop := context.AfterFunc(ctx, func() {
+		s.nc.SetDeadline(time.Unix(1, 0)) // unblock both write and read
+	})
+	if err := wire.WriteFrame(s.nc, t, body); err != nil {
+		stop()
+		c.dropSession(s)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return frame{}, ctxErr
+		}
+		return frame{}, &errTransport{err: fmt.Errorf("rpc: write: %w", err)}
+	}
+	mt, resp, err := wire.ReadFrame(s.nc)
+	if !stop() {
+		// The cancellation hook ran (or is running) concurrently with the
+		// exchange; the read deadline may be poisoned at any moment, so
+		// the session cannot be reused even if this read succeeded.
+		c.dropSession(s)
+	}
+	if err != nil {
+		c.dropSession(s)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return frame{}, ctxErr
+		}
+		return frame{}, &errTransport{err: fmt.Errorf("rpc: read: %w", err), sent: true}
+	}
+	return frame{mt: mt, body: resp}, nil
+}

@@ -1,0 +1,48 @@
+package rpc
+
+import (
+	"net"
+	"sync"
+)
+
+// ConnSet tracks a server's accepted connections so shutdown can close
+// them instead of waiting for peers (which may hold pooled connections
+// open indefinitely) to hang up.
+type ConnSet struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Add registers a connection; it reports false (without registering)
+// once CloseAll has run, so late accepts are rejected by the caller.
+func (s *ConnSet) Add(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+// Remove drops a connection from the set (after its handler returns).
+func (s *ConnSet) Remove(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+// CloseAll closes every tracked connection and marks the set closed.
+func (s *ConnSet) CloseAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = nil
+}

@@ -1,0 +1,449 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edgeauth/internal/wire"
+)
+
+// echoHandler answers MsgQueryReq with MsgQueryResp carrying the request
+// body back, and fails everything else with a typed error.
+func echoHandler(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+	switch mt {
+	case wire.MsgQueryReq:
+		return wire.MsgQueryResp, body, nil
+	case wire.MsgSchemaReq:
+		return 0, nil, wire.UnknownTable("test", string(body))
+	default:
+		return 0, nil, wire.Unsupported("test", mt)
+	}
+}
+
+// startServer serves connections with h until the test ends.
+func startServer(t *testing.T, h Handler, o ServeOptions) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				ServeConn(conn, h, o)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// startV1Server emulates a legacy peer: the pre-handshake serial loop
+// that answers MsgHello with a string error frame.
+func startV1Server(t *testing.T, h Handler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					mt, body, err := wire.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					if mt == wire.MsgHello {
+						wire.WriteError(conn, errors.New("test: unsupported message hello"))
+						continue
+					}
+					respType, resp, err := h(mt, body)
+					if err != nil {
+						if wire.WriteError(conn, err) != nil {
+							return
+						}
+						continue
+					}
+					if wire.WriteFrame(conn, respType, resp) != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+func TestV2HandshakeAndCall(t *testing.T) {
+	addr := startServer(t, echoHandler, ServeOptions{})
+	c := New(addr, Options{})
+	defer c.Close()
+	ctx := context.Background()
+	resp, err := c.Call(ctx, wire.MsgQueryReq, []byte("ping"), wire.MsgQueryResp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "ping" {
+		t.Fatalf("echo = %q", resp)
+	}
+	if c.Proto() != wire.ProtocolV2 {
+		t.Fatalf("negotiated protocol %d, want v2", c.Proto())
+	}
+}
+
+func TestV2ClientAgainstV1Server(t *testing.T) {
+	addr := startV1Server(t, echoHandler)
+	c := New(addr, Options{})
+	defer c.Close()
+	ctx := context.Background()
+	resp, err := c.Call(ctx, wire.MsgQueryReq, []byte("legacy"), wire.MsgQueryResp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "legacy" {
+		t.Fatalf("echo = %q", resp)
+	}
+	if c.Proto() != wire.ProtocolV1 {
+		t.Fatalf("negotiated protocol %d, want v1 fallback", c.Proto())
+	}
+	// v1 error frames still surface as errors (string form).
+	if _, err := c.Call(ctx, wire.MsgSchemaReq, []byte("ghost"), wire.MsgSchemaResp, true); err == nil {
+		t.Fatal("v1 error frame not surfaced")
+	}
+}
+
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	// A legacy client speaks raw v1 frames with no Hello; the server must
+	// fall back to the serial loop on the same connection.
+	addr := startServer(t, echoHandler, ServeOptions{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	for i := 0; i < 3; i++ {
+		if err := wire.WriteFrame(nc, wire.MsgQueryReq, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		mt, body, err := wire.ReadFrame(nc)
+		if err != nil || mt != wire.MsgQueryResp || !bytes.Equal(body, []byte{byte(i)}) {
+			t.Fatalf("exchange %d: mt=%v body=%v err=%v", i, mt, body, err)
+		}
+	}
+	// Errors stay string-framed for v1 peers, and the conn stays usable.
+	if err := wire.WriteFrame(nc, wire.MsgSchemaReq, []byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	mt, body, err := wire.ReadFrame(nc)
+	if err != nil || mt != wire.MsgError {
+		t.Fatalf("error frame: mt=%v err=%v", mt, err)
+	}
+	if wire.AsError(body).Error() == "" {
+		t.Fatal("empty v1 error")
+	}
+	if err := wire.WriteFrame(nc, wire.MsgQueryReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	if mt, _, err = wire.ReadFrame(nc); err != nil || mt != wire.MsgQueryResp {
+		t.Fatalf("conn unusable after error: mt=%v err=%v", mt, err)
+	}
+}
+
+func TestForceV1AgainstV2Server(t *testing.T) {
+	addr := startServer(t, echoHandler, ServeOptions{})
+	c := New(addr, Options{ForceV1: true})
+	defer c.Close()
+	resp, err := c.Call(context.Background(), wire.MsgQueryReq, []byte("x"), wire.MsgQueryResp, true)
+	if err != nil || string(resp) != "x" {
+		t.Fatalf("forced-v1 call: %q %v", resp, err)
+	}
+	if c.Proto() != wire.ProtocolV1 {
+		t.Fatalf("proto = %d", c.Proto())
+	}
+}
+
+func TestTypedErrorAcrossV2(t *testing.T) {
+	addr := startServer(t, echoHandler, ServeOptions{})
+	c := New(addr, Options{})
+	defer c.Close()
+	_, err := c.Call(context.Background(), wire.MsgSchemaReq, []byte("ghost"), wire.MsgSchemaResp, true)
+	if !errors.Is(err, wire.ErrUnknownTable) {
+		t.Fatalf("err = %v, want ErrUnknownTable", err)
+	}
+	var we *wire.WireError
+	if !errors.As(err, &we) || we.Table != "ghost" {
+		t.Fatalf("typed error lost its table: %v", err)
+	}
+	_, err = c.Call(context.Background(), wire.MsgVersionReq, nil, wire.MsgVersionResp, true)
+	if !errors.Is(err, wire.ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+// TestOutOfOrderResponses proves demultiplexing: a slow request issued
+// first must not block a fast one issued second.
+func TestOutOfOrderResponses(t *testing.T) {
+	release := make(chan struct{})
+	h := func(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+		if len(body) > 0 && body[0] == 's' {
+			<-release
+		}
+		return wire.MsgQueryResp, body, nil
+	}
+	addr := startServer(t, h, ServeOptions{})
+	c := New(addr, Options{})
+	defer c.Close()
+	ctx := context.Background()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := c.Call(ctx, wire.MsgQueryReq, []byte("slow"), wire.MsgQueryResp, true)
+		slowDone <- err
+	}()
+	// The fast call completes while the slow one is parked in a worker.
+	fastCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if _, err := c.Call(fastCtx, wire.MsgQueryReq, []byte("fast"), wire.MsgQueryResp, true); err != nil {
+		t.Fatalf("fast call blocked behind slow one: %v", err)
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextCancellationMidRequest(t *testing.T) {
+	block := make(chan struct{})
+	h := func(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+		<-block
+		return wire.MsgQueryResp, body, nil
+	}
+	addr := startServer(t, h, ServeOptions{})
+	c := New(addr, Options{})
+	defer c.Close()
+	defer close(block)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(ctx, wire.MsgQueryReq, []byte("hang"), wire.MsgQueryResp, true)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request reach the server
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation not observed mid-request")
+	}
+
+	// An already-expired context fails before any I/O.
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := c.Call(expired, wire.MsgQueryReq, nil, wire.MsgQueryResp, true); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired ctx: %v", err)
+	}
+}
+
+// TestRedialAfterServerRestart is the dead-cached-conn regression test:
+// the old client kept a poisoned conn forever; Conn must redial.
+func TestRedialAfterServerRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var (
+		conns   sync.WaitGroup
+		connsMu sync.Mutex
+		open    []net.Conn
+	)
+	serve := func(ln net.Listener) {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			connsMu.Lock()
+			open = append(open, conn)
+			connsMu.Unlock()
+			conns.Add(1)
+			go func() {
+				defer conns.Done()
+				defer conn.Close()
+				ServeConn(conn, echoHandler, ServeOptions{})
+			}()
+		}
+	}
+	go serve(ln)
+
+	c := New(addr, Options{RedialBackoff: 5 * time.Millisecond})
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Call(ctx, wire.MsgQueryReq, []byte("a"), wire.MsgQueryResp, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server mid-session (listener and live connections), then
+	// bring it back on the same port.
+	ln.Close()
+	connsMu.Lock()
+	for _, nc := range open {
+		nc.Close()
+	}
+	connsMu.Unlock()
+	conns.Wait()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	go serve(ln2)
+
+	resp, err := c.Call(ctx, wire.MsgQueryReq, []byte("b"), wire.MsgQueryResp, true)
+	if err != nil {
+		t.Fatalf("idempotent call after restart: %v", err)
+	}
+	if string(resp) != "b" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+// TestNonIdempotentRetriesWhenNeverSent: after the server idle-drops the
+// cached session, even a non-idempotent request must redial and retry,
+// because the dead-session check fires before any bytes are written —
+// the request provably never reached the server.
+func TestNonIdempotentRetriesWhenNeverSent(t *testing.T) {
+	addr := startServer(t, echoHandler, ServeOptions{IdleTimeout: 30 * time.Millisecond})
+	c := New(addr, Options{RedialBackoff: 5 * time.Millisecond})
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Call(ctx, wire.MsgQueryReq, []byte("a"), wire.MsgQueryResp, false); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the server to idle-drop the connection and the client's
+	// readLoop to mark the session dead.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("session never died after server idle timeout")
+		}
+		time.Sleep(20 * time.Millisecond)
+		c.mu.Lock()
+		s := c.sess
+		c.mu.Unlock()
+		if s == nil {
+			break // a previous call already dropped it
+		}
+		s.pendMu.Lock()
+		dead := s.dead != nil
+		s.pendMu.Unlock()
+		if dead {
+			break
+		}
+	}
+	resp, err := c.Call(ctx, wire.MsgQueryReq, []byte("b"), wire.MsgQueryResp, false)
+	if err != nil {
+		t.Fatalf("non-idempotent call on dead session: %v (should retry: never sent)", err)
+	}
+	if string(resp) != "b" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+// TestIdleTimeoutDropsSlowloris: a peer that connects and never sends a
+// complete frame is disconnected instead of pinning the goroutine.
+func TestIdleTimeoutDropsSlowloris(t *testing.T) {
+	done := make(chan struct{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		ServeConn(conn, echoHandler, ServeOptions{IdleTimeout: 50 * time.Millisecond})
+		close(done)
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Write([]byte{0x00}) // a lone length byte, never completed
+	select {
+	case <-done:
+		// ServeConn returned: the goroutine is free.
+	case <-time.After(5 * time.Second):
+		t.Fatal("slowloris connection still pinned after idle timeout")
+	}
+}
+
+// TestConcurrentPipelinedCalls hammers one Conn from many goroutines
+// (run with -race).
+func TestConcurrentPipelinedCalls(t *testing.T) {
+	var served atomic.Int64
+	h := func(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+		served.Add(1)
+		return wire.MsgQueryResp, body, nil
+	}
+	addr := startServer(t, h, ServeOptions{MaxConcurrent: 4})
+	c := New(addr, Options{})
+	defer c.Close()
+	ctx := context.Background()
+
+	const goroutines, per = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				payload := []byte{byte(g), byte(i)}
+				resp, err := c.Call(ctx, wire.MsgQueryReq, payload, wire.MsgQueryResp, true)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp, payload) {
+					errs <- errors.New("response routed to the wrong caller")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := served.Load(); got != goroutines*per {
+		t.Fatalf("served %d requests, want %d", got, goroutines*per)
+	}
+}

@@ -1,0 +1,167 @@
+package rpc
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"edgeauth/internal/wire"
+)
+
+// Defaults for ServeOptions zero values.
+const (
+	DefaultIdleTimeout   = 2 * time.Minute
+	DefaultMaxConcurrent = 16
+)
+
+// Handler executes one decoded request and returns the response frame's
+// type and body. Returning an error sends an error frame instead (typed
+// on v2 sessions, a bare string on v1); return a *wire.WireError to
+// control the code the client sees.
+type Handler func(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error)
+
+// ServeOptions configures per-connection dispatch.
+type ServeOptions struct {
+	// IdleTimeout closes a connection when no complete request frame
+	// arrives within the window — a hung or slowloris peer cannot pin the
+	// connection goroutine forever. 0 selects DefaultIdleTimeout;
+	// negative disables the deadline.
+	IdleTimeout time.Duration
+	// MaxConcurrent bounds the requests executing concurrently on one v2
+	// connection. 0 selects DefaultMaxConcurrent.
+	MaxConcurrent int
+}
+
+func (o ServeOptions) idleTimeout() time.Duration {
+	switch {
+	case o.IdleTimeout == 0:
+		return DefaultIdleTimeout
+	case o.IdleTimeout < 0:
+		return 0
+	default:
+		return o.IdleTimeout
+	}
+}
+
+func (o ServeOptions) maxConcurrent() int {
+	if o.MaxConcurrent <= 0 {
+		return DefaultMaxConcurrent
+	}
+	return o.MaxConcurrent
+}
+
+// ServeConn drives one accepted connection until it closes: it negotiates
+// the protocol with the peer's optional Hello, then dispatches requests
+// through h. On a v2 session requests decode on this (reader) goroutine
+// and execute concurrently on a bounded worker pool, each response
+// written under the connection write lock and tagged with its request ID;
+// a v1 peer gets the classic serial one-frame-in/one-frame-out loop.
+// ServeConn returns when the peer disconnects, idles out, or sends a
+// malformed frame; in-flight workers are drained before it returns.
+func ServeConn(conn net.Conn, h Handler, o ServeOptions) {
+	idle := o.idleTimeout()
+	setIdleDeadline(conn, idle)
+	mt, body, err := wire.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	if mt != wire.MsgHello {
+		// A v1 peer: serve the frame we already read, then loop serially.
+		serveV1(conn, h, idle, mt, body)
+		return
+	}
+	theirMax, err := wire.DecodeHello(body)
+	if err != nil {
+		setWriteDeadline(conn, idle)
+		wire.WriteError(conn, err)
+		return
+	}
+	version := uint32(wire.MaxProtocol)
+	if theirMax < version {
+		version = theirMax
+	}
+	setWriteDeadline(conn, idle)
+	if err := wire.WriteFrame(conn, wire.MsgHelloResp, wire.EncodeHello(version)); err != nil {
+		return
+	}
+	if version < wire.ProtocolV2 {
+		setIdleDeadline(conn, idle)
+		mt, body, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		serveV1(conn, h, idle, mt, body)
+		return
+	}
+	serveV2(conn, h, o, idle)
+}
+
+func setIdleDeadline(conn net.Conn, idle time.Duration) {
+	if idle > 0 {
+		conn.SetReadDeadline(time.Now().Add(idle))
+	}
+}
+
+// setWriteDeadline bounds one response write by the idle window, so a
+// peer that sends requests but never drains responses cannot pin a
+// worker (and with it the per-connection write lock) forever.
+func setWriteDeadline(conn net.Conn, idle time.Duration) {
+	if idle > 0 {
+		conn.SetWriteDeadline(time.Now().Add(idle))
+	}
+}
+
+// serveV1 is the legacy serial loop, starting from an already-read frame.
+func serveV1(conn net.Conn, h Handler, idle time.Duration, mt wire.MsgType, body []byte) {
+	for {
+		respType, resp, err := h(mt, body)
+		setWriteDeadline(conn, idle)
+		if err != nil {
+			if werr := wire.WriteError(conn, err); werr != nil {
+				return
+			}
+		} else if err := wire.WriteFrame(conn, respType, resp); err != nil {
+			return
+		}
+		setIdleDeadline(conn, idle)
+		if mt, body, err = wire.ReadFrame(conn); err != nil {
+			return
+		}
+	}
+}
+
+// serveV2 is the multiplexed loop: decode on this goroutine, execute on a
+// bounded pool, write under writeMu tagged with the request ID.
+func serveV2(conn net.Conn, h Handler, o ServeOptions, idle time.Duration) {
+	var (
+		writeMu sync.Mutex
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, o.maxConcurrent())
+	)
+	defer wg.Wait()
+	for {
+		setIdleDeadline(conn, idle)
+		mt, id, body, err := wire.ReadFrameV2(conn)
+		if err != nil {
+			return
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(mt wire.MsgType, id uint32, body []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			respType, resp, err := h(mt, body)
+			if err != nil {
+				respType, resp = wire.MsgError, wire.ToWireError(err).Encode()
+			}
+			writeMu.Lock()
+			setWriteDeadline(conn, idle)
+			werr := wire.WriteFrameV2(conn, respType, id, resp)
+			writeMu.Unlock()
+			if werr != nil {
+				// The peer is gone; the read loop will notice shortly.
+				conn.Close()
+			}
+		}(mt, id, body)
+	}
+}

@@ -1,0 +1,225 @@
+package wire
+
+// Protocol v2: concurrent request multiplexing over one connection.
+//
+// v1 sessions are strict one-frame-in/one-frame-out: a client writes a
+// request frame and blocks until the response frame arrives, so one slow
+// query serializes every caller sharing the connection. v2 keeps the v1
+// frame container but inserts a u32 request ID between the type byte and
+// the body:
+//
+//	u32 len | u8 type | u32 reqID | body        (v2)
+//	u32 len | u8 type |            body         (v1)
+//
+// Responses echo the request ID of the frame they answer, so they may
+// return in any order and N callers can pipeline over one TCP connection.
+//
+// # Version negotiation
+//
+// A v2 peer opens every connection with a v1-framed Hello carrying the
+// highest protocol version it speaks. A v2 server replies HelloResp with
+// the negotiated version and both sides switch framing; a v1 server does
+// not know MsgHello, answers with its usual string error frame, and the
+// client silently downgrades to v1 one-in/one-out on the same connection.
+// A v1 client never sends Hello, so a v2 server falls back to serial v1
+// dispatch when the first frame is any other request. Both directions
+// therefore interoperate with no configuration.
+//
+// # Typed errors
+//
+// v1 error frames carry a bare string. In v2 sessions the MsgError body is
+// a structured WireError{code, table, message} so clients can distinguish
+// programmatically-actionable failures (unknown table, stale replica,
+// unsupported request) without parsing prose.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol versions negotiated by the Hello handshake.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+	// MaxProtocol is the highest version this build speaks.
+	MaxProtocol = ProtocolV2
+)
+
+// EncodeHello builds the Hello body: the sender's maximum supported
+// protocol version.
+func EncodeHello(maxVersion uint32) []byte { return appendU32(nil, maxVersion) }
+
+// DecodeHello parses a Hello (or HelloResp) body.
+func DecodeHello(body []byte) (uint32, error) {
+	r := &reader{data: body}
+	v := r.u32("protocol version")
+	if err := r.done(); err != nil {
+		return 0, err
+	}
+	if v == 0 {
+		return 0, errors.New("wire: protocol version 0")
+	}
+	return v, nil
+}
+
+// WriteFrameV2 writes one v2 frame: u32 len | u8 type | u32 reqID | body.
+func WriteFrameV2(w io.Writer, t MsgType, reqID uint32, body []byte) error {
+	if len(body)+5 > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [9]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)+5))
+	hdr[4] = byte(t)
+	binary.BigEndian.PutUint32(hdr[5:9], reqID)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrameV2 reads one v2 frame, returning its type, request ID and body.
+func ReadFrameV2(r io.Reader) (MsgType, uint32, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 5 || n > MaxFrameSize {
+		return 0, 0, nil, fmt.Errorf("wire: v2 frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, 0, nil, fmt.Errorf("wire: short v2 frame: %w", err)
+	}
+	return MsgType(buf[0]), binary.BigEndian.Uint32(buf[1:5]), buf[5:], nil
+}
+
+// ErrCode classifies a remote failure so clients can react without
+// parsing message text.
+type ErrCode uint16
+
+const (
+	// CodeInternal is an unclassified server-side failure.
+	CodeInternal ErrCode = iota + 1
+	// CodeBadRequest marks a malformed or unparsable request.
+	CodeBadRequest
+	// CodeUnknownTable means the named table is not registered (central)
+	// or not replicated (edge).
+	CodeUnknownTable
+	// CodeStaleReplica means the replica's version/epoch has diverged from
+	// the history the request assumed; the caller must resynchronize.
+	CodeStaleReplica
+	// CodeUnsupported means the server does not handle the message type.
+	CodeUnsupported
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeInternal:
+		return "internal"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeUnknownTable:
+		return "unknown-table"
+	case CodeStaleReplica:
+		return "stale-replica"
+	case CodeUnsupported:
+		return "unsupported"
+	}
+	return fmt.Sprintf("ErrCode(%d)", uint16(c))
+}
+
+// Sentinel errors matched by errors.Is against decoded WireErrors, so
+// application code can branch on the failure class regardless of which
+// server produced it or how its message reads.
+var (
+	ErrUnknownTable = errors.New("wire: unknown table")
+	ErrStaleReplica = errors.New("wire: stale replica")
+	ErrUnsupported  = errors.New("wire: unsupported request")
+)
+
+// WireError is the typed error frame body of protocol v2. It implements
+// error, so servers can return one directly from a dispatch handler and
+// clients receive it intact across the wire.
+type WireError struct {
+	Code  ErrCode
+	Table string // the table involved, when meaningful
+	Msg   string
+}
+
+func (e *WireError) Error() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	if e.Table != "" {
+		return fmt.Sprintf("%s: %q", e.Code, e.Table)
+	}
+	return e.Code.String()
+}
+
+// Is maps error codes onto the package sentinels for errors.Is.
+func (e *WireError) Is(target error) bool {
+	switch target {
+	case ErrUnknownTable:
+		return e.Code == CodeUnknownTable
+	case ErrStaleReplica:
+		return e.Code == CodeStaleReplica
+	case ErrUnsupported:
+		return e.Code == CodeUnsupported
+	}
+	return false
+}
+
+// Encode serializes the error body.
+func (e *WireError) Encode() []byte {
+	out := appendU32(nil, uint32(e.Code))
+	out = appendStr(out, e.Table)
+	return appendStr(out, e.Msg)
+}
+
+// DecodeWireError parses a v2 error frame body. Malformed bodies decode
+// to CodeInternal with the raw bytes as the message, so a broken peer
+// still yields a usable error instead of a decode failure.
+func DecodeWireError(body []byte) *WireError {
+	r := &reader{data: body}
+	e := &WireError{Code: ErrCode(r.u32("error code"))}
+	e.Table = r.str("error table")
+	e.Msg = r.str("error message")
+	if r.done() != nil {
+		return &WireError{Code: CodeInternal, Msg: string(body)}
+	}
+	return e
+}
+
+// ToWireError coerces any error into a WireError for the v2 error frame:
+// existing WireErrors pass through, everything else becomes CodeInternal
+// with the error text.
+func ToWireError(err error) *WireError {
+	var we *WireError
+	if errors.As(err, &we) {
+		return we
+	}
+	return &WireError{Code: CodeInternal, Msg: err.Error()}
+}
+
+// Unsupported builds the typed error for an unhandled message type.
+func Unsupported(server string, mt MsgType) *WireError {
+	return &WireError{Code: CodeUnsupported, Msg: server + ": unsupported message " + mt.String()}
+}
+
+// UnknownTable builds the typed error for a missing table.
+func UnknownTable(server, table string) *WireError {
+	return &WireError{
+		Code:  CodeUnknownTable,
+		Table: table,
+		Msg:   fmt.Sprintf("%s: unknown table %q", server, table),
+	}
+}
+
+// StaleReplica builds the typed error for a version/epoch divergence.
+func StaleReplica(table, msg string) *WireError {
+	return &WireError{Code: CodeStaleReplica, Table: table, Msg: msg}
+}

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFrameV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameV2(&buf, MsgQueryReq, 42, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	mt, id, body, err := ReadFrameV2(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MsgQueryReq || id != 42 || string(body) != "hello" {
+		t.Fatalf("round trip: mt=%v id=%d body=%q", mt, id, body)
+	}
+}
+
+func TestFrameV2EmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameV2(&buf, MsgListTablesReq, 0xFFFFFFFF, nil); err != nil {
+		t.Fatal(err)
+	}
+	mt, id, body, err := ReadFrameV2(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MsgListTablesReq || id != 0xFFFFFFFF || len(body) != 0 {
+		t.Fatalf("round trip: mt=%v id=%d body=%q", mt, id, body)
+	}
+}
+
+func TestFrameV2RejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameV2(&buf, MsgQueryReq, 7, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-2]
+	if _, _, _, err := ReadFrameV2(bytes.NewReader(short)); err == nil {
+		t.Fatal("truncated v2 frame accepted")
+	}
+	// A v1 frame (too short for a request ID) is rejected too.
+	var v1 bytes.Buffer
+	if err := WriteFrame(&v1, MsgQueryReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadFrameV2(&v1); err == nil {
+		t.Fatal("v1 frame accepted as v2")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	v, err := DecodeHello(EncodeHello(ProtocolV2))
+	if err != nil || v != ProtocolV2 {
+		t.Fatalf("hello round trip: v=%d err=%v", v, err)
+	}
+	if _, err := DecodeHello([]byte{1, 2}); err == nil {
+		t.Fatal("truncated hello accepted")
+	}
+	if _, err := DecodeHello(EncodeHello(0)); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+}
+
+func TestWireErrorRoundTrip(t *testing.T) {
+	cases := []*WireError{
+		UnknownTable("edge", "ghost"),
+		StaleReplica("items", "edge: delta starts at version 7, replica at 3"),
+		Unsupported("central", MsgQueryReq),
+		{Code: CodeInternal, Msg: "disk on fire"},
+	}
+	sentinels := []error{ErrUnknownTable, ErrStaleReplica, ErrUnsupported, nil}
+	for i, we := range cases {
+		got := DecodeWireError(we.Encode())
+		if got.Code != we.Code || got.Table != we.Table || got.Msg != we.Msg {
+			t.Fatalf("case %d: %+v decoded to %+v", i, we, got)
+		}
+		if s := sentinels[i]; s != nil && !errors.Is(got, s) {
+			t.Fatalf("case %d: decoded error does not match sentinel %v", i, s)
+		}
+		// Codes never cross-match.
+		for j, s := range sentinels {
+			if s != nil && i != j && errors.Is(got, s) {
+				t.Fatalf("case %d matched foreign sentinel %v", i, s)
+			}
+		}
+	}
+}
+
+func TestWireErrorMalformedBody(t *testing.T) {
+	e := DecodeWireError([]byte("garbage"))
+	if e.Code != CodeInternal || e.Msg != "garbage" {
+		t.Fatalf("malformed body decoded to %+v", e)
+	}
+}
+
+func TestToWireError(t *testing.T) {
+	we := UnknownTable("edge", "x")
+	if ToWireError(we) != we {
+		t.Fatal("WireError not passed through")
+	}
+	plain := errors.New("boom")
+	got := ToWireError(plain)
+	if got.Code != CodeInternal || got.Msg != "boom" {
+		t.Fatalf("plain error coerced to %+v", got)
+	}
+}

@@ -66,6 +66,11 @@ const (
 	MsgVersionResp
 	MsgDeltaReq
 	MsgDeltaResp
+	// MsgHello / MsgHelloResp negotiate the protocol version (see v2.go).
+	// They are always exchanged in v1 framing, before the session's
+	// framing is decided, so v1 peers can reject them gracefully.
+	MsgHello
+	MsgHelloResp
 )
 
 func (m MsgType) String() string {
@@ -79,6 +84,7 @@ func (m MsgType) String() string {
 		MsgDeleteReq: "delete-req", MsgDeleteResp: "delete-resp",
 		MsgVersionReq: "version-req", MsgVersionResp: "version-resp",
 		MsgDeltaReq: "delta-req", MsgDeltaResp: "delta-resp",
+		MsgHello: "hello", MsgHelloResp: "hello-resp",
 	}
 	if n, ok := names[m]; ok {
 		return n
