@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -124,7 +125,7 @@ func main() {
 
 	// Sample verified query.
 	lo, hi := schema.Int64(int64(*rows/4)), schema.Int64(int64(*rows/4+9))
-	rs, w, err := reopened.tree.RunQuery(vbtree.Query{Lo: &lo, Hi: &hi})
+	rs, w, err := reopened.tree.RunQuery(context.Background(), vbtree.Query{Lo: &lo, Hi: &hi})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,9 +5,15 @@
 // write-ahead logging, and serves snapshots ("DB + VB-trees") to edge
 // servers plus its public key to clients over an authenticated channel —
 // the stand-in for the paper's PKI.
+//
+// Every committed update additionally publishes an immutable snapshot of
+// the table's page space (the same storage.PageStore mechanism the edges
+// use), so queries, edge snapshot pulls and delta serves read pinned
+// versions instead of contending with update batches for the table lock.
 package central
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -92,12 +98,30 @@ type table struct {
 	version uint64 // bumped on every committed update
 	epoch   uint64 // random per incarnation; versions compare only within it
 
+	// store republishes the table as immutable snapshots, one per
+	// committed version: queries and replication reads pin a version and
+	// proceed without t.mu, so update batches and edge pulls stop
+	// contending.
+	store *storage.PageStore
+
 	// changes is the retained changelog: one entry per committed update,
 	// oldest first, with contiguous versions ending at version. pending
 	// accumulates journaled pages that have not yet been attributed to a
 	// version bump.
 	changes []changeEntry
 	pending []storage.PageID
+}
+
+// snapState pins the table's current published snapshot and decodes its
+// vbtree.TableState metadata. Callers must Release the snapshot.
+func (t *table) snapState() (*storage.Snapshot, *vbtree.TableState, error) {
+	snap := t.store.Acquire()
+	st, ok := snap.Meta().(*vbtree.TableState)
+	if !ok {
+		snap.Release()
+		return nil, nil, errors.New("central: table has no published version")
+	}
+	return snap, st, nil
 }
 
 // changeEntry records what one committed update touched: the pages it
@@ -201,7 +225,21 @@ func (s *Server) AddTable(sch *schema.Schema, tuples []schema.Tuple) error {
 	if err != nil {
 		return err
 	}
-	t := &table{sch: sch, tree: tree, pool: pool, heap: heap, epoch: epoch}
+	store, err := storage.NewPageStore(s.opts.PageSize)
+	if err != nil {
+		return err
+	}
+	t := &table{sch: sch, tree: tree, pool: pool, heap: heap, epoch: epoch, store: store}
+	// Publish the built table as version 0's snapshot: every page of the
+	// pager becomes the read-path baseline.
+	pager := pool.Pager()
+	baseline := make([]storage.PageID, 0, pager.NumPages()-1)
+	for id := 1; id < pager.NumPages(); id++ {
+		baseline = append(baseline, storage.PageID(id))
+	}
+	if err := s.publishLocked(t, baseline); err != nil {
+		return err
+	}
 	if s.retention() > 0 {
 		// The initial build is the snapshot baseline; journal only the
 		// pages later updates dirty.
@@ -248,9 +286,9 @@ func (s *Server) retention() int {
 }
 
 // commitChange attributes the pages journaled since the last call to the
-// just-committed version and trims the changelog to the retention window.
-// Callers hold t.mu.
-func (t *table) commitChange(version, lsn uint64, retention int) {
+// just-committed version, trims the changelog to the retention window,
+// and returns the committed page set. Callers hold t.mu.
+func (t *table) commitChange(version, lsn uint64, retention int) []storage.PageID {
 	t.pending = append(t.pending, t.pool.DrainJournal()...)
 	entry := changeEntry{version: version, lsn: lsn, pages: t.pending}
 	t.pending = nil
@@ -258,6 +296,52 @@ func (t *table) commitChange(version, lsn uint64, retention int) {
 	if over := len(t.changes) - retention; over > 0 {
 		t.changes = append([]changeEntry(nil), t.changes[over:]...)
 	}
+	return entry.pages
+}
+
+// publishLocked copies the given (just-dirtied) pages out of the live
+// buffer pool into a copy-on-write overlay and publishes the result as
+// the table's next immutable snapshot, carrying the tree anchor for the
+// committed version. Callers hold t.mu (or have exclusive access during
+// AddTable), which is what makes the copied pages a consistent cut.
+func (s *Server) publishLocked(t *table, pages []storage.PageID) error {
+	ov := t.store.Begin()
+	defer ov.Abort() // no-op once published
+	pager := t.pool.Pager()
+	for ov.NumPages() < pager.NumPages() {
+		ov.Allocate()
+	}
+	for _, id := range pages {
+		buf, err := t.pool.View(id)
+		if err != nil {
+			return err
+		}
+		if err := ov.WritePage(id, buf); err != nil {
+			return err
+		}
+	}
+	ov.Publish(&vbtree.TableState{
+		Root:       t.tree.Root(),
+		Height:     t.tree.Height(),
+		RootSig:    t.tree.RootSig(),
+		HeapPages:  t.heap.Pages(),
+		KeyVersion: s.key.Public().Version,
+		Version:    t.version,
+		Epoch:      t.epoch,
+	})
+	return nil
+}
+
+// publishCommitLocked publishes a commit's pages. A failure does not
+// undo the commit — the update is WAL-logged and the version bumped —
+// it only means the published snapshot lags, so the pages are re-staged
+// and the next successful publish carries them.
+func (s *Server) publishCommitLocked(t *table, pages []storage.PageID) error {
+	if err := s.publishLocked(t, pages); err != nil {
+		t.pending = append(t.pending, pages...)
+		return fmt.Errorf("central: update committed but snapshot publish failed (will catch up on the next commit): %w", err)
+	}
+	return nil
 }
 
 // stashJournal collects journaled pages that did not result in a version
@@ -372,8 +456,8 @@ func (s *Server) Insert(tableName string, tup schema.Tuple) error {
 		return err
 	}
 	t.version++
-	t.commitChange(t.version, lsn, s.retention())
-	return nil
+	pages := t.commitChange(t.version, lsn, s.retention())
+	return s.publishCommitLocked(t, pages)
 }
 
 // DeleteRange logs and applies a key-range delete; returns the count.
@@ -400,7 +484,12 @@ func (s *Server) DeleteRange(tableName string, lo, hi *schema.Datum) (int, error
 	}
 	if n > 0 {
 		t.version++
-		t.commitChange(t.version, lsn, s.retention())
+		pages := t.commitChange(t.version, lsn, s.retention())
+		if err := s.publishCommitLocked(t, pages); err != nil {
+			// The delete itself committed (WAL-logged, version bumped);
+			// report the real count so callers don't re-apply it.
+			return n, err
+		}
 	} else {
 		t.stashJournal()
 	}
@@ -408,33 +497,34 @@ func (s *Server) DeleteRange(tableName string, lo, hi *schema.Datum) (int, error
 }
 
 // Snapshot captures a table replica for an edge server: every page of the
-// table's pager plus the tree metadata.
+// current published version plus its tree metadata. It reads a pinned
+// immutable snapshot, so concurrent update batches neither block it nor
+// tear its page set.
 func (s *Server) Snapshot(tableName string) (*wire.Snapshot, error) {
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if err := t.pool.FlushAll(); err != nil {
+	pinned, st, err := t.snapState()
+	if err != nil {
 		return nil, err
 	}
-	pager := t.pool.Pager()
+	defer pinned.Release()
 	snap := &wire.Snapshot{
 		Schema:     t.sch,
 		AccParams:  wire.AccParamsFrom(s.acc),
-		Root:       t.tree.Root(),
-		Height:     uint32(t.tree.Height()),
-		RootSig:    t.tree.RootSig(),
-		PageSize:   uint32(pager.PageSize()),
-		HeapPages:  t.heap.Pages(),
-		KeyVersion: s.key.Public().Version,
-		Version:    t.version,
-		Epoch:      t.epoch,
+		Root:       st.Root,
+		Height:     uint32(st.Height),
+		RootSig:    st.RootSig,
+		PageSize:   uint32(pinned.PageSize()),
+		HeapPages:  st.HeapPages,
+		KeyVersion: st.KeyVersion,
+		Version:    st.Version,
+		Epoch:      st.Epoch,
 	}
-	buf := make([]byte, pager.PageSize())
-	for id := 1; id < pager.NumPages(); id++ {
-		if err := pager.ReadPage(storage.PageID(id), buf); err != nil {
+	for id := 1; id < pinned.NumPages(); id++ {
+		buf, err := pinned.View(storage.PageID(id))
+		if err != nil {
 			return nil, err
 		}
 		cp := make([]byte, len(buf))
@@ -456,49 +546,57 @@ func (s *Server) Delta(tableName string, fromVersion, epoch uint64) (*wire.Delta
 	if err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	// Pin the version the delta will take the replica to; page content is
+	// read from this immutable snapshot, so updates committing while the
+	// delta is assembled cannot leak into it.
+	pinned, st, err := t.snapState()
+	if err != nil {
+		return nil, err
+	}
+	defer pinned.Release()
 	d := &wire.Delta{
 		Table:       tableName,
 		FromVersion: fromVersion,
-		ToVersion:   t.version,
-		Epoch:       t.epoch,
+		ToVersion:   st.Version,
+		Epoch:       st.Epoch,
 	}
-	if epoch != t.epoch || fromVersion > t.version {
+	if epoch != st.Epoch || fromVersion > st.Version {
 		// The replica descends from a different table incarnation (or
 		// claims a future version): its history has diverged from ours,
 		// so a delta would silently corrupt it.
 		d.SnapshotNeeded = true
 		return s.signDelta(d)
 	}
+	// Only the changelog needs the table lock, and only briefly.
+	t.mu.RLock()
 	// Changelog entries carry contiguous versions ending at t.version, so
 	// coverage is a simple window check.
 	oldestCovered := t.version - uint64(len(t.changes))
-	if fromVersion < oldestCovered {
+	covered := fromVersion >= oldestCovered
+	seen := make(map[storage.PageID]struct{})
+	if covered {
+		for _, e := range t.changes {
+			if e.version <= fromVersion || e.version > st.Version {
+				continue
+			}
+			for _, id := range e.pages {
+				seen[id] = struct{}{}
+			}
+		}
+	}
+	t.mu.RUnlock()
+	if !covered {
 		d.SnapshotNeeded = true
 		return s.signDelta(d)
-	}
-	seen := make(map[storage.PageID]struct{})
-	for _, e := range t.changes {
-		if e.version <= fromVersion {
-			continue
-		}
-		for _, id := range e.pages {
-			seen[id] = struct{}{}
-		}
 	}
 	ids := make([]storage.PageID, 0, len(seen))
 	for id := range seen {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	if err := t.pool.FlushAll(); err != nil {
-		return nil, err
-	}
-	pager := t.pool.Pager()
-	buf := make([]byte, pager.PageSize())
 	for _, id := range ids {
-		if err := pager.ReadPage(id, buf); err != nil {
+		buf, err := pinned.View(id)
+		if err != nil {
 			return nil, err
 		}
 		cp := make([]byte, len(buf))
@@ -506,12 +604,12 @@ func (s *Server) Delta(tableName string, fromVersion, epoch uint64) (*wire.Delta
 		d.PageIDs = append(d.PageIDs, id)
 		d.PageData = append(d.PageData, cp)
 	}
-	d.Root = t.tree.Root()
-	d.Height = uint32(t.tree.Height())
-	d.RootSig = t.tree.RootSig()
-	d.HeapPages = t.heap.Pages()
-	d.NumPages = uint32(pager.NumPages())
-	d.KeyVersion = s.key.Public().Version
+	d.Root = st.Root
+	d.Height = uint32(st.Height)
+	d.RootSig = st.RootSig
+	d.HeapPages = st.HeapPages
+	d.NumPages = uint32(pinned.NumPages())
+	d.KeyVersion = st.KeyVersion
 	return s.signDelta(d)
 }
 
@@ -565,15 +663,24 @@ func (s *Server) SchemaResponse(tableName string) (*wire.SchemaResponse, error) 
 }
 
 // RunQuery answers a query directly at the central server (trusted path,
-// used by tools and tests; production queries go through edges).
-func (s *Server) RunQuery(tableName string, q vbtree.Query) (*wire.QueryResponse, error) {
+// used by tools and tests; production queries go through edges). Like the
+// edge path it runs lock-free over the current published snapshot, so
+// queries neither wait for nor delay update batches.
+func (s *Server) RunQuery(ctx context.Context, tableName string, q vbtree.Query) (*wire.QueryResponse, error) {
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	rs, w, err := t.tree.RunQuery(q)
+	pinned, st, err := t.snapState()
+	if err != nil {
+		return nil, err
+	}
+	defer pinned.Release()
+	v, err := st.ViewOver(pinned, t.sch, s.acc, s.key.Public())
+	if err != nil {
+		return nil, err
+	}
+	rs, w, err := v.RunQuery(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -642,7 +749,8 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // dispatch executes one request and returns the response frame. It must
 // be safe for concurrent use: v2 connections run requests in parallel.
-func (s *Server) dispatch(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+// ctx is the connection's context, cancelled when the peer disconnects.
+func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
 	switch mt {
 	case wire.MsgPubKeyReq:
 		blob, err := s.key.Public().MarshalBinary()

@@ -1,6 +1,7 @@
 package central
 
 import (
+	"context"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -168,7 +169,7 @@ func TestMaterializeJoinValidation(t *testing.T) {
 		t.Fatalf("self-join rejected: %v", err)
 	}
 	lo, hi := schema.Int64(0), schema.Int64(5)
-	resp, err := srv.RunQuery("selfjoin", vbtree.Query{Lo: &lo, Hi: &hi})
+	resp, err := srv.RunQuery(context.Background(), "selfjoin", vbtree.Query{Lo: &lo, Hi: &hi})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,14 +185,14 @@ func TestMaterializeJoinValidation(t *testing.T) {
 func TestRunQueryDirect(t *testing.T) {
 	srv := newServer(t, 80, "")
 	lo, hi := schema.Int64(10), schema.Int64(19)
-	resp, err := srv.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi})
+	resp, err := srv.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(resp.Result.Tuples) != 10 {
 		t.Fatalf("got %d tuples", len(resp.Result.Tuples))
 	}
-	if _, err := srv.RunQuery("ghost", vbtree.Query{}); err == nil {
+	if _, err := srv.RunQuery(context.Background(), "ghost", vbtree.Query{}); err == nil {
 		t.Fatal("query of unknown table succeeded")
 	}
 }
@@ -222,7 +223,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				lo, hi := schema.Int64(int64(g*50)), schema.Int64(int64(g*50+30))
-				if _, err := srv.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi}); err != nil {
+				if _, err := srv.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi}); err != nil {
 					errs <- err
 					return
 				}
@@ -246,7 +247,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	}
 	// Digests remain consistent after the concurrent run.
 	lo, hi := schema.Int64(0), schema.Int64(20000)
-	resp, err := srv.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi})
+	resp, err := srv.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi})
 	if err != nil {
 		t.Fatal(err)
 	}

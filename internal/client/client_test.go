@@ -338,7 +338,7 @@ func TestCentralDirectQueryPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := d.central.RunQuery("items", q)
+	resp, err := d.central.RunQuery(context.Background(), "items", q)
 	if err != nil {
 		t.Fatal(err)
 	}

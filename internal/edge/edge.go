@@ -3,6 +3,13 @@
 // server, executes selection/projection queries locally, and returns each
 // result together with its verification object.
 //
+// Replica storage is snapshot-isolated: every refresh (delta apply or
+// snapshot install) builds an immutable successor version off to the side
+// and publishes it with one atomic pointer swap, so queries pin a
+// snapshot and traverse it with zero lock acquisitions — refresh cadence
+// and query latency are independent, which is what lets an edge absorb
+// heavy read traffic while updates propagate continuously (§3.4).
+//
 // Because edge servers are the untrusted component of the architecture,
 // the server carries an optional tamper hook that mutates responses before
 // they are sent — the adversary used by the security tests and the demo
@@ -17,6 +24,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"edgeauth/internal/digest"
@@ -46,11 +54,14 @@ type Options struct {
 	MaxConcurrent int
 }
 
-// Server is an edge server holding replicated tables.
+// Server is an edge server holding replicated tables. The query path is
+// lock-free: the table registry is a copy-on-write map behind an atomic
+// pointer, and each replica serves queries from pinned immutable
+// snapshots.
 type Server struct {
-	mu     sync.RWMutex
-	tables map[string]*replica
-	tamper TamperFn
+	tables   atomic.Pointer[map[string]*replica]
+	tablesMu sync.Mutex // serializes registry copy-on-write updates
+	tamper   atomic.Pointer[TamperFn]
 
 	opts Options
 	// central is the pipelined, auto-redialing connection to the central
@@ -68,19 +79,17 @@ type Server struct {
 	closed    bool
 }
 
-// replica is one replicated table. Its mu serializes queries against
-// in-place delta application: deltas overwrite pages of the shared pool,
-// so a traversal must never interleave with an apply.
+// replica is one replicated table over a snapshot-isolated PageStore.
+// Queries acquire the current snapshot (an atomic pointer load plus a
+// refcount pin) and never block; refreshMu only serializes concurrent
+// writers building successor versions.
 type replica struct {
-	mu      sync.RWMutex
-	sch     *schema.Schema
-	tree    *vbtree.Tree
-	pool    *storage.BufferPool
-	acc     *digest.Accumulator
-	params  wire.AccParams
-	keyVer  uint32
-	version uint64
-	epoch   uint64
+	sch    *schema.Schema
+	acc    *digest.Accumulator
+	params wire.AccParams
+	store  *storage.PageStore
+
+	refreshMu sync.Mutex
 }
 
 // New creates an edge server that replicates from centralAddr.
@@ -90,30 +99,76 @@ func New(centralAddr string) *Server {
 
 // NewWithOptions creates an edge server with explicit serving options.
 func NewWithOptions(centralAddr string, opts Options) *Server {
-	return &Server{
-		tables:  make(map[string]*replica),
+	s := &Server{
 		opts:    opts,
 		central: rpc.New(centralAddr, rpc.Options{}),
 	}
+	empty := make(map[string]*replica)
+	s.tables.Store(&empty)
+	return s
 }
 
 // SetTamper installs (or clears, with nil) the compromised-edge hook.
 func (s *Server) SetTamper(fn TamperFn) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.tamper = fn
+	s.tamper.Store(&fn)
+}
+
+// replica resolves a table from the lock-free registry.
+func (s *Server) replica(name string) *replica {
+	return (*s.tables.Load())[name]
+}
+
+// setReplica publishes a new registry map with name -> rep installed.
+func (s *Server) setReplica(name string, rep *replica) {
+	s.tablesMu.Lock()
+	defer s.tablesMu.Unlock()
+	old := *s.tables.Load()
+	next := make(map[string]*replica, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = rep
+	s.tables.Store(&next)
 }
 
 // Tables lists the replicated tables.
 func (s *Server) Tables() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.tables))
-	for name := range s.tables {
+	m := *s.tables.Load()
+	out := make([]string, 0, len(m))
+	for name := range m {
 		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// state returns the replica's current published metadata. The returned
+// struct is immutable and safe to use after the snapshot pin is dropped.
+func (r *replica) state() (*vbtree.TableState, error) {
+	snap := r.store.Acquire()
+	defer snap.Release()
+	st, ok := snap.Meta().(*vbtree.TableState)
+	if !ok {
+		return nil, errors.New("edge: replica has no published version")
+	}
+	return st, nil
+}
+
+// view pins the current snapshot and assembles the lock-free read view
+// over it. The caller must Release the returned snapshot when done.
+func (r *replica) view() (*vbtree.View, *vbtree.TableState, *storage.Snapshot, error) {
+	snap := r.store.Acquire()
+	st, ok := snap.Meta().(*vbtree.TableState)
+	if !ok {
+		snap.Release()
+		return nil, nil, nil, errors.New("edge: replica has no published version")
+	}
+	v, err := st.ViewOver(snap, r.sch, r.acc, placeholderPub(st.KeyVersion))
+	if err != nil {
+		snap.Release()
+		return nil, nil, nil, err
+	}
+	return v, st, snap, nil
 }
 
 // PullAll replicates every table the central server advertises.
@@ -154,21 +209,24 @@ func (s *Server) pull(ctx context.Context, tableName string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	s.tables[tableName] = rep
-	s.mu.Unlock()
+	s.setReplica(tableName, rep)
 	return len(body), nil
 }
 
-// InstallSnapshot materializes a snapshot into a queryable replica.
+// InstallSnapshot materializes a snapshot into a queryable replica: the
+// pages become the replica's first published version. In-flight queries
+// on a previous incarnation of the table keep their pinned snapshots and
+// drain naturally.
 func InstallSnapshot(snap *wire.Snapshot) (*replica, error) {
 	if snap.PageSize < storage.MinPageSize {
 		return nil, errors.New("edge: snapshot page size too small")
 	}
-	mem, err := storage.NewMemPager(int(snap.PageSize))
+	store, err := storage.NewPageStore(int(snap.PageSize))
 	if err != nil {
 		return nil, err
 	}
+	ov := store.Begin()
+	defer ov.Abort() // no-op once published
 	// Recreate the page address space, then overlay the snapshot pages.
 	var maxID storage.PageID
 	for _, id := range snap.PageIDs {
@@ -176,58 +234,46 @@ func InstallSnapshot(snap *wire.Snapshot) (*replica, error) {
 			maxID = id
 		}
 	}
-	for i := storage.PageID(1); i <= maxID; i++ {
-		if _, err := mem.Allocate(); err != nil {
-			return nil, err
-		}
+	for ov.NumPages() <= int(maxID) {
+		ov.Allocate()
 	}
 	for i, id := range snap.PageIDs {
 		if len(snap.PageData[i]) != int(snap.PageSize) {
 			return nil, fmt.Errorf("edge: page %d has %d bytes, want %d", id, len(snap.PageData[i]), snap.PageSize)
 		}
-		if err := mem.WritePage(id, snap.PageData[i]); err != nil {
+		if err := ov.WritePage(id, snap.PageData[i]); err != nil {
 			return nil, err
 		}
-	}
-	pool, err := storage.NewBufferPool(mem, 1<<20)
-	if err != nil {
-		return nil, err
-	}
-	heap, err := storage.OpenHeapFile(pool, snap.HeapPages)
-	if err != nil {
-		return nil, err
 	}
 	acc, err := digest.New(snap.AccParams.ToDigestParams())
 	if err != nil {
 		return nil, err
 	}
-	cfg := vbtree.Config{
-		Pool:   pool,
-		Heap:   heap,
-		Schema: snap.Schema,
-		Acc:    acc,
-		Pub:    placeholderPub(snap.KeyVersion),
+	st := &vbtree.TableState{
+		Root:       snap.Root,
+		Height:     int(snap.Height),
+		RootSig:    sig.Signature(snap.RootSig).Clone(),
+		HeapPages:  append([]storage.PageID(nil), snap.HeapPages...),
+		KeyVersion: snap.KeyVersion,
+		Version:    snap.Version,
+		Epoch:      snap.Epoch,
 	}
-	tree, err := vbtree.Open(cfg, snap.Root, int(snap.Height), snap.RootSig)
-	if err != nil {
+	if err := st.Validate(); err != nil {
 		return nil, err
 	}
+	ov.Publish(st)
 	return &replica{
-		sch:     snap.Schema,
-		tree:    tree,
-		pool:    pool,
-		acc:     acc,
-		params:  snap.AccParams,
-		keyVer:  snap.KeyVersion,
-		version: snap.Version,
-		epoch:   snap.Epoch,
+		sch:    snap.Schema,
+		acc:    acc,
+		params: snap.AccParams,
+		store:  store,
 	}, nil
 }
 
-// placeholderPub builds the stand-in public key an edge replica's tree is
+// placeholderPub builds the stand-in public key an edge replica's view is
 // configured with. The edge holds no trusted key material: signed digests
 // are opaque bytes it serves back to clients, and queries never recover
-// them. The tree still wants a public key for the VO's key-version stamp,
+// them. The view still wants a public key for the VO's key-version stamp,
 // so the placeholder carries only the version.
 func placeholderPub(keyVersion uint32) *sig.PublicKey {
 	return &sig.PublicKey{
@@ -237,24 +283,29 @@ func placeholderPub(keyVersion uint32) *sig.PublicKey {
 	}
 }
 
-// applyDelta overlays a verified delta onto the replica in place: it
-// extends the page address space, overwrites the changed pages through
-// the buffer pool (keeping cached frames coherent), and re-anchors the
-// tree at the delta's root metadata and signed root digest.
+// applyDelta builds the successor snapshot from a verified delta — the
+// changed pages written into a copy-on-write overlay, the tree re-anchored
+// at the delta's root metadata — and publishes it with one atomic swap.
+// Queries in flight keep reading their pinned version; they never observe
+// a half-applied delta.
 func (r *replica) applyDelta(d *wire.Delta) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if d.Epoch != r.epoch {
-		return wire.StaleReplica(d.Table, fmt.Sprintf("edge: delta from epoch %d, replica version history from %d", d.Epoch, r.epoch))
+	r.refreshMu.Lock()
+	defer r.refreshMu.Unlock()
+	ov := r.store.Begin()
+	defer ov.Abort() // no-op once published
+	st, ok := ov.Base().Meta().(*vbtree.TableState)
+	if !ok {
+		return errors.New("edge: replica has no published version")
 	}
-	if d.FromVersion != r.version {
-		return wire.StaleReplica(d.Table, fmt.Sprintf("edge: delta starts at version %d, replica at %d", d.FromVersion, r.version))
+	if d.Epoch != st.Epoch {
+		return wire.StaleReplica(d.Table, fmt.Sprintf("edge: delta from epoch %d, replica version history from %d", d.Epoch, st.Epoch))
 	}
-	pager := r.pool.Pager()
-	pageSize := pager.PageSize()
-	// Validate every page before mutating anything: a bad page mid-apply
-	// would otherwise leave the pool half-overwritten while the tree
-	// still anchors to the old state.
+	if d.FromVersion != st.Version {
+		return wire.StaleReplica(d.Table, fmt.Sprintf("edge: delta starts at version %d, replica at %d", d.FromVersion, st.Version))
+	}
+	pageSize := r.store.PageSize()
+	// Validate every page before staging anything; a bad delta must not
+	// publish at all.
 	for i, id := range d.PageIDs {
 		if len(d.PageData[i]) != pageSize {
 			return fmt.Errorf("edge: delta page %d has %d bytes, want %d", id, len(d.PageData[i]), pageSize)
@@ -263,37 +314,27 @@ func (r *replica) applyDelta(d *wire.Delta) error {
 			return fmt.Errorf("edge: delta page %d outside advertised page count %d", id, d.NumPages)
 		}
 	}
-	for pager.NumPages() < int(d.NumPages) {
-		if _, err := pager.Allocate(); err != nil {
-			return err
-		}
+	next := &vbtree.TableState{
+		Root:       d.Root,
+		Height:     int(d.Height),
+		RootSig:    sig.Signature(d.RootSig).Clone(),
+		HeapPages:  append([]storage.PageID(nil), d.HeapPages...),
+		KeyVersion: d.KeyVersion,
+		Version:    d.ToVersion,
+		Epoch:      st.Epoch,
+	}
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	for ov.NumPages() < int(d.NumPages) {
+		ov.Allocate()
 	}
 	for i, id := range d.PageIDs {
-		f, err := r.pool.Fetch(id)
-		if err != nil {
+		if err := ov.WritePage(id, d.PageData[i]); err != nil {
 			return err
 		}
-		copy(f.Page().Bytes(), d.PageData[i])
-		r.pool.Unpin(f, true)
 	}
-	heap, err := storage.OpenHeapFile(r.pool, d.HeapPages)
-	if err != nil {
-		return err
-	}
-	cfg := vbtree.Config{
-		Pool:   r.pool,
-		Heap:   heap,
-		Schema: r.sch,
-		Acc:    r.acc,
-		Pub:    placeholderPub(d.KeyVersion),
-	}
-	tree, err := vbtree.Open(cfg, d.Root, int(d.Height), d.RootSig)
-	if err != nil {
-		return err
-	}
-	r.tree = tree
-	r.keyVer = d.KeyVersion
-	r.version = d.ToVersion
+	ov.Publish(next)
 	return nil
 }
 
@@ -313,7 +354,8 @@ type RefreshStat struct {
 // have fallen out of the central server's retained changelog. Tables are
 // refreshed independently: one failing table does not starve the rest,
 // and the stats of the tables that did refresh are returned alongside
-// the joined errors.
+// the joined errors. Refreshes never block queries: each builds the
+// successor snapshot off to the side and publishes it atomically.
 func (s *Server) RefreshAll(ctx context.Context) ([]RefreshStat, error) {
 	body, err := s.central.Call(ctx, wire.MsgListTablesReq, nil, wire.MsgListTablesResp, true)
 	if err != nil {
@@ -339,9 +381,7 @@ func (s *Server) RefreshAll(ctx context.Context) ([]RefreshStat, error) {
 // Refresh brings one replica up to date (delta if possible, snapshot
 // otherwise) and reports what was transferred.
 func (s *Server) Refresh(ctx context.Context, tableName string) (RefreshStat, error) {
-	s.mu.RLock()
-	rep := s.tables[tableName]
-	s.mu.RUnlock()
+	rep := s.replica(tableName)
 	if rep == nil {
 		n, err := s.pull(ctx, tableName)
 		if err != nil {
@@ -349,11 +389,12 @@ func (s *Server) Refresh(ctx context.Context, tableName string) (RefreshStat, er
 		}
 		return s.statFor(tableName, "snapshot", n, 0), nil
 	}
-	rep.mu.RLock()
-	from := rep.version
-	epoch := rep.epoch
-	rep.mu.RUnlock()
-	req := &wire.DeltaRequest{Table: tableName, FromVersion: from, Epoch: epoch}
+	cur, err := rep.state()
+	if err != nil {
+		return RefreshStat{}, err
+	}
+	from := cur.Version
+	req := &wire.DeltaRequest{Table: tableName, FromVersion: from, Epoch: cur.Epoch}
 	body, err := s.central.Call(ctx, wire.MsgDeltaReq, req.Encode(), wire.MsgDeltaResp, true)
 	if err != nil {
 		return RefreshStat{}, err
@@ -399,13 +440,11 @@ func (s *Server) Refresh(ctx context.Context, tableName string) (RefreshStat, er
 
 func (s *Server) statFor(tableName, mode string, bytes int, from uint64) RefreshStat {
 	st := RefreshStat{Table: tableName, Mode: mode, Bytes: bytes, FromVersion: from}
-	s.mu.RLock()
-	if rep := s.tables[tableName]; rep != nil {
-		rep.mu.RLock()
-		st.ToVersion = rep.version
-		rep.mu.RUnlock()
+	if rep := s.replica(tableName); rep != nil {
+		if cur, err := rep.state(); err == nil {
+			st.ToVersion = cur.Version
+		}
 	}
-	s.mu.RUnlock()
 	return st
 }
 
@@ -445,36 +484,38 @@ func (s *Server) fetchCentralKeyLocked(ctx context.Context) (*sig.PublicKey, err
 
 // Version reports a replica's update version.
 func (s *Server) Version(tableName string) (uint64, error) {
-	s.mu.RLock()
-	rep := s.tables[tableName]
-	s.mu.RUnlock()
+	rep := s.replica(tableName)
 	if rep == nil {
 		return 0, wire.UnknownTable("edge", tableName)
 	}
-	rep.mu.RLock()
-	defer rep.mu.RUnlock()
-	return rep.version, nil
+	st, err := rep.state()
+	if err != nil {
+		return 0, err
+	}
+	return st.Version, nil
 }
 
-// RunQuery executes a compiled query against a replica.
-func (s *Server) RunQuery(tableName string, q vbtree.Query) (*vo.ResultSet, *vo.VO, error) {
-	s.mu.RLock()
-	rep, ok := s.tables[tableName]
-	tamper := s.tamper
-	s.mu.RUnlock()
-	if !ok {
+// RunQuery executes a compiled query against a replica. The path is
+// lock-free: it pins the replica's current snapshot, traverses it, and
+// releases the pin — concurrent delta applies publish successor
+// snapshots without ever stalling or being stalled by queries. ctx is
+// checked between page visits.
+func (s *Server) RunQuery(ctx context.Context, tableName string, q vbtree.Query) (*vo.ResultSet, *vo.VO, error) {
+	rep := s.replica(tableName)
+	if rep == nil {
 		return nil, nil, wire.UnknownTable("edge", tableName)
 	}
-	rep.mu.RLock()
-	rs, w, err := rep.tree.RunQuery(q)
-	keyVer := rep.keyVer
-	rep.mu.RUnlock()
+	v, _, snap, err := rep.view()
 	if err != nil {
 		return nil, nil, err
 	}
-	w.KeyVersion = keyVer
-	if tamper != nil {
-		if err := tamper(rs, w); err != nil {
+	defer snap.Release()
+	rs, w, err := v.RunQuery(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tp := s.tamper.Load(); tp != nil && *tp != nil {
+		if err := (*tp)(rs, w); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -483,10 +524,8 @@ func (s *Server) RunQuery(tableName string, q vbtree.Query) (*vo.ResultSet, *vo.
 
 // Schema returns a replica's schema.
 func (s *Server) Schema(tableName string) (*schema.Schema, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rep, ok := s.tables[tableName]
-	if !ok {
+	rep := s.replica(tableName)
+	if rep == nil {
 		return nil, wire.UnknownTable("edge", tableName)
 	}
 	return rep.sch, nil
@@ -548,27 +587,28 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // dispatch executes one client request and returns the response frame.
 // It must be safe for concurrent use: v2 connections run requests in
-// parallel (queries take the replica read lock, so they interleave
-// safely with delta application).
-func (s *Server) dispatch(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+// parallel (queries read pinned snapshots, so they interleave freely
+// with delta application). ctx is the connection's context — cancelled
+// when the client disconnects, which aborts traversal mid-query.
+func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
 	switch mt {
 	case wire.MsgListTablesReq:
 		return wire.MsgListTablesResp, wire.EncodeStringList(s.Tables()), nil
 
 	case wire.MsgSchemaReq:
-		s.mu.RLock()
-		rep, ok := s.tables[string(body)]
-		s.mu.RUnlock()
-		if !ok {
+		rep := s.replica(string(body))
+		if rep == nil {
 			return 0, nil, wire.UnknownTable("edge", string(body))
 		}
-		rep.mu.RLock()
+		st, err := rep.state()
+		if err != nil {
+			return 0, nil, err
+		}
 		resp := &wire.SchemaResponse{
 			Schema:     rep.sch,
 			AccParams:  rep.params,
-			KeyVersion: rep.keyVer,
+			KeyVersion: st.KeyVersion,
 		}
-		rep.mu.RUnlock()
 		return wire.MsgSchemaResp, resp.Encode(), nil
 
 	case wire.MsgQueryReq:
@@ -576,10 +616,8 @@ func (s *Server) dispatch(mt wire.MsgType, body []byte) (wire.MsgType, []byte, e
 		if err != nil {
 			return 0, nil, err
 		}
-		s.mu.RLock()
-		rep, ok := s.tables[req.Table]
-		s.mu.RUnlock()
-		if !ok {
+		rep := s.replica(req.Table)
+		if rep == nil {
 			return 0, nil, wire.UnknownTable("edge", req.Table)
 		}
 		spec := query.Spec{Predicates: req.Predicates}
@@ -590,7 +628,7 @@ func (s *Server) dispatch(mt wire.MsgType, body []byte) (wire.MsgType, []byte, e
 		if err != nil {
 			return 0, nil, err
 		}
-		rs, w, err := s.RunQuery(req.Table, q)
+		rs, w, err := s.RunQuery(ctx, req.Table, q)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -65,7 +65,7 @@ func TestPullAndQueryLocally(t *testing.T) {
 		t.Fatalf("Tables = %v", got)
 	}
 	lo, hi := schema.Int64(10), schema.Int64(29)
-	rs, w, err := eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi})
+	rs, w, err := eg.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestReplicaIsolationFromCentral(t *testing.T) {
 	if _, err := srv.DeleteRange("items", &lo, &hi); err != nil {
 		t.Fatal(err)
 	}
-	rs, _, err := eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi})
+	rs, _, err := eg.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestReplicaIsolationFromCentral(t *testing.T) {
 	if err := eg.Pull(context.Background(), "items"); err != nil {
 		t.Fatal(err)
 	}
-	rs, _, err = eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi})
+	rs, _, err = eg.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestUnknownTableErrors(t *testing.T) {
 	if err := eg.Pull(context.Background(), "ghost"); err == nil {
 		t.Fatal("pull of unknown table succeeded")
 	}
-	if _, _, err := eg.RunQuery("ghost", vbtree.Query{}); err == nil {
+	if _, _, err := eg.RunQuery(context.Background(), "ghost", vbtree.Query{}); err == nil {
 		t.Fatal("query of unreplicated table succeeded")
 	}
 	if _, err := eg.Schema("ghost"); err == nil {
@@ -171,14 +171,14 @@ func TestTamperHookAppliesAndClears(t *testing.T) {
 		return nil
 	})
 	lo, hi := schema.Int64(1), schema.Int64(5)
-	if _, _, err := eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi}); err != nil {
+	if _, _, err := eg.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi}); err != nil {
 		t.Fatal(err)
 	}
 	if calls != 1 {
 		t.Fatalf("tamper hook called %d times", calls)
 	}
 	eg.SetTamper(nil)
-	if _, _, err := eg.RunQuery("items", vbtree.Query{Lo: &lo, Hi: &hi}); err != nil {
+	if _, _, err := eg.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi}); err != nil {
 		t.Fatal(err)
 	}
 	if calls != 1 {

@@ -286,10 +286,7 @@ func TestRefreshRejectsForgedDelta(t *testing.T) {
 	}
 
 	// An edge replica applies only matching versions.
-	s := eg
-	s.mu.RLock()
-	rep := s.tables["items"]
-	s.mu.RUnlock()
+	rep := eg.replica("items")
 	bogus := *d
 	bogus.FromVersion = 7
 	if err := rep.applyDelta(&bogus); err == nil || !strings.Contains(err.Error(), "version") {

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -163,7 +164,7 @@ type CommPoint struct {
 func (e *Env) MeasureComm(sel float64, qc int) (CommPoint, error) {
 	lo, hi, qr := e.rangeFor(sel)
 	project := workload.ProjectFirstN(e.Sch, qc)
-	rs, w, err := e.Tree.RunQuery(vbtree.Query{Lo: &lo, Hi: &hi, Project: project})
+	rs, w, err := e.Tree.RunQuery(context.Background(), vbtree.Query{Lo: &lo, Hi: &hi, Project: project})
 	if err != nil {
 		return CommPoint{}, err
 	}
@@ -217,7 +218,7 @@ func (e *Env) MeasureOps(sel float64, qc int) (OpsPoint, error) {
 	out := OpsPoint{Selectivity: sel, QR: qr}
 
 	// VB scheme.
-	rs, w, err := e.Tree.RunQuery(vbtree.Query{Lo: &lo, Hi: &hi, Project: project})
+	rs, w, err := e.Tree.RunQuery(context.Background(), vbtree.Query{Lo: &lo, Hi: &hi, Project: project})
 	if err != nil {
 		return out, err
 	}

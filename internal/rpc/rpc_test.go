@@ -15,7 +15,7 @@ import (
 
 // echoHandler answers MsgQueryReq with MsgQueryResp carrying the request
 // body back, and fails everything else with a typed error.
-func echoHandler(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+func echoHandler(_ context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
 	switch mt {
 	case wire.MsgQueryReq:
 		return wire.MsgQueryResp, body, nil
@@ -74,7 +74,7 @@ func startV1Server(t *testing.T, h Handler) string {
 						wire.WriteError(conn, errors.New("test: unsupported message hello"))
 						continue
 					}
-					respType, resp, err := h(mt, body)
+					respType, resp, err := h(context.Background(), mt, body)
 					if err != nil {
 						if wire.WriteError(conn, err) != nil {
 							return
@@ -202,7 +202,7 @@ func TestTypedErrorAcrossV2(t *testing.T) {
 // first must not block a fast one issued second.
 func TestOutOfOrderResponses(t *testing.T) {
 	release := make(chan struct{})
-	h := func(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+	h := func(_ context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
 		if len(body) > 0 && body[0] == 's' {
 			<-release
 		}
@@ -232,7 +232,7 @@ func TestOutOfOrderResponses(t *testing.T) {
 
 func TestContextCancellationMidRequest(t *testing.T) {
 	block := make(chan struct{})
-	h := func(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+	h := func(_ context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
 		<-block
 		return wire.MsgQueryResp, body, nil
 	}
@@ -408,7 +408,7 @@ func TestIdleTimeoutDropsSlowloris(t *testing.T) {
 // (run with -race).
 func TestConcurrentPipelinedCalls(t *testing.T) {
 	var served atomic.Int64
-	h := func(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+	h := func(_ context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
 		served.Add(1)
 		return wire.MsgQueryResp, body, nil
 	}
@@ -445,5 +445,36 @@ func TestConcurrentPipelinedCalls(t *testing.T) {
 	}
 	if got := served.Load(); got != goroutines*per {
 		t.Fatalf("served %d requests, want %d", got, goroutines*per)
+	}
+}
+
+// TestHandlerCtxCancelledOnDisconnect proves the connection context
+// reaches handlers and is cancelled when the peer goes away, so a
+// long-running query stops burning CPU for a client that hung up.
+func TestHandlerCtxCancelledOnDisconnect(t *testing.T) {
+	started := make(chan struct{})
+	cancelled := make(chan error, 1)
+	h := func(ctx context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			cancelled <- ctx.Err()
+		case <-time.After(5 * time.Second):
+			cancelled <- nil
+		}
+		return wire.MsgQueryResp, nil, nil
+	}
+	addr := startServer(t, h, ServeOptions{})
+	c := New(addr, Options{})
+	go c.Call(context.Background(), wire.MsgQueryReq, []byte("x"), wire.MsgQueryResp, false)
+	<-started
+	c.Close() // client hangs up mid-request
+	select {
+	case err := <-cancelled:
+		if err == nil {
+			t.Fatal("handler context not cancelled after peer disconnect")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never observed the disconnect")
 	}
 }

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"net"
 	"sync"
 	"time"
@@ -15,10 +16,16 @@ const (
 )
 
 // Handler executes one decoded request and returns the response frame's
-// type and body. Returning an error sends an error frame instead (typed
-// on v2 sessions, a bare string on v1); return a *wire.WireError to
-// control the code the client sees.
-type Handler func(mt wire.MsgType, body []byte) (wire.MsgType, []byte, error)
+// type and body. ctx is the connection's context: on multiplexed (v2)
+// sessions it is cancelled the moment the read loop observes the peer
+// gone, so long-running handlers (query traversal, VO crypto) stop
+// early instead of burning a worker on an answer nobody will read. On
+// serial v1 sessions the handler runs inline in the read loop, so a
+// mid-request disconnect is only noticed afterwards — there ctx covers
+// server teardown, not per-request disconnects. Returning an error
+// sends an error frame instead (typed on v2 sessions, a bare string on
+// v1); return a *wire.WireError to control the code the client sees.
+type Handler func(ctx context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error)
 
 // ServeOptions configures per-connection dispatch.
 type ServeOptions struct {
@@ -59,6 +66,11 @@ func (o ServeOptions) maxConcurrent() int {
 // ServeConn returns when the peer disconnects, idles out, or sends a
 // malformed frame; in-flight workers are drained before it returns.
 func ServeConn(conn net.Conn, h Handler, o ServeOptions) {
+	// The connection context: cancelled the moment the serve loop winds
+	// down (peer disconnected, idled out, malformed frame), so in-flight
+	// handlers stop early.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	idle := o.idleTimeout()
 	setIdleDeadline(conn, idle)
 	mt, body, err := wire.ReadFrame(conn)
@@ -67,7 +79,7 @@ func ServeConn(conn net.Conn, h Handler, o ServeOptions) {
 	}
 	if mt != wire.MsgHello {
 		// A v1 peer: serve the frame we already read, then loop serially.
-		serveV1(conn, h, idle, mt, body)
+		serveV1(ctx, conn, h, idle, mt, body)
 		return
 	}
 	theirMax, err := wire.DecodeHello(body)
@@ -90,10 +102,10 @@ func ServeConn(conn net.Conn, h Handler, o ServeOptions) {
 		if err != nil {
 			return
 		}
-		serveV1(conn, h, idle, mt, body)
+		serveV1(ctx, conn, h, idle, mt, body)
 		return
 	}
-	serveV2(conn, h, o, idle)
+	serveV2(ctx, conn, h, o, idle)
 }
 
 func setIdleDeadline(conn net.Conn, idle time.Duration) {
@@ -112,9 +124,9 @@ func setWriteDeadline(conn net.Conn, idle time.Duration) {
 }
 
 // serveV1 is the legacy serial loop, starting from an already-read frame.
-func serveV1(conn net.Conn, h Handler, idle time.Duration, mt wire.MsgType, body []byte) {
+func serveV1(ctx context.Context, conn net.Conn, h Handler, idle time.Duration, mt wire.MsgType, body []byte) {
 	for {
-		respType, resp, err := h(mt, body)
+		respType, resp, err := h(ctx, mt, body)
 		setWriteDeadline(conn, idle)
 		if err != nil {
 			if werr := wire.WriteError(conn, err); werr != nil {
@@ -131,14 +143,18 @@ func serveV1(conn net.Conn, h Handler, idle time.Duration, mt wire.MsgType, body
 }
 
 // serveV2 is the multiplexed loop: decode on this goroutine, execute on a
-// bounded pool, write under writeMu tagged with the request ID.
-func serveV2(conn net.Conn, h Handler, o ServeOptions, idle time.Duration) {
+// bounded pool, write under writeMu tagged with the request ID. When the
+// read loop exits (peer gone), ctx is cancelled before the worker drain,
+// so stuck handlers unblock instead of pinning the drain.
+func serveV2(ctx context.Context, conn net.Conn, h Handler, o ServeOptions, idle time.Duration) {
 	var (
 		writeMu sync.Mutex
 		wg      sync.WaitGroup
 		sem     = make(chan struct{}, o.maxConcurrent())
 	)
+	ctx, cancel := context.WithCancel(ctx)
 	defer wg.Wait()
+	defer cancel()
 	for {
 		setIdleDeadline(conn, idle)
 		mt, id, body, err := wire.ReadFrameV2(conn)
@@ -150,7 +166,7 @@ func serveV2(conn net.Conn, h Handler, o ServeOptions, idle time.Duration) {
 		go func(mt wire.MsgType, id uint32, body []byte) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			respType, resp, err := h(mt, body)
+			respType, resp, err := h(ctx, mt, body)
 			if err != nil {
 				respType, resp = wire.MsgError, wire.ToWireError(err).Encode()
 			}

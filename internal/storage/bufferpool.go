@@ -70,6 +70,20 @@ func (bp *BufferPool) PageSize() int { return bp.pager.PageSize() }
 // requested.
 var ErrPoolExhausted = errors.New("storage: all buffer pool frames pinned")
 
+// View implements PageReader over the live pool: it faults the page in
+// and returns its frame buffer without copying. Frame buffers are never
+// reused after eviction (eviction writes back and drops the frame), so
+// the slice stays valid; callers must provide their own synchronization
+// against writers mutating the page, exactly as with Fetch.
+func (bp *BufferPool) View(id PageID) ([]byte, error) {
+	f, err := bp.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	bp.Unpin(f, false)
+	return f.buf, nil
+}
+
 // Fetch pins the page with the given id, reading it from the pager on miss.
 func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 	bp.mu.Lock()

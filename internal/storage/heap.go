@@ -178,22 +178,100 @@ func (h *HeapFile) insertCell(cell []byte) (RecordID, error) {
 
 // Get returns a copy of the record at rid, reassembling overflow chains.
 func (h *HeapFile) Get(rid RecordID) ([]byte, error) {
+	return heapGet(h.bp, rid)
+}
+
+// Delete tombstones the record at rid.
+func (h *HeapFile) Delete(rid RecordID) error {
 	f, err := h.bp.Fetch(rid.Page)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	cell, err := f.Page().Cell(int(rid.Slot))
+	defer h.bp.Unpin(f, true)
+	return f.Page().DeleteCell(int(rid.Slot))
+}
+
+// Scan calls fn for every live record in heap order. fn's record slice is
+// only valid during the call. Scanning stops early if fn returns false.
+func (h *HeapFile) Scan(fn func(rid RecordID, rec []byte) bool) error {
+	return heapScan(h.bp, h.pages, fn)
+}
+
+// Count returns the number of live records (a full scan).
+func (h *HeapFile) Count() (int, error) {
+	n := 0
+	err := h.Scan(func(RecordID, []byte) bool { n++; return true })
+	return n, err
+}
+
+// HeapReader reads a heap file's records through any PageReader — in
+// particular an immutable Snapshot, which is how the lock-free query path
+// loads tuples while refreshes publish successor versions alongside.
+type HeapReader struct {
+	pr    PageReader
+	pages []PageID
+}
+
+// NewHeapReader wraps a page view and the heap's page list (as recorded
+// in replica metadata).
+func NewHeapReader(pr PageReader, pages []PageID) *HeapReader {
+	return &HeapReader{pr: pr, pages: pages}
+}
+
+// Get returns a copy of the record at rid, reassembling overflow chains.
+func (h *HeapReader) Get(rid RecordID) ([]byte, error) {
+	return heapGet(h.pr, rid)
+}
+
+// Scan calls fn for every live record in heap order, as HeapFile.Scan.
+func (h *HeapReader) Scan(fn func(rid RecordID, rec []byte) bool) error {
+	return heapScan(h.pr, h.pages, fn)
+}
+
+// heapGet reads one record through a page view.
+func heapGet(pr PageReader, rid RecordID) ([]byte, error) {
+	buf, err := pr.View(rid.Page)
 	if err != nil {
-		h.bp.Unpin(f, false)
 		return nil, err
 	}
-	out, err := h.resolveCell(cell)
-	h.bp.Unpin(f, false)
-	return out, err
+	cell, err := AsPage(buf).Cell(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	return resolveCell(pr, cell)
+}
+
+// heapScan walks the heap pages through a page view.
+func heapScan(pr PageReader, pages []PageID, fn func(rid RecordID, rec []byte) bool) error {
+	for _, pid := range pages {
+		buf, err := pr.View(pid)
+		if err != nil {
+			return err
+		}
+		p := AsPage(buf)
+		n := p.NumSlots()
+		for i := 0; i < n; i++ {
+			if p.IsDeleted(i) {
+				continue
+			}
+			cell, err := p.Cell(i)
+			if err != nil {
+				return err
+			}
+			rec, err := resolveCell(pr, cell)
+			if err != nil {
+				return err
+			}
+			if !fn(RecordID{Page: pid, Slot: uint16(i)}, rec) {
+				return nil
+			}
+		}
+	}
+	return nil
 }
 
 // resolveCell decodes a record cell, following overflow chains.
-func (h *HeapFile) resolveCell(cell []byte) ([]byte, error) {
+func resolveCell(pr PageReader, cell []byte) ([]byte, error) {
 	if len(cell) < 1 {
 		return nil, errors.New("storage: empty record cell")
 	}
@@ -210,19 +288,16 @@ func (h *HeapFile) resolveCell(cell []byte) ([]byte, error) {
 		next := PageID(binary.BigEndian.Uint32(cell[5:9]))
 		out := make([]byte, 0, total)
 		for next != InvalidPageID {
-			f, err := h.bp.Fetch(next)
+			buf, err := pr.View(next)
 			if err != nil {
 				return nil, err
 			}
-			buf := f.Page().Bytes()
 			n := int(binary.BigEndian.Uint16(buf[5:7]))
 			if overflowHeader+n > len(buf) {
-				h.bp.Unpin(f, false)
 				return nil, errors.New("storage: corrupt overflow chunk")
 			}
 			out = append(out, buf[overflowHeader:overflowHeader+n]...)
 			next = PageID(binary.BigEndian.Uint32(buf[1:5]))
-			h.bp.Unpin(f, false)
 			if len(out) > total {
 				return nil, errors.New("storage: overflow chain longer than declared")
 			}
@@ -234,55 +309,4 @@ func (h *HeapFile) resolveCell(cell []byte) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("storage: unknown record tag %d", cell[0])
 	}
-}
-
-// Delete tombstones the record at rid.
-func (h *HeapFile) Delete(rid RecordID) error {
-	f, err := h.bp.Fetch(rid.Page)
-	if err != nil {
-		return err
-	}
-	defer h.bp.Unpin(f, true)
-	return f.Page().DeleteCell(int(rid.Slot))
-}
-
-// Scan calls fn for every live record in heap order. fn's record slice is
-// only valid during the call. Scanning stops early if fn returns false.
-func (h *HeapFile) Scan(fn func(rid RecordID, rec []byte) bool) error {
-	for _, pid := range h.pages {
-		f, err := h.bp.Fetch(pid)
-		if err != nil {
-			return err
-		}
-		p := f.Page()
-		n := p.NumSlots()
-		for i := 0; i < n; i++ {
-			if p.IsDeleted(i) {
-				continue
-			}
-			cell, err := p.Cell(i)
-			if err != nil {
-				h.bp.Unpin(f, false)
-				return err
-			}
-			rec, err := h.resolveCell(cell)
-			if err != nil {
-				h.bp.Unpin(f, false)
-				return err
-			}
-			if !fn(RecordID{Page: pid, Slot: uint16(i)}, rec) {
-				h.bp.Unpin(f, false)
-				return nil
-			}
-		}
-		h.bp.Unpin(f, false)
-	}
-	return nil
-}
-
-// Count returns the number of live records (a full scan).
-func (h *HeapFile) Count() (int, error) {
-	n := 0
-	err := h.Scan(func(RecordID, []byte) bool { n++; return true })
-	return n, err
 }

@@ -1,6 +1,7 @@
 package tamper
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -67,7 +68,7 @@ func (h *harness) freshResponse(t *testing.T, projected bool) (*vo.ResultSet, *v
 	if projected {
 		q.Project = []string{"id", "cat"}
 	}
-	rs, w, err := h.tree.RunQuery(q)
+	rs, w, err := h.tree.RunQuery(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestEveryAttackIsDetectedUnprojected(t *testing.T) {
 func TestAttacksOnEmptyResultMostlyInapplicable(t *testing.T) {
 	h := newHarness(t, 100)
 	lo, hi := schema.Int64(5000), schema.Int64(6000)
-	rs, w, err := h.tree.RunQuery(vbtree.Query{Lo: &lo, Hi: &hi})
+	rs, w, err := h.tree.RunQuery(context.Background(), vbtree.Query{Lo: &lo, Hi: &hi})
 	if err != nil {
 		t.Fatal(err)
 	}

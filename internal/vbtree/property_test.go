@@ -1,6 +1,7 @@
 package vbtree
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -66,7 +67,7 @@ func TestPropertyRandomOpsStayVerifiable(t *testing.T) {
 			case 3: // verified query over a random range
 				lo := rng.Intn(500)
 				hi := lo + rng.Intn(100)
-				rs, w, err := h.tree.RunQuery(Query{Lo: i64(lo), Hi: i64(hi)})
+				rs, w, err := h.tree.RunQuery(context.Background(), Query{Lo: i64(lo), Hi: i64(hi)})
 				if err != nil {
 					t.Logf("seed %d: query: %v", seed, err)
 					return false
@@ -118,7 +119,7 @@ func TestPropertyProjectionSubsetsVerify(t *testing.T) {
 				project = append(project, c)
 			}
 		}
-		rs, w, err := h.tree.RunQuery(Query{Lo: i64(30), Hi: i64(60), Project: project})
+		rs, w, err := h.tree.RunQuery(context.Background(), Query{Lo: i64(30), Hi: i64(60), Project: project})
 		if err != nil {
 			t.Fatalf("projection %v: %v", project, err)
 		}
@@ -138,7 +139,7 @@ func TestPropertyQueryBoundaryAlignment(t *testing.T) {
 	h := newHarness(t, 200, 1024, false)
 	for lo := 0; lo < 40; lo++ {
 		for width := 0; width < 25; width += 3 {
-			rs, w, err := h.tree.RunQuery(Query{Lo: i64(lo), Hi: i64(lo + width)})
+			rs, w, err := h.tree.RunQuery(context.Background(), Query{Lo: i64(lo), Hi: i64(lo + width)})
 			if err != nil {
 				t.Fatalf("[%d,%d]: %v", lo, lo+width, err)
 			}
@@ -167,7 +168,7 @@ func TestConcurrentQueriesDuringUpdates(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 15; i++ {
 				lo, hi := g*80, g*80+40
-				rs, w, err := h.tree.RunQuery(Query{Lo: i64(lo), Hi: i64(hi)})
+				rs, w, err := h.tree.RunQuery(context.Background(), Query{Lo: i64(lo), Hi: i64(hi)})
 				if err != nil {
 					errs <- err
 					return

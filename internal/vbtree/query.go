@@ -1,53 +1,11 @@
 package vbtree
 
 import (
-	"errors"
-	"fmt"
+	"context"
 
-	"edgeauth/internal/lock"
 	"edgeauth/internal/schema"
-	"edgeauth/internal/storage"
 	"edgeauth/internal/vo"
 )
-
-// Search returns the stored tuple with the given key, or found=false.
-func (t *Tree) Search(key schema.Datum) (*vo.StoredTuple, bool, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	kb := key.KeyBytes()
-	pid := t.root
-	for {
-		pt, err := t.pageType(pid)
-		if err != nil {
-			return nil, false, err
-		}
-		if pt == storage.PageVBInternal {
-			n, err := t.fetchInternal(pid)
-			if err != nil {
-				return nil, false, err
-			}
-			pid = n.children[n.childIndex(kb)]
-			continue
-		}
-		n, err := t.fetchLeaf(pid)
-		if err != nil {
-			return nil, false, err
-		}
-		i := n.search(kb)
-		if i >= len(n.keys) || compare(n.keys[i], kb) != 0 {
-			return nil, false, nil
-		}
-		rec, err := t.heap.Get(n.rids[i])
-		if err != nil {
-			return nil, false, err
-		}
-		st, _, err := vo.DecodeStoredTuple(rec)
-		if err != nil {
-			return nil, false, err
-		}
-		return st, true, nil
-	}
-}
 
 // Query describes a selection/projection over the indexed table.
 type Query struct {
@@ -68,291 +26,51 @@ type matched struct {
 	st       *vo.StoredTuple
 }
 
-// RunQuery executes q and returns the verifiable result: the projected
-// tuples and the VO over the enveloping subtree. This is the operation an
-// edge server performs for every client query (paper §3.3).
-func (t *Tree) RunQuery(q Query) (*vo.ResultSet, *vo.VO, error) {
+// The Tree's read operations delegate to a View over the live buffer
+// pool, holding the tree's read lock for the duration — the classic
+// shared-mutable-pages mode used where the tree is also being updated in
+// place (the central build path, disk-backed tools). Replicas instead
+// construct Views directly over pinned immutable snapshots and take no
+// locks at all; see NewView.
+
+// viewLocked assembles the read view; callers hold t.mu.
+func (t *Tree) viewLocked() (*View, error) {
+	return NewView(ViewConfig{
+		Pages:     t.bp,
+		HeapPages: t.heap.Pages(),
+		Schema:    t.sch,
+		Acc:       t.acc,
+		Pub:       t.pub,
+		Now:       t.now,
+		Root:      t.root,
+		Height:    t.height,
+		RootSig:   t.rootSig,
+	})
+}
+
+// Search returns the stored tuple with the given key, or found=false.
+func (t *Tree) Search(key schema.Datum) (*vo.StoredTuple, bool, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	v, err := t.viewLocked()
+	if err != nil {
+		return nil, false, err
+	}
+	return v.Search(key)
+}
 
-	var loB, hiB []byte
-	if q.Lo != nil {
-		loB = q.Lo.KeyBytes()
-	}
-	if q.Hi != nil {
-		hiB = q.Hi.KeyBytes()
-	}
-	if loB != nil && hiB != nil && compare(loB, hiB) > 0 {
-		return nil, nil, errors.New("vbtree: query range is inverted")
-	}
-
-	// Resolve the projection.
-	projIdx, projCols, err := t.resolveProjection(q.Project)
+// RunQuery executes q and returns the verifiable result: the projected
+// tuples and the VO over the enveloping subtree (paper §3.3). ctx is
+// checked between page visits, so a cancelled caller stops the traversal
+// and VO crypto early.
+func (t *Tree) RunQuery(ctx context.Context, q Query) (*vo.ResultSet, *vo.VO, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, err := t.viewLocked()
 	if err != nil {
 		return nil, nil, err
 	}
-
-	// Phase 1: scan the key range, apply the filter, collect matches.
-	matches, err := t.collectMatches(loB, hiB, q.Filter)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// Phase 2: locate the enveloping subtree and S-lock it while walking.
-	var txn lock.TxnID
-	if t.locks != nil {
-		txn = t.locks.Begin()
-		defer t.locks.ReleaseAll(txn)
-	}
-	v, err := t.buildVO(matches, loB, txn)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// Phase 3: assemble the projected result set and the D_P digests.
-	rs := &vo.ResultSet{
-		DB:      t.sch.DB,
-		Table:   t.sch.Table,
-		Columns: projCols,
-	}
-	for _, m := range matches {
-		rs.Keys = append(rs.Keys, m.st.Tuple.Key(t.sch))
-		vals := make([]schema.Datum, len(projIdx))
-		for i, ci := range projIdx {
-			vals[i] = m.st.Tuple.Values[ci]
-		}
-		rs.Tuples = append(rs.Tuples, schema.Tuple{Values: vals})
-		// Filtered attributes -> D_P (paper Figure 7).
-		if len(projIdx) != len(t.sch.Columns) {
-			inProj := make([]bool, len(t.sch.Columns))
-			for _, ci := range projIdx {
-				inProj[ci] = true
-			}
-			for ci := range t.sch.Columns {
-				if !inProj[ci] {
-					v.DP = append(v.DP, m.st.AttrSigs[ci].Clone())
-				}
-			}
-		}
-	}
-	return rs, v, nil
-}
-
-// resolveProjection maps q.Project to column indices; nil means identity.
-func (t *Tree) resolveProjection(cols []string) ([]int, []string, error) {
-	if cols == nil {
-		idx := make([]int, len(t.sch.Columns))
-		names := make([]string, len(t.sch.Columns))
-		for i, c := range t.sch.Columns {
-			idx[i] = i
-			names[i] = c.Name
-		}
-		return idx, names, nil
-	}
-	if len(cols) == 0 {
-		return nil, nil, errors.New("vbtree: empty projection")
-	}
-	idx := make([]int, len(cols))
-	seen := make(map[string]bool, len(cols))
-	for i, name := range cols {
-		ci := t.sch.ColumnIndex(name)
-		if ci < 0 {
-			return nil, nil, fmt.Errorf("vbtree: unknown column %q", name)
-		}
-		if seen[name] {
-			return nil, nil, fmt.Errorf("vbtree: duplicate projected column %q", name)
-		}
-		seen[name] = true
-		idx[i] = ci
-	}
-	return idx, cols, nil
-}
-
-// collectMatches walks the leaf chain across [lo,hi], loads each tuple and
-// applies the filter.
-func (t *Tree) collectMatches(lo, hi []byte, filter func(schema.Tuple) bool) ([]matched, error) {
-	pid := t.root
-	for {
-		pt, err := t.pageType(pid)
-		if err != nil {
-			return nil, err
-		}
-		if pt != storage.PageVBInternal {
-			break
-		}
-		n, err := t.fetchInternal(pid)
-		if err != nil {
-			return nil, err
-		}
-		if lo == nil {
-			pid = n.children[0]
-		} else {
-			pid = n.children[n.childIndex(lo)]
-		}
-	}
-	var out []matched
-	for pid != storage.InvalidPageID {
-		n, err := t.fetchLeaf(pid)
-		if err != nil {
-			return nil, err
-		}
-		start := 0
-		if lo != nil {
-			start = n.search(lo)
-		}
-		for i := start; i < len(n.keys); i++ {
-			if hi != nil && compare(n.keys[i], hi) > 0 {
-				return out, nil
-			}
-			rec, err := t.heap.Get(n.rids[i])
-			if err != nil {
-				return nil, err
-			}
-			st, _, err := vo.DecodeStoredTuple(rec)
-			if err != nil {
-				return nil, err
-			}
-			if filter != nil && !filter(st.Tuple) {
-				continue
-			}
-			out = append(out, matched{keyBytes: n.keys[i], st: st})
-		}
-		pid = n.next
-	}
-	return out, nil
-}
-
-// buildVO locates the enveloping subtree of the matches and assembles the
-// D_S set. For an empty result it envelopes the leaf where lo would land,
-// proving (to the extent the paper's model allows) what that region holds.
-func (t *Tree) buildVO(matches []matched, lo []byte, txn lock.TxnID) (*vo.VO, error) {
-	v := &vo.VO{
-		KeyVersion: t.pub.Version,
-		Timestamp:  t.now(),
-	}
-
-	var spanLo, spanHi []byte
-	if len(matches) > 0 {
-		spanLo = matches[0].keyBytes
-		spanHi = matches[len(matches)-1].keyBytes
-	} else if lo != nil {
-		spanLo, spanHi = lo, lo
-	} // else: empty result with open lo — envelope the leftmost leaf.
-
-	// Membership index for leaf-level checks.
-	inResult := make(map[string]bool, len(matches))
-	for _, m := range matches {
-		inResult[string(m.keyBytes)] = true
-	}
-
-	// Descend to the enveloping top: the highest node where the span no
-	// longer fits inside a single child.
-	pid := t.root
-	level := t.height
-	topSig := t.rootSig
-	for {
-		if err := t.slock(txn, pid); err != nil {
-			return nil, err
-		}
-		pt, err := t.pageType(pid)
-		if err != nil {
-			return nil, err
-		}
-		if pt != storage.PageVBInternal {
-			break
-		}
-		n, err := t.fetchInternal(pid)
-		if err != nil {
-			return nil, err
-		}
-		loIdx := 0
-		if spanLo != nil {
-			loIdx = n.childIndex(spanLo)
-		}
-		hiIdx := 0
-		if spanHi != nil {
-			hiIdx = n.childIndex(spanHi)
-		}
-		if loIdx != hiIdx {
-			break // the span straddles children: this node is the top
-		}
-		pid = n.children[loIdx]
-		topSig = n.sigs[loIdx]
-		level--
-	}
-	v.TopLevel = uint8(level)
-	v.TopDigest = topSig.Clone()
-
-	// Walk the subtree flat-collecting D_S entries.
-	topLevel := level
-	var walk func(pid storage.PageID, level int) (bool, []vo.Entry, error)
-	walk = func(pid storage.PageID, level int) (bool, []vo.Entry, error) {
-		if err := t.slock(txn, pid); err != nil {
-			return false, nil, err
-		}
-		pt, err := t.pageType(pid)
-		if err != nil {
-			return false, nil, err
-		}
-		if pt == storage.PageVBLeaf {
-			n, err := t.fetchLeaf(pid)
-			if err != nil {
-				return false, nil, err
-			}
-			var entries []vo.Entry
-			has := false
-			for i := range n.keys {
-				if inResult[string(n.keys[i])] {
-					has = true
-					continue
-				}
-				entries = append(entries, vo.Entry{Sig: n.sigs[i].Clone(), Lift: uint8(topLevel)})
-			}
-			return has, entries, nil
-		}
-		n, err := t.fetchInternal(pid)
-		if err != nil {
-			return false, nil, err
-		}
-		var entries []vo.Entry
-		has := false
-		childLift := uint8(topLevel - (level - 1))
-		for i := range n.children {
-			clo, chi := n.childSpan(i)
-			if !spanIntersects(clo, chi, spanLo, spanHi) {
-				entries = append(entries, vo.Entry{Sig: n.sigs[i].Clone(), Lift: childLift})
-				continue
-			}
-			h, es, err := walk(n.children[i], level-1)
-			if err != nil {
-				return false, nil, err
-			}
-			if !h {
-				// The child intersects the span but holds no result tuple
-				// (a "gap" from a non-key filter): one branch digest is
-				// cheaper than its constituent tuple digests.
-				entries = append(entries, vo.Entry{Sig: n.sigs[i].Clone(), Lift: childLift})
-				continue
-			}
-			has = true
-			entries = append(entries, es...)
-		}
-		return has, entries, nil
-	}
-	_, entries, err := walk(pid, level)
-	if err != nil {
-		return nil, err
-	}
-	v.DS = entries
-	return v, nil
-}
-
-// slock S-locks a page when the locking protocol is active.
-func (t *Tree) slock(txn lock.TxnID, pid storage.PageID) error {
-	if t.locks == nil {
-		return nil
-	}
-	return t.locks.Acquire(txn, t.lockRes(pid), lock.Shared)
+	return v.RunQuery(ctx, q)
 }
 
 // ScanAll returns every stored tuple in key order (a full-table helper for
@@ -360,39 +78,9 @@ func (t *Tree) slock(txn lock.TxnID, pid storage.PageID) error {
 func (t *Tree) ScanAll() ([]*vo.StoredTuple, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	pid := t.root
-	for {
-		pt, err := t.pageType(pid)
-		if err != nil {
-			return nil, err
-		}
-		if pt != storage.PageVBInternal {
-			break
-		}
-		n, err := t.fetchInternal(pid)
-		if err != nil {
-			return nil, err
-		}
-		pid = n.children[0]
+	v, err := t.viewLocked()
+	if err != nil {
+		return nil, err
 	}
-	var out []*vo.StoredTuple
-	for pid != storage.InvalidPageID {
-		n, err := t.fetchLeaf(pid)
-		if err != nil {
-			return nil, err
-		}
-		for i := range n.keys {
-			rec, err := t.heap.Get(n.rids[i])
-			if err != nil {
-				return nil, err
-			}
-			st, _, err := vo.DecodeStoredTuple(rec)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, st)
-		}
-		pid = n.next
-	}
-	return out, nil
+	return v.ScanAll()
 }

@@ -1,6 +1,7 @@
 package vbtree
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -108,7 +109,7 @@ func i64(v int) *schema.Datum {
 
 func (h *harness) query(t testing.TB, q Query) (*vo.ResultSet, *vo.VO) {
 	t.Helper()
-	rs, w, err := h.tree.RunQuery(q)
+	rs, w, err := h.tree.RunQuery(context.Background(), q)
 	if err != nil {
 		t.Fatalf("RunQuery: %v", err)
 	}
@@ -287,16 +288,16 @@ func TestProjectionVerifies(t *testing.T) {
 
 func TestProjectionValidation(t *testing.T) {
 	h := newHarness(t, 50, 1024, false)
-	if _, _, err := h.tree.RunQuery(Query{Project: []string{"ghost"}}); err == nil {
+	if _, _, err := h.tree.RunQuery(context.Background(), Query{Project: []string{"ghost"}}); err == nil {
 		t.Fatal("unknown column accepted")
 	}
-	if _, _, err := h.tree.RunQuery(Query{Project: []string{}}); err == nil {
+	if _, _, err := h.tree.RunQuery(context.Background(), Query{Project: []string{}}); err == nil {
 		t.Fatal("empty projection accepted")
 	}
-	if _, _, err := h.tree.RunQuery(Query{Project: []string{"id", "id"}}); err == nil {
+	if _, _, err := h.tree.RunQuery(context.Background(), Query{Project: []string{"id", "id"}}); err == nil {
 		t.Fatal("duplicate projection accepted")
 	}
-	if _, _, err := h.tree.RunQuery(Query{Lo: i64(10), Hi: i64(5)}); err == nil {
+	if _, _, err := h.tree.RunQuery(context.Background(), Query{Lo: i64(10), Hi: i64(5)}); err == nil {
 		t.Fatal("inverted range accepted")
 	}
 }
@@ -611,7 +612,7 @@ func TestReadOnlyEdgeReplica(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, w, err := edge.RunQuery(Query{Lo: i64(10), Hi: i64(30)})
+	rs, w, err := edge.RunQuery(context.Background(), Query{Lo: i64(10), Hi: i64(30)})
 	if err != nil {
 		t.Fatalf("edge query: %v", err)
 	}

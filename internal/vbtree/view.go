@@ -1,0 +1,502 @@
+package vbtree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/storage"
+	"edgeauth/internal/vo"
+)
+
+// TableState is the immutable per-version metadata a replica publishes
+// alongside each storage snapshot: the tree anchor that makes the page
+// space queryable plus the replication coordinates the next refresh
+// negotiates with. Both the central server's per-commit publishes and
+// the edge's delta applies stamp one of these on every version.
+type TableState struct {
+	Root       storage.PageID
+	Height     int
+	RootSig    sig.Signature
+	HeapPages  []storage.PageID
+	KeyVersion uint32
+	Version    uint64
+	Epoch      uint64
+}
+
+// Validate rejects states that cannot anchor a tree.
+func (st *TableState) Validate() error {
+	if st.Root == storage.InvalidPageID || st.Height < 1 || len(st.RootSig) == 0 {
+		return errors.New("vbtree: invalid published tree metadata")
+	}
+	return nil
+}
+
+// ViewOver assembles the lock-free read view for this state over an
+// immutable page space.
+func (st *TableState) ViewOver(pages storage.PageReader, sch *schema.Schema, acc *digest.Accumulator, pub *sig.PublicKey) (*View, error) {
+	return NewView(ViewConfig{
+		Pages:     pages,
+		HeapPages: st.HeapPages,
+		Schema:    sch,
+		Acc:       acc,
+		Pub:       pub,
+		Root:      st.Root,
+		Height:    st.Height,
+		RootSig:   st.RootSig,
+	})
+}
+
+// ViewConfig anchors a read view: an immutable page space plus the tree
+// metadata that makes it interpretable.
+type ViewConfig struct {
+	// Pages is the immutable page view (typically a pinned
+	// storage.Snapshot; the live BufferPool under the tree's own lock also
+	// qualifies).
+	Pages storage.PageReader
+	// HeapPages lists the heap file's pages, as recorded in replica
+	// metadata.
+	HeapPages []storage.PageID
+	// Schema describes the indexed table.
+	Schema *schema.Schema
+	// Acc is the digest accumulator (hash h + combiner g).
+	Acc *digest.Accumulator
+	// Pub stamps the VO's key version (edge replicas use a placeholder).
+	Pub *sig.PublicKey
+	// Now supplies VO timestamps; defaults to time.Now.
+	Now func() int64
+	// Root, Height, RootSig anchor the tree inside the page space.
+	Root    storage.PageID
+	Height  int
+	RootSig sig.Signature
+}
+
+// View is the lock-free read path of the VB-tree: Search, RunQuery and
+// ScanAll over an immutable page view. Because the pages can never change
+// underneath it, a View takes no locks at all — the paper's §3.4 S-lock
+// protocol collapses away once queries run against snapshots instead of
+// shared mutable pages. A View is cheap to construct (per query) and safe
+// for concurrent use.
+type View struct {
+	pr      storage.PageReader
+	heap    *storage.HeapReader
+	sch     *schema.Schema
+	acc     *digest.Accumulator
+	pub     *sig.PublicKey
+	now     func() int64
+	root    storage.PageID
+	height  int
+	rootSig sig.Signature
+}
+
+// NewView validates the config and assembles a read view.
+func NewView(cfg ViewConfig) (*View, error) {
+	if cfg.Pages == nil {
+		return nil, errors.New("vbtree: view requires Pages")
+	}
+	if cfg.Schema == nil || cfg.Acc == nil || cfg.Pub == nil {
+		return nil, errors.New("vbtree: view requires Schema, Acc and Pub")
+	}
+	anchor := TableState{Root: cfg.Root, Height: cfg.Height, RootSig: cfg.RootSig}
+	if err := anchor.Validate(); err != nil {
+		return nil, err
+	}
+	now := cfg.Now
+	if now == nil {
+		now = func() int64 { return time.Now().Unix() }
+	}
+	return &View{
+		pr:      cfg.Pages,
+		heap:    storage.NewHeapReader(cfg.Pages, cfg.HeapPages),
+		sch:     cfg.Schema,
+		acc:     cfg.Acc,
+		pub:     cfg.Pub,
+		now:     now,
+		root:    cfg.Root,
+		height:  cfg.Height,
+		rootSig: cfg.RootSig,
+	}, nil
+}
+
+// page-decode helpers over the immutable view.
+
+func (v *View) pageType(pid storage.PageID) (storage.PageType, error) {
+	buf, err := v.pr.View(pid)
+	if err != nil {
+		return 0, err
+	}
+	return storage.PageType(buf[0]), nil
+}
+
+func (v *View) fetchLeaf(pid storage.PageID) (*vbLeaf, error) {
+	buf, err := v.pr.View(pid)
+	if err != nil {
+		return nil, err
+	}
+	return decodeVBLeaf(buf)
+}
+
+func (v *View) fetchInternal(pid storage.PageID) (*vbInternal, error) {
+	buf, err := v.pr.View(pid)
+	if err != nil {
+		return nil, err
+	}
+	return decodeVBInternal(buf)
+}
+
+func (v *View) loadStored(rid storage.RecordID) (*vo.StoredTuple, error) {
+	rec, err := v.heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	st, _, err := vo.DecodeStoredTuple(rec)
+	return st, err
+}
+
+// Search returns the stored tuple with the given key, or found=false.
+func (v *View) Search(key schema.Datum) (*vo.StoredTuple, bool, error) {
+	kb := key.KeyBytes()
+	pid := v.root
+	for {
+		pt, err := v.pageType(pid)
+		if err != nil {
+			return nil, false, err
+		}
+		if pt == storage.PageVBInternal {
+			n, err := v.fetchInternal(pid)
+			if err != nil {
+				return nil, false, err
+			}
+			pid = n.children[n.childIndex(kb)]
+			continue
+		}
+		n, err := v.fetchLeaf(pid)
+		if err != nil {
+			return nil, false, err
+		}
+		i := n.search(kb)
+		if i >= len(n.keys) || compare(n.keys[i], kb) != 0 {
+			return nil, false, nil
+		}
+		st, err := v.loadStored(n.rids[i])
+		if err != nil {
+			return nil, false, err
+		}
+		return st, true, nil
+	}
+}
+
+// RunQuery executes q and returns the verifiable result: the projected
+// tuples and the VO over the enveloping subtree. This is the operation an
+// edge server performs for every client query (paper §3.3). ctx is
+// checked between page visits, so a disconnected or cancelled client
+// stops the traversal and the VO crypto early.
+func (v *View) RunQuery(ctx context.Context, q Query) (*vo.ResultSet, *vo.VO, error) {
+	var loB, hiB []byte
+	if q.Lo != nil {
+		loB = q.Lo.KeyBytes()
+	}
+	if q.Hi != nil {
+		hiB = q.Hi.KeyBytes()
+	}
+	if loB != nil && hiB != nil && compare(loB, hiB) > 0 {
+		return nil, nil, errors.New("vbtree: query range is inverted")
+	}
+
+	// Resolve the projection.
+	projIdx, projCols, err := v.resolveProjection(q.Project)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 1: scan the key range, apply the filter, collect matches.
+	matches, err := v.collectMatches(ctx, loB, hiB, q.Filter)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 2: locate the enveloping subtree and assemble the D_S set.
+	w, err := v.buildVO(ctx, matches, loB)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 3: assemble the projected result set and the D_P digests.
+	rs := &vo.ResultSet{
+		DB:      v.sch.DB,
+		Table:   v.sch.Table,
+		Columns: projCols,
+	}
+	for _, m := range matches {
+		rs.Keys = append(rs.Keys, m.st.Tuple.Key(v.sch))
+		vals := make([]schema.Datum, len(projIdx))
+		for i, ci := range projIdx {
+			vals[i] = m.st.Tuple.Values[ci]
+		}
+		rs.Tuples = append(rs.Tuples, schema.Tuple{Values: vals})
+		// Filtered attributes -> D_P (paper Figure 7).
+		if len(projIdx) != len(v.sch.Columns) {
+			inProj := make([]bool, len(v.sch.Columns))
+			for _, ci := range projIdx {
+				inProj[ci] = true
+			}
+			for ci := range v.sch.Columns {
+				if !inProj[ci] {
+					w.DP = append(w.DP, m.st.AttrSigs[ci].Clone())
+				}
+			}
+		}
+	}
+	return rs, w, nil
+}
+
+// resolveProjection maps q.Project to column indices; nil means identity.
+func (v *View) resolveProjection(cols []string) ([]int, []string, error) {
+	if cols == nil {
+		idx := make([]int, len(v.sch.Columns))
+		names := make([]string, len(v.sch.Columns))
+		for i, c := range v.sch.Columns {
+			idx[i] = i
+			names[i] = c.Name
+		}
+		return idx, names, nil
+	}
+	if len(cols) == 0 {
+		return nil, nil, errors.New("vbtree: empty projection")
+	}
+	idx := make([]int, len(cols))
+	seen := make(map[string]bool, len(cols))
+	for i, name := range cols {
+		ci := v.sch.ColumnIndex(name)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("vbtree: unknown column %q", name)
+		}
+		if seen[name] {
+			return nil, nil, fmt.Errorf("vbtree: duplicate projected column %q", name)
+		}
+		seen[name] = true
+		idx[i] = ci
+	}
+	return idx, cols, nil
+}
+
+// collectMatches walks the leaf chain across [lo,hi], loads each tuple and
+// applies the filter.
+func (v *View) collectMatches(ctx context.Context, lo, hi []byte, filter func(schema.Tuple) bool) ([]matched, error) {
+	pid := v.root
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pt, err := v.pageType(pid)
+		if err != nil {
+			return nil, err
+		}
+		if pt != storage.PageVBInternal {
+			break
+		}
+		n, err := v.fetchInternal(pid)
+		if err != nil {
+			return nil, err
+		}
+		if lo == nil {
+			pid = n.children[0]
+		} else {
+			pid = n.children[n.childIndex(lo)]
+		}
+	}
+	var out []matched
+	for pid != storage.InvalidPageID {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n, err := v.fetchLeaf(pid)
+		if err != nil {
+			return nil, err
+		}
+		start := 0
+		if lo != nil {
+			start = n.search(lo)
+		}
+		for i := start; i < len(n.keys); i++ {
+			if hi != nil && compare(n.keys[i], hi) > 0 {
+				return out, nil
+			}
+			st, err := v.loadStored(n.rids[i])
+			if err != nil {
+				return nil, err
+			}
+			if filter != nil && !filter(st.Tuple) {
+				continue
+			}
+			out = append(out, matched{keyBytes: n.keys[i], st: st})
+		}
+		pid = n.next
+	}
+	return out, nil
+}
+
+// buildVO locates the enveloping subtree of the matches and assembles the
+// D_S set. For an empty result it envelopes the leaf where lo would land,
+// proving (to the extent the paper's model allows) what that region holds.
+func (v *View) buildVO(ctx context.Context, matches []matched, lo []byte) (*vo.VO, error) {
+	w := &vo.VO{
+		KeyVersion: v.pub.Version,
+		Timestamp:  v.now(),
+	}
+
+	var spanLo, spanHi []byte
+	if len(matches) > 0 {
+		spanLo = matches[0].keyBytes
+		spanHi = matches[len(matches)-1].keyBytes
+	} else if lo != nil {
+		spanLo, spanHi = lo, lo
+	} // else: empty result with open lo — envelope the leftmost leaf.
+
+	// Membership index for leaf-level checks.
+	inResult := make(map[string]bool, len(matches))
+	for _, m := range matches {
+		inResult[string(m.keyBytes)] = true
+	}
+
+	// Descend to the enveloping top: the highest node where the span no
+	// longer fits inside a single child.
+	pid := v.root
+	level := v.height
+	topSig := v.rootSig
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pt, err := v.pageType(pid)
+		if err != nil {
+			return nil, err
+		}
+		if pt != storage.PageVBInternal {
+			break
+		}
+		n, err := v.fetchInternal(pid)
+		if err != nil {
+			return nil, err
+		}
+		loIdx := 0
+		if spanLo != nil {
+			loIdx = n.childIndex(spanLo)
+		}
+		hiIdx := 0
+		if spanHi != nil {
+			hiIdx = n.childIndex(spanHi)
+		}
+		if loIdx != hiIdx {
+			break // the span straddles children: this node is the top
+		}
+		pid = n.children[loIdx]
+		topSig = n.sigs[loIdx]
+		level--
+	}
+	w.TopLevel = uint8(level)
+	w.TopDigest = topSig.Clone()
+
+	// Walk the subtree flat-collecting D_S entries.
+	topLevel := level
+	var walk func(pid storage.PageID, level int) (bool, []vo.Entry, error)
+	walk = func(pid storage.PageID, level int) (bool, []vo.Entry, error) {
+		if err := ctx.Err(); err != nil {
+			return false, nil, err
+		}
+		pt, err := v.pageType(pid)
+		if err != nil {
+			return false, nil, err
+		}
+		if pt == storage.PageVBLeaf {
+			n, err := v.fetchLeaf(pid)
+			if err != nil {
+				return false, nil, err
+			}
+			var entries []vo.Entry
+			has := false
+			for i := range n.keys {
+				if inResult[string(n.keys[i])] {
+					has = true
+					continue
+				}
+				entries = append(entries, vo.Entry{Sig: n.sigs[i].Clone(), Lift: uint8(topLevel)})
+			}
+			return has, entries, nil
+		}
+		n, err := v.fetchInternal(pid)
+		if err != nil {
+			return false, nil, err
+		}
+		var entries []vo.Entry
+		has := false
+		childLift := uint8(topLevel - (level - 1))
+		for i := range n.children {
+			clo, chi := n.childSpan(i)
+			if !spanIntersects(clo, chi, spanLo, spanHi) {
+				entries = append(entries, vo.Entry{Sig: n.sigs[i].Clone(), Lift: childLift})
+				continue
+			}
+			h, es, err := walk(n.children[i], level-1)
+			if err != nil {
+				return false, nil, err
+			}
+			if !h {
+				// The child intersects the span but holds no result tuple
+				// (a "gap" from a non-key filter): one branch digest is
+				// cheaper than its constituent tuple digests.
+				entries = append(entries, vo.Entry{Sig: n.sigs[i].Clone(), Lift: childLift})
+				continue
+			}
+			has = true
+			entries = append(entries, es...)
+		}
+		return has, entries, nil
+	}
+	_, entries, err := walk(pid, level)
+	if err != nil {
+		return nil, err
+	}
+	w.DS = entries
+	return w, nil
+}
+
+// ScanAll returns every stored tuple in key order (a full-table helper for
+// examples and tests; not part of the authenticated protocol).
+func (v *View) ScanAll() ([]*vo.StoredTuple, error) {
+	pid := v.root
+	for {
+		pt, err := v.pageType(pid)
+		if err != nil {
+			return nil, err
+		}
+		if pt != storage.PageVBInternal {
+			break
+		}
+		n, err := v.fetchInternal(pid)
+		if err != nil {
+			return nil, err
+		}
+		pid = n.children[0]
+	}
+	var out []*vo.StoredTuple
+	for pid != storage.InvalidPageID {
+		n, err := v.fetchLeaf(pid)
+		if err != nil {
+			return nil, err
+		}
+		for i := range n.keys {
+			st, err := v.loadStored(n.rids[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st)
+		}
+		pid = n.next
+	}
+	return out, nil
+}
