@@ -6,6 +6,15 @@
 // Usage:
 //
 //	centrald -listen :7001 -rows 10000 [-join] [-waldir /tmp/wal]
+//	         [-maxbatch 128] [-maxdelay 2ms]
+//
+// -maxbatch and -maxdelay tune the group-commit front door: concurrent
+// single-insert requests for a table are coalesced and committed as one
+// batch (one WAL fsync, one version bump, one VB-tree re-sign pass), up
+// to maxbatch per round, with the round's leader waiting up to maxdelay
+// for stragglers. Explicit batch requests (client.InsertBatch, multi-row
+// INSERT ... VALUES (...),(...) in vbquery) commit as one batch
+// regardless of these knobs.
 package main
 
 import (
@@ -29,6 +38,11 @@ func main() {
 		join    = flag.Bool("join", false, "also materialize the users/orders join view")
 		deltas  = flag.Int("deltaretention", 0, "updates retained per table for edge delta refresh (0 = default, <0 = disabled)")
 		idle    = flag.Duration("idletimeout", 0, "drop connections idle past this (0 = default, <0 = never)")
+		// Group-commit front door: concurrent single-insert requests for a
+		// table are coalesced and committed together — one WAL fsync, one
+		// version bump, one tree re-sign pass per round.
+		maxBatch = flag.Int("maxbatch", 0, "max inserts group-committed per round (0 = default 128, <0 = disable coalescing)")
+		maxDelay = flag.Duration("maxdelay", 0, "how long a group-commit leader waits for stragglers before committing (0 = commit immediately with whatever queued)")
 	)
 	flag.Parse()
 
@@ -40,6 +54,8 @@ func main() {
 		WALDir:         *walDir,
 		DeltaRetention: *deltas,
 		IdleTimeout:    *idle,
+		MaxBatch:       *maxBatch,
+		MaxDelay:       *maxDelay,
 	})
 	if err != nil {
 		log.Fatal(err)

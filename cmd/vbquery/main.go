@@ -85,14 +85,39 @@ func runStatement(ctx context.Context, cl *client.Client, sql string) error {
 		if err != nil {
 			return err
 		}
-		tup, err := sqlmini.BindValues(sch, s.Values)
+		tuples := make([]schema.Tuple, len(s.Rows))
+		for i, row := range s.Rows {
+			tup, err := sqlmini.BindValues(sch, row)
+			if err != nil {
+				return fmt.Errorf("row %d: %w", i+1, err)
+			}
+			tuples[i] = tup
+		}
+		if len(tuples) == 1 {
+			if err := cl.Insert(ctx, s.Table, tuples[0]); err != nil {
+				return err
+			}
+			fmt.Println("INSERT ok (applied at central server; edges see it after refresh)")
+			return nil
+		}
+		// Multi-row VALUES lists ride the batched write path: one frame,
+		// one group commit, per-row results.
+		opErrs, err := cl.InsertBatch(ctx, s.Table, tuples)
 		if err != nil {
 			return err
 		}
-		if err := cl.Insert(ctx, s.Table, tup); err != nil {
-			return err
+		ok := 0
+		for i, e := range opErrs {
+			if e == nil {
+				ok++
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "row %d failed: %v\n", i+1, e)
 		}
-		fmt.Println("INSERT ok (applied at central server; edges see it after refresh)")
+		if ok == 0 {
+			return fmt.Errorf("INSERT failed: 0/%d rows accepted", len(tuples))
+		}
+		fmt.Printf("INSERT ok: %d/%d rows group-committed at central server (edges see them after refresh)\n", ok, len(tuples))
 		return nil
 	case *sqlmini.DeleteStmt:
 		sch, err := cl.Schema(ctx, s.Table)

@@ -139,8 +139,13 @@ var (
 	// central server or not replicated at the edge.
 	ErrUnknownTable = wire.ErrUnknownTable
 	// ErrStaleReplica reports a replica whose version history has
-	// diverged from the request's assumption.
+	// diverged from the request's assumption. Edge servers return it for
+	// queries once a refresh has discovered the central's table epoch no
+	// longer matches the replica's.
 	ErrStaleReplica = wire.ErrStaleReplica
+	// ErrDuplicateKey reports an insert that collided with an existing
+	// primary key (per-op inside InsertBatch results, or for Insert).
+	ErrDuplicateKey = wire.ErrDuplicateKey
 )
 
 // NewCentral creates the trusted central server with a fresh signing key.

@@ -1,0 +1,234 @@
+package central
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/vbtree"
+	"edgeauth/internal/wal"
+	"edgeauth/internal/wire"
+)
+
+// Group-committed writes: the batched front half of the central write
+// path.
+//
+// The per-tuple Insert pays one WAL fsync, one changelog entry, one
+// published snapshot and one root-to-leaf re-sign chain per tuple.
+// ApplyBatch pays each of those once per batch: one t.mu critical
+// section, one RecBatch WAL record followed by a single Sync, one version
+// bump (so the delta changelog carries one dense entry instead of N
+// sparse ones), one snapshot publish, and — via vbtree.InsertBatch — one
+// RSA re-sign per dirtied tree node no matter how many tuples landed in
+// it.
+//
+// The group-commit front door makes the win transparent to unmodified
+// clients: concurrent single-insert dispatches for the same table are
+// coalesced into ApplyBatch calls by a leader/follower protocol. The
+// first arrival becomes the leader, optionally waits MaxDelay for
+// stragglers, then commits everything queued (up to MaxBatch per round)
+// and distributes the per-op results; arrivals during a commit queue up
+// for the next round. With MaxDelay zero a lone insert commits
+// immediately — coalescing only kicks in under concurrency, so the idle
+// latency cost is nil.
+
+// DefaultMaxBatch bounds one group-committed round when Options.MaxBatch
+// is zero.
+const DefaultMaxBatch = 128
+
+// maxBatch resolves Options.MaxBatch: 0 = default, negative = disabled
+// (every dispatch commits by itself).
+func (s *Server) maxBatch() int {
+	switch {
+	case s.opts.MaxBatch == 0:
+		return DefaultMaxBatch
+	case s.opts.MaxBatch < 0:
+		return 1
+	default:
+		return s.opts.MaxBatch
+	}
+}
+
+// ApplyBatch inserts tuples into a table as one group commit and returns
+// per-op errors (index-aligned; nil = inserted). Per-op failures such as
+// duplicate keys do not abort the rest of the batch; the error return is
+// reserved for table-level failures.
+func (s *Server) ApplyBatch(tableName string, tuples []schema.Tuple) ([]error, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if len(tuples) == 0 {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var lsn uint64
+	if t.log != nil {
+		// One record, one fsync, for the whole batch. Replay flattens the
+		// record back into per-tuple inserts; tuples that fail per-op here
+		// fail identically (and as harmlessly) on replay.
+		if lsn, err = t.log.Append(wal.RecBatch, wal.EncodeBatchPayload(tuples)); err != nil {
+			return nil, err
+		}
+		if err := t.log.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	stats, opErrs, err := t.tree.InsertBatch(tuples)
+	if err != nil {
+		t.stashJournal()
+		return opErrs, err
+	}
+	if stats.Applied == 0 {
+		t.stashJournal()
+		return opErrs, nil
+	}
+	t.version++
+	pages := t.commitChange(t.version, lsn, s.retention())
+	return opErrs, s.publishCommitLocked(t, pages)
+}
+
+// pendingInsert is one coalesced single-insert dispatch awaiting its
+// group commit's outcome.
+type pendingInsert struct {
+	tup  schema.Tuple
+	done chan error // buffered; the leader always delivers exactly once
+}
+
+// groupCommitter is the per-table coalescing queue.
+type groupCommitter struct {
+	mu      sync.Mutex
+	queue   []*pendingInsert
+	leading bool
+	// full is signalled (capacity 1, never blocking) when a waiting
+	// leader's round has filled to MaxBatch, so it commits immediately
+	// instead of sleeping out its MaxDelay.
+	full chan struct{}
+}
+
+// enqueueInsert routes one single-insert dispatch through the group
+// committer. The calling goroutine either becomes the leader (committing
+// every queued insert, its own included) or waits for a leader's result.
+func (s *Server) enqueueInsert(ctx context.Context, tableName string, tup schema.Tuple) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	if s.maxBatch() <= 1 {
+		return s.Insert(tableName, tup)
+	}
+	op := &pendingInsert{tup: tup, done: make(chan error, 1)}
+	gc := &t.gc
+	gc.mu.Lock()
+	if gc.full == nil {
+		gc.full = make(chan struct{}, 1)
+	}
+	gc.queue = append(gc.queue, op)
+	if gc.leading {
+		if len(gc.queue) >= s.maxBatch() {
+			select {
+			case gc.full <- struct{}{}:
+			default:
+			}
+		}
+		gc.mu.Unlock()
+		select {
+		case err := <-op.done:
+			return err
+		case <-ctx.Done():
+			// The insert stays queued and will still commit; the caller
+			// only stops waiting for the acknowledgement — the same
+			// contract as a timed-out commit on any database.
+			return ctx.Err()
+		}
+	}
+	gc.leading = true
+	gc.mu.Unlock()
+	s.awaitStragglers(gc)
+	s.leadCommits(tableName, gc)
+	return <-op.done
+}
+
+// awaitStragglers holds the leader for up to MaxDelay so concurrent
+// inserts can join its round, committing the moment the round fills.
+func (s *Server) awaitStragglers(gc *groupCommitter) {
+	if s.opts.MaxDelay <= 0 {
+		return
+	}
+	// Discard a stale fill signal from a previous round, then check
+	// whether this round is already full.
+	select {
+	case <-gc.full:
+	default:
+	}
+	gc.mu.Lock()
+	full := len(gc.queue) >= s.maxBatch()
+	gc.mu.Unlock()
+	if full {
+		return
+	}
+	timer := time.NewTimer(s.opts.MaxDelay)
+	defer timer.Stop()
+	select {
+	case <-gc.full:
+	case <-timer.C:
+	}
+}
+
+// leadCommits drains the queue in rounds of at most MaxBatch until it is
+// empty, then steps down. Arrivals during a round queue for the next one.
+func (s *Server) leadCommits(tableName string, gc *groupCommitter) {
+	limit := s.maxBatch()
+	for {
+		gc.mu.Lock()
+		n := len(gc.queue)
+		if n == 0 {
+			gc.leading = false
+			gc.mu.Unlock()
+			return
+		}
+		if n > limit {
+			n = limit
+		}
+		batch := make([]*pendingInsert, n)
+		copy(batch, gc.queue[:n])
+		gc.queue = append(gc.queue[:0:0], gc.queue[n:]...)
+		gc.mu.Unlock()
+
+		tuples := make([]schema.Tuple, n)
+		for i, op := range batch {
+			tuples[i] = op.tup
+		}
+		opErrs, err := s.ApplyBatch(tableName, tuples)
+		for i, op := range batch {
+			e := err
+			if e == nil && opErrs != nil {
+				e = opErrs[i]
+			}
+			op.done <- e
+		}
+	}
+}
+
+// batchResponse converts per-op errors into the typed wire results.
+func batchResponse(count int, opErrs []error) *wire.BatchResponse {
+	resp := &wire.BatchResponse{Results: make([]wire.BatchOpResult, count)}
+	for i := range resp.Results {
+		var err error
+		if opErrs != nil {
+			err = opErrs[i]
+		}
+		switch {
+		case err == nil:
+			resp.Results[i] = wire.BatchOpResult{OK: true}
+		case errors.Is(err, vbtree.ErrDuplicateKey):
+			resp.Results[i] = wire.BatchOpResult{Code: wire.CodeDuplicateKey, Msg: err.Error()}
+		default:
+			resp.Results[i] = wire.BatchOpResult{Code: wire.CodeBadRequest, Msg: err.Error()}
+		}
+	}
+	return resp
+}

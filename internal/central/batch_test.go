@@ -1,0 +1,267 @@
+package central
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/vbtree"
+	"edgeauth/internal/wal"
+	"edgeauth/internal/workload"
+)
+
+var (
+	batchKeyOnce sync.Once
+	batchKey     *sig.PrivateKey
+)
+
+func batchServerKey(t testing.TB) *sig.PrivateKey {
+	t.Helper()
+	batchKeyOnce.Do(func() { batchKey = sig.MustGenerateKey(512) })
+	return batchKey
+}
+
+func newBatchServer(t *testing.T, rows int, opts Options) *Server {
+	t.Helper()
+	srv, err := NewServerWithKey(opts, batchServerKey(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.DefaultSpec(rows)
+	sch, err := spec.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := spec.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddTable(sch, tuples); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func batchServerRow(t testing.TB, id int64) schema.Tuple {
+	t.Helper()
+	sch, err := workload.DefaultSpec(1).Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]schema.Datum, len(sch.Columns))
+	vals[0] = schema.Int64(id)
+	for i := 1; i < len(vals); i++ {
+		vals[i] = schema.Str(fmt.Sprintf("central-batch-%06d", id))
+	}
+	return schema.Tuple{Values: vals}
+}
+
+// TestApplyBatchCommitsOnce pins the group-commit invariants: one version
+// bump, one changelog entry and one WAL record per batch — with the WAL
+// record still replaying as the full per-tuple logical history.
+func TestApplyBatchCommitsOnce(t *testing.T) {
+	srv := newBatchServer(t, 200, Options{PageSize: 1024, WALDir: t.TempDir()})
+	base, err := srv.Version("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := srv.TableEpoch("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rows []schema.Tuple
+	for i := int64(0); i < 48; i++ {
+		rows = append(rows, batchServerRow(t, 10_000+i))
+	}
+	opErrs, err := srv.ApplyBatch("items", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range opErrs {
+		if e != nil {
+			t.Fatalf("op %d failed: %v", i, e)
+		}
+	}
+
+	// One version bump for 48 tuples.
+	v, err := srv.Version("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != base+1 {
+		t.Fatalf("version went %d -> %d, want exactly one bump", base, v)
+	}
+
+	// One changelog entry: a delta from base covers the whole batch.
+	d, err := srv.Delta("items", base, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SnapshotNeeded || d.ToVersion != v {
+		t.Fatalf("delta after batch: snapshotNeeded=%v to=%d want to=%d", d.SnapshotNeeded, d.ToVersion, v)
+	}
+	if len(d.PageIDs) == 0 {
+		t.Fatal("batch committed but delta carries no pages")
+	}
+
+	// The WAL holds the batch as one record that replays per-tuple.
+	ops, err := srv.LoggedOps("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != len(rows) {
+		t.Fatalf("replayed %d logical ops, want %d", len(ops), len(rows))
+	}
+	for i, op := range ops {
+		if op.Kind != wal.RecInsert {
+			t.Fatalf("op %d kind = %v, want insert", i, op.Kind)
+		}
+		if op.LSN != ops[0].LSN {
+			t.Fatalf("batch ops span LSNs %d and %d, want one record", ops[0].LSN, op.LSN)
+		}
+	}
+
+	// The published snapshot serves the new rows.
+	lo, hi := schema.Int64(10_000), schema.Int64(10_047)
+	resp, err := srv.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Result.Tuples) != len(rows) {
+		t.Fatalf("snapshot serves %d of %d batch rows", len(resp.Result.Tuples), len(rows))
+	}
+}
+
+// TestApplyBatchPerOpErrors checks duplicates fail individually while the
+// rest of the batch commits.
+func TestApplyBatchPerOpErrors(t *testing.T) {
+	srv := newBatchServer(t, 100, Options{PageSize: 1024})
+	base, _ := srv.Version("items")
+	rows := []schema.Tuple{
+		batchServerRow(t, 20_000),
+		batchServerRow(t, 5), // exists
+		batchServerRow(t, 20_001),
+	}
+	opErrs, err := srv.ApplyBatch("items", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opErrs[0] != nil || opErrs[2] != nil {
+		t.Fatalf("clean ops failed: %v / %v", opErrs[0], opErrs[2])
+	}
+	if !errors.Is(opErrs[1], vbtree.ErrDuplicateKey) {
+		t.Fatalf("duplicate op error = %v", opErrs[1])
+	}
+	if v, _ := srv.Version("items"); v != base+1 {
+		t.Fatalf("partial batch bumped version to %d, want %d", v, base+1)
+	}
+
+	// An all-duplicate batch commits nothing and bumps nothing.
+	opErrs, err = srv.ApplyBatch("items", []schema.Tuple{batchServerRow(t, 5)})
+	if err != nil || !errors.Is(opErrs[0], vbtree.ErrDuplicateKey) {
+		t.Fatalf("all-dup batch: errs=%v err=%v", opErrs, err)
+	}
+	if v, _ := srv.Version("items"); v != base+1 {
+		t.Fatalf("no-op batch bumped version to %d", v)
+	}
+
+	if _, err := srv.ApplyBatch("missing", rows); err == nil {
+		t.Fatal("batch into unknown table accepted")
+	}
+}
+
+// TestGroupCommitCoalesces drives concurrent single inserts through the
+// coalescing front door and checks they commit in far fewer rounds than
+// one per tuple, with every caller still seeing its own result.
+func TestGroupCommitCoalesces(t *testing.T) {
+	srv := newBatchServer(t, 100, Options{PageSize: 1024, MaxDelay: 10 * time.Millisecond})
+	base, _ := srv.Version("items")
+
+	const inserts = 48
+	var wg sync.WaitGroup
+	errs := make([]error, inserts)
+	for i := 0; i < inserts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = srv.enqueueInsert(context.Background(), "items", batchServerRow(t, 30_000+int64(i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("insert %d failed: %v", i, err)
+		}
+	}
+	v, _ := srv.Version("items")
+	rounds := v - base
+	if rounds == 0 || rounds >= inserts {
+		t.Fatalf("%d inserts committed in %d rounds — no coalescing", inserts, rounds)
+	}
+	t.Logf("%d concurrent inserts coalesced into %d group commits", inserts, rounds)
+
+	// A duplicate routed through the front door still reports per-op.
+	if err := srv.enqueueInsert(context.Background(), "items", batchServerRow(t, 30_000)); !errors.Is(err, vbtree.ErrDuplicateKey) {
+		t.Fatalf("coalesced duplicate: %v, want ErrDuplicateKey", err)
+	}
+
+	// All rows landed.
+	lo, hi := schema.Int64(30_000), schema.Int64(30_000+inserts-1)
+	resp, err := srv.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Result.Tuples) != inserts {
+		t.Fatalf("found %d of %d coalesced rows", len(resp.Result.Tuples), inserts)
+	}
+}
+
+// TestGroupCommitFullRoundCommitsEarly: a leader waiting out MaxDelay
+// must commit the moment its round fills to MaxBatch, not sleep the
+// delay out.
+func TestGroupCommitFullRoundCommitsEarly(t *testing.T) {
+	srv := newBatchServer(t, 50, Options{PageSize: 1024, MaxBatch: 8, MaxDelay: 2 * time.Second})
+	const inserts = 16
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, inserts)
+	for i := 0; i < inserts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = srv.enqueueInsert(context.Background(), "items", batchServerRow(t, 50_000+int64(i)))
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("insert %d failed: %v", i, err)
+		}
+	}
+	if elapsed >= 2*time.Second {
+		t.Fatalf("full round slept out MaxDelay (%v elapsed)", elapsed)
+	}
+}
+
+// TestGroupCommitDisabled checks MaxBatch < 0 restores per-insert
+// commits.
+func TestGroupCommitDisabled(t *testing.T) {
+	srv := newBatchServer(t, 50, Options{PageSize: 1024, MaxBatch: -1})
+	base, _ := srv.Version("items")
+	for i := int64(0); i < 4; i++ {
+		if err := srv.enqueueInsert(context.Background(), "items", batchServerRow(t, 40_000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := srv.Version("items"); v != base+4 {
+		t.Fatalf("disabled coalescing: version went %d -> %d, want one bump per insert", base, v)
+	}
+}

@@ -66,6 +66,17 @@ type Options struct {
 	// multiplexed (protocol v2) connection. 0 selects
 	// rpc.DefaultMaxConcurrent.
 	MaxConcurrent int
+	// MaxBatch bounds one group-committed round of the coalescing write
+	// front door: concurrent single-insert dispatches for a table are
+	// committed together, up to MaxBatch per round. 0 selects
+	// DefaultMaxBatch; negative disables coalescing (every insert commits
+	// by itself, the pre-batching behaviour).
+	MaxBatch int
+	// MaxDelay is how long a group-commit leader waits for stragglers
+	// before committing its round. 0 (the default) commits immediately
+	// with whatever has queued — coalescing then happens only under
+	// genuine concurrency and adds no idle latency.
+	MaxDelay time.Duration
 }
 
 // DefaultDeltaRetention is the changelog depth kept per table when
@@ -110,6 +121,9 @@ type table struct {
 	// version bump.
 	changes []changeEntry
 	pending []storage.PageID
+
+	// gc coalesces concurrent single-insert dispatches into group commits.
+	gc groupCommitter
 }
 
 // snapState pins the table's current published snapshot and decodes its
@@ -799,10 +813,26 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 		if err != nil {
 			return 0, nil, err
 		}
-		if err := s.Insert(req.Table, req.Tuple); err != nil {
+		// Concurrent single inserts coalesce into group commits behind
+		// this call; lone inserts commit by themselves.
+		if err := s.enqueueInsert(ctx, req.Table, req.Tuple); err != nil {
+			if errors.Is(err, vbtree.ErrDuplicateKey) {
+				return 0, nil, wire.DuplicateKey(req.Table, err.Error())
+			}
 			return 0, nil, err
 		}
 		return wire.MsgInsertResp, nil, nil
+
+	case wire.MsgBatchReq:
+		req, err := wire.DecodeBatchRequest(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		opErrs, err := s.ApplyBatch(req.Table, req.Tuples)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgBatchResp, batchResponse(len(req.Tuples), opErrs).Encode(), nil
 
 	case wire.MsgDeleteReq:
 		req, err := wire.DecodeDeleteRequest(body)

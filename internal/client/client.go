@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +53,14 @@ type Config struct {
 	// one-frame-in/one-frame-out) even against a v2 server. Used by the
 	// pipelined-vs-serial benchmarks and compatibility tests.
 	DisableMultiplex bool
+	// MaxClockSkew bounds how far a response's VO timestamp may deviate
+	// from this client's own clock before the result is rejected as
+	// stale or future-dated (the §3.4 freshness check — key validity is
+	// always resolved against the client's clock, never the edge's).
+	// 0 selects verify.DefaultMaxClockSkew; negative disables the
+	// timestamp bound (key validity is still checked at the client
+	// clock).
+	MaxClockSkew time.Duration
 }
 
 func (c Config) rpcOptions() rpc.Options {
@@ -153,7 +162,7 @@ func (c *Client) verifier(ctx context.Context, table string) (*verify.Verifier, 
 	if err != nil {
 		return nil, err
 	}
-	v = &verify.Verifier{Keys: c.keys, Acc: acc, Schema: resp.Schema}
+	v = &verify.Verifier{Keys: c.keys, Acc: acc, Schema: resp.Schema, MaxClockSkew: c.cfg.MaxClockSkew}
 	c.vmu.Lock()
 	c.verifiers[table] = v
 	c.vmu.Unlock()
@@ -203,7 +212,24 @@ func (c *Client) Query(ctx context.Context, table string, preds []query.Predicat
 		return nil, err
 	}
 	if err := v.Verify(resp.Result, resp.VO); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrTampered, err)
+		// An unknown or expired key version is not necessarily tampering:
+		// the central server may have rotated its key (or restarted with a
+		// fresh one) since this client last fetched it. Refetch once over
+		// the authenticated channel and re-verify before crying wolf. A
+		// freshness failure is excluded — no key refetch can repair a
+		// backdated timestamp, and retrying would let a hostile edge turn
+		// every tampered answer into load on the central server.
+		if errors.Is(err, verify.ErrKeyVersion) && !errors.Is(err, verify.ErrFreshness) {
+			if kerr := c.FetchTrustedKey(ctx); kerr != nil {
+				// A transport failure, not a verification verdict: report
+				// it as such so tamper alarms don't page on network blips.
+				return nil, fmt.Errorf("client: refetching trusted key after %v: %w", err, kerr)
+			}
+			err = v.Verify(resp.Result, resp.VO)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTampered, err)
+		}
 	}
 	return &QueryResult{
 		Result:      resp.Result,
@@ -220,6 +246,66 @@ func (c *Client) Insert(ctx context.Context, table string, tup schema.Tuple) err
 	req := &wire.InsertRequest{Table: table, Tuple: tup}
 	_, err := c.central.Call(ctx, wire.MsgInsertReq, req.Encode(), wire.MsgInsertResp, false)
 	return err
+}
+
+// InsertBatch ships tuples to the central server in one frame, where they
+// commit as a single group (one WAL fsync, one version bump, one tree
+// re-sign pass). The returned slice is index-aligned with tuples: a nil
+// entry means inserted, a non-nil entry carries that tuple's typed
+// failure (errors.Is-matchable, e.g. wire.ErrDuplicateKey) without
+// affecting its neighbours. The error return is transport- or
+// table-level. Servers predating the batch message are detected and
+// served per-tuple transparently.
+func (c *Client) InsertBatch(ctx context.Context, table string, tuples []schema.Tuple) ([]error, error) {
+	if len(tuples) == 0 {
+		return nil, nil
+	}
+	req := &wire.BatchRequest{Table: table, Tuples: tuples}
+	body, err := c.central.Call(ctx, wire.MsgBatchReq, req.Encode(), wire.MsgBatchResp, false)
+	if err != nil {
+		if isUnsupported(err) {
+			return c.insertFallback(ctx, table, tuples)
+		}
+		return nil, err
+	}
+	resp, err := wire.DecodeBatchResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(tuples) {
+		return nil, fmt.Errorf("client: batch response carries %d results for %d tuples", len(resp.Results), len(tuples))
+	}
+	out := make([]error, len(tuples))
+	for i, r := range resp.Results {
+		out[i] = r.Err()
+	}
+	return out, nil
+}
+
+// isUnsupported detects a server that does not know the batch message:
+// typed on protocol v2, a prose error frame on legacy v1.
+func isUnsupported(err error) bool {
+	return errors.Is(err, wire.ErrUnsupported) ||
+		strings.Contains(err.Error(), "unsupported message")
+}
+
+// insertFallback degrades a batch to per-tuple inserts against an older
+// server, preserving the per-op result contract. If ctx expires partway,
+// the outcomes already earned are kept: unsent tuples get the ctx error
+// per-op and the cancellation is also returned, so callers can both see
+// what committed and know the batch did not finish.
+func (c *Client) insertFallback(ctx context.Context, table string, tuples []schema.Tuple) ([]error, error) {
+	out := make([]error, len(tuples))
+	for i, tup := range tuples {
+		if err := ctx.Err(); err != nil {
+			for j := i; j < len(tuples); j++ {
+				out[j] = err
+			}
+			return out, err
+		}
+		out[i] = c.Insert(ctx, table, tup)
+	}
+	return out, nil
 }
 
 // DeleteRange sends a key-range delete to the central server and returns

@@ -106,6 +106,7 @@ type Counters struct {
 	HashOps    atomic.Int64 // evaluations of h (Cost_h)
 	CombineOps atomic.Int64 // pairwise digest combinations (Cost_k)
 	RecoverOps atomic.Int64 // signature recoveries s⁻¹ (Cost_s); bumped by package sig
+	SignOps    atomic.Int64 // signature generations s (server-side cost); bumped by package sig
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -114,6 +115,7 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		HashOps:    c.HashOps.Load(),
 		CombineOps: c.CombineOps.Load(),
 		RecoverOps: c.RecoverOps.Load(),
+		SignOps:    c.SignOps.Load(),
 	}
 }
 
@@ -122,6 +124,7 @@ func (c *Counters) Reset() {
 	c.HashOps.Store(0)
 	c.CombineOps.Store(0)
 	c.RecoverOps.Store(0)
+	c.SignOps.Store(0)
 }
 
 // CounterSnapshot is an immutable copy of Counters.
@@ -129,6 +132,7 @@ type CounterSnapshot struct {
 	HashOps    int64
 	CombineOps int64
 	RecoverOps int64
+	SignOps    int64
 }
 
 // Sub returns the element-wise difference s - o.
@@ -137,6 +141,7 @@ func (s CounterSnapshot) Sub(o CounterSnapshot) CounterSnapshot {
 		HashOps:    s.HashOps - o.HashOps,
 		CombineOps: s.CombineOps - o.CombineOps,
 		RecoverOps: s.RecoverOps - o.RecoverOps,
+		SignOps:    s.SignOps - o.SignOps,
 	}
 }
 

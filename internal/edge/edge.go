@@ -90,6 +90,14 @@ type replica struct {
 	store  *storage.PageStore
 
 	refreshMu sync.Mutex
+
+	// diverged is set when a refresh discovers the central's table epoch
+	// no longer matches this replica's — its version history descends
+	// from a dead incarnation, so every answer it could give is
+	// unverifiably stale. Queries fail with wire.ErrStaleReplica until a
+	// snapshot reinstall replaces the replica (a fresh replica object, so
+	// the flag never needs clearing).
+	diverged atomic.Bool
 }
 
 // New creates an edge server that replicates from centralAddr.
@@ -368,6 +376,12 @@ func (s *Server) RefreshAll(ctx context.Context) ([]RefreshStat, error) {
 	stats := make([]RefreshStat, 0, len(names))
 	var errs []error
 	for _, name := range names {
+		// A cancelled refresh stops here instead of accumulating one dial
+		// error per remaining table.
+		if cerr := ctx.Err(); cerr != nil {
+			errs = append(errs, cerr)
+			break
+		}
 		st, err := s.Refresh(ctx, name)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("edge: refreshing %q: %w", name, err))
@@ -421,6 +435,13 @@ func (s *Server) Refresh(ctx context.Context, tableName string) (RefreshStat, er
 		if err := pub.Verify(d.Sig, payload); err != nil {
 			return RefreshStat{}, fmt.Errorf("edge: delta signature rejected: %w", err)
 		}
+	}
+	if d.Epoch != cur.Epoch {
+		// The central has a different table incarnation: this replica's
+		// history is dead. Flag it so queries report staleness instead of
+		// silently serving the old incarnation; a successful snapshot
+		// pull below installs a fresh (unflagged) replica.
+		rep.diverged.Store(true)
 	}
 	if d.SnapshotNeeded {
 		n, err := s.pull(ctx, tableName)
@@ -504,6 +525,10 @@ func (s *Server) RunQuery(ctx context.Context, tableName string, q vbtree.Query)
 	rep := s.replica(tableName)
 	if rep == nil {
 		return nil, nil, wire.UnknownTable("edge", tableName)
+	}
+	if rep.diverged.Load() {
+		return nil, nil, wire.StaleReplica(tableName,
+			fmt.Sprintf("edge: replica of %q descends from a dead table incarnation; refresh must install a snapshot first", tableName))
 	}
 	v, _, snap, err := rep.view()
 	if err != nil {

@@ -1,0 +1,214 @@
+package edge
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"edgeauth/internal/central"
+	"edgeauth/internal/client"
+	"edgeauth/internal/query"
+	"edgeauth/internal/rpc"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/vbtree"
+	"edgeauth/internal/wire"
+)
+
+// fakeCentral impersonates a restarted central server: it signs with the
+// real key but advertises a different table epoch, and can be told to
+// fail snapshot requests (modelling the fallback pull dying mid-recovery).
+type fakeCentral struct {
+	key          *sig.PrivateKey
+	real         *central.Server
+	epoch        uint64
+	failSnapshot atomic.Bool
+	snapshotReqs atomic.Int64
+	listServed   atomic.Bool
+}
+
+func (f *fakeCentral) serve(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				rpc.ServeConn(conn, f.dispatch, rpc.ServeOptions{})
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+func (f *fakeCentral) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+	switch mt {
+	case wire.MsgPubKeyReq:
+		blob, err := f.key.Public().MarshalBinary()
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgPubKeyResp, blob, nil
+	case wire.MsgListTablesReq:
+		f.listServed.Store(true)
+		return wire.MsgListTablesResp, wire.EncodeStringList([]string{"items"}), nil
+	case wire.MsgDeltaReq:
+		req, err := wire.DecodeDeltaRequest(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		// A different incarnation: versions are not comparable, so the
+		// answer is a properly signed snapshot-needed delta.
+		d := &wire.Delta{
+			Table:          req.Table,
+			FromVersion:    req.FromVersion,
+			ToVersion:      3,
+			Epoch:          f.epoch,
+			SnapshotNeeded: true,
+		}
+		sg, err := f.key.Sign(d.SigPayload())
+		if err != nil {
+			return 0, nil, err
+		}
+		d.Sig = sg
+		return wire.MsgDeltaResp, d.Encode(), nil
+	case wire.MsgSnapshotReq:
+		f.snapshotReqs.Add(1)
+		if f.failSnapshot.Load() {
+			return 0, nil, errors.New("fake central: snapshot store unavailable")
+		}
+		snap, err := f.real.Snapshot(string(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgSnapshotResp, snap.Encode(), nil
+	default:
+		return 0, nil, wire.Unsupported("fake-central", mt)
+	}
+}
+
+// TestQueriesReportStaleReplicaAfterEpochDivergence: when a refresh
+// discovers the central's table epoch has diverged and the snapshot
+// fallback fails, queries must return the errors.Is-matchable
+// wire.ErrStaleReplica instead of silently serving the dead incarnation —
+// and heal once a snapshot finally installs.
+func TestQueriesReportStaleReplicaAfterEpochDivergence(t *testing.T) {
+	ctx := context.Background()
+	srv, _ := startCentral(t, 120)
+
+	fake := &fakeCentral{key: serverKey(t), real: srv, epoch: 0xDEAD_BEEF}
+	fake.failSnapshot.Store(true)
+	eg := New(fake.serve(t))
+	t.Cleanup(eg.Close)
+
+	// Seed the replica from the genuine central (epoch != fake.epoch).
+	snap, err := srv.Snapshot("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := InstallSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg.setReplica("items", rep)
+
+	lo, hi := schema.Int64(10), schema.Int64(20)
+	if _, _, err := eg.RunQuery(ctx, "items", vbtree.Query{Lo: &lo, Hi: &hi}); err != nil {
+		t.Fatalf("pre-divergence query: %v", err)
+	}
+
+	// Refresh discovers the epoch divergence; the snapshot fallback dies.
+	if _, err := eg.Refresh(ctx, "items"); err == nil {
+		t.Fatal("refresh succeeded although the snapshot fallback failed")
+	}
+	if fake.snapshotReqs.Load() == 0 {
+		t.Fatal("refresh never attempted the snapshot fallback")
+	}
+
+	// Queries now signal staleness instead of answering from the dead
+	// incarnation — locally and through a TCP client.
+	_, _, err = eg.RunQuery(ctx, "items", vbtree.Query{Lo: &lo, Hi: &hi})
+	if !errors.Is(err, wire.ErrStaleReplica) {
+		t.Fatalf("query on diverged replica: %v, want wire.ErrStaleReplica", err)
+	}
+	edgeAddr := startEdge(t, eg)
+	cl, err := client.Dial(ctx, client.Config{EdgeAddr: edgeAddr, CentralAddr: fake.serve(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, err = cl.Query(ctx, "items", []query.Predicate{
+		{Column: "id", Op: query.OpGE, Value: schema.Int64(10)},
+	}, nil)
+	if !errors.Is(err, wire.ErrStaleReplica) {
+		t.Fatalf("client query on diverged replica: %v, want wire.ErrStaleReplica", err)
+	}
+
+	// Healing: the snapshot store comes back, a refresh reinstalls, and
+	// queries serve again.
+	fake.failSnapshot.Store(false)
+	st, err := eg.Refresh(ctx, "items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "snapshot" {
+		t.Fatalf("healing refresh mode = %q, want snapshot", st.Mode)
+	}
+	if _, _, err := eg.RunQuery(ctx, "items", vbtree.Query{Lo: &lo, Hi: &hi}); err != nil {
+		t.Fatalf("query after snapshot reinstall: %v", err)
+	}
+}
+
+// flagCtx reports cancellation as soon as flag is set — without a Done
+// channel, so in-flight calls complete and only explicit ctx.Err() checks
+// observe it. It models a caller whose deadline expires between tables.
+type flagCtx struct {
+	context.Context
+	flag *atomic.Bool
+}
+
+func (c *flagCtx) Err() error {
+	if c.flag.Load() {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRefreshAllStopsOnCancelledContext: a context cancelled after the
+// table listing must stop the per-table loop instead of marching on (or
+// accumulating one dial error per remaining table).
+func TestRefreshAllStopsOnCancelledContext(t *testing.T) {
+	srv, _ := startCentral(t, 60)
+	fake := &fakeCentral{key: serverKey(t), real: srv, epoch: 0xBADC0FFE}
+	eg := New(fake.serve(t))
+	t.Cleanup(eg.Close)
+
+	// The context cancels the moment the table listing has been served —
+	// before the loop reaches any table.
+	ctx := &flagCtx{Context: context.Background(), flag: &fake.listServed}
+	stats, err := eg.RefreshAll(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RefreshAll error = %v, want context.Canceled", err)
+	}
+	if len(stats) != 0 {
+		t.Fatalf("cancelled RefreshAll still refreshed %d tables", len(stats))
+	}
+	if strings.Contains(err.Error(), "refreshing") {
+		t.Fatalf("cancelled RefreshAll still visited tables: %v", err)
+	}
+	// The pre-fix loop would have pulled the (missing) replica's snapshot.
+	if n := fake.snapshotReqs.Load(); n != 0 {
+		t.Fatalf("cancelled RefreshAll still issued %d snapshot pulls", n)
+	}
+}

@@ -106,7 +106,15 @@ type PrivateKey struct {
 	dp   *big.Int // d mod (p-1)
 	dq   *big.Int // d mod (q-1)
 	qinv *big.Int // q⁻¹ mod p
+
+	// counters, when non-nil, has SignOps bumped on every Sign — the
+	// server-side cost accounting used by the batched-write tests to prove
+	// how many RSA signatures a commit actually spent.
+	counters *digest.Counters
 }
+
+// SetCounters installs (or clears, with nil) the sign-op counter sink.
+func (k *PrivateKey) SetCounters(c *digest.Counters) { k.counters = c }
 
 // Public returns the public half of the key. The returned value shares the
 // modulus but carries its own Counters slot.
@@ -222,6 +230,9 @@ func unpad(em []byte) ([]byte, error) {
 // Sign produces the signature s(payload) = pad(payload)^d mod N.
 // The payload is normally an unsigned digest (digest.Value).
 func (k *PrivateKey) Sign(payload []byte) (Signature, error) {
+	if k.counters != nil {
+		k.counters.SignOps.Add(1)
+	}
 	em, err := pad(payload, k.Len())
 	if err != nil {
 		return nil, err

@@ -20,10 +20,12 @@ type SelectStmt struct {
 	Where   []query.Predicate
 }
 
-// InsertStmt is INSERT INTO table VALUES (…).
+// InsertStmt is INSERT INTO table VALUES (…)[,(…)]*. Multi-row inserts
+// map onto the client's batched write path (one group commit at the
+// central server).
 type InsertStmt struct {
-	Table  string
-	Values []schema.Datum
+	Table string
+	Rows  [][]schema.Datum
 }
 
 // DeleteStmt is DELETE FROM table WHERE preds.
@@ -169,23 +171,31 @@ func (p *parser) insertStmt() (Statement, error) {
 	if err := p.expectKeyword("values"); err != nil {
 		return nil, err
 	}
-	if err := p.expectSymbol("("); err != nil {
-		return nil, err
-	}
 	st := &InsertStmt{Table: tbl}
 	for {
-		d, err := p.literal()
-		if err != nil {
+		if err := p.expectSymbol("("); err != nil {
 			return nil, err
 		}
-		st.Values = append(st.Values, d)
+		var row []schema.Datum
+		for {
+			d, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, d)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
 		if p.acceptSymbol(",") {
 			continue
 		}
 		break
-	}
-	if err := p.expectSymbol(")"); err != nil {
-		return nil, err
 	}
 	return st, nil
 }

@@ -64,15 +64,48 @@ func TestParseLiterals(t *testing.T) {
 		t.Fatal(err)
 	}
 	ins := st.(*InsertStmt)
+	if len(ins.Rows) != 1 {
+		t.Fatalf("rows = %v", ins.Rows)
+	}
 	want := []schema.Datum{
 		schema.Int64(42), schema.Int64(-7), schema.Float64(3.5), schema.Str("it's here"),
 	}
-	if len(ins.Values) != len(want) {
-		t.Fatalf("values = %v", ins.Values)
+	if len(ins.Rows[0]) != len(want) {
+		t.Fatalf("values = %v", ins.Rows[0])
 	}
 	for i := range want {
-		if !ins.Values[i].Equal(want[i]) {
-			t.Errorf("value %d = %v, want %v", i, ins.Values[i], want[i])
+		if !ins.Rows[0][i].Equal(want[i]) {
+			t.Errorf("value %d = %v, want %v", i, ins.Rows[0][i], want[i])
+		}
+	}
+}
+
+func TestParseMultiRowInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c');")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Rows) != 3 {
+		t.Fatalf("parsed %+v", ins)
+	}
+	for i, wantID := range []int64{1, 2, 3} {
+		if len(ins.Rows[i]) != 2 || !ins.Rows[i][0].Equal(schema.Int64(wantID)) {
+			t.Fatalf("row %d = %v", i, ins.Rows[i])
+		}
+	}
+	// Ragged rows parse (arity is checked at bind time, per schema).
+	if _, err := Parse("INSERT INTO t VALUES (1, 'a'), (2)"); err != nil {
+		t.Fatalf("ragged multi-row insert rejected at parse time: %v", err)
+	}
+	// Malformed lists do not.
+	for _, bad := range []string{
+		"INSERT INTO t VALUES (1, 'a'),",
+		"INSERT INTO t VALUES (1, 'a') (2, 'b')",
+		"INSERT INTO t VALUES",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q parsed", bad)
 		}
 	}
 }

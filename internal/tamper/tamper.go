@@ -208,6 +208,23 @@ func StaleKeyReplay(oldVersion uint32) Attack {
 	}
 }
 
+// BackdateTimestamp rewinds the VO's timestamp by a year — the §3.4
+// attack where a compromised edge masquerades stale data as current by
+// stamping the response into a retired key's validity window. A client
+// that resolves key validity against the edge-supplied timestamp accepts
+// it; one that uses its own clock (with a bounded skew window) rejects
+// it.
+func BackdateTimestamp() Attack {
+	return Attack{
+		Name:        "backdate-timestamp",
+		Description: "rewind the VO timestamp to masquerade stale data as current",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			w.Timestamp -= 365 * 24 * 3600
+			return nil
+		},
+	}
+}
+
 // SwapProjectionDigest moves a D_P digest into D_S, probing set-confusion.
 func SwapProjectionDigest() Attack {
 	return Attack{
@@ -239,6 +256,7 @@ func All() []Attack {
 		MisliftDS(),
 		CrossTableReplay("other_table"),
 		SwapProjectionDigest(),
+		BackdateTimestamp(),
 	}
 }
 

@@ -181,6 +181,32 @@ func TestStaleKeyReplayDetectedViaRegistry(t *testing.T) {
 	}
 }
 
+// TestBackdateTimestampAttack pins the §3.4 freshness fix: the rewound
+// timestamp was ACCEPTED under the old semantics (key validity resolved
+// at the edge-supplied VO timestamp — emulated here by pinning the
+// verifier clock to the attacker's timestamp, which is exactly what
+// trusting it amounted to) and is REJECTED with ErrKeyVersion by the
+// fixed client, which checks freshness against its own clock.
+func TestBackdateTimestampAttack(t *testing.T) {
+	h := newHarness(t, 100)
+	rs, w := h.freshResponse(t, false)
+	if err := BackdateTimestamp().Apply(rs, w); err != nil {
+		t.Fatal(err)
+	}
+
+	legacy := &verify.Verifier{
+		Key: signer(t).Public(), Acc: h.ver.Acc, Schema: h.ver.Schema,
+		Now: func() int64 { return w.Timestamp },
+	}
+	if err := legacy.Verify(rs, w); err != nil {
+		t.Fatalf("old edge-clock semantics no longer accept the backdated VO (attack demo broken): %v", err)
+	}
+
+	if err := h.ver.Verify(rs, w); !errors.Is(err, verify.ErrKeyVersion) {
+		t.Fatalf("backdated VO: %v, want ErrKeyVersion", err)
+	}
+}
+
 func TestCrossTableReplaySkipsSameName(t *testing.T) {
 	a := CrossTableReplay("items")
 	rs := &vo.ResultSet{Table: "items"}

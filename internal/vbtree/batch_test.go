@@ -1,0 +1,293 @@
+package vbtree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/storage"
+	"edgeauth/internal/workload"
+)
+
+var (
+	batchKeyOnce sync.Once
+	batchKey     *sig.PrivateKey
+)
+
+func batchSigner(t testing.TB) *sig.PrivateKey {
+	t.Helper()
+	batchKeyOnce.Do(func() { batchKey = sig.MustGenerateKey(512) })
+	return batchKey
+}
+
+// newBatchTree builds a tree over the workload spec with the given fill.
+func newBatchTree(t testing.TB, rows int, fill float64) (*Tree, *schema.Schema, []schema.Tuple) {
+	t.Helper()
+	k := batchSigner(t)
+	spec := workload.DefaultSpec(rows)
+	sch, err := spec.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := spec.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := storage.NewMemPager(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := storage.NewBufferPool(mem, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := storage.NewHeapFile(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(Config{
+		Pool: bp, Heap: heap, Schema: sch, Acc: digest.MustNew(digest.DefaultParams()),
+		Signer: k, Pub: k.Public(), BuildParallelism: 4,
+	}, tuples, fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, sch, tuples
+}
+
+func batchRow(sch *schema.Schema, id int64) schema.Tuple {
+	vals := make([]schema.Datum, len(sch.Columns))
+	vals[0] = schema.Int64(id)
+	for c := 1; c < len(vals); c++ {
+		vals[c] = schema.Str(fmt.Sprintf("batch-payload-%08d", id))
+	}
+	return schema.Tuple{Values: vals}
+}
+
+// TestInsertBatchMatchesPerTuple checks the batch path lands on the exact
+// same tree as per-tuple inserts: same structure, same digests, same
+// (deterministic) root signature — the commutative combiner at work.
+func TestInsertBatchMatchesPerTuple(t *testing.T) {
+	perTuple, sch, _ := newBatchTree(t, 200, 0.7)
+	batched, _, _ := newBatchTree(t, 200, 0.7)
+
+	var rows []schema.Tuple
+	for i := int64(0); i < 40; i++ {
+		rows = append(rows, batchRow(sch, 10_000+i*3))
+	}
+	for _, r := range rows {
+		if err := perTuple.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, opErrs, err := batched.InsertBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range opErrs {
+		if e != nil {
+			t.Fatalf("op %d failed: %v", i, e)
+		}
+	}
+	if stats.Applied != len(rows) {
+		t.Fatalf("applied %d of %d", stats.Applied, len(rows))
+	}
+	if stats.RootResigns != 1 {
+		t.Fatalf("root re-signed %d times, want 1", stats.RootResigns)
+	}
+	if !perTuple.RootSig().Equal(batched.RootSig()) {
+		t.Fatal("batched tree's root signature diverges from per-tuple inserts")
+	}
+	if perTuple.Height() != batched.Height() {
+		t.Fatalf("heights diverge: %d vs %d", perTuple.Height(), batched.Height())
+	}
+	if _, err := batched.Audit(); err != nil {
+		t.Fatalf("audit after batch: %v", err)
+	}
+}
+
+// TestInsertBatchVerifiesEndToEnd runs a verified query over a
+// batch-mutated tree, covering splits and root growth.
+func TestInsertBatchVerifiesEndToEnd(t *testing.T) {
+	tree, sch, tuples := newBatchTree(t, 150, 1.0)
+
+	// Sequential keys beyond the existing range: forces leaf splits and at
+	// least one level of growth at this page size.
+	var rows []schema.Tuple
+	for i := int64(0); i < 300; i++ {
+		rows = append(rows, batchRow(sch, 50_000+i))
+	}
+	stats, opErrs, err := tree.InsertBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range opErrs {
+		if e != nil {
+			t.Fatalf("op %d failed: %v", i, e)
+		}
+	}
+	if stats.Applied != len(rows) {
+		t.Fatalf("applied %d of %d", stats.Applied, len(rows))
+	}
+	if n, err := tree.Audit(); err != nil || n != len(tuples)+len(rows) {
+		t.Fatalf("audit: n=%d err=%v, want %d tuples", n, err, len(tuples)+len(rows))
+	}
+
+	lo, hi := schema.Int64(50_010), schema.Int64(50_030)
+	rs, w, err := tree.RunQuery(context.Background(), Query{Lo: &lo, Hi: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Tuples) != 21 {
+		t.Fatalf("queried %d rows, want 21", len(rs.Tuples))
+	}
+	if w.TopDigest == nil {
+		t.Fatal("query over batch-built region returned no VO anchor")
+	}
+}
+
+// TestInsertBatchSignerCounting pins the headline accounting: a batch
+// spends (columns+1) signatures per tuple — the per-tuple attribute and
+// tuple digests no batching can avoid — plus exactly one signature per
+// dirtied node, with the root re-signed once per batch instead of once
+// per tuple.
+func TestInsertBatchSignerCounting(t *testing.T) {
+	tree, sch, _ := newBatchTree(t, 200, 0.6)
+	k := batchSigner(t)
+	var ctr digest.Counters
+	k.SetCounters(&ctr)
+	defer k.SetCounters(nil)
+
+	var rows []schema.Tuple
+	for i := int64(0); i < 32; i++ {
+		rows = append(rows, batchRow(sch, 20_000+i*11))
+	}
+	ctr.Reset()
+	stats, opErrs, err := tree.InsertBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range opErrs {
+		if e != nil {
+			t.Fatalf("op %d failed: %v", i, e)
+		}
+	}
+	signs := ctr.Snapshot().SignOps
+	perTupleFloor := int64(stats.Applied) * int64(len(sch.Columns)+1)
+	if got, want := signs, perTupleFloor+int64(stats.NodesResigned); got != want {
+		t.Fatalf("batch spent %d signatures, want %d (= %d per-tuple + %d node re-signs)",
+			got, want, perTupleFloor, stats.NodesResigned)
+	}
+	if stats.RootResigns != 1 {
+		t.Fatalf("root re-signed %d times, want exactly 1 per committed batch", stats.RootResigns)
+	}
+	// The dirtied-node set must be a batch-level quantity, not a per-tuple
+	// one: far fewer node re-signs than tuples×height.
+	if stats.NodesResigned >= stats.Applied*tree.Height() {
+		t.Fatalf("%d node re-signs for %d tuples at height %d — no amortization",
+			stats.NodesResigned, stats.Applied, tree.Height())
+	}
+
+	// Reference point: the per-tuple path re-signs every path node (root
+	// included) for every insert.
+	ctr.Reset()
+	for i := int64(0); i < 8; i++ {
+		if err := tree.Insert(batchRow(sch, 30_000+i*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perSigns := ctr.Snapshot().SignOps
+	wantMin := 8 * int64(len(sch.Columns)+1+tree.Height()) // splits only add to this
+	if perSigns < wantMin {
+		t.Fatalf("per-tuple inserts spent %d signatures, expected at least %d", perSigns, wantMin)
+	}
+}
+
+// TestInsertBatchPerOpErrors checks duplicate keys (against the table and
+// inside the batch) fail individually without aborting the batch.
+func TestInsertBatchPerOpErrors(t *testing.T) {
+	tree, sch, _ := newBatchTree(t, 100, 1.0)
+
+	rows := []schema.Tuple{
+		batchRow(sch, 40_000),
+		batchRow(sch, 50), // exists in the base table
+		batchRow(sch, 40_001),
+		batchRow(sch, 40_000),                          // duplicates inside the batch
+		{Values: []schema.Datum{schema.Int64(40_002)}}, // wrong arity
+		batchRow(sch, 40_003),
+	}
+	stats, opErrs, err := tree.InsertBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 3 {
+		t.Fatalf("applied %d, want 3", stats.Applied)
+	}
+	for _, i := range []int{0, 2, 5} {
+		if opErrs[i] != nil {
+			t.Fatalf("op %d failed: %v", i, opErrs[i])
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if !errors.Is(opErrs[i], ErrDuplicateKey) {
+			t.Fatalf("op %d error = %v, want ErrDuplicateKey", i, opErrs[i])
+		}
+	}
+	if opErrs[4] == nil {
+		t.Fatal("wrong-arity tuple accepted")
+	}
+	if _, err := tree.Audit(); err != nil {
+		t.Fatalf("audit after partial batch: %v", err)
+	}
+	// The applied rows are queryable; the failed ones did not corrupt.
+	for _, id := range []int64{40_000, 40_001, 40_003} {
+		if _, found, err := tree.Search(schema.Int64(id)); err != nil || !found {
+			t.Fatalf("row %d missing after batch (err=%v)", id, err)
+		}
+	}
+}
+
+// TestInsertBatchEmptyAndReadOnly covers the degenerate inputs.
+func TestInsertBatchEmptyAndReadOnly(t *testing.T) {
+	tree, sch, _ := newBatchTree(t, 50, 1.0)
+	before := tree.RootSig()
+	stats, opErrs, err := tree.InsertBatch(nil)
+	if err != nil || opErrs != nil || stats.Applied != 0 || stats.RootResigns != 0 {
+		t.Fatalf("empty batch: stats=%+v errs=%v err=%v", stats, opErrs, err)
+	}
+	if !tree.RootSig().Equal(before) {
+		t.Fatal("empty batch changed the root signature")
+	}
+
+	// All-duplicates batch: nothing applied, nothing re-signed.
+	stats, opErrs, err = tree.InsertBatch([]schema.Tuple{batchRow(sch, 1), batchRow(sch, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 0 || stats.NodesResigned != 0 || stats.RootResigns != 0 {
+		t.Fatalf("all-duplicate batch stats = %+v, want zeros", stats)
+	}
+	if !errors.Is(opErrs[0], ErrDuplicateKey) || !errors.Is(opErrs[1], ErrDuplicateKey) {
+		t.Fatalf("all-duplicate batch errors = %v", opErrs)
+	}
+	if !tree.RootSig().Equal(before) {
+		t.Fatal("no-op batch changed the root signature")
+	}
+
+	// Edge replicas cannot batch-insert.
+	k := batchSigner(t)
+	replica, err := Open(Config{
+		Pool: tree.bp, Heap: tree.heap, Schema: tree.sch, Acc: tree.acc, Pub: k.Public(),
+	}, tree.Root(), tree.Height(), tree.RootSig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := replica.InsertBatch([]schema.Tuple{batchRow(sch, 60_000)}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only batch insert: %v, want ErrReadOnly", err)
+	}
+}

@@ -2,7 +2,6 @@ package vbtree
 
 import (
 	"fmt"
-	"sync"
 
 	"edgeauth/internal/digest"
 	"edgeauth/internal/schema"
@@ -30,64 +29,14 @@ func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
 		return nil, fmt.Errorf("vbtree: fill factor %v out of (0,1]", fill)
 	}
 
-	type prepared struct {
-		keyBytes []byte
-		rid      storage.RecordID
-		ut       digest.Value // unsigned tuple digest
-		dt       sig.Signature
-	}
-	prep := make([]prepared, len(tuples))
-
-	// Phase 1: digests + signatures, parallel across tuples.
-	var firstErr error
-	var errMu sync.Mutex
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
+	// Phase 1: digests + signatures, parallel across tuples (the same
+	// presign pool the batched insert path uses).
+	opErrs := make([]error, len(tuples))
+	prep := t.presignTuples(tuples, opErrs)
+	for i, e := range opErrs {
+		if e != nil {
+			return nil, fmt.Errorf("vbtree: preparing tuple %d: %w", i, e)
 		}
-		errMu.Unlock()
-	}
-	stored := make([][]byte, len(tuples)) // encoded heap records
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < t.buildPar; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				tup := tuples[i]
-				attrs, ut, err := t.tupleDigests(tup)
-				if err != nil {
-					setErr(err)
-					continue
-				}
-				st, err := t.makeStored(tup, attrs)
-				if err != nil {
-					setErr(err)
-					continue
-				}
-				dt, err := t.sign(ut)
-				if err != nil {
-					setErr(err)
-					continue
-				}
-				prep[i] = prepared{
-					keyBytes: tup.Key(t.sch).KeyBytes(),
-					ut:       ut,
-					dt:       dt,
-				}
-				stored[i] = st.EncodeBytes()
-			}
-		}()
-	}
-	for i := range tuples {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
 	}
 
 	// Key-order check (strictly increasing).
@@ -98,12 +47,13 @@ func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
 	}
 
 	// Phase 2: heap inserts (sequential to keep record order stable).
+	rids := make([]storage.RecordID, len(prep))
 	for i := range prep {
-		rid, err := t.heap.Insert(stored[i])
+		rid, err := t.heap.Insert(prep[i].stored)
 		if err != nil {
 			return nil, err
 		}
-		prep[i].rid = rid
+		rids[i] = rid
 	}
 
 	// Phase 3: pack leaves.
@@ -145,7 +95,7 @@ func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
 			}
 		}
 		cur.keys = append(cur.keys, prep[i].keyBytes)
-		cur.rids = append(cur.rids, prep[i].rid)
+		cur.rids = append(cur.rids, rids[i])
 		cur.sigs = append(cur.sigs, prep[i].dt)
 		if err := curAcc.Add(prep[i].ut); err != nil {
 			return nil, err

@@ -96,9 +96,12 @@ func newHarness(t testing.TB, n, pageSize int, withLocks bool) *harness {
 	}
 	return &harness{
 		tree: tree,
-		ver:  &verify.Verifier{Key: k.Public(), Acc: acc, Schema: cfg.Schema},
-		key:  k,
-		cfg:  cfg,
+		// The tree's clock is pinned above, so the verifier's clock pins to
+		// the same instant (freshness is e2e-tested in verify and tamper).
+		ver: &verify.Verifier{Key: k.Public(), Acc: acc, Schema: cfg.Schema,
+			Now: func() int64 { return 1_700_000_000 }},
+		key: k,
+		cfg: cfg,
 	}
 }
 
@@ -703,7 +706,8 @@ func TestKeyVersionEnforced(t *testing.T) {
 	expired.Version = 0
 	expired.NotAfter = 1_600_000_000 // before the VO timestamp
 	reg.Put(expired)
-	ver := &verify.Verifier{Keys: reg, Acc: h.tree.Accumulator(), Schema: h.tree.Schema()}
+	ver := &verify.Verifier{Keys: reg, Acc: h.tree.Accumulator(), Schema: h.tree.Schema(),
+		Now: func() int64 { return 1_700_000_000 }}
 	if err := ver.Verify(rs, w); err == nil {
 		t.Fatal("expired key version accepted")
 	}

@@ -24,6 +24,7 @@ package verify
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"edgeauth/internal/digest"
 	"edgeauth/internal/schema"
@@ -40,9 +41,21 @@ var (
 	ErrBadSignature = errors.New("verify: invalid signature in VO")
 	// ErrKeyVersion marks an unknown or expired signing-key version.
 	ErrKeyVersion = errors.New("verify: signing key version not valid")
+	// ErrFreshness marks a VO timestamp outside the clock-skew window
+	// (backdated or future-dated response). Freshness failures also match
+	// ErrKeyVersion — they are the §3.4 key-masquerade defence — but the
+	// distinct sentinel lets clients skip recovery steps (like refetching
+	// the trusted key) that cannot fix a stale timestamp.
+	ErrFreshness = errors.New("verify: response timestamp not fresh")
 	// ErrMalformed marks a structurally invalid result or VO.
 	ErrMalformed = errors.New("verify: malformed result or VO")
 )
+
+// DefaultMaxClockSkew is the freshness window applied when
+// Verifier.MaxClockSkew is zero: how far a VO's timestamp may deviate
+// from the verifier's own clock (either direction) before the response is
+// rejected.
+const DefaultMaxClockSkew = 5 * time.Minute
 
 // Verifier checks query results against the central server's public keys.
 type Verifier struct {
@@ -54,9 +67,63 @@ type Verifier struct {
 	Acc *digest.Accumulator
 	// Schema is the base-table schema (for column name/type resolution).
 	Schema *schema.Schema
+	// Now supplies the verifier's own clock (Unix seconds); nil selects
+	// time.Now. Key validity (§3.4) is resolved against THIS clock — the
+	// VO's timestamp is attacker-controlled on a compromised edge, so
+	// trusting it would let a backdated response resurrect an expired
+	// signing key.
+	Now func() int64
+	// MaxClockSkew bounds |Now - VO.Timestamp|: responses stamped further
+	// in the past (edge replaying an old answer) or the future
+	// (pre-forging against an upcoming window) are rejected with
+	// ErrKeyVersion. 0 selects DefaultMaxClockSkew; negative disables the
+	// timestamp bound (key validity is still checked at Now).
+	MaxClockSkew time.Duration
 }
 
-// resolveKey picks the public key for a VO.
+// now resolves the verifier's clock.
+func (v *Verifier) now() int64 {
+	if v.Now != nil {
+		return v.Now()
+	}
+	return time.Now().Unix()
+}
+
+// skewSeconds resolves MaxClockSkew; negative means disabled. Positive
+// sub-second windows round up to one second (the VO timestamp has
+// one-second resolution, so a zero-second window would reject almost
+// everything).
+func (v *Verifier) skewSeconds() int64 {
+	switch {
+	case v.MaxClockSkew == 0:
+		return int64(DefaultMaxClockSkew / time.Second)
+	case v.MaxClockSkew < 0:
+		return -1
+	default:
+		return int64((v.MaxClockSkew + time.Second - 1) / time.Second)
+	}
+}
+
+// checkFreshness rejects VO timestamps outside the clock-skew window
+// around the verifier's own clock.
+func (v *Verifier) checkFreshness(voTimestamp, atUnix int64) error {
+	skew := v.skewSeconds()
+	if skew < 0 {
+		return nil
+	}
+	if voTimestamp < atUnix-skew {
+		return fmt.Errorf("%w: %w: VO timestamp %d is %ds behind the client clock %d (max skew %ds) — backdated response",
+			ErrKeyVersion, ErrFreshness, voTimestamp, atUnix-voTimestamp, atUnix, skew)
+	}
+	if voTimestamp > atUnix+skew {
+		return fmt.Errorf("%w: %w: VO timestamp %d is %ds ahead of the client clock %d (max skew %ds) — future-dated response",
+			ErrKeyVersion, ErrFreshness, voTimestamp, voTimestamp-atUnix, atUnix, skew)
+	}
+	return nil
+}
+
+// resolveKey picks the public key for a VO. atUnix is the verifier's own
+// clock reading, never the edge-supplied timestamp.
 func (v *Verifier) resolveKey(keyVersion uint32, atUnix int64) (*sig.PublicKey, error) {
 	if v.Keys != nil {
 		k, err := v.Keys.Resolve(keyVersion, atUnix)
@@ -97,7 +164,15 @@ func (v *Verifier) Verify(rs *vo.ResultSet, w *vo.VO) error {
 	if w.TopLevel < 1 {
 		return fmt.Errorf("%w: top level %d", ErrMalformed, w.TopLevel)
 	}
-	pub, err := v.resolveKey(w.KeyVersion, w.Timestamp)
+	// Freshness (§3.4): the key's validity is resolved against the
+	// client's own clock. The VO timestamp comes from the untrusted edge —
+	// it is only checked for plausibility (within the skew window), never
+	// used to time-travel key validity.
+	at := v.now()
+	if err := v.checkFreshness(w.Timestamp, at); err != nil {
+		return err
+	}
+	pub, err := v.resolveKey(w.KeyVersion, at)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"edgeauth/internal/digest"
 	"edgeauth/internal/schema"
@@ -126,6 +127,7 @@ func TestHandBuiltLeafLevelVO(t *testing.T) {
 		Tuples:  []schema.Tuple{h.tuples[0], h.tuples[2]},
 	}
 	w := &vo.VO{
+		Timestamp: time.Now().Unix(),
 		TopLevel:  1,
 		TopDigest: h.sign(t, uLeaf),
 		DS: []vo.Entry{
@@ -158,6 +160,7 @@ func TestHandBuiltTwoLevelVO(t *testing.T) {
 		Tuples:  []schema.Tuple{h.tuples[0], h.tuples[1]},
 	}
 	w := &vo.VO{
+		Timestamp: time.Now().Unix(),
 		TopLevel:  2,
 		TopDigest: h.sign(t, uRoot),
 		DS:        []vo.Entry{{Sig: h.sign(t, uL2), Lift: 1}},
@@ -174,6 +177,7 @@ func TestHandBuiltTwoLevelVO(t *testing.T) {
 		Tuples:  []schema.Tuple{h.tuples[0]},
 	}
 	w2 := &vo.VO{
+		Timestamp: time.Now().Unix(),
 		TopLevel:  2,
 		TopDigest: h.sign(t, uRoot),
 		DS: []vo.Entry{
@@ -206,6 +210,7 @@ func TestHandBuiltProjectionVO(t *testing.T) {
 		},
 	}
 	w := &vo.VO{
+		Timestamp: time.Now().Unix(),
 		TopLevel:  1,
 		TopDigest: h.sign(t, uLeaf),
 		DP:        []sig.Signature{h.aSigs[0][1], h.aSigs[1][1]},
@@ -228,7 +233,7 @@ func TestHandBuiltProjectionVO(t *testing.T) {
 func TestVerifierConfigErrors(t *testing.T) {
 	h := buildHand(t, []string{"a"})
 	rs := &vo.ResultSet{DB: "db", Table: "t", Columns: []string{"id", "val"}}
-	w := &vo.VO{TopLevel: 1, TopDigest: h.dT[0]}
+	w := &vo.VO{Timestamp: time.Now().Unix(), TopLevel: 1, TopDigest: h.dT[0]}
 
 	bad := &Verifier{}
 	if err := bad.Verify(rs, w); err == nil {
@@ -279,7 +284,7 @@ func TestVerifyRejectsTypeMismatch(t *testing.T) {
 		Keys:    []schema.Datum{h.tuples[0].Values[0]},
 		Tuples:  []schema.Tuple{{Values: []schema.Datum{schema.Str("not-an-int"), h.tuples[0].Values[1]}}},
 	}
-	w := &vo.VO{TopLevel: 1, TopDigest: h.sign(t, uLeaf)}
+	w := &vo.VO{Timestamp: time.Now().Unix(), TopLevel: 1, TopDigest: h.sign(t, uLeaf)}
 	if err := h.verifier().Verify(rs, w); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("type-mismatched tuple: %v, want ErrMalformed", err)
 	}

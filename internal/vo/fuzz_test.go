@@ -1,0 +1,81 @@
+package vo
+
+import (
+	"bytes"
+	"testing"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+)
+
+// Fuzz targets for the decoders that parse edge-supplied (i.e. untrusted)
+// bytes at the client. The invariants are: never panic, never
+// over-consume, and successful decodes must round-trip byte-identically —
+// a decoder that "repairs" attacker input would be a verification hazard.
+
+func seedVO() *VO {
+	return &VO{
+		KeyVersion: 3,
+		Timestamp:  1_700_000_000,
+		TopLevel:   2,
+		TopDigest:  sig.Signature{1, 2, 3, 4},
+		DS: []Entry{
+			{Sig: sig.Signature{5, 6}, Lift: 1},
+			{Sig: sig.Signature{7}, Lift: 2},
+		},
+		DP: []sig.Signature{{8, 9, 10}},
+	}
+}
+
+func FuzzDecodeVO(f *testing.F) {
+	f.Add(seedVO().Encode(nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := DecodeVO(data)
+		if err != nil {
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("DecodeVO consumed %d of %d bytes", n, len(data))
+		}
+		re := v.Encode(nil)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("VO round-trip mismatch: decoded %d bytes, re-encoded %d", n, len(re))
+		}
+		if v.WireSize() != len(re) {
+			t.Fatalf("WireSize %d != encoded size %d", v.WireSize(), len(re))
+		}
+	})
+}
+
+func seedResultSet() *ResultSet {
+	return &ResultSet{
+		DB: "db", Table: "items",
+		Columns: []string{"id", "val"},
+		Keys:    []schema.Datum{schema.Int64(1), schema.Int64(2)},
+		Tuples: []schema.Tuple{
+			schema.NewTuple(schema.Int64(1), schema.Str("a")),
+			schema.NewTuple(schema.Int64(2), schema.Str("b")),
+		},
+	}
+}
+
+func FuzzDecodeResultSet(f *testing.F) {
+	f.Add(seedResultSet().Encode(nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x00}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, n, err := DecodeResultSet(data)
+		if err != nil {
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("DecodeResultSet consumed %d of %d bytes", n, len(data))
+		}
+		re := rs.Encode(nil)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("result-set round-trip mismatch at %d bytes", n)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -18,12 +19,50 @@ type Op struct {
 	Kind RecordType
 	// Tuple is set for RecInsert.
 	Tuple schema.Tuple
+	// Tuples is set for RecBatch (a group-committed insert batch).
+	Tuples []schema.Tuple
 	// Lo/Hi bound the key range for RecDelete; nil means unbounded.
 	Lo, Hi *schema.Datum
 }
 
 // EncodeInsertPayload serializes an insert's payload.
 func EncodeInsertPayload(tup schema.Tuple) []byte { return tup.EncodeBytes() }
+
+// EncodeBatchPayload serializes a group-committed insert batch:
+// u32 count, then each tuple's encoding.
+func EncodeBatchPayload(tuples []schema.Tuple) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, uint32(len(tuples)))
+	for _, tup := range tuples {
+		out = tup.Encode(out)
+	}
+	return out
+}
+
+// DecodeBatchPayload parses a payload written by EncodeBatchPayload.
+func DecodeBatchPayload(payload []byte) ([]schema.Tuple, error) {
+	if len(payload) < 4 {
+		return nil, errors.New("wal: truncated batch payload")
+	}
+	count := int(binary.BigEndian.Uint32(payload))
+	if count < 0 || count > len(payload) {
+		return nil, fmt.Errorf("wal: implausible batch count %d", count)
+	}
+	off := 4
+	tuples := make([]schema.Tuple, 0, count)
+	for i := 0; i < count; i++ {
+		tup, used, err := schema.DecodeTuple(payload[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wal: batch tuple %d: %w", i, err)
+		}
+		off += used
+		tuples = append(tuples, tup)
+	}
+	if off != len(payload) {
+		return nil, errors.New("wal: trailing bytes in batch payload")
+	}
+	return tuples, nil
+}
 
 // EncodeDeletePayload serializes a key-range delete's payload:
 // presence byte + datum for each bound.
@@ -86,6 +125,12 @@ func ParseOp(r Record) (Op, error) {
 			return Op{}, fmt.Errorf("wal: delete record %d: %w", r.LSN, err)
 		}
 		op.Lo, op.Hi = lo, hi
+	case RecBatch:
+		tuples, err := DecodeBatchPayload(r.Payload)
+		if err != nil {
+			return Op{}, fmt.Errorf("wal: batch record %d: %w", r.LSN, err)
+		}
+		op.Tuples = tuples
 	case RecCheckpoint:
 	default:
 		return Op{}, fmt.Errorf("wal: record %d has unknown type %v", r.LSN, r.Type)
@@ -94,12 +139,22 @@ func ParseOp(r Record) (Op, error) {
 }
 
 // ReplayOps calls fn with the typed form of every record after the last
-// checkpoint, in LSN order.
+// checkpoint, in LSN order. Batch records are flattened into one RecInsert
+// op per tuple (sharing the batch's LSN), so consumers replay the same
+// logical history whether the writes were group-committed or not.
 func ReplayOps(path string, fn func(Op) error) error {
 	return Replay(path, func(r Record) error {
 		op, err := ParseOp(r)
 		if err != nil {
 			return err
+		}
+		if op.Kind == RecBatch {
+			for _, tup := range op.Tuples {
+				if err := fn(Op{LSN: op.LSN, Kind: RecInsert, Tuple: tup}); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 		return fn(op)
 	})

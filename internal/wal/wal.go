@@ -33,6 +33,9 @@ const (
 	// RecCheckpoint marks that all prior records are reflected in a
 	// durable snapshot and can be skipped on recovery.
 	RecCheckpoint
+	// RecBatch logs a group-committed insert batch as one record (one
+	// append, one fsync for the whole batch); payload encodes the tuples.
+	RecBatch
 )
 
 func (r RecordType) String() string {
@@ -43,6 +46,8 @@ func (r RecordType) String() string {
 		return "delete"
 	case RecCheckpoint:
 		return "checkpoint"
+	case RecBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(r))
 	}

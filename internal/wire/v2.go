@@ -114,6 +114,9 @@ const (
 	CodeStaleReplica
 	// CodeUnsupported means the server does not handle the message type.
 	CodeUnsupported
+	// CodeDuplicateKey means an insert collided with an existing primary
+	// key (reported per-op inside batch responses, or for single inserts).
+	CodeDuplicateKey
 )
 
 func (c ErrCode) String() string {
@@ -128,6 +131,8 @@ func (c ErrCode) String() string {
 		return "stale-replica"
 	case CodeUnsupported:
 		return "unsupported"
+	case CodeDuplicateKey:
+		return "duplicate-key"
 	}
 	return fmt.Sprintf("ErrCode(%d)", uint16(c))
 }
@@ -139,6 +144,7 @@ var (
 	ErrUnknownTable = errors.New("wire: unknown table")
 	ErrStaleReplica = errors.New("wire: stale replica")
 	ErrUnsupported  = errors.New("wire: unsupported request")
+	ErrDuplicateKey = errors.New("wire: duplicate key")
 )
 
 // WireError is the typed error frame body of protocol v2. It implements
@@ -169,6 +175,8 @@ func (e *WireError) Is(target error) bool {
 		return e.Code == CodeStaleReplica
 	case ErrUnsupported:
 		return e.Code == CodeUnsupported
+	case ErrDuplicateKey:
+		return e.Code == CodeDuplicateKey
 	}
 	return false
 }
@@ -222,4 +230,9 @@ func UnknownTable(server, table string) *WireError {
 // StaleReplica builds the typed error for a version/epoch divergence.
 func StaleReplica(table, msg string) *WireError {
 	return &WireError{Code: CodeStaleReplica, Table: table, Msg: msg}
+}
+
+// DuplicateKey builds the typed error for a primary-key collision.
+func DuplicateKey(table, msg string) *WireError {
+	return &WireError{Code: CodeDuplicateKey, Table: table, Msg: msg}
 }

@@ -71,6 +71,10 @@ const (
 	// framing is decided, so v1 peers can reject them gracefully.
 	MsgHello
 	MsgHelloResp
+	// MsgBatchReq / MsgBatchResp carry a group-committed insert batch to
+	// the central server and its typed per-op results back (see batch.go).
+	MsgBatchReq
+	MsgBatchResp
 )
 
 func (m MsgType) String() string {
@@ -85,6 +89,7 @@ func (m MsgType) String() string {
 		MsgVersionReq: "version-req", MsgVersionResp: "version-resp",
 		MsgDeltaReq: "delta-req", MsgDeltaResp: "delta-resp",
 		MsgHello: "hello", MsgHelloResp: "hello-resp",
+		MsgBatchReq: "batch-req", MsgBatchResp: "batch-resp",
 	}
 	if n, ok := names[m]; ok {
 		return n
