@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"edgeauth/internal/central"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/vbtree"
+	"edgeauth/internal/workload"
+)
+
+// Machine-readable benchmark mode (-json): a compact standard workload
+// whose results are emitted as one JSON document, so CI can archive a
+// BENCH_*.json per commit and the performance trajectory of the
+// implementation is a queryable artifact instead of prose in PR
+// descriptions.
+
+// JSONReport is the -json output document.
+type JSONReport struct {
+	// Configuration the numbers were measured under.
+	Rows     int   `json:"rows"`
+	KeyBits  int   `json:"key_bits"`
+	PageSize int   `json:"page_size"`
+	UnixTime int64 `json:"unix_time"`
+
+	// Ingest measures group-committed batch insert throughput at
+	// increasing shard counts (the sharded write path's headline claim:
+	// tuples/sec scales with shards on multicore).
+	Ingest []IngestPoint `json:"ingest"`
+
+	// Query measures verified point/range query latency and VO size at
+	// the client-observable level.
+	Query QueryPoint `json:"query"`
+}
+
+// IngestPoint is one ingest measurement.
+type IngestPoint struct {
+	Shards       int     `json:"shards"`
+	Batch        int     `json:"batch"`
+	Tuples       int     `json:"tuples"`
+	Seconds      float64 `json:"seconds"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	SignOps      uint64  `json:"sign_ops"`
+}
+
+// QueryPoint aggregates query-side measurements.
+type QueryPoint struct {
+	Samples        int     `json:"samples"`
+	RangeRows      int     `json:"range_rows"`
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+	VOBytesAvg     float64 `json:"vo_bytes_avg"`
+	ResultBytesAvg float64 `json:"result_bytes_avg"`
+}
+
+// runJSON executes the compact workload and writes the report.
+func runJSON(out io.Writer, rows, keyBits, pageSize int, shardCounts []int) error {
+	report := JSONReport{
+		Rows:     rows,
+		KeyBits:  keyBits,
+		PageSize: pageSize,
+		UnixTime: time.Now().Unix(),
+	}
+	key, err := sig.GenerateKey(keyBits)
+	if err != nil {
+		return err
+	}
+
+	const batch = 256
+	insertTotal := rows / 2
+	for _, shards := range shardCounts {
+		pt, err := measureIngest(key, rows, pageSize, shards, batch, insertTotal)
+		if err != nil {
+			return fmt.Errorf("ingest at %d shards: %w", shards, err)
+		}
+		report.Ingest = append(report.Ingest, pt)
+	}
+
+	qp, err := measureQueries(key, rows, pageSize)
+	if err != nil {
+		return fmt.Errorf("query measurement: %w", err)
+	}
+	report.Query = qp
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// benchServer builds a central server over the standard workload
+// schema. With evenKeys the table is built on keys 0,2,4,… so odd keys
+// are free for ingest and interleave across every shard.
+func benchServer(key *sig.PrivateKey, rows, pageSize, shards int, evenKeys bool) (*central.Server, *schema.Schema, error) {
+	srv, err := central.NewServerWithKey(central.Options{PageSize: pageSize, Shards: shards}, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := workload.DefaultSpec(rows)
+	sch, err := spec.Schema()
+	if err != nil {
+		return nil, nil, err
+	}
+	var tuples []schema.Tuple
+	if evenKeys {
+		for i := 0; i < rows; i++ {
+			tuples = append(tuples, benchRow(sch, int64(2*i)))
+		}
+	} else {
+		if tuples, err = spec.Tuples(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := srv.AddTable(sch, tuples); err != nil {
+		return nil, nil, err
+	}
+	return srv, sch, nil
+}
+
+func benchRow(sch *schema.Schema, id int64) schema.Tuple {
+	vals := make([]schema.Datum, len(sch.Columns))
+	vals[0] = schema.Int64(id)
+	for i := 1; i < len(vals); i++ {
+		vals[i] = schema.Str("bench-json-payload-row")
+	}
+	return schema.Tuple{Values: vals}
+}
+
+// measureIngest times batch ingest of insertTotal fresh tuples spread
+// across the key space (so every shard takes a share).
+func measureIngest(key *sig.PrivateKey, rows, pageSize, shards, batch, insertTotal int) (IngestPoint, error) {
+	srv, sch, err := benchServer(key, rows, pageSize, shards, true)
+	if err != nil {
+		return IngestPoint{}, err
+	}
+	defer srv.Close()
+	signsBefore := srv.Stats().SignOps
+
+	// The table holds even keys 0..2(rows-1); fresh odd keys interleave
+	// everywhere. Stride each batch across the whole span so every
+	// batch exercises every shard (the parallel write path).
+	nBatches := insertTotal / batch
+	if nBatches == 0 {
+		nBatches = 1
+	}
+	var batches [][]schema.Tuple
+	for j := 0; j < nBatches; j++ {
+		var b []schema.Tuple
+		for i := 0; i < batch; i++ {
+			k := i*nBatches + j
+			b = append(b, benchRow(sch, int64(2*(k%rows)+1)))
+		}
+		batches = append(batches, b)
+	}
+	start := time.Now()
+	applied := 0
+	for _, b := range batches {
+		opErrs, err := srv.ApplyBatch(sch.Table, b)
+		if err != nil {
+			return IngestPoint{}, err
+		}
+		for _, e := range opErrs {
+			if e == nil {
+				applied++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	return IngestPoint{
+		Shards:       shards,
+		Batch:        batch,
+		Tuples:       applied,
+		Seconds:      elapsed.Seconds(),
+		TuplesPerSec: float64(applied) / elapsed.Seconds(),
+		SignOps:      srv.Stats().SignOps - signsBefore,
+	}, nil
+}
+
+// measureQueries runs verified range queries against a single-shard
+// server and reports latency percentiles and VO sizes.
+func measureQueries(key *sig.PrivateKey, rows, pageSize int) (QueryPoint, error) {
+	srv, sch, err := benchServer(key, rows, pageSize, 1, false)
+	if err != nil {
+		return QueryPoint{}, err
+	}
+	defer srv.Close()
+
+	const samples = 100
+	const span = 20
+	lat := make([]float64, 0, samples)
+	var voBytes, rsBytes int
+	ctx := context.Background()
+	for i := 0; i < samples; i++ {
+		lo := schema.Int64(int64((i * 37) % (rows - span)))
+		hi := schema.Int64(lo.I + span - 1)
+		start := time.Now()
+		resp, err := srv.RunQuery(ctx, sch.Table, vbtree.Query{Lo: &lo, Hi: &hi})
+		if err != nil {
+			return QueryPoint{}, err
+		}
+		lat = append(lat, float64(time.Since(start).Microseconds()))
+		voBytes += resp.VO.WireSize()
+		rsBytes += resp.Result.WireSize()
+	}
+	sort.Float64s(lat)
+	return QueryPoint{
+		Samples:        samples,
+		RangeRows:      span,
+		P50Micros:      lat[len(lat)/2],
+		P99Micros:      lat[len(lat)*99/100],
+		VOBytesAvg:     float64(voBytes) / samples,
+		ResultBytesAvg: float64(rsBytes) / samples,
+	}, nil
+}

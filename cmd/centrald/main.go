@@ -7,6 +7,8 @@
 //
 //	centrald -listen :7001 -rows 10000 [-join] [-waldir /tmp/wal]
 //	         [-maxbatch 128] [-maxdelay 2ms]
+//	         [-shards 4] [-shard-split count|keyspan]
+//	         [-debug-addr 127.0.0.1:7101]
 //
 // -maxbatch and -maxdelay tune the group-commit front door: concurrent
 // single-insert requests for a table are coalesced and committed as one
@@ -15,16 +17,28 @@
 // for stragglers. Explicit batch requests (client.InsertBatch, multi-row
 // INSERT ... VALUES (...),(...) in vbquery) commit as one batch
 // regardless of these knobs.
+//
+// -shards range-partitions every table into that many independently
+// signed VB-tree shards bound by a central-signed shard map; insert
+// batches then re-sign shard roots in parallel. -shard-split picks the
+// boundary strategy: "count" balances build rows per shard, "keyspan"
+// divides the key interval evenly.
+//
+// -debug-addr serves expvar (including the server's live counters under
+// the "central" key) at http://ADDR/debug/vars.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"time"
 
 	"edgeauth/internal/central"
+	"edgeauth/internal/shardmap"
 	"edgeauth/internal/workload"
 )
 
@@ -43,10 +57,19 @@ func main() {
 		// version bump, one tree re-sign pass per round.
 		maxBatch = flag.Int("maxbatch", 0, "max inserts group-committed per round (0 = default 128, <0 = disable coalescing)")
 		maxDelay = flag.Duration("maxdelay", 0, "how long a group-commit leader waits for stragglers before committing (0 = commit immediately with whatever queued)")
+		// Range partitioning: independently-signed VB-tree shards bound
+		// by a central-signed shard map.
+		shards     = flag.Int("shards", 1, "range-partition each table into this many VB-tree shards")
+		shardSplit = flag.String("shard-split", "count", "shard boundary strategy: count (equal rows) or keyspan (equal key width)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar counters at http://ADDR/debug/vars (empty = disabled)")
 	)
 	flag.Parse()
 
 	log.SetPrefix("centrald: ")
+	strategy, err := shardmap.ParseStrategy(*shardSplit)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	srv, err := central.NewServer(central.Options{
 		KeyBits:        *keyBits,
@@ -56,6 +79,8 @@ func main() {
 		IdleTimeout:    *idle,
 		MaxBatch:       *maxBatch,
 		MaxDelay:       *maxDelay,
+		Shards:         *shards,
+		ShardSplit:     strategy,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -100,10 +125,25 @@ func main() {
 		log.Printf("materialized join view %q in %v", "user_orders", time.Since(start).Round(time.Millisecond))
 	}
 
+	if *debugAddr != "" {
+		expvar.Publish("central", expvar.Func(func() any { return srv.Stats() }))
+		go func() {
+			// DefaultServeMux carries expvar's /debug/vars handler.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		log.Printf("expvar counters at http://%s/debug/vars", *debugAddr)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("centrald serving tables %v on %s\n", srv.Tables(), ln.Addr())
+	if *shards > 1 {
+		fmt.Printf("centrald serving tables %v (%d shards each) on %s\n", srv.Tables(), *shards, ln.Addr())
+	} else {
+		fmt.Printf("centrald serving tables %v on %s\n", srv.Tables(), ln.Addr())
+	}
 	srv.Serve(ln)
 }

@@ -10,20 +10,31 @@
 // Usage:
 //
 //	edged -central 127.0.0.1:7001 -listen :7002 [-refresh 30s] [-tamper mutate-value]
+//	      [-debug-addr 127.0.0.1:7102]
+//
+// -tamper also accepts the shard-map attacks (drop-shard-from-map,
+// rewire-shard-digests), which corrupt the shard map served for
+// range-partitioned tables instead of individual query responses.
+//
+// -debug-addr serves expvar (including the edge's live counters under
+// the "edge" key) at http://ADDR/debug/vars.
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"edgeauth/internal/edge"
+	"edgeauth/internal/shardmap"
 	"edgeauth/internal/tamper"
 	"edgeauth/internal/vo"
 )
@@ -35,6 +46,7 @@ func main() {
 		refresh     = flag.Duration("refresh", 0, "update propagation interval (0 = never)")
 		idle        = flag.Duration("idletimeout", 0, "drop client connections idle past this (0 = default, <0 = never)")
 		tamperName  = flag.String("tamper", "", "simulate a compromised edge with the named attack (see internal/tamper)")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar counters at http://ADDR/debug/vars (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -63,9 +75,34 @@ func main() {
 				break
 			}
 		}
-		if !found {
-			log.Fatalf("unknown attack %q; available:", *tamperName)
+		for _, a := range tamper.MapAttacks() {
+			if a.Name == *tamperName {
+				attack := a
+				srv.SetMapTamper(func(sm *shardmap.Signed) *shardmap.Signed {
+					if err := attack.Apply(sm); err != nil {
+						log.Printf("map attack %q inapplicable: %v", attack.Name, err)
+					}
+					return sm
+				})
+				found = true
+				log.Printf("COMPROMISED MODE: applying map attack %q to every served shard map", a.Name)
+				break
+			}
 		}
+		if !found {
+			log.Fatalf("unknown attack %q (see internal/tamper All and MapAttacks)", *tamperName)
+		}
+	}
+
+	if *debugAddr != "" {
+		expvar.Publish("edge", expvar.Func(func() any { return srv.Stats() }))
+		go func() {
+			// DefaultServeMux carries expvar's /debug/vars handler.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		log.Printf("expvar counters at http://%s/debug/vars", *debugAddr)
 	}
 
 	// The refresh loop owns its ticker and stops when the server shuts

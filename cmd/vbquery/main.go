@@ -193,8 +193,12 @@ func runSelect(ctx context.Context, cl *client.Client, s *sqlmini.SelectStmt) er
 		}
 		fmt.Println(strings.Join(cells, " | "))
 	}
-	fmt.Printf("-- %d rows VERIFIED in %v (result %d B + VO %d B, %d signed digests)\n",
+	shards := ""
+	if res.ShardsQueried > 1 {
+		shards = fmt.Sprintf(" across %d shards", res.ShardsQueried)
+	}
+	fmt.Printf("-- %d rows VERIFIED in %v (result %d B + VO %d B, %d signed digests%s)\n",
 		len(res.Result.Tuples), elapsed.Round(time.Microsecond),
-		res.ResultBytes, res.VOBytes, res.VO.NumDigests())
+		res.ResultBytes, res.VOBytes, res.NumDigests(), shards)
 	return nil
 }

@@ -3,10 +3,12 @@ package central
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
 	"edgeauth/internal/schema"
+	"edgeauth/internal/shardmap"
 	"edgeauth/internal/vbtree"
 	"edgeauth/internal/wal"
 	"edgeauth/internal/wire"
@@ -17,22 +19,26 @@ import (
 //
 // The per-tuple Insert pays one WAL fsync, one changelog entry, one
 // published snapshot and one root-to-leaf re-sign chain per tuple.
-// ApplyBatch pays each of those once per batch: one t.mu critical
-// section, one RecBatch WAL record followed by a single Sync, one version
-// bump (so the delta changelog carries one dense entry instead of N
-// sparse ones), one snapshot publish, and — via vbtree.InsertBatch — one
-// RSA re-sign per dirtied tree node no matter how many tuples landed in
-// it.
+// ApplyBatch pays each of those once per shard per batch: the batch is
+// range-partitioned, each shard group commits as one unit (one RecBatch
+// WAL record + fsync, one shard version bump, one snapshot publish, one
+// RSA re-sign per dirtied node via vbtree.InsertBatch) — and the shard
+// groups commit in parallel, because every shard has its own tree, lock
+// and signed root. The RSA-bound repair phase, which PR 4 left
+// serialized on a single root, now scales with cores.
 //
 // The group-commit front door makes the win transparent to unmodified
-// clients: concurrent single-insert dispatches for the same table are
-// coalesced into ApplyBatch calls by a leader/follower protocol. The
-// first arrival becomes the leader, optionally waits MaxDelay for
-// stragglers, then commits everything queued (up to MaxBatch per round)
-// and distributes the per-op results; arrivals during a commit queue up
-// for the next round. With MaxDelay zero a lone insert commits
-// immediately — coalescing only kicks in under concurrency, so the idle
-// latency cost is nil.
+// clients: concurrent single-op dispatches for the same table are
+// coalesced by a leader/follower protocol. The first arrival becomes the
+// leader, optionally waits MaxDelay for stragglers, then commits
+// everything queued (up to MaxBatch inserts per round) and distributes
+// the per-op results; arrivals during a commit queue up for the next
+// round. Deletes flow through the same ordered queue: a delete acts as a
+// barrier — the leader first commits the inserts that arrived before it,
+// then runs the delete — so a delete can never commit ahead of an
+// earlier coalesced insert on the same table. With MaxDelay zero a lone
+// op commits immediately — coalescing only kicks in under concurrency,
+// so the idle latency cost is nil.
 
 // DefaultMaxBatch bounds one group-committed round when Options.MaxBatch
 // is zero.
@@ -54,7 +60,8 @@ func (s *Server) maxBatch() int {
 // ApplyBatch inserts tuples into a table as one group commit and returns
 // per-op errors (index-aligned; nil = inserted). Per-op failures such as
 // duplicate keys do not abort the rest of the batch; the error return is
-// reserved for table-level failures.
+// reserved for table-level failures. The batch is partitioned by key
+// range and the per-shard sub-batches commit in parallel.
 func (s *Server) ApplyBatch(tableName string, tuples []schema.Tuple) ([]error, error) {
 	t, err := s.table(tableName)
 	if err != nil {
@@ -63,64 +70,167 @@ func (s *Server) ApplyBatch(tableName string, tuples []schema.Tuple) ([]error, e
 	if len(tuples) == 0 {
 		return nil, nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var lsn uint64
-	if t.log != nil {
-		// One record, one fsync, for the whole batch. Replay flattens the
-		// record back into per-tuple inserts; tuples that fail per-op here
-		// fail identically (and as harmlessly) on replay.
-		if lsn, err = t.log.Append(wal.RecBatch, wal.EncodeBatchPayload(tuples)); err != nil {
-			return nil, err
-		}
-		if err := t.log.Sync(); err != nil {
-			return nil, err
+	for i, tup := range tuples {
+		if len(tup.Values) <= t.sch.Key {
+			return nil, &wire.WireError{Code: wire.CodeBadRequest, Table: tableName,
+				Msg: "central: batch tuple " + strconv.Itoa(i) + " has no key column"}
 		}
 	}
-	stats, opErrs, err := t.tree.InsertBatch(tuples)
+
+	// Partition the batch by shard, remembering each tuple's original
+	// index so per-op errors land back in caller order.
+	m := shardmap.Map{Boundaries: t.boundaries}
+	groups := make([][]schema.Tuple, len(t.shards))
+	indices := make([][]int, len(t.shards))
+	for i, tup := range tuples {
+		si := m.ShardFor(tup.Key(t.sch))
+		groups[si] = append(groups[si], tup)
+		indices[si] = append(indices[si], i)
+	}
+
+	opErrs := make([]error, len(tuples))
+	applied := make([]int, len(t.shards))
+	shardErrs := make([]error, len(t.shards))
+	var wg sync.WaitGroup
+	for si := range t.shards {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			n, errs, err := s.applyShardBatch(t, t.shards[si], groups[si])
+			applied[si] = n
+			shardErrs[si] = err
+			for j, e := range errs {
+				opErrs[indices[si][j]] = e
+			}
+		}(si)
+	}
+	wg.Wait()
+
+	totalApplied := 0
+	var firstErr error
+	for si := range t.shards {
+		totalApplied += applied[si]
+		if shardErrs[si] != nil && firstErr == nil {
+			firstErr = shardErrs[si]
+		}
+	}
+	// Shards that committed are durable even when a sibling shard
+	// failed, so the map must republish whenever anything applied —
+	// otherwise edges would never learn about the committed tuples.
+	if totalApplied > 0 {
+		s.stats.insertsApplied.Add(uint64(totalApplied))
+		s.stats.batchRounds.Add(1)
+		s.stats.batchOps.Add(uint64(len(tuples)))
+		s.stats.observeRound(len(tuples))
+		// One map re-sign covers every shard the batch touched. Shard
+		// locks are all released by now (see the commitMu ordering note
+		// on table).
+		if rerr := s.republishMap(t); rerr != nil && firstErr == nil {
+			firstErr = rerr
+		}
+	}
+	return opErrs, firstErr
+}
+
+// applyShardBatch commits one shard's sub-batch: one WAL record + fsync,
+// one tree InsertBatch (one re-sign per dirtied node), one version bump,
+// one snapshot publish. Returns how many tuples applied and the
+// sub-batch's per-op errors (aligned with its tuples).
+func (s *Server) applyShardBatch(t *table, sh *shard, tuples []schema.Tuple) (int, []error, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var lsn uint64
+	var err error
+	if sh.log != nil {
+		// One record, one fsync, for the whole sub-batch. Replay flattens
+		// the record back into per-tuple inserts; tuples that fail per-op
+		// here fail identically (and as harmlessly) on replay.
+		if lsn, err = sh.log.Append(wal.RecBatch, wal.EncodeBatchPayload(tuples)); err != nil {
+			return 0, nil, err
+		}
+		if err := sh.log.Sync(); err != nil {
+			return 0, nil, err
+		}
+	}
+	stats, opErrs, err := sh.tree.InsertBatch(tuples)
 	if err != nil {
-		t.stashJournal()
-		return opErrs, err
+		sh.stashJournal()
+		return 0, opErrs, err
 	}
 	if stats.Applied == 0 {
-		t.stashJournal()
-		return opErrs, nil
+		sh.stashJournal()
+		return 0, opErrs, nil
 	}
-	t.version++
-	pages := t.commitChange(t.version, lsn, s.retention())
-	return opErrs, s.publishCommitLocked(t, pages)
+	return stats.Applied, opErrs, s.commitShard(t, sh, lsn)
 }
 
-// pendingInsert is one coalesced single-insert dispatch awaiting its
+// pendingOp is one coalesced dispatch (insert or delete) awaiting its
 // group commit's outcome.
-type pendingInsert struct {
-	tup  schema.Tuple
-	done chan error // buffered; the leader always delivers exactly once
+type pendingOp struct {
+	// insert payload (when delete is false)
+	tup schema.Tuple
+	// delete payload
+	delete bool
+	lo, hi *schema.Datum
+
+	done chan opResult // buffered; the leader always delivers exactly once
 }
 
-// groupCommitter is the per-table coalescing queue.
+// opResult carries an op's outcome back to its waiting dispatcher.
+type opResult struct {
+	n   int // deleted-row count for deletes
+	err error
+}
+
+// groupCommitter is the per-table coalescing queue. Ops commit in
+// arrival order: runs of inserts coalesce into ApplyBatch rounds,
+// deletes execute alone at their queue position.
 type groupCommitter struct {
 	mu      sync.Mutex
-	queue   []*pendingInsert
+	queue   []*pendingOp
 	leading bool
 	// full is signalled (capacity 1, never blocking) when a waiting
-	// leader's round has filled to MaxBatch, so it commits immediately
-	// instead of sleeping out its MaxDelay.
+	// leader's round has filled to MaxBatch (or a delete arrived, which
+	// the leader should not sit on), so it commits immediately instead
+	// of sleeping out its MaxDelay.
 	full chan struct{}
 }
 
 // enqueueInsert routes one single-insert dispatch through the group
 // committer. The calling goroutine either becomes the leader (committing
-// every queued insert, its own included) or waits for a leader's result.
+// every queued op, its own included) or waits for a leader's result.
 func (s *Server) enqueueInsert(ctx context.Context, tableName string, tup schema.Tuple) error {
-	t, err := s.table(tableName)
-	if err != nil {
-		return err
-	}
 	if s.maxBatch() <= 1 {
 		return s.Insert(tableName, tup)
 	}
-	op := &pendingInsert{tup: tup, done: make(chan error, 1)}
+	res, err := s.enqueueOp(ctx, tableName, &pendingOp{tup: tup, done: make(chan opResult, 1)})
+	if err != nil {
+		return err
+	}
+	return res.err
+}
+
+// enqueueDelete routes a range delete through the same ordered queue, so
+// it cannot commit ahead of inserts that arrived before it.
+func (s *Server) enqueueDelete(ctx context.Context, tableName string, lo, hi *schema.Datum) (int, error) {
+	if s.maxBatch() <= 1 {
+		return s.DeleteRange(tableName, lo, hi)
+	}
+	res, err := s.enqueueOp(ctx, tableName, &pendingOp{delete: true, lo: lo, hi: hi, done: make(chan opResult, 1)})
+	if err != nil {
+		return 0, err
+	}
+	return res.n, res.err
+}
+
+func (s *Server) enqueueOp(ctx context.Context, tableName string, op *pendingOp) (opResult, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return opResult{}, err
+	}
 	gc := &t.gc
 	gc.mu.Lock()
 	if gc.full == nil {
@@ -128,7 +238,9 @@ func (s *Server) enqueueInsert(ctx context.Context, tableName string, tup schema
 	}
 	gc.queue = append(gc.queue, op)
 	if gc.leading {
-		if len(gc.queue) >= s.maxBatch() {
+		if len(gc.queue) >= s.maxBatch() || op.delete {
+			// Fill the round (or stop a waiting leader sitting on a
+			// delete barrier longer than it must).
 			select {
 			case gc.full <- struct{}{}:
 			default:
@@ -136,24 +248,24 @@ func (s *Server) enqueueInsert(ctx context.Context, tableName string, tup schema
 		}
 		gc.mu.Unlock()
 		select {
-		case err := <-op.done:
-			return err
+		case res := <-op.done:
+			return res, nil
 		case <-ctx.Done():
-			// The insert stays queued and will still commit; the caller
-			// only stops waiting for the acknowledgement — the same
-			// contract as a timed-out commit on any database.
-			return ctx.Err()
+			// The op stays queued and will still commit; the caller only
+			// stops waiting for the acknowledgement — the same contract
+			// as a timed-out commit on any database.
+			return opResult{}, ctx.Err()
 		}
 	}
 	gc.leading = true
 	gc.mu.Unlock()
 	s.awaitStragglers(gc)
 	s.leadCommits(tableName, gc)
-	return <-op.done
+	return <-op.done, nil
 }
 
-// awaitStragglers holds the leader for up to MaxDelay so concurrent
-// inserts can join its round, committing the moment the round fills.
+// awaitStragglers holds the leader for up to MaxDelay so concurrent ops
+// can join its round, committing the moment the round fills.
 func (s *Server) awaitStragglers(gc *groupCommitter) {
 	if s.opts.MaxDelay <= 0 {
 		return
@@ -178,22 +290,34 @@ func (s *Server) awaitStragglers(gc *groupCommitter) {
 	}
 }
 
-// leadCommits drains the queue in rounds of at most MaxBatch until it is
-// empty, then steps down. Arrivals during a round queue for the next one.
+// leadCommits drains the queue in arrival order until it is empty, then
+// steps down. Each round is either a run of consecutive inserts (at most
+// MaxBatch, committed via ApplyBatch) or a single delete. Arrivals
+// during a round queue for the next one.
 func (s *Server) leadCommits(tableName string, gc *groupCommitter) {
 	limit := s.maxBatch()
 	for {
 		gc.mu.Lock()
-		n := len(gc.queue)
-		if n == 0 {
+		if len(gc.queue) == 0 {
 			gc.leading = false
 			gc.mu.Unlock()
 			return
 		}
-		if n > limit {
-			n = limit
+		if gc.queue[0].delete {
+			// Delete barrier: commit it alone, in its arrival position.
+			op := gc.queue[0]
+			gc.queue = append(gc.queue[:0:0], gc.queue[1:]...)
+			gc.mu.Unlock()
+			n, err := s.DeleteRange(tableName, op.lo, op.hi)
+			op.done <- opResult{n: n, err: err}
+			continue
 		}
-		batch := make([]*pendingInsert, n)
+		// Take the longest prefix of inserts, bounded by the round limit.
+		n := 0
+		for n < len(gc.queue) && n < limit && !gc.queue[n].delete {
+			n++
+		}
+		batch := make([]*pendingOp, n)
 		copy(batch, gc.queue[:n])
 		gc.queue = append(gc.queue[:0:0], gc.queue[n:]...)
 		gc.mu.Unlock()
@@ -208,7 +332,7 @@ func (s *Server) leadCommits(tableName string, gc *groupCommitter) {
 			if e == nil && opErrs != nil {
 				e = opErrs[i]
 			}
-			op.done <- e
+			op.done <- opResult{err: e}
 		}
 	}
 }

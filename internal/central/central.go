@@ -1,15 +1,25 @@
 // Package central implements the trusted central DBMS of the paper's
 // Figure 2. It owns the private signing key, builds and maintains the
 // VB-trees over the base tables (and over materialized join views),
-// executes insert/delete transactions under the §3.4 locking protocol with
-// write-ahead logging, and serves snapshots ("DB + VB-trees") to edge
-// servers plus its public key to clients over an authenticated channel —
-// the stand-in for the paper's PKI.
+// executes insert/delete transactions with write-ahead logging, and
+// serves snapshots ("DB + VB-trees") to edge servers plus its public key
+// to clients over an authenticated channel — the stand-in for the
+// paper's PKI.
+//
+// Tables are range-partitioned by primary key into Options.Shards
+// independent VB-tree shards, each with its own signed root, buffer
+// pool, heap, WAL and delta changelog. A signed shard map
+// (internal/shardmap) binds the shards back into one verifiable
+// relation: the central server re-signs it on every commit, and clients
+// verify it before trusting any per-shard answer. Because each shard
+// root is signed independently, insert batches that land on different
+// shards re-sign in parallel — the RSA-bound write path scales with
+// cores instead of serializing on one root.
 //
 // Every committed update additionally publishes an immutable snapshot of
-// the table's page space (the same storage.PageStore mechanism the edges
+// the shard's page space (the same storage.PageStore mechanism the edges
 // use), so queries, edge snapshot pulls and delta serves read pinned
-// versions instead of contending with update batches for the table lock.
+// versions instead of contending with update batches for the shard lock.
 package central
 
 import (
@@ -22,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"edgeauth/internal/digest"
@@ -29,6 +40,7 @@ import (
 	"edgeauth/internal/query"
 	"edgeauth/internal/rpc"
 	"edgeauth/internal/schema"
+	"edgeauth/internal/shardmap"
 	"edgeauth/internal/sig"
 	"edgeauth/internal/storage"
 	"edgeauth/internal/vbtree"
@@ -46,11 +58,11 @@ type Options struct {
 	// digest.DefaultParams.
 	AccParams digest.Params
 	// WALDir, when non-empty, enables write-ahead logging of updates (one
-	// log per table) in that directory.
+	// log per shard) in that directory.
 	WALDir string
 	// BuildParallelism bounds signing workers during table builds.
 	BuildParallelism int
-	// DeltaRetention bounds the per-table changelog used to serve
+	// DeltaRetention bounds the per-shard changelog used to serve
 	// incremental updates to edge servers: the dirtied-page sets of the
 	// most recent DeltaRetention committed updates are retained. Edges
 	// whose replica version has fallen out of the window are told to pull
@@ -77,9 +89,18 @@ type Options struct {
 	// with whatever has queued — coalescing then happens only under
 	// genuine concurrency and adds no idle latency.
 	MaxDelay time.Duration
+	// Shards is how many range partitions each table is built with.
+	// 0 or 1 selects a single shard (the unsharded layout, fully
+	// compatible with pre-sharding edge servers and clients).
+	Shards int
+	// ShardSplit picks the boundary-selection strategy for the initial
+	// partition: shardmap.SplitByCount (default) balances build tuples
+	// per shard, shardmap.SplitByKeySpan divides the key interval
+	// evenly.
+	ShardSplit shardmap.Strategy
 }
 
-// DefaultDeltaRetention is the changelog depth kept per table when
+// DefaultDeltaRetention is the changelog depth kept per shard when
 // Options.DeltaRetention is zero.
 const DefaultDeltaRetention = 512
 
@@ -89,8 +110,9 @@ type Server struct {
 	opts   Options
 	key    *sig.PrivateKey
 	acc    *digest.Accumulator
-	locks  *lock.Manager
 	tables map[string]*table
+
+	stats serverCounters
 
 	lnMu      sync.Mutex
 	listeners []net.Listener
@@ -99,20 +121,42 @@ type Server struct {
 	closed    bool
 }
 
+// table is one range-partitioned relation: N shard trees plus the
+// signed map binding them.
 type table struct {
+	sch        *schema.Schema
+	epoch      uint64         // random per incarnation, shared by all shards
+	boundaries []schema.Datum // immutable after AddTable; len = len(shards)-1
+	shards     []*shard
+
+	// commitMu serializes shard-map version bumps and re-signs. It is
+	// never held while taking a shard's write lock (commits release
+	// their shard locks before republishing the map), so the two lock
+	// orders cannot deadlock.
+	commitMu   sync.Mutex
+	mapVersion uint64 // guarded by commitMu
+	smap       atomic.Pointer[shardmap.Signed]
+
+	// gc coalesces concurrent single-op dispatches into group commits.
+	gc groupCommitter
+}
+
+// shard is one independently-signed VB-tree over a key range.
+type shard struct {
 	mu      sync.RWMutex
-	sch     *schema.Schema
 	tree    *vbtree.Tree
 	pool    *storage.BufferPool
 	heap    *storage.HeapFile
 	log     *wal.Log
-	version uint64 // bumped on every committed update
-	epoch   uint64 // random per incarnation; versions compare only within it
+	version uint64 // bumped on every committed update to this shard
 
-	// store republishes the table as immutable snapshots, one per
+	// rootDigest caches the unsigned root digest after each commit, so
+	// map re-signs don't pay an RSA recovery per shard.
+	rootDigest digest.Value
+
+	// store republishes the shard as immutable snapshots, one per
 	// committed version: queries and replication reads pin a version and
-	// proceed without t.mu, so update batches and edge pulls stop
-	// contending.
+	// proceed without the shard lock.
 	store *storage.PageStore
 
 	// changes is the retained changelog: one entry per committed update,
@@ -121,19 +165,16 @@ type table struct {
 	// version bump.
 	changes []changeEntry
 	pending []storage.PageID
-
-	// gc coalesces concurrent single-insert dispatches into group commits.
-	gc groupCommitter
 }
 
-// snapState pins the table's current published snapshot and decodes its
+// snapState pins the shard's current published snapshot and decodes its
 // vbtree.TableState metadata. Callers must Release the snapshot.
-func (t *table) snapState() (*storage.Snapshot, *vbtree.TableState, error) {
-	snap := t.store.Acquire()
+func (sh *shard) snapState() (*storage.Snapshot, *vbtree.TableState, error) {
+	snap := sh.store.Acquire()
 	st, ok := snap.Meta().(*vbtree.TableState)
 	if !ok {
 		snap.Release()
-		return nil, nil, errors.New("central: table has no published version")
+		return nil, nil, errors.New("central: shard has no published version")
 	}
 	return snap, st, nil
 }
@@ -152,13 +193,6 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.KeyBits == 0 {
 		opts.KeyBits = sig.DefaultBits
 	}
-	if opts.PageSize == 0 {
-		opts.PageSize = storage.DefaultPageSize
-	}
-	zero := digest.Params{}
-	if opts.AccParams == zero {
-		opts.AccParams = digest.DefaultParams()
-	}
 	key, err := sig.GenerateKey(opts.KeyBits)
 	if err != nil {
 		return nil, err
@@ -176,17 +210,25 @@ func NewServerWithKey(opts Options, key *sig.PrivateKey) (*Server, error) {
 	if opts.AccParams == zero {
 		opts.AccParams = digest.DefaultParams()
 	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("central: negative shard count %d", opts.Shards)
+	}
+	if _, err := shardmap.ParseStrategy(string(opts.ShardSplit)); err != nil {
+		return nil, err
+	}
 	acc, err := digest.New(opts.AccParams)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		opts:   opts,
 		key:    key,
 		acc:    acc,
-		locks:  lock.NewManager(0),
 		tables: make(map[string]*table),
-	}, nil
+	}
+	// Route the key's sign-op count into the server's stats snapshot.
+	key.SetCounters(&s.stats.signOps)
+	return s, nil
 }
 
 // PublicKey returns the server's public key.
@@ -201,58 +243,100 @@ func (s *Server) SetKeyValidity(version uint32, notBefore, notAfter int64) {
 	s.key.SetValidity(version, notBefore, notAfter)
 }
 
-// AddTable builds a VB-tree over tuples (sorted by key) and registers the
-// table.
+// shardCount resolves Options.Shards.
+func (s *Server) shardCount() int {
+	if s.opts.Shards <= 1 {
+		return 1
+	}
+	return s.opts.Shards
+}
+
+// AddTable builds VB-tree shards over tuples (sorted by key) and
+// registers the table. With Options.Shards > 1 the tuples are
+// range-partitioned first and each shard gets an independent tree with
+// its own signed root; the signed shard map binding them is published
+// before the table becomes visible.
 func (s *Server) AddTable(sch *schema.Schema, tuples []schema.Tuple) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.tables[sch.Table]; exists {
 		return fmt.Errorf("central: table %q already exists", sch.Table)
 	}
-	mem, err := storage.NewMemPager(s.opts.PageSize)
+	boundaries, err := shardmap.Split(sch, tuples, s.shardCount(), s.opts.ShardSplit)
 	if err != nil {
 		return err
 	}
-	pool, err := storage.NewBufferPool(mem, 1<<20) // generous: pages stay resident
-	if err != nil {
-		return err
-	}
-	heap, err := storage.NewHeapFile(pool)
-	if err != nil {
-		return err
-	}
-	cfg := vbtree.Config{
-		Pool:             pool,
-		Heap:             heap,
-		Schema:           sch,
-		Acc:              s.acc,
-		Signer:           s.key,
-		Pub:              s.key.Public(),
-		Locks:            s.locks,
-		BuildParallelism: s.opts.BuildParallelism,
-	}
-	tree, err := vbtree.Build(cfg, tuples, 1.0)
-	if err != nil {
-		return err
-	}
+	groups := shardmap.Partition(sch, tuples, boundaries)
 	epoch, err := newEpoch()
 	if err != nil {
 		return err
 	}
-	store, err := storage.NewPageStore(s.opts.PageSize)
-	if err != nil {
+	t := &table{sch: sch, epoch: epoch, boundaries: boundaries}
+	for i, group := range groups {
+		sh, err := s.buildShard(sch, group, i, epoch)
+		if err != nil {
+			return err
+		}
+		t.shards = append(t.shards, sh)
+	}
+	if err := s.signMapLocked(t); err != nil {
 		return err
 	}
-	t := &table{sch: sch, tree: tree, pool: pool, heap: heap, epoch: epoch, store: store}
-	// Publish the built table as version 0's snapshot: every page of the
+	s.tables[sch.Table] = t
+	return nil
+}
+
+// buildShard constructs one shard's tree, publishes its baseline
+// snapshot and opens its WAL.
+func (s *Server) buildShard(sch *schema.Schema, tuples []schema.Tuple, idx int, epoch uint64) (*shard, error) {
+	mem, err := storage.NewMemPager(s.opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := storage.NewBufferPool(mem, 1<<20) // generous: pages stay resident
+	if err != nil {
+		return nil, err
+	}
+	heap, err := storage.NewHeapFile(pool)
+	if err != nil {
+		return nil, err
+	}
+	cfg := vbtree.Config{
+		Pool:   pool,
+		Heap:   heap,
+		Schema: sch,
+		Acc:    s.acc,
+		Signer: s.key,
+		Pub:    s.key.Public(),
+		// Each shard gets its own lock manager: shards have independent
+		// buffer pools whose page IDs overlap, so sharing one manager
+		// under the table-wide lock space would make parallel shard
+		// commits falsely contend (and falsely deadlock) on unrelated
+		// pages that happen to share an ID.
+		Locks:            lock.NewManager(0),
+		BuildParallelism: s.opts.BuildParallelism,
+	}
+	tree, err := vbtree.Build(cfg, tuples, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	store, err := storage.NewPageStore(s.opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{tree: tree, pool: pool, heap: heap, store: store}
+	if sh.rootDigest, err = tree.RootDigest(); err != nil {
+		return nil, err
+	}
+	// Publish the built shard as version 0's snapshot: every page of the
 	// pager becomes the read-path baseline.
 	pager := pool.Pager()
 	baseline := make([]storage.PageID, 0, pager.NumPages()-1)
 	for id := 1; id < pager.NumPages(); id++ {
 		baseline = append(baseline, storage.PageID(id))
 	}
-	if err := s.publishLocked(t, baseline); err != nil {
-		return err
+	if err := s.publishShard(sh, 0, epoch, baseline); err != nil {
+		return nil, err
 	}
 	if s.retention() > 0 {
 		// The initial build is the snapshot baseline; journal only the
@@ -260,14 +344,22 @@ func (s *Server) AddTable(sch *schema.Schema, tuples []schema.Tuple) error {
 		pool.EnableJournal()
 	}
 	if s.opts.WALDir != "" {
-		log, err := wal.Create(filepath.Join(s.opts.WALDir, sch.Table+".wal"))
+		log, err := wal.Create(filepath.Join(s.opts.WALDir, walName(sch.Table, idx)))
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t.log = log
+		sh.log = log
 	}
-	s.tables[sch.Table] = t
-	return nil
+	return sh, nil
+}
+
+// walName keeps shard 0 on the pre-sharding file name so single-shard
+// deployments read the same logs across upgrades.
+func walName(table string, shard int) string {
+	if shard == 0 {
+		return table + ".wal"
+	}
+	return fmt.Sprintf("%s.shard%d.wal", table, shard)
 }
 
 // newEpoch draws a random nonzero table-incarnation id. Replica versions
@@ -301,32 +393,32 @@ func (s *Server) retention() int {
 
 // commitChange attributes the pages journaled since the last call to the
 // just-committed version, trims the changelog to the retention window,
-// and returns the committed page set. Callers hold t.mu.
-func (t *table) commitChange(version, lsn uint64, retention int) []storage.PageID {
-	t.pending = append(t.pending, t.pool.DrainJournal()...)
-	entry := changeEntry{version: version, lsn: lsn, pages: t.pending}
-	t.pending = nil
-	t.changes = append(t.changes, entry)
-	if over := len(t.changes) - retention; over > 0 {
-		t.changes = append([]changeEntry(nil), t.changes[over:]...)
+// and returns the committed page set. Callers hold sh.mu.
+func (sh *shard) commitChange(version, lsn uint64, retention int) []storage.PageID {
+	sh.pending = append(sh.pending, sh.pool.DrainJournal()...)
+	entry := changeEntry{version: version, lsn: lsn, pages: sh.pending}
+	sh.pending = nil
+	sh.changes = append(sh.changes, entry)
+	if over := len(sh.changes) - retention; over > 0 {
+		sh.changes = append([]changeEntry(nil), sh.changes[over:]...)
 	}
 	return entry.pages
 }
 
-// publishLocked copies the given (just-dirtied) pages out of the live
+// publishShard copies the given (just-dirtied) pages out of the live
 // buffer pool into a copy-on-write overlay and publishes the result as
-// the table's next immutable snapshot, carrying the tree anchor for the
-// committed version. Callers hold t.mu (or have exclusive access during
+// the shard's next immutable snapshot, carrying the tree anchor for the
+// committed version. Callers hold sh.mu (or have exclusive access during
 // AddTable), which is what makes the copied pages a consistent cut.
-func (s *Server) publishLocked(t *table, pages []storage.PageID) error {
-	ov := t.store.Begin()
+func (s *Server) publishShard(sh *shard, version, epoch uint64, pages []storage.PageID) error {
+	ov := sh.store.Begin()
 	defer ov.Abort() // no-op once published
-	pager := t.pool.Pager()
+	pager := sh.pool.Pager()
 	for ov.NumPages() < pager.NumPages() {
 		ov.Allocate()
 	}
 	for _, id := range pages {
-		buf, err := t.pool.View(id)
+		buf, err := sh.pool.View(id)
 		if err != nil {
 			return err
 		}
@@ -335,24 +427,33 @@ func (s *Server) publishLocked(t *table, pages []storage.PageID) error {
 		}
 	}
 	ov.Publish(&vbtree.TableState{
-		Root:       t.tree.Root(),
-		Height:     t.tree.Height(),
-		RootSig:    t.tree.RootSig(),
-		HeapPages:  t.heap.Pages(),
+		Root:       sh.tree.Root(),
+		Height:     sh.tree.Height(),
+		RootSig:    sh.tree.RootSig(),
+		HeapPages:  sh.heap.Pages(),
 		KeyVersion: s.key.Public().Version,
-		Version:    t.version,
-		Epoch:      t.epoch,
+		Version:    version,
+		Epoch:      epoch,
 	})
 	return nil
 }
 
-// publishCommitLocked publishes a commit's pages. A failure does not
-// undo the commit — the update is WAL-logged and the version bumped —
-// it only means the published snapshot lags, so the pages are re-staged
-// and the next successful publish carries them.
-func (s *Server) publishCommitLocked(t *table, pages []storage.PageID) error {
-	if err := s.publishLocked(t, pages); err != nil {
-		t.pending = append(t.pending, pages...)
+// commitShard finishes one shard's committed update: bumps the shard
+// version, refreshes the cached root digest, attributes journaled pages
+// to the changelog and publishes the snapshot. Callers hold sh.mu. A
+// publish failure does not undo the commit — the update is WAL-logged
+// and the version bumped — it only means the published snapshot lags, so
+// the pages are re-staged and the next successful publish carries them.
+func (s *Server) commitShard(t *table, sh *shard, lsn uint64) error {
+	sh.version++
+	rd, err := sh.tree.RootDigest()
+	if err != nil {
+		return fmt.Errorf("central: recovering root digest: %w", err)
+	}
+	sh.rootDigest = rd
+	pages := sh.commitChange(sh.version, lsn, s.retention())
+	if err := s.publishShard(sh, sh.version, t.epoch, pages); err != nil {
+		sh.pending = append(sh.pending, pages...)
 		return fmt.Errorf("central: update committed but snapshot publish failed (will catch up on the next commit): %w", err)
 	}
 	return nil
@@ -360,13 +461,85 @@ func (s *Server) publishCommitLocked(t *table, pages []storage.PageID) error {
 
 // stashJournal collects journaled pages that did not result in a version
 // bump (e.g. a delete matching no rows) so they are attributed to the
-// next committed update instead of being lost. Callers hold t.mu.
-func (t *table) stashJournal() {
-	t.pending = append(t.pending, t.pool.DrainJournal()...)
+// next committed update instead of being lost. Callers hold sh.mu.
+func (sh *shard) stashJournal() {
+	sh.pending = append(sh.pending, sh.pool.DrainJournal()...)
+}
+
+// signMapLocked builds and signs the table's shard map from the shards'
+// current states. During AddTable the caller has exclusive access; after
+// commits, republishMap takes commitMu and brief shard read locks.
+func (s *Server) signMapLocked(t *table) error {
+	m := &shardmap.Map{
+		Table:      t.sch.Table,
+		Epoch:      t.epoch,
+		MapVersion: t.mapVersion,
+		KeyVersion: s.key.Public().Version,
+		SignedAt:   time.Now().Unix(),
+		Boundaries: t.boundaries,
+	}
+	for _, sh := range t.shards {
+		m.Shards = append(m.Shards, shardmap.ShardState{
+			RootDigest: append([]byte(nil), sh.rootDigest...),
+			Version:    sh.version,
+		})
+	}
+	signed, err := shardmap.Sign(m, s.key)
+	if err != nil {
+		return err
+	}
+	t.smap.Store(signed)
+	return nil
+}
+
+// republishMap re-signs the shard map after one or more shard commits.
+// It must not be called while holding any shard write lock (commit paths
+// release their shards first); the brief read locks here make each
+// (rootDigest, version) pair consistent.
+func (s *Server) republishMap(t *table) error {
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	t.mapVersion++
+	m := &shardmap.Map{
+		Table:      t.sch.Table,
+		Epoch:      t.epoch,
+		MapVersion: t.mapVersion,
+		KeyVersion: s.key.Public().Version,
+		SignedAt:   time.Now().Unix(),
+		Boundaries: t.boundaries,
+	}
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		m.Shards = append(m.Shards, shardmap.ShardState{
+			RootDigest: append([]byte(nil), sh.rootDigest...),
+			Version:    sh.version,
+		})
+		sh.mu.RUnlock()
+	}
+	signed, err := shardmap.Sign(m, s.key)
+	if err != nil {
+		return err
+	}
+	t.smap.Store(signed)
+	return nil
+}
+
+// SignedShardMap returns the table's current signed shard map.
+func (s *Server) SignedShardMap(tableName string) (*shardmap.Signed, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	sm := t.smap.Load()
+	if sm == nil {
+		return nil, errors.New("central: table has no shard map")
+	}
+	return sm, nil
 }
 
 // MaterializeJoin computes left ⋈ right on lcol = rcol and registers the
-// result as a view table with its own VB-tree (the paper's join story).
+// result as a view table with its own VB-tree shards (the paper's join
+// story).
 func (s *Server) MaterializeJoin(viewName, left, right, lcol, rcol string) error {
 	lt, err := s.table(left)
 	if err != nil {
@@ -391,16 +564,20 @@ func (s *Server) MaterializeJoin(viewName, left, right, lcol, rcol string) error
 	return s.AddTable(viewSch, viewTuples)
 }
 
+// scanTuples concatenates the shards' key-ordered scans; shards cover
+// disjoint ascending ranges, so the concatenation is key-sorted.
 func scanTuples(t *table) ([]schema.Tuple, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	stored, err := t.tree.ScanAll()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]schema.Tuple, len(stored))
-	for i, st := range stored {
-		out[i] = st.Tuple
+	var out []schema.Tuple
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		stored, err := sh.tree.ScanAll()
+		sh.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range stored {
+			out = append(out, st.Tuple)
+		}
 	}
 	return out, nil
 }
@@ -415,6 +592,33 @@ func (s *Server) table(name string) (*table, error) {
 	return t, nil
 }
 
+// shard resolves one shard of a table.
+func (s *Server) shard(name string, idx uint32) (*table, *shard, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int(idx) >= len(t.shards) {
+		return nil, nil, &wire.WireError{Code: wire.CodeBadRequest, Table: name,
+			Msg: fmt.Sprintf("central: table %q has %d shards, requested %d", name, len(t.shards), idx)}
+	}
+	return t, t.shards[idx], nil
+}
+
+// soleShard returns the table's only shard, or a typed error telling the
+// caller to switch to the shard-scoped protocol.
+func (s *Server) soleShard(name string) (*table, *shard, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(t.shards) != 1 {
+		return nil, nil, wire.NotSharded("central", name,
+			fmt.Sprintf("table %q is range-partitioned into %d shards; use the shard-scoped requests", name, len(t.shards)))
+	}
+	return t, t.shards[0], nil
+}
+
 // Tables lists registered tables in sorted order.
 func (s *Server) Tables() []string {
 	s.mu.RLock()
@@ -427,16 +631,28 @@ func (s *Server) Tables() []string {
 	return out
 }
 
-// Version returns a table's update version (edges use it for staleness
-// checks under the paper's periodic-propagation mode).
+// NumShards reports how many shards a table was built with.
+func (s *Server) NumShards(name string) (int, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.shards), nil
+}
+
+// Version returns a table's update version — the shard-map version,
+// which bumps once per committed update to any shard. (For single-shard
+// tables this matches the shard's own version.)
 func (s *Server) Version(name string) (uint64, error) {
 	t, err := s.table(name)
 	if err != nil {
 		return 0, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.version, nil
+	sm := t.smap.Load()
+	if sm == nil {
+		return 0, errors.New("central: table has no shard map")
+	}
+	return sm.Map.MapVersion, nil
 }
 
 // TableEpoch returns a table's incarnation id.
@@ -448,78 +664,110 @@ func (s *Server) TableEpoch(name string) (uint64, error) {
 	return t.epoch, nil
 }
 
-// Insert logs and applies a tuple insert.
+// shardFor routes a key to its shard index.
+func (t *table) shardFor(key schema.Datum) int {
+	m := shardmap.Map{Boundaries: t.boundaries}
+	return m.ShardFor(key)
+}
+
+// Insert logs and applies a tuple insert on the key's shard, then
+// republishes the signed shard map.
 func (s *Server) Insert(tableName string, tup schema.Tuple) error {
 	t, err := s.table(tableName)
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var lsn uint64
-	if t.log != nil {
-		if lsn, err = t.log.Append(wal.RecInsert, wal.EncodeInsertPayload(tup)); err != nil {
-			return err
-		}
-		if err := t.log.Sync(); err != nil {
-			return err
-		}
+	if len(tup.Values) <= t.sch.Key {
+		return fmt.Errorf("central: tuple has no key column for table %q", tableName)
 	}
-	if err := t.tree.Insert(tup); err != nil {
-		t.stashJournal()
+	sh := t.shards[t.shardFor(tup.Key(t.sch))]
+	if err := s.insertShard(t, sh, tup); err != nil {
 		return err
 	}
-	t.version++
-	pages := t.commitChange(t.version, lsn, s.retention())
-	return s.publishCommitLocked(t, pages)
+	s.stats.insertsApplied.Add(1)
+	return s.republishMap(t)
 }
 
-// DeleteRange logs and applies a key-range delete; returns the count.
+func (s *Server) insertShard(t *table, sh *shard, tup schema.Tuple) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var lsn uint64
+	var err error
+	if sh.log != nil {
+		if lsn, err = sh.log.Append(wal.RecInsert, wal.EncodeInsertPayload(tup)); err != nil {
+			return err
+		}
+		if err := sh.log.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := sh.tree.Insert(tup); err != nil {
+		sh.stashJournal()
+		return err
+	}
+	return s.commitShard(t, sh, lsn)
+}
+
+// DeleteRange logs and applies a key-range delete across every shard the
+// range intersects; returns the total count.
 func (s *Server) DeleteRange(tableName string, lo, hi *schema.Datum) (int, error) {
 	t, err := s.table(tableName)
 	if err != nil {
 		return 0, err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	m := shardmap.Map{Boundaries: t.boundaries, Shards: make([]shardmap.ShardState, len(t.shards))}
+	first, last := m.ShardsForRange(lo, hi)
+	total := 0
+	var firstErr error
+	for i := first; i <= last; i++ {
+		n, err := s.deleteShardRange(t, t.shards[i], lo, hi)
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if total > 0 {
+		s.stats.deletesApplied.Add(uint64(total))
+		if err := s.republishMap(t); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+func (s *Server) deleteShardRange(t *table, sh *shard, lo, hi *schema.Datum) (int, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	var lsn uint64
-	if t.log != nil {
-		if lsn, err = t.log.Append(wal.RecDelete, wal.EncodeDeletePayload(lo, hi)); err != nil {
+	var err error
+	if sh.log != nil {
+		if lsn, err = sh.log.Append(wal.RecDelete, wal.EncodeDeletePayload(lo, hi)); err != nil {
 			return 0, err
 		}
-		if err := t.log.Sync(); err != nil {
+		if err := sh.log.Sync(); err != nil {
 			return 0, err
 		}
 	}
-	n, err := t.tree.DeleteRange(lo, hi)
+	n, err := sh.tree.DeleteRange(lo, hi)
 	if err != nil {
-		t.stashJournal()
+		sh.stashJournal()
 		return 0, err
 	}
 	if n > 0 {
-		t.version++
-		pages := t.commitChange(t.version, lsn, s.retention())
-		if err := s.publishCommitLocked(t, pages); err != nil {
+		if err := s.commitShard(t, sh, lsn); err != nil {
 			// The delete itself committed (WAL-logged, version bumped);
 			// report the real count so callers don't re-apply it.
 			return n, err
 		}
 	} else {
-		t.stashJournal()
+		sh.stashJournal()
 	}
 	return n, nil
 }
 
-// Snapshot captures a table replica for an edge server: every page of the
-// current published version plus its tree metadata. It reads a pinned
-// immutable snapshot, so concurrent update batches neither block it nor
-// tear its page set.
-func (s *Server) Snapshot(tableName string) (*wire.Snapshot, error) {
-	t, err := s.table(tableName)
-	if err != nil {
-		return nil, err
-	}
-	pinned, st, err := t.snapState()
+// snapshotOf captures one shard's replica image.
+func (s *Server) snapshotOf(t *table, sh *shard) (*wire.Snapshot, error) {
+	pinned, st, err := sh.snapState()
 	if err != nil {
 		return nil, err
 	}
@@ -546,30 +794,45 @@ func (s *Server) Snapshot(tableName string) (*wire.Snapshot, error) {
 		snap.PageIDs = append(snap.PageIDs, storage.PageID(id))
 		snap.PageData = append(snap.PageData, cp)
 	}
+	s.stats.snapshotsServed.Add(1)
 	return snap, nil
 }
 
-// Delta builds the incremental update that takes a replica at
-// fromVersion to the table's current version: the union of the pages
-// dirtied by the committed updates in (fromVersion, current], the new
-// tree metadata, and a signature over the whole payload. When the
-// retained changelog no longer covers fromVersion the returned delta has
-// SnapshotNeeded set and the edge must pull a full snapshot instead.
-func (s *Server) Delta(tableName string, fromVersion, epoch uint64) (*wire.Delta, error) {
-	t, err := s.table(tableName)
+// Snapshot captures a single-shard table's replica for a legacy
+// (unsharded) edge server. Partitioned tables answer with a typed
+// unsupported error steering the edge to ShardSnapshot.
+func (s *Server) Snapshot(tableName string) (*wire.Snapshot, error) {
+	t, sh, err := s.soleShard(tableName)
 	if err != nil {
 		return nil, err
 	}
+	return s.snapshotOf(t, sh)
+}
+
+// ShardSnapshot captures one shard's replica image.
+func (s *Server) ShardSnapshot(tableName string, idx uint32) (*wire.Snapshot, error) {
+	t, sh, err := s.shard(tableName, idx)
+	if err != nil {
+		return nil, err
+	}
+	return s.snapshotOf(t, sh)
+}
+
+// deltaOf builds the incremental update that takes a shard replica at
+// fromVersion to the shard's current version. ref is the value bound
+// into the signed Table field (the bare table name for single-shard
+// tables, the shard ref for partitioned ones).
+func (s *Server) deltaOf(sh *shard, ref string, fromVersion, epoch uint64) (*wire.Delta, error) {
 	// Pin the version the delta will take the replica to; page content is
 	// read from this immutable snapshot, so updates committing while the
 	// delta is assembled cannot leak into it.
-	pinned, st, err := t.snapState()
+	pinned, st, err := sh.snapState()
 	if err != nil {
 		return nil, err
 	}
 	defer pinned.Release()
 	d := &wire.Delta{
-		Table:       tableName,
+		Table:       ref,
 		FromVersion: fromVersion,
 		ToVersion:   st.Version,
 		Epoch:       st.Epoch,
@@ -581,15 +844,15 @@ func (s *Server) Delta(tableName string, fromVersion, epoch uint64) (*wire.Delta
 		d.SnapshotNeeded = true
 		return s.signDelta(d)
 	}
-	// Only the changelog needs the table lock, and only briefly.
-	t.mu.RLock()
-	// Changelog entries carry contiguous versions ending at t.version, so
+	// Only the changelog needs the shard lock, and only briefly.
+	sh.mu.RLock()
+	// Changelog entries carry contiguous versions ending at sh.version, so
 	// coverage is a simple window check.
-	oldestCovered := t.version - uint64(len(t.changes))
+	oldestCovered := sh.version - uint64(len(sh.changes))
 	covered := fromVersion >= oldestCovered
 	seen := make(map[storage.PageID]struct{})
 	if covered {
-		for _, e := range t.changes {
+		for _, e := range sh.changes {
 			if e.version <= fromVersion || e.version > st.Version {
 				continue
 			}
@@ -598,7 +861,7 @@ func (s *Server) Delta(tableName string, fromVersion, epoch uint64) (*wire.Delta
 			}
 		}
 	}
-	t.mu.RUnlock()
+	sh.mu.RUnlock()
 	if !covered {
 		d.SnapshotNeeded = true
 		return s.signDelta(d)
@@ -624,7 +887,29 @@ func (s *Server) Delta(tableName string, fromVersion, epoch uint64) (*wire.Delta
 	d.HeapPages = st.HeapPages
 	d.NumPages = uint32(pinned.NumPages())
 	d.KeyVersion = st.KeyVersion
+	s.stats.deltasServed.Add(1)
 	return s.signDelta(d)
+}
+
+// Delta serves a legacy (unsharded) edge's incremental refresh for a
+// single-shard table.
+func (s *Server) Delta(tableName string, fromVersion, epoch uint64) (*wire.Delta, error) {
+	_, sh, err := s.soleShard(tableName)
+	if err != nil {
+		return nil, err
+	}
+	return s.deltaOf(sh, tableName, fromVersion, epoch)
+}
+
+// ShardDelta serves one shard's incremental refresh. The shard index is
+// bound into the signed payload via the shard ref, so a delta for one
+// shard cannot be replayed against another.
+func (s *Server) ShardDelta(tableName string, idx uint32, fromVersion, epoch uint64) (*wire.Delta, error) {
+	_, sh, err := s.shard(tableName, idx)
+	if err != nil {
+		return nil, err
+	}
+	return s.deltaOf(sh, wire.ShardRef(tableName, idx), fromVersion, epoch)
 }
 
 // signDelta stamps the central server's signature on a delta so edges can
@@ -638,27 +923,29 @@ func (s *Server) signDelta(d *wire.Delta) (*wire.Delta, error) {
 	return d, nil
 }
 
-// LoggedOps replays a table's write-ahead log (post-checkpoint) as typed
-// operations — the logical history backing the page-level changelog.
-// Requires Options.WALDir.
+// LoggedOps replays a table's write-ahead logs (post-checkpoint) as typed
+// operations — the logical history backing the page-level changelogs.
+// Shard logs are concatenated in shard order. Requires Options.WALDir.
 func (s *Server) LoggedOps(tableName string) ([]wal.Op, error) {
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err
 	}
-	if t.log == nil {
-		return nil, errors.New("central: write-ahead logging not enabled")
-	}
-	if err := t.log.Sync(); err != nil {
-		return nil, err
-	}
 	var ops []wal.Op
-	path := filepath.Join(s.opts.WALDir, tableName+".wal")
-	if err := wal.ReplayOps(path, func(op wal.Op) error {
-		ops = append(ops, op)
-		return nil
-	}); err != nil {
-		return nil, err
+	for i, sh := range t.shards {
+		if sh.log == nil {
+			return nil, errors.New("central: write-ahead logging not enabled")
+		}
+		if err := sh.log.Sync(); err != nil {
+			return nil, err
+		}
+		path := filepath.Join(s.opts.WALDir, walName(tableName, i))
+		if err := wal.ReplayOps(path, func(op wal.Op) error {
+			ops = append(ops, op)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return ops, nil
 }
@@ -678,14 +965,50 @@ func (s *Server) SchemaResponse(tableName string) (*wire.SchemaResponse, error) 
 
 // RunQuery answers a query directly at the central server (trusted path,
 // used by tools and tests; production queries go through edges). Like the
-// edge path it runs lock-free over the current published snapshot, so
-// queries neither wait for nor delay update batches.
+// edge path it runs lock-free over the current published snapshots. For
+// partitioned tables the per-shard results are concatenated and the VO
+// of the last shard queried is returned — central answers are trusted,
+// so the caller is not expected to verify them; clients that need
+// verifiable cross-shard answers use the edge scatter-gather path.
 func (s *Server) RunQuery(ctx context.Context, tableName string, q vbtree.Query) (*wire.QueryResponse, error) {
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err
 	}
-	pinned, st, err := t.snapState()
+	s.stats.queriesServed.Add(1)
+	m := shardmap.Map{Boundaries: t.boundaries, Shards: make([]shardmap.ShardState, len(t.shards))}
+	first, last := m.ShardsForRange(q.Lo, q.Hi)
+	var merged *wire.QueryResponse
+	for i := first; i <= last; i++ {
+		resp, err := s.runShardQuery(ctx, t, t.shards[i], q)
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = resp
+			continue
+		}
+		merged.Result.Keys = append(merged.Result.Keys, resp.Result.Keys...)
+		merged.Result.Tuples = append(merged.Result.Tuples, resp.Result.Tuples...)
+		merged.VO = resp.VO
+	}
+	return merged, nil
+}
+
+// RunShardQuery answers a query against one shard, with the VO anchored
+// at the shard's root (the form clients verify against the shard map).
+func (s *Server) RunShardQuery(ctx context.Context, tableName string, idx uint32, q vbtree.Query) (*wire.QueryResponse, error) {
+	t, sh, err := s.shard(tableName, idx)
+	if err != nil {
+		return nil, err
+	}
+	q.AnchorRoot = true
+	s.stats.queriesServed.Add(1)
+	return s.runShardQuery(ctx, t, sh, q)
+}
+
+func (s *Server) runShardQuery(ctx context.Context, t *table, sh *shard, q vbtree.Query) (*wire.QueryResponse, error) {
+	pinned, st, err := sh.snapState()
 	if err != nil {
 		return nil, err
 	}
@@ -745,8 +1068,10 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, t := range s.tables {
-		if t.log != nil {
-			t.log.Close()
+		for _, sh := range t.shards {
+			if sh.log != nil {
+				sh.log.Close()
+			}
 		}
 	}
 }
@@ -783,6 +1108,17 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 		}
 		return wire.MsgSnapshotResp, snap.Encode(), nil
 
+	case wire.MsgShardSnapshotReq:
+		req, err := wire.DecodeShardSnapshotRequest(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		snap, err := s.ShardSnapshot(req.Table, req.Shard)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgSnapshotResp, snap.Encode(), nil
+
 	case wire.MsgDeltaReq:
 		req, err := wire.DecodeDeltaRequest(body)
 		if err != nil {
@@ -793,6 +1129,25 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 			return 0, nil, err
 		}
 		return wire.MsgDeltaResp, d.Encode(), nil
+
+	case wire.MsgShardDeltaReq:
+		req, err := wire.DecodeShardDeltaRequest(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		d, err := s.ShardDelta(req.Table, req.Shard, req.FromVersion, req.Epoch)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgDeltaResp, d.Encode(), nil
+
+	case wire.MsgShardMapReq:
+		sm, err := s.SignedShardMap(string(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		s.stats.mapsServed.Add(1)
+		return wire.MsgShardMapResp, sm.Encode(), nil
 
 	case wire.MsgSchemaReq:
 		resp, err := s.SchemaResponse(string(body))
@@ -846,7 +1201,10 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 		if req.HasHi {
 			hi = &req.Hi
 		}
-		n, err := s.DeleteRange(req.Table, lo, hi)
+		// Deletes flow through the same ordered front door as coalesced
+		// inserts, so a delete cannot commit ahead of inserts that
+		// arrived before it (see batch.go).
+		n, err := s.enqueueDelete(ctx, req.Table, lo, hi)
 		if err != nil {
 			return 0, nil, err
 		}

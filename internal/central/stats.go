@@ -1,0 +1,72 @@
+package central
+
+import (
+	"sync/atomic"
+
+	"edgeauth/internal/digest"
+)
+
+// serverCounters aggregates the central server's observable activity.
+// Everything is atomic: the counters are bumped on hot paths and read by
+// the Stats snapshot (exposed over expvar by centrald's -debug-addr).
+type serverCounters struct {
+	queriesServed   atomic.Uint64
+	snapshotsServed atomic.Uint64
+	deltasServed    atomic.Uint64
+	mapsServed      atomic.Uint64
+	insertsApplied  atomic.Uint64
+	deletesApplied  atomic.Uint64
+	batchRounds     atomic.Uint64
+	batchOps        atomic.Uint64
+	maxRound        atomic.Uint64
+
+	// signOps receives the signing key's op count via digest.Counters
+	// (installed by NewServerWithKey).
+	signOps digest.Counters
+}
+
+// observeRound tracks the largest group-commit round seen.
+func (c *serverCounters) observeRound(n int) {
+	for {
+		cur := c.maxRound.Load()
+		if uint64(n) <= cur || c.maxRound.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's counters. The JSON
+// field names are the expvar keys.
+type Stats struct {
+	QueriesServed   uint64 `json:"queries_served"`
+	SnapshotsServed uint64 `json:"snapshots_served"`
+	DeltasServed    uint64 `json:"deltas_served"`
+	ShardMapsServed uint64 `json:"shard_maps_served"`
+	InsertsApplied  uint64 `json:"inserts_applied"`
+	DeletesApplied  uint64 `json:"deletes_applied"`
+	// SignOps counts RSA signature generations — the currency the
+	// sharded write path parallelizes.
+	SignOps uint64 `json:"sign_ops"`
+	// BatchRounds / BatchOps describe the group-commit front door:
+	// BatchOps/BatchRounds is the mean coalesced round size, MaxRound
+	// the largest round committed.
+	BatchRounds uint64 `json:"group_commit_rounds"`
+	BatchOps    uint64 `json:"group_commit_ops"`
+	MaxRound    uint64 `json:"group_commit_max_round"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		QueriesServed:   s.stats.queriesServed.Load(),
+		SnapshotsServed: s.stats.snapshotsServed.Load(),
+		DeltasServed:    s.stats.deltasServed.Load(),
+		ShardMapsServed: s.stats.mapsServed.Load(),
+		InsertsApplied:  s.stats.insertsApplied.Load(),
+		DeletesApplied:  s.stats.deletesApplied.Load(),
+		SignOps:         uint64(s.stats.signOps.SignOps.Load()),
+		BatchRounds:     s.stats.batchRounds.Load(),
+		BatchOps:        s.stats.batchOps.Load(),
+		MaxRound:        s.stats.maxRound.Load(),
+	}
+}

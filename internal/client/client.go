@@ -27,6 +27,7 @@ import (
 	"edgeauth/internal/query"
 	"edgeauth/internal/rpc"
 	"edgeauth/internal/schema"
+	"edgeauth/internal/shardmap"
 	"edgeauth/internal/sig"
 	"edgeauth/internal/verify"
 	"edgeauth/internal/vo"
@@ -81,6 +82,14 @@ type Client struct {
 
 	vmu       sync.Mutex
 	verifiers map[string]*verify.Verifier
+
+	// smu guards the shard-map cache: the latest verified map per
+	// partitioned table, plus a marker for edges that answered the map
+	// request with "unsupported" (pre-sharding edges — the client then
+	// uses the single-tree query path for the session).
+	smu         sync.Mutex
+	smaps       map[string]*shardmap.Signed
+	noShardMaps map[string]bool
 }
 
 // Dial creates a client and eagerly connects (and handshakes) to the
@@ -104,11 +113,13 @@ func New(edgeAddr, centralAddr string) *Client {
 
 func newClient(cfg Config) *Client {
 	return &Client{
-		cfg:       cfg,
-		edge:      rpc.New(cfg.EdgeAddr, cfg.rpcOptions()),
-		central:   rpc.New(cfg.CentralAddr, cfg.rpcOptions()),
-		keys:      sig.NewRegistry(),
-		verifiers: make(map[string]*verify.Verifier),
+		cfg:         cfg,
+		edge:        rpc.New(cfg.EdgeAddr, cfg.rpcOptions()),
+		central:     rpc.New(cfg.CentralAddr, cfg.rpcOptions()),
+		keys:        sig.NewRegistry(),
+		verifiers:   make(map[string]*verify.Verifier),
+		smaps:       make(map[string]*shardmap.Signed),
+		noShardMaps: make(map[string]bool),
 	}
 }
 
@@ -178,13 +189,38 @@ func (c *Client) Schema(ctx context.Context, table string) (*schema.Schema, erro
 	return v.Schema, nil
 }
 
-// QueryResult is a verified query answer.
+// QueryResult is a verified query answer. For range-partitioned tables
+// it is the stitched union of the qualifying shards' verified answers.
 type QueryResult struct {
 	Result *vo.ResultSet
-	VO     *vo.VO
-	// VOBytes / ResultBytes are the wire sizes, for cost accounting.
+	// VO is the verification object (single-tree tables, or a sharded
+	// query that touched exactly one shard). Cross-shard answers carry
+	// one VO per qualifying shard in ShardVOs instead.
+	VO *vo.VO
+	// ShardVOs holds the per-shard VOs of a scatter-gather answer, in
+	// shard order; nil for single-tree answers.
+	ShardVOs []*vo.VO
+	// ShardsQueried is how many shards the answer was gathered from
+	// (0 for single-tree tables).
+	ShardsQueried int
+	// VOBytes / ResultBytes are the wire sizes, for cost accounting
+	// (summed across shards).
 	VOBytes     int
 	ResultBytes int
+}
+
+// NumDigests sums the signed digests across the answer's VOs (the
+// paper's VO size accounting unit), whether the answer came from one
+// tree or was stitched from several shards.
+func (r *QueryResult) NumDigests() int {
+	if r.VO != nil {
+		return r.VO.NumDigests()
+	}
+	n := 0
+	for _, w := range r.ShardVOs {
+		n += w.NumDigests()
+	}
+	return n
 }
 
 // ErrTampered wraps verification failures so applications can
@@ -192,11 +228,46 @@ type QueryResult struct {
 var ErrTampered = errors.New("client: query result failed verification")
 
 // Query runs a selection/projection at the edge and verifies the answer.
+// Range-partitioned tables are answered by scatter-gather: the client
+// fetches the central-signed shard map from the edge, verifies it,
+// queries every shard the key range intersects (in parallel over the
+// pipelined connection), verifies each per-shard VO anchored at the root
+// digest the map pins, and stitches the results in key order. A missing
+// or stale shard answer fails verification — the edge cannot silently
+// drop a shard from a range answer.
 func (c *Client) Query(ctx context.Context, table string, preds []query.Predicate, project []string) (*QueryResult, error) {
 	v, err := c.verifier(ctx, table)
 	if err != nil {
 		return nil, err
 	}
+	sm, err := c.shardMap(ctx, v, table, false)
+	if err != nil {
+		return nil, err
+	}
+	if sm == nil {
+		return c.queryLegacy(ctx, v, table, preds, project)
+	}
+	res, err := c.queryShards(ctx, v, sm, table, preds, project)
+	if err != nil && errors.Is(err, errShardDrift) {
+		// The gather straddled an edge refresh (answers from two map
+		// generations) or our cached routing map described a dead
+		// partition. Refetch the routing map once and retry before
+		// treating it as tampering.
+		sm, rerr := c.shardMap(ctx, v, table, true)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if sm == nil {
+			return nil, err
+		}
+		res, err = c.queryShards(ctx, v, sm, table, preds, project)
+	}
+	return res, err
+}
+
+// queryLegacy is the single-tree query path (unsharded tables and
+// pre-sharding edge servers).
+func (c *Client) queryLegacy(ctx context.Context, v *verify.Verifier, table string, preds []query.Predicate, project []string) (*QueryResult, error) {
 	req := &wire.QueryRequest{
 		Table:      table,
 		Predicates: preds,

@@ -1,0 +1,262 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"edgeauth/internal/query"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/shardmap"
+	"edgeauth/internal/verify"
+	"edgeauth/internal/vo"
+	"edgeauth/internal/wire"
+)
+
+// Scatter-gather queries over range-partitioned tables.
+//
+// The shard map travels through the untrusted edge, so the client treats
+// it as attacker-controlled until verify.VerifyShardMap passes. A
+// (cached) verified map routes the query: its boundaries decide which
+// shards the key range intersects. Each shard answer then arrives with
+// the signed map the edge held when producing it; the client verifies
+// that attached map, demands every answer in the gather carry the SAME
+// map (no mixing a stale shard answer into a fresh set), checks it
+// descends from the routing map's epoch and boundaries, and binds each
+// per-shard VO to the root digest the attached map pins for its shard.
+//
+// The completeness argument across shards: the verified boundaries tile
+// the key space with no gaps (shardmap.Map.Validate), the client queries
+// every shard its range intersects, and a verified answer must arrive
+// for each — an edge that "loses" a shard cannot forge the missing
+// VO, and the map signature stops it from hiding the shard's existence.
+
+// errShardDrift marks a gather that raced the edge's refresh (or a
+// routing map from a dead epoch): retryable with a fresh routing map,
+// tampering only if it persists.
+var errShardDrift = errors.New("client: shard answers drifted from the routing map")
+
+// shardMap returns the table's verified routing map, nil when the edge
+// does not partition the table (pre-sharding edge or no map support).
+// force refetches even on a cache hit.
+func (c *Client) shardMap(ctx context.Context, v *verify.Verifier, table string, force bool) (*shardmap.Signed, error) {
+	c.smu.Lock()
+	if !force {
+		if c.noShardMaps[table] {
+			c.smu.Unlock()
+			return nil, nil
+		}
+		if sm, ok := c.smaps[table]; ok {
+			c.smu.Unlock()
+			return sm, nil
+		}
+	}
+	c.smu.Unlock()
+
+	body, err := c.edge.Call(ctx, wire.MsgShardMapReq, []byte(table), wire.MsgShardMapResp, true)
+	if err != nil {
+		if isUnsupported(err) {
+			c.smu.Lock()
+			c.noShardMaps[table] = true
+			c.smu.Unlock()
+			return nil, nil
+		}
+		return nil, err
+	}
+	sm, err := shardmap.DecodeSigned(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	if err := c.verifyMap(ctx, v, sm, table); err != nil {
+		return nil, err
+	}
+	c.smu.Lock()
+	c.smaps[table] = sm
+	delete(c.noShardMaps, table)
+	c.smu.Unlock()
+	return sm, nil
+}
+
+// verifyMap checks a signed map, refetching the trusted key once when
+// the map is signed under an unknown (possibly rotated-to) key version.
+func (c *Client) verifyMap(ctx context.Context, v *verify.Verifier, sm *shardmap.Signed, table string) error {
+	err := v.VerifyShardMap(sm, table)
+	if err != nil && errors.Is(err, verify.ErrKeyVersion) && !errors.Is(err, verify.ErrFreshness) {
+		if kerr := c.FetchTrustedKey(ctx); kerr != nil {
+			return fmt.Errorf("client: refetching trusted key after %v: %w", err, kerr)
+		}
+		err = v.VerifyShardMap(sm, table)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: shard map: %v", ErrTampered, err)
+	}
+	return nil
+}
+
+// InvalidateShardMap drops the cached routing map for a table (tests and
+// long-lived sessions after repartitioning).
+func (c *Client) InvalidateShardMap(table string) {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	delete(c.smaps, table)
+	delete(c.noShardMaps, table)
+}
+
+// shardAnswer is one shard's raw response, gathered before verification.
+type shardAnswer struct {
+	shard int
+	resp  *wire.ShardQueryResponse
+	bytes int
+	err   error
+}
+
+// queryShards runs the scatter-gather: one ShardQueryReq per qualifying
+// shard (concurrently — the requests pipeline over the one multiplexed
+// edge connection), then per-shard verification anchored at the
+// attached, mutually-identical signed map, then a key-ordered stitch.
+func (c *Client) queryShards(ctx context.Context, v *verify.Verifier, routing *shardmap.Signed, table string, preds []query.Predicate, project []string) (*QueryResult, error) {
+	// Compile locally to learn the key range; the edge compiles the same
+	// spec per shard (compilation is deterministic over the schema).
+	q, err := query.Compile(v.Schema, query.Spec{Predicates: preds, Project: project})
+	if err != nil {
+		return nil, err
+	}
+	first, last := routing.Map.ShardsForRange(q.Lo, q.Hi)
+	n := last - first + 1
+
+	answers := make([]shardAnswer, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := &wire.ShardQueryRequest{
+				Shard: uint32(first + i),
+				Query: &wire.QueryRequest{
+					Table:      table,
+					Predicates: preds,
+					Project:    project,
+					ProjectAll: project == nil,
+				},
+			}
+			a := shardAnswer{shard: first + i}
+			body, err := c.edge.Call(ctx, wire.MsgShardQueryReq, req.Encode(), wire.MsgShardQueryResp, true)
+			if err != nil {
+				a.err = err
+			} else {
+				a.bytes = len(body)
+				a.resp, a.err = wire.DecodeShardQueryResponse(body)
+			}
+			answers[i] = a
+		}(i)
+	}
+	wg.Wait()
+
+	// A transport failure or refusal for any qualifying shard fails the
+	// whole query: an incomplete range answer must never look complete.
+	for _, a := range answers {
+		if a.err != nil {
+			return nil, fmt.Errorf("client: shard %d of %q: %w", a.shard, table, a.err)
+		}
+	}
+
+	// Every answer must carry the same signed map — byte-identical. A
+	// mismatch means either the scatter straddled an edge refresh
+	// (retryable) or the edge is mixing answer generations (the
+	// stale-single-shard attack); the caller retries once with a fresh
+	// routing map before declaring tampering.
+	for _, a := range answers[1:] {
+		if !bytes.Equal(a.resp.SignedMap, answers[0].resp.SignedMap) {
+			return nil, fmt.Errorf("%w: %w: shards %d and %d answered under different shard maps",
+				ErrTampered, errShardDrift, answers[0].shard, a.shard)
+		}
+	}
+	bound, err := shardmap.DecodeSigned(answers[0].resp.SignedMap)
+	if err != nil {
+		return nil, fmt.Errorf("%w: attached shard map: %v", ErrTampered, err)
+	}
+	if err := c.verifyMap(ctx, v, bound, table); err != nil {
+		return nil, err
+	}
+	// The attached map must describe the same partition the routing map
+	// did, or the shard selection above was computed over dead
+	// boundaries.
+	if bound.Map.Epoch != routing.Map.Epoch || !boundariesEqual(bound.Map.Boundaries, routing.Map.Boundaries) {
+		return nil, fmt.Errorf("%w: %w: partition changed between routing and answers",
+			ErrTampered, errShardDrift)
+	}
+
+	// Bind each shard's VO to the root digest the verified attached map
+	// pins. One trusted-key refetch is allowed across the whole gather.
+	refetched := false
+	out := &QueryResult{ShardsQueried: n}
+	for _, a := range answers {
+		rs, w := a.resp.Resp.Result, a.resp.Resp.VO
+		rootDigest := bound.Map.Shards[a.shard].RootDigest
+		err := v.VerifyAnchored(rs, w, rootDigest)
+		if err != nil && errors.Is(err, verify.ErrKeyVersion) && !errors.Is(err, verify.ErrFreshness) && !refetched {
+			if kerr := c.FetchTrustedKey(ctx); kerr != nil {
+				return nil, fmt.Errorf("client: refetching trusted key after %v: %w", err, kerr)
+			}
+			refetched = true
+			err = v.VerifyAnchored(rs, w, rootDigest)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard %d: %w", ErrTampered, a.shard, err)
+		}
+	}
+
+	// Keep the freshest verified map cached for the next routing pass.
+	if bound.Map.MapVersion > routing.Map.MapVersion {
+		c.smu.Lock()
+		c.smaps[table] = bound
+		c.smu.Unlock()
+	}
+
+	// Stitch in shard order — shards cover ascending disjoint ranges, so
+	// the concatenation is key-ordered.
+	for _, a := range answers {
+		rs, w := a.resp.Resp.Result, a.resp.Resp.VO
+		if out.Result == nil {
+			out.Result = &vo.ResultSet{DB: rs.DB, Table: rs.Table, Columns: rs.Columns}
+		} else if !sameColumns(out.Result.Columns, rs.Columns) {
+			return nil, fmt.Errorf("%w: shard %d returned columns %v, shard %d returned %v",
+				ErrTampered, answers[0].shard, out.Result.Columns, a.shard, rs.Columns)
+		}
+		out.Result.Keys = append(out.Result.Keys, rs.Keys...)
+		out.Result.Tuples = append(out.Result.Tuples, rs.Tuples...)
+		out.ShardVOs = append(out.ShardVOs, w)
+		out.VOBytes += w.WireSize()
+		out.ResultBytes += rs.WireSize()
+	}
+	if n == 1 {
+		out.VO = out.ShardVOs[0]
+	}
+	return out, nil
+}
+
+func boundariesEqual(a, b []schema.Datum) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Compare(b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sameColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -233,8 +233,8 @@ func TestQRForSelectivityClamps(t *testing.T) {
 
 func TestAllFiguresRender(t *testing.T) {
 	figs := AllFigures(Default())
-	if len(figs) != 13 {
-		t.Fatalf("AllFigures returned %d figures, want 13", len(figs))
+	if len(figs) != 14 {
+		t.Fatalf("AllFigures returned %d figures, want 14", len(figs))
 	}
 	var buf bytes.Buffer
 	for _, f := range figs {
@@ -249,7 +249,7 @@ func TestAllFiguresRender(t *testing.T) {
 		f.Render(&buf)
 	}
 	out := buf.String()
-	for _, want := range []string{"F8", "F9", "F10(Qc=5)", "F11", "F12(X=10)", "F13a", "F13b", "UPD-I", "UPD-D"} {
+	for _, want := range []string{"F8", "F9", "F10(Qc=5)", "F11", "F12(X=10)", "F13a", "F13b", "UPD-I", "UPD-D", "UPD-S"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered output missing %q", want)
 		}
@@ -282,5 +282,27 @@ func TestPaperDefaults(t *testing.T) {
 	}
 	if p.CostS() != 10 {
 		t.Errorf("CostS = %v", p.CostS())
+	}
+}
+
+// TestShardedUpdateCost pins the shape of the sharded insert-cost
+// curves: total signing work grows (one root path per extra shard)
+// while the critical path with enough cores falls monotonically.
+func TestShardedUpdateCost(t *testing.T) {
+	f := ShardedUpdateCost(Default())
+	total, critical := f.Series[0].Y, f.Series[1].Y
+	for i := 1; i < len(f.X); i++ {
+		if critical[i] >= critical[i-1] {
+			t.Errorf("critical path did not shrink from %d to %d shards (%.0f -> %.0f)",
+				int(f.X[i-1]), int(f.X[i]), critical[i-1], critical[i])
+		}
+		if total[i] < total[i-1] {
+			t.Errorf("total signing work shrank from %d to %d shards (%.0f -> %.0f) — heights cannot do that",
+				int(f.X[i-1]), int(f.X[i]), total[i-1], total[i])
+		}
+	}
+	// At 1 shard the two series coincide (no parallelism to exploit).
+	if total[0] != critical[0] {
+		t.Errorf("1-shard total %.0f != critical %.0f", total[0], critical[0])
 	}
 }

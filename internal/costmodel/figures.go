@@ -291,6 +291,57 @@ func UpdateDeleteCost(base Params) Figure {
 	return f
 }
 
+// ShardedUpdateCost extends the §4.4 insert analysis (formula 11) to a
+// table range-partitioned into n independently-signed VB-tree shards.
+// Two effects move the cost:
+//
+//   - The recombine path shortens: a shard holds N_R/n tuples, so the
+//     height term of formula (11) becomes H_VB(N_R/n).
+//   - The signature generations — the cost the paper's formula folds
+//     into the combine terms but which dominate wall-clock in practice
+//     (Cost_s ≈ 10000×Cost_h for signing, per the paper's §2 citation) —
+//     stop serializing on one root. For a batch of B inserts spread
+//     across the shards, each shard re-signs its B/n dirtied leaves plus
+//     its root path once, concurrently with every other shard.
+//
+// The figure plots, per batch of B inserts versus shard count: the total
+// signing work (grows mildly, +n·H_VB(N_R/n) root paths) and the signing
+// critical path with ≥n cores (drops roughly as 1/n) — the analytic
+// counterpart of BenchmarkShardedIngest. Signing cost is taken as
+// 10000·Cost_h per re-signed node, batch size B = 256.
+func ShardedUpdateCost(base Params) Figure {
+	const (
+		batch    = 256
+		signCost = 10_000 // Cost_s/Cost_h for signature generation (§2)
+	)
+	f := Figure{
+		ID:     "UPD-S",
+		Title:  "Sharded Insert Cost per 256-Batch versus Shard Count (formula 11 extended)",
+		XLabel: "shards",
+		YLabel: "Cost_h units",
+		Series: []Series{
+			{Name: "signing work (total)"},
+			{Name: "signing critical path (>=n cores)"},
+			{Name: "recombine path (formula 11 height term)"},
+		},
+	}
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		p := base
+		p.NR = base.NR / n
+		if p.NR < 1 {
+			p.NR = 1
+		}
+		h := float64(p.VBTreeHeight())
+		perShard := (float64(batch)/float64(n) + h) * signCost * base.CostH
+		total := perShard * float64(n)
+		f.X = append(f.X, float64(n))
+		f.Series[0].Y = append(f.Series[0].Y, total)
+		f.Series[1].Y = append(f.Series[1].Y, perShard)
+		f.Series[2].Y = append(f.Series[2].Y, float64(batch)*(float64(base.NC)*(base.CostH+base.CostK)+h*base.CostK))
+	}
+	return f
+}
+
 // AllFigures returns every analytic figure at the given base parameters.
 func AllFigures(base Params) []Figure {
 	return []Figure{
@@ -307,6 +358,7 @@ func AllFigures(base Params) []Figure {
 		Fig13bQc(base),
 		UpdateInsertCost(base),
 		UpdateDeleteCost(base),
+		ShardedUpdateCost(base),
 	}
 }
 

@@ -3,17 +3,28 @@
 // server, executes selection/projection queries locally, and returns each
 // result together with its verification object.
 //
-// Replica storage is snapshot-isolated: every refresh (delta apply or
-// snapshot install) builds an immutable successor version off to the side
-// and publishes it with one atomic pointer swap, so queries pin a
-// snapshot and traverse it with zero lock acquisitions — refresh cadence
-// and query latency are independent, which is what lets an edge absorb
-// heavy read traffic while updates propagate continuously (§3.4).
+// Tables may be range-partitioned at the central server: the edge then
+// replicates each shard independently (its own snapshot-isolated
+// storage.PageStore, its own delta stream) and relays the central-signed
+// shard map to clients, which verify it and scatter-gather per-shard
+// queries. Per-shard refresh means one hot shard ships only its own
+// pages — a cold shard costs nothing per refresh tick.
+//
+// Replica storage is snapshot-isolated and set-consistent: a refresh
+// builds successor shard snapshots off to the side and then publishes
+// ONE immutable tableSet — the signed shard map plus a pinned snapshot
+// per shard — with a single atomic pointer swap. Queries pin the set's
+// snapshots (RCU: the set holds a reference for its tenure, readers
+// take short-lived ones), so every answer is produced against exactly
+// the map version served with it; refresh cadence and query latency
+// stay independent, and a client can never observe a map that runs
+// ahead of or behind the shard data answering its query.
 //
 // Because edge servers are the untrusted component of the architecture,
-// the server carries an optional tamper hook that mutates responses before
-// they are sent — the adversary used by the security tests and the demo
-// binaries to show clients detecting a compromised edge.
+// the server carries optional tamper hooks that mutate responses (and
+// served shard maps) before they are sent — the adversary used by the
+// security tests and the demo binaries to show clients detecting a
+// compromised edge.
 package edge
 
 import (
@@ -23,6 +34,7 @@ import (
 	"math/big"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +43,7 @@ import (
 	"edgeauth/internal/query"
 	"edgeauth/internal/rpc"
 	"edgeauth/internal/schema"
+	"edgeauth/internal/shardmap"
 	"edgeauth/internal/sig"
 	"edgeauth/internal/storage"
 	"edgeauth/internal/vbtree"
@@ -41,6 +54,11 @@ import (
 // TamperFn mutates a response in place before it leaves the edge server —
 // the model of a hacked edge. Returning an error suppresses the response.
 type TamperFn func(rs *vo.ResultSet, w *vo.VO) error
+
+// MapTamperFn rewrites the shard map an edge serves to clients — the
+// model of a hacked edge trying to hide or re-route shards. It receives
+// a deep copy and returns what to serve.
+type MapTamperFn func(sm *shardmap.Signed) *shardmap.Signed
 
 // Options configures an edge server's serving side.
 type Options struct {
@@ -56,21 +74,24 @@ type Options struct {
 
 // Server is an edge server holding replicated tables. The query path is
 // lock-free: the table registry is a copy-on-write map behind an atomic
-// pointer, and each replica serves queries from pinned immutable
-// snapshots.
+// pointer, and each replica serves queries from the pinned snapshots of
+// its current published set.
 type Server struct {
-	tables   atomic.Pointer[map[string]*replica]
-	tablesMu sync.Mutex // serializes registry copy-on-write updates
-	tamper   atomic.Pointer[TamperFn]
+	tables    atomic.Pointer[map[string]*replica]
+	tablesMu  sync.Mutex // serializes registry copy-on-write updates
+	tamper    atomic.Pointer[TamperFn]
+	mapTamper atomic.Pointer[MapTamperFn]
 
 	opts Options
 	// central is the pipelined, auto-redialing connection to the central
-	// server; every replication exchange (snapshots, deltas, the key
-	// fetch) multiplexes over it.
+	// server; every replication exchange (snapshots, deltas, shard maps,
+	// the key fetch) multiplexes over it.
 	central *rpc.Conn
 
 	pubMu      sync.Mutex
 	centralPub *sig.PublicKey
+
+	stats edgeCounters
 
 	lnMu      sync.Mutex
 	listeners []net.Listener
@@ -79,15 +100,15 @@ type Server struct {
 	closed    bool
 }
 
-// replica is one replicated table over a snapshot-isolated PageStore.
-// Queries acquire the current snapshot (an atomic pointer load plus a
-// refcount pin) and never block; refreshMu only serializes concurrent
-// writers building successor versions.
+// replica is one replicated table. Its queryable state lives in an
+// immutable tableSet behind one atomic pointer; refreshMu serializes
+// refreshes building successor sets.
 type replica struct {
 	sch    *schema.Schema
 	acc    *digest.Accumulator
 	params wire.AccParams
-	store  *storage.PageStore
+
+	set atomic.Pointer[tableSet]
 
 	refreshMu sync.Mutex
 
@@ -98,6 +119,103 @@ type replica struct {
 	// snapshot reinstall replaces the replica (a fresh replica object, so
 	// the flag never needs clearing).
 	diverged atomic.Bool
+}
+
+// tableSet is one consistent, immutable publication of a table: the
+// signed shard map (nil when replicated from a pre-sharding central
+// server) and, per shard, a pinned snapshot with its decoded anchor.
+// The set holds one snapshot reference per shard for its tenure as the
+// replica's current set; the swap that supersedes it releases them.
+type tableSet struct {
+	smap   *shardmap.Signed
+	shards []*shardReplica
+}
+
+// shardReplica is one shard's store plus the snapshot this set pins.
+type shardReplica struct {
+	store *storage.PageStore
+	snap  *storage.Snapshot
+	state *vbtree.TableState
+}
+
+// pinCurrent pins a store's current snapshot and decodes its anchor.
+func pinCurrent(store *storage.PageStore) (*shardReplica, error) {
+	snap := store.Acquire()
+	st, ok := snap.Meta().(*vbtree.TableState)
+	if !ok {
+		snap.Release()
+		return nil, errors.New("edge: replica has no published version")
+	}
+	return &shardReplica{store: store, snap: snap, state: st}, nil
+}
+
+// storeState reads a store's current (head) anchor without keeping a
+// pin. Refresh negotiates from the head, NOT from the published set's
+// pinned state: after a partially-failed refresh a store may already
+// sit ahead of the set, and resuming from the pinned state would
+// request deltas the store must reject.
+func storeState(store *storage.PageStore) (*vbtree.TableState, error) {
+	snap := store.Acquire()
+	defer snap.Release()
+	st, ok := snap.Meta().(*vbtree.TableState)
+	if !ok {
+		return nil, errors.New("edge: replica has no published version")
+	}
+	return st, nil
+}
+
+// release drops the set's snapshot pins (called when the set is
+// superseded; readers holding Retained pins keep theirs).
+func (ts *tableSet) release() {
+	for _, sr := range ts.shards {
+		sr.snap.Release()
+	}
+}
+
+// publishSet swaps in the successor set and releases the superseded one.
+func (r *replica) publishSet(next *tableSet) {
+	if old := r.set.Swap(next); old != nil {
+		old.release()
+	}
+}
+
+// rebuildSet republishes the replica's set from its stores' current
+// snapshots with a new map (used after per-shard refreshes).
+func (r *replica) rebuildSet(smap *shardmap.Signed, stores []*storage.PageStore) error {
+	next := &tableSet{smap: smap}
+	for _, store := range stores {
+		sr, err := pinCurrent(store)
+		if err != nil {
+			for _, prev := range next.shards {
+				prev.snap.Release()
+			}
+			return err
+		}
+		next.shards = append(next.shards, sr)
+	}
+	r.publishSet(next)
+	return nil
+}
+
+// pinShard takes a reader's pin on shard i of the current set. The
+// caller must Release the returned snapshot. RCU: if the set drains
+// between the load and the Retain, reload and retry.
+func (r *replica) pinShard(i int) (*tableSet, *shardReplica, error) {
+	for {
+		set := r.set.Load()
+		if set == nil {
+			return nil, nil, errors.New("edge: replica has no published set")
+		}
+		if i < 0 || i >= len(set.shards) {
+			return nil, nil, fmt.Errorf("edge: shard %d out of range (replica has %d)", i, len(set.shards))
+		}
+		sr := set.shards[i]
+		if sr.snap.Retain() {
+			return set, sr, nil
+		}
+		// The set was superseded and fully drained between Load and
+		// Retain; the new current set is already published.
+	}
 }
 
 // New creates an edge server that replicates from centralAddr.
@@ -121,12 +239,19 @@ func (s *Server) SetTamper(fn TamperFn) {
 	s.tamper.Store(&fn)
 }
 
+// SetMapTamper installs (or clears, with nil) the compromised-edge hook
+// rewriting served shard maps.
+func (s *Server) SetMapTamper(fn MapTamperFn) {
+	s.mapTamper.Store(&fn)
+}
+
 // replica resolves a table from the lock-free registry.
 func (s *Server) replica(name string) *replica {
 	return (*s.tables.Load())[name]
 }
 
 // setReplica publishes a new registry map with name -> rep installed.
+// The displaced replica's set (if any) is released so its pins drain.
 func (s *Server) setReplica(name string, rep *replica) {
 	s.tablesMu.Lock()
 	defer s.tablesMu.Unlock()
@@ -135,8 +260,14 @@ func (s *Server) setReplica(name string, rep *replica) {
 	for k, v := range old {
 		next[k] = v
 	}
+	displaced := old[name]
 	next[name] = rep
 	s.tables.Store(&next)
+	if displaced != nil && displaced != rep {
+		if set := displaced.set.Swap(nil); set != nil {
+			set.release()
+		}
+	}
 }
 
 // Tables lists the replicated tables.
@@ -148,35 +279,6 @@ func (s *Server) Tables() []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// state returns the replica's current published metadata. The returned
-// struct is immutable and safe to use after the snapshot pin is dropped.
-func (r *replica) state() (*vbtree.TableState, error) {
-	snap := r.store.Acquire()
-	defer snap.Release()
-	st, ok := snap.Meta().(*vbtree.TableState)
-	if !ok {
-		return nil, errors.New("edge: replica has no published version")
-	}
-	return st, nil
-}
-
-// view pins the current snapshot and assembles the lock-free read view
-// over it. The caller must Release the returned snapshot when done.
-func (r *replica) view() (*vbtree.View, *vbtree.TableState, *storage.Snapshot, error) {
-	snap := r.store.Acquire()
-	st, ok := snap.Meta().(*vbtree.TableState)
-	if !ok {
-		snap.Release()
-		return nil, nil, nil, errors.New("edge: replica has no published version")
-	}
-	v, err := st.ViewOver(snap, r.sch, r.acc, placeholderPub(st.KeyVersion))
-	if err != nil {
-		snap.Release()
-		return nil, nil, nil, err
-	}
-	return v, st, snap, nil
 }
 
 // PullAll replicates every table the central server advertises.
@@ -197,14 +299,96 @@ func (s *Server) PullAll(ctx context.Context) error {
 	return nil
 }
 
-// Pull replicates (or refreshes) one table with a full snapshot.
+// Pull replicates (or refreshes) one table with full snapshots.
 func (s *Server) Pull(ctx context.Context, tableName string) error {
 	_, err := s.pull(ctx, tableName)
 	return err
 }
 
-// pull replicates one table and returns the snapshot's wire size.
+// isUnsupported detects a peer that does not know a message type: typed
+// on protocol v2, a prose error frame on legacy v1.
+func isUnsupported(err error) bool {
+	return errors.Is(err, wire.ErrUnsupported) ||
+		strings.Contains(err.Error(), "unsupported message")
+}
+
+// pull replicates one table — shard by shard when the central server
+// partitions it, as one snapshot otherwise — and returns the combined
+// wire size.
 func (s *Server) pull(ctx context.Context, tableName string) (int, error) {
+	return s.pullAttempt(ctx, tableName, 1)
+}
+
+// pullAttempt is pull with a bounded retry for the (rare) case of the
+// central switching table epochs mid-pull.
+func (s *Server) pullAttempt(ctx context.Context, tableName string, retries int) (int, error) {
+	sm, n, err := s.fetchVerifiedMap(ctx, tableName)
+	if err != nil {
+		if !isUnsupported(err) {
+			return 0, err
+		}
+		// Pre-sharding central: single-tree replication.
+		return s.pullLegacy(ctx, tableName)
+	}
+	total := n
+	rep := &replica{}
+	var stores []*storage.PageStore
+	for i := range sm.Map.Shards {
+		body, store, snap, err := s.pullShardStore(ctx, tableName, i)
+		if err != nil {
+			return 0, err
+		}
+		if rep.sch == nil {
+			acc, err := digest.New(snap.AccParams.ToDigestParams())
+			if err != nil {
+				return 0, err
+			}
+			rep.sch = snap.Schema
+			rep.acc = acc
+			rep.params = snap.AccParams
+		}
+		stores = append(stores, store)
+		total += body
+	}
+	// Commits racing the per-shard snapshot loop can leave a store ahead
+	// of the map we fetched first; align before publishing so the set's
+	// map always pins exactly the data it is served with.
+	final, abytes, _, _, err := s.alignShards(ctx, tableName, sm, stores)
+	total += abytes
+	if err != nil {
+		if errors.Is(err, errEpochChanged) && retries > 0 {
+			return s.pullAttempt(ctx, tableName, retries-1)
+		}
+		return 0, err
+	}
+	if err := rep.rebuildSet(final, stores); err != nil {
+		return 0, err
+	}
+	s.setReplica(tableName, rep)
+	return total, nil
+}
+
+// pullShardStore fetches and installs one shard's snapshot.
+func (s *Server) pullShardStore(ctx context.Context, tableName string, idx int) (int, *storage.PageStore, *wire.Snapshot, error) {
+	req := &wire.ShardSnapshotRequest{Table: tableName, Shard: uint32(idx)}
+	body, err := s.central.Call(ctx, wire.MsgShardSnapshotReq, req.Encode(), wire.MsgSnapshotResp, true)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	snap, err := wire.DecodeSnapshot(body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	store, err := installStore(snap)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	s.stats.snapshotsInstalled.Add(1)
+	return len(body), store, snap, nil
+}
+
+// pullLegacy replicates one table from an unsharded central server.
+func (s *Server) pullLegacy(ctx context.Context, tableName string) (int, error) {
 	body, err := s.central.Call(ctx, wire.MsgSnapshotReq, []byte(tableName), wire.MsgSnapshotResp, true)
 	if err != nil {
 		return 0, err
@@ -218,14 +402,68 @@ func (s *Server) pull(ctx context.Context, tableName string) (int, error) {
 		return 0, err
 	}
 	s.setReplica(tableName, rep)
+	s.stats.snapshotsInstalled.Add(1)
 	return len(body), nil
 }
 
-// InstallSnapshot materializes a snapshot into a queryable replica: the
-// pages become the replica's first published version. In-flight queries
-// on a previous incarnation of the table keep their pinned snapshots and
-// drain naturally.
+// fetchVerifiedMap pulls the table's signed shard map from the central
+// server and signature-checks it before anything trusts its shape.
+// Returns the wire size alongside.
+func (s *Server) fetchVerifiedMap(ctx context.Context, tableName string) (*shardmap.Signed, int, error) {
+	body, err := s.central.Call(ctx, wire.MsgShardMapReq, []byte(tableName), wire.MsgShardMapResp, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	sm, err := shardmap.DecodeSigned(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sm.Map.Table != tableName {
+		return nil, 0, fmt.Errorf("edge: shard map names table %q, requested %q", sm.Map.Table, tableName)
+	}
+	pub, err := s.centralKey(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := sm.Verify(pub); err != nil {
+		// The central server may have rotated or regenerated its key;
+		// refetch once over the authenticated channel before rejecting.
+		if pub, err = s.refetchCentralKey(ctx); err != nil {
+			return nil, 0, err
+		}
+		if err := sm.Verify(pub); err != nil {
+			return nil, 0, fmt.Errorf("edge: shard map signature rejected: %w", err)
+		}
+	}
+	return sm, len(body), nil
+}
+
+// InstallSnapshot materializes a snapshot into a queryable single-shard
+// replica: the pages become the replica's first published version.
+// In-flight queries on a previous incarnation of the table keep their
+// pinned snapshots and drain naturally.
 func InstallSnapshot(snap *wire.Snapshot) (*replica, error) {
+	store, err := installStore(snap)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := digest.New(snap.AccParams.ToDigestParams())
+	if err != nil {
+		return nil, err
+	}
+	rep := &replica{
+		sch:    snap.Schema,
+		acc:    acc,
+		params: snap.AccParams,
+	}
+	if err := rep.rebuildSet(nil, []*storage.PageStore{store}); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// installStore builds a shard's page store from a snapshot.
+func installStore(snap *wire.Snapshot) (*storage.PageStore, error) {
 	if snap.PageSize < storage.MinPageSize {
 		return nil, errors.New("edge: snapshot page size too small")
 	}
@@ -253,10 +491,6 @@ func InstallSnapshot(snap *wire.Snapshot) (*replica, error) {
 			return nil, err
 		}
 	}
-	acc, err := digest.New(snap.AccParams.ToDigestParams())
-	if err != nil {
-		return nil, err
-	}
 	st := &vbtree.TableState{
 		Root:       snap.Root,
 		Height:     int(snap.Height),
@@ -270,12 +504,7 @@ func InstallSnapshot(snap *wire.Snapshot) (*replica, error) {
 		return nil, err
 	}
 	ov.Publish(st)
-	return &replica{
-		sch:    snap.Schema,
-		acc:    acc,
-		params: snap.AccParams,
-		store:  store,
-	}, nil
+	return store, nil
 }
 
 // placeholderPub builds the stand-in public key an edge replica's view is
@@ -293,17 +522,20 @@ func placeholderPub(keyVersion uint32) *sig.PublicKey {
 
 // applyDelta builds the successor snapshot from a verified delta — the
 // changed pages written into a copy-on-write overlay, the tree re-anchored
-// at the delta's root metadata — and publishes it with one atomic swap.
-// Queries in flight keep reading their pinned version; they never observe
-// a half-applied delta.
-func (r *replica) applyDelta(d *wire.Delta) error {
-	r.refreshMu.Lock()
-	defer r.refreshMu.Unlock()
-	ov := r.store.Begin()
+// at the delta's root metadata — and publishes it into the store with one
+// atomic swap. Queries in flight keep reading their pinned version; they
+// never observe a half-applied delta. ref is the Table value the delta
+// must carry (the shard ref for partitioned tables). The caller
+// republishes the replica's tableSet afterwards.
+func applyDelta(store *storage.PageStore, d *wire.Delta, ref string) error {
+	ov := store.Begin()
 	defer ov.Abort() // no-op once published
 	st, ok := ov.Base().Meta().(*vbtree.TableState)
 	if !ok {
 		return errors.New("edge: replica has no published version")
+	}
+	if d.Table != ref {
+		return fmt.Errorf("edge: delta is for %q, want %q", d.Table, ref)
 	}
 	if d.Epoch != st.Epoch {
 		return wire.StaleReplica(d.Table, fmt.Sprintf("edge: delta from epoch %d, replica version history from %d", d.Epoch, st.Epoch))
@@ -311,7 +543,7 @@ func (r *replica) applyDelta(d *wire.Delta) error {
 	if d.FromVersion != st.Version {
 		return wire.StaleReplica(d.Table, fmt.Sprintf("edge: delta starts at version %d, replica at %d", d.FromVersion, st.Version))
 	}
-	pageSize := r.store.PageSize()
+	pageSize := store.PageSize()
 	// Validate every page before staging anything; a bad delta must not
 	// publish at all.
 	for i, id := range d.PageIDs {
@@ -349,12 +581,16 @@ func (r *replica) applyDelta(d *wire.Delta) error {
 // RefreshStat reports how one table was brought up to date.
 type RefreshStat struct {
 	Table string
-	// Mode is "delta", "snapshot" (first pull or fallback), or "noop"
-	// (replica already current).
+	// Mode is "delta", "snapshot" (first pull, fallback, or any shard
+	// resnapshotted), or "noop" (replica already current).
 	Mode string
-	// Bytes is the wire size of the response body that carried the state.
+	// Bytes is the wire size of the response bodies that carried the
+	// state (all shards combined).
 	Bytes                  int
 	FromVersion, ToVersion uint64
+	// ShardsRefreshed is how many shards actually shipped pages this
+	// refresh (0 for noop; 1 for unsharded tables that moved).
+	ShardsRefreshed int
 }
 
 // RefreshAll brings every replica up to date, preferring signed deltas
@@ -363,7 +599,7 @@ type RefreshStat struct {
 // refreshed independently: one failing table does not starve the rest,
 // and the stats of the tables that did refresh are returned alongside
 // the joined errors. Refreshes never block queries: each builds the
-// successor snapshot off to the side and publishes it atomically.
+// successor set off to the side and publishes it atomically.
 func (s *Server) RefreshAll(ctx context.Context) ([]RefreshStat, error) {
 	body, err := s.central.Call(ctx, wire.MsgListTablesReq, nil, wire.MsgListTablesResp, true)
 	if err != nil {
@@ -392,8 +628,8 @@ func (s *Server) RefreshAll(ctx context.Context) ([]RefreshStat, error) {
 	return stats, errors.Join(errs...)
 }
 
-// Refresh brings one replica up to date (delta if possible, snapshot
-// otherwise) and reports what was transferred.
+// Refresh brings one replica up to date (per-shard deltas if possible,
+// snapshots otherwise) and reports what was transferred.
 func (s *Server) Refresh(ctx context.Context, tableName string) (RefreshStat, error) {
 	rep := s.replica(tableName)
 	if rep == nil {
@@ -401,14 +637,221 @@ func (s *Server) Refresh(ctx context.Context, tableName string) (RefreshStat, er
 		if err != nil {
 			return RefreshStat{}, err
 		}
-		return s.statFor(tableName, "snapshot", n, 0), nil
+		return s.statFor(tableName, "snapshot", n, 0, 1), nil
 	}
-	cur, err := rep.state()
+	rep.refreshMu.Lock()
+	defer rep.refreshMu.Unlock()
+	cur := rep.set.Load()
+	if cur == nil {
+		// Displaced replica (a concurrent pull swapped in a successor);
+		// the registry's current replica will serve.
+		return s.statFor(tableName, "noop", 0, 0, 0), nil
+	}
+	if cur.smap == nil {
+		return s.refreshLegacy(ctx, tableName, rep, cur)
+	}
+	return s.refreshSharded(ctx, tableName, rep, cur)
+}
+
+// errEpochChanged reports a shard map from a different table
+// incarnation (or a repartition) observed mid-alignment.
+var errEpochChanged = errors.New("edge: table epoch or partition changed")
+
+// maxAlignAttempts bounds the map-refetch loop when central commits
+// race the refresh; each attempt converges unless yet another commit
+// lands inside it, so a small bound suffices and a saturated central
+// simply retries on the next tick (the old consistent set keeps
+// serving).
+const maxAlignAttempts = 4
+
+// refreshSharded refreshes a partitioned replica: one signed map fetch,
+// a delta per stale shard (aligned so the map pins exactly the data),
+// then one atomic set publish.
+func (s *Server) refreshSharded(ctx context.Context, tableName string, rep *replica, cur *tableSet) (RefreshStat, error) {
+	next, n, err := s.fetchVerifiedMap(ctx, tableName)
 	if err != nil {
 		return RefreshStat{}, err
 	}
-	from := cur.Version
-	req := &wire.DeltaRequest{Table: tableName, FromVersion: from, Epoch: cur.Epoch}
+	stat := RefreshStat{Table: tableName, Mode: "noop", Bytes: n,
+		FromVersion: cur.smap.Map.MapVersion}
+	stores := make([]*storage.PageStore, len(cur.shards))
+	for i, sr := range cur.shards {
+		stores[i] = sr.store
+	}
+	final, bytes, refreshed, snapshotted, err := s.alignShards(ctx, tableName, next, stores)
+	stat.Bytes += bytes
+	if errors.Is(err, errEpochChanged) {
+		// Different incarnation (or repartitioned): this replica's
+		// history is dead. Flag it so queries report staleness, then
+		// install a fresh replica from scratch.
+		rep.diverged.Store(true)
+		pn, perr := s.pull(ctx, tableName)
+		if perr != nil {
+			return RefreshStat{}, perr
+		}
+		stat.Mode = "snapshot"
+		stat.Bytes += pn
+		stat.ShardsRefreshed = len(next.Map.Shards)
+		s.stats.refreshesApplied.Add(1)
+		return stat, nil
+	}
+	if err != nil {
+		return RefreshStat{}, err
+	}
+	stat.ToVersion = final.Map.MapVersion
+	stat.ShardsRefreshed = refreshed
+	switch {
+	case refreshed == 0:
+		stat.Mode = "noop"
+	case snapshotted:
+		stat.Mode = "snapshot"
+	default:
+		stat.Mode = "delta"
+	}
+	// One atomic publish: the new map and the shard snapshots it pins
+	// become visible together, so a query can never pair an answer with
+	// a map from a different refresh generation.
+	if err := rep.rebuildSet(final, stores); err != nil {
+		return RefreshStat{}, err
+	}
+	if stat.ShardsRefreshed > 0 {
+		s.stats.refreshesApplied.Add(1)
+	}
+	return stat, nil
+}
+
+// alignShards brings every store to exactly the shard versions sm pins,
+// refetching the map (bounded) when a central commit racing the refresh
+// leaves a store ahead of the map — published sets must never pair a
+// map with data from a different version. Deltas are negotiated from
+// each store's HEAD (not the published set), so a refresh that failed
+// partway resumes cleanly instead of wedging on version mismatches.
+// Returns the map the stores ended aligned to.
+func (s *Server) alignShards(ctx context.Context, tableName string, sm *shardmap.Signed, stores []*storage.PageStore) (final *shardmap.Signed, bytes, refreshed int, snapshotted bool, err error) {
+	for attempt := 0; ; attempt++ {
+		if len(sm.Map.Shards) != len(stores) {
+			return nil, bytes, refreshed, snapshotted, fmt.Errorf("%w: map has %d shards, replica %d", errEpochChanged, len(sm.Map.Shards), len(stores))
+		}
+		aligned := true
+		for i := range stores {
+			head, err := storeState(stores[i])
+			if err != nil {
+				return nil, bytes, refreshed, snapshotted, err
+			}
+			if head.Epoch != sm.Map.Epoch {
+				return nil, bytes, refreshed, snapshotted, fmt.Errorf("%w: map epoch %d, shard %d epoch %d", errEpochChanged, sm.Map.Epoch, i, head.Epoch)
+			}
+			if sm.Map.Shards[i].Version > head.Version {
+				n, mode, store, err := s.refreshShard(ctx, tableName, stores[i], i, head)
+				if err != nil {
+					return nil, bytes, refreshed, snapshotted, err
+				}
+				stores[i] = store
+				bytes += n
+				refreshed++
+				snapshotted = snapshotted || mode == "snapshot"
+				if head, err = storeState(stores[i]); err != nil {
+					return nil, bytes, refreshed, snapshotted, err
+				}
+			}
+			if head.Version != sm.Map.Shards[i].Version {
+				// The store ended ahead of this map (a commit raced us):
+				// a newer signed map pinning the head exists — fetch it.
+				aligned = false
+			}
+		}
+		if aligned {
+			return sm, bytes, refreshed, snapshotted, nil
+		}
+		if attempt >= maxAlignAttempts {
+			return nil, bytes, refreshed, snapshotted, fmt.Errorf("edge: central commits kept racing the refresh of %q; retrying next tick", tableName)
+		}
+		next, n, err := s.fetchVerifiedMap(ctx, tableName)
+		if err != nil {
+			return nil, bytes, refreshed, snapshotted, err
+		}
+		bytes += n
+		sm = next
+	}
+}
+
+// refreshShard brings one shard's store up to date via delta, falling
+// back to a shard snapshot (which replaces the store).
+func (s *Server) refreshShard(ctx context.Context, tableName string, store *storage.PageStore, idx int, st *vbtree.TableState) (int, string, *storage.PageStore, error) {
+	ref := wire.ShardRef(tableName, uint32(idx))
+	req := &wire.ShardDeltaRequest{Table: tableName, Shard: uint32(idx), FromVersion: st.Version, Epoch: st.Epoch}
+	body, err := s.central.Call(ctx, wire.MsgShardDeltaReq, req.Encode(), wire.MsgDeltaResp, true)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	d, err := wire.DecodeDelta(body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if err := s.verifyDelta(ctx, d, body); err != nil {
+		return 0, "", nil, err
+	}
+	if d.SnapshotNeeded {
+		sreq := &wire.ShardSnapshotRequest{Table: tableName, Shard: uint32(idx)}
+		sbody, err := s.central.Call(ctx, wire.MsgShardSnapshotReq, sreq.Encode(), wire.MsgSnapshotResp, true)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		snap, err := wire.DecodeSnapshot(sbody)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		fresh, err := installStore(snap)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		s.stats.snapshotsInstalled.Add(1)
+		return len(body) + len(sbody), "snapshot", fresh, nil
+	}
+	if d.ToVersion == st.Version {
+		return len(body), "noop", store, nil
+	}
+	if err := applyDelta(store, d, ref); err != nil {
+		return 0, "", nil, err
+	}
+	s.stats.deltasApplied.Add(1)
+	return len(body), "delta", store, nil
+}
+
+// verifyDelta signature-checks a delta against the central key,
+// refetching the key once on mismatch (the central may have rotated).
+func (s *Server) verifyDelta(ctx context.Context, d *wire.Delta, body []byte) error {
+	payload, err := d.SigPayloadOfBody(body)
+	if err != nil {
+		return err
+	}
+	pub, err := s.centralKey(ctx)
+	if err != nil {
+		return err
+	}
+	if err := pub.Verify(d.Sig, payload); err != nil {
+		if pub, err = s.refetchCentralKey(ctx); err != nil {
+			return err
+		}
+		if err := pub.Verify(d.Sig, payload); err != nil {
+			return fmt.Errorf("edge: delta signature rejected: %w", err)
+		}
+	}
+	return nil
+}
+
+// refreshLegacy refreshes a single-tree replica against a pre-sharding
+// central server.
+func (s *Server) refreshLegacy(ctx context.Context, tableName string, rep *replica, cur *tableSet) (RefreshStat, error) {
+	// Negotiate from the store's head, not the published set: a refresh
+	// that applied its delta but failed before republishing must resume
+	// from where the store actually is.
+	st, err := storeState(cur.shards[0].store)
+	if err != nil {
+		return RefreshStat{}, err
+	}
+	from := st.Version
+	req := &wire.DeltaRequest{Table: tableName, FromVersion: from, Epoch: st.Epoch}
 	body, err := s.central.Call(ctx, wire.MsgDeltaReq, req.Encode(), wire.MsgDeltaResp, true)
 	if err != nil {
 		return RefreshStat{}, err
@@ -417,26 +860,10 @@ func (s *Server) Refresh(ctx context.Context, tableName string) (RefreshStat, er
 	if err != nil {
 		return RefreshStat{}, err
 	}
-	payload, err := d.SigPayloadOfBody(body)
-	if err != nil {
+	if err := s.verifyDelta(ctx, d, body); err != nil {
 		return RefreshStat{}, err
 	}
-	pub, err := s.centralKey(ctx)
-	if err != nil {
-		return RefreshStat{}, err
-	}
-	if err := pub.Verify(d.Sig, payload); err != nil {
-		// The central server may have rotated or regenerated its key
-		// (e.g. after a restart); refetch once over the authenticated
-		// channel before rejecting the delta.
-		if pub, err = s.refetchCentralKey(ctx); err != nil {
-			return RefreshStat{}, err
-		}
-		if err := pub.Verify(d.Sig, payload); err != nil {
-			return RefreshStat{}, fmt.Errorf("edge: delta signature rejected: %w", err)
-		}
-	}
-	if d.Epoch != cur.Epoch {
+	if d.Epoch != st.Epoch {
 		// The central has a different table incarnation: this replica's
 		// history is dead. Flag it so queries report staleness instead of
 		// silently serving the old incarnation; a successful snapshot
@@ -448,22 +875,41 @@ func (s *Server) Refresh(ctx context.Context, tableName string) (RefreshStat, er
 		if err != nil {
 			return RefreshStat{}, err
 		}
-		return s.statFor(tableName, "snapshot", n, from), nil
+		s.stats.refreshesApplied.Add(1)
+		return s.statFor(tableName, "snapshot", n, from, 1), nil
 	}
 	if d.ToVersion == from {
+		if cur.shards[0].state.Version != from {
+			// The store ran ahead of the published set (a previous
+			// refresh failed between apply and publish); catch the set
+			// up even though no new delta arrived.
+			if err := rep.rebuildSet(nil, []*storage.PageStore{cur.shards[0].store}); err != nil {
+				return RefreshStat{}, err
+			}
+		}
 		return RefreshStat{Table: tableName, Mode: "noop", Bytes: len(body), FromVersion: from, ToVersion: from}, nil
 	}
-	if err := rep.applyDelta(d); err != nil {
+	if err := applyDelta(cur.shards[0].store, d, tableName); err != nil {
 		return RefreshStat{}, err
 	}
-	return RefreshStat{Table: tableName, Mode: "delta", Bytes: len(body), FromVersion: from, ToVersion: d.ToVersion}, nil
+	if err := rep.rebuildSet(nil, []*storage.PageStore{cur.shards[0].store}); err != nil {
+		return RefreshStat{}, err
+	}
+	s.stats.deltasApplied.Add(1)
+	s.stats.refreshesApplied.Add(1)
+	return RefreshStat{Table: tableName, Mode: "delta", Bytes: len(body), FromVersion: from, ToVersion: d.ToVersion, ShardsRefreshed: 1}, nil
 }
 
-func (s *Server) statFor(tableName, mode string, bytes int, from uint64) RefreshStat {
-	st := RefreshStat{Table: tableName, Mode: mode, Bytes: bytes, FromVersion: from}
+func (s *Server) statFor(tableName, mode string, bytes int, from uint64, shards int) RefreshStat {
+	st := RefreshStat{Table: tableName, Mode: mode, Bytes: bytes, FromVersion: from, ShardsRefreshed: shards}
 	if rep := s.replica(tableName); rep != nil {
-		if cur, err := rep.state(); err == nil {
-			st.ToVersion = cur.Version
+		if set := rep.set.Load(); set != nil {
+			if set.smap != nil {
+				st.ToVersion = set.smap.Map.MapVersion
+				st.ShardsRefreshed = len(set.shards)
+			} else {
+				st.ToVersion = set.shards[0].state.Version
+			}
 		}
 	}
 	return st
@@ -471,7 +917,7 @@ func (s *Server) statFor(tableName, mode string, bytes int, from uint64) Refresh
 
 // centralKey fetches (once) the central server's public key over the
 // replication connection — the edge's authenticated channel — so deltas
-// can be signature-checked before they touch a replica.
+// and shard maps can be signature-checked before they touch a replica.
 func (s *Server) centralKey(ctx context.Context) (*sig.PublicKey, error) {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
@@ -503,48 +949,105 @@ func (s *Server) fetchCentralKeyLocked(ctx context.Context) (*sig.PublicKey, err
 	return s.centralPub, nil
 }
 
-// Version reports a replica's update version.
+// Version reports a replica's update version (the shard-map version for
+// partitioned tables).
 func (s *Server) Version(tableName string) (uint64, error) {
 	rep := s.replica(tableName)
 	if rep == nil {
 		return 0, wire.UnknownTable("edge", tableName)
 	}
-	st, err := rep.state()
-	if err != nil {
-		return 0, err
+	set := rep.set.Load()
+	if set == nil {
+		return 0, errors.New("edge: replica has no published set")
 	}
-	return st.Version, nil
+	if set.smap != nil {
+		return set.smap.Map.MapVersion, nil
+	}
+	return set.shards[0].state.Version, nil
 }
 
-// RunQuery executes a compiled query against a replica. The path is
-// lock-free: it pins the replica's current snapshot, traverses it, and
-// releases the pin — concurrent delta applies publish successor
-// snapshots without ever stalling or being stalled by queries. ctx is
-// checked between page visits.
+// NumShards reports how many shards a replica carries.
+func (s *Server) NumShards(tableName string) (int, error) {
+	rep := s.replica(tableName)
+	if rep == nil {
+		return 0, wire.UnknownTable("edge", tableName)
+	}
+	set := rep.set.Load()
+	if set == nil {
+		return 0, errors.New("edge: replica has no published set")
+	}
+	return len(set.shards), nil
+}
+
+// SignedShardMap returns the verified shard map the edge would serve a
+// client for this table (nil error only for partitioned tables).
+func (s *Server) SignedShardMap(tableName string) (*shardmap.Signed, error) {
+	rep := s.replica(tableName)
+	if rep == nil {
+		return nil, wire.UnknownTable("edge", tableName)
+	}
+	set := rep.set.Load()
+	if set == nil || set.smap == nil {
+		return nil, wire.NotSharded("edge", tableName, "table replicated from an unsharded central server")
+	}
+	return set.smap, nil
+}
+
+// RunQuery executes a compiled query against a single-tree replica. The
+// path is lock-free: it pins the replica's current snapshot, traverses
+// it, and releases the pin. Partitioned tables answer with a typed
+// unsupported error steering the client to the scatter-gather path.
 func (s *Server) RunQuery(ctx context.Context, tableName string, q vbtree.Query) (*vo.ResultSet, *vo.VO, error) {
 	rep := s.replica(tableName)
 	if rep == nil {
 		return nil, nil, wire.UnknownTable("edge", tableName)
 	}
+	if set := rep.set.Load(); set != nil && len(set.shards) != 1 {
+		return nil, nil, wire.NotSharded("edge", tableName,
+			fmt.Sprintf("table %q is range-partitioned into %d shards; use shard queries", tableName, len(set.shards)))
+	}
+	rs, w, _, err := s.runShardQuery(ctx, tableName, rep, 0, q)
+	return rs, w, err
+}
+
+// RunShardQuery executes a compiled query against one shard, with the VO
+// anchored at the shard's root so clients can bind it to the signed
+// shard map returned alongside.
+func (s *Server) RunShardQuery(ctx context.Context, tableName string, idx uint32, q vbtree.Query) (*vo.ResultSet, *vo.VO, *shardmap.Signed, error) {
+	rep := s.replica(tableName)
+	if rep == nil {
+		return nil, nil, nil, wire.UnknownTable("edge", tableName)
+	}
+	q.AnchorRoot = true
+	return s.runShardQuery(ctx, tableName, rep, int(idx), q)
+}
+
+func (s *Server) runShardQuery(ctx context.Context, tableName string, rep *replica, idx int, q vbtree.Query) (*vo.ResultSet, *vo.VO, *shardmap.Signed, error) {
 	if rep.diverged.Load() {
-		return nil, nil, wire.StaleReplica(tableName,
+		return nil, nil, nil, wire.StaleReplica(tableName,
 			fmt.Sprintf("edge: replica of %q descends from a dead table incarnation; refresh must install a snapshot first", tableName))
 	}
-	v, _, snap, err := rep.view()
+	set, sr, err := rep.pinShard(idx)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	defer snap.Release()
+	defer sr.snap.Release()
+	v, err := sr.state.ViewOver(sr.snap, rep.sch, rep.acc, placeholderPub(sr.state.KeyVersion))
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	rs, w, err := v.RunQuery(ctx, q)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	s.stats.queriesServed.Add(1)
+	s.stats.voBytes.Add(uint64(w.WireSize()))
 	if tp := s.tamper.Load(); tp != nil && *tp != nil {
 		if err := (*tp)(rs, w); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	return rs, w, nil
+	return rs, w, set.smap, nil
 }
 
 // Schema returns a replica's schema.
@@ -625,31 +1128,30 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 		if rep == nil {
 			return 0, nil, wire.UnknownTable("edge", string(body))
 		}
-		st, err := rep.state()
-		if err != nil {
-			return 0, nil, err
+		set := rep.set.Load()
+		if set == nil {
+			return 0, nil, errors.New("edge: replica has no published set")
 		}
 		resp := &wire.SchemaResponse{
 			Schema:     rep.sch,
 			AccParams:  rep.params,
-			KeyVersion: st.KeyVersion,
+			KeyVersion: set.shards[0].state.KeyVersion,
 		}
 		return wire.MsgSchemaResp, resp.Encode(), nil
+
+	case wire.MsgShardMapReq:
+		sm, err := s.SignedShardMap(string(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgShardMapResp, s.tamperedMap(sm).Encode(), nil
 
 	case wire.MsgQueryReq:
 		req, err := wire.DecodeQueryRequest(body)
 		if err != nil {
 			return 0, nil, err
 		}
-		rep := s.replica(req.Table)
-		if rep == nil {
-			return 0, nil, wire.UnknownTable("edge", req.Table)
-		}
-		spec := query.Spec{Predicates: req.Predicates}
-		if !req.ProjectAll {
-			spec.Project = req.Project
-		}
-		q, err := query.Compile(rep.sch, spec)
+		q, err := s.compile(req)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -660,7 +1162,51 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 		resp := &wire.QueryResponse{Result: rs, VO: w}
 		return wire.MsgQueryResp, resp.Encode(), nil
 
+	case wire.MsgShardQueryReq:
+		req, err := wire.DecodeShardQueryRequest(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		q, err := s.compile(req.Query)
+		if err != nil {
+			return 0, nil, err
+		}
+		rs, w, sm, err := s.RunShardQuery(ctx, req.Query.Table, req.Shard, q)
+		if err != nil {
+			return 0, nil, err
+		}
+		if sm == nil {
+			return 0, nil, wire.NotSharded("edge", req.Query.Table, "table replicated from an unsharded central server")
+		}
+		resp := &wire.ShardQueryResponse{
+			Resp:      &wire.QueryResponse{Result: rs, VO: w},
+			SignedMap: s.tamperedMap(sm).Encode(),
+		}
+		return wire.MsgShardQueryResp, resp.Encode(), nil
+
 	default:
 		return 0, nil, wire.Unsupported("edge", mt)
 	}
+}
+
+// tamperedMap routes a served map through the compromised-edge hook (on
+// a deep copy — the canonical map stays intact for refreshes).
+func (s *Server) tamperedMap(sm *shardmap.Signed) *shardmap.Signed {
+	if tp := s.mapTamper.Load(); tp != nil && *tp != nil {
+		return (*tp)(sm.Clone())
+	}
+	return sm
+}
+
+// compile resolves a wire query request against the table's schema.
+func (s *Server) compile(req *wire.QueryRequest) (vbtree.Query, error) {
+	rep := s.replica(req.Table)
+	if rep == nil {
+		return vbtree.Query{}, wire.UnknownTable("edge", req.Table)
+	}
+	spec := query.Spec{Predicates: req.Predicates}
+	if !req.ProjectAll {
+		spec.Project = req.Project
+	}
+	return query.Compile(rep.sch, spec)
 }

@@ -289,7 +289,7 @@ func TestRefreshRejectsForgedDelta(t *testing.T) {
 	rep := eg.replica("items")
 	bogus := *d
 	bogus.FromVersion = 7
-	if err := rep.applyDelta(&bogus); err == nil || !strings.Contains(err.Error(), "version") {
+	if err := applyDelta(rep.set.Load().shards[0].store, &bogus, "items"); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("version-mismatched delta applied: %v", err)
 	}
 }

@@ -170,7 +170,7 @@ func TestOldSnapshotsDrainAndRecycle(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	allocated, recycled := rep.store.Stats()
+	allocated, recycled := rep.set.Load().shards[0].store.Stats()
 	if recycled == 0 {
 		t.Fatalf("10 unobserved refreshes recycled no buffers (allocated %d)", allocated)
 	}

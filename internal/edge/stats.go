@@ -1,0 +1,37 @@
+package edge
+
+import "sync/atomic"
+
+// edgeCounters aggregates the edge server's observable activity; bumped
+// on hot paths, read by the Stats snapshot (exposed over expvar by
+// edged's -debug-addr).
+type edgeCounters struct {
+	queriesServed      atomic.Uint64
+	voBytes            atomic.Uint64
+	refreshesApplied   atomic.Uint64
+	deltasApplied      atomic.Uint64
+	snapshotsInstalled atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the edge's counters. The JSON
+// field names are the expvar keys.
+type Stats struct {
+	QueriesServed uint64 `json:"queries_served"`
+	// VOBytes is the total verification-object bytes attached to served
+	// answers — the paper's communication-overhead metric, live.
+	VOBytes            uint64 `json:"vo_bytes"`
+	RefreshesApplied   uint64 `json:"refreshes_applied"`
+	DeltasApplied      uint64 `json:"deltas_applied"`
+	SnapshotsInstalled uint64 `json:"snapshots_installed"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		QueriesServed:      s.stats.queriesServed.Load(),
+		VOBytes:            s.stats.voBytes.Load(),
+		RefreshesApplied:   s.stats.refreshesApplied.Load(),
+		DeltasApplied:      s.stats.deltasApplied.Load(),
+		SnapshotsInstalled: s.stats.snapshotsInstalled.Load(),
+	}
+}

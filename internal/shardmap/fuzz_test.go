@@ -1,0 +1,65 @@
+package shardmap
+
+import (
+	"bytes"
+	"testing"
+
+	"edgeauth/internal/schema"
+)
+
+// Fuzz target for the signed-shard-map decoder: the map travels through
+// the untrusted edge server to the client, so the decoder must survive
+// arbitrary bytes. Invariants: no panics, no unbounded allocation, and
+// accepted inputs re-encode byte-identically — the signature covers the
+// payload bytes, so a "repairing" decoder would break authentication.
+
+func seedSigned() []byte {
+	m := testMap()
+	s := &Signed{Map: m, Sig: []byte{9, 9, 9, 9}}
+	return s.Encode()
+}
+
+func FuzzDecodeSigned(f *testing.F) {
+	f.Add(seedSigned())
+	one := &Signed{
+		Map: &Map{Table: "t", Shards: []ShardState{{RootDigest: []byte{1}}}},
+		Sig: []byte{1},
+	}
+	f.Add(one.Encode())
+	str := &Signed{
+		Map: &Map{
+			Table:      "s",
+			Boundaries: []schema.Datum{schema.Str("m")},
+			Shards: []ShardState{
+				{RootDigest: []byte{1, 2}},
+				{RootDigest: []byte{3, 4}, Version: 8},
+			},
+		},
+		Sig: bytes.Repeat([]byte{7}, 64),
+	}
+	f.Add(str.Encode())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSigned(data)
+		if err != nil {
+			return
+		}
+		if err := s.Map.Validate(); err != nil {
+			t.Fatalf("decoder accepted a map Validate rejects: %v", err)
+		}
+		if !bytes.Equal(s.Encode(), data) {
+			t.Fatal("signed map round-trip mismatch")
+		}
+		// Clone must be deep: mutating the clone leaves the original's
+		// encoding unchanged.
+		c := s.Clone()
+		c.Map.Table += "x"
+		if len(c.Map.Shards) > 0 && len(c.Map.Shards[0].RootDigest) > 0 {
+			c.Map.Shards[0].RootDigest[0] ^= 0xFF
+		}
+		if !bytes.Equal(s.Encode(), data) {
+			t.Fatal("Clone aliases the original map")
+		}
+	})
+}

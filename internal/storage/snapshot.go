@@ -76,6 +76,14 @@ func (s *Snapshot) tryRef() bool {
 	}
 }
 
+// Retain adds a pin to an already-pinned snapshot — the RCU pattern
+// where a publisher holds one pin for the snapshot's tenure as "current"
+// and readers take their own short-lived pins from it. Returns false if
+// the snapshot has fully drained (the publisher released it between the
+// reader's load and this call); the reader then reloads the current
+// pointer. Every successful Retain must be paired with a Release.
+func (s *Snapshot) Retain() bool { return s.tryRef() }
+
 // Release drops one pin. Exactly one Release per Acquire.
 func (s *Snapshot) Release() {
 	if n := s.refs.Add(-1); n == 0 {

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"edgeauth/internal/schema"
+	"edgeauth/internal/shardmap"
 	"edgeauth/internal/sig"
 	"edgeauth/internal/vo"
 )
@@ -239,6 +240,110 @@ func SwapProjectionDigest() Attack {
 			w.DS = append(w.DS, vo.Entry{Sig: moved, Lift: w.TopLevel})
 			return nil
 		},
+	}
+}
+
+// ReplayStaleShard substitutes a previously-captured shard answer for
+// the current one — the stale-single-shard attack on a range-partitioned
+// table. A compromised edge serves three fresh shards and one frozen
+// one, hoping the per-shard VOs (each individually authentic) stitch
+// into an accepted cross-shard answer. The replayed VO anchors at the
+// shard's OLD root digest, so a client that binds every shard answer to
+// the current signed shard map rejects it.
+//
+// The attack targets responses covering the stale answer's key region
+// (so a scatter-gather's other shards pass through untouched).
+func ReplayStaleShard(staleRS *vo.ResultSet, staleVO *vo.VO) Attack {
+	return Attack{
+		Name:        "replay-stale-shard",
+		Description: "answer one shard of a range query from a frozen old replica",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if len(staleRS.Keys) == 0 || len(rs.Keys) == 0 {
+				return ErrNotApplicable
+			}
+			lo, hi := staleRS.Keys[0], staleRS.Keys[len(staleRS.Keys)-1]
+			if rs.Keys[0].Compare(hi) > 0 || rs.Keys[len(rs.Keys)-1].Compare(lo) < 0 {
+				return ErrNotApplicable // different shard's region
+			}
+			rs.Columns = append([]string(nil), staleRS.Columns...)
+			rs.Keys = append([]schema.Datum(nil), staleRS.Keys...)
+			rs.Tuples = nil
+			for _, t := range staleRS.Tuples {
+				rs.Tuples = append(rs.Tuples, t.Clone())
+			}
+			w.KeyVersion = staleVO.KeyVersion
+			w.TopLevel = staleVO.TopLevel
+			w.TopDigest = staleVO.TopDigest.Clone()
+			w.DS = nil
+			for _, e := range staleVO.DS {
+				w.DS = append(w.DS, vo.Entry{Sig: e.Sig.Clone(), Lift: e.Lift})
+			}
+			w.DP = nil
+			for _, s := range staleVO.DP {
+				w.DP = append(w.DP, s.Clone())
+			}
+			// Keep the current timestamp: the attack is the stale CONTENT,
+			// not a backdated clock (that one is BackdateTimestamp).
+			return nil
+		},
+	}
+}
+
+// MapAttack mutates the shard map a compromised edge serves — hiding,
+// re-routing or rewinding shards of a range-partitioned table.
+type MapAttack struct {
+	Name        string
+	Description string
+	// Apply mutates the map in place (the edge hook hands it a deep
+	// copy). Returning an error marks the attack inapplicable.
+	Apply func(sm *shardmap.Signed) error
+}
+
+// DropShardFromMap removes the last shard (and its lower boundary) from
+// the served map — the drop-a-shard attack: a range query routed by the
+// doctored map would silently never ask the hidden shard, truncating
+// the answer. The map signature covers the boundary keys and the shard
+// list, so the mutation cannot be re-signed and clients reject the map.
+func DropShardFromMap() MapAttack {
+	return MapAttack{
+		Name:        "drop-shard-from-map",
+		Description: "hide the last shard of a partitioned table from the served shard map",
+		Apply: func(sm *shardmap.Signed) error {
+			n := len(sm.Map.Shards)
+			if n < 2 {
+				return ErrNotApplicable
+			}
+			sm.Map.Shards = sm.Map.Shards[:n-1]
+			sm.Map.Boundaries = sm.Map.Boundaries[:n-2]
+			return nil
+		},
+	}
+}
+
+// RewireShardDigests swaps two shards' root digests in the served map —
+// an edge trying to answer shard i's range with shard j's (authentic)
+// tree. Breaks the map signature just like dropping a shard.
+func RewireShardDigests() MapAttack {
+	return MapAttack{
+		Name:        "rewire-shard-digests",
+		Description: "swap two shards' root digests in the served shard map",
+		Apply: func(sm *shardmap.Signed) error {
+			if len(sm.Map.Shards) < 2 {
+				return ErrNotApplicable
+			}
+			a, b := 0, len(sm.Map.Shards)-1
+			sm.Map.Shards[a].RootDigest, sm.Map.Shards[b].RootDigest =
+				sm.Map.Shards[b].RootDigest, sm.Map.Shards[a].RootDigest
+			return nil
+		},
+	}
+}
+
+// MapAttacks returns the shard-map attack catalogue.
+func MapAttacks() []MapAttack {
+	return []MapAttack{
+		DropShardFromMap(),
+		RewireShardDigests(),
 	}
 }
 

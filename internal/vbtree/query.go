@@ -18,6 +18,14 @@ type Query struct {
 	// Project lists the columns to return; nil means all columns.
 	// Filtered-out attributes are covered by D_P digests.
 	Project []string
+	// AnchorRoot forces the VO's enveloping subtree to be the whole
+	// tree, so the VO's TopDigest recovers to the root digest. Sharded
+	// queries set it: the client binds each per-shard answer to the
+	// signed shard map by comparing the recovered top digest against
+	// the root digest the map pins, which only works when the envelope
+	// tops out at the root. Costs a few extra D_S sibling digests along
+	// the root path.
+	AnchorRoot bool
 }
 
 // matched is one qualifying tuple with everything the VO needs.

@@ -205,6 +205,15 @@ func (t *Tree) RootSig() sig.Signature {
 	return t.rootSig.Clone()
 }
 
+// RootDigest recovers the unsigned root digest from the root signature —
+// the value a signed shard map pins for this tree. One public-exponent
+// RSA operation; called once per commit by the sharded central server.
+func (t *Tree) RootDigest() (digest.Value, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.recoverDigest(t.rootSig)
+}
+
 // lockRes names a page in the lock manager's space.
 func (t *Tree) lockRes(id storage.PageID) lock.Resource {
 	return lock.Resource{Space: "vb:" + t.sch.Table, ID: uint64(id)}

@@ -220,7 +220,7 @@ func (v *View) RunQuery(ctx context.Context, q Query) (*vo.ResultSet, *vo.VO, er
 	}
 
 	// Phase 2: locate the enveloping subtree and assemble the D_S set.
-	w, err := v.buildVO(ctx, matches, loB)
+	w, err := v.buildVO(ctx, matches, loB, q.AnchorRoot)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -343,7 +343,9 @@ func (v *View) collectMatches(ctx context.Context, lo, hi []byte, filter func(sc
 // buildVO locates the enveloping subtree of the matches and assembles the
 // D_S set. For an empty result it envelopes the leaf where lo would land,
 // proving (to the extent the paper's model allows) what that region holds.
-func (v *View) buildVO(ctx context.Context, matches []matched, lo []byte) (*vo.VO, error) {
+// With anchorRoot the envelope is pinned at the root regardless of the
+// span, so the VO's top digest recovers to the root digest.
+func (v *View) buildVO(ctx context.Context, matches []matched, lo []byte, anchorRoot bool) (*vo.VO, error) {
 	w := &vo.VO{
 		KeyVersion: v.pub.Version,
 		Timestamp:  v.now(),
@@ -368,7 +370,7 @@ func (v *View) buildVO(ctx context.Context, matches []matched, lo []byte) (*vo.V
 	pid := v.root
 	level := v.height
 	topSig := v.rootSig
-	for {
+	for !anchorRoot {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

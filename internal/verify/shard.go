@@ -1,0 +1,85 @@
+package verify
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"edgeauth/internal/shardmap"
+	"edgeauth/internal/vo"
+)
+
+// Client-side verification for range-partitioned tables.
+//
+// A sharded answer is N per-shard (result, VO) pairs stitched under a
+// central-signed shard map. Three checks make the stitching sound:
+//
+//  1. The map itself verifies: central signature over the boundary keys
+//     and per-shard root digests, key version resolved at the client's
+//     own clock (VerifyShardMap).
+//  2. Each per-shard VO verifies AND anchors at exactly the root digest
+//     the map pins for that shard (VerifyAnchored). The edge builds
+//     shard VOs with the envelope forced to the root, so the recovered
+//     top digest IS the shard's root digest — a stale shard answer
+//     recovers to an old root and fails the comparison.
+//  3. The caller derives the set of qualifying shards from the verified
+//     map's boundaries and demands one verified answer per qualifying
+//     shard — an edge that "loses" a shard cannot produce the missing
+//     answer, and the map signature stops it from hiding the shard's
+//     existence. Adjacent boundaries tile the key space by construction
+//     (shardmap.Map.Validate rejects unsorted or duplicated bounds), so
+//     no key range can fall between shards.
+
+// ErrShardBinding marks a per-shard answer whose VO does not anchor at
+// the root digest the verified shard map pins — a stale or cross-wired
+// shard answer. It wraps ErrVerification.
+var ErrShardBinding = errors.New("verify: shard answer not bound to the shard map")
+
+// VerifyShardMap checks a signed shard map against the trusted keys: the
+// signature must recover under the map's key version, resolved and
+// validity-checked at the verifier's own clock, and the map must name
+// the expected table with digests sized for the accumulator.
+func (v *Verifier) VerifyShardMap(sm *shardmap.Signed, table string) error {
+	if v.Acc == nil {
+		return errors.New("verify: verifier not configured")
+	}
+	if sm == nil || sm.Map == nil {
+		return fmt.Errorf("%w: missing shard map", ErrMalformed)
+	}
+	if err := sm.Map.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if sm.Map.Table != table {
+		return fmt.Errorf("%w: shard map names table %q, want %q", ErrMalformed, sm.Map.Table, table)
+	}
+	for i, sh := range sm.Map.Shards {
+		if len(sh.RootDigest) != v.Acc.Len() {
+			return fmt.Errorf("%w: shard %d root digest has %d bytes, want %d",
+				ErrMalformed, i, len(sh.RootDigest), v.Acc.Len())
+		}
+	}
+	pub, err := v.resolveKey(sm.Map.KeyVersion, v.now())
+	if err != nil {
+		return err
+	}
+	if err := sm.Verify(pub); err != nil {
+		return fmt.Errorf("%w: %v", ErrVerification, err)
+	}
+	return nil
+}
+
+// VerifyAnchored runs the standard VO verification and additionally
+// requires the VO's top digest to recover to rootDigest — the binding
+// that ties a per-shard answer to the verified shard map. rootDigest
+// comes from a VerifyShardMap-checked map, never from the edge directly.
+func (v *Verifier) VerifyAnchored(rs *vo.ResultSet, w *vo.VO, rootDigest []byte) error {
+	top, err := v.verify(rs, w)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(top, rootDigest) {
+		return fmt.Errorf("%w: %w: VO anchors at a different root than the shard map pins (stale or cross-wired shard answer)",
+			ErrVerification, ErrShardBinding)
+	}
+	return nil
+}

@@ -148,21 +148,29 @@ func (v *Verifier) resolveKey(keyVersion uint32, atUnix int64) (*sig.PublicKey, 
 // Verify checks rs against w. A nil error means the result is authentic:
 // the returned values are untampered and no spurious tuples are present.
 func (v *Verifier) Verify(rs *vo.ResultSet, w *vo.VO) error {
+	_, err := v.verify(rs, w)
+	return err
+}
+
+// verify is Verify returning the recovered top digest on success, so
+// callers that additionally bind the envelope (VerifyAnchored) don't
+// pay a second RSA recovery of the same signature.
+func (v *Verifier) verify(rs *vo.ResultSet, w *vo.VO) (digest.Value, error) {
 	if v.Acc == nil || v.Schema == nil {
-		return errors.New("verify: verifier not configured")
+		return nil, errors.New("verify: verifier not configured")
 	}
 	if rs == nil || w == nil {
-		return fmt.Errorf("%w: missing result or VO", ErrMalformed)
+		return nil, fmt.Errorf("%w: missing result or VO", ErrMalformed)
 	}
 	if err := rs.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrMalformed, err)
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	if rs.DB != v.Schema.DB || rs.Table != v.Schema.Table {
-		return fmt.Errorf("%w: result identity %s.%s does not match schema %s.%s",
+		return nil, fmt.Errorf("%w: result identity %s.%s does not match schema %s.%s",
 			ErrMalformed, rs.DB, rs.Table, v.Schema.DB, v.Schema.Table)
 	}
 	if w.TopLevel < 1 {
-		return fmt.Errorf("%w: top level %d", ErrMalformed, w.TopLevel)
+		return nil, fmt.Errorf("%w: top level %d", ErrMalformed, w.TopLevel)
 	}
 	// Freshness (§3.4): the key's validity is resolved against the
 	// client's own clock. The VO timestamp comes from the untrusted edge —
@@ -170,11 +178,11 @@ func (v *Verifier) Verify(rs *vo.ResultSet, w *vo.VO) error {
 	// used to time-travel key validity.
 	at := v.now()
 	if err := v.checkFreshness(w.Timestamp, at); err != nil {
-		return err
+		return nil, err
 	}
 	pub, err := v.resolveKey(w.KeyVersion, at)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	// Map result columns to schema columns, and find which are filtered.
@@ -183,23 +191,23 @@ func (v *Verifier) Verify(rs *vo.ResultSet, w *vo.VO) error {
 	for i, name := range rs.Columns {
 		ci := v.Schema.ColumnIndex(name)
 		if ci < 0 {
-			return fmt.Errorf("%w: unknown column %q", ErrMalformed, name)
+			return nil, fmt.Errorf("%w: unknown column %q", ErrMalformed, name)
 		}
 		if seen[ci] {
-			return fmt.Errorf("%w: duplicate column %q", ErrMalformed, name)
+			return nil, fmt.Errorf("%w: duplicate column %q", ErrMalformed, name)
 		}
 		seen[ci] = true
 		colIdx[i] = ci
 	}
 	nFilteredPerTuple := len(v.Schema.Columns) - len(rs.Columns)
 	if want := nFilteredPerTuple * len(rs.Tuples); len(w.DP) != want {
-		return fmt.Errorf("%w: D_P carries %d digests, want %d", ErrMalformed, len(w.DP), want)
+		return nil, fmt.Errorf("%w: D_P carries %d digests, want %d", ErrMalformed, len(w.DP), want)
 	}
 
 	// Anchor: recover the enveloping subtree's signed digest.
 	topU, err := recoverDigest(pub, v.Acc, w.TopDigest)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	L := int(w.TopLevel)
@@ -212,52 +220,52 @@ func (v *Verifier) Verify(rs *vo.ResultSet, w *vo.VO) error {
 		for i, ci := range colIdx {
 			val := rs.Tuples[j].Values[i]
 			if val.Type != v.Schema.Columns[ci].Type {
-				return fmt.Errorf("%w: tuple %d column %q has type %v, want %v",
+				return nil, fmt.Errorf("%w: tuple %d column %q has type %v, want %v",
 					ErrMalformed, j, rs.Columns[i], val.Type, v.Schema.Columns[ci].Type)
 			}
 			d := v.Acc.HashAttribute(rs.DB, rs.Table, v.Schema.Columns[ci].Name, keyBytes, val.CanonicalBytes())
 			if err := attrAcc.Add(d); err != nil {
-				return fmt.Errorf("%w: %v", ErrMalformed, err)
+				return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 			}
 		}
 	}
 	for _, ds := range w.DP {
 		u, err := recoverDigest(pub, v.Acc, ds)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := attrAcc.Add(u); err != nil {
-			return fmt.Errorf("%w: %v", ErrMalformed, err)
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
 	}
 	product, err := v.Acc.Lift(attrAcc.Value(), L) // attribute level is L+1; Acc already applied one g
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrMalformed, err)
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 
 	// D_S: filtered tuples and branches at their tagged lifts.
 	for i, e := range w.DS {
 		if int(e.Lift) < 1 || int(e.Lift) > L {
-			return fmt.Errorf("%w: D_S entry %d has lift %d outside [1,%d]", ErrMalformed, i, e.Lift, L)
+			return nil, fmt.Errorf("%w: D_S entry %d has lift %d outside [1,%d]", ErrMalformed, i, e.Lift, L)
 		}
 		u, err := recoverDigest(pub, v.Acc, e.Sig)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		lifted, err := v.Acc.Lift(u, int(e.Lift))
 		if err != nil {
-			return fmt.Errorf("%w: %v", ErrMalformed, err)
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
 		product, err = v.Acc.Mul(product, lifted)
 		if err != nil {
-			return fmt.Errorf("%w: %v", ErrMalformed, err)
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
 	}
 
 	if !product.Equal(topU) {
-		return fmt.Errorf("%w: digest mismatch (computed %v, signed %v)", ErrVerification, product, topU)
+		return nil, fmt.Errorf("%w: digest mismatch (computed %v, signed %v)", ErrVerification, product, topU)
 	}
-	return nil
+	return topU, nil
 }
 
 // recoverDigest applies s⁻¹ and validates the digest length.

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard-scoped replication and query frames.
+//
+// A range-partitioned table is N independent VB-trees bound by a signed
+// shard map (internal/shardmap). Replication and queries address one
+// shard at a time:
+//
+//	edge   → central: ShardMapReq        (table)          → ShardMapResp (signed map)
+//	edge   → central: ShardSnapshotReq   (table, shard)   → SnapshotResp
+//	edge   → central: ShardDeltaReq      (table, shard,…) → DeltaResp
+//	client → edge:    ShardMapReq        (table)          → ShardMapResp
+//	client → edge:    ShardQueryReq      (shard, query)   → QueryResp
+//
+// Responses reuse the unsharded body codecs — a shard's snapshot, delta
+// and query answer have exactly the shapes of a small table's. Shard
+// deltas bind the shard index into the signed Table field (see
+// ShardRef) so a delta for shard 0 cannot be replayed against shard 3.
+//
+// All five requests are v2-era messages: an unsharded peer answers
+// them with a typed CodeUnsupported error (or a prose error on legacy
+// v1), and the caller falls back to the single-tree protocol. That is
+// the negotiated-compatibility story — no capability flags, just typed
+// rejection plus fallback.
+
+// ShardMapResp bodies are the shardmap.Signed encoding; the wire
+// package treats them as opaque bytes so it does not depend on the
+// shardmap package's types.
+
+// ShardRef names one shard of a table inside signed payloads (delta
+// signatures cover the Table field, so embedding the index there binds
+// the delta to its shard).
+func ShardRef(table string, shard uint32) string {
+	return table + "#" + strconv.FormatUint(uint64(shard), 10)
+}
+
+// ParseShardRef splits a ShardRef back into table and shard index.
+func ParseShardRef(ref string) (table string, shard uint32, err error) {
+	i := strings.LastIndexByte(ref, '#')
+	if i < 0 {
+		return "", 0, fmt.Errorf("wire: %q is not a shard ref", ref)
+	}
+	n, err := strconv.ParseUint(ref[i+1:], 10, 32)
+	if err != nil {
+		return "", 0, fmt.Errorf("wire: bad shard index in %q: %w", ref, err)
+	}
+	return ref[:i], uint32(n), nil
+}
+
+// ShardSnapshotRequest asks the central server for one shard's full
+// snapshot.
+type ShardSnapshotRequest struct {
+	Table string
+	Shard uint32
+}
+
+// Encode serializes the request.
+func (r *ShardSnapshotRequest) Encode() []byte {
+	out := appendStr(nil, r.Table)
+	return appendU32(out, r.Shard)
+}
+
+// DecodeShardSnapshotRequest parses a ShardSnapshotRequest.
+func DecodeShardSnapshotRequest(body []byte) (*ShardSnapshotRequest, error) {
+	r := &reader{data: body}
+	q := &ShardSnapshotRequest{Table: r.str("table")}
+	q.Shard = r.u32("shard")
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ShardDeltaRequest asks the central server for the changes one shard
+// replica is missing.
+type ShardDeltaRequest struct {
+	Table       string
+	Shard       uint32
+	FromVersion uint64
+	Epoch       uint64
+}
+
+// Encode serializes the request.
+func (r *ShardDeltaRequest) Encode() []byte {
+	out := appendStr(nil, r.Table)
+	out = appendU32(out, r.Shard)
+	out = appendU64(out, r.FromVersion)
+	return appendU64(out, r.Epoch)
+}
+
+// DecodeShardDeltaRequest parses a ShardDeltaRequest.
+func DecodeShardDeltaRequest(body []byte) (*ShardDeltaRequest, error) {
+	r := &reader{data: body}
+	q := &ShardDeltaRequest{Table: r.str("table")}
+	q.Shard = r.u32("shard")
+	q.FromVersion = r.u64("from version")
+	q.Epoch = r.u64("epoch")
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ShardQueryRequest runs a selection/projection against one shard of a
+// partitioned table. The edge anchors the VO at the shard's root
+// (vbtree.Query.AnchorRoot) so the client can bind the answer to the
+// verified shard map.
+type ShardQueryRequest struct {
+	Shard uint32
+	Query *QueryRequest
+}
+
+// Encode serializes the request.
+func (r *ShardQueryRequest) Encode() []byte {
+	out := appendU32(nil, r.Shard)
+	return appendBytes(out, r.Query.Encode())
+}
+
+// DecodeShardQueryRequest parses a ShardQueryRequest.
+func DecodeShardQueryRequest(body []byte) (*ShardQueryRequest, error) {
+	r := &reader{data: body}
+	shard := r.u32("shard")
+	qb := r.bytes("query")
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	q, err := DecodeQueryRequest(qb)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardQueryRequest{Shard: shard, Query: q}, nil
+}
+
+// ShardQueryResponse is a shard answer plus the signed shard map the
+// edge held when producing it. Serving the two together makes every
+// answer self-binding: the client verifies the attached map and checks
+// the VO anchors at the root digest it pins for the shard, with no
+// window for the edge's refresh to slide between a separately-fetched
+// map and the answer. SignedMap is an opaque shardmap.Signed encoding.
+type ShardQueryResponse struct {
+	Resp      *QueryResponse
+	SignedMap []byte
+}
+
+// Encode serializes the response.
+func (r *ShardQueryResponse) Encode() []byte {
+	out := appendBytes(nil, r.Resp.Encode())
+	return appendBytes(out, r.SignedMap)
+}
+
+// DecodeShardQueryResponse parses a ShardQueryResponse.
+func DecodeShardQueryResponse(body []byte) (*ShardQueryResponse, error) {
+	r := &reader{data: body}
+	qb := r.bytes("query response")
+	mb := r.bytes("signed map")
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	resp, err := DecodeQueryResponse(qb)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardQueryResponse{Resp: resp, SignedMap: mb}, nil
+}
+
+// ErrNotSharded is returned (inside a CodeUnsupported wire error) when a
+// shard-scoped request names a single-tree table, or an unsharded
+// request names a partitioned one.
+var ErrNotSharded = errors.New("wire: table partitioning mismatch")
+
+// NotSharded builds the typed error telling a peer to switch protocols
+// for this table (sharded peers fall back on it, unsharded ones report
+// it).
+func NotSharded(server, table, msg string) *WireError {
+	return &WireError{Code: CodeUnsupported, Table: table, Msg: server + ": " + msg}
+}

@@ -75,6 +75,15 @@ const (
 	// the central server and its typed per-op results back (see batch.go).
 	MsgBatchReq
 	MsgBatchResp
+	// Shard-scoped frames for range-partitioned tables (see shard.go).
+	// ShardMapResp carries a shardmap.Signed encoding; shard snapshots,
+	// deltas and query answers reuse the unsharded response codecs.
+	MsgShardMapReq
+	MsgShardMapResp
+	MsgShardSnapshotReq
+	MsgShardDeltaReq
+	MsgShardQueryReq
+	MsgShardQueryResp
 )
 
 func (m MsgType) String() string {
@@ -90,6 +99,11 @@ func (m MsgType) String() string {
 		MsgDeltaReq: "delta-req", MsgDeltaResp: "delta-resp",
 		MsgHello: "hello", MsgHelloResp: "hello-resp",
 		MsgBatchReq: "batch-req", MsgBatchResp: "batch-resp",
+		MsgShardMapReq: "shard-map-req", MsgShardMapResp: "shard-map-resp",
+		MsgShardSnapshotReq: "shard-snapshot-req",
+		MsgShardDeltaReq:    "shard-delta-req",
+		MsgShardQueryReq:    "shard-query-req",
+		MsgShardQueryResp:   "shard-query-resp",
 	}
 	if n, ok := names[m]; ok {
 		return n
