@@ -114,7 +114,7 @@ func BenchmarkFig10Communication(b *testing.B) {
 	var p experiments.CommPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		p, err = e.MeasureComm(50, 5)
+		p, err = e.MeasureComm(context.Background(), 50, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,7 +132,7 @@ func BenchmarkFig10Communication(b *testing.B) {
 func BenchmarkFig11AttrFactor(b *testing.B) {
 	cfg := benchCfg
 	cfg.SmallRows = 300
-	f, err := experiments.MeasuredFig11(cfg)
+	f, err := experiments.MeasuredFig11(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func BenchmarkFig12Computation(b *testing.B) {
 	var p experiments.OpsPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		p, err = e.MeasureOps(50, 10)
+		p, err = e.MeasureOps(context.Background(), 50, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,7 +170,7 @@ func BenchmarkFig12Computation(b *testing.B) {
 // once, reweighting is the per-iteration work.
 func BenchmarkFig13aCostK(b *testing.B) {
 	e := benchEnv(b)
-	p, err := e.MeasureOps(80, 10)
+	p, err := e.MeasureOps(context.Background(), 80, 10)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -198,11 +198,11 @@ func BenchmarkFig13bQc(b *testing.B) {
 	var low, high experiments.OpsPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		low, err = e.MeasureOps(20, 2)
+		low, err = e.MeasureOps(context.Background(), 20, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
-		high, err = e.MeasureOps(20, 10)
+		high, err = e.MeasureOps(context.Background(), 20, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -308,7 +308,7 @@ func BenchmarkAblationRootOnlyVO(b *testing.B) {
 	e := benchEnv(b)
 	var digests int
 	for i := 0; i < b.N; i++ {
-		p, err := e.MeasureComm(10, 10)
+		p, err := e.MeasureComm(context.Background(), 10, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -332,7 +332,7 @@ func BenchmarkAblationOrderedHash(b *testing.B) {
 	e := benchEnv(b)
 	var setBytes, orderedBytes int
 	for i := 0; i < b.N; i++ {
-		p, err := e.MeasureComm(20, 10)
+		p, err := e.MeasureComm(context.Background(), 20, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -424,7 +424,7 @@ func BenchmarkAblationInsertRecompute(b *testing.B) {
 func BenchmarkVBVerify(b *testing.B) {
 	e := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := e.MeasureOps(20, 10); err != nil {
+		if _, err := e.MeasureOps(context.Background(), 20, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -498,7 +498,7 @@ func BenchmarkBatchInsert(b *testing.B) {
 		if err := srv.AddTable(sch, baseRows()); err != nil {
 			b.Fatal(err)
 		}
-		b.Cleanup(srv.Close)
+		b.Cleanup(func() { srv.Close() })
 		return srv
 	}
 	var nextID atomic.Int64
@@ -938,7 +938,7 @@ func BenchmarkShardedIngest(b *testing.B) {
 		if err := srv.AddTable(sch, tuples); err != nil {
 			b.Fatal(err)
 		}
-		b.Cleanup(srv.Close)
+		b.Cleanup(func() { srv.Close() })
 		return srv
 	}
 	const batch = 256
@@ -1004,7 +1004,7 @@ func BenchmarkShardedRangeQuery(b *testing.B) {
 			if err := srv.AddTable(sch, tuples); err != nil {
 				b.Fatal(err)
 			}
-			b.Cleanup(srv.Close)
+			b.Cleanup(func() { srv.Close() })
 			centralLn, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				b.Fatal(err)
@@ -1014,7 +1014,7 @@ func BenchmarkShardedRangeQuery(b *testing.B) {
 			if err := eg.PullAll(context.Background()); err != nil {
 				b.Fatal(err)
 			}
-			b.Cleanup(eg.Close)
+			b.Cleanup(func() { eg.Close() })
 			edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				b.Fatal(err)

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -91,6 +92,7 @@ func main() {
 		return
 	}
 
+	ctx := context.Background()
 	cfg := experiments.Config{
 		Rows:      *rows,
 		SmallRows: *smallRows,
@@ -118,7 +120,7 @@ func main() {
 	}
 	if sel("F10") {
 		for _, qc := range []int{2, 5, 8} {
-			f, err := env.MeasuredFig10(qc)
+			f, err := env.MeasuredFig10(ctx, qc)
 			if err != nil {
 				fatal(err)
 			}
@@ -126,7 +128,7 @@ func main() {
 		}
 	}
 	if sel("F11") {
-		f, err := experiments.MeasuredFig11(cfg)
+		f, err := experiments.MeasuredFig11(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -134,7 +136,7 @@ func main() {
 	}
 	if sel("F12") {
 		for _, x := range []float64{5, 10, 100} {
-			f, err := env.MeasuredFig12(x)
+			f, err := env.MeasuredFig12(ctx, x)
 			if err != nil {
 				fatal(err)
 			}
@@ -142,12 +144,12 @@ func main() {
 		}
 	}
 	if sel("F13") {
-		f, err := env.MeasuredFig13a()
+		f, err := env.MeasuredFig13a(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		f.Render(out)
-		f, err = env.MeasuredFig13b()
+		f, err = env.MeasuredFig13b(ctx)
 		if err != nil {
 			fatal(err)
 		}

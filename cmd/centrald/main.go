@@ -35,6 +35,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"edgeauth/internal/central"
@@ -145,5 +148,23 @@ func main() {
 	} else {
 		fmt.Printf("centrald serving tables %v on %s\n", srv.Tables(), ln.Addr())
 	}
+
+	// Graceful shutdown: drain connections and close every shard's WAL —
+	// an fsync failure on close is the last chance to notice lost
+	// durability, so the error is reported, not dropped.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("received %v, shutting down", sig)
+		srv.Close() // closes listeners; Serve returns, and main reports the error
+	}()
+
 	srv.Serve(ln)
+	// Close is idempotent: this either waits out the signal handler's
+	// shutdown or performs it when Serve stopped on a listener failure.
+	if err := srv.Close(); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("stopped")
 }

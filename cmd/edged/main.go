@@ -144,6 +144,12 @@ func main() {
 	fmt.Printf("edged serving tables %v on %s\n", srv.Tables(), ln.Addr())
 	srv.Serve(ln)
 	<-refreshDone
+	// Close is idempotent: this waits out the signal handler's shutdown
+	// (or performs it, when Serve stopped on a listener failure) and
+	// surfaces a central connection that failed to close cleanly.
+	if err := srv.Close(); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 	log.Printf("stopped")
 }
 

@@ -1,0 +1,35 @@
+// Command vetauth checks this module's domain invariants: signature
+// verification before trust (trustflow), snapshot pin/release pairing
+// (pinpair), no RSA signing under shard locks and no commit-lock order
+// inversions (locksign), and context plumbing discipline (ctxflow).
+//
+// Run it through the vet driver so test files and build-tag variants
+// are covered:
+//
+//	go build -o bin/vetauth ./cmd/vetauth
+//	go vet -vettool=$PWD/bin/vetauth ./...
+//
+// or standalone over package patterns (library sources only):
+//
+//	go run ./cmd/vetauth ./...
+//
+// Findings exit nonzero. Intentional exceptions are annotated in the
+// source with //vetauth:ignore <analyzer> <reason>.
+package main
+
+import (
+	"edgeauth/internal/analysis/ctxflow"
+	"edgeauth/internal/analysis/driver"
+	"edgeauth/internal/analysis/locksign"
+	"edgeauth/internal/analysis/pinpair"
+	"edgeauth/internal/analysis/trustflow"
+)
+
+func main() {
+	driver.Main(
+		trustflow.Analyzer,
+		pinpair.Analyzer,
+		locksign.Analyzer,
+		ctxflow.Analyzer,
+	)
+}

@@ -1,0 +1,259 @@
+// Package analyzertest runs an analyzer over source fixtures and
+// checks its diagnostics against `// want` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	testdata/src/<pkg>/*.go        the package under analysis
+//	testdata/src/<dep>/*.go        fixture dependencies, imported by
+//	                               their short path ("storage", "sig")
+//
+//	sm := shardmap.DecodeSigned(b)
+//	return sm, nil // want `returned without signature verification`
+//
+// A want comment holds one or more backquoted-or-quoted regular
+// expressions; every diagnostic on that line must match one of them,
+// and every expectation must be consumed by exactly one diagnostic.
+// Fixture dependencies shadow stdlib packages by path; anything not
+// found under testdata/src resolves to the real standard library via
+// build-cache export data (`go list -export`), so fixtures may import
+// context, sync, errors, ... freely.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"edgeauth/internal/analysis"
+)
+
+// Run analyzes testdata/src/<pkg> for each named package and checks
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, pkg)
+		})
+	}
+}
+
+// TestData returns the absolute path of the ./testdata directory of
+// the calling test's package.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	l := &loader{
+		fset:   token.NewFileSet(),
+		srcDir: filepath.Join(testdata, "src"),
+		pkgs:   make(map[string]*types.Package),
+	}
+	l.stdlib = importer.ForCompiler(l.fset, "gc", stdlibLookup)
+
+	files, pkg, info, err := l.loadRoot(pkgpath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.Run(&analysis.Package{Fset: l.fset, Files: files, Types: pkg, Info: info}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, l.fset, files)
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := make(map[key][]*want)
+	for i := range wants {
+		w := &wants[i]
+		k := key{w.file, w.line}
+		unmatched[k] = append(unmatched[k], w)
+	}
+	for _, d := range diags {
+		posn := l.fset.Position(d.Pos)
+		k := key{posn.Filename, posn.Line}
+		matched := false
+		for _, w := range unmatched[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, ws := range unmatched {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re.String())
+			}
+		}
+	}
+}
+
+type loader struct {
+	fset   *token.FileSet
+	srcDir string
+	pkgs   map[string]*types.Package
+	stdlib types.Importer
+}
+
+// Import resolves fixture packages from testdata/src first, then the
+// real standard library. Implements types.Importer so fixture deps can
+// import each other recursively.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcDir, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		_, pkg, _, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+func (l *loader) loadRoot(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	files, pkg, info, err := l.load(path)
+	if err == nil {
+		l.pkgs[path] = pkg
+	}
+	return files, pkg, info, err
+}
+
+func (l *loader) load(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(l.srcDir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}
+
+// stdlibLookup resolves a standard-library package to its export data
+// via the build cache. Results are memoized per path.
+var stdlibExports = make(map[string]string)
+
+func stdlibLookup(path string) (io.ReadCloser, error) {
+	file, ok := stdlibExports[path]
+	if !ok {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		stdlibExports[path] = file
+	}
+	return os.Open(file)
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllString(text[idx+len("want "):], -1) {
+					var pat string
+					if m[0] == '`' {
+						pat = m[1 : len(m)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(m)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", posn, m, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", posn, m, err)
+					}
+					wants = append(wants, want{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}

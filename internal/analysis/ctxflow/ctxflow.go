@@ -1,0 +1,125 @@
+// Package ctxflow enforces the module's context discipline, introduced
+// with the PR 2 RPC layer: cancellation must flow from the transport
+// edge down through every layer, so a dropped client or a shutdown
+// deadline actually stops shard scans and page walks.
+//
+// Three rules, all syntactic:
+//
+//  1. A context.Context parameter must be the first parameter
+//     (after the receiver), matching the stdlib convention the rest of
+//     the call graph relies on.
+//
+//  2. Library code must not mint fresh root contexts: any call to
+//     context.Background() or context.TODO() outside package main is
+//     flagged — accept a ctx instead. Deliberate roots (the RPC
+//     accept loop's per-connection default) carry a //vetauth:ignore
+//     with a reason.
+//
+//  3. A function that already receives a ctx must not shadow it with a
+//     fresh root: Background()/TODO() inside such a function is a
+//     dropped-context bug wherever it appears, including package main.
+//
+// Test files are exempt — tests are entitled to context.Background().
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"edgeauth/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "require ctx-first parameters and forbid fresh root contexts in library code",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	isMain := pass.Pkg != nil && pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkParamOrder(pass, fd)
+		}
+		analysis.FuncBodies(f, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			hasCtx := decl != nil && hasCtxParam(pass, decl.Type)
+			if lit != nil {
+				// A literal with its own ctx param is its own scope; one
+				// nested in a ctx-taking function inherits the obligation.
+				hasCtx = hasCtxParam(pass, lit.Type) || hasCtx
+			}
+			analysis.InspectShallow(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := rootCtxCall(pass.TypesInfo, call)
+				if !ok {
+					return true
+				}
+				switch {
+				case hasCtx:
+					pass.Reportf(call.Pos(), "context.%s() drops the ctx this function already receives: pass it down instead", name)
+				case !isMain:
+					pass.Reportf(call.Pos(), "context.%s() in library code: accept a ctx from the caller instead of minting a root context", name)
+				}
+				return true
+			})
+		})
+	}
+	return nil, nil
+}
+
+func checkParamOrder(pass *analysis.Pass, fd *ast.FuncDecl) {
+	params := fd.Type.Params
+	if params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtxType(pass.TypesInfo.TypeOf(field.Type)) && idx > 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter of %s", fd.Name.Name)
+		}
+		idx += n
+	}
+}
+
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCtxType(t types.Type) bool {
+	pkg, name := analysis.NamedOf(t)
+	return pkg == "context" && name == "Context"
+}
+
+// rootCtxCall matches context.Background() / context.TODO().
+func rootCtxCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.Callee(info, call)
+	if fn == nil || analysis.PkgBase(fn) != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"edgeauth/internal/analysis/analyzertest"
+	"edgeauth/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), ctxflow.Analyzer, "ctxflowtest", "ctxflowmain")
+}

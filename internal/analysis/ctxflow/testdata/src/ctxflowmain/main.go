@@ -1,0 +1,17 @@
+// Package main: root contexts are legitimate at the program edge, but
+// a function that already receives a ctx must still forward it.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	run(ctx)
+}
+
+func run(ctx context.Context) {
+	step(context.Background()) // want `context.Background\(\) drops the ctx this function already receives`
+	step(ctx)
+}
+
+func step(ctx context.Context) {}

@@ -1,0 +1,45 @@
+package ctxflowtest
+
+import "context"
+
+func use(ctx context.Context) {}
+
+// Violations.
+
+func badOrder(n int, ctx context.Context) {} // want `context.Context must be the first parameter of badOrder`
+
+func minted() {
+	ctx := context.Background() // want `context.Background\(\) in library code`
+	use(ctx)
+}
+
+func dropped(ctx context.Context) {
+	use(context.Background()) // want `context.Background\(\) drops the ctx this function already receives`
+}
+
+func droppedInClosure(ctx context.Context) {
+	f := func() {
+		use(context.TODO()) // want `context.TODO\(\) drops the ctx this function already receives`
+	}
+	f()
+}
+
+// Conforming shapes.
+
+func good(ctx context.Context, n int) {}
+
+func forwards(ctx context.Context) {
+	use(ctx)
+}
+
+func derives(ctx context.Context) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	use(sub)
+}
+
+func deliberateRoot() {
+	// A justified root context carries an annotated suppression.
+	ctx := context.Background() //vetauth:ignore ctxflow fixture models the rpc accept loop's default
+	use(ctx)
+}

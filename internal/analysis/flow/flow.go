@@ -1,0 +1,395 @@
+// Package flow builds a lightweight intraprocedural control-flow graph
+// over one Go function body and runs forward dataflow analyses to a
+// fixpoint over it. It exists so the repository's invariant checkers
+// (pinpair, trustflow, locksign) can reason per-path — "a Release
+// happens on every exit", "Verify dominates the store" — instead of by
+// lexical position, without depending on golang.org/x/tools/go/cfg.
+//
+// The builder handles the structured subset of Go: blocks, if/else,
+// for (incl. range), switch/type-switch (incl. fallthrough), select,
+// unlabeled break/continue, return, and calls that provably terminate
+// (panic, os.Exit, log.Fatal*, testing's Fatal*/Skip*). Functions using
+// goto or labeled branches are rejected — Build returns ok=false and
+// analyzers skip them (conservative silence rather than wrong edges).
+//
+// Branch conditions are surfaced twice: once as an evaluation
+// pseudo-statement (an ExprStmt carrying the condition, so transfer
+// functions observe calls inside conditions), and once as edge
+// assumptions, so condition-sensitive analyses (pinpair's
+// `if snap.Retain()`) can apply different facts along the true and
+// false edges.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is a straight-line run of statements with explicit successor
+// edges.
+type Block struct {
+	// Stmts are leaf statements — no nested control flow except inside
+	// expressions and function literals. Condition evaluations appear as
+	// synthesized *ast.ExprStmt nodes (their positions come from the
+	// original expression).
+	Stmts []ast.Stmt
+	Succs []*Block
+
+	// Assume, when non-nil, is the branch-condition fact that holds on
+	// entry to this block (the block is a then/else arm).
+	Assume *Assumption
+
+	index int
+}
+
+// An Assumption records that Cond evaluated to Truth on the edge into
+// a block.
+type Assumption struct {
+	Cond  ast.Expr
+	Truth bool
+}
+
+// A Graph is one function body's CFG.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the virtual join of every function exit: blocks ending in
+	// return connect here, as does falling off the end of the body.
+	// Terminating calls (panic/Fatal) do NOT connect here.
+	Exit *Block
+	// FallOff, when non-nil, is an empty block on the falling-off-the-end
+	// path (body end → Exit), so analyses can distinguish that implicit
+	// exit from return statements.
+	FallOff *Block
+}
+
+type builder struct {
+	g      *Graph
+	breaks []*Block // innermost-last targets of unlabeled break
+	conts  []*Block // innermost-last targets of unlabeled continue
+	ok     bool
+}
+
+// Build constructs the CFG for body. ok=false means the body uses
+// constructs the builder does not model (goto, labeled branches) and
+// the caller should skip the function.
+func Build(body *ast.BlockStmt) (g *Graph, ok bool) {
+	b := &builder{g: &Graph{}, ok: true}
+	b.g.Exit = b.newBlock()
+	b.g.Entry = b.newBlock()
+	last := b.stmts(b.g.Entry, body.List)
+	if last != nil {
+		b.g.FallOff = b.newBlock()
+		b.edge(last, b.g.FallOff)
+		b.edge(b.g.FallOff, b.g.Exit)
+	}
+	if !b.ok {
+		return nil, false
+	}
+	return b.g, true
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// condStmt synthesizes an evaluation pseudo-statement for an expression
+// appearing in control-flow position.
+func condStmt(e ast.Expr) ast.Stmt { return &ast.ExprStmt{X: e} }
+
+// stmts threads the statement list through cur, returning the block
+// control falls out of (nil if control cannot fall through).
+func (b *builder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/break/...; keep building into
+			// a detached block so its statements still exist in the graph
+			// (they're dead, analyses just never reach them).
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+		if !b.ok {
+			return nil
+		}
+	}
+	return cur
+}
+
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, x.List)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			cur = b.stmt(cur, x.Init)
+		}
+		cur.Stmts = append(cur.Stmts, condStmt(x.Cond))
+		thenB := b.newBlock()
+		thenB.Assume = &Assumption{Cond: x.Cond, Truth: true}
+		b.edge(cur, thenB)
+		thenEnd := b.stmts(thenB, x.Body.List)
+		var elseEnd *Block
+		elseB := b.newBlock()
+		elseB.Assume = &Assumption{Cond: x.Cond, Truth: false}
+		b.edge(cur, elseB)
+		if x.Else != nil {
+			elseEnd = b.stmt(elseB, x.Else)
+		} else {
+			elseEnd = elseB
+		}
+		join := b.newBlock()
+		joined := false
+		if thenEnd != nil {
+			b.edge(thenEnd, join)
+			joined = true
+		}
+		if elseEnd != nil {
+			b.edge(elseEnd, join)
+			joined = true
+		}
+		if !joined {
+			return nil
+		}
+		return join
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			cur = b.stmt(cur, x.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if x.Cond != nil {
+			head.Stmts = append(head.Stmts, condStmt(x.Cond))
+		}
+		bodyB := b.newBlock()
+		if x.Cond != nil {
+			bodyB.Assume = &Assumption{Cond: x.Cond, Truth: true}
+		}
+		b.edge(head, bodyB)
+		exit := b.newBlock()
+		if x.Cond != nil {
+			exit.Assume = &Assumption{Cond: x.Cond, Truth: false}
+			b.edge(head, exit)
+		}
+		post := b.newBlock()
+		b.breaks = append(b.breaks, exit)
+		b.conts = append(b.conts, post)
+		bodyEnd := b.stmts(bodyB, x.Body.List)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		if bodyEnd != nil {
+			b.edge(bodyEnd, post)
+		}
+		if x.Post != nil {
+			end := b.stmt(post, x.Post)
+			if end != nil {
+				b.edge(end, head)
+			}
+		} else {
+			b.edge(post, head)
+		}
+		// With no condition the only way out is break (or return inside).
+		return exit
+
+	case *ast.RangeStmt:
+		cur.Stmts = append(cur.Stmts, condStmt(x.X))
+		head := b.newBlock()
+		b.edge(cur, head)
+		if x.Key != nil || x.Value != nil {
+			// Surface the per-iteration binding as an assignment so
+			// transfer functions see key/value definitions.
+			var lhs []ast.Expr
+			if x.Key != nil {
+				lhs = append(lhs, x.Key)
+			}
+			if x.Value != nil {
+				lhs = append(lhs, x.Value)
+			}
+			head.Stmts = append(head.Stmts, &ast.AssignStmt{Lhs: lhs, Tok: x.Tok, Rhs: []ast.Expr{x.X}})
+		}
+		bodyB := b.newBlock()
+		b.edge(head, bodyB)
+		exit := b.newBlock()
+		b.edge(head, exit)
+		b.breaks = append(b.breaks, exit)
+		b.conts = append(b.conts, head)
+		bodyEnd := b.stmts(bodyB, x.Body.List)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		if bodyEnd != nil {
+			b.edge(bodyEnd, head)
+		}
+		return exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.branching(cur, s)
+
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, x)
+		b.edge(cur, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		switch x.Tok {
+		case token.BREAK:
+			if x.Label != nil || len(b.breaks) == 0 {
+				b.ok = false
+				return nil
+			}
+			b.edge(cur, b.breaks[len(b.breaks)-1])
+			return nil
+		case token.CONTINUE:
+			if x.Label != nil || len(b.conts) == 0 {
+				b.ok = false
+				return nil
+			}
+			b.edge(cur, b.conts[len(b.conts)-1])
+			return nil
+		default: // goto, labeled fallthrough outside switch
+			b.ok = false
+			return nil
+		}
+
+	case *ast.LabeledStmt:
+		// The label itself is fine; any branch *to* it is rejected above.
+		b.ok = false
+		return nil
+
+	case *ast.ExprStmt:
+		cur.Stmts = append(cur.Stmts, x)
+		if isTerminatingCall(x.X) {
+			return nil
+		}
+		return cur
+
+	default:
+		// Leaf statements: assignments, declarations, sends, incdec,
+		// defer, go, empty.
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+// branching lowers switch/type-switch/select to case-per-edge form.
+func (b *builder) branching(cur *Block, s ast.Stmt) *Block {
+	var body *ast.BlockStmt
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			cur = b.stmt(cur, x.Init)
+		}
+		if x.Tag != nil {
+			cur.Stmts = append(cur.Stmts, condStmt(x.Tag))
+		}
+		body = x.Body
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			cur = b.stmt(cur, x.Init)
+		}
+		cur.Stmts = append(cur.Stmts, x.Assign)
+		body = x.Body
+	case *ast.SelectStmt:
+		body = x.Body
+	}
+	join := b.newBlock()
+	b.breaks = append(b.breaks, join)
+	hasDefault := false
+	// First pass: create case entry blocks (fallthrough needs the next
+	// case's body block).
+	type caseBody struct {
+		entry *Block
+		stmts []ast.Stmt
+	}
+	var cases []caseBody
+	for _, cs := range body.List {
+		entry := b.newBlock()
+		b.edge(cur, entry)
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				entry.Stmts = append(entry.Stmts, condStmt(e))
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			cases = append(cases, caseBody{entry, c.Body})
+		case *ast.CommClause:
+			if c.Comm != nil {
+				entry = b.stmt(entry, c.Comm)
+			} else {
+				hasDefault = true
+			}
+			cases = append(cases, caseBody{entry, c.Body})
+		}
+	}
+	for i, c := range cases {
+		end, fell := b.caseStmts(c.entry, c.stmts)
+		if fell && i+1 < len(cases) {
+			b.edge(end, cases[i+1].entry)
+		} else if end != nil {
+			b.edge(end, join)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !hasDefault || len(cases) == 0 {
+		// No default: the switch may match nothing and fall through
+		// (selects without default block, but modeling a skip edge is
+		// conservative for may-analyses and harmless for must ones).
+		b.edge(cur, join)
+	}
+	return join
+}
+
+// caseStmts is stmts but reports whether the case ended in fallthrough.
+func (b *builder) caseStmts(cur *Block, list []ast.Stmt) (end *Block, fellthrough bool) {
+	for i, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if i != len(list)-1 || br.Label != nil {
+				b.ok = false
+				return nil, false
+			}
+			return cur, true
+		}
+		if cur == nil {
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+		if !b.ok {
+			return nil, false
+		}
+	}
+	return cur, false
+}
+
+// isTerminatingCall recognizes calls that never return, so paths ending
+// in them are not treated as function exits: panic, os.Exit, log.Fatal*,
+// log.Panic*, runtime.Goexit, and testing's FailNow/Fatal*/Skip* family.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fn.Sel.Name
+		switch name {
+		case "Exit", "Goexit", "FailNow", "SkipNow":
+			return true
+		}
+		for _, prefix := range []string{"Fatal", "Panic", "Skip"} {
+			if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+				return true
+			}
+		}
+	}
+	return false
+}

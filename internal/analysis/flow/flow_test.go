@@ -1,0 +1,197 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f(a, b bool, n int) int {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestBuildRejectsGoto(t *testing.T) {
+	b := parseBody(t, "goto L\nL:\n\treturn 0")
+	if g, ok := Build(b); ok {
+		t.Fatalf("goto accepted: %d blocks", len(g.Blocks))
+	}
+}
+
+func TestFallOffOnlyWhenControlFallsOffTheEnd(t *testing.T) {
+	b := parseBody(t, "return 0")
+	g, ok := Build(b)
+	if !ok {
+		t.Fatal("Build failed")
+	}
+	if g.FallOff != nil {
+		t.Error("FallOff set for a body ending in return")
+	}
+	b = parseBody(t, "_ = a")
+	if g, ok = Build(b); !ok {
+		t.Fatal("Build failed")
+	}
+	if g.FallOff == nil {
+		t.Error("FallOff missing for a body that falls off the end")
+	}
+}
+
+// facts is the test lattice: a set of strings, joined by union.
+type facts map[string]bool
+
+func union(a, b facts) facts {
+	out := make(facts, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func equal(a, b facts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// assignAnalysis tracks which identifiers have been assigned (a
+// may-analysis) and records branch assumptions on single-identifier
+// conditions as "name=true"/"name=false" facts.
+func assignAnalysis() *Analysis[facts] {
+	return &Analysis[facts]{
+		Init:  facts{},
+		Join:  union,
+		Equal: equal,
+		Transfer: func(s facts, stmt ast.Stmt) facts {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok {
+				return s
+			}
+			out := union(s, nil)
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+			return out
+		},
+		Assume: func(s facts, a *Assumption) facts {
+			id, ok := a.Cond.(*ast.Ident)
+			if !ok {
+				return s
+			}
+			out := union(s, nil)
+			if a.Truth {
+				out[id.Name+"=true"] = true
+			} else {
+				out[id.Name+"=false"] = true
+			}
+			return out
+		},
+	}
+}
+
+func TestSolveBranchSensitivity(t *testing.T) {
+	b := parseBody(t, strings.Join([]string{
+		"if a {",
+		"\treturn 1",
+		"}",
+		"return 0",
+	}, "\n"))
+	g, ok := Build(b)
+	if !ok {
+		t.Fatal("Build failed")
+	}
+	res := Solve(g, assignAnalysis())
+	var seen int
+	res.Returns(func(s facts, ret *ast.ReturnStmt) {
+		seen++
+		lit, ok := ret.Results[0].(*ast.BasicLit)
+		if !ok {
+			t.Fatalf("unexpected return operand %T", ret.Results[0])
+		}
+		switch lit.Value {
+		case "1": // then-branch: guarded by a==true
+			if !s["a=true"] || s["a=false"] {
+				t.Errorf("return 1 state %v, want a=true only", s)
+			}
+		case "0": // fall-through: guarded by a==false
+			if !s["a=false"] || s["a=true"] {
+				t.Errorf("return 0 state %v, want a=false only", s)
+			}
+		}
+	})
+	if seen != 2 {
+		t.Fatalf("visited %d returns, want 2", seen)
+	}
+}
+
+func TestSolveLoopFixpoint(t *testing.T) {
+	b := parseBody(t, strings.Join([]string{
+		"x := 0",
+		"for i := 0; i < n; i++ {",
+		"\tx = i",
+		"\ty := x",
+		"\t_ = y",
+		"}",
+		"return x",
+	}, "\n"))
+	g, ok := Build(b)
+	if !ok {
+		t.Fatal("Build failed")
+	}
+	res := Solve(g, assignAnalysis())
+	var got facts
+	res.Returns(func(s facts, ret *ast.ReturnStmt) { got = s })
+	if got == nil {
+		t.Fatal("return never visited")
+	}
+	// x assigned before the loop; i and y only inside it, but a
+	// may-analysis sees them at the loop exit via the back edge.
+	for _, want := range []string{"x", "i", "y"} {
+		if !got[want] {
+			t.Errorf("fact %q missing at return: %v", want, got)
+		}
+	}
+}
+
+func TestSolveSkipsCodeAfterTerminatingCall(t *testing.T) {
+	b := parseBody(t, strings.Join([]string{
+		"if a {",
+		"\tpanic(\"no\")",
+		"}",
+		"x := 1",
+		"return x",
+	}, "\n"))
+	g, ok := Build(b)
+	if !ok {
+		t.Fatal("Build failed")
+	}
+	res := Solve(g, assignAnalysis())
+	res.Returns(func(s facts, ret *ast.ReturnStmt) {
+		// The panic branch must not flow into the return: the only way
+		// there is the a==false edge.
+		if s["a=true"] {
+			t.Errorf("panic branch reached the return: %v", s)
+		}
+		if !s["a=false"] || !s["x"] {
+			t.Errorf("return state %v, want a=false and x", s)
+		}
+	})
+}

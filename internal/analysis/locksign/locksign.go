@@ -1,0 +1,289 @@
+// Package locksign keeps RSA signing off the serving-path critical
+// sections and the commit lock order acyclic. Two rules from the PR 4/5
+// group-commit design:
+//
+//  1. No signing while a shard or table mutex is held. Signing is
+//     milliseconds of RSA; shard locks gate every read and commit.
+//     Tracked locks are fields named `mu` on structs named `shard` or
+//     `table`. A signing event is a Sign/MustSign method call on
+//     sig.PrivateKey, any call that receives a *sig.PrivateKey
+//     argument (shardmap.Sign(m, s.key)), or a call to a same-package
+//     function that may transitively sign. table.commitMu is exempt —
+//     serializing map re-signs is exactly what it is for.
+//
+//  2. commitMu is ordered before shard locks: acquiring a commitMu
+//     while holding a shard/table mu is an inversion that can deadlock
+//     against the commit path.
+//
+// The analysis is a forward may-held-lockset dataflow per function,
+// with a package-local fixed point lifting "may sign" / "may take
+// commitMu" through same-package calls. Deferred unlocks keep the lock
+// held for the remainder of the function, exactly as at runtime.
+package locksign
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"edgeauth/internal/analysis"
+	"edgeauth/internal/analysis/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "locksign",
+	Doc:  "forbid RSA signing under shard/table locks and commitMu order inversions",
+	Run:  run,
+}
+
+// state is the may-held lockset: lock selector path → acquire position.
+type state map[string]token.Pos
+
+type summary struct {
+	maySign     bool
+	mayCommitMu bool
+	calls       []*types.Func
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	summaries map[*types.Func]*summary
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, summaries: make(map[*types.Func]*summary)}
+	c.buildSummaries()
+	for _, f := range pass.Files {
+		analysis.FuncBodies(f, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			c.checkBody(body)
+		})
+	}
+	return nil, nil
+}
+
+// buildSummaries computes, for every function declared in this package,
+// whether calling it may (transitively, within the package) sign or
+// acquire a commitMu — so a caller holding a shard lock is flagged even
+// when the Sign hides one call down.
+func (c *checker) buildSummaries() {
+	for _, f := range c.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := &summary{}
+			analysis.InspectShallow(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if c.isDirectSign(call) {
+					sum.maySign = true
+				}
+				if path, field, op, ok := c.lockOp(call); ok && field == "commitMu" && (op == "Lock" || op == "RLock") {
+					_ = path
+					sum.mayCommitMu = true
+				}
+				if callee := analysis.Callee(c.pass.TypesInfo, call); callee != nil && callee.Pkg() == c.pass.Pkg {
+					sum.calls = append(sum.calls, callee)
+				}
+				return true
+			})
+			c.summaries[fn] = sum
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range c.summaries {
+			for _, callee := range sum.calls {
+				cs, ok := c.summaries[callee]
+				if !ok {
+					continue
+				}
+				if cs.maySign && !sum.maySign {
+					sum.maySign = true
+					changed = true
+				}
+				if cs.mayCommitMu && !sum.mayCommitMu {
+					sum.mayCommitMu = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	g, ok := flow.Build(body)
+	if !ok {
+		return
+	}
+	an := &flow.Analysis[state]{
+		Init: state{},
+		Join: func(a, b state) state {
+			m := clone(a)
+			for k, v := range b {
+				if _, ok := m[k]; !ok {
+					m[k] = v
+				}
+			}
+			return m
+		},
+		Equal: func(a, b state) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: c.transfer,
+	}
+	res := flow.Solve(g, an)
+
+	res.Visit(func(s state, stmt ast.Stmt) {
+		heldMu, muPos := heldShardLock(s)
+		if heldMu == "" {
+			return
+		}
+		analysis.InspectShallow(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if c.isDirectSign(call) {
+				c.pass.Reportf(call.Pos(), "RSA signing while %s is held (locked at %s): move the Sign outside the critical section", heldMu, c.pass.Fset.Position(muPos))
+			}
+			if _, field, op, ok := c.lockOp(call); ok && field == "commitMu" && (op == "Lock" || op == "RLock") {
+				c.pass.Reportf(call.Pos(), "lock order inversion: commitMu acquired while %s is held (commitMu is ordered before shard locks)", heldMu)
+			}
+			if callee := analysis.Callee(c.pass.TypesInfo, call); callee != nil {
+				if sum, ok := c.summaries[callee]; ok {
+					if sum.maySign {
+						c.pass.Reportf(call.Pos(), "call to %s may sign while %s is held (locked at %s)", callee.Name(), heldMu, c.pass.Fset.Position(muPos))
+					}
+					if sum.mayCommitMu {
+						c.pass.Reportf(call.Pos(), "call to %s may acquire commitMu while %s is held: lock order inversion", callee.Name(), heldMu)
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+func clone(s state) state {
+	m := make(state, len(s))
+	for k, v := range s {
+		m[k] = v
+	}
+	return m
+}
+
+// heldShardLock picks the lexicographically first held shard/table mu
+// from the lockset (first, so messages are deterministic).
+func heldShardLock(s state) (string, token.Pos) {
+	best := ""
+	var bestPos token.Pos
+	for k, pos := range s {
+		if !strings.HasSuffix(k, ".mu") && k != "mu" {
+			continue
+		}
+		if best == "" || k < best {
+			best, bestPos = k, pos
+		}
+	}
+	return best, bestPos
+}
+
+func (c *checker) transfer(s state, stmt ast.Stmt) state {
+	switch x := stmt.(type) {
+	case *ast.ExprStmt:
+		call, ok := x.X.(*ast.CallExpr)
+		if !ok {
+			return s
+		}
+		path, _, op, ok := c.lockOp(call)
+		if !ok {
+			return s
+		}
+		switch op {
+		case "Lock", "RLock":
+			s = clone(s)
+			s[path] = call.Pos()
+		case "Unlock", "RUnlock":
+			if _, held := s[path]; held {
+				s = clone(s)
+				delete(s, path)
+			}
+		}
+		return s
+	case *ast.DeferStmt:
+		// defer mu.Unlock() holds the lock for the rest of the function:
+		// deliberately NOT treated as a release point.
+		return s
+	default:
+		return s
+	}
+}
+
+// lockOp matches X.mu.Lock()/RLock()/Unlock()/RUnlock() where X's type
+// is a struct named shard or table, and X.commitMu.* on any owner.
+func (c *checker) lockOp(call *ast.CallExpr) (path, field, op string, ok bool) {
+	op = analysis.MethodName(call)
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	recv, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	field = recv.Sel.Name
+	switch field {
+	case "commitMu":
+	case "mu":
+		_, owner := analysis.NamedOf(c.pass.TypesInfo.TypeOf(recv.X))
+		if owner != "shard" && owner != "table" {
+			return "", "", "", false
+		}
+	default:
+		return "", "", "", false
+	}
+	path = analysis.ExprPath(recv)
+	if path == "" {
+		return "", "", "", false
+	}
+	return path, field, op, true
+}
+
+// isDirectSign matches signing events: Sign/MustSign on sig.PrivateKey,
+// or any call handed a *sig.PrivateKey argument.
+func (c *checker) isDirectSign(call *ast.CallExpr) bool {
+	switch analysis.MethodName(call) {
+	case "Sign", "MustSign":
+		if pkg, name := analysis.ReceiverType(c.pass.TypesInfo, call); pkg == "sig" && name == "PrivateKey" {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if pkg, name := analysis.NamedOf(c.pass.TypesInfo.TypeOf(arg)); pkg == "sig" && name == "PrivateKey" {
+			return true
+		}
+	}
+	return false
+}

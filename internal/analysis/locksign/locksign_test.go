@@ -1,0 +1,12 @@
+package locksign_test
+
+import (
+	"testing"
+
+	"edgeauth/internal/analysis/analyzertest"
+	"edgeauth/internal/analysis/locksign"
+)
+
+func TestLocksign(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), locksign.Analyzer, "locksigntest")
+}

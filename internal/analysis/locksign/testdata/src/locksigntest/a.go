@@ -1,0 +1,94 @@
+package locksigntest
+
+import (
+	"sync"
+
+	"sig"
+)
+
+type shard struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+type table struct {
+	commitMu sync.Mutex
+	shards   []*shard
+}
+
+type server struct {
+	key *sig.PrivateKey
+}
+
+func signHelper(k *sig.PrivateKey, b []byte) {}
+
+// Violations.
+
+func (s *server) signUnderLock(sh *shard) {
+	sh.mu.Lock()
+	s.key.Sign(sh.data) // want `RSA signing while sh\.mu is held`
+	sh.mu.Unlock()
+}
+
+func (s *server) signUnderDeferredUnlock(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.key.MustSign(sh.data) // want `RSA signing while sh\.mu is held`
+}
+
+func (s *server) keyEscapeUnderLock(sh *shard) {
+	sh.mu.RLock()
+	signHelper(s.key, sh.data) // want `RSA signing while sh\.mu is held`
+	sh.mu.RUnlock()
+}
+
+func (s *server) signViaHelper(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.resign() // want `call to resign may sign while sh\.mu is held`
+}
+
+func (s *server) resign() {
+	s.key.MustSign(nil)
+}
+
+func (s *server) inversion(t *table, sh *shard) {
+	sh.mu.Lock()
+	t.commitMu.Lock() // want `lock order inversion: commitMu acquired while sh\.mu is held`
+	t.commitMu.Unlock()
+	sh.mu.Unlock()
+}
+
+func (s *server) inversionViaHelper(t *table, sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.republish(t) // want `call to republish may acquire commitMu while sh\.mu is held` `call to republish may sign while sh\.mu is held`
+}
+
+// Conforming shapes.
+
+func (s *server) signAfterUnlock(sh *shard) {
+	sh.mu.Lock()
+	payload := append([]byte(nil), sh.data...)
+	sh.mu.Unlock()
+	s.key.Sign(payload)
+}
+
+// The PR 5 group-commit order: commitMu first, brief shard read locks,
+// sign only after every shard lock is dropped.
+func (s *server) republish(t *table) {
+	t.commitMu.Lock()
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		_ = sh.data
+		sh.mu.RUnlock()
+	}
+	s.key.Sign(nil)
+	t.commitMu.Unlock()
+}
+
+func (s *server) lockedReadOnly(sh *shard) int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.data)
+}

@@ -1,0 +1,11 @@
+// Package sig mirrors the signing surface of the real internal/sig
+// package for analyzer fixtures.
+package sig
+
+type Signature struct{ B []byte }
+
+type PrivateKey struct{ n int }
+
+func (k *PrivateKey) Sign(payload []byte) (*Signature, error) { return &Signature{}, nil }
+
+func (k *PrivateKey) MustSign(payload []byte) *Signature { return &Signature{} }

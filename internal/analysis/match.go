@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Helpers shared by the invariant analyzers. Matching is by package
+// *base name* (the last path segment), never the full import path, so
+// the analyzertest fixtures can mirror the real packages (sig, storage,
+// wire, shardmap, verify, vo) under short fixture paths and still
+// trigger the same rules.
+
+// Callee resolves the static callee of a call, or nil for calls through
+// function-typed variables, built-ins and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// PkgBase returns the last segment of a function's package path, or ""
+// for builtins and universe-scope functions.
+func PkgBase(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return pathBase(f.Pkg().Path())
+}
+
+// unparen strips any number of enclosing parens.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// NamedOf dereferences pointers and reports the named type's package
+// base and type name, or ("", "") for unnamed types.
+func NamedOf(t types.Type) (pkgBase, name string) {
+	if t == nil {
+		return "", ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		if p, ok := t.(*types.Pointer); ok {
+			n, ok = p.Elem().(*types.Named)
+			if !ok {
+				return "", ""
+			}
+		} else {
+			return "", ""
+		}
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return pathBase(obj.Pkg().Path()), obj.Name()
+}
+
+// ReceiverType returns the (possibly pointer-stripped) named type of a
+// method call's receiver expression, or ("", "").
+func ReceiverType(info *types.Info, call *ast.CallExpr) (pkgBase, name string) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return "", ""
+	}
+	return NamedOf(tv.Type)
+}
+
+// MethodName returns a call's selector method/function name ("" when the
+// callee is not a selector or plain identifier).
+func MethodName(call *ast.CallExpr) string {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// RootIdent walks selector/index/star/paren chains to the root
+// identifier: RootIdent(a.b[i].c) = a. Nil when the chain roots in a
+// call or literal.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ExprPath renders a pure selector chain (a.b.c) as a string key, or ""
+// for anything more exotic. Used to identify lock and snapshot objects
+// syntactically.
+func ExprPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := ExprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return ExprPath(x.X)
+	default:
+		return ""
+	}
+}
+
+// InspectShallow walks n without descending into function literals —
+// the traversal analyzers use when scanning one function body for
+// events, since a nested closure is its own analysis scope.
+func InspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// FuncBodies yields every function body in the file — declarations and
+// function literals — along with the enclosing *ast.FuncDecl (the
+// declaration itself, or the declaration a literal is nested in; nil
+// for literals in package-level var initializers) and the literal
+// itself (nil for declarations). Each body is an independent analysis
+// scope.
+func FuncBodies(f *ast.File, visit func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	var cur *ast.FuncDecl
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				cur = x
+				visit(x, nil, x.Body)
+			}
+			return true
+		case *ast.FuncLit:
+			var decl *ast.FuncDecl
+			if cur != nil && cur.Pos() <= x.Pos() && x.End() <= cur.End() {
+				decl = cur
+			}
+			visit(decl, x, x.Body)
+			return true
+		}
+		return true
+	})
+}
+
+// IsTestFile reports whether the file's recorded position is a _test.go
+// file (analyzers that exempt tests check this per file).
+func IsTestFile(pass *Pass, f *ast.File) bool {
+	name := pass.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}

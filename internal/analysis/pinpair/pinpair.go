@@ -1,0 +1,401 @@
+// Package pinpair checks the RCU snapshot-pinning protocol from the
+// replica storage layer: every successful storage.Snapshot pin —
+// PageStore.Acquire, or Snapshot.Retain returning true — must reach
+// exactly one Release on every path out of the function, unless
+// ownership provably escapes (the snapshot is returned, stored into a
+// structure, captured by a closure, or handed to another function).
+//
+// The check is an intraprocedural forward dataflow over the flow
+// package's CFG. It is condition-sensitive for the idiomatic
+//
+//	if sr.snap.Retain() {
+//	    return set, sr, nil // pin escapes with sr
+//	}
+//	// not pinned here — reload and retry
+//
+// shape: the pin obligation exists only along the true edge. Deferred
+// Release calls (direct or via a closure mentioning the snapshot)
+// discharge the obligation for every subsequent exit.
+//
+// The analysis is deliberately lenient about escapes — passing the
+// snapshot (or a struct containing it) to any call, returning it, or
+// storing it into non-local state transfers ownership and ends the
+// local obligation. That keeps false positives near zero at the cost of
+// trusting the receiving code, which is itself analyzed when it lives
+// in this module.
+package pinpair
+
+import (
+	"go/ast"
+	"go/token"
+
+	"edgeauth/internal/analysis"
+	"edgeauth/internal/analysis/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "pinpair",
+	Doc:  "check that every snapshot Acquire/Retain pin is released on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		analysis.FuncBodies(f, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			checkBody(pass, body)
+		})
+	}
+	return nil, nil
+}
+
+// state maps a pinned snapshot's selector path (e.g. "snap", "sr.snap")
+// to the position of the call that pinned it.
+type state map[string]token.Pos
+
+func clone(s state) state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// covers reports whether an expression with path p carries the pin
+// tracked under key k: p == k, or p is a strict selector prefix (the
+// expression denotes a struct holding the snapshot).
+func covers(p, k string) bool {
+	if p == "" {
+		return false
+	}
+	return p == k || (len(k) > len(p) && k[:len(p)] == p && k[len(p)] == '.')
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass}
+
+	// Syntactic pass: a pin whose handle is discarded can never be
+	// released, so no path analysis is needed to condemn it.
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok && c.isAcquire(call) {
+				pass.Reportf(call.Pos(), "result of Acquire dropped: the pinned snapshot can never be released")
+			}
+		case *ast.AssignStmt:
+			if len(x.Rhs) == 1 {
+				if call, ok := x.Rhs[0].(*ast.CallExpr); ok && c.isAcquire(call) && allBlank(x.Lhs) {
+					pass.Reportf(call.Pos(), "result of Acquire assigned to _: the pinned snapshot can never be released")
+				}
+			}
+		}
+		return true
+	})
+
+	g, ok := flow.Build(body)
+	if !ok {
+		return // goto/labeled control flow: skip rather than guess
+	}
+	an := &flow.Analysis[state]{
+		Init: state{},
+		Join: func(a, b state) state {
+			// May-analysis: a pin held on any incoming path is an
+			// obligation downstream.
+			m := clone(a)
+			for k, v := range b {
+				if _, ok := m[k]; !ok {
+					m[k] = v
+				}
+			}
+			return m
+		},
+		Equal: func(a, b state) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: c.transfer,
+		Assume:   c.assume,
+	}
+	res := flow.Solve(g, an)
+
+	res.Returns(func(s state, ret *ast.ReturnStmt) {
+		// A pin escapes through a return either directly (`return sr, nil`)
+		// or packed into a result (`return &shardReplica{snap: snap}, nil`):
+		// ownership transfers to the caller either way.
+		for _, r := range ret.Results {
+			s = c.dischargeCovered(s, analysis.ExprPath(r))
+			s = c.escapeScan(s, r)
+		}
+		for k, pos := range s {
+			c.pass.Reportf(ret.Pos(), "snapshot %s pinned at %s is not released on this return path", k, c.pass.Fset.Position(pos))
+		}
+	})
+	if s, ok := res.At(g.FallOff); ok {
+		for k, pos := range s {
+			c.pass.Reportf(pos, "snapshot %s pinned here is not released before the function returns", k)
+		}
+	}
+}
+
+func (c *checker) transfer(s state, stmt ast.Stmt) state {
+	switch x := stmt.(type) {
+	case *ast.AssignStmt:
+		return c.assign(s, x.Lhs, x.Rhs)
+
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				s = c.assign(s, lhs, vs.Values)
+			}
+		}
+		return s
+
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			switch {
+			case c.isRelease(call):
+				return discharge(s, c.recvPath(call))
+			case c.isRetain(call):
+				// Pin taken (bare statement, or the synthesized condition of
+				// `if x.Retain()` — the false edge is cleaned up by assume).
+				if p := c.recvPath(call); p != "" {
+					s = clone(s)
+					s[p] = call.Pos()
+					return s
+				}
+				return s
+			case c.isAcquire(call):
+				return s // reported by the syntactic pass
+			}
+		}
+		return c.escapes(s, x)
+
+	case *ast.DeferStmt, *ast.GoStmt:
+		var call *ast.CallExpr
+		if d, ok := x.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = x.(*ast.GoStmt).Call
+		}
+		if c.isRelease(call) {
+			// A deferred Release covers every exit reached after this
+			// point; forward flow models that as an immediate discharge.
+			return discharge(s, c.recvPath(call))
+		}
+		return c.escapes(s, stmt)
+
+	case *ast.ReturnStmt:
+		return s // exits are judged by the reporting pass
+
+	default:
+		return c.escapes(s, stmt)
+	}
+}
+
+// assign handles := / = statements: Acquire results create obligations,
+// plain-identifier aliases move them, and everything else falls back to
+// escape scanning.
+func (c *checker) assign(s state, lhs, rhs []ast.Expr) state {
+	if len(rhs) == 1 && len(lhs) == 1 {
+		if call, ok := rhs[0].(*ast.CallExpr); ok && c.isAcquire(call) {
+			if id, ok := lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				s = clone(s)
+				s[id.Name] = call.Pos()
+				return s
+			}
+			// Stored straight into a field/slot: escaped at birth, the
+			// owner structure is responsible for the Release.
+			return s
+		}
+	}
+	if len(lhs) == len(rhs) {
+		for i := range rhs {
+			p := analysis.ExprPath(rhs[i])
+			if p == "" {
+				continue
+			}
+			for k, pos := range s {
+				if !covers(p, k) {
+					continue
+				}
+				s = discharge(s, k)
+				if id, ok := lhs[i].(*ast.Ident); ok && id.Name != "_" && p == k {
+					// Pure alias: the obligation moves to the new name.
+					s = clone(s)
+					s[id.Name] = pos
+				}
+			}
+		}
+	}
+	for _, r := range rhs {
+		s = c.escapeScan(s, r)
+	}
+	return s
+}
+
+// escapes discharges every pin that the statement hands away: as a call
+// argument, a composite-literal element, or a capture by a function
+// literal.
+func (c *checker) escapes(s state, stmt ast.Stmt) state {
+	return c.escapeScan(s, stmt)
+}
+
+// escapeScan is escapes over any node (statements or bare expressions).
+func (c *checker) escapeScan(s state, node ast.Node) state {
+	if len(s) == 0 {
+		return s
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if c.isRelease(x) || c.isRetain(x) || c.isAcquire(x) {
+				return false // the protocol's own calls are not escapes
+			}
+			for _, arg := range x.Args {
+				s = c.dischargeCovered(s, analysis.ExprPath(arg))
+			}
+			return true
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				s = c.dischargeCovered(s, analysis.ExprPath(el))
+			}
+			return true
+		case *ast.FuncLit:
+			// A closure mentioning the pinned value takes over its
+			// lifecycle (commonly `defer func() { snap.Release() }()`).
+			ast.Inspect(x.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					for k := range s {
+						if root, _, _ := cutPath(k); root == id.Name {
+							s = discharge(s, k)
+						}
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return s
+}
+
+func (c *checker) dischargeCovered(s state, p string) state {
+	if p == "" {
+		return s
+	}
+	for k := range s {
+		if covers(p, k) {
+			s = discharge(s, k)
+		}
+	}
+	return s
+}
+
+// assume refines state on branch edges: the false edge of
+// `if x.Retain()` (or the true edge of `if !x.Retain()`) carries no
+// pin.
+func (c *checker) assume(s state, a *flow.Assumption) state {
+	e, truth := a.Cond, a.Truth
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.UnaryExpr:
+			if x.Op == token.NOT {
+				e, truth = x.X, !truth
+				continue
+			}
+		}
+		break
+	}
+	if call, ok := e.(*ast.CallExpr); ok && c.isRetain(call) && !truth {
+		return discharge(s, c.recvPath(call))
+	}
+	return s
+}
+
+func discharge(s state, key string) state {
+	if key == "" {
+		return s
+	}
+	if _, ok := s[key]; !ok {
+		return s
+	}
+	c := clone(s)
+	delete(c, key)
+	return c
+}
+
+func (c *checker) isAcquire(call *ast.CallExpr) bool {
+	return c.protoCall(call, "Acquire", "PageStore")
+}
+
+func (c *checker) isRetain(call *ast.CallExpr) bool {
+	return c.protoCall(call, "Retain", "Snapshot")
+}
+
+func (c *checker) isRelease(call *ast.CallExpr) bool {
+	return c.protoCall(call, "Release", "Snapshot")
+}
+
+// protoCall matches method calls by name and receiver type, with the
+// receiver's package matched by base name so test fixtures can mirror
+// the real storage package under a short import path.
+func (c *checker) protoCall(call *ast.CallExpr, method, recvType string) bool {
+	if analysis.MethodName(call) != method {
+		return false
+	}
+	pkg, name := analysis.ReceiverType(c.pass.TypesInfo, call)
+	return pkg == "storage" && name == recvType
+}
+
+// recvPath is the selector path of a method call's receiver.
+func (c *checker) recvPath(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return analysis.ExprPath(sel.X)
+}
+
+func cutPath(k string) (root, rest string, found bool) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == '.' {
+			return k[:i], k[i+1:], true
+		}
+	}
+	return k, "", false
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

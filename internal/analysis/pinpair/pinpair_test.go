@@ -1,0 +1,12 @@
+package pinpair_test
+
+import (
+	"testing"
+
+	"edgeauth/internal/analysis/analyzertest"
+	"edgeauth/internal/analysis/pinpair"
+)
+
+func TestPinpair(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), pinpair.Analyzer, "pinpairtest")
+}

@@ -1,0 +1,118 @@
+package pinpairtest
+
+import (
+	"errors"
+
+	"storage"
+)
+
+var errGone = errors.New("gone")
+
+type shardRef struct{ snap *storage.Snapshot }
+
+type replica struct {
+	ps  *storage.PageStore
+	cur *storage.Snapshot
+}
+
+func publish(s *storage.Snapshot) {}
+
+// Violations.
+
+func leakOnError(r *replica, fail bool) error {
+	snap := r.ps.Acquire()
+	if fail {
+		return errGone // want `snapshot snap pinned at .* is not released on this return path`
+	}
+	snap.Release()
+	return nil
+}
+
+func retainLeak(sr *shardRef, fail bool) error {
+	if sr.snap.Retain() {
+		if fail {
+			return errGone // want `snapshot sr\.snap pinned at .* is not released on this return path`
+		}
+		sr.snap.Release()
+	}
+	return nil
+}
+
+func droppedAcquire(r *replica) {
+	r.ps.Acquire() // want `result of Acquire dropped`
+}
+
+func blankAcquire(r *replica) {
+	_ = r.ps.Acquire() // want `result of Acquire assigned to _`
+}
+
+func leakToEnd(r *replica) {
+	snap := r.ps.Acquire() // want `snapshot snap pinned here is not released before the function returns`
+	println(snap.Len())
+}
+
+// Conforming shapes.
+
+func releaseBothPaths(r *replica, fail bool) error {
+	snap := r.ps.Acquire()
+	if fail {
+		snap.Release()
+		return errGone
+	}
+	snap.Release()
+	return nil
+}
+
+func deferRelease(r *replica, fail bool) error {
+	snap := r.ps.Acquire()
+	defer snap.Release()
+	if fail {
+		return errGone
+	}
+	println(snap.Len())
+	return nil
+}
+
+func deferClosureRelease(r *replica) int {
+	snap := r.ps.Acquire()
+	defer func() { snap.Release() }()
+	return snap.Len()
+}
+
+// The PR 3/5 RCU read path: a conditional pin escapes with the struct
+// that holds it; the failed pin carries no obligation.
+func pinCurrent(sr *shardRef) (*shardRef, bool) {
+	for i := 0; i < 3; i++ {
+		if sr.snap.Retain() {
+			return sr, true
+		}
+	}
+	return nil, false
+}
+
+func storeIntoField(r *replica) {
+	r.cur = r.ps.Acquire() // ownership moves to the replica
+}
+
+func handOff(r *replica) {
+	snap := r.ps.Acquire()
+	publish(snap) // ownership transfers to the callee
+}
+
+func scatterRelease(rs []*replica) {
+	for _, r := range rs {
+		snap := r.ps.Acquire()
+		go func() {
+			defer snap.Release()
+			println(snap.Len())
+		}()
+	}
+}
+
+// The edge pull path packs the pin into the returned handle
+// (`return &shardReplica{snap: snap, ...}, nil`): ownership transfers
+// with the composite literal just as with a bare `return snap`.
+func pinIntoHandle(r *replica) (*shardRef, error) {
+	snap := r.ps.Acquire()
+	return &shardRef{snap: snap}, nil
+}

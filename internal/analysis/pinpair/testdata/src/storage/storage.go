@@ -1,0 +1,15 @@
+// Package storage mirrors the pin/release surface of the real
+// internal/storage package for analyzer fixtures.
+package storage
+
+type Snapshot struct{ refs int }
+
+func (s *Snapshot) Retain() bool { return s.refs > 0 }
+
+func (s *Snapshot) Release() { s.refs-- }
+
+func (s *Snapshot) Len() int { return s.refs }
+
+type PageStore struct{ cur *Snapshot }
+
+func (ps *PageStore) Acquire() *Snapshot { return ps.cur }

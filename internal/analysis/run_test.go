@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheck parses and type-checks one source file into the Package
+// shape every driver hands to Run.
+func typecheck(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info}
+}
+
+// calltrap reports every call to a function literally named "bad" —
+// just enough analyzer to exercise Run's suppression and ordering.
+var calltrap = &Analyzer{
+	Name: "calltrap",
+	Doc:  "reports calls to bad()",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+					pass.Reportf(call.Pos(), "call to bad")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func TestRunHonorsIgnoreDirectives(t *testing.T) {
+	pkg := typecheck(t, `package p
+
+func bad() {}
+
+func f() {
+	bad() //vetauth:ignore calltrap covered by construction
+
+	bad() //vetauth:ignore otherrule this one does not match
+
+	//vetauth:ignore
+	bad()
+
+	bad()
+}
+`)
+	diags, err := Run(pkg, []*Analyzer{calltrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, pkg.Fset.Position(d.Pos).Line)
+		if d.Analyzer != "calltrap" {
+			t.Errorf("diagnostic attributed to %q, want calltrap", d.Analyzer)
+		}
+	}
+	// Line 6: suppressed by name. Line 8: its directive names a
+	// different analyzer, so it still fires. Line 11: suppressed by the
+	// bare directive on the line above. Line 13: fires.
+	want := []int{8, 13}
+	if len(lines) != len(want) {
+		t.Fatalf("diagnostics on lines %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("diagnostics on lines %v, want %v", lines, want)
+		}
+	}
+}
+
+func TestValidateRejectsBadAnalyzerSets(t *testing.T) {
+	missing := []*Analyzer{{Name: "", Doc: "d", Run: calltrap.Run}}
+	if err := Validate(missing); err == nil {
+		t.Error("Validate accepted an analyzer with no name")
+	}
+	norun := []*Analyzer{{Name: "norun", Doc: "d"}}
+	if err := Validate(norun); err == nil {
+		t.Error("Validate accepted an analyzer with no run function")
+	}
+	dup := []*Analyzer{calltrap, {Name: "calltrap", Doc: "d", Run: calltrap.Run}}
+	if err := Validate(dup); err == nil {
+		t.Error("Validate accepted duplicate analyzer names")
+	}
+}

@@ -1,0 +1,11 @@
+// Package vo mirrors the verification-object surface of the real
+// internal/vo package for analyzer fixtures.
+package vo
+
+type VO struct{ Nodes [][]byte }
+
+func DecodeVO(b []byte) (*VO, error) { return &VO{}, nil }
+
+type StoredTuple struct{ Key uint64 }
+
+func DecodeStoredTuple(b []byte) (*StoredTuple, error) { return &StoredTuple{}, nil }

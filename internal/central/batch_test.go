@@ -44,7 +44,7 @@ func newBatchServer(t *testing.T, rows int, opts Options) *Server {
 	if err := srv.AddTable(sch, tuples); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() { srv.Close() })
 	return srv
 }
 

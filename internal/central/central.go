@@ -119,6 +119,13 @@ type Server struct {
 	conns     rpc.ConnSet
 	wg        sync.WaitGroup
 	closed    bool
+
+	// baseCtx parents every connection's context; Close cancels it so
+	// in-flight handlers across all connections stop early.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	closeOnce  sync.Once
+	closeErr   error
 }
 
 // table is one range-partitioned relation: N shard trees plus the
@@ -226,6 +233,9 @@ func NewServerWithKey(opts Options, key *sig.PrivateKey) (*Server, error) {
 		acc:    acc,
 		tables: make(map[string]*table),
 	}
+	// The server's root context: construction has no caller context, and
+	// Close cancels it to stop handlers on every connection.
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background()) //vetauth:ignore ctxflow server root context, cancelled by Close
 	// Route the key's sign-op count into the server's stats snapshot.
 	key.SetCounters(&s.stats.signOps)
 	return s, nil
@@ -1053,9 +1063,18 @@ func (s *Server) Serve(l net.Listener) {
 	}
 }
 
-// Close stops serving: listeners and live connections are closed, then
-// in-flight handlers are drained.
-func (s *Server) Close() {
+// Close stops serving: listeners and live connections are closed,
+// in-flight handlers are drained, and every shard's write-ahead log is
+// released. It reports the first WAL that failed to close cleanly —
+// losing that error would hide an fsync failure at the one moment the
+// operator is still there to see it. Close is idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.doClose() })
+	return s.closeErr
+}
+
+func (s *Server) doClose() error {
+	s.baseCancel()
 	s.lnMu.Lock()
 	s.closed = true
 	for _, l := range s.listeners {
@@ -1067,13 +1086,18 @@ func (s *Server) Close() {
 	s.wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, t := range s.tables {
-		for _, sh := range t.shards {
-			if sh.log != nil {
-				sh.log.Close()
+	var err error
+	for name, t := range s.tables {
+		for i, sh := range t.shards {
+			if sh.log == nil {
+				continue
+			}
+			if cerr := sh.log.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("central: closing WAL for %q shard %d: %w", name, i, cerr)
 			}
 		}
 	}
+	return err
 }
 
 // handleConn negotiates the protocol with the peer and dispatches its
@@ -1083,6 +1107,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	rpc.ServeConn(conn, s.dispatch, rpc.ServeOptions{
 		IdleTimeout:   s.opts.IdleTimeout,
 		MaxConcurrent: s.opts.MaxConcurrent,
+		BaseContext:   s.baseCtx,
 	})
 }
 

@@ -1,0 +1,28 @@
+package central
+
+import "testing"
+
+// Regression: Close used to drop the error from closing each shard's
+// WAL and was not safe to call twice; a missed close (or a hidden fsync
+// failure) only surfaces at shutdown, so it must be reported.
+func TestCloseReleasesWALsAndIsIdempotent(t *testing.T) {
+	srv := newBatchServer(t, 50, Options{PageSize: 1024, WALDir: t.TempDir()})
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	srv.mu.RLock()
+	for name, tb := range srv.tables {
+		for i, sh := range tb.shards {
+			if sh.log == nil {
+				t.Fatalf("table %q shard %d has no WAL on a WALDir server", name, i)
+			}
+			if err := sh.log.Sync(); err == nil {
+				t.Fatalf("table %q shard %d WAL still open after Server.Close", name, i)
+			}
+		}
+	}
+	srv.mu.RUnlock()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+}

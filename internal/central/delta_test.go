@@ -32,7 +32,7 @@ func newDeltaServer(t *testing.T, rows, retention int, walDir string) *Server {
 	if err := srv.AddTable(sch, tuples); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() { srv.Close() })
 	return srv
 }
 

@@ -193,7 +193,7 @@ func TestClientSurvivesEdgeRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	go srv.Serve(centralLn)
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() { srv.Close() })
 
 	eg := edge.New(centralLn.Addr().String())
 	if err := eg.PullAll(ctx); err != nil {
@@ -235,7 +235,7 @@ func TestClientSurvivesEdgeRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	go eg2.Serve(edgeLn2)
-	t.Cleanup(eg2.Close)
+	t.Cleanup(func() { eg2.Close() })
 
 	res, err := cl.Query(ctx, "items", preds, nil)
 	if err != nil {

@@ -28,6 +28,7 @@
 package edge
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -98,6 +99,13 @@ type Server struct {
 	conns     rpc.ConnSet
 	wg        sync.WaitGroup
 	closed    bool
+
+	// baseCtx parents every client connection's context; Close cancels
+	// it so in-flight query handlers stop early.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	closeOnce  sync.Once
+	closeErr   error
 }
 
 // replica is one replicated table. Its queryable state lives in an
@@ -229,6 +237,9 @@ func NewWithOptions(centralAddr string, opts Options) *Server {
 		opts:    opts,
 		central: rpc.New(centralAddr, rpc.Options{}),
 	}
+	// The server's root context: construction has no caller context, and
+	// Close cancels it to stop handlers on every client connection.
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background()) //vetauth:ignore ctxflow server root context, cancelled by Close
 	empty := make(map[string]*replica)
 	s.tables.Store(&empty)
 	return s
@@ -334,7 +345,7 @@ func (s *Server) pullAttempt(ctx context.Context, tableName string, retries int)
 	rep := &replica{}
 	var stores []*storage.PageStore
 	for i := range sm.Map.Shards {
-		body, store, snap, err := s.pullShardStore(ctx, tableName, i)
+		body, store, snap, err := s.pullShardStore(ctx, tableName, i, sm)
 		if err != nil {
 			return 0, err
 		}
@@ -361,6 +372,9 @@ func (s *Server) pullAttempt(ctx context.Context, tableName string, retries int)
 		}
 		return 0, err
 	}
+	if err := s.verifyAlignedStores(ctx, final, stores); err != nil {
+		return 0, err
+	}
 	if err := rep.rebuildSet(final, stores); err != nil {
 		return 0, err
 	}
@@ -368,8 +382,8 @@ func (s *Server) pullAttempt(ctx context.Context, tableName string, retries int)
 	return total, nil
 }
 
-// pullShardStore fetches and installs one shard's snapshot.
-func (s *Server) pullShardStore(ctx context.Context, tableName string, idx int) (int, *storage.PageStore, *wire.Snapshot, error) {
+// pullShardStore fetches, verifies, and installs one shard's snapshot.
+func (s *Server) pullShardStore(ctx context.Context, tableName string, idx int, sm *shardmap.Signed) (int, *storage.PageStore, *wire.Snapshot, error) {
 	req := &wire.ShardSnapshotRequest{Table: tableName, Shard: uint32(idx)}
 	body, err := s.central.Call(ctx, wire.MsgShardSnapshotReq, req.Encode(), wire.MsgSnapshotResp, true)
 	if err != nil {
@@ -377,6 +391,18 @@ func (s *Server) pullShardStore(ctx context.Context, tableName string, idx int) 
 	}
 	snap, err := wire.DecodeSnapshot(body)
 	if err != nil {
+		return 0, nil, nil, err
+	}
+	// The verified map pins this shard's root digest: a snapshot on the
+	// map's version must recover to exactly it. A central commit racing
+	// the pull can leave the snapshot ahead of the map — then only the
+	// signature's shape is checked here, and the binding against the
+	// final map happens in verifyAlignedStores before publish.
+	var pinned []byte
+	if snap.Epoch == sm.Map.Epoch && snap.Version == sm.Map.Shards[idx].Version {
+		pinned = sm.Map.Shards[idx].RootDigest
+	}
+	if err := s.verifySnapshot(ctx, snap, pinned); err != nil {
 		return 0, nil, nil, err
 	}
 	store, err := installStore(snap)
@@ -395,6 +421,12 @@ func (s *Server) pullLegacy(ctx context.Context, tableName string) (int, error) 
 	}
 	snap, err := wire.DecodeSnapshot(body)
 	if err != nil {
+		return 0, err
+	}
+	// No shard map exists to pin the root digest on the legacy path, but
+	// the root signature must still be the central key's work; delta
+	// verification and client-side VO checks carry freshness from here.
+	if err := s.verifySnapshot(ctx, snap, nil); err != nil {
 		return 0, err
 	}
 	rep, err := InstallSnapshot(snap)
@@ -711,6 +743,9 @@ func (s *Server) refreshSharded(ctx context.Context, tableName string, rep *repl
 	// One atomic publish: the new map and the shard snapshots it pins
 	// become visible together, so a query can never pair an answer with
 	// a map from a different refresh generation.
+	if err := s.verifyAlignedStores(ctx, final, stores); err != nil {
+		return RefreshStat{}, err
+	}
 	if err := rep.rebuildSet(final, stores); err != nil {
 		return RefreshStat{}, err
 	}
@@ -801,6 +836,19 @@ func (s *Server) refreshShard(ctx context.Context, tableName string, store *stor
 		if err != nil {
 			return 0, "", nil, err
 		}
+		// The delta is whole-body signed and already verified, and signing
+		// is deterministic: when it carries root metadata and the fallback
+		// snapshot lands on its target version, the root signature must be
+		// byte-identical. Otherwise (SnapshotNeeded deltas omit the root,
+		// or the central committed again) the signature is shape-checked
+		// now and bound to the final map in verifyAlignedStores.
+		if len(d.RootSig) > 0 && snap.Version == d.ToVersion && snap.Epoch == d.Epoch {
+			if !bytes.Equal(snap.RootSig, d.RootSig) {
+				return 0, "", nil, errors.New("edge: fallback snapshot root signature does not match the verified delta")
+			}
+		} else if err := s.verifySnapshot(ctx, snap, nil); err != nil {
+			return 0, "", nil, err
+		}
 		fresh, err := installStore(snap)
 		if err != nil {
 			return 0, "", nil, err
@@ -835,6 +883,84 @@ func (s *Server) verifyDelta(ctx context.Context, d *wire.Delta, body []byte) er
 		}
 		if err := pub.Verify(d.Sig, payload); err != nil {
 			return fmt.Errorf("edge: delta signature rejected: %w", err)
+		}
+	}
+	return nil
+}
+
+// verifySnapshot anchors a pulled snapshot in the central key before any
+// of its pages are installed, closing the asymmetry with the delta path
+// (deltas are whole-body signed and checked by verifyDelta; snapshots
+// carry the tree's signed root digest). The root signature must recover
+// to a digest of the right shape under the central key — refetching the
+// key once on rejection, like verifyDelta — and when pinned is non-nil
+// (a root digest vouched for by already-verified material, such as the
+// signed shard map) the recovered digest must equal it.
+func (s *Server) verifySnapshot(ctx context.Context, snap *wire.Snapshot, pinned []byte) error {
+	acc, err := digest.New(snap.AccParams.ToDigestParams())
+	if err != nil {
+		return err
+	}
+	pub, err := s.centralKey(ctx)
+	if err != nil {
+		return err
+	}
+	if recoverPinned(pub, acc, snap.RootSig, pinned) == nil {
+		return nil
+	}
+	if pub, err = s.refetchCentralKey(ctx); err != nil {
+		return err
+	}
+	if err := recoverPinned(pub, acc, snap.RootSig, pinned); err != nil {
+		return fmt.Errorf("edge: snapshot root signature rejected: %w", err)
+	}
+	return nil
+}
+
+// recoverPinned recovers a root signature under pub and checks the
+// digest's shape — and its value, when the caller holds a pinned digest.
+func recoverPinned(pub *sig.PublicKey, acc *digest.Accumulator, rootSig, pinned []byte) error {
+	u, err := pub.Recover(sig.Signature(rootSig))
+	if err != nil {
+		return err
+	}
+	if len(u) != acc.Len() {
+		return fmt.Errorf("recovered %d bytes, want a %d-byte digest", len(u), acc.Len())
+	}
+	if pinned != nil && !bytes.Equal(u, pinned) {
+		return errors.New("root digest does not match its verified pin")
+	}
+	return nil
+}
+
+// verifyAlignedStores cross-checks the shard stores against the map they
+// are about to be published with: each store's root signature must
+// recover, under the central key, to exactly the root digest the
+// verified map pins for that shard. One public-exponent RSA operation
+// per shard — the cost the central itself pays per commit for
+// Tree.RootDigest. This is the binding pullShardStore defers when a
+// racing commit leaves a snapshot ahead of the map it was pulled with.
+func (s *Server) verifyAlignedStores(ctx context.Context, sm *shardmap.Signed, stores []*storage.PageStore) error {
+	pub, err := s.centralKey(ctx)
+	if err != nil {
+		return err
+	}
+	for i, store := range stores {
+		st, err := storeState(store)
+		if err != nil {
+			return err
+		}
+		u, err := pub.Recover(st.RootSig)
+		if err != nil || !bytes.Equal(u, sm.Map.Shards[i].RootDigest) {
+			// The central may have rotated keys since the cache was
+			// filled; retry once with a fresh key before condemning.
+			if pub, err = s.refetchCentralKey(ctx); err != nil {
+				return err
+			}
+			u, err = pub.Recover(st.RootSig)
+			if err != nil || !bytes.Equal(u, sm.Map.Shards[i].RootDigest) {
+				return fmt.Errorf("edge: shard %d of %q: root signature does not recover to the digest its signed map pins", i, sm.Map.Table)
+			}
 		}
 	}
 	return nil
@@ -1089,8 +1215,15 @@ func (s *Server) Serve(l net.Listener) {
 }
 
 // Close stops serving (listeners and live client connections) and drops
-// the central connection.
-func (s *Server) Close() {
+// the central connection, reporting a connection that failed to close
+// cleanly. Close is idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.doClose() })
+	return s.closeErr
+}
+
+func (s *Server) doClose() error {
+	s.baseCancel()
 	s.lnMu.Lock()
 	s.closed = true
 	for _, l := range s.listeners {
@@ -1100,7 +1233,10 @@ func (s *Server) Close() {
 	s.lnMu.Unlock()
 	s.conns.CloseAll()
 	s.wg.Wait()
-	s.central.Close()
+	if err := s.central.Close(); err != nil {
+		return fmt.Errorf("edge: closing central connection: %w", err)
+	}
+	return nil
 }
 
 // handleConn negotiates the protocol with the client and dispatches its
@@ -1110,6 +1246,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	rpc.ServeConn(conn, s.dispatch, rpc.ServeOptions{
 		IdleTimeout:   s.opts.IdleTimeout,
 		MaxConcurrent: s.opts.MaxConcurrent,
+		BaseContext:   s.baseCtx,
 	})
 }
 

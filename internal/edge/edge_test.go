@@ -51,7 +51,7 @@ func startCentral(t *testing.T, rows int) (*central.Server, string) {
 		t.Fatal(err)
 	}
 	go srv.Serve(ln)
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() { srv.Close() })
 	return srv, ln.Addr().String()
 }
 
@@ -197,7 +197,7 @@ func TestServeProtocolDispatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	go eg.Serve(ln)
-	t.Cleanup(eg.Close)
+	t.Cleanup(func() { eg.Close() })
 
 	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {

@@ -38,7 +38,7 @@ func startCentralOpts(t *testing.T, rows int, opts central.Options) (*central.Se
 		t.Fatal(err)
 	}
 	go srv.Serve(ln)
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() { srv.Close() })
 	return srv, ln.Addr().String()
 }
 
@@ -79,7 +79,7 @@ func startEdge(t *testing.T, eg *Server) string {
 		t.Fatal(err)
 	}
 	go eg.Serve(ln)
-	t.Cleanup(eg.Close)
+	t.Cleanup(func() { eg.Close() })
 	return ln.Addr().String()
 }
 

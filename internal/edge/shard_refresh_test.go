@@ -16,7 +16,7 @@ func TestShardedRefreshAndPull(t *testing.T) {
 	ctx := context.Background()
 	srv, addr := startCentralOpts(t, 400, central.Options{PageSize: 1024, Shards: 4})
 	eg := New(addr)
-	t.Cleanup(eg.Close)
+	t.Cleanup(func() { eg.Close() })
 	if err := eg.PullAll(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestShardedRefreshRecoversFromPartialFailure(t *testing.T) {
 	ctx := context.Background()
 	srv, addr := startCentralOpts(t, 200, central.Options{PageSize: 1024, Shards: 2})
 	eg := New(addr)
-	t.Cleanup(eg.Close)
+	t.Cleanup(func() { eg.Close() })
 	if err := eg.PullAll(ctx); err != nil {
 		t.Fatal(err)
 	}

@@ -110,7 +110,7 @@ func TestQueriesReportStaleReplicaAfterEpochDivergence(t *testing.T) {
 	fake := &fakeCentral{key: serverKey(t), real: srv, epoch: 0xDEAD_BEEF}
 	fake.failSnapshot.Store(true)
 	eg := New(fake.serve(t))
-	t.Cleanup(eg.Close)
+	t.Cleanup(func() { eg.Close() })
 
 	// Seed the replica from the genuine central (epoch != fake.epoch).
 	snap, err := srv.Snapshot("items")
@@ -192,7 +192,7 @@ func TestRefreshAllStopsOnCancelledContext(t *testing.T) {
 	srv, _ := startCentral(t, 60)
 	fake := &fakeCentral{key: serverKey(t), real: srv, epoch: 0xBADC0FFE}
 	eg := New(fake.serve(t))
-	t.Cleanup(eg.Close)
+	t.Cleanup(func() { eg.Close() })
 
 	// The context cancels the moment the table listing has been served —
 	// before the loop reaches any table.

@@ -161,10 +161,10 @@ type CommPoint struct {
 }
 
 // MeasureComm runs the communication experiment for one (selectivity, Qc).
-func (e *Env) MeasureComm(sel float64, qc int) (CommPoint, error) {
+func (e *Env) MeasureComm(ctx context.Context, sel float64, qc int) (CommPoint, error) {
 	lo, hi, qr := e.rangeFor(sel)
 	project := workload.ProjectFirstN(e.Sch, qc)
-	rs, w, err := e.Tree.RunQuery(context.Background(), vbtree.Query{Lo: &lo, Hi: &hi, Project: project})
+	rs, w, err := e.Tree.RunQuery(ctx, vbtree.Query{Lo: &lo, Hi: &hi, Project: project})
 	if err != nil {
 		return CommPoint{}, err
 	}
@@ -212,13 +212,13 @@ func (o OpsPoint) Cost(scheme string, costK, x float64) float64 {
 
 // MeasureOps runs both schemes' full query+verify paths and counts the
 // client's hash/combine/recover operations.
-func (e *Env) MeasureOps(sel float64, qc int) (OpsPoint, error) {
+func (e *Env) MeasureOps(ctx context.Context, sel float64, qc int) (OpsPoint, error) {
 	lo, hi, qr := e.rangeFor(sel)
 	project := workload.ProjectFirstN(e.Sch, qc)
 	out := OpsPoint{Selectivity: sel, QR: qr}
 
 	// VB scheme.
-	rs, w, err := e.Tree.RunQuery(context.Background(), vbtree.Query{Lo: &lo, Hi: &hi, Project: project})
+	rs, w, err := e.Tree.RunQuery(ctx, vbtree.Query{Lo: &lo, Hi: &hi, Project: project})
 	if err != nil {
 		return out, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestMeasureCommOrdering(t *testing.T) {
 	e := testEnv(t)
 	prevGap := -1 << 60
 	for _, sel := range []float64{10, 50, 100} {
-		p, err := e.MeasureComm(sel, 5)
+		p, err := e.MeasureComm(context.Background(), sel, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestMeasureCommOrdering(t *testing.T) {
 
 func TestMeasureOpsOrdering(t *testing.T) {
 	e := testEnv(t)
-	p, err := e.MeasureOps(50, len(e.Sch.Columns))
+	p, err := e.MeasureOps(context.Background(), 50, len(e.Sch.Columns))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestMeasuredFigureShapes(t *testing.T) {
 			t.Errorf("F9: VB height below B height at x=%v", f9.X[i])
 		}
 	}
-	f10, err := e.MeasuredFig10(5)
+	f10, err := e.MeasuredFig10(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,21 +129,21 @@ func TestMeasuredFigureShapes(t *testing.T) {
 	if f10.Series[1].Y[last] >= f10.Series[0].Y[last] {
 		t.Error("F10: VB not below Naive at 100% selectivity")
 	}
-	f12, err := e.MeasuredFig12(10)
+	f12, err := e.MeasuredFig12(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f12.Series[1].Y[last] >= f12.Series[0].Y[last] {
 		t.Error("F12: VB not below Naive at 100% selectivity")
 	}
-	f13a, err := e.MeasuredFig13a()
+	f13a, err := e.MeasuredFig13a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(f13a.X) != 7 {
 		t.Errorf("F13a has %d points", len(f13a.X))
 	}
-	f13b, err := e.MeasuredFig13b()
+	f13b, err := e.MeasuredFig13b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestMeasuredFigureShapes(t *testing.T) {
 func TestMeasuredFig11Converges(t *testing.T) {
 	cfg := testConfig()
 	cfg.SmallRows = 150 // 7 rebuilds; keep them cheap
-	f, err := MeasuredFig11(cfg)
+	f, err := MeasuredFig11(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

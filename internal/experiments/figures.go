@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -75,7 +76,7 @@ func (e *Env) BuiltShape() (vbtree.Stats, error) {
 
 // MeasuredFig10 runs the communication experiment for one Qc across the
 // selectivity sweep.
-func (e *Env) MeasuredFig10(qc int) (costmodel.Figure, error) {
+func (e *Env) MeasuredFig10(ctx context.Context, qc int) (costmodel.Figure, error) {
 	f := costmodel.Figure{
 		ID:     formatID("F10-measured(Qc=%d)", qc),
 		Title:  formatID("Measured Communication Cost, Qc = %d", qc),
@@ -84,7 +85,7 @@ func (e *Env) MeasuredFig10(qc int) (costmodel.Figure, error) {
 		Series: []costmodel.Series{{Name: "Naive"}, {Name: "VB-tree"}},
 	}
 	for _, sel := range workload.Selectivities() {
-		p, err := e.MeasureComm(sel, qc)
+		p, err := e.MeasureComm(ctx, sel, qc)
 		if err != nil {
 			return f, err
 		}
@@ -97,7 +98,7 @@ func (e *Env) MeasuredFig10(qc int) (costmodel.Figure, error) {
 
 // MeasuredFig11 rebuilds small environments with attribute size 16·2^f
 // and measures communication at 20% and 80% selectivity.
-func MeasuredFig11(cfg Config) (costmodel.Figure, error) {
+func MeasuredFig11(ctx context.Context, cfg Config) (costmodel.Figure, error) {
 	f := costmodel.Figure{
 		ID:     "F11-measured",
 		Title:  "Measured Communication versus Attribute Size (|A| = 16·2^f)",
@@ -123,7 +124,7 @@ func MeasuredFig11(cfg Config) (costmodel.Figure, error) {
 		}
 		f.X = append(f.X, float64(fac))
 		for si, sel := range []float64{20, 80} {
-			p, err := env.MeasureComm(sel, len(env.Sch.Columns))
+			p, err := env.MeasureComm(ctx, sel, len(env.Sch.Columns))
 			if err != nil {
 				return f, err
 			}
@@ -177,7 +178,7 @@ func buildSizedEnv(cfg Config, key *sig.PrivateKey, attrSize int) (*Env, error) 
 
 // MeasuredFig12 sweeps selectivity and reports measured client cost in
 // Cost_h units for a given X (recover ops weighted X, combine ops 1).
-func (e *Env) MeasuredFig12(x float64) (costmodel.Figure, error) {
+func (e *Env) MeasuredFig12(ctx context.Context, x float64) (costmodel.Figure, error) {
 	f := costmodel.Figure{
 		ID:     formatID("F12-measured(X=%g)", x),
 		Title:  formatID("Measured Client Computation, X = %g", x),
@@ -186,7 +187,7 @@ func (e *Env) MeasuredFig12(x float64) (costmodel.Figure, error) {
 		Series: []costmodel.Series{{Name: "Naive"}, {Name: "VB-tree"}},
 	}
 	for _, sel := range workload.Selectivities() {
-		p, err := e.MeasureOps(sel, len(e.Sch.Columns))
+		p, err := e.MeasureOps(ctx, sel, len(e.Sch.Columns))
 		if err != nil {
 			return f, err
 		}
@@ -198,7 +199,7 @@ func (e *Env) MeasuredFig12(x float64) (costmodel.Figure, error) {
 }
 
 // MeasuredFig13a reweights measured op counts across Cost_k/Cost_h ratios.
-func (e *Env) MeasuredFig13a() (costmodel.Figure, error) {
+func (e *Env) MeasuredFig13a(ctx context.Context) (costmodel.Figure, error) {
 	f := costmodel.Figure{
 		ID:     "F13a-measured",
 		Title:  "Measured Computation versus Cost_k/Cost_h (X = 10)",
@@ -211,7 +212,7 @@ func (e *Env) MeasuredFig13a() (costmodel.Figure, error) {
 	}
 	var pts [2]OpsPoint
 	for i, sel := range []float64{20, 80} {
-		p, err := e.MeasureOps(sel, len(e.Sch.Columns))
+		p, err := e.MeasureOps(ctx, sel, len(e.Sch.Columns))
 		if err != nil {
 			return f, err
 		}
@@ -229,7 +230,7 @@ func (e *Env) MeasuredFig13a() (costmodel.Figure, error) {
 
 // MeasuredFig13b sweeps the projection width Qc at 20% and 80%
 // selectivity.
-func (e *Env) MeasuredFig13b() (costmodel.Figure, error) {
+func (e *Env) MeasuredFig13b(ctx context.Context) (costmodel.Figure, error) {
 	f := costmodel.Figure{
 		ID:     "F13b-measured",
 		Title:  "Measured Computation versus Qc (X = 10)",
@@ -243,7 +244,7 @@ func (e *Env) MeasuredFig13b() (costmodel.Figure, error) {
 	for qc := 1; qc <= len(e.Sch.Columns); qc++ {
 		f.X = append(f.X, float64(qc))
 		for i, sel := range []float64{20, 80} {
-			p, err := e.MeasureOps(sel, qc)
+			p, err := e.MeasureOps(ctx, sel, qc)
 			if err != nil {
 				return f, err
 			}

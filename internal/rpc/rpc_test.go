@@ -478,3 +478,34 @@ func TestHandlerCtxCancelledOnDisconnect(t *testing.T) {
 		t.Fatal("handler never observed the disconnect")
 	}
 }
+
+// TestBaseContextCancellation covers ServeOptions.BaseContext: when the
+// server's root context is cancelled (shutdown), handlers blocked on
+// ctx.Done unwind and answer, instead of running on with a context that
+// outlives the server.
+func TestBaseContextCancellation(t *testing.T) {
+	base, cancel := context.WithCancel(context.Background())
+	h := func(ctx context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+		<-ctx.Done()
+		return 0, nil, ctx.Err()
+	}
+	addr := startServer(t, h, ServeOptions{BaseContext: base})
+	c := New(addr, Options{})
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), wire.MsgQueryReq, []byte("x"), wire.MsgQueryResp, true)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call reach the handler
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call succeeded although the handler's context was cancelled")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler did not observe BaseContext cancellation")
+	}
+}

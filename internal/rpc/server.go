@@ -37,6 +37,18 @@ type ServeOptions struct {
 	// MaxConcurrent bounds the requests executing concurrently on one v2
 	// connection. 0 selects DefaultMaxConcurrent.
 	MaxConcurrent int
+	// BaseContext, when non-nil, parents every connection context, so
+	// cancelling it (server shutdown) stops in-flight handlers across
+	// all connections. Nil leaves connections rooted at Background.
+	BaseContext context.Context
+}
+
+func (o ServeOptions) baseContext() context.Context {
+	if o.BaseContext != nil {
+		return o.BaseContext
+	}
+	// The accept loop's default when no server lifecycle is plumbed in.
+	return context.Background() //vetauth:ignore ctxflow there is no caller context to inherit here
 }
 
 func (o ServeOptions) idleTimeout() time.Duration {
@@ -67,9 +79,10 @@ func (o ServeOptions) maxConcurrent() int {
 // malformed frame; in-flight workers are drained before it returns.
 func ServeConn(conn net.Conn, h Handler, o ServeOptions) {
 	// The connection context: cancelled the moment the serve loop winds
-	// down (peer disconnected, idled out, malformed frame), so in-flight
-	// handlers stop early.
-	ctx, cancel := context.WithCancel(context.Background())
+	// down (peer disconnected, idled out, malformed frame) or the
+	// server's BaseContext is cancelled, so in-flight handlers stop
+	// early.
+	ctx, cancel := context.WithCancel(o.baseContext())
 	defer cancel()
 	idle := o.idleTimeout()
 	setIdleDeadline(conn, idle)
