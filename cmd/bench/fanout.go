@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"edgeauth/internal/edge"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+)
+
+// The peer_fanout scenario measures the CDN effect of the peer
+// distribution tier: one batch commit fanned out to N edges, once with
+// every edge pulling directly from the central and once routed through
+// a 2-edge serving tier. The interesting numbers are the central's
+// bulk egress (the bytes the tier is supposed to absorb) and the
+// wall-clock for the whole fleet to converge.
+
+// PeerFanoutPoint is one topology's measurement.
+type PeerFanoutPoint struct {
+	Topology           string  `json:"topology"` // "direct" or "two-tier"
+	Edges              int     `json:"edges"`
+	Tier1              int     `json:"tier1"`
+	CentralDeltaBytes  uint64  `json:"central_delta_bytes"`
+	CentralMapBytes    uint64  `json:"central_map_bytes"`
+	PeerPayloadsServed uint64  `json:"peer_payloads_served"`
+	PeerBytesServed    uint64  `json:"peer_bytes_served"`
+	ConvergeSeconds    float64 `json:"converge_seconds"`
+}
+
+// measurePeerFanout runs the direct and two-tier rounds at the same
+// fleet size and returns both points.
+func measurePeerFanout(key *sig.PrivateKey, rows, pageSize, edges int) ([]PeerFanoutPoint, error) {
+	direct, err := fanoutRound(key, rows, pageSize, edges, 0)
+	if err != nil {
+		return nil, fmt.Errorf("direct: %w", err)
+	}
+	tiered, err := fanoutRound(key, rows, pageSize, edges, 2)
+	if err != nil {
+		return nil, fmt.Errorf("two-tier: %w", err)
+	}
+	return []PeerFanoutPoint{direct, tiered}, nil
+}
+
+// fanoutRound builds a fresh sharded central behind a loopback
+// listener, bootstraps a fleet of edges (with tier1Count of them
+// serving peers and the rest pulling through them), commits one batch,
+// and times the fleet-wide refresh.
+func fanoutRound(key *sig.PrivateKey, rows, pageSize, edges, tier1Count int) (PeerFanoutPoint, error) {
+	srv, sch, err := benchServer(key, rows, pageSize, 2, false)
+	if err != nil {
+		return PeerFanoutPoint{}, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return PeerFanoutPoint{}, err
+	}
+	go srv.Serve(ln)
+	centralAddr := ln.Addr().String()
+	ctx := context.Background()
+
+	// Tier-1 serves peers from its pinned snapshots; tier-2 lists both
+	// tier-1 addresses with alternating preference so load spreads.
+	tier1 := make([]*edge.Server, 0, tier1Count)
+	tier1Addrs := make([]string, 0, tier1Count)
+	closeAll := func() {
+		for _, eg := range tier1 {
+			eg.Close()
+		}
+	}
+	defer closeAll()
+	for i := 0; i < tier1Count; i++ {
+		eg := edge.NewWithOptions(centralAddr, edge.Options{ServePeers: true})
+		if err := eg.PullAll(ctx); err != nil {
+			return PeerFanoutPoint{}, err
+		}
+		eln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return PeerFanoutPoint{}, err
+		}
+		go eg.Serve(eln)
+		tier1 = append(tier1, eg)
+		tier1Addrs = append(tier1Addrs, eln.Addr().String())
+	}
+	fleet := make([]*edge.Server, edges-tier1Count)
+	for i := range fleet {
+		var opts edge.Options
+		if tier1Count > 0 {
+			opts.Upstreams = []string{tier1Addrs[i%tier1Count], tier1Addrs[(i+1)%tier1Count]}
+		}
+		fleet[i] = edge.NewWithOptions(centralAddr, opts)
+		defer fleet[i].Close()
+	}
+	if err := eachEdge(fleet, func(eg *edge.Server) error { return eg.PullAll(ctx) }); err != nil {
+		return PeerFanoutPoint{}, err
+	}
+
+	// One batch commit, striding both shards (low and high key ranges).
+	const batchRows = 64
+	tuples := make([]schema.Tuple, 0, batchRows)
+	for i := 0; i < batchRows; i++ {
+		id := int64(5_000_000 + i)
+		if i%2 == 1 {
+			id = int64(-1 - i)
+		}
+		tuples = append(tuples, benchRow(sch, id))
+	}
+	opErrs, err := srv.ApplyBatch(sch.Table, tuples)
+	if err != nil {
+		return PeerFanoutPoint{}, err
+	}
+	for _, oe := range opErrs {
+		if oe != nil {
+			return PeerFanoutPoint{}, oe
+		}
+	}
+
+	// The measured round: tier-1 refreshes from the central, then the
+	// fleet fans out behind it. Snapshot every counter first so the
+	// point reports this round only, not the bootstrap.
+	pre := srv.Stats()
+	var preServed, preServedBytes uint64
+	for _, eg := range tier1 {
+		st := eg.Stats()
+		preServed += st.PeerPayloadsServed
+		preServedBytes += st.PeerBytesServed
+	}
+	start := time.Now()
+	refresh := func(eg *edge.Server) error {
+		_, err := eg.Refresh(ctx, sch.Table)
+		return err
+	}
+	if err := eachEdge(tier1, refresh); err != nil {
+		return PeerFanoutPoint{}, err
+	}
+	if err := eachEdge(fleet, refresh); err != nil {
+		return PeerFanoutPoint{}, err
+	}
+	converge := time.Since(start)
+	post := srv.Stats()
+
+	// Convergence is part of the contract, not just a timing.
+	want, err := srv.Version(sch.Table)
+	if err != nil {
+		return PeerFanoutPoint{}, err
+	}
+	for _, eg := range append(append([]*edge.Server{}, tier1...), fleet...) {
+		if v, _ := eg.Version(sch.Table); v != want {
+			return PeerFanoutPoint{}, fmt.Errorf("edge at v%d, central at v%d", v, want)
+		}
+	}
+
+	pt := PeerFanoutPoint{
+		Topology:          "direct",
+		Edges:             edges,
+		Tier1:             tier1Count,
+		CentralDeltaBytes: post.EgressDeltaBytes - pre.EgressDeltaBytes,
+		CentralMapBytes:   post.EgressMapBytes - pre.EgressMapBytes,
+		ConvergeSeconds:   converge.Seconds(),
+	}
+	if tier1Count > 0 {
+		pt.Topology = "two-tier"
+		for _, eg := range tier1 {
+			st := eg.Stats()
+			pt.PeerPayloadsServed += st.PeerPayloadsServed
+			pt.PeerBytesServed += st.PeerBytesServed
+		}
+		pt.PeerPayloadsServed -= preServed
+		pt.PeerBytesServed -= preServedBytes
+	}
+	return pt, nil
+}
+
+// eachEdge runs fn over every edge concurrently and returns the first
+// error.
+func eachEdge(egs []*edge.Server, fn func(*edge.Server) error) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(egs))
+	for _, eg := range egs {
+		wg.Add(1)
+		go func(eg *edge.Server) {
+			defer wg.Done()
+			errs <- fn(eg)
+		}(eg)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

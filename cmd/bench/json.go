@@ -37,6 +37,11 @@ type JSONReport struct {
 	// Query measures verified point/range query latency and VO size at
 	// the client-observable level.
 	Query QueryPoint `json:"query"`
+
+	// PeerFanout measures the peer distribution tier's CDN effect:
+	// central egress bytes and fleet convergence latency for one batch
+	// commit at N edges, direct vs routed through a 2-edge serving tier.
+	PeerFanout []PeerFanoutPoint `json:"peer_fanout"`
 }
 
 // IngestPoint is one ingest measurement.
@@ -87,6 +92,18 @@ func runJSON(out io.Writer, rows, keyBits, pageSize int, shardCounts []int) erro
 		return fmt.Errorf("query measurement: %w", err)
 	}
 	report.Query = qp
+
+	// The fan-out fleet rebuilds its table per topology, so run it on a
+	// trimmed row count to keep -json fast.
+	fanRows := rows / 4
+	if fanRows < 500 {
+		fanRows = 500
+	}
+	fan, err := measurePeerFanout(key, fanRows, pageSize, 12)
+	if err != nil {
+		return fmt.Errorf("peer fanout: %w", err)
+	}
+	report.PeerFanout = fan
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

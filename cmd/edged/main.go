@@ -10,14 +10,25 @@
 // Usage:
 //
 //	edged -central 127.0.0.1:7001 -listen :7002 [-refresh 30s] [-tamper mutate-value]
-//	      [-debug-addr 127.0.0.1:7102]
+//	      [-upstream host:port,...] [-serve-peers] [-debug-addr 127.0.0.1:7102]
+//
+// -upstream and -serve-peers wire the edge into the peer distribution
+// tier: -upstream names peer edges (tried in order) to pull bulk refresh
+// payloads from before falling back to the central, and -serve-peers
+// lets this edge answer other edges' replication requests from its own
+// replicas. Trust anchors (the signed shard map and the central public
+// key) always come from the central regardless of topology.
 //
 // -tamper also accepts the shard-map attacks (drop-shard-from-map,
 // rewire-shard-digests), which corrupt the shard map served for
-// range-partitioned tables instead of individual query responses.
+// range-partitioned tables instead of individual query responses, and
+// the malicious-relay attacks (bit-flip-delta, replay-stale-snapshot,
+// wrong-shard-relay), which corrupt the replication payloads a
+// -serve-peers edge relays to downstream edges.
 //
 // -debug-addr serves expvar (including the edge's live counters under
-// the "edge" key) at http://ADDR/debug/vars.
+// the "edge" key, and per-upstream pull counters under "edge_peers")
+// at http://ADDR/debug/vars.
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,13 +58,29 @@ func main() {
 		refresh     = flag.Duration("refresh", 0, "update propagation interval (0 = never)")
 		idle        = flag.Duration("idletimeout", 0, "drop client connections idle past this (0 = default, <0 = never)")
 		tamperName  = flag.String("tamper", "", "simulate a compromised edge with the named attack (see internal/tamper)")
+		upstream    = flag.String("upstream", "", "comma-separated peer edge addresses to pull refresh payloads from (tried in order before the central)")
+		servePeers  = flag.Bool("serve-peers", false, "answer other edges' replication requests from this edge's replicas")
 		debugAddr   = flag.String("debug-addr", "", "serve expvar counters at http://ADDR/debug/vars (empty = disabled)")
 	)
 	flag.Parse()
 
 	log.SetPrefix("edged: ")
 	ctx := context.Background()
-	srv := edge.NewWithOptions(*centralAddr, edge.Options{IdleTimeout: *idle})
+	opts := edge.Options{IdleTimeout: *idle, ServePeers: *servePeers}
+	if *upstream != "" {
+		for _, a := range strings.Split(*upstream, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				opts.Upstreams = append(opts.Upstreams, a)
+			}
+		}
+	}
+	srv := edge.NewWithOptions(*centralAddr, opts)
+	if len(opts.Upstreams) > 0 {
+		log.Printf("pulling refresh payloads via upstream peers %v (central %s is the fallback)", opts.Upstreams, *centralAddr)
+	}
+	if *servePeers {
+		log.Printf("serving replication requests to downstream peers")
+	}
 	start := time.Now()
 	if err := srv.PullAll(ctx); err != nil {
 		log.Fatal(err)
@@ -89,13 +117,27 @@ func main() {
 				break
 			}
 		}
+		for _, a := range tamper.PeerAttacks() {
+			if a.Name == *tamperName {
+				srv.SetPeerTamper(a.NewHook())
+				found = true
+				log.Printf("COMPROMISED MODE: applying relay attack %q to every peer-served payload", a.Name)
+				break
+			}
+		}
 		if !found {
-			log.Fatalf("unknown attack %q (see internal/tamper All and MapAttacks)", *tamperName)
+			log.Fatalf("unknown attack %q (see internal/tamper All, MapAttacks and PeerAttacks)", *tamperName)
 		}
 	}
 
 	if *debugAddr != "" {
 		expvar.Publish("edge", expvar.Func(func() any { return srv.Stats() }))
+		if len(opts.Upstreams) > 0 {
+			expvar.Publish("edge_peers", expvar.Func(func() any { return srv.PeerStats() }))
+		}
+		if len(opts.Upstreams) > 0 || *servePeers {
+			expvar.Publish("edge_relay", expvar.Func(func() any { return srv.RelayStats() }))
+		}
 		go func() {
 			// DefaultServeMux carries expvar's /debug/vars handler.
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {

@@ -1131,7 +1131,9 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 		if err != nil {
 			return 0, nil, err
 		}
-		return wire.MsgSnapshotResp, snap.Encode(), nil
+		enc := snap.Encode()
+		s.stats.snapshotBytes.Add(uint64(len(enc)))
+		return wire.MsgSnapshotResp, enc, nil
 
 	case wire.MsgShardSnapshotReq:
 		req, err := wire.DecodeShardSnapshotRequest(body)
@@ -1142,7 +1144,9 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 		if err != nil {
 			return 0, nil, err
 		}
-		return wire.MsgSnapshotResp, snap.Encode(), nil
+		enc := snap.Encode()
+		s.stats.snapshotBytes.Add(uint64(len(enc)))
+		return wire.MsgSnapshotResp, enc, nil
 
 	case wire.MsgDeltaReq:
 		req, err := wire.DecodeDeltaRequest(body)
@@ -1153,7 +1157,9 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 		if err != nil {
 			return 0, nil, err
 		}
-		return wire.MsgDeltaResp, d.Encode(), nil
+		enc := d.Encode()
+		s.stats.deltaBytes.Add(uint64(len(enc)))
+		return wire.MsgDeltaResp, enc, nil
 
 	case wire.MsgShardDeltaReq:
 		req, err := wire.DecodeShardDeltaRequest(body)
@@ -1164,7 +1170,9 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 		if err != nil {
 			return 0, nil, err
 		}
-		return wire.MsgDeltaResp, d.Encode(), nil
+		enc := d.Encode()
+		s.stats.deltaBytes.Add(uint64(len(enc)))
+		return wire.MsgDeltaResp, enc, nil
 
 	case wire.MsgShardMapReq:
 		sm, err := s.SignedShardMap(string(body))
@@ -1172,7 +1180,9 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 			return 0, nil, err
 		}
 		s.stats.mapsServed.Add(1)
-		return wire.MsgShardMapResp, sm.Encode(), nil
+		enc := sm.Encode()
+		s.stats.mapBytes.Add(uint64(len(enc)))
+		return wire.MsgShardMapResp, enc, nil
 
 	case wire.MsgSchemaReq:
 		resp, err := s.SchemaResponse(string(body))

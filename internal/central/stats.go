@@ -14,11 +14,18 @@ type serverCounters struct {
 	snapshotsServed atomic.Uint64
 	deltasServed    atomic.Uint64
 	mapsServed      atomic.Uint64
-	insertsApplied  atomic.Uint64
-	deletesApplied  atomic.Uint64
-	batchRounds     atomic.Uint64
-	batchOps        atomic.Uint64
-	maxRound        atomic.Uint64
+	// Egress payload bytes by replication message kind — the central's
+	// side of the peer-tier CDN ledger: a working peer tier shows map
+	// bytes scaling with the edge count while snapshot/delta bytes scale
+	// with the (much smaller) tier-1 peer count.
+	snapshotBytes  atomic.Uint64
+	deltaBytes     atomic.Uint64
+	mapBytes       atomic.Uint64
+	insertsApplied atomic.Uint64
+	deletesApplied atomic.Uint64
+	batchRounds    atomic.Uint64
+	batchOps       atomic.Uint64
+	maxRound       atomic.Uint64
 
 	// signOps receives the signing key's op count via digest.Counters
 	// (installed by NewServerWithKey).
@@ -42,8 +49,13 @@ type Stats struct {
 	SnapshotsServed uint64 `json:"snapshots_served"`
 	DeltasServed    uint64 `json:"deltas_served"`
 	ShardMapsServed uint64 `json:"shard_maps_served"`
-	InsertsApplied  uint64 `json:"inserts_applied"`
-	DeletesApplied  uint64 `json:"deletes_applied"`
+	// Egress*Bytes are encoded replication payload bytes the central
+	// served, by kind (the peer-fanout benchmark's central-egress metric).
+	EgressSnapshotBytes uint64 `json:"egress_snapshot_bytes"`
+	EgressDeltaBytes    uint64 `json:"egress_delta_bytes"`
+	EgressMapBytes      uint64 `json:"egress_map_bytes"`
+	InsertsApplied      uint64 `json:"inserts_applied"`
+	DeletesApplied      uint64 `json:"deletes_applied"`
 	// SignOps counts RSA signature generations — the currency the
 	// sharded write path parallelizes.
 	SignOps uint64 `json:"sign_ops"`
@@ -58,15 +70,18 @@ type Stats struct {
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		QueriesServed:   s.stats.queriesServed.Load(),
-		SnapshotsServed: s.stats.snapshotsServed.Load(),
-		DeltasServed:    s.stats.deltasServed.Load(),
-		ShardMapsServed: s.stats.mapsServed.Load(),
-		InsertsApplied:  s.stats.insertsApplied.Load(),
-		DeletesApplied:  s.stats.deletesApplied.Load(),
-		SignOps:         uint64(s.stats.signOps.SignOps.Load()),
-		BatchRounds:     s.stats.batchRounds.Load(),
-		BatchOps:        s.stats.batchOps.Load(),
-		MaxRound:        s.stats.maxRound.Load(),
+		QueriesServed:       s.stats.queriesServed.Load(),
+		SnapshotsServed:     s.stats.snapshotsServed.Load(),
+		DeltasServed:        s.stats.deltasServed.Load(),
+		ShardMapsServed:     s.stats.mapsServed.Load(),
+		EgressSnapshotBytes: s.stats.snapshotBytes.Load(),
+		EgressDeltaBytes:    s.stats.deltaBytes.Load(),
+		EgressMapBytes:      s.stats.mapBytes.Load(),
+		InsertsApplied:      s.stats.insertsApplied.Load(),
+		DeletesApplied:      s.stats.deletesApplied.Load(),
+		SignOps:             uint64(s.stats.signOps.SignOps.Load()),
+		BatchRounds:         s.stats.batchRounds.Load(),
+		BatchOps:            s.stats.batchOps.Load(),
+		MaxRound:            s.stats.maxRound.Load(),
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"edgeauth/internal/digest"
+	"edgeauth/internal/peer"
 	"edgeauth/internal/query"
 	"edgeauth/internal/rpc"
 	"edgeauth/internal/schema"
@@ -71,6 +72,18 @@ type Options struct {
 	// multiplexed (protocol v2) client connection. 0 selects
 	// rpc.DefaultMaxConcurrent.
 	MaxConcurrent int
+	// Upstreams are peer edge addresses tried in order — before the
+	// central server — for bulk refresh payloads (deltas, snapshots).
+	// The signed shard map and the central public key always come from
+	// the central: only it can vouch for freshness, so a peer can carry
+	// bytes but never redefine what "current" means. Unreachable, stale
+	// or misbehaving upstreams are backed off (internal/peer) and the
+	// refresh fails over to the central automatically.
+	Upstreams []string
+	// ServePeers answers replication requests (snapshots, deltas) from
+	// this edge's published replicas and relay cache, making it an
+	// upstream tier for other edges (see peers.go).
+	ServePeers bool
 }
 
 // Server is an edge server holding replicated tables. The query path is
@@ -88,6 +101,15 @@ type Server struct {
 	// server; every replication exchange (snapshots, deltas, shard maps,
 	// the key fetch) multiplexes over it.
 	central *rpc.Conn
+	// peers is the ordered upstream set bulk payloads are pulled from
+	// before the central (nil when no upstreams are configured; the
+	// peer.Set API is nil-safe).
+	peers *peer.Set
+	// relay caches the raw central-signed delta bodies this edge pulled
+	// and verified, for verbatim relay to downstream edges.
+	relay *peer.Cache
+	// peerTamper is the malicious-relay hook (see SetPeerTamper).
+	peerTamper atomic.Pointer[PeerTamperFn]
 
 	pubMu      sync.Mutex
 	centralPub *sig.PublicKey
@@ -236,6 +258,10 @@ func NewWithOptions(centralAddr string, opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		central: rpc.New(centralAddr, rpc.Options{}),
+		relay:   peer.NewCache(0),
+	}
+	if len(opts.Upstreams) > 0 {
+		s.peers = peer.NewSet(opts.Upstreams, rpc.Options{Capabilities: s.helloCaps()})
 	}
 	// The server's root context: construction has no caller context, and
 	// Close cancels it to stop handlers on every client connection.
@@ -383,12 +409,29 @@ func (s *Server) pullAttempt(ctx context.Context, tableName string, retries int)
 }
 
 // pullShardStore fetches, verifies, and installs one shard's snapshot.
+// Configured upstream peers are tried first (bootstrap catch-up: a
+// late-joining edge takes its bulk from the nearest peer and only the
+// signed map and key from the central); a peer snapshot must land
+// exactly on the verified map's pin, so any failure — including a
+// replayed stale snapshot — falls through to the central.
 func (s *Server) pullShardStore(ctx context.Context, tableName string, idx int, sm *shardmap.Signed) (int, *storage.PageStore, *wire.Snapshot, error) {
+	for _, src := range s.peers.Available() {
+		if ctx.Err() != nil {
+			break
+		}
+		n, store, snap, err := s.pullPeerSnapshot(ctx, src, tableName, idx, sm)
+		if err != nil {
+			s.peerFail(src)
+			continue
+		}
+		return n, store, snap, nil
+	}
 	req := &wire.ShardSnapshotRequest{Table: tableName, Shard: uint32(idx)}
 	body, err := s.central.Call(ctx, wire.MsgShardSnapshotReq, req.Encode(), wire.MsgSnapshotResp, true)
 	if err != nil {
 		return 0, nil, nil, err
 	}
+	s.countCentralPull(len(body))
 	snap, err := wire.DecodeSnapshot(body)
 	if err != nil {
 		return 0, nil, nil, err
@@ -414,11 +457,16 @@ func (s *Server) pullShardStore(ctx context.Context, tableName string, idx int, 
 }
 
 // pullLegacy replicates one table from an unsharded central server.
+// Peer bootstrap is central-only on this path: without a signed shard
+// map there is no pin to bind a peer-served snapshot to, so a relayed
+// legacy snapshot could be replayed — the central stays the sole
+// snapshot source and peers only relay (whole-body signed) deltas.
 func (s *Server) pullLegacy(ctx context.Context, tableName string) (int, error) {
 	body, err := s.central.Call(ctx, wire.MsgSnapshotReq, []byte(tableName), wire.MsgSnapshotResp, true)
 	if err != nil {
 		return 0, err
 	}
+	s.countCentralPull(len(body))
 	snap, err := wire.DecodeSnapshot(body)
 	if err != nil {
 		return 0, err
@@ -467,6 +515,7 @@ func (s *Server) fetchVerifiedMap(ctx context.Context, tableName string) (*shard
 			return nil, 0, fmt.Errorf("edge: shard map signature rejected: %w", err)
 		}
 	}
+	s.countCentralPull(len(body))
 	return sm, len(body), nil
 }
 
@@ -777,7 +826,7 @@ func (s *Server) alignShards(ctx context.Context, tableName string, sm *shardmap
 				return nil, bytes, refreshed, snapshotted, fmt.Errorf("%w: map epoch %d, shard %d epoch %d", errEpochChanged, sm.Map.Epoch, i, head.Epoch)
 			}
 			if sm.Map.Shards[i].Version > head.Version {
-				n, mode, store, err := s.refreshShard(ctx, tableName, stores[i], i, head)
+				n, mode, store, err := s.refreshShard(ctx, tableName, stores[i], i, head, sm)
 				if err != nil {
 					return nil, bytes, refreshed, snapshotted, err
 				}
@@ -811,14 +860,37 @@ func (s *Server) alignShards(ctx context.Context, tableName string, sm *shardmap
 }
 
 // refreshShard brings one shard's store up to date via delta, falling
-// back to a shard snapshot (which replaces the store).
-func (s *Server) refreshShard(ctx context.Context, tableName string, store *storage.PageStore, idx int, st *vbtree.TableState) (int, string, *storage.PageStore, error) {
+// back to a shard snapshot (which replaces the store). Configured
+// upstream peers are drained first — sm is the central-verified map
+// naming the target, so a peer either makes verified forward progress
+// toward it or is failed over — and the central finishes whatever the
+// peers could not cover.
+func (s *Server) refreshShard(ctx context.Context, tableName string, store *storage.PageStore, idx int, st *vbtree.TableState, sm *shardmap.Signed) (int, string, *storage.PageStore, error) {
 	ref := wire.ShardRef(tableName, uint32(idx))
+	var total int
+	var peerMode string
+	if s.peers.Len() > 0 {
+		n, pmode, fresh, err := s.refreshShardFromPeers(ctx, tableName, store, idx, st, sm)
+		total += n
+		if err != nil {
+			return 0, "", nil, err
+		}
+		if pmode != "" {
+			peerMode, store = pmode, fresh
+			if st, err = storeState(store); err != nil {
+				return 0, "", nil, err
+			}
+		}
+		if st.Version >= sm.Map.Shards[idx].Version {
+			return total, peerMode, store, nil
+		}
+	}
 	req := &wire.ShardDeltaRequest{Table: tableName, Shard: uint32(idx), FromVersion: st.Version, Epoch: st.Epoch}
 	body, err := s.central.Call(ctx, wire.MsgShardDeltaReq, req.Encode(), wire.MsgDeltaResp, true)
 	if err != nil {
 		return 0, "", nil, err
 	}
+	s.countCentralPull(len(body))
 	d, err := wire.DecodeDelta(body)
 	if err != nil {
 		return 0, "", nil, err
@@ -832,6 +904,7 @@ func (s *Server) refreshShard(ctx context.Context, tableName string, store *stor
 		if err != nil {
 			return 0, "", nil, err
 		}
+		s.countCentralPull(len(sbody))
 		snap, err := wire.DecodeSnapshot(sbody)
 		if err != nil {
 			return 0, "", nil, err
@@ -853,17 +926,27 @@ func (s *Server) refreshShard(ctx context.Context, tableName string, store *stor
 		if err != nil {
 			return 0, "", nil, err
 		}
+		s.relay.Drop(ref)
 		s.stats.snapshotsInstalled.Add(1)
-		return len(body) + len(sbody), "snapshot", fresh, nil
+		return total + len(body) + len(sbody), "snapshot", fresh, nil
 	}
 	if d.ToVersion == st.Version {
-		return len(body), "noop", store, nil
+		mode := "noop"
+		if peerMode != "" {
+			mode = peerMode
+		}
+		return total + len(body), mode, store, nil
 	}
 	if err := applyDelta(store, d, ref); err != nil {
 		return 0, "", nil, err
 	}
+	s.relay.Put(ref, d.Epoch, d.FromVersion, d.ToVersion, body)
 	s.stats.deltasApplied.Add(1)
-	return len(body), "delta", store, nil
+	mode := "delta"
+	if peerMode == "snapshot" {
+		mode = "snapshot"
+	}
+	return total + len(body), mode, store, nil
 }
 
 // verifyDelta signature-checks a delta against the central key,
@@ -967,7 +1050,11 @@ func (s *Server) verifyAlignedStores(ctx context.Context, sm *shardmap.Signed, s
 }
 
 // refreshLegacy refreshes a single-tree replica against a pre-sharding
-// central server.
+// central server. Upstream peers are drained for relayed deltas first,
+// but the round ALWAYS ends with a central delta exchange (possibly a
+// noop): on this path no signed map names the true head, so the
+// central's signed answer is the freshness statement a peer cannot
+// fabricate.
 func (s *Server) refreshLegacy(ctx context.Context, tableName string, rep *replica, cur *tableSet) (RefreshStat, error) {
 	// Negotiate from the store's head, not the published set: a refresh
 	// that applied its delta but failed before republishing must resume
@@ -976,12 +1063,21 @@ func (s *Server) refreshLegacy(ctx context.Context, tableName string, rep *repli
 	if err != nil {
 		return RefreshStat{}, err
 	}
+	origFrom := st.Version
+	var peerBytes int
+	var peerApplied bool
+	if s.peers.Len() > 0 {
+		if peerBytes, peerApplied, st, err = s.drainLegacyPeerDeltas(ctx, tableName, cur.shards[0].store, st); err != nil {
+			return RefreshStat{}, err
+		}
+	}
 	from := st.Version
 	req := &wire.DeltaRequest{Table: tableName, FromVersion: from, Epoch: st.Epoch}
 	body, err := s.central.Call(ctx, wire.MsgDeltaReq, req.Encode(), wire.MsgDeltaResp, true)
 	if err != nil {
 		return RefreshStat{}, err
 	}
+	s.countCentralPull(len(body))
 	d, err := wire.DecodeDelta(body)
 	if err != nil {
 		return RefreshStat{}, err
@@ -1001,19 +1097,26 @@ func (s *Server) refreshLegacy(ctx context.Context, tableName string, rep *repli
 		if err != nil {
 			return RefreshStat{}, err
 		}
+		s.relay.Drop(tableName)
 		s.stats.refreshesApplied.Add(1)
-		return s.statFor(tableName, "snapshot", n, from, 1), nil
+		return s.statFor(tableName, "snapshot", peerBytes+n, origFrom, 1), nil
 	}
 	if d.ToVersion == from {
 		if cur.shards[0].state.Version != from {
-			// The store ran ahead of the published set (a previous
-			// refresh failed between apply and publish); catch the set
-			// up even though no new delta arrived.
+			// The store ran ahead of the published set (a previous refresh
+			// failed between apply and publish, or peers just applied
+			// deltas above); catch the set up even though the central had
+			// no new delta.
 			if err := rep.rebuildSet(nil, []*storage.PageStore{cur.shards[0].store}); err != nil {
 				return RefreshStat{}, err
 			}
 		}
-		return RefreshStat{Table: tableName, Mode: "noop", Bytes: len(body), FromVersion: from, ToVersion: from}, nil
+		mode := "noop"
+		if peerApplied {
+			mode = "delta"
+			s.stats.refreshesApplied.Add(1)
+		}
+		return RefreshStat{Table: tableName, Mode: mode, Bytes: peerBytes + len(body), FromVersion: origFrom, ToVersion: from, ShardsRefreshed: boolToInt(peerApplied)}, nil
 	}
 	if err := applyDelta(cur.shards[0].store, d, tableName); err != nil {
 		return RefreshStat{}, err
@@ -1021,9 +1124,17 @@ func (s *Server) refreshLegacy(ctx context.Context, tableName string, rep *repli
 	if err := rep.rebuildSet(nil, []*storage.PageStore{cur.shards[0].store}); err != nil {
 		return RefreshStat{}, err
 	}
+	s.relay.Put(tableName, d.Epoch, d.FromVersion, d.ToVersion, body)
 	s.stats.deltasApplied.Add(1)
 	s.stats.refreshesApplied.Add(1)
-	return RefreshStat{Table: tableName, Mode: "delta", Bytes: len(body), FromVersion: from, ToVersion: d.ToVersion, ShardsRefreshed: 1}, nil
+	return RefreshStat{Table: tableName, Mode: "delta", Bytes: peerBytes + len(body), FromVersion: origFrom, ToVersion: d.ToVersion, ShardsRefreshed: 1}, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (s *Server) statFor(tableName, mode string, bytes int, from uint64, shards int) RefreshStat {
@@ -1233,10 +1344,23 @@ func (s *Server) doClose() error {
 	s.lnMu.Unlock()
 	s.conns.CloseAll()
 	s.wg.Wait()
+	var errs []error
 	if err := s.central.Close(); err != nil {
-		return fmt.Errorf("edge: closing central connection: %w", err)
+		errs = append(errs, fmt.Errorf("edge: closing central connection: %w", err))
 	}
-	return nil
+	if err := s.peers.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("edge: closing peer connections: %w", err))
+	}
+	return errors.Join(errs...)
+}
+
+// helloCaps is the capability bit set this edge advertises in Hello
+// exchanges (both as a server and toward its upstreams).
+func (s *Server) helloCaps() uint32 {
+	if s.opts.ServePeers {
+		return wire.CapPeerServe
+	}
+	return 0
 }
 
 // handleConn negotiates the protocol with the client and dispatches its
@@ -1247,6 +1371,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		IdleTimeout:   s.opts.IdleTimeout,
 		MaxConcurrent: s.opts.MaxConcurrent,
 		BaseContext:   s.baseCtx,
+		Capabilities:  s.helloCaps(),
 	})
 }
 
@@ -1320,6 +1445,11 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 			SignedMap: s.tamperedMap(sm).Encode(),
 		}
 		return wire.MsgShardQueryResp, resp.Encode(), nil
+
+	case wire.MsgSnapshotReq, wire.MsgShardSnapshotReq, wire.MsgDeltaReq, wire.MsgShardDeltaReq:
+		// The peer distribution tier: edges replicating the same tables
+		// pull their refresh traffic from here (see peers.go).
+		return s.servePeer(ctx, mt, body)
 
 	default:
 		return 0, nil, wire.Unsupported("edge", mt)

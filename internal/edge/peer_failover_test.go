@@ -1,0 +1,104 @@
+package edge
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+
+	"edgeauth/internal/central"
+	"edgeauth/internal/client"
+	"edgeauth/internal/query"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/wire"
+)
+
+// TestPeerDeathFailsOverWithinTheRound kills the upstream peer between
+// commits and shows the downstream edge completing the SAME refresh
+// round from the central — no error surfaces, no retry tick is needed,
+// and clients never observe an ErrStaleReplica window.
+func TestPeerDeathFailsOverWithinTheRound(t *testing.T) {
+	ctx := context.Background()
+	srv, centralAddr := startCentralOpts(t, 300, central.Options{PageSize: 1024, Shards: 2})
+
+	t1 := NewWithOptions(centralAddr, Options{ServePeers: true})
+	t.Cleanup(func() { t1.Close() })
+	if err := t1.PullAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Serve tier-1 on a listener this test controls, so it can be killed
+	// mid-scenario.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go t1.Serve(ln)
+
+	t2 := NewWithOptions(centralAddr, Options{Upstreams: []string{ln.Addr().String()}})
+	t.Cleanup(func() { t2.Close() })
+	if err := t2.PullAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the tier works while the peer is alive.
+	if err := srv.Insert("items", freshRow(t, 500_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Refresh(ctx, "items"); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := t2.Refresh(ctx, "items"); err != nil || st.Mode != "delta" {
+		t.Fatalf("warm-up refresh: %+v, %v", st, err)
+	}
+
+	// Kill the upstream, then commit again. The next tier-2 round finds
+	// the peer gone and must finish from the central — same round, no
+	// error, no staleness.
+	t1.Close()
+	ln.Close()
+	if err := srv.Insert("items", freshRow(t, 600_000)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := t2.Refresh(ctx, "items")
+	if err != nil {
+		t.Fatalf("refresh with dead upstream: %v", err)
+	}
+	if st.Mode != "delta" {
+		t.Fatalf("refresh mode = %q, want delta (central completed the round)", st.Mode)
+	}
+	if got := t2.Stats().PeerFailovers; got == 0 {
+		t.Fatal("dead peer was not recorded as a failover")
+	}
+	want, _ := srv.Version("items")
+	if v, _ := t2.Version("items"); v != want {
+		t.Fatalf("tier-2 at v%d, central at v%d", v, want)
+	}
+
+	// Clients see fresh verified data, not a staleness window.
+	edgeAddr := startEdge(t, t2)
+	cl, err := client.Dial(ctx, client.Config{EdgeAddr: edgeAddr, CentralAddr: centralAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.FetchTrustedKey(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Query(ctx, "items", []query.Predicate{
+		{Column: "id", Op: query.OpGE, Value: schema.Int64(500_000)},
+	}, nil)
+	if errors.Is(err, wire.ErrStaleReplica) {
+		t.Fatalf("client saw a staleness window: %v", err)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Result.Tuples) != 2 {
+		t.Fatalf("verified rows = %d, want both commits visible", len(res.Result.Tuples))
+	}
+
+	// The dead source stays visible (and scored) in the stats surface.
+	stats := t2.PeerStats()
+	if len(stats) != 1 || stats[0].ConsecutiveFail == 0 {
+		t.Fatalf("peer stats after death = %+v", stats)
+	}
+}

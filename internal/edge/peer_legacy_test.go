@@ -1,0 +1,146 @@
+package edge
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"edgeauth/internal/central"
+	"edgeauth/internal/rpc"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/wire"
+)
+
+// legacyCentral fronts a real central server but speaks only the
+// pre-sharding protocol: shard maps (and every other modern request)
+// come back unsupported, so edges replicate the classic single tree.
+type legacyCentral struct {
+	key  *sig.PrivateKey
+	real *central.Server
+}
+
+func (f *legacyCentral) serve(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				rpc.ServeConn(conn, f.dispatch, rpc.ServeOptions{})
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+func (f *legacyCentral) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wire.MsgType, []byte, error) {
+	switch mt {
+	case wire.MsgPubKeyReq:
+		blob, err := f.key.Public().MarshalBinary()
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgPubKeyResp, blob, nil
+	case wire.MsgListTablesReq:
+		return wire.MsgListTablesResp, wire.EncodeStringList(f.real.Tables()), nil
+	case wire.MsgSnapshotReq:
+		snap, err := f.real.Snapshot(string(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgSnapshotResp, snap.Encode(), nil
+	case wire.MsgDeltaReq:
+		req, err := wire.DecodeDeltaRequest(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		d, err := f.real.Delta(req.Table, req.FromVersion, req.Epoch)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgDeltaResp, d.Encode(), nil
+	default:
+		return 0, nil, wire.Unsupported("legacy-central", mt)
+	}
+}
+
+// TestLegacyPeerDrainAndCentralFreshness covers the peer tier on the
+// pre-sharding (v1 single-tree) path: relayed deltas drain from the
+// peer, but every round still ends with a central delta exchange — the
+// freshness statement a peer cannot fabricate — and an idle peer's
+// typed Behind answer is NOT scored as a failure.
+func TestLegacyPeerDrainAndCentralFreshness(t *testing.T) {
+	ctx := context.Background()
+	srv, _ := startCentralOpts(t, 200, central.Options{PageSize: 1024})
+	legacy := &legacyCentral{key: serverKey(t), real: srv}
+	centralAddr := legacy.serve(t)
+
+	t1 := NewWithOptions(centralAddr, Options{ServePeers: true})
+	t.Cleanup(func() { t1.Close() })
+	if err := t1.PullAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	peerAddr := startEdge(t, t1)
+	t2 := NewWithOptions(centralAddr, Options{Upstreams: []string{peerAddr}})
+	t.Cleanup(func() { t2.Close() })
+	if err := t2.PullAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// No signed shard map exists on this path, so bootstrap bulk is
+	// central-only: a peer-relayed legacy snapshot would have no pin to
+	// bind to and could be replayed.
+	if got := t2.Stats().PeerPayloadsPulled; got != 0 {
+		t.Fatalf("legacy bootstrap pulled %d payloads from peers, want 0", got)
+	}
+
+	// Commit; tier-1 refreshes (catching the raw signed delta body in
+	// its relay cache); tier-2's refresh drains it from the peer.
+	if err := srv.Insert("items", freshRow(t, 500_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Refresh(ctx, "items"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := t2.Refresh(ctx, "items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "delta" {
+		t.Fatalf("refresh mode = %q, want delta", st.Mode)
+	}
+	if got := t2.Stats().PeerPayloadsPulled; got != 1 {
+		t.Fatalf("tier-2 pulled %d peer payloads, want 1 relayed delta", got)
+	}
+	want, err := srv.Version("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := t2.Version("items"); v != want {
+		t.Fatalf("tier-2 at v%d, central at v%d", v, want)
+	}
+
+	// Idle tick: the peer answers Behind (it has nothing newer), which
+	// must neither fail the round nor poison the source's health.
+	preFail := t2.Stats().PeerFailovers
+	st, err = t2.Refresh(ctx, "items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "noop" {
+		t.Fatalf("idle refresh mode = %q, want noop", st.Mode)
+	}
+	if got := t2.Stats().PeerFailovers; got != preFail {
+		t.Fatalf("idle tick scored %d peer failovers", got-preFail)
+	}
+	if stats := t2.PeerStats(); stats[0].ConsecutiveFail != 0 {
+		t.Fatalf("idle Behind backed the healthy peer off: %+v", stats[0])
+	}
+}

@@ -11,6 +11,19 @@ type edgeCounters struct {
 	refreshesApplied   atomic.Uint64
 	deltasApplied      atomic.Uint64
 	snapshotsInstalled atomic.Uint64
+
+	// Peer distribution tier: replication payloads split by which side
+	// of the tier moved them. Served = this edge acting as an upstream;
+	// pulled = this edge refreshing, split peer vs central so the CDN
+	// effect (central egress shrinking as peers absorb bulk) is directly
+	// observable.
+	peerPayloadsServed    atomic.Uint64
+	peerBytesServed       atomic.Uint64
+	peerPayloadsPulled    atomic.Uint64
+	peerBytesPulled       atomic.Uint64
+	centralPayloadsPulled atomic.Uint64
+	centralBytesPulled    atomic.Uint64
+	peerFailovers         atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the edge's counters. The JSON
@@ -23,15 +36,32 @@ type Stats struct {
 	RefreshesApplied   uint64 `json:"refreshes_applied"`
 	DeltasApplied      uint64 `json:"deltas_applied"`
 	SnapshotsInstalled uint64 `json:"snapshots_installed"`
+	// Peer tier counters (zero on edges not participating in the tier).
+	PeerPayloadsServed    uint64 `json:"peer_payloads_served"`
+	PeerBytesServed       uint64 `json:"peer_bytes_served"`
+	PeerPayloadsPulled    uint64 `json:"peer_payloads_pulled"`
+	PeerBytesPulled       uint64 `json:"peer_bytes_pulled"`
+	CentralPayloadsPulled uint64 `json:"central_payloads_pulled"`
+	CentralBytesPulled    uint64 `json:"central_bytes_pulled"`
+	// PeerFailovers counts source failures that moved a refresh to the
+	// next source (ultimately the central) — the tier's health signal.
+	PeerFailovers uint64 `json:"peer_failovers"`
 }
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		QueriesServed:      s.stats.queriesServed.Load(),
-		VOBytes:            s.stats.voBytes.Load(),
-		RefreshesApplied:   s.stats.refreshesApplied.Load(),
-		DeltasApplied:      s.stats.deltasApplied.Load(),
-		SnapshotsInstalled: s.stats.snapshotsInstalled.Load(),
+		QueriesServed:         s.stats.queriesServed.Load(),
+		VOBytes:               s.stats.voBytes.Load(),
+		RefreshesApplied:      s.stats.refreshesApplied.Load(),
+		DeltasApplied:         s.stats.deltasApplied.Load(),
+		SnapshotsInstalled:    s.stats.snapshotsInstalled.Load(),
+		PeerPayloadsServed:    s.stats.peerPayloadsServed.Load(),
+		PeerBytesServed:       s.stats.peerBytesServed.Load(),
+		PeerPayloadsPulled:    s.stats.peerPayloadsPulled.Load(),
+		PeerBytesPulled:       s.stats.peerBytesPulled.Load(),
+		CentralPayloadsPulled: s.stats.centralPayloadsPulled.Load(),
+		CentralBytesPulled:    s.stats.centralBytesPulled.Load(),
+		PeerFailovers:         s.stats.peerFailovers.Load(),
 	}
 }

@@ -1,0 +1,100 @@
+package peer
+
+import "sync"
+
+// DefaultCachePerRef bounds how many delta bodies the relay cache keeps
+// per shard ref. Refreshes are periodic and downstream edges lag by at
+// most a few ticks, so a short window covers the steady state; anything
+// older is answered with a typed delta-gap error and the downstream
+// takes a snapshot or falls back to the central.
+const DefaultCachePerRef = 8
+
+// Cache holds raw central-signed delta response bodies, keyed by the
+// (ref, epoch, fromVersion) a downstream edge would request. Bodies are
+// relayed verbatim: the delta signature covers the encoded bytes, so
+// the requester verifies them exactly as if the central had answered.
+// Only deltas that moved the puller forward are cached (no noops, no
+// snapshot-needed markers) — a relayed delta always makes progress.
+type Cache struct {
+	mu     sync.Mutex
+	perRef int
+	refs   map[string][]cacheEntry
+
+	hits, misses uint64
+}
+
+// cacheEntry is one cached body. Entries are kept in insertion (FIFO)
+// order per ref; lookups scan the handful of live entries.
+type cacheEntry struct {
+	epoch, from, to uint64
+	body            []byte
+}
+
+// NewCache builds a relay cache keeping perRef bodies per shard ref
+// (DefaultCachePerRef when perRef <= 0).
+func NewCache(perRef int) *Cache {
+	if perRef <= 0 {
+		perRef = DefaultCachePerRef
+	}
+	return &Cache{perRef: perRef, refs: make(map[string][]cacheEntry)}
+}
+
+// Put stores a verified delta body for relay. The caller must only pass
+// bodies whose signature it has already verified and applied (from >= to
+// would be a noop and is ignored).
+func (c *Cache) Put(ref string, epoch, from, to uint64, body []byte) {
+	if to <= from {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := c.refs[ref]
+	for i, e := range entries {
+		if e.epoch == epoch && e.from == from {
+			entries[i] = cacheEntry{epoch: epoch, from: from, to: to, body: body}
+			return
+		}
+	}
+	entries = append(entries, cacheEntry{epoch: epoch, from: from, to: to, body: body})
+	if len(entries) > c.perRef {
+		entries = entries[len(entries)-c.perRef:]
+	}
+	c.refs[ref] = entries
+}
+
+// Get looks up a body covering exactly (epoch, fromVersion) for ref,
+// returning the body and the version it advances to.
+func (c *Cache) Get(ref string, epoch, from uint64) (body []byte, to uint64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.refs[ref] {
+		if e.epoch == epoch && e.from == from {
+			c.hits++
+			return e.body, e.to, true
+		}
+	}
+	c.misses++
+	return nil, 0, false
+}
+
+// Drop discards every cached body for ref (the replica was reinstalled
+// from a snapshot; its old delta chain no longer describes the store).
+func (c *Cache) Drop(ref string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.refs, ref)
+}
+
+// CacheStats reports lookup traffic. The JSON field names are the
+// expvar keys.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}

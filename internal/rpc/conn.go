@@ -40,6 +40,10 @@ type Options struct {
 	// (one-frame-in/one-frame-out). Used by compatibility tests and the
 	// pipelined-vs-serial benchmarks.
 	ForceV1 bool
+	// Capabilities is the wire.Cap* bit set advertised in this side's
+	// Hello (e.g. CapPeerServe for an edge that serves replication
+	// traffic to other edges).
+	Capabilities uint32
 }
 
 func (o Options) dialTimeout() time.Duration {
@@ -74,6 +78,9 @@ type frame struct {
 type session struct {
 	nc    net.Conn
 	proto uint32
+	// peerCaps is the capability bit set the server advertised in its
+	// HelloResp (0 on v1 sessions and pre-capability peers).
+	peerCaps uint32
 
 	// v2 state: the in-flight request table and the per-connection write
 	// slot (a 1-slot semaphore rather than a mutex, so a caller queued
@@ -145,6 +152,18 @@ func (c *Conn) Proto() uint32 {
 		return 0
 	}
 	return c.sess.proto
+}
+
+// PeerCaps reports the capability bits the remote side advertised in its
+// HelloResp (0 before the first successful connect, on v1 sessions, and
+// against pre-capability peers).
+func (c *Conn) PeerCaps() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess == nil {
+		return 0
+	}
+	return c.sess.peerCaps
 }
 
 // ensureSession returns the live session, dialing and handshaking with
@@ -243,7 +262,7 @@ func (c *Conn) dialAndHandshake(ctx context.Context) (*session, error) {
 	// its usual error frame instead of dropping the connection.
 	deadline := time.Now().Add(c.opts.dialTimeout())
 	nc.SetDeadline(deadline)
-	if err := wire.WriteFrame(nc, wire.MsgHello, wire.EncodeHello(wire.MaxProtocol)); err != nil {
+	if err := wire.WriteFrame(nc, wire.MsgHello, wire.EncodeHelloCaps(wire.MaxProtocol, c.opts.Capabilities)); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("rpc: hello: %w", err)
 	}
@@ -255,7 +274,7 @@ func (c *Conn) dialAndHandshake(ctx context.Context) (*session, error) {
 	nc.SetDeadline(time.Time{})
 	switch mt {
 	case wire.MsgHelloResp:
-		v, err := wire.DecodeHello(body)
+		v, caps, err := wire.DecodeHelloCaps(body)
 		if err != nil {
 			nc.Close()
 			return nil, err
@@ -265,6 +284,7 @@ func (c *Conn) dialAndHandshake(ctx context.Context) (*session, error) {
 			return nil, fmt.Errorf("rpc: server negotiated unknown protocol %d", v)
 		}
 		s.proto = v
+		s.peerCaps = caps
 	case wire.MsgError:
 		// A v1 server does not know MsgHello and reports an error; the
 		// connection stays usable in one-in/one-out mode.

@@ -41,6 +41,9 @@ type ServeOptions struct {
 	// cancelling it (server shutdown) stops in-flight handlers across
 	// all connections. Nil leaves connections rooted at Background.
 	BaseContext context.Context
+	// Capabilities is the wire.Cap* bit set advertised in the HelloResp
+	// (e.g. CapPeerServe when this server relays replication traffic).
+	Capabilities uint32
 }
 
 func (o ServeOptions) baseContext() context.Context {
@@ -95,7 +98,7 @@ func ServeConn(conn net.Conn, h Handler, o ServeOptions) {
 		serveV1(ctx, conn, h, idle, mt, body)
 		return
 	}
-	theirMax, err := wire.DecodeHello(body)
+	theirMax, _, err := wire.DecodeHelloCaps(body)
 	if err != nil {
 		setWriteDeadline(conn, idle)
 		wire.WriteError(conn, err)
@@ -106,7 +109,7 @@ func ServeConn(conn net.Conn, h Handler, o ServeOptions) {
 		version = theirMax
 	}
 	setWriteDeadline(conn, idle)
-	if err := wire.WriteFrame(conn, wire.MsgHelloResp, wire.EncodeHello(version)); err != nil {
+	if err := wire.WriteFrame(conn, wire.MsgHelloResp, wire.EncodeHelloCaps(version, o.Capabilities)); err != nil {
 		return
 	}
 	if version < wire.ProtocolV2 {

@@ -47,21 +47,55 @@ const (
 	MaxProtocol = ProtocolV2
 )
 
+// Capability bits carried in the Hello exchange (both directions). They
+// are advisory: a peer that lacks a capability still answers the
+// corresponding requests with a typed CodeUnsupported error, so callers
+// that skip the check stay correct — the bits exist for diagnostics and
+// topology introspection (is my upstream a serving peer?).
+const (
+	// CapPeerServe: this peer answers replication requests (snapshots,
+	// deltas, shard maps) from its own replicated state — it is a
+	// distribution-tier edge, not just a query server.
+	CapPeerServe uint32 = 1 << 0
+)
+
 // EncodeHello builds the Hello body: the sender's maximum supported
 // protocol version.
 func EncodeHello(maxVersion uint32) []byte { return appendU32(nil, maxVersion) }
 
-// DecodeHello parses a Hello (or HelloResp) body.
+// EncodeHelloCaps builds a Hello (or HelloResp) body carrying the
+// sender's protocol version and capability bits.
+func EncodeHelloCaps(maxVersion, caps uint32) []byte {
+	out := appendU32(nil, maxVersion)
+	return appendU32(out, caps)
+}
+
+// DecodeHello parses a Hello (or HelloResp) body, ignoring any
+// capability bits.
 func DecodeHello(body []byte) (uint32, error) {
+	v, _, err := DecodeHelloCaps(body)
+	return v, err
+}
+
+// DecodeHelloCaps parses a Hello (or HelloResp) body. The capability
+// word is optional: pre-capability peers sent a bare 4-byte version, so
+// both shapes decode (caps = 0 for the short form). A capability-era
+// hello sent to a strict pre-capability v2 server is answered with an
+// error frame, which the dialer already treats as a v1 downgrade — so
+// the extension degrades, never deadlocks.
+func DecodeHelloCaps(body []byte) (version, caps uint32, err error) {
 	r := &reader{data: body}
-	v := r.u32("protocol version")
+	version = r.u32("protocol version")
+	if len(body) > 4 {
+		caps = r.u32("capability bits")
+	}
 	if err := r.done(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	if v == 0 {
-		return 0, errors.New("wire: protocol version 0")
+	if version == 0 {
+		return 0, 0, errors.New("wire: protocol version 0")
 	}
-	return v, nil
+	return version, caps, nil
 }
 
 // WriteFrameV2 writes one v2 frame: u32 len | u8 type | u32 reqID | body.
@@ -117,6 +151,15 @@ const (
 	// CodeDuplicateKey means an insert collided with an existing primary
 	// key (reported per-op inside batch responses, or for single inserts).
 	CodeDuplicateKey
+	// CodeBehind means the serving peer's replicated state is no newer
+	// than what the requester already holds (or descends from a different
+	// epoch), so it has nothing useful to serve; the requester should
+	// fail over to another source instead of spinning on empty deltas.
+	CodeBehind
+	// CodeDeltaGap means the serving peer is current but its relay cache
+	// holds no delta covering the requester's version; the requester can
+	// take a snapshot from this peer (catch-up) or fail over.
+	CodeDeltaGap
 )
 
 func (c ErrCode) String() string {
@@ -133,6 +176,10 @@ func (c ErrCode) String() string {
 		return "unsupported"
 	case CodeDuplicateKey:
 		return "duplicate-key"
+	case CodeBehind:
+		return "behind"
+	case CodeDeltaGap:
+		return "delta-gap"
 	}
 	return fmt.Sprintf("ErrCode(%d)", uint16(c))
 }
@@ -145,6 +192,8 @@ var (
 	ErrStaleReplica = errors.New("wire: stale replica")
 	ErrUnsupported  = errors.New("wire: unsupported request")
 	ErrDuplicateKey = errors.New("wire: duplicate key")
+	ErrBehind       = errors.New("wire: serving peer behind requester")
+	ErrDeltaGap     = errors.New("wire: peer relay cache gap")
 )
 
 // WireError is the typed error frame body of protocol v2. It implements
@@ -177,6 +226,10 @@ func (e *WireError) Is(target error) bool {
 		return e.Code == CodeUnsupported
 	case ErrDuplicateKey:
 		return e.Code == CodeDuplicateKey
+	case ErrBehind:
+		return e.Code == CodeBehind
+	case ErrDeltaGap:
+		return e.Code == CodeDeltaGap
 	}
 	return false
 }
@@ -235,4 +288,17 @@ func StaleReplica(table, msg string) *WireError {
 // DuplicateKey builds the typed error for a primary-key collision.
 func DuplicateKey(table, msg string) *WireError {
 	return &WireError{Code: CodeDuplicateKey, Table: table, Msg: msg}
+}
+
+// Behind builds the typed error a serving peer returns when its state is
+// no newer than the requester's (staleness guard: never answer with a
+// silent empty delta).
+func Behind(table, msg string) *WireError {
+	return &WireError{Code: CodeBehind, Table: table, Msg: msg}
+}
+
+// DeltaGap builds the typed error a serving peer returns when it is
+// current but holds no relayable delta covering the requester's version.
+func DeltaGap(table, msg string) *WireError {
+	return &WireError{Code: CodeDeltaGap, Table: table, Msg: msg}
 }
