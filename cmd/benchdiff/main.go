@@ -1,0 +1,179 @@
+// Command benchdiff compares two bench -json reports and fails (exit 1)
+// on performance regressions beyond a threshold, so the committed
+// BENCH_ci.json baseline turns the performance claims into a CI gate.
+//
+// Metrics are split by portability. Machine-independent metrics are
+// enforced against the baseline even across different hardware:
+//
+//   - signature counts per ingest run (sign_ops): algorithmic — a Merkle
+//     commit signs one root per shard regardless of CPU speed;
+//   - VO and result bytes per query: deterministic codec output;
+//   - within-run speedup ratios (each sign_path scheme's tuples/sec over
+//     the rsa baseline of the SAME report): both sides of the ratio ran
+//     on the same machine, so the ratio transfers.
+//
+// Absolute wall-clock metrics (tuples/sec, latency percentiles) only
+// gate with -strict, for same-machine comparisons; otherwise they are
+// reported informationally.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.20] [-strict] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the subset of bench's JSONReport that benchdiff gates
+// on (decoded loosely so baseline files from older builds still parse).
+type report struct {
+	Ingest []struct {
+		Shards       int     `json:"shards"`
+		TuplesPerSec float64 `json:"tuples_per_sec"`
+		SignOps      uint64  `json:"sign_ops"`
+		Tuples       int     `json:"tuples"`
+	} `json:"ingest"`
+	Query struct {
+		P50Micros      float64 `json:"p50_us"`
+		P99Micros      float64 `json:"p99_us"`
+		VOBytesAvg     float64 `json:"vo_bytes_avg"`
+		ResultBytesAvg float64 `json:"result_bytes_avg"`
+	} `json:"query"`
+	SignPath []struct {
+		Scheme       string  `json:"scheme"`
+		TuplesPerSec float64 `json:"tuples_per_sec"`
+		SignOps      uint64  `json:"sign_ops"`
+		WarmP50      float64 `json:"verify_warm_p50_us"`
+	} `json:"sign_path"`
+}
+
+func load(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+type differ struct {
+	threshold float64
+	strict    bool
+	failures  int
+}
+
+// check compares one metric. higherBetter says which direction is a
+// regression; enforced metrics count toward the exit status, the rest
+// are informational.
+func (d *differ) check(name string, old, new float64, higherBetter, enforced bool) {
+	if old == 0 {
+		return
+	}
+	change := (new - old) / old
+	regressed := false
+	switch {
+	case higherBetter && change < -d.threshold:
+		regressed = true
+	case !higherBetter && change > d.threshold:
+		regressed = true
+	}
+	tag := "ok"
+	if regressed {
+		if enforced || d.strict {
+			tag = "FAIL"
+			d.failures++
+		} else {
+			tag = "warn (not gated)"
+		}
+	}
+	fmt.Printf("%-44s %14.2f -> %14.2f  %+7.1f%%  %s\n", name, old, new, change*100, tag)
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "relative regression tolerance")
+	strict := flag.Bool("strict", false, "also gate machine-dependent metrics (same-machine runs)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-strict] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldR, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newR, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	d := &differ{threshold: *threshold, strict: *strict}
+
+	// Ingest: signature counts are algorithmic, throughput is hardware.
+	for _, o := range oldR.Ingest {
+		for _, n := range newR.Ingest {
+			if n.Shards != o.Shards {
+				continue
+			}
+			id := fmt.Sprintf("ingest[shards=%d]", o.Shards)
+			// Normalize sign ops per applied tuple in case row counts differ.
+			if o.Tuples > 0 && n.Tuples > 0 {
+				d.check(id+".sign_ops_per_tuple",
+					float64(o.SignOps)/float64(o.Tuples),
+					float64(n.SignOps)/float64(n.Tuples), false, true)
+			}
+			d.check(id+".tuples_per_sec", o.TuplesPerSec, n.TuplesPerSec, true, false)
+		}
+	}
+
+	// Query: byte sizes are deterministic, latencies are hardware.
+	d.check("query.vo_bytes_avg", oldR.Query.VOBytesAvg, newR.Query.VOBytesAvg, false, true)
+	d.check("query.result_bytes_avg", oldR.Query.ResultBytesAvg, newR.Query.ResultBytesAvg, false, true)
+	d.check("query.p50_us", oldR.Query.P50Micros, newR.Query.P50Micros, false, false)
+	d.check("query.p99_us", oldR.Query.P99Micros, newR.Query.P99Micros, false, false)
+
+	// Sign path: gate each scheme's speedup-over-rsa ratio (transfers
+	// across machines) and its signature count; absolute numbers are
+	// informational.
+	oldBase, newBase := signPathBase(oldR), signPathBase(newR)
+	for _, o := range oldR.SignPath {
+		for _, n := range newR.SignPath {
+			if n.Scheme != o.Scheme {
+				continue
+			}
+			id := "sign_path[" + o.Scheme + "]"
+			d.check(id+".sign_ops", float64(o.SignOps), float64(n.SignOps), false, true)
+			if o.Scheme != "rsa" && oldBase > 0 && newBase > 0 {
+				d.check(id+".ingest_speedup_vs_rsa",
+					o.TuplesPerSec/oldBase, n.TuplesPerSec/newBase, true, true)
+			}
+			d.check(id+".tuples_per_sec", o.TuplesPerSec, n.TuplesPerSec, true, false)
+			d.check(id+".verify_warm_p50_us", o.WarmP50, n.WarmP50, false, false)
+		}
+	}
+
+	if d.failures > 0 {
+		fmt.Printf("\nbenchdiff: %d metric(s) regressed beyond %.0f%%\n", d.failures, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: no gated regressions")
+}
+
+func signPathBase(r *report) float64 {
+	for _, p := range r.SignPath {
+		if p.Scheme == "rsa" {
+			return p.TuplesPerSec
+		}
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -6,9 +6,16 @@
 // Usage:
 //
 //	centrald -listen :7001 -rows 10000 [-join] [-waldir /tmp/wal]
+//	         [-scheme rsa|rsa-merkle|ed25519] [-keybits 1024]
 //	         [-maxbatch 128] [-maxdelay 2ms]
 //	         [-shards 4] [-shard-split count|keyspan]
 //	         [-debug-addr 127.0.0.1:7101]
+//
+// -scheme selects the signature scheme and commitment mode: "rsa" is the
+// paper's construction (every digest individually signed); "rsa-merkle"
+// and "ed25519" sign only tree roots, leaving interior digests as
+// hash-only Merkle commitments. -keybits sizes the RSA modulus and is
+// ignored for ed25519.
 //
 // -maxbatch and -maxdelay tune the group-commit front door: concurrent
 // single-insert requests for a table are coalesced and committed as one
@@ -42,6 +49,7 @@ import (
 
 	"edgeauth/internal/central"
 	"edgeauth/internal/shardmap"
+	"edgeauth/internal/sig"
 	"edgeauth/internal/workload"
 )
 
@@ -49,7 +57,8 @@ func main() {
 	var (
 		listen  = flag.String("listen", "127.0.0.1:7001", "address to serve on")
 		rows    = flag.Int("rows", 10_000, "synthetic table size")
-		keyBits = flag.Int("keybits", 1024, "RSA signing key size")
+		scheme  = flag.String("scheme", "rsa", "signature scheme: rsa, rsa-merkle or ed25519")
+		keyBits = flag.Int("keybits", 1024, "RSA signing key size (ignored for ed25519)")
 		pageSz  = flag.Int("pagesize", 4096, "VB-tree node size")
 		walDir  = flag.String("waldir", "", "directory for write-ahead logs (empty = disabled)")
 		join    = flag.Bool("join", false, "also materialize the users/orders join view")
@@ -73,8 +82,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sigScheme, err := sig.ParseScheme(*scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	srv, err := central.NewServer(central.Options{
+		Scheme:         sigScheme,
 		KeyBits:        *keyBits,
 		PageSize:       *pageSz,
 		WALDir:         *walDir,
@@ -88,7 +102,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("generated %d-bit signing key in %v", *keyBits, time.Since(start).Round(time.Millisecond))
+	log.Printf("generated %s signing key in %v", sigScheme, time.Since(start).Round(time.Millisecond))
 
 	spec := workload.DefaultSpec(*rows)
 	sch, err := spec.Schema()

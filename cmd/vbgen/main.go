@@ -7,7 +7,15 @@
 //
 // Usage:
 //
-//	vbgen -out /tmp/vbdb -rows 10000 [-keybits 1024] [-pagesize 4096]
+//	vbgen -out /tmp/vbdb -rows 10000 [-scheme rsa|rsa-merkle|ed25519]
+//	      [-keybits 1024] [-pagesize 4096]
+//
+// -scheme selects the signature scheme and commitment mode (same
+// vocabulary as centrald): "rsa" signs every digest individually;
+// "rsa-merkle" and "ed25519" sign only the root, leaving interior
+// digests as hash-only Merkle commitments. The scheme travels in the
+// public-key blob, so the re-open path needs no extra configuration.
+// -keybits sizes the RSA modulus and is ignored for ed25519.
 package main
 
 import (
@@ -33,12 +41,17 @@ func main() {
 	var (
 		out     = flag.String("out", "vbdb", "output directory")
 		rows    = flag.Int("rows", 10_000, "table size")
-		keyBits = flag.Int("keybits", 1024, "RSA signing key size")
+		scheme  = flag.String("scheme", "rsa", "signature scheme: rsa, rsa-merkle or ed25519")
+		keyBits = flag.Int("keybits", 1024, "RSA signing key size (ignored for ed25519)")
 		pageSz  = flag.Int("pagesize", 4096, "page/node size")
 	)
 	flag.Parse()
 	log.SetPrefix("vbgen: ")
 
+	sigScheme, err := sig.ParseScheme(*scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +60,7 @@ func main() {
 	pubPath := filepath.Join(*out, "key.pub")
 
 	// Build on a disk pager.
-	key, err := sig.GenerateKey(*keyBits)
+	key, err := sig.Generate(sigScheme, *keyBits)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,6 +104,7 @@ func main() {
 	meta := &wire.Snapshot{
 		Schema:    sch,
 		AccParams: wire.AccParamsFrom(acc),
+		Scheme:    uint8(sigScheme),
 		Root:      tree.Root(),
 		Height:    uint32(tree.Height()),
 		RootSig:   tree.RootSig(),

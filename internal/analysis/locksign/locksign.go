@@ -2,14 +2,18 @@
 // sections and the commit lock order acyclic. Two rules from the PR 4/5
 // group-commit design:
 //
-//  1. No signing while a shard or table mutex is held. Signing is
-//     milliseconds of RSA; shard locks gate every read and commit.
-//     Tracked locks are fields named `mu` on structs named `shard` or
-//     `table`. A signing event is a Sign/MustSign method call on
-//     sig.PrivateKey, any call that receives a *sig.PrivateKey
-//     argument (shardmap.Sign(m, s.key)), or a call to a same-package
-//     function that may transitively sign. table.commitMu is exempt —
-//     serializing map re-signs is exactly what it is for.
+//  1. No signing while a shard or table mutex is held. Even fast
+//     Ed25519 signing has no business inside a critical section that
+//     gates every read and commit — and the RSA backends cost
+//     milliseconds. Tracked locks are fields named `mu` on structs
+//     named `shard` or `table`. A signing event is a Sign/MustSign
+//     method call on any sig-package Signer implementation (the
+//     Signer interface itself, sig.PrivateKey, and every future
+//     backend with a Sign method), any call that receives such a
+//     signer as an argument (shardmap.Sign(m, s.key)), or a call to a
+//     same-package function that may transitively sign.
+//     table.commitMu is exempt — serializing map re-signs is exactly
+//     what it is for.
 //
 //  2. commitMu is ordered before shard locks: acquiring a commitMu
 //     while holding a shard/table mu is an inversion that can deadlock
@@ -33,7 +37,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "locksign",
-	Doc:  "forbid RSA signing under shard/table locks and commitMu order inversions",
+	Doc:  "forbid signing under shard/table locks and commitMu order inversions",
 	Run:  run,
 }
 
@@ -161,7 +165,7 @@ func (c *checker) checkBody(body *ast.BlockStmt) {
 				return true
 			}
 			if c.isDirectSign(call) {
-				c.pass.Reportf(call.Pos(), "RSA signing while %s is held (locked at %s): move the Sign outside the critical section", heldMu, c.pass.Fset.Position(muPos))
+				c.pass.Reportf(call.Pos(), "signing while %s is held (locked at %s): move the Sign outside the critical section", heldMu, c.pass.Fset.Position(muPos))
 			}
 			if _, field, op, ok := c.lockOp(call); ok && field == "commitMu" && (op == "Lock" || op == "RLock") {
 				c.pass.Reportf(call.Pos(), "lock order inversion: commitMu acquired while %s is held (commitMu is ordered before shard locks)", heldMu)
@@ -271,19 +275,36 @@ func (c *checker) lockOp(call *ast.CallExpr) (path, field, op string, ok bool) {
 	return path, field, op, true
 }
 
-// isDirectSign matches signing events: Sign/MustSign on sig.PrivateKey,
-// or any call handed a *sig.PrivateKey argument.
+// isDirectSign matches signing events: Sign/MustSign on any sig-package
+// Signer implementation, or any call handed such a signer as an
+// argument (the key escaping into a helper that may sign).
 func (c *checker) isDirectSign(call *ast.CallExpr) bool {
 	switch analysis.MethodName(call) {
 	case "Sign", "MustSign":
-		if pkg, name := analysis.ReceiverType(c.pass.TypesInfo, call); pkg == "sig" && name == "PrivateKey" {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && c.isSignerType(c.pass.TypesInfo.TypeOf(sel.X)) {
 			return true
 		}
 	}
 	for _, arg := range call.Args {
-		if pkg, name := analysis.NamedOf(c.pass.TypesInfo.TypeOf(arg)); pkg == "sig" && name == "PrivateKey" {
+		if c.isSignerType(c.pass.TypesInfo.TypeOf(arg)) {
 			return true
 		}
 	}
 	return false
+}
+
+// isSignerType reports whether t is a sig-package type that can sign:
+// the Signer interface itself or any named sig type with a Sign method.
+// Matching by capability rather than by name means new fast-signer
+// backends are covered the day they are added, with no analyzer change.
+func (c *checker) isSignerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if pkg, _ := analysis.NamedOf(t); pkg != "sig" {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Sign")
+	_, isMethod := obj.(*types.Func)
+	return isMethod
 }

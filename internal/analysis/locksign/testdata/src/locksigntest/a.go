@@ -26,19 +26,19 @@ func signHelper(k *sig.PrivateKey, b []byte) {}
 
 func (s *server) signUnderLock(sh *shard) {
 	sh.mu.Lock()
-	s.key.Sign(sh.data) // want `RSA signing while sh\.mu is held`
+	s.key.Sign(sh.data) // want `signing while sh\.mu is held`
 	sh.mu.Unlock()
 }
 
 func (s *server) signUnderDeferredUnlock(sh *shard) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	s.key.MustSign(sh.data) // want `RSA signing while sh\.mu is held`
+	s.key.MustSign(sh.data) // want `signing while sh\.mu is held`
 }
 
 func (s *server) keyEscapeUnderLock(sh *shard) {
 	sh.mu.RLock()
-	signHelper(s.key, sh.data) // want `RSA signing while sh\.mu is held`
+	signHelper(s.key, sh.data) // want `signing while sh\.mu is held`
 	sh.mu.RUnlock()
 }
 
@@ -63,6 +63,34 @@ func (s *server) inversionViaHelper(t *table, sh *shard) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	s.republish(t) // want `call to republish may acquire commitMu while sh\.mu is held` `call to republish may sign while sh\.mu is held`
+}
+
+// Non-RSA and interface-typed signers are signing events too: the rule
+// is capability (a sig type with a Sign method), not the key's name.
+
+type edServer struct {
+	ed  *sig.EdSigner
+	any sig.Signer
+}
+
+func edEscape(k *sig.EdSigner, b []byte) {}
+
+func (s *edServer) edSignUnderLock(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.ed.Sign(sh.data) // want `signing while sh\.mu is held`
+}
+
+func (s *edServer) ifaceSignUnderLock(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.any.MustSign(sh.data) // want `signing while sh\.mu is held`
+}
+
+func (s *edServer) edEscapeUnderLock(sh *shard) {
+	sh.mu.RLock()
+	edEscape(s.ed, sh.data) // want `signing while sh\.mu is held`
+	sh.mu.RUnlock()
 }
 
 // Conforming shapes.
@@ -91,4 +119,18 @@ func (s *server) lockedReadOnly(sh *shard) int {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return len(sh.data)
+}
+
+func (s *edServer) edSignAfterUnlock(sh *shard) {
+	sh.mu.Lock()
+	payload := append([]byte(nil), sh.data...)
+	sh.mu.Unlock()
+	s.ed.Sign(payload)
+}
+
+// Verification under a read lock is fine: PublicKey has no Sign method.
+func verifyUnderLock(pub *sig.PublicKey, sg *sig.Signature, sh *shard) error {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return pub.Verify(sg, sh.data)
 }

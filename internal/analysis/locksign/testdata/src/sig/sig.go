@@ -9,3 +9,23 @@ type PrivateKey struct{ n int }
 func (k *PrivateKey) Sign(payload []byte) (*Signature, error) { return &Signature{}, nil }
 
 func (k *PrivateKey) MustSign(payload []byte) *Signature { return &Signature{} }
+
+// Signer mirrors the pluggable signing interface: anything with a Sign
+// method in this package is a signing event for the analyzer.
+type Signer interface {
+	Sign(payload []byte) (*Signature, error)
+	MustSign(payload []byte) *Signature
+}
+
+// EdSigner mirrors a fast non-RSA backend (ed25519).
+type EdSigner struct{ seed [32]byte }
+
+func (k *EdSigner) Sign(payload []byte) (*Signature, error) { return &Signature{}, nil }
+
+func (k *EdSigner) MustSign(payload []byte) *Signature { return &Signature{} }
+
+// PublicKey has no Sign method, so verify-side calls must NOT count as
+// signing events.
+type PublicKey struct{ n int }
+
+func (k *PublicKey) Verify(s *Signature, payload []byte) error { return nil }

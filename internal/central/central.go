@@ -51,7 +51,15 @@ import (
 // Options configures a Server.
 type Options struct {
 	// KeyBits sizes the RSA signing key; 0 selects sig.DefaultBits.
+	// Ignored for SchemeEd25519.
 	KeyBits int
+	// Scheme selects the signature scheme for the generated signing key:
+	// SchemeRSAFull (the default, the paper's every-digest-signed
+	// construction), SchemeRSAMerkle (hash-only interior commitments, one
+	// RSA root signature per shard), or SchemeEd25519 (Merkle commitments
+	// with a detached Ed25519 root signature). Ignored by
+	// NewServerWithKey, where the key carries its own scheme.
+	Scheme sig.Scheme
 	// PageSize for table storage; 0 selects storage.DefaultPageSize.
 	PageSize int
 	// AccParams configures the digest accumulator; the zero value selects
@@ -200,7 +208,7 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.KeyBits == 0 {
 		opts.KeyBits = sig.DefaultBits
 	}
-	key, err := sig.GenerateKey(opts.KeyBits)
+	key, err := sig.Generate(opts.Scheme, opts.KeyBits)
 	if err != nil {
 		return nil, err
 	}
@@ -442,6 +450,7 @@ func (s *Server) publishShard(sh *shard, version, epoch uint64, pages []storage.
 		RootSig:    sh.tree.RootSig(),
 		HeapPages:  sh.heap.Pages(),
 		KeyVersion: s.key.Public().Version,
+		Scheme:     s.key.Public().Scheme,
 		Version:    version,
 		Epoch:      epoch,
 	})
@@ -456,6 +465,7 @@ func (s *Server) publishShard(sh *shard, version, epoch uint64, pages []storage.
 // the pages are re-staged and the next successful publish carries them.
 func (s *Server) commitShard(t *table, sh *shard, lsn uint64) error {
 	sh.version++
+	s.stats.commits.Add(1)
 	rd, err := sh.tree.RootDigest()
 	if err != nil {
 		return fmt.Errorf("central: recovering root digest: %w", err)
@@ -791,6 +801,7 @@ func (s *Server) snapshotOf(t *table, sh *shard) (*wire.Snapshot, error) {
 		PageSize:   uint32(pinned.PageSize()),
 		HeapPages:  st.HeapPages,
 		KeyVersion: st.KeyVersion,
+		Scheme:     uint8(st.Scheme),
 		Version:    st.Version,
 		Epoch:      st.Epoch,
 	}
@@ -897,6 +908,7 @@ func (s *Server) deltaOf(sh *shard, ref string, fromVersion, epoch uint64) (*wir
 	d.HeapPages = st.HeapPages
 	d.NumPages = uint32(pinned.NumPages())
 	d.KeyVersion = st.KeyVersion
+	d.Scheme = uint8(st.Scheme)
 	s.stats.deltasServed.Add(1)
 	return s.signDelta(d)
 }
@@ -970,6 +982,7 @@ func (s *Server) SchemaResponse(tableName string) (*wire.SchemaResponse, error) 
 		Schema:     t.sch,
 		AccParams:  wire.AccParamsFrom(s.acc),
 		KeyVersion: s.key.Public().Version,
+		Scheme:     uint8(s.key.Public().Scheme),
 	}, nil
 }
 

@@ -26,6 +26,9 @@ type serverCounters struct {
 	batchRounds    atomic.Uint64
 	batchOps       atomic.Uint64
 	maxRound       atomic.Uint64
+	// commits counts committed shard updates — the denominator of the
+	// signatures-per-commit ratio the Merkle schemes drive toward 1.
+	commits atomic.Uint64
 
 	// signOps receives the signing key's op count via digest.Counters
 	// (installed by NewServerWithKey).
@@ -56,9 +59,21 @@ type Stats struct {
 	EgressMapBytes      uint64 `json:"egress_map_bytes"`
 	InsertsApplied      uint64 `json:"inserts_applied"`
 	DeletesApplied      uint64 `json:"deletes_applied"`
-	// SignOps counts RSA signature generations — the currency the
-	// sharded write path parallelizes.
+	// Scheme names the signing key's signature scheme; SignOps and
+	// RecoverOps below are this scheme's totals.
+	Scheme string `json:"scheme"`
+	// SignOps counts signature generations — the currency the sharded
+	// write path parallelizes and the Merkle schemes take off the
+	// per-node path entirely.
 	SignOps uint64 `json:"sign_ops"`
+	// RecoverOps counts signature recoveries/verifications performed with
+	// the key (audits, self-checks).
+	RecoverOps uint64 `json:"recover_ops"`
+	// Commits counts committed shard updates; SigsPerCommit =
+	// SignOps/Commits is O(dirtied nodes) under rsa-full and ~1 under the
+	// Merkle schemes.
+	Commits       uint64  `json:"commits"`
+	SigsPerCommit float64 `json:"signatures_per_commit"`
 	// BatchRounds / BatchOps describe the group-commit front door:
 	// BatchOps/BatchRounds is the mean coalesced round size, MaxRound
 	// the largest round committed.
@@ -69,6 +84,12 @@ type Stats struct {
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
+	signOps := uint64(s.stats.signOps.SignOps.Load())
+	commits := s.stats.commits.Load()
+	var perCommit float64
+	if commits > 0 {
+		perCommit = float64(signOps) / float64(commits)
+	}
 	return Stats{
 		QueriesServed:       s.stats.queriesServed.Load(),
 		SnapshotsServed:     s.stats.snapshotsServed.Load(),
@@ -79,7 +100,11 @@ func (s *Server) Stats() Stats {
 		EgressMapBytes:      s.stats.mapBytes.Load(),
 		InsertsApplied:      s.stats.insertsApplied.Load(),
 		DeletesApplied:      s.stats.deletesApplied.Load(),
-		SignOps:             uint64(s.stats.signOps.SignOps.Load()),
+		Scheme:              s.key.Public().Scheme.String(),
+		SignOps:             signOps,
+		RecoverOps:          uint64(s.stats.signOps.RecoverOps.Load()),
+		Commits:             commits,
+		SigsPerCommit:       perCommit,
 		BatchRounds:         s.stats.batchRounds.Load(),
 		BatchOps:            s.stats.batchOps.Load(),
 		MaxRound:            s.stats.maxRound.Load(),

@@ -413,3 +413,18 @@ func (c *Client) InvalidateSchema(table string) {
 	defer c.vmu.Unlock()
 	delete(c.verifiers, table)
 }
+
+// VerifyCacheStats sums the verified-digest cache ledgers across the
+// client's table verifiers: hits are signature operations repeat queries
+// skipped entirely.
+func (c *Client) VerifyCacheStats() verify.CacheStats {
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	var total verify.CacheStats
+	for _, v := range c.verifiers {
+		cs := v.CacheStats()
+		total.Hits += cs.Hits
+		total.Misses += cs.Misses
+	}
+	return total
+}

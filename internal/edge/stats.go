@@ -12,6 +12,11 @@ type edgeCounters struct {
 	deltasApplied      atomic.Uint64
 	snapshotsInstalled atomic.Uint64
 
+	// Verified-signature cache ledger (see verifySigCached): hits are
+	// public-key operations the refresh path skipped.
+	sigCacheHits   atomic.Uint64
+	sigCacheMisses atomic.Uint64
+
 	// Peer distribution tier: replication payloads split by which side
 	// of the tier moved them. Served = this edge acting as an upstream;
 	// pulled = this edge refreshing, split peer vs central so the CDN
@@ -36,6 +41,10 @@ type Stats struct {
 	RefreshesApplied   uint64 `json:"refreshes_applied"`
 	DeltasApplied      uint64 `json:"deltas_applied"`
 	SnapshotsInstalled uint64 `json:"snapshots_installed"`
+	// SigCacheHits/Misses ledger the verified-signature cache on the
+	// refresh path: each hit is a signature verification skipped.
+	SigCacheHits   uint64 `json:"sig_cache_hits"`
+	SigCacheMisses uint64 `json:"sig_cache_misses"`
 	// Peer tier counters (zero on edges not participating in the tier).
 	PeerPayloadsServed    uint64 `json:"peer_payloads_served"`
 	PeerBytesServed       uint64 `json:"peer_bytes_served"`
@@ -56,6 +65,8 @@ func (s *Server) Stats() Stats {
 		RefreshesApplied:      s.stats.refreshesApplied.Load(),
 		DeltasApplied:         s.stats.deltasApplied.Load(),
 		SnapshotsInstalled:    s.stats.snapshotsInstalled.Load(),
+		SigCacheHits:          s.stats.sigCacheHits.Load(),
+		SigCacheMisses:        s.stats.sigCacheMisses.Load(),
 		PeerPayloadsServed:    s.stats.peerPayloadsServed.Load(),
 		PeerBytesServed:       s.stats.peerBytesServed.Load(),
 		PeerPayloadsPulled:    s.stats.peerPayloadsPulled.Load(),

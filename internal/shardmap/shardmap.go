@@ -33,7 +33,6 @@
 package shardmap
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -339,19 +338,16 @@ func Sign(m *Map, key *sig.PrivateKey) (*Signed, error) {
 }
 
 // Verify checks the signature against the central server's public key.
-// Key-version resolution and validity are the caller's business (the
-// client resolves the map's KeyVersion against its registry at its own
-// clock before calling this).
+// Detached verification (not recovery), so it works for every scheme the
+// key registry can carry. Key-version resolution and validity are the
+// caller's business (the client resolves the map's KeyVersion against
+// its registry at its own clock before calling this).
 func (s *Signed) Verify(pub *sig.PublicKey) error {
 	if s.Map == nil || len(s.Sig) == 0 {
 		return errors.New("shardmap: signed map missing payload or signature")
 	}
-	payload, err := pub.Recover(s.Sig)
-	if err != nil {
-		return fmt.Errorf("shardmap: signature does not recover: %w", err)
-	}
-	if !bytes.Equal(payload, s.Map.SigPayload()) {
-		return errors.New("shardmap: signature does not match map payload")
+	if err := pub.Verify(s.Sig, s.Map.SigPayload()); err != nil {
+		return fmt.Errorf("shardmap: signature does not verify: %w", err)
 	}
 	return nil
 }

@@ -1,53 +1,86 @@
 package sig
 
 import (
+	"crypto/ed25519"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/big"
 )
 
-// Wire format of a public key:
+// Wire format of a public key. SchemeRSAFull keys keep the original
+// layout byte for byte, so every key minted by older releases round-trips
+// unchanged:
 //
 //	u32 version | i64 notBefore | i64 notAfter |
 //	u32 len(N) | N bytes | u32 len(E) | E bytes
+//
+// Other schemes reuse the header and mark themselves with len(N) == 0 —
+// unambiguous because the legacy decoder rejects any modulus under
+// MinBits, so a real key can never encode a zero-length N:
+//
+//	u32 version | i64 notBefore | i64 notAfter | u32 0 | u8 scheme |
+//	  scheme == rsa-merkle: u32 len(N) | N bytes | u32 len(E) | E bytes
+//	  scheme == ed25519:    u32 32     | pubkey bytes
 //
 // Big-endian throughout, matching the rest of the repository's codecs.
 
 // MarshalBinary encodes the public key for distribution to clients.
 func (p *PublicKey) MarshalBinary() ([]byte, error) {
-	if p.N == nil || p.E == nil {
-		return nil, errors.New("sig: cannot marshal incomplete public key")
-	}
-	nb := p.N.Bytes()
-	eb := p.E.Bytes()
-	out := make([]byte, 0, 4+8+8+4+len(nb)+4+len(eb))
 	var b8 [8]byte
 	var b4 [4]byte
+	out := make([]byte, 0, 4+8+8+4+1+4+ed25519.PublicKeySize)
 	binary.BigEndian.PutUint32(b4[:], p.Version)
 	out = append(out, b4[:]...)
 	binary.BigEndian.PutUint64(b8[:], uint64(p.NotBefore))
 	out = append(out, b8[:]...)
 	binary.BigEndian.PutUint64(b8[:], uint64(p.NotAfter))
 	out = append(out, b8[:]...)
-	binary.BigEndian.PutUint32(b4[:], uint32(len(nb)))
-	out = append(out, b4[:]...)
-	out = append(out, nb...)
-	binary.BigEndian.PutUint32(b4[:], uint32(len(eb)))
-	out = append(out, b4[:]...)
-	out = append(out, eb...)
+	appendBig := func(v *big.Int) {
+		vb := v.Bytes()
+		binary.BigEndian.PutUint32(b4[:], uint32(len(vb)))
+		out = append(out, b4[:]...)
+		out = append(out, vb...)
+	}
+	switch p.Scheme {
+	case SchemeRSAFull:
+		if p.N == nil || p.E == nil {
+			return nil, errors.New("sig: cannot marshal incomplete public key")
+		}
+		appendBig(p.N)
+		appendBig(p.E)
+	case SchemeRSAMerkle:
+		if p.N == nil || p.E == nil {
+			return nil, errors.New("sig: cannot marshal incomplete public key")
+		}
+		out = append(out, 0, 0, 0, 0, byte(p.Scheme))
+		appendBig(p.N)
+		appendBig(p.E)
+	case SchemeEd25519:
+		if len(p.Ed) != ed25519.PublicKeySize {
+			return nil, errors.New("sig: cannot marshal incomplete public key")
+		}
+		out = append(out, 0, 0, 0, 0, byte(p.Scheme))
+		binary.BigEndian.PutUint32(b4[:], uint32(len(p.Ed)))
+		out = append(out, b4[:]...)
+		out = append(out, p.Ed...)
+	default:
+		return nil, fmt.Errorf("sig: cannot marshal key with unknown scheme %v", p.Scheme)
+	}
 	return out, nil
 }
 
-// UnmarshalBinary decodes a public key produced by MarshalBinary.
+// UnmarshalBinary decodes a public key produced by MarshalBinary. Blobs
+// naming a scheme this build does not know are rejected — a client must
+// never guess at a verification algorithm.
 func (p *PublicKey) UnmarshalBinary(data []byte) error {
 	const fixed = 4 + 8 + 8
 	if len(data) < fixed+4 {
 		return errors.New("sig: public key blob truncated")
 	}
-	p.Version = binary.BigEndian.Uint32(data[0:4])
-	p.NotBefore = int64(binary.BigEndian.Uint64(data[4:12]))
-	p.NotAfter = int64(binary.BigEndian.Uint64(data[12:20]))
+	version := binary.BigEndian.Uint32(data[0:4])
+	notBefore := int64(binary.BigEndian.Uint64(data[4:12]))
+	notAfter := int64(binary.BigEndian.Uint64(data[12:20]))
 	off := fixed
 	readBig := func() (*big.Int, error) {
 		if off+4 > len(data) {
@@ -62,23 +95,57 @@ func (p *PublicKey) UnmarshalBinary(data []byte) error {
 		off += n
 		return v, nil
 	}
-	n, err := readBig()
-	if err != nil {
-		return err
+	scheme := SchemeRSAFull
+	if binary.BigEndian.Uint32(data[off:off+4]) == 0 {
+		// Scheme-tagged layout: zero N-length marker, then the scheme byte.
+		if len(data) < off+5 {
+			return errors.New("sig: public key blob truncated")
+		}
+		scheme = Scheme(data[off+4])
+		off += 5
+		if !scheme.Valid() || scheme == SchemeRSAFull {
+			return fmt.Errorf("sig: public key blob names unknown scheme %d", uint8(scheme))
+		}
 	}
-	e, err := readBig()
-	if err != nil {
-		return err
+	decoded := PublicKey{
+		Scheme:    scheme,
+		Version:   version,
+		NotBefore: notBefore,
+		NotAfter:  notAfter,
+		Counters:  p.Counters,
+	}
+	switch scheme {
+	case SchemeRSAFull, SchemeRSAMerkle:
+		n, err := readBig()
+		if err != nil {
+			return err
+		}
+		e, err := readBig()
+		if err != nil {
+			return err
+		}
+		if n.BitLen() < MinBits {
+			return fmt.Errorf("sig: unmarshaled modulus too small (%d bits)", n.BitLen())
+		}
+		if e.Sign() <= 0 {
+			return errors.New("sig: unmarshaled exponent not positive")
+		}
+		decoded.N, decoded.E = n, e
+	case SchemeEd25519:
+		if off+4 > len(data) {
+			return errors.New("sig: public key blob truncated")
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		off += 4
+		if n != ed25519.PublicKeySize || off+n > len(data) {
+			return errors.New("sig: malformed ed25519 public key blob")
+		}
+		decoded.Ed = ed25519.PublicKey(append([]byte(nil), data[off:off+n]...))
+		off += n
 	}
 	if off != len(data) {
 		return fmt.Errorf("sig: %d trailing bytes in public key blob", len(data)-off)
 	}
-	if n.BitLen() < MinBits {
-		return fmt.Errorf("sig: unmarshaled modulus too small (%d bits)", n.BitLen())
-	}
-	if e.Sign() <= 0 {
-		return errors.New("sig: unmarshaled exponent not positive")
-	}
-	p.N, p.E = n, e
+	*p = decoded
 	return nil
 }

@@ -1,0 +1,135 @@
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+)
+
+// Scheme identifies a key's signature scheme AND its commitment mode —
+// how the VB-tree's interior digests are authenticated. It travels as
+// key metadata: clients resolve a VO's KeyVersion through the trusted
+// key registry and derive the verification algorithm from the resolved
+// key's scheme, never from attacker-controllable wire bytes (the
+// cross-scheme-confusion attack fails precisely because of this).
+type Scheme uint8
+
+const (
+	// SchemeRSAFull is the paper's original construction: every
+	// attribute, tuple and node digest is individually RSA-signed with
+	// message recovery (s⁻¹). Keys of this scheme keep byte-identical
+	// wire behavior with all previous releases.
+	SchemeRSAFull Scheme = iota
+	// SchemeRSAMerkle keeps the RSA signer but signs only tree roots:
+	// interior node, tuple and attribute "signatures" become raw
+	// unsigned digests (hash-only Merkle commitments), and one RSA
+	// signature per shard root anchors them all. The root signature is
+	// byte-identical to SchemeRSAFull's root signature over the same
+	// content, because digest values are mode-independent.
+	SchemeRSAMerkle
+	// SchemeEd25519 pairs the Merkle commitment mode with an Ed25519
+	// signer. Ed25519 has no message recovery, so the root digest is
+	// carried in the clear and the signature is verified detached.
+	SchemeEd25519
+)
+
+// Valid reports whether s names a known scheme.
+func (s Scheme) Valid() bool { return s <= SchemeEd25519 }
+
+// Merkle reports whether interior digests are raw Merkle commitments
+// (only roots signed) under this scheme.
+func (s Scheme) Merkle() bool { return s != SchemeRSAFull }
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRSAFull:
+		return "rsa"
+	case SchemeRSAMerkle:
+		return "rsa-merkle"
+	case SchemeEd25519:
+		return "ed25519"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// ParseScheme resolves a scheme name as exposed by the -scheme flags of
+// centrald and vbgen.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "rsa", "rsa-full", "":
+		return SchemeRSAFull, nil
+	case "rsa-merkle", "merkle":
+		return SchemeRSAMerkle, nil
+	case "ed25519":
+		return SchemeEd25519, nil
+	default:
+		return 0, fmt.Errorf("sig: unknown scheme %q (want rsa, rsa-merkle or ed25519)", name)
+	}
+}
+
+// Signer is the signing surface the central server and the VB-tree
+// depend on. *PrivateKey implements it for every scheme; the locksign
+// analyzer flags ANY implementation's Sign/MustSign under shard locks.
+type Signer interface {
+	Sign(payload []byte) (Signature, error)
+	MustSign(payload []byte) Signature
+	Public() *PublicKey
+	Len() int
+	Scheme() Scheme
+}
+
+var _ Signer = (*PrivateKey)(nil)
+
+// Generate creates a fresh key pair for the given scheme. bits sizes the
+// RSA modulus and is ignored for Ed25519 (fixed 256-bit curve keys).
+func Generate(scheme Scheme, bits int) (*PrivateKey, error) {
+	switch scheme {
+	case SchemeRSAFull, SchemeRSAMerkle:
+		k, err := GenerateKey(bits)
+		if err != nil {
+			return nil, err
+		}
+		k.pub.Scheme = scheme
+		return k, nil
+	case SchemeEd25519:
+		edPub, edPriv, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("sig: generating ed25519 key: %w", err)
+		}
+		return &PrivateKey{
+			pub: PublicKey{Scheme: SchemeEd25519, Ed: edPub},
+			ed:  edPriv,
+		}, nil
+	default:
+		return nil, fmt.Errorf("sig: cannot generate key for unknown scheme %v", scheme)
+	}
+}
+
+// MustGenerate is Generate panicking on error, for tests and tools.
+func MustGenerate(scheme Scheme, bits int) *PrivateKey {
+	k, err := Generate(scheme, bits)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// WithScheme returns a copy of the key re-tagged with the given scheme.
+// Only RSA↔RSA retags are allowed (the key material must fit the
+// scheme); it exists so one RSA key can serve both commitment modes —
+// the property test pinning Merkle root signatures byte-equal to legacy
+// full-sign root signatures depends on identical key material.
+func (k *PrivateKey) WithScheme(scheme Scheme) (*PrivateKey, error) {
+	if scheme == SchemeEd25519 || k.pub.Scheme == SchemeEd25519 {
+		if scheme != k.pub.Scheme {
+			return nil, fmt.Errorf("sig: cannot retag %v key as %v", k.pub.Scheme, scheme)
+		}
+	}
+	if !scheme.Valid() {
+		return nil, fmt.Errorf("sig: unknown scheme %v", scheme)
+	}
+	c := *k
+	c.pub.Scheme = scheme
+	return &c, nil
+}

@@ -23,6 +23,7 @@ package sig
 
 import (
 	"bytes"
+	"crypto/ed25519"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -31,8 +32,12 @@ import (
 	"edgeauth/internal/digest"
 )
 
-// DefaultBits is the default RSA modulus size. 1024 bits reproduces the
-// era of the paper (2004); tests and benchmarks may use smaller keys.
+// DefaultBits is the default RSA modulus size used when no -bits flag is
+// given: 1024 bits matches the paper's 2004-era evaluation so the
+// published cost ratios (sign ≈ 10000× a hash, recover ≈ 100×) stay
+// representative. It applies only to the RSA schemes; Ed25519 keys have a
+// fixed 256-bit curve size and ignore it. Tests and benchmarks may pass
+// smaller values down to MinBits.
 const DefaultBits = 1024
 
 // MinBits is the smallest modulus this package will generate. It exists to
@@ -46,10 +51,16 @@ var (
 	// ErrPayloadTooLong is returned when the payload cannot fit the
 	// modulus with minimum padding.
 	ErrPayloadTooLong = errors.New("sig: payload too long for modulus")
+	// ErrNoRecovery is returned by Recover on schemes without message
+	// recovery (Ed25519): the payload must travel in the clear and be
+	// checked with Verify instead.
+	ErrNoRecovery = errors.New("sig: scheme does not support message recovery")
 )
 
-// Signature is the raw big-endian RSA signature, always exactly the
-// modulus length of the signing key.
+// Signature is a raw signature: big-endian and exactly the modulus
+// length for the RSA schemes, ed25519.SignatureSize for Ed25519. Under a
+// Merkle scheme, interior tree positions store raw digest.Value bytes in
+// Signature-typed slots — only roots hold real signatures.
 type Signature []byte
 
 // Clone returns an independent copy of s.
@@ -67,8 +78,17 @@ func (s Signature) Equal(o Signature) bool { return bytes.Equal(s, o) }
 // broadcast: edge servers cannot masquerade stale data signed under an
 // expired key, because clients check the key version's validity period.
 type PublicKey struct {
-	N *big.Int // modulus
-	E *big.Int // public exponent
+	N *big.Int // modulus (RSA schemes)
+	E *big.Int // public exponent (RSA schemes)
+
+	// Scheme selects the signature algorithm and commitment mode. The
+	// zero value is SchemeRSAFull, so keys from older releases keep
+	// byte-identical behavior. Clients MUST take the scheme from the key
+	// they resolved out of their trusted registry — never from wire
+	// metadata — so a lying edge can only cause verification failure.
+	Scheme Scheme
+	// Ed is the Ed25519 public key when Scheme is SchemeEd25519.
+	Ed ed25519.PublicKey
 
 	// Version identifies the key generation; bumped when the central
 	// server rotates keys after propagating updates.
@@ -83,8 +103,17 @@ type PublicKey struct {
 	Counters *digest.Counters
 }
 
-// Len returns the signature length in bytes (the modulus length).
-func (p *PublicKey) Len() int { return (p.N.BitLen() + 7) / 8 }
+// Len returns the signature length in bytes: the modulus length for RSA
+// schemes, ed25519.SignatureSize for Ed25519.
+func (p *PublicKey) Len() int {
+	if p.Scheme == SchemeEd25519 {
+		return ed25519.SignatureSize
+	}
+	if p.N == nil {
+		return 0
+	}
+	return (p.N.BitLen() + 7) / 8
+}
 
 // ValidAt reports whether the key's validity window covers the given Unix
 // time.
@@ -107,6 +136,9 @@ type PrivateKey struct {
 	dq   *big.Int // d mod (q-1)
 	qinv *big.Int // q⁻¹ mod p
 
+	// ed is the Ed25519 private key when pub.Scheme is SchemeEd25519.
+	ed ed25519.PrivateKey
+
 	// counters, when non-nil, has SignOps bumped on every Sign — the
 	// server-side cost accounting used by the batched-write tests to prove
 	// how many RSA signatures a commit actually spent.
@@ -125,6 +157,9 @@ func (k *PrivateKey) Public() *PublicKey {
 
 // Len returns the signature length in bytes.
 func (k *PrivateKey) Len() int { return k.pub.Len() }
+
+// Scheme returns the key's signature scheme.
+func (k *PrivateKey) Scheme() Scheme { return k.pub.Scheme }
 
 // SetValidity stamps the key pair's version and validity window (paper
 // §3.4: "the central server can include the timestamp or version number in
@@ -227,11 +262,18 @@ func unpad(em []byte) ([]byte, error) {
 	return em[i+1:], nil
 }
 
-// Sign produces the signature s(payload) = pad(payload)^d mod N.
+// Sign produces the signature over payload: s(payload) = pad(payload)^d
+// mod N for the RSA schemes, a detached Ed25519 signature otherwise.
 // The payload is normally an unsigned digest (digest.Value).
 func (k *PrivateKey) Sign(payload []byte) (Signature, error) {
 	if k.counters != nil {
 		k.counters.SignOps.Add(1)
+	}
+	if k.pub.Scheme == SchemeEd25519 {
+		if k.ed == nil {
+			return nil, errors.New("sig: ed25519 key has no private half")
+		}
+		return Signature(ed25519.Sign(k.ed, payload)), nil
 	}
 	em, err := pad(payload, k.Len())
 	if err != nil {
@@ -271,6 +313,9 @@ func (k *PrivateKey) crtExp(m *big.Int) *big.Int {
 // tampering with the signature bytes invalidates the padding with
 // overwhelming probability and yields ErrBadSignature.
 func (p *PublicKey) Recover(s Signature) ([]byte, error) {
+	if p.Scheme == SchemeEd25519 {
+		return nil, ErrNoRecovery
+	}
 	if p.Counters != nil {
 		p.Counters.RecoverOps.Add(1)
 	}
@@ -293,8 +338,22 @@ func (p *PublicKey) Recover(s Signature) ([]byte, error) {
 	return out, nil
 }
 
-// Verify checks that s recovers exactly to want.
+// Verify checks that s authenticates want: for RSA schemes it recovers
+// the payload and compares; for Ed25519 it runs a detached verification.
+// Both count one RecoverOp — the client-side Cost_s unit of §4.3.
 func (p *PublicKey) Verify(s Signature, want []byte) error {
+	if p.Scheme == SchemeEd25519 {
+		if p.Counters != nil {
+			p.Counters.RecoverOps.Add(1)
+		}
+		if p.Ed == nil || len(s) != ed25519.SignatureSize {
+			return ErrBadSignature
+		}
+		if !ed25519.Verify(p.Ed, want, []byte(s)) {
+			return ErrBadSignature
+		}
+		return nil
+	}
 	got, err := p.Recover(s)
 	if err != nil {
 		return err

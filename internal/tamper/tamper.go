@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"edgeauth/internal/digest"
 	"edgeauth/internal/schema"
 	"edgeauth/internal/shardmap"
 	"edgeauth/internal/sig"
@@ -160,6 +161,65 @@ func ForgeTopDigest() Attack {
 			forged := make(sig.Signature, len(w.TopDigest))
 			rng.Read(forged)
 			w.TopDigest = forged
+			return nil
+		},
+	}
+}
+
+// ForgeInteriorNode attacks the Merkle commitment modes, where interior
+// VO digests are raw (unsigned) values: it grafts a fabricated subtree
+// digest into D_S and rebalances the top digest so the combiner equation
+// still holds — the one forgery hash-only interior commitments would
+// admit if the root were not signed. The doctored top digest no longer
+// matches the root signature, so a client that verifies RootSig over
+// TopDigest rejects the answer; the attack is what makes that signature
+// load-bearing.
+func ForgeInteriorNode() Attack {
+	return Attack{
+		Name:        "forge-interior-node",
+		Description: "graft an unsigned fabricated subtree digest into a Merkle VO",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			acc := digest.MustNew(digest.DefaultParams())
+			if len(w.RootSig) == 0 || len(w.TopDigest) != acc.Len() {
+				return ErrNotApplicable // not a Merkle-shaped VO
+			}
+			forged := acc.HashBytes("tamper:forged-interior", []byte("spurious subtree"))
+			lifted, err := acc.Lift(forged, 1)
+			if err != nil {
+				return err
+			}
+			top, err := acc.Mul(digest.Value(w.TopDigest), lifted)
+			if err != nil {
+				return err
+			}
+			w.DS = append(w.DS, vo.Entry{Sig: sig.Signature(forged), Lift: 1})
+			w.TopDigest = sig.Signature(top)
+			return nil
+		},
+	}
+}
+
+// CrossSchemeConfusion re-presents the VO under the OTHER commitment
+// scheme's shape: a Merkle VO masquerading as a legacy recoverable-
+// signature VO (root signature promoted into the top-digest slot), or a
+// legacy VO masquerading as a Merkle one (signed top digest demoted to
+// the detached slot, a raw fabricated digest in its place). A client
+// that derived the expected shape from the VO itself would follow the
+// attacker's lead; one that derives it from the trusted registry key's
+// scheme rejects the mismatched shape outright.
+func CrossSchemeConfusion() Attack {
+	return Attack{
+		Name:        "cross-scheme-confusion",
+		Description: "present the VO under the other commitment scheme's wire shape",
+		Apply: func(rs *vo.ResultSet, w *vo.VO) error {
+			if len(w.RootSig) > 0 {
+				w.TopDigest = w.RootSig.Clone()
+				w.RootSig = nil
+				return nil
+			}
+			acc := digest.MustNew(digest.DefaultParams())
+			w.RootSig = w.TopDigest.Clone()
+			w.TopDigest = sig.Signature(acc.HashBytes("tamper:confused-root", []byte(rs.Table)))
 			return nil
 		},
 	}
@@ -358,6 +418,8 @@ func All() []Attack {
 		CorruptVODigest(),
 		DropVODigest(),
 		ForgeTopDigest(),
+		ForgeInteriorNode(),
+		CrossSchemeConfusion(),
 		MisliftDS(),
 		CrossTableReplay("other_table"),
 		SwapProjectionDigest(),

@@ -150,7 +150,7 @@ func (t *Tree) presignTuples(tuples []schema.Tuple, opErrs []error) []preparedTu
 					opErrs[i] = opError(err)
 					continue
 				}
-				dt, err := t.sign(ut)
+				dt, err := t.sealDigest(ut)
 				if err != nil {
 					opErrs[i] = opError(err)
 					continue
@@ -208,11 +208,11 @@ type treeBatch struct {
 	txn  lock.TxnID
 }
 
-// placeholderSig reserves exactly one signature's worth of space in a
-// node entry whose real signature is produced by repair, keeping
-// encodedSize checks exact during the structural phase.
+// placeholderSig reserves exactly one stored entry's worth of space in a
+// node entry whose real value is produced by repair, keeping encodedSize
+// checks exact during the structural phase.
 func (b *treeBatch) placeholderSig() sig.Signature {
-	return make(sig.Signature, b.t.signer.Len())
+	return make(sig.Signature, b.t.storedLen())
 }
 
 func (b *treeBatch) leaf(pid storage.PageID) (*vbLeaf, error) {
@@ -401,7 +401,7 @@ func (b *treeBatch) computeU(pid storage.PageID) (digest.Value, error) {
 			u, ok := b.tupU[string(s)]
 			if !ok {
 				var err error
-				if u, err = b.t.recoverDigest(s); err != nil {
+				if u, err = b.t.childU(s); err != nil {
 					return nil, err
 				}
 				b.tupU[string(s)] = u
@@ -439,13 +439,13 @@ func (b *treeBatch) computeU(pid storage.PageID) (digest.Value, error) {
 	return u, nil
 }
 
-// cleanU recovers an untouched node's digest from its stored signature,
-// once per batch.
+// cleanU reads an untouched node's digest from its stored entry (one
+// recovery per batch under the legacy scheme, a cast under Merkle).
 func (b *treeBatch) cleanU(pid storage.PageID, stored sig.Signature) (digest.Value, error) {
 	if u, ok := b.u[pid]; ok {
 		return u, nil
 	}
-	u, err := b.t.recoverDigest(stored)
+	u, err := b.t.childU(stored)
 	if err != nil {
 		return nil, err
 	}
@@ -454,9 +454,12 @@ func (b *treeBatch) cleanU(pid storage.PageID, stored sig.Signature) (digest.Val
 }
 
 // repair recomputes each dirty node's digest once (bottom-up from the
-// root's dirty spine), signs each exactly once (in parallel), installs
-// the fresh signatures into parents and the root anchor, and flushes
-// every dirtied page. Returns how many nodes were re-signed.
+// root's dirty spine), seals each exactly once, installs the fresh
+// entries into parents and the root anchor, and flushes every dirtied
+// page. Under the legacy scheme each dirty node is re-signed (in
+// parallel); under a Merkle scheme the entries are the raw digests and
+// exactly ONE signature is produced — over the root. Returns how many
+// signatures the repair spent.
 func (b *treeBatch) repair() (int, error) {
 	if _, err := b.computeU(b.t.root); err != nil {
 		return 0, err
@@ -467,38 +470,46 @@ func (b *treeBatch) repair() (int, error) {
 		dirty = append(dirty, pid)
 	}
 	sigs := make(map[storage.PageID]sig.Signature, len(dirty))
-	var sigMu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	work := make(chan storage.PageID)
-	for w := 0; w < b.t.buildPar; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pid := range work {
-				s, err := b.t.sign(b.u[pid])
-				sigMu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
+	signed := len(dirty)
+	if b.t.merkle {
+		signed = 1
+		for _, pid := range dirty {
+			sigs[pid] = sig.Signature(append([]byte(nil), b.u[pid]...))
+		}
+	} else {
+		var sigMu sync.Mutex
+		var firstErr error
+		var wg sync.WaitGroup
+		work := make(chan storage.PageID)
+		for w := 0; w < b.t.buildPar; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for pid := range work {
+					s, err := b.t.sign(b.u[pid])
+					sigMu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+					} else {
+						sigs[pid] = s
 					}
-				} else {
-					sigs[pid] = s
+					sigMu.Unlock()
 				}
-				sigMu.Unlock()
-			}
-		}()
-	}
-	for _, pid := range dirty {
-		work <- pid
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return 0, firstErr
+			}()
+		}
+		for _, pid := range dirty {
+			work <- pid
+		}
+		close(work)
+		wg.Wait()
+		if firstErr != nil {
+			return 0, firstErr
+		}
 	}
 
-	// Install child signatures into every cached parent, then flush. Every
+	// Install child entries into every cached parent, then flush. Every
 	// dirty node's parent is itself dirty (digest changes propagate to the
 	// root), so walking the cached internals covers all installations.
 	for pid, n := range b.inners {
@@ -522,6 +533,15 @@ func (b *treeBatch) repair() (int, error) {
 			return 0, err
 		}
 	}
-	b.t.rootSig = sigs[b.t.root]
-	return len(dirty), nil
+	if b.t.merkle {
+		rs, err := b.t.sign(b.u[b.t.root])
+		if err != nil {
+			return 0, err
+		}
+		b.t.rootSig = rs
+	} else {
+		b.t.rootSig = sigs[b.t.root]
+	}
+	b.t.rootU = b.u[b.t.root]
+	return signed, nil
 }

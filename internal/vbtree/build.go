@@ -126,6 +126,7 @@ func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
 			return nil, err
 		}
 		t.rootSig = rs
+		t.rootU = t.acc.Identity()
 		return t, nil
 	}
 	// Chain the leaves.
@@ -167,7 +168,7 @@ func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
 			return nil
 		}
 		addChild := func(c levelEntry) error {
-			cs, err := t.sign(c.u)
+			cs, err := t.sealDigest(c.u)
 			if err != nil {
 				return err
 			}
@@ -185,7 +186,7 @@ func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
 			return nodeAcc.Add(c.u)
 		}
 		for _, child := range level {
-			entrySize := 2 + len(child.firstKey) + 4 + 2 + t.signer.Len()
+			entrySize := 2 + len(child.firstKey) + 4 + 2 + t.storedLen()
 			if len(node.children) > 0 && (nodeSize+entrySize > budget || nodeSize+entrySize > pageSize) {
 				if err := flushInternal(); err != nil {
 					return nil, err
@@ -212,5 +213,6 @@ func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
 		return nil, err
 	}
 	t.rootSig = rs
+	t.rootU = level[0].u
 	return t, nil
 }

@@ -1,0 +1,193 @@
+package vbtree
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/schema"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/storage"
+	"edgeauth/internal/verify"
+)
+
+// newSchemeHarness is newHarness with an explicit signature scheme.
+// RSA-backed schemes retag the shared test key, so Merkle and legacy
+// trees built here hold identical key material — the root-signature
+// equivalence tests depend on that.
+func newSchemeHarness(t testing.TB, n, pageSize int, scheme sig.Scheme) *harness {
+	t.Helper()
+	var k *sig.PrivateKey
+	if scheme == sig.SchemeEd25519 {
+		k = sig.MustGenerate(sig.SchemeEd25519, 0)
+	} else {
+		var err error
+		k, err = signer(t).WithScheme(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem, err := storage.NewMemPager(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := storage.NewBufferPool(mem, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := storage.NewHeapFile(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := digest.MustNew(digest.DefaultParams())
+	cfg := Config{
+		Pool:   bp,
+		Heap:   heap,
+		Schema: testSchema(),
+		Acc:    acc,
+		Signer: k,
+		Pub:    k.Public(),
+		Now:    func() int64 { return 1_700_000_000 },
+	}
+	tuples := make([]schema.Tuple, n)
+	for i := 0; i < n; i++ {
+		tuples[i] = mkTuple(i)
+	}
+	tree, err := Build(cfg, tuples, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{
+		tree: tree,
+		ver: &verify.Verifier{Key: k.Public(), Acc: acc, Schema: cfg.Schema,
+			Now: func() int64 { return 1_700_000_000 }},
+		key: k,
+		cfg: cfg,
+	}
+}
+
+// TestMerkleRootSigMatchesLegacy is the equivalence property the whole
+// optimization rests on: because digest values are mode-independent, a
+// Merkle-interior tree and a legacy full-sign tree over the same content
+// and key material produce byte-identical root signatures — through
+// builds, inserts, batches and deletes.
+func TestMerkleRootSigMatchesLegacy(t *testing.T) {
+	f := func(seed int64) bool {
+		legacy := newSchemeHarness(t, 50, 1024, sig.SchemeRSAFull)
+		merkle := newSchemeHarness(t, 50, 1024, sig.SchemeRSAMerkle)
+		if !legacy.tree.RootSig().Equal(merkle.tree.RootSig()) {
+			t.Log("root signatures diverge after build")
+			return false
+		}
+		// A mixed mutation sequence derived from the seed.
+		n := int(uint64(seed) % 17)
+		for i := 0; i < 5; i++ {
+			k := 1000 + n*31 + i
+			if err := legacy.tree.Insert(mkTuple(k)); err != nil {
+				return false
+			}
+			if err := merkle.tree.Insert(mkTuple(k)); err != nil {
+				return false
+			}
+		}
+		var batch []schema.Tuple
+		for i := 0; i < 8; i++ {
+			batch = append(batch, mkTuple(2000+n+i))
+		}
+		if _, _, err := legacy.tree.InsertBatch(batch); err != nil {
+			return false
+		}
+		if _, _, err := merkle.tree.InsertBatch(batch); err != nil {
+			return false
+		}
+		if _, err := legacy.tree.DeleteRange(i64(10), i64(10+n)); err != nil {
+			return false
+		}
+		if _, err := merkle.tree.DeleteRange(i64(10), i64(10+n)); err != nil {
+			return false
+		}
+		if !legacy.tree.RootSig().Equal(merkle.tree.RootSig()) {
+			t.Logf("seed %d: root signatures diverge after mutations", seed)
+			return false
+		}
+		ru, err := legacy.tree.RootDigest()
+		if err != nil {
+			return false
+		}
+		mu, err := merkle.tree.RootDigest()
+		if err != nil {
+			return false
+		}
+		return ru.Equal(mu)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMerkleBatchSignsOnlyRoot pins the headline accounting: in Merkle
+// mode a batch commit re-signs exactly one digest (the root), no matter
+// how many nodes it dirties; the legacy tree re-signs every dirty node.
+func TestMerkleBatchSignsOnlyRoot(t *testing.T) {
+	batch := make([]schema.Tuple, 64)
+	for i := range batch {
+		batch[i] = mkTuple(5000 + i*3)
+	}
+	merkle := newSchemeHarness(t, 200, 1024, sig.SchemeRSAMerkle)
+	st, opErrs, err := merkle.tree.InsertBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range opErrs {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	if st.Applied != len(batch) || st.NodesResigned != 1 || st.RootResigns != 1 {
+		t.Fatalf("merkle batch stats = %+v, want Applied=%d NodesResigned=1", st, len(batch))
+	}
+	legacy := newSchemeHarness(t, 200, 1024, sig.SchemeRSAFull)
+	lst, _, err := legacy.tree.InsertBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.NodesResigned <= 1 {
+		t.Fatalf("legacy batch re-signed %d nodes; the tree is too shallow to mean anything", lst.NodesResigned)
+	}
+}
+
+// TestMerkleTreesStayVerifiable: audits and verified queries pass under
+// both Merkle schemes after a round of mutations.
+func TestMerkleTreesStayVerifiable(t *testing.T) {
+	for _, scheme := range []sig.Scheme{sig.SchemeRSAMerkle, sig.SchemeEd25519} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			h := newSchemeHarness(t, 120, 1024, scheme)
+			if !h.tree.MerkleMode() {
+				t.Fatal("tree not in merkle mode")
+			}
+			if err := h.tree.Insert(mkTuple(900)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.tree.DeleteRange(i64(20), i64(29)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.tree.Audit(); err != nil {
+				t.Fatal(err)
+			}
+			rs, w, err := h.tree.RunQuery(context.Background(), Query{Lo: i64(10), Hi: i64(60)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs.Tuples) != 41 { // 10..60 minus deleted 20..29
+				t.Fatalf("got %d tuples, want 41", len(rs.Tuples))
+			}
+			if len(w.RootSig) == 0 {
+				t.Fatal("merkle VO carries no root signature")
+			}
+			if err := h.ver.Verify(rs, w); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

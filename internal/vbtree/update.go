@@ -34,7 +34,7 @@ func (t *Tree) Insert(tup schema.Tuple) error {
 	if err != nil {
 		return err
 	}
-	dt, err := t.sign(ut)
+	dt, err := t.sealDigest(ut)
 	if err != nil {
 		return err
 	}
@@ -51,7 +51,7 @@ func (t *Tree) Insert(tup schema.Tuple) error {
 		defer t.locks.ReleaseAll(txn)
 	}
 
-	rootOldU, err := t.recoverDigest(t.rootSig)
+	rootOldU, err := t.currentRootU()
 	if err != nil {
 		return err
 	}
@@ -65,14 +65,15 @@ func (t *Tree) Insert(tup schema.Tuple) error {
 			return err
 		}
 		t.rootSig = rs
+		t.rootU = res.newU
 		return nil
 	}
 	// Root split: a new root over (old root, right).
-	leftSig, err := t.sign(res.newU)
+	leftSig, err := t.sealDigest(res.newU)
 	if err != nil {
 		return err
 	}
-	rightSig, err := t.sign(res.split.rightU)
+	rightSig, err := t.sealDigest(res.split.rightU)
 	if err != nil {
 		return err
 	}
@@ -104,6 +105,7 @@ func (t *Tree) Insert(tup schema.Tuple) error {
 		return err
 	}
 	t.rootSig = rs
+	t.rootU = acc.Value()
 	return nil
 }
 
@@ -139,7 +141,7 @@ func (t *Tree) insertAt(pid storage.PageID, myOldU digest.Value, keyBytes []byte
 		return insertResult{}, err
 	}
 	ci := n.childIndex(keyBytes)
-	childOldU, err := t.recoverDigest(n.sigs[ci])
+	childOldU, err := t.childU(n.sigs[ci])
 	if err != nil {
 		return insertResult{}, err
 	}
@@ -150,7 +152,7 @@ func (t *Tree) insertAt(pid storage.PageID, myOldU digest.Value, keyBytes []byte
 	// Refresh: the child call may have dirtied our page only via its own
 	// pages; our decoded copy is still valid because only this goroutine
 	// mutates the tree (t.mu is held).
-	childNewSig, err := t.sign(childRes.newU)
+	childNewSig, err := t.sealDigest(childRes.newU)
 	if err != nil {
 		return insertResult{}, err
 	}
@@ -168,7 +170,7 @@ func (t *Tree) insertAt(pid storage.PageID, myOldU digest.Value, keyBytes []byte
 		return insertResult{}, err
 	}
 	if childRes.split != nil {
-		rightSig, err := t.sign(childRes.split.rightU)
+		rightSig, err := t.sealDigest(childRes.split.rightU)
 		if err != nil {
 			return insertResult{}, err
 		}
@@ -309,12 +311,13 @@ func (t *Tree) insertLeaf(pid storage.PageID, myOldU digest.Value, keyBytes []by
 	}, nil
 }
 
-// combineChildSigs recovers each signed digest and combines them — the
-// from-scratch recomputation used after splits and deletes.
+// combineChildSigs reads each stored entry's digest (recovering it under
+// the legacy scheme) and combines them — the from-scratch recomputation
+// used after splits and deletes.
 func (t *Tree) combineChildSigs(sigs []sig.Signature) (digest.Value, error) {
 	acc := t.acc.NewAcc()
 	for _, s := range sigs {
-		u, err := t.recoverDigest(s)
+		u, err := t.childU(s)
 		if err != nil {
 			return nil, err
 		}
@@ -360,7 +363,7 @@ func (t *Tree) DeleteRange(lo, hi *schema.Datum) (int, error) {
 		txn = t.locks.Begin()
 		defer t.locks.ReleaseAll(txn)
 	}
-	rootOldU, err := t.recoverDigest(t.rootSig)
+	rootOldU, err := t.currentRootU()
 	if err != nil {
 		return 0, err
 	}
@@ -390,6 +393,7 @@ func (t *Tree) DeleteRange(lo, hi *schema.Datum) (int, error) {
 			return 0, err
 		}
 		t.rootSig = rs
+		t.rootU = t.acc.Identity()
 		return res.removed, nil
 	}
 	rs, err := t.sign(res.newU)
@@ -397,6 +401,7 @@ func (t *Tree) DeleteRange(lo, hi *schema.Datum) (int, error) {
 		return 0, err
 	}
 	t.rootSig = rs
+	t.rootU = res.newU
 	// Collapse trivial roots (an internal root with a single child).
 	for {
 		pt, err := t.pageType(t.root)
@@ -414,7 +419,22 @@ func (t *Tree) DeleteRange(lo, hi *schema.Datum) (int, error) {
 			break
 		}
 		t.root = n.children[0]
-		t.rootSig = n.sigs[0].Clone()
+		u, err := t.childU(n.sigs[0])
+		if err != nil {
+			return 0, err
+		}
+		t.rootU = append(digest.Value(nil), u...)
+		if t.merkle {
+			// The stored entry is a raw digest; the new root still needs a
+			// real signature as the anchor.
+			rs, err := t.sign(t.rootU)
+			if err != nil {
+				return 0, err
+			}
+			t.rootSig = rs
+		} else {
+			t.rootSig = n.sigs[0].Clone()
+		}
 		t.height--
 	}
 	return res.removed, nil
@@ -487,7 +507,7 @@ func (t *Tree) deleteAt(pid storage.PageID, myOldU digest.Value, lo, hi []byte, 
 		if !spanIntersects(clo, chi, lo, hi) {
 			continue
 		}
-		childOldU, err := t.recoverDigest(n.sigs[i])
+		childOldU, err := t.childU(n.sigs[i])
 		if err != nil {
 			return deleteResult{}, err
 		}
@@ -509,7 +529,7 @@ func (t *Tree) deleteAt(pid storage.PageID, myOldU digest.Value, lo, hi []byte, 
 		if err := acc.Add(res.newU); err != nil {
 			return deleteResult{}, err
 		}
-		cs, err := t.sign(res.newU)
+		cs, err := t.sealDigest(res.newU)
 		if err != nil {
 			return deleteResult{}, err
 		}

@@ -103,6 +103,16 @@ type Tree struct {
 	height  int // levels, leaves = level 1
 	rootSig sig.Signature
 
+	// merkle is derived from Pub.Scheme: interior entries (attribute,
+	// tuple and node digests) are stored as raw unsigned digest values and
+	// only the root digest is signed. The stored layout is unchanged —
+	// entries are length-prefixed either way — but every commit spends
+	// exactly one signature instead of one per dirtied node.
+	merkle bool
+	// rootU tracks the unsigned root digest alongside rootSig, so
+	// RootDigest (the per-commit shard-map pin) costs no RSA recovery.
+	rootU digest.Value
+
 	buildPar int
 }
 
@@ -133,6 +143,7 @@ func New(cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	t.rootSig = rs
+	t.rootU = t.acc.Identity()
 	return t, nil
 }
 
@@ -149,7 +160,52 @@ func Open(cfg Config, root storage.PageID, height int, rootSig sig.Signature) (*
 	t.root = root
 	t.height = height
 	t.rootSig = rootSig.Clone()
+	if t.merkle {
+		// No message recovery under a Merkle scheme: recompute the root
+		// digest from the root node's raw child entries.
+		u, err := t.nodeDigest(root)
+		if err != nil {
+			return nil, err
+		}
+		t.rootU = u
+	} else {
+		u, err := t.recoverDigest(t.rootSig)
+		if err != nil {
+			return nil, err
+		}
+		t.rootU = u
+	}
 	return t, nil
+}
+
+// nodeDigest recomputes a node's unsigned digest from its stored entries.
+func (t *Tree) nodeDigest(pid storage.PageID) (digest.Value, error) {
+	f, err := t.bp.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	buf := f.Page().Bytes()
+	var sigs []sig.Signature
+	switch storage.PageType(buf[0]) {
+	case storage.PageVBLeaf:
+		n, err := decodeVBLeaf(buf)
+		t.bp.Unpin(f, false)
+		if err != nil {
+			return nil, err
+		}
+		sigs = n.sigs
+	case storage.PageVBInternal:
+		n, err := decodeVBInternal(buf)
+		t.bp.Unpin(f, false)
+		if err != nil {
+			return nil, err
+		}
+		sigs = n.sigs
+	default:
+		t.bp.Unpin(f, false)
+		return nil, fmt.Errorf("vbtree: unexpected page type %d", buf[0])
+	}
+	return t.combineChildSigs(sigs)
 }
 
 func attach(cfg Config) (*Tree, error) {
@@ -173,6 +229,7 @@ func attach(cfg Config) (*Tree, error) {
 		pub:      cfg.Pub,
 		locks:    cfg.Locks,
 		now:      now,
+		merkle:   cfg.Pub.Scheme.Merkle(),
 		buildPar: par,
 	}, nil
 }
@@ -205,14 +262,22 @@ func (t *Tree) RootSig() sig.Signature {
 	return t.rootSig.Clone()
 }
 
-// RootDigest recovers the unsigned root digest from the root signature —
-// the value a signed shard map pins for this tree. One public-exponent
-// RSA operation; called once per commit by the sharded central server.
+// RootDigest returns the unsigned root digest — the value a signed shard
+// map pins for this tree. The tree tracks it alongside the root
+// signature, so the per-commit call by the sharded central server costs
+// no RSA recovery.
 func (t *Tree) RootDigest() (digest.Value, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if t.rootU != nil {
+		return append(digest.Value(nil), t.rootU...), nil
+	}
 	return t.recoverDigest(t.rootSig)
 }
+
+// MerkleMode reports whether interior entries are raw Merkle commitments
+// (only the root digest signed).
+func (t *Tree) MerkleMode() bool { return t.merkle }
 
 // lockRes names a page in the lock manager's space.
 func (t *Tree) lockRes(id storage.PageID) lock.Resource {
@@ -225,6 +290,51 @@ func (t *Tree) sign(u digest.Value) (sig.Signature, error) {
 		return nil, ErrReadOnly
 	}
 	return t.signer.Sign(u)
+}
+
+// currentRootU returns the tracked unsigned root digest, recovering it
+// from the root signature if it was never computed. Caller holds t.mu.
+func (t *Tree) currentRootU() (digest.Value, error) {
+	if t.rootU != nil {
+		return t.rootU, nil
+	}
+	u, err := t.recoverDigest(t.rootSig)
+	if err != nil {
+		return nil, err
+	}
+	t.rootU = u
+	return u, nil
+}
+
+// sealDigest produces the stored form of an interior digest: under a
+// Merkle scheme the raw digest itself (a hash-only commitment), under the
+// legacy scheme an RSA signature over it. Roots are always signed with
+// t.sign regardless of mode — they are the anchor of trust.
+func (t *Tree) sealDigest(u digest.Value) (sig.Signature, error) {
+	if t.merkle {
+		return sig.Signature(append([]byte(nil), u...)), nil
+	}
+	return t.sign(u)
+}
+
+// childU returns the unsigned digest committed by a stored interior
+// entry: a cast under a Merkle scheme, s⁻¹ under the legacy scheme.
+func (t *Tree) childU(s sig.Signature) (digest.Value, error) {
+	if t.merkle {
+		if len(s) != t.acc.Len() {
+			return nil, fmt.Errorf("vbtree: merkle entry has %d bytes, want %d", len(s), t.acc.Len())
+		}
+		return digest.Value(s), nil
+	}
+	return t.recoverDigest(s)
+}
+
+// storedLen is the byte length of one stored interior entry.
+func (t *Tree) storedLen() int {
+	if t.merkle {
+		return t.acc.Len()
+	}
+	return t.pub.Len()
 }
 
 // recover applies s⁻¹ and validates the payload length.
@@ -266,11 +376,13 @@ func (t *Tree) tupleDigests(tup schema.Tuple) (attrs []digest.Value, ut digest.V
 	return attrs, acc.Value(), nil
 }
 
-// makeStored signs the attribute digests and assembles the heap record.
+// makeStored seals the attribute digests (signing them under the legacy
+// scheme, storing them raw under a Merkle scheme) and assembles the heap
+// record.
 func (t *Tree) makeStored(tup schema.Tuple, attrs []digest.Value) (*vo.StoredTuple, error) {
 	st := &vo.StoredTuple{Tuple: tup, AttrSigs: make([]sig.Signature, len(attrs))}
 	for i, a := range attrs {
-		s, err := t.sign(a)
+		s, err := t.sealDigest(a)
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +407,7 @@ type Stats struct {
 func (t *Tree) Stats(keyLen int) (Stats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	sigLen := t.pub.Len()
+	sigLen := t.storedLen()
 	s := Stats{
 		MaxLeafEntries:    MaxLeafEntries(t.bp.PageSize(), keyLen, sigLen),
 		MaxInternalFanOut: MaxInternalFanOut(t.bp.PageSize(), keyLen, sigLen),

@@ -24,8 +24,11 @@ type TableState struct {
 	RootSig    sig.Signature
 	HeapPages  []storage.PageID
 	KeyVersion uint32
-	Version    uint64
-	Epoch      uint64
+	// Scheme is the signature scheme of the key named by KeyVersion;
+	// replicas thread it into the public keys they build for views.
+	Scheme  sig.Scheme
+	Version uint64
+	Epoch   uint64
 }
 
 // Validate rejects states that cannot anchor a tree.
@@ -91,6 +94,10 @@ type View struct {
 	root    storage.PageID
 	height  int
 	rootSig sig.Signature
+	// merkle mirrors the tree's commitment mode (from Pub.Scheme): VOs
+	// are always root-anchored, carry the raw root digest as TopDigest,
+	// and the root signature rides alongside in RootSig.
+	merkle bool
 }
 
 // NewView validates the config and assembles a read view.
@@ -119,6 +126,7 @@ func NewView(cfg ViewConfig) (*View, error) {
 		root:    cfg.Root,
 		height:  cfg.Height,
 		rootSig: cfg.RootSig,
+		merkle:  cfg.Pub.Scheme.Merkle(),
 	}, nil
 }
 
@@ -220,7 +228,9 @@ func (v *View) RunQuery(ctx context.Context, q Query) (*vo.ResultSet, *vo.VO, er
 	}
 
 	// Phase 2: locate the enveloping subtree and assemble the D_S set.
-	w, err := v.buildVO(ctx, matches, loB, q.AnchorRoot)
+	// Under a Merkle scheme only the root digest is signed, so the VO must
+	// anchor there regardless of what the query asked for.
+	w, err := v.buildVO(ctx, matches, loB, q.AnchorRoot || v.merkle)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -401,7 +411,20 @@ func (v *View) buildVO(ctx context.Context, matches []matched, lo []byte, anchor
 		level--
 	}
 	w.TopLevel = uint8(level)
-	w.TopDigest = topSig.Clone()
+	if v.merkle {
+		// The top digest travels in the clear (there is no message
+		// recovery); the root signature over it rides in RootSig. The
+		// client recomputes the digest from the D_S/result product and
+		// verifies exactly one signature.
+		u, err := v.merkleNodeDigest(pid)
+		if err != nil {
+			return nil, err
+		}
+		w.TopDigest = sig.Signature(u)
+		w.RootSig = topSig.Clone()
+	} else {
+		w.TopDigest = topSig.Clone()
+	}
 
 	// Walk the subtree flat-collecting D_S entries.
 	topLevel := level
@@ -465,6 +488,39 @@ func (v *View) buildVO(ctx context.Context, matches []matched, lo []byte, anchor
 	}
 	w.DS = entries
 	return w, nil
+}
+
+// merkleNodeDigest recombines a node's unsigned digest from its raw
+// child entries — pure combiner arithmetic, no signature operations.
+func (v *View) merkleNodeDigest(pid storage.PageID) (digest.Value, error) {
+	pt, err := v.pageType(pid)
+	if err != nil {
+		return nil, err
+	}
+	var sigs []sig.Signature
+	if pt == storage.PageVBLeaf {
+		n, err := v.fetchLeaf(pid)
+		if err != nil {
+			return nil, err
+		}
+		sigs = n.sigs
+	} else {
+		n, err := v.fetchInternal(pid)
+		if err != nil {
+			return nil, err
+		}
+		sigs = n.sigs
+	}
+	acc := v.acc.NewAcc()
+	for _, s := range sigs {
+		if len(s) != v.acc.Len() {
+			return nil, fmt.Errorf("vbtree: merkle entry has %d bytes, want %d", len(s), v.acc.Len())
+		}
+		if err := acc.Add(digest.Value(s)); err != nil {
+			return nil, err
+		}
+	}
+	return acc.Value(), nil
 }
 
 // ScanAll returns every stored tuple in key order (a full-table helper for

@@ -1,0 +1,136 @@
+package verify
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"edgeauth/internal/digest"
+	"edgeauth/internal/sig"
+)
+
+// DefaultCacheSize is the verified-digest cache capacity used when
+// Verifier.CacheSize is zero.
+const DefaultCacheSize = 1024
+
+// sigCache remembers which payload a signature was proven to carry, so
+// repeat queries over the same tree region (the common case: hot ranges,
+// unchanged shards) skip the signature work entirely. Keyed by the raw
+// signature bytes; an entry is only ever written after a successful
+// recovery or detached verification, so a hit is as trustworthy as the
+// original check. Bounded by random-ish eviction (map iteration order):
+// the cache is an amortizer, not a store, and any eviction policy keeps
+// it correct.
+type sigCache struct {
+	mu     sync.Mutex
+	m      map[string]digest.Value
+	max    int
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newSigCache(max int) *sigCache {
+	return &sigCache{m: make(map[string]digest.Value, max), max: max}
+}
+
+// lookup returns the proven payload for a signature, if cached.
+func (c *sigCache) lookup(key string) (digest.Value, bool) {
+	c.mu.Lock()
+	u, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return u, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// store records a proven (signature, payload) pair, evicting arbitrary
+// entries at capacity.
+func (c *sigCache) store(key string, u digest.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= c.max {
+		for k := range c.m {
+			delete(c.m, k)
+			if len(c.m) < c.max {
+				break
+			}
+		}
+	}
+	c.m[key] = append(digest.Value(nil), u...)
+}
+
+// CacheStats reports the verified-digest cache's hit/miss ledger.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// cache lazily initializes the verifier's digest cache; returns nil when
+// caching is disabled (CacheSize < 0).
+func (v *Verifier) cache() *sigCache {
+	if v.CacheSize < 0 {
+		return nil
+	}
+	v.cacheOnce.Do(func() {
+		size := v.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		v.digestCache = newSigCache(size)
+	})
+	return v.digestCache
+}
+
+// CacheStats returns the verifier's cache ledger (zeros when disabled).
+func (v *Verifier) CacheStats() CacheStats {
+	if v.CacheSize < 0 || v.digestCache == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: v.digestCache.hits.Load(), Misses: v.digestCache.misses.Load()}
+}
+
+// cachedRecover is recoverDigest through the verified-digest cache.
+func (v *Verifier) cachedRecover(pub *sig.PublicKey, s sig.Signature) (digest.Value, error) {
+	c := v.cache()
+	if c == nil {
+		return recoverDigest(pub, v.Acc, s)
+	}
+	if u, ok := c.lookup(string(s)); ok {
+		return u, nil
+	}
+	u, err := recoverDigest(pub, v.Acc, s)
+	if err != nil {
+		return nil, err
+	}
+	c.store(string(s), u)
+	return u, nil
+}
+
+// cachedVerifySig checks that s authenticates want (detached form),
+// consulting the cache first. Used for Merkle root signatures, where the
+// payload travels in the clear.
+func (v *Verifier) cachedVerifySig(pub *sig.PublicKey, s sig.Signature, want []byte) error {
+	c := v.cache()
+	if c == nil {
+		if err := pub.Verify(s, want); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSignature, err)
+		}
+		return nil
+	}
+	if u, ok := c.lookup(string(s)); ok {
+		if bytes.Equal(u, want) {
+			return nil
+		}
+		// Same signature bytes claimed over a different payload: fall
+		// through to the real check (it will fail for a forgery).
+	}
+	if err := pub.Verify(s, want); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	c.store(string(s), digest.Value(want))
+	return nil
+}

@@ -24,6 +24,7 @@ package verify
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"edgeauth/internal/digest"
@@ -79,6 +80,15 @@ type Verifier struct {
 	// ErrKeyVersion. 0 selects DefaultMaxClockSkew; negative disables the
 	// timestamp bound (key validity is still checked at Now).
 	MaxClockSkew time.Duration
+	// CacheSize bounds the verified-digest cache: signatures already
+	// proven once (recovered or detached-verified) are answered from
+	// memory, so repeat queries over unchanged tree regions skip
+	// signature work entirely. 0 selects DefaultCacheSize; negative
+	// disables caching.
+	CacheSize int
+
+	cacheOnce   sync.Once
+	digestCache *sigCache
 }
 
 // now resolves the verifier's clock.
@@ -204,10 +214,39 @@ func (v *Verifier) verify(rs *vo.ResultSet, w *vo.VO) (digest.Value, error) {
 		return nil, fmt.Errorf("%w: D_P carries %d digests, want %d", ErrMalformed, len(w.DP), want)
 	}
 
-	// Anchor: recover the enveloping subtree's signed digest.
-	topU, err := recoverDigest(pub, v.Acc, w.TopDigest)
-	if err != nil {
-		return nil, err
+	// Anchor the envelope. The verification shape is derived from the
+	// TRUSTED key's scheme, never from the VO's own fields — an edge that
+	// lies about the scheme (cross-scheme confusion) can only fail here.
+	merkle := pub.Scheme.Merkle()
+	var topU digest.Value
+	if merkle {
+		// Merkle scheme: TopDigest is the raw root digest, RootSig the
+		// central's signature over it — the single signature check of the
+		// whole VO.
+		if len(w.TopDigest) != v.Acc.Len() {
+			return nil, fmt.Errorf("%w: merkle top digest has %d bytes, want %d",
+				ErrBadSignature, len(w.TopDigest), v.Acc.Len())
+		}
+		if len(w.RootSig) == 0 {
+			return nil, fmt.Errorf("%w: merkle VO is missing the root signature", ErrBadSignature)
+		}
+		if err := v.cachedVerifySig(pub, w.RootSig, w.TopDigest); err != nil {
+			return nil, err
+		}
+		topU = digest.Value(w.TopDigest)
+	} else {
+		// Legacy scheme: every digest is individually signed and there is
+		// no detached root signature. A VO carrying one is malformed — or
+		// an attacker replaying merkle-shaped material under an RSA-full
+		// key version.
+		if len(w.RootSig) != 0 {
+			return nil, fmt.Errorf("%w: unexpected root signature under the %v scheme",
+				ErrBadSignature, pub.Scheme)
+		}
+		topU, err = v.cachedRecover(pub, w.TopDigest)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	L := int(w.TopLevel)
@@ -230,7 +269,7 @@ func (v *Verifier) verify(rs *vo.ResultSet, w *vo.VO) (digest.Value, error) {
 		}
 	}
 	for _, ds := range w.DP {
-		u, err := recoverDigest(pub, v.Acc, ds)
+		u, err := v.entryDigest(pub, ds)
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +287,7 @@ func (v *Verifier) verify(rs *vo.ResultSet, w *vo.VO) (digest.Value, error) {
 		if int(e.Lift) < 1 || int(e.Lift) > L {
 			return nil, fmt.Errorf("%w: D_S entry %d has lift %d outside [1,%d]", ErrMalformed, i, e.Lift, L)
 		}
-		u, err := recoverDigest(pub, v.Acc, e.Sig)
+		u, err := v.entryDigest(pub, e.Sig)
 		if err != nil {
 			return nil, err
 		}
@@ -266,6 +305,21 @@ func (v *Verifier) verify(rs *vo.ResultSet, w *vo.VO) (digest.Value, error) {
 		return nil, fmt.Errorf("%w: digest mismatch (computed %v, signed %v)", ErrVerification, product, topU)
 	}
 	return topU, nil
+}
+
+// entryDigest reads the unsigned digest committed by a VO entry: a
+// length-checked cast under a Merkle scheme (the entries are the raw
+// digests — zero signature work), a cached s⁻¹ recovery under the legacy
+// scheme.
+func (v *Verifier) entryDigest(pub *sig.PublicKey, s sig.Signature) (digest.Value, error) {
+	if pub.Scheme.Merkle() {
+		if len(s) != v.Acc.Len() {
+			return nil, fmt.Errorf("%w: merkle entry has %d bytes, want %d",
+				ErrBadSignature, len(s), v.Acc.Len())
+		}
+		return digest.Value(s), nil
+	}
+	return v.cachedRecover(pub, s)
 }
 
 // recoverDigest applies s⁻¹ and validates the digest length.
@@ -295,8 +349,8 @@ func (v *Verifier) VerifyTuple(st *vo.StoredTuple, tupleSig sig.Signature, pub *
 	acc := v.Acc.NewAcc()
 	for i, val := range st.Tuple.Values {
 		d := v.Acc.HashAttribute(v.Schema.DB, v.Schema.Table, v.Schema.Columns[i].Name, keyBytes, val.CanonicalBytes())
-		// The signed attribute digest must recover to the computed one.
-		u, err := recoverDigest(pub, v.Acc, st.AttrSigs[i])
+		// The stored attribute digest must commit to the computed one.
+		u, err := v.entryDigest(pub, st.AttrSigs[i])
 		if err != nil {
 			return err
 		}
@@ -307,7 +361,7 @@ func (v *Verifier) VerifyTuple(st *vo.StoredTuple, tupleSig sig.Signature, pub *
 			return fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
 	}
-	ut, err := recoverDigest(pub, v.Acc, tupleSig)
+	ut, err := v.entryDigest(pub, tupleSig)
 	if err != nil {
 		return err
 	}

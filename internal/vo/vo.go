@@ -53,13 +53,20 @@ type VO struct {
 	// TopLevel is the level L of the enveloping subtree's top node
 	// (leaf = 1).
 	TopLevel uint8
-	// TopDigest is D_N, the signed digest of the enveloping subtree's top
-	// node (the root digest when the subtree is the whole tree).
+	// TopDigest is D_N, the digest of the enveloping subtree's top node:
+	// a signed digest under the legacy RSA-full scheme, the raw unsigned
+	// root digest under a Merkle scheme (where RootSig carries the
+	// signature over it).
 	TopDigest sig.Signature
-	// DS holds signed digests for filtered tuples and non-overlapping
-	// branches.
+	// RootSig, under a Merkle scheme, is the central's signature over the
+	// raw root digest in TopDigest. Empty under the legacy scheme. The
+	// client decides which shape to expect from its TRUSTED registry
+	// key's scheme, never from the VO itself.
+	RootSig sig.Signature
+	// DS holds digests for filtered tuples and non-overlapping branches
+	// (signed under the legacy scheme, raw under Merkle).
 	DS []Entry
-	// DP holds signed digests for attributes filtered out by projection.
+	// DP holds digests for attributes filtered out by projection.
 	DP []sig.Signature
 }
 
@@ -69,7 +76,7 @@ func (v *VO) NumDigests() int { return 1 + len(v.DS) + len(v.DP) }
 
 // WireSize returns the exact encoded size in bytes.
 func (v *VO) WireSize() int {
-	sz := 4 + 8 + 1 + 4 + len(v.TopDigest) + 4
+	sz := 4 + 8 + 1 + 4 + len(v.TopDigest) + 4 + len(v.RootSig) + 4
 	for _, e := range v.DS {
 		sz += 4 + len(e.Sig) + 1
 	}
@@ -110,6 +117,7 @@ func (v *VO) Encode(dst []byte) []byte {
 	dst = append(dst, b8[:]...)
 	dst = append(dst, v.TopLevel)
 	dst = appendSig(dst, v.TopDigest)
+	dst = appendSig(dst, v.RootSig)
 	binary.BigEndian.PutUint32(b4[:], uint32(len(v.DS)))
 	dst = append(dst, b4[:]...)
 	for _, e := range v.DS {
@@ -140,6 +148,14 @@ func DecodeVO(data []byte) (*VO, int, error) {
 		return nil, 0, fmt.Errorf("vo: top digest: %w", err)
 	}
 	v.TopDigest = s
+	off += n
+	s, n, err = readSig(data[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("vo: root signature: %w", err)
+	}
+	if len(s) > 0 {
+		v.RootSig = s
+	}
 	off += n
 	if len(data[off:]) < 4 {
 		return nil, 0, errors.New("vo: truncated DS count")

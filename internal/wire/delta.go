@@ -62,6 +62,10 @@ type Delta struct {
 	PageData [][]byte
 	// KeyVersion is the signing-key version in force at ToVersion.
 	KeyVersion uint32
+	// Scheme is the signature scheme (sig.Scheme) of that key. It lives
+	// in the signed core, so a relay cannot flip a replica to a weaker
+	// interpretation of the same key version.
+	Scheme uint8
 
 	// Sig is the central server's signature over SigPayload(); edges
 	// verify it with the public key before applying the delta.
@@ -89,6 +93,7 @@ func (d *Delta) encodeCore() []byte {
 	}
 	out = appendU32(out, d.NumPages)
 	out = appendU32(out, d.KeyVersion)
+	out = appendU8(out, d.Scheme)
 	out = appendU32(out, uint32(len(d.PageIDs)))
 	for i, id := range d.PageIDs {
 		out = appendU32(out, uint32(id))
@@ -142,6 +147,7 @@ func DecodeDelta(body []byte) (*Delta, error) {
 	}
 	d.NumPages = r.u32("page count after ops")
 	d.KeyVersion = r.u32("key version")
+	d.Scheme = r.u8("signature scheme")
 	pn := int(r.u32("changed page count"))
 	if r.err == nil && pn > len(body) {
 		return nil, errors.New("wire: implausible changed page count")

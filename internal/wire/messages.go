@@ -130,6 +130,10 @@ type Snapshot struct {
 	PageData [][]byte
 	// KeyVersion is the signing-key version in force.
 	KeyVersion uint32
+	// Scheme is the signature scheme (sig.Scheme) the key named by
+	// KeyVersion uses; edges carry it into the key registry so clients
+	// resolve the right verification algorithm.
+	Scheme uint8
 	// Version is the table's update version at capture time; edges record
 	// it so later refreshes can request a delta from this point.
 	Version uint64
@@ -232,6 +236,7 @@ func (s *Snapshot) Encode() []byte {
 	out = appendBytes(out, s.RootSig)
 	out = appendU32(out, s.PageSize)
 	out = appendU32(out, s.KeyVersion)
+	out = appendU8(out, s.Scheme)
 	out = appendU64(out, s.Version)
 	out = appendU64(out, s.Epoch)
 	out = appendU32(out, uint32(len(s.HeapPages)))
@@ -267,6 +272,7 @@ func DecodeSnapshot(body []byte) (*Snapshot, error) {
 	s.RootSig = r.bytes("root sig")
 	s.PageSize = r.u32("page size")
 	s.KeyVersion = r.u32("key version")
+	s.Scheme = r.u8("signature scheme")
 	s.Version = r.u64("table version")
 	s.Epoch = r.u64("table epoch")
 	hn := int(r.u32("heap page count"))
@@ -381,6 +387,8 @@ type SchemaResponse struct {
 	Schema     *schema.Schema
 	AccParams  AccParams
 	KeyVersion uint32
+	// Scheme is the signature scheme (sig.Scheme) of the key in force.
+	Scheme uint8
 }
 
 // Encode serializes the response.
@@ -391,6 +399,7 @@ func (s *SchemaResponse) Encode() []byte {
 	out = appendU8(out, s.AccParams.Mode)
 	out = appendBytes(out, s.AccParams.Modulus)
 	out = appendU32(out, s.KeyVersion)
+	out = appendU8(out, s.Scheme)
 	return out
 }
 
@@ -411,6 +420,7 @@ func DecodeSchemaResponse(body []byte) (*SchemaResponse, error) {
 	s.AccParams.Mode = r.u8("acc mode")
 	s.AccParams.Modulus = r.bytes("acc modulus")
 	s.KeyVersion = r.u32("key version")
+	s.Scheme = r.u8("signature scheme")
 	if err := r.done(); err != nil {
 		return nil, err
 	}
