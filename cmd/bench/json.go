@@ -50,6 +50,13 @@ type JSONReport struct {
 	// dirtied node; the Merkle schemes sign one root per commit) and
 	// client-side VO verification latency, first-touch and cache-warm.
 	SignPath []SignPathPoint `json:"sign_path"`
+
+	// Reshard measures the online split/merge path: hot-range query
+	// latency before and after splitting the skew-loaded shard, the
+	// transition's wall time, and the minimal re-signing contract
+	// (roots re-signed per transition, VO bytes on the hot range) that
+	// benchdiff gates across machines.
+	Reshard ReshardPoint `json:"reshard"`
 }
 
 // IngestPoint is one ingest measurement.
@@ -90,6 +97,36 @@ type SignPathPoint struct {
 	VerifyWarmP50Micros float64 `json:"verify_warm_p50_us"`
 	VerifyP99Micros     float64 `json:"verify_p99_us"`
 	CacheHitRate        float64 `json:"verify_cache_hit_rate"`
+}
+
+// ReshardPoint reports one hot-shard split + merge round.
+type ReshardPoint struct {
+	ShardsBefore int `json:"shards_before"`
+	// HotRows is the tuple count of the skew-loaded shard at split time.
+	HotRows int `json:"hot_rows"`
+	// Hot-range query latency sampled immediately before and after the
+	// split (hardware-dependent, informational).
+	HotP99BeforeMicros float64 `json:"hot_p99_before_us"`
+	HotP99AfterMicros  float64 `json:"hot_p99_after_us"`
+	// Wall time of the SplitShard / MergeShards call itself — the
+	// transition stall an operator pays (queries and commits on other
+	// shards keep flowing throughout).
+	SplitStallMicros float64 `json:"split_stall_us"`
+	MergeStallMicros float64 `json:"merge_stall_us"`
+	// Machine-independent, gated by benchdiff: a split re-signs exactly
+	// its two child roots (plus the map), a merge one — never the whole
+	// table.
+	ResignsPerSplit uint64 `json:"resigns_per_split"`
+	ResignsPerMerge uint64 `json:"resigns_per_merge"`
+	SplitSignOps    uint64 `json:"split_sign_ops"`
+	MergeSignOps    uint64 `json:"merge_sign_ops"`
+	// Pages copied into the child stores (deterministic for a fixed
+	// row count and page size).
+	PagesMovedPerSplit uint64 `json:"pages_moved_per_split"`
+	// VO size on the hot range before/after the split: deterministic
+	// codec output, gated.
+	HotVOBytesBefore float64 `json:"hot_vo_bytes_before"`
+	HotVOBytesAfter  float64 `json:"hot_vo_bytes_after"`
 }
 
 // runJSON executes the compact workload and writes the report.
@@ -151,6 +188,15 @@ func runJSON(out io.Writer, rows, keyBits, pageSize int, shardCounts []int) erro
 		}
 		report.SignPath = append(report.SignPath, pt)
 	}
+
+	// Online resharding under the fast signer (the deployment the
+	// reshard machinery targets: cheap signatures keep the transition's
+	// re-sign cost to a handful of ops).
+	rp, err := measureReshard(edKey, rows, pageSize)
+	if err != nil {
+		return fmt.Errorf("reshard: %w", err)
+	}
+	report.Reshard = rp
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -365,4 +411,115 @@ func measureSignPath(key *sig.PrivateKey, rows, pageSize, batch int) (SignPathPo
 		VerifyP99Micros:     all[len(all)*99/100],
 		CacheHitRate:        hitRate,
 	}, nil
+}
+
+// measureReshard runs one hot-shard split + merge round: skew-load
+// shard 0 of a 2-shard table to twice its sibling's size, sample hot
+// range latency and VO size, split the hot shard, re-sample, then merge
+// the children back. The stats deltas around each transition pin the
+// minimal re-signing contract benchdiff gates on.
+func measureReshard(key *sig.PrivateKey, rows, pageSize int) (ReshardPoint, error) {
+	srv, sch, err := benchServer(key, rows, pageSize, 2, true)
+	if err != nil {
+		return ReshardPoint{}, err
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	// Skew the load: the table holds even keys, shard 0 the lower half.
+	// Ingest every odd key of that lower range so shard 0 ends up with
+	// twice the tuples of shard 1 — the hot shard the split relieves.
+	const batch = 256
+	applied := 0
+	var pending []schema.Tuple
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		opErrs, err := srv.ApplyBatch(sch.Table, pending)
+		if err != nil {
+			return err
+		}
+		for _, e := range opErrs {
+			if e == nil {
+				applied++
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
+	for id := int64(1); id < int64(rows); id += 2 {
+		pending = append(pending, benchRow(sch, id))
+		if len(pending) == batch {
+			if err := flush(); err != nil {
+				return ReshardPoint{}, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return ReshardPoint{}, err
+	}
+
+	p99Before, voBefore, err := hotRangeP99(ctx, srv, sch.Table, rows)
+	if err != nil {
+		return ReshardPoint{}, fmt.Errorf("pre-split sampling: %w", err)
+	}
+
+	s0 := srv.Stats()
+	splitStart := time.Now()
+	if _, err := srv.SplitShard(ctx, sch.Table, 0, nil); err != nil {
+		return ReshardPoint{}, fmt.Errorf("split: %w", err)
+	}
+	splitStall := time.Since(splitStart)
+	s1 := srv.Stats()
+
+	p99After, voAfter, err := hotRangeP99(ctx, srv, sch.Table, rows)
+	if err != nil {
+		return ReshardPoint{}, fmt.Errorf("post-split sampling: %w", err)
+	}
+
+	mergeStart := time.Now()
+	if _, err := srv.MergeShards(ctx, sch.Table, 0); err != nil {
+		return ReshardPoint{}, fmt.Errorf("merge: %w", err)
+	}
+	mergeStall := time.Since(mergeStart)
+	s2 := srv.Stats()
+
+	return ReshardPoint{
+		ShardsBefore:       2,
+		HotRows:            rows/2 + applied,
+		HotP99BeforeMicros: p99Before,
+		HotP99AfterMicros:  p99After,
+		SplitStallMicros:   float64(splitStall.Microseconds()),
+		MergeStallMicros:   float64(mergeStall.Microseconds()),
+		ResignsPerSplit:    s1.ReshardResigns - s0.ReshardResigns,
+		ResignsPerMerge:    s2.ReshardResigns - s1.ReshardResigns,
+		SplitSignOps:       s1.SignOps - s0.SignOps,
+		MergeSignOps:       s2.SignOps - s1.SignOps,
+		PagesMovedPerSplit: s1.ReshardPagesMoved - s0.ReshardPagesMoved,
+		HotVOBytesBefore:   voBefore,
+		HotVOBytesAfter:    voAfter,
+	}, nil
+}
+
+// hotRangeP99 samples verified range queries across the hot key region
+// [0, hotSpan) and returns the p99 latency and average VO size.
+func hotRangeP99(ctx context.Context, srv *central.Server, table string, hotSpan int) (p99, voAvg float64, err error) {
+	const samples = 100
+	const span = 20
+	lat := make([]float64, 0, samples)
+	voBytes := 0
+	for i := 0; i < samples; i++ {
+		lo := schema.Int64(int64((i * 37) % (hotSpan - span)))
+		hi := schema.Int64(lo.I + span - 1)
+		start := time.Now()
+		resp, err := srv.RunQuery(ctx, table, vbtree.Query{Lo: &lo, Hi: &hi})
+		if err != nil {
+			return 0, 0, err
+		}
+		lat = append(lat, float64(time.Since(start).Microseconds()))
+		voBytes += resp.VO.WireSize()
+	}
+	sort.Float64s(lat)
+	return lat[len(lat)*99/100], float64(voBytes) / samples, nil
 }

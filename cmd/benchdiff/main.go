@@ -10,7 +10,11 @@
 //   - VO and result bytes per query: deterministic codec output;
 //   - within-run speedup ratios (each sign_path scheme's tuples/sec over
 //     the rsa baseline of the SAME report): both sides of the ratio ran
-//     on the same machine, so the ratio transfers.
+//     on the same machine, so the ratio transfers;
+//   - reshard re-sign and signature counts per transition: a split must
+//     re-sign exactly its two child roots plus the map, a merge one root
+//     plus the map — the minimal-resigning contract of online
+//     resharding.
 //
 // Absolute wall-clock metrics (tuples/sec, latency percentiles) only
 // gate with -strict, for same-machine comparisons; otherwise they are
@@ -49,6 +53,18 @@ type report struct {
 		SignOps      uint64  `json:"sign_ops"`
 		WarmP50      float64 `json:"verify_warm_p50_us"`
 	} `json:"sign_path"`
+	Reshard struct {
+		HotP99Before     float64 `json:"hot_p99_before_us"`
+		HotP99After      float64 `json:"hot_p99_after_us"`
+		SplitStall       float64 `json:"split_stall_us"`
+		MergeStall       float64 `json:"merge_stall_us"`
+		ResignsPerSplit  float64 `json:"resigns_per_split"`
+		ResignsPerMerge  float64 `json:"resigns_per_merge"`
+		SplitSignOps     float64 `json:"split_sign_ops"`
+		MergeSignOps     float64 `json:"merge_sign_ops"`
+		HotVOBytesBefore float64 `json:"hot_vo_bytes_before"`
+		HotVOBytesAfter  float64 `json:"hot_vo_bytes_after"`
+	} `json:"reshard"`
 }
 
 func load(path string) (*report, error) {
@@ -156,6 +172,23 @@ func main() {
 			d.check(id+".verify_warm_p50_us", o.WarmP50, n.WarmP50, false, false)
 		}
 	}
+
+	// Reshard: re-sign and signature counts per transition are the
+	// minimal-resigning contract (algorithmic — a split touches its two
+	// child roots plus the map, a merge one root plus the map), and VO
+	// bytes on the hot range are deterministic codec output. Latency and
+	// transition stall are hardware.
+	or, nr := oldR.Reshard, newR.Reshard
+	d.check("reshard.resigns_per_split", or.ResignsPerSplit, nr.ResignsPerSplit, false, true)
+	d.check("reshard.resigns_per_merge", or.ResignsPerMerge, nr.ResignsPerMerge, false, true)
+	d.check("reshard.split_sign_ops", or.SplitSignOps, nr.SplitSignOps, false, true)
+	d.check("reshard.merge_sign_ops", or.MergeSignOps, nr.MergeSignOps, false, true)
+	d.check("reshard.hot_vo_bytes_before", or.HotVOBytesBefore, nr.HotVOBytesBefore, false, true)
+	d.check("reshard.hot_vo_bytes_after", or.HotVOBytesAfter, nr.HotVOBytesAfter, false, true)
+	d.check("reshard.hot_p99_before_us", or.HotP99Before, nr.HotP99Before, false, false)
+	d.check("reshard.hot_p99_after_us", or.HotP99After, nr.HotP99After, false, false)
+	d.check("reshard.split_stall_us", or.SplitStall, nr.SplitStall, false, false)
+	d.check("reshard.merge_stall_us", or.MergeStall, nr.MergeStall, false, false)
 
 	if d.failures > 0 {
 		fmt.Printf("\nbenchdiff: %d metric(s) regressed beyond %.0f%%\n", d.failures, *threshold*100)

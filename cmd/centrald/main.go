@@ -9,6 +9,8 @@
 //	         [-scheme rsa|rsa-merkle|ed25519] [-keybits 1024]
 //	         [-maxbatch 128] [-maxdelay 2ms]
 //	         [-shards 4] [-shard-split count|keyspan]
+//	         [-autoreshard 10s] [-split-fraction 0.6] [-merge-fraction 0.05]
+//	         [-max-shards 64]
 //	         [-debug-addr 127.0.0.1:7101]
 //
 // -scheme selects the signature scheme and commitment mode: "rsa" is the
@@ -30,6 +32,13 @@
 // batches then re-sign shard roots in parallel. -shard-split picks the
 // boundary strategy: "count" balances build rows per shard, "keyspan"
 // divides the key interval evenly.
+//
+// -autoreshard arms the online hot-shard detector: every interval an
+// EWMA over per-shard ingest+query load picks a shard to split (above
+// -split-fraction of the table's total) or an adjacent pair to merge
+// (below -merge-fraction together), committing the transition as a new
+// signed map epoch under live traffic. Manually commanded transitions
+// via the reshard admin frame are always available, detector or not.
 //
 // -debug-addr serves expvar (including the server's live counters under
 // the "central" key) at http://ADDR/debug/vars.
@@ -73,7 +82,14 @@ func main() {
 		// by a central-signed shard map.
 		shards     = flag.Int("shards", 1, "range-partition each table into this many VB-tree shards")
 		shardSplit = flag.String("shard-split", "count", "shard boundary strategy: count (equal rows) or keyspan (equal key width)")
-		debugAddr  = flag.String("debug-addr", "", "serve expvar counters at http://ADDR/debug/vars (empty = disabled)")
+		// Online resharding: the detector splits hot shards and merges
+		// cold pairs under live traffic. Admin-commanded transitions via
+		// the reshard wire frame work regardless of these flags.
+		autoReshard = flag.Duration("autoreshard", 0, "hot-shard detector interval (0 = detector off)")
+		splitFrac   = flag.Float64("split-fraction", 0, "EWMA load share that trips a split (0 = default 0.6)")
+		mergeFrac   = flag.Float64("merge-fraction", 0, "combined adjacent load share that trips a merge (0 = default 0.05)")
+		maxShards   = flag.Int("max-shards", 0, "shard-count ceiling the detector steers under (0 = default 64)")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar counters at http://ADDR/debug/vars (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -85,6 +101,15 @@ func main() {
 	sigScheme, err := sig.ParseScheme(*scheme)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var auto *central.AutoReshardOptions
+	if *autoReshard > 0 {
+		auto = &central.AutoReshardOptions{
+			Interval:      *autoReshard,
+			SplitFraction: *splitFrac,
+			MergeFraction: *mergeFrac,
+			MaxShards:     *maxShards,
+		}
 	}
 	start := time.Now()
 	srv, err := central.NewServer(central.Options{
@@ -98,6 +123,7 @@ func main() {
 		MaxDelay:       *maxDelay,
 		Shards:         *shards,
 		ShardSplit:     strategy,
+		AutoReshard:    auto,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -20,8 +20,11 @@
 // key) always come from the central regardless of topology.
 //
 // -tamper also accepts the shard-map attacks (drop-shard-from-map,
-// rewire-shard-digests), which corrupt the shard map served for
-// range-partitioned tables instead of individual query responses, and
+// rewire-shard-digests, replay-pre-split-map, hide-split,
+// cross-epoch-splice), which corrupt the shard map served for
+// range-partitioned tables instead of individual query responses —
+// the last three simulate an edge trying to conceal or rewind an
+// online shard split/merge — and
 // the malicious-relay attacks (bit-flip-delta, replay-stale-snapshot,
 // wrong-shard-relay), which corrupt the replication payloads a
 // -serve-peers edge relays to downstream edges.

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"edgeauth/internal/schema"
-	"edgeauth/internal/shardmap"
 	"edgeauth/internal/vbtree"
 	"edgeauth/internal/wal"
 	"edgeauth/internal/wire"
@@ -77,31 +76,38 @@ func (s *Server) ApplyBatch(tableName string, tuples []schema.Tuple) ([]error, e
 		}
 	}
 
+	// The partition read lock spans routing through republish: an online
+	// split/merge waits out in-flight batches and batches wait out a
+	// transition, so no tuple commits against a retired shard.
+	t.partMu.RLock()
+	defer t.partMu.RUnlock()
+	part := t.part.Load()
+
 	// Partition the batch by shard, remembering each tuple's original
 	// index so per-op errors land back in caller order.
-	m := shardmap.Map{Boundaries: t.boundaries}
-	groups := make([][]schema.Tuple, len(t.shards))
-	indices := make([][]int, len(t.shards))
+	groups := make([][]schema.Tuple, len(part.shards))
+	indices := make([][]int, len(part.shards))
 	for i, tup := range tuples {
-		si := m.ShardFor(tup.Key(t.sch))
+		si := part.shardFor(tup.Key(t.sch))
 		groups[si] = append(groups[si], tup)
 		indices[si] = append(indices[si], i)
 	}
 
 	opErrs := make([]error, len(tuples))
-	applied := make([]int, len(t.shards))
-	shardErrs := make([]error, len(t.shards))
+	applied := make([]int, len(part.shards))
+	shardErrs := make([]error, len(part.shards))
 	var wg sync.WaitGroup
-	for si := range t.shards {
+	for si := range part.shards {
 		if len(groups[si]) == 0 {
 			continue
 		}
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			n, errs, err := s.applyShardBatch(t, t.shards[si], groups[si])
+			n, errs, err := s.applyShardBatch(t, part.shards[si], groups[si])
 			applied[si] = n
 			shardErrs[si] = err
+			part.shards[si].ingestLoad.Add(uint64(len(groups[si])))
 			for j, e := range errs {
 				opErrs[indices[si][j]] = e
 			}
@@ -111,7 +117,7 @@ func (s *Server) ApplyBatch(tableName string, tuples []schema.Tuple) ([]error, e
 
 	totalApplied := 0
 	var firstErr error
-	for si := range t.shards {
+	for si := range part.shards {
 		totalApplied += applied[si]
 		if shardErrs[si] != nil && firstErr == nil {
 			firstErr = shardErrs[si]
@@ -167,22 +173,39 @@ func (s *Server) applyShardBatch(t *table, sh *shard, tuples []schema.Tuple) (in
 	return stats.Applied, opErrs, s.commitShard(t, sh, lsn)
 }
 
-// pendingOp is one coalesced dispatch (insert or delete) awaiting its
-// group commit's outcome.
+// pendingOp is one coalesced dispatch (insert, delete or reshard)
+// awaiting its group commit's outcome.
 type pendingOp struct {
-	// insert payload (when delete is false)
+	// insert payload (when delete is false and reshard is nil)
 	tup schema.Tuple
 	// delete payload
 	delete bool
 	lo, hi *schema.Datum
+	// reshard payload: a partition transition, committed as a barrier op
+	// exactly like a delete.
+	reshard *reshardCmd
 
 	done chan opResult // buffered; the leader always delivers exactly once
 }
 
+// reshardCmd is one queued partition transition: a split of shard
+// `shard` (at boundary, or its median when nil) or a merge of `shard`
+// with its right neighbor.
+type reshardCmd struct {
+	split    bool
+	shard    uint32
+	boundary *schema.Datum
+}
+
+// barrier reports whether the op must commit alone at its queue
+// position instead of coalescing into an insert round.
+func (op *pendingOp) barrier() bool { return op.delete || op.reshard != nil }
+
 // opResult carries an op's outcome back to its waiting dispatcher.
 type opResult struct {
-	n   int // deleted-row count for deletes
-	err error
+	n       int // deleted-row count for deletes
+	reshard *wire.ReshardResponse
+	err     error
 }
 
 // groupCommitter is the per-table coalescing queue. Ops commit in
@@ -226,6 +249,21 @@ func (s *Server) enqueueDelete(ctx context.Context, tableName string, lo, hi *sc
 	return res.n, res.err
 }
 
+// enqueueReshard routes a partition transition through the ordered
+// queue: like a delete it is a barrier, so it cannot commit ahead of
+// inserts that arrived before it, and a round in flight finishes before
+// the partition changes under it.
+func (s *Server) enqueueReshard(ctx context.Context, tableName string, cmd *reshardCmd) (*wire.ReshardResponse, error) {
+	if s.maxBatch() <= 1 {
+		return s.doReshard(tableName, cmd)
+	}
+	res, err := s.enqueueOp(ctx, tableName, &pendingOp{reshard: cmd, done: make(chan opResult, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return res.reshard, res.err
+}
+
 func (s *Server) enqueueOp(ctx context.Context, tableName string, op *pendingOp) (opResult, error) {
 	t, err := s.table(tableName)
 	if err != nil {
@@ -238,9 +276,9 @@ func (s *Server) enqueueOp(ctx context.Context, tableName string, op *pendingOp)
 	}
 	gc.queue = append(gc.queue, op)
 	if gc.leading {
-		if len(gc.queue) >= s.maxBatch() || op.delete {
+		if len(gc.queue) >= s.maxBatch() || op.barrier() {
 			// Fill the round (or stop a waiting leader sitting on a
-			// delete barrier longer than it must).
+			// barrier op longer than it must).
 			select {
 			case gc.full <- struct{}{}:
 			default:
@@ -303,18 +341,24 @@ func (s *Server) leadCommits(tableName string, gc *groupCommitter) {
 			gc.mu.Unlock()
 			return
 		}
-		if gc.queue[0].delete {
-			// Delete barrier: commit it alone, in its arrival position.
+		if gc.queue[0].barrier() {
+			// Barrier op (delete or reshard): commit it alone, in its
+			// arrival position.
 			op := gc.queue[0]
 			gc.queue = append(gc.queue[:0:0], gc.queue[1:]...)
 			gc.mu.Unlock()
-			n, err := s.DeleteRange(tableName, op.lo, op.hi)
-			op.done <- opResult{n: n, err: err}
+			if op.reshard != nil {
+				resp, err := s.doReshard(tableName, op.reshard)
+				op.done <- opResult{reshard: resp, err: err}
+			} else {
+				n, err := s.DeleteRange(tableName, op.lo, op.hi)
+				op.done <- opResult{n: n, err: err}
+			}
 			continue
 		}
 		// Take the longest prefix of inserts, bounded by the round limit.
 		n := 0
-		for n < len(gc.queue) && n < limit && !gc.queue[n].delete {
+		for n < len(gc.queue) && n < limit && !gc.queue[n].barrier() {
 			n++
 		}
 		batch := make([]*pendingOp, n)

@@ -106,6 +106,13 @@ type Options struct {
 	// per shard, shardmap.SplitByKeySpan divides the key interval
 	// evenly.
 	ShardSplit shardmap.Strategy
+	// AutoReshard, when non-nil, arms the hot-shard detector: an EWMA
+	// over per-shard ingest/query counters that splits a shard carrying
+	// a disproportionate load share and merges cold adjacent pairs,
+	// online, under live traffic (see reshard.go). With a positive
+	// Interval a background loop ticks every table; with Interval zero
+	// the caller drives AutoReshardTick manually.
+	AutoReshard *AutoReshardOptions
 }
 
 // DefaultDeltaRetention is the changelog depth kept per shard when
@@ -137,12 +144,35 @@ type Server struct {
 }
 
 // table is one range-partitioned relation: N shard trees plus the
-// signed map binding them.
+// signed map binding them. The partition itself (boundaries + shard
+// set) is no longer fixed at creation: online splits and merges swap in
+// a new generation under partMu.
 type table struct {
-	sch        *schema.Schema
-	epoch      uint64         // random per incarnation, shared by all shards
-	boundaries []schema.Datum // immutable after AddTable; len = len(shards)-1
-	shards     []*shard
+	sch   *schema.Schema
+	epoch uint64 // random per incarnation, shared by all shards
+
+	// partMu orders writers against partition transitions: every apply
+	// path (Insert, DeleteRange, ApplyBatch) holds the read lock from
+	// shard routing through map republish, so a split/merge (write lock)
+	// never swaps the shard set out from under a half-applied batch.
+	// Read-only paths (queries, snapshots, deltas) skip the lock and
+	// run against whatever partition pointer they load — they read
+	// pinned snapshots, so a concurrent transition only means they
+	// describe the generation they loaded. Lock order: partMu before
+	// any shard.mu, shard locks released before commitMu.
+	partMu sync.RWMutex
+	part   atomic.Pointer[partition]
+
+	// nextShardID hands out stable shard identities (never reused within
+	// the incarnation). Guarded by partMu (writers of new shards hold
+	// the write lock).
+	nextShardID uint64
+
+	// metaLog records partition transitions (RecReshard) when WAL is
+	// enabled; per-shard logs carry only tuple history, so without this
+	// record a restart could not know which shard logs compose the
+	// table. Guarded by partMu's write lock (transitions are serialized).
+	metaLog *wal.Log
 
 	// commitMu serializes shard-map version bumps and re-signs. It is
 	// never held while taking a shard's write lock (commits release
@@ -154,16 +184,56 @@ type table struct {
 
 	// gc coalesces concurrent single-op dispatches into group commits.
 	gc groupCommitter
+
+	// detMu guards the hot-shard detector's EWMA state (shard.ewma).
+	detMu sync.Mutex
+}
+
+// partition is one immutable generation of a table's shard layout,
+// published by atomic pointer swap. mapEpoch/parentEpoch mirror the
+// signed map's generation link.
+type partition struct {
+	boundaries  []schema.Datum // len = len(shards)-1
+	shards      []*shard
+	mapEpoch    uint64
+	parentEpoch uint64
+}
+
+// shardFor routes a key to its shard index within this partition.
+func (p *partition) shardFor(key schema.Datum) int {
+	m := shardmap.Map{Boundaries: p.boundaries}
+	return m.ShardFor(key)
+}
+
+// shardsForRange returns the inclusive shard index interval a key range
+// intersects within this partition.
+func (p *partition) shardsForRange(lo, hi *schema.Datum) (int, int) {
+	m := shardmap.Map{Boundaries: p.boundaries, Shards: make([]shardmap.ShardState, len(p.shards))}
+	return m.ShardsForRange(lo, hi)
 }
 
 // shard is one independently-signed VB-tree over a key range.
 type shard struct {
+	// id is the shard's stable identity (see shardmap.ShardState.ID):
+	// partition indices shift across splits/merges, IDs never do.
+	id uint64
+	// walPath remembers where this shard's log lives — transition-created
+	// shards are named by ID, not index, because their index can change.
+	walPath string
+
 	mu      sync.RWMutex
 	tree    *vbtree.Tree
 	pool    *storage.BufferPool
 	heap    *storage.HeapFile
 	log     *wal.Log
 	version uint64 // bumped on every committed update to this shard
+
+	// ingestLoad / queryLoad count tuples applied and shard queries
+	// served since the hot-shard detector's last tick; ewma is the
+	// detector's smoothed per-tick rate (guarded by table.detMu).
+	ingestLoad atomic.Uint64
+	queryLoad  atomic.Uint64
+	ewma       float64
 
 	// rootDigest caches the unsigned root digest after each commit, so
 	// map re-signs don't pay an RSA recovery per shard.
@@ -246,6 +316,13 @@ func NewServerWithKey(opts Options, key *sig.PrivateKey) (*Server, error) {
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background()) //vetauth:ignore ctxflow server root context, cancelled by Close
 	// Route the key's sign-op count into the server's stats snapshot.
 	key.SetCounters(&s.stats.signOps)
+	if opts.AutoReshard != nil && opts.AutoReshard.Interval > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.autoReshardLoop()
+		}()
+	}
 	return s, nil
 }
 
@@ -289,15 +366,26 @@ func (s *Server) AddTable(sch *schema.Schema, tuples []schema.Tuple) error {
 	if err != nil {
 		return err
 	}
-	t := &table{sch: sch, epoch: epoch, boundaries: boundaries}
+	t := &table{sch: sch, epoch: epoch}
+	part := &partition{boundaries: boundaries, mapEpoch: 1}
 	for i, group := range groups {
-		sh, err := s.buildShard(sch, group, i, epoch)
+		sh, err := s.buildShard(sch, group, epoch, 0, walName(sch.Table, i))
 		if err != nil {
 			return err
 		}
-		t.shards = append(t.shards, sh)
+		sh.id = uint64(i + 1)
+		part.shards = append(part.shards, sh)
 	}
-	if err := s.signMapLocked(t); err != nil {
+	t.nextShardID = uint64(len(part.shards) + 1)
+	t.part.Store(part)
+	if s.opts.WALDir != "" {
+		ml, err := wal.Create(filepath.Join(s.opts.WALDir, sch.Table+".meta.wal"))
+		if err != nil {
+			return err
+		}
+		t.metaLog = ml
+	}
+	if err := s.signMapLocked(t, part); err != nil {
 		return err
 	}
 	s.tables[sch.Table] = t
@@ -305,8 +393,13 @@ func (s *Server) AddTable(sch *schema.Schema, tuples []schema.Tuple) error {
 }
 
 // buildShard constructs one shard's tree, publishes its baseline
-// snapshot and opens its WAL.
-func (s *Server) buildShard(sch *schema.Schema, tuples []schema.Tuple, idx int, epoch uint64) (*shard, error) {
+// snapshot (at startVersion) and opens its WAL at walPath. Transition-
+// created shards pass a startVersion above every version the table has
+// ever published, so an edge holding a retired shard's store at the same
+// index can never be served a delta that silently splices two histories
+// (its fromVersion falls below the new shard's baseline and answers
+// SnapshotNeeded).
+func (s *Server) buildShard(sch *schema.Schema, tuples []schema.Tuple, epoch, startVersion uint64, walPath string) (*shard, error) {
 	mem, err := storage.NewMemPager(s.opts.PageSize)
 	if err != nil {
 		return nil, err
@@ -342,18 +435,18 @@ func (s *Server) buildShard(sch *schema.Schema, tuples []schema.Tuple, idx int, 
 	if err != nil {
 		return nil, err
 	}
-	sh := &shard{tree: tree, pool: pool, heap: heap, store: store}
+	sh := &shard{tree: tree, pool: pool, heap: heap, store: store, version: startVersion}
 	if sh.rootDigest, err = tree.RootDigest(); err != nil {
 		return nil, err
 	}
-	// Publish the built shard as version 0's snapshot: every page of the
+	// Publish the built shard as its baseline snapshot: every page of the
 	// pager becomes the read-path baseline.
 	pager := pool.Pager()
 	baseline := make([]storage.PageID, 0, pager.NumPages()-1)
 	for id := 1; id < pager.NumPages(); id++ {
 		baseline = append(baseline, storage.PageID(id))
 	}
-	if err := s.publishShard(sh, 0, epoch, baseline); err != nil {
+	if err := s.publishShard(sh, startVersion, epoch, baseline); err != nil {
 		return nil, err
 	}
 	if s.retention() > 0 {
@@ -362,22 +455,30 @@ func (s *Server) buildShard(sch *schema.Schema, tuples []schema.Tuple, idx int, 
 		pool.EnableJournal()
 	}
 	if s.opts.WALDir != "" {
-		log, err := wal.Create(filepath.Join(s.opts.WALDir, walName(sch.Table, idx)))
+		log, err := wal.Create(filepath.Join(s.opts.WALDir, walPath))
 		if err != nil {
 			return nil, err
 		}
 		sh.log = log
+		sh.walPath = walPath
 	}
 	return sh, nil
 }
 
 // walName keeps shard 0 on the pre-sharding file name so single-shard
-// deployments read the same logs across upgrades.
+// deployments read the same logs across upgrades. Build-time shards are
+// named by index; transition-created shards use idWalName, because their
+// index can shift under later transitions while their ID cannot.
 func walName(table string, shard int) string {
 	if shard == 0 {
 		return table + ".wal"
 	}
 	return fmt.Sprintf("%s.shard%d.wal", table, shard)
+}
+
+// idWalName names a transition-created shard's log by its stable ID.
+func idWalName(table string, id uint64) string {
+	return fmt.Sprintf("%s.sid%d.wal", table, id)
 }
 
 // newEpoch draws a random nonzero table-incarnation id. Replica versions
@@ -486,25 +587,41 @@ func (sh *shard) stashJournal() {
 	sh.pending = append(sh.pending, sh.pool.DrainJournal()...)
 }
 
-// signMapLocked builds and signs the table's shard map from the shards'
-// current states. During AddTable the caller has exclusive access; after
-// commits, republishMap takes commitMu and brief shard read locks.
-func (s *Server) signMapLocked(t *table) error {
+// mapOf builds the unsigned map for one partition generation at the
+// given map version. Callers either have exclusive access (AddTable,
+// transitions under partMu) or take brief shard read locks via
+// lockShards to make each (rootDigest, version) pair consistent.
+func (s *Server) mapOf(t *table, p *partition, mapVersion uint64, lockShards bool) *shardmap.Map {
 	m := &shardmap.Map{
-		Table:      t.sch.Table,
-		Epoch:      t.epoch,
-		MapVersion: t.mapVersion,
-		KeyVersion: s.key.Public().Version,
-		SignedAt:   time.Now().Unix(),
-		Boundaries: t.boundaries,
+		Table:       t.sch.Table,
+		Epoch:       t.epoch,
+		MapVersion:  mapVersion,
+		KeyVersion:  s.key.Public().Version,
+		SignedAt:    time.Now().Unix(),
+		MapEpoch:    p.mapEpoch,
+		ParentEpoch: p.parentEpoch,
+		Boundaries:  p.boundaries,
 	}
-	for _, sh := range t.shards {
+	for _, sh := range p.shards {
+		if lockShards {
+			sh.mu.RLock()
+		}
 		m.Shards = append(m.Shards, shardmap.ShardState{
 			RootDigest: append([]byte(nil), sh.rootDigest...),
 			Version:    sh.version,
+			ID:         sh.id,
 		})
+		if lockShards {
+			sh.mu.RUnlock()
+		}
 	}
-	signed, err := shardmap.Sign(m, s.key)
+	return m
+}
+
+// signMapLocked builds and signs the table's shard map from the shards'
+// current states. The caller has exclusive access (AddTable).
+func (s *Server) signMapLocked(t *table, p *partition) error {
+	signed, err := shardmap.Sign(s.mapOf(t, p, t.mapVersion, false), s.key)
 	if err != nil {
 		return err
 	}
@@ -514,29 +631,14 @@ func (s *Server) signMapLocked(t *table) error {
 
 // republishMap re-signs the shard map after one or more shard commits.
 // It must not be called while holding any shard write lock (commit paths
-// release their shards first); the brief read locks here make each
-// (rootDigest, version) pair consistent.
+// release their shards first); the brief read locks make each
+// (rootDigest, version) pair consistent. Callers on the write path hold
+// partMu.RLock, so the partition cannot transition mid-republish.
 func (s *Server) republishMap(t *table) error {
 	t.commitMu.Lock()
 	defer t.commitMu.Unlock()
 	t.mapVersion++
-	m := &shardmap.Map{
-		Table:      t.sch.Table,
-		Epoch:      t.epoch,
-		MapVersion: t.mapVersion,
-		KeyVersion: s.key.Public().Version,
-		SignedAt:   time.Now().Unix(),
-		Boundaries: t.boundaries,
-	}
-	for _, sh := range t.shards {
-		sh.mu.RLock()
-		m.Shards = append(m.Shards, shardmap.ShardState{
-			RootDigest: append([]byte(nil), sh.rootDigest...),
-			Version:    sh.version,
-		})
-		sh.mu.RUnlock()
-	}
-	signed, err := shardmap.Sign(m, s.key)
+	signed, err := shardmap.Sign(s.mapOf(t, t.part.Load(), t.mapVersion, true), s.key)
 	if err != nil {
 		return err
 	}
@@ -588,16 +690,27 @@ func (s *Server) MaterializeJoin(viewName, left, right, lcol, rcol string) error
 // disjoint ascending ranges, so the concatenation is key-sorted.
 func scanTuples(t *table) ([]schema.Tuple, error) {
 	var out []schema.Tuple
-	for _, sh := range t.shards {
-		sh.mu.RLock()
-		stored, err := sh.tree.ScanAll()
-		sh.mu.RUnlock()
+	for _, sh := range t.part.Load().shards {
+		tuples, err := scanShard(sh)
 		if err != nil {
 			return nil, err
 		}
-		for _, st := range stored {
-			out = append(out, st.Tuple)
-		}
+		out = append(out, tuples...)
+	}
+	return out, nil
+}
+
+// scanShard reads one shard's full key-ordered tuple set.
+func scanShard(sh *shard) ([]schema.Tuple, error) {
+	sh.mu.RLock()
+	stored, err := sh.tree.ScanAll()
+	sh.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.Tuple, 0, len(stored))
+	for _, st := range stored {
+		out = append(out, st.Tuple)
 	}
 	return out, nil
 }
@@ -612,17 +725,18 @@ func (s *Server) table(name string) (*table, error) {
 	return t, nil
 }
 
-// shard resolves one shard of a table.
+// shard resolves one shard of a table against its current partition.
 func (s *Server) shard(name string, idx uint32) (*table, *shard, error) {
 	t, err := s.table(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	if int(idx) >= len(t.shards) {
+	part := t.part.Load()
+	if int(idx) >= len(part.shards) {
 		return nil, nil, &wire.WireError{Code: wire.CodeBadRequest, Table: name,
-			Msg: fmt.Sprintf("central: table %q has %d shards, requested %d", name, len(t.shards), idx)}
+			Msg: fmt.Sprintf("central: table %q has %d shards, requested %d", name, len(part.shards), idx)}
 	}
-	return t, t.shards[idx], nil
+	return t, part.shards[idx], nil
 }
 
 // soleShard returns the table's only shard, or a typed error telling the
@@ -632,11 +746,12 @@ func (s *Server) soleShard(name string) (*table, *shard, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(t.shards) != 1 {
+	part := t.part.Load()
+	if len(part.shards) != 1 {
 		return nil, nil, wire.NotSharded("central", name,
-			fmt.Sprintf("table %q is range-partitioned into %d shards; use the shard-scoped requests", name, len(t.shards)))
+			fmt.Sprintf("table %q is range-partitioned into %d shards; use the shard-scoped requests", name, len(part.shards)))
 	}
-	return t, t.shards[0], nil
+	return t, part.shards[0], nil
 }
 
 // Tables lists registered tables in sorted order.
@@ -651,13 +766,13 @@ func (s *Server) Tables() []string {
 	return out
 }
 
-// NumShards reports how many shards a table was built with.
+// NumShards reports how many shards a table currently has.
 func (s *Server) NumShards(name string) (int, error) {
 	t, err := s.table(name)
 	if err != nil {
 		return 0, err
 	}
-	return len(t.shards), nil
+	return len(t.part.Load().shards), nil
 }
 
 // Version returns a table's update version — the shard-map version,
@@ -684,14 +799,10 @@ func (s *Server) TableEpoch(name string) (uint64, error) {
 	return t.epoch, nil
 }
 
-// shardFor routes a key to its shard index.
-func (t *table) shardFor(key schema.Datum) int {
-	m := shardmap.Map{Boundaries: t.boundaries}
-	return m.ShardFor(key)
-}
-
 // Insert logs and applies a tuple insert on the key's shard, then
-// republishes the signed shard map.
+// republishes the signed shard map. The partition read lock spans
+// routing through republish, so an online split/merge cannot retire the
+// routed shard mid-apply.
 func (s *Server) Insert(tableName string, tup schema.Tuple) error {
 	t, err := s.table(tableName)
 	if err != nil {
@@ -700,10 +811,14 @@ func (s *Server) Insert(tableName string, tup schema.Tuple) error {
 	if len(tup.Values) <= t.sch.Key {
 		return fmt.Errorf("central: tuple has no key column for table %q", tableName)
 	}
-	sh := t.shards[t.shardFor(tup.Key(t.sch))]
+	t.partMu.RLock()
+	defer t.partMu.RUnlock()
+	part := t.part.Load()
+	sh := part.shards[part.shardFor(tup.Key(t.sch))]
 	if err := s.insertShard(t, sh, tup); err != nil {
 		return err
 	}
+	sh.ingestLoad.Add(1)
 	s.stats.insertsApplied.Add(1)
 	return s.republishMap(t)
 }
@@ -735,12 +850,14 @@ func (s *Server) DeleteRange(tableName string, lo, hi *schema.Datum) (int, error
 	if err != nil {
 		return 0, err
 	}
-	m := shardmap.Map{Boundaries: t.boundaries, Shards: make([]shardmap.ShardState, len(t.shards))}
-	first, last := m.ShardsForRange(lo, hi)
+	t.partMu.RLock()
+	defer t.partMu.RUnlock()
+	part := t.part.Load()
+	first, last := part.shardsForRange(lo, hi)
 	total := 0
 	var firstErr error
 	for i := first; i <= last; i++ {
-		n, err := s.deleteShardRange(t, t.shards[i], lo, hi)
+		n, err := s.deleteShardRange(t, part.shards[i], lo, hi)
 		total += n
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -954,14 +1071,14 @@ func (s *Server) LoggedOps(tableName string) ([]wal.Op, error) {
 		return nil, err
 	}
 	var ops []wal.Op
-	for i, sh := range t.shards {
+	for _, sh := range t.part.Load().shards {
 		if sh.log == nil {
 			return nil, errors.New("central: write-ahead logging not enabled")
 		}
 		if err := sh.log.Sync(); err != nil {
 			return nil, err
 		}
-		path := filepath.Join(s.opts.WALDir, walName(tableName, i))
+		path := filepath.Join(s.opts.WALDir, sh.walPath)
 		if err := wal.ReplayOps(path, func(op wal.Op) error {
 			ops = append(ops, op)
 			return nil
@@ -970,6 +1087,34 @@ func (s *Server) LoggedOps(tableName string) ([]wal.Op, error) {
 		}
 	}
 	return ops, nil
+}
+
+// ReshardHistory replays a table's meta log: the typed partition
+// transitions (splits and merges) committed this incarnation, oldest
+// first. Requires Options.WALDir.
+func (s *Server) ReshardHistory(tableName string) ([]*wal.ReshardOp, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.partMu.RLock()
+	defer t.partMu.RUnlock()
+	if t.metaLog == nil {
+		return nil, errors.New("central: write-ahead logging not enabled")
+	}
+	if err := t.metaLog.Sync(); err != nil {
+		return nil, err
+	}
+	var out []*wal.ReshardOp
+	if err := wal.ReplayOps(filepath.Join(s.opts.WALDir, tableName+".meta.wal"), func(op wal.Op) error {
+		if op.Kind == wal.RecReshard {
+			out = append(out, op.Reshard)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SchemaResponse builds the client-facing verification parameters.
@@ -999,11 +1144,11 @@ func (s *Server) RunQuery(ctx context.Context, tableName string, q vbtree.Query)
 		return nil, err
 	}
 	s.stats.queriesServed.Add(1)
-	m := shardmap.Map{Boundaries: t.boundaries, Shards: make([]shardmap.ShardState, len(t.shards))}
-	first, last := m.ShardsForRange(q.Lo, q.Hi)
+	part := t.part.Load()
+	first, last := part.shardsForRange(q.Lo, q.Hi)
 	var merged *wire.QueryResponse
 	for i := first; i <= last; i++ {
-		resp, err := s.runShardQuery(ctx, t, t.shards[i], q)
+		resp, err := s.runShardQuery(ctx, t, part.shards[i], q)
 		if err != nil {
 			return nil, err
 		}
@@ -1031,6 +1176,7 @@ func (s *Server) RunShardQuery(ctx context.Context, tableName string, idx uint32
 }
 
 func (s *Server) runShardQuery(ctx context.Context, t *table, sh *shard, q vbtree.Query) (*wire.QueryResponse, error) {
+	sh.queryLoad.Add(1)
 	pinned, st, err := sh.snapState()
 	if err != nil {
 		return nil, err
@@ -1101,12 +1247,17 @@ func (s *Server) doClose() error {
 	defer s.mu.Unlock()
 	var err error
 	for name, t := range s.tables {
-		for i, sh := range t.shards {
+		for i, sh := range t.part.Load().shards {
 			if sh.log == nil {
 				continue
 			}
 			if cerr := sh.log.Close(); cerr != nil && err == nil {
 				err = fmt.Errorf("central: closing WAL for %q shard %d: %w", name, i, cerr)
+			}
+		}
+		if t.metaLog != nil {
+			if cerr := t.metaLog.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("central: closing meta WAL for %q: %w", name, cerr)
 			}
 		}
 	}
@@ -1236,6 +1387,17 @@ func (s *Server) dispatch(ctx context.Context, mt wire.MsgType, body []byte) (wi
 			return 0, nil, err
 		}
 		return wire.MsgBatchResp, batchResponse(len(req.Tuples), opErrs).Encode(), nil
+
+	case wire.MsgReshardReq:
+		req, err := wire.DecodeReshardRequest(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := s.Reshard(ctx, req)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgReshardResp, resp.Encode(), nil
 
 	case wire.MsgDeleteReq:
 		req, err := wire.DecodeDeleteRequest(body)

@@ -12,7 +12,7 @@ func TestCloseReleasesWALsAndIsIdempotent(t *testing.T) {
 	}
 	srv.mu.RLock()
 	for name, tb := range srv.tables {
-		for i, sh := range tb.shards {
+		for i, sh := range tb.part.Load().shards {
 			if sh.log == nil {
 				t.Fatalf("table %q shard %d has no WAL on a WALDir server", name, i)
 			}

@@ -1,0 +1,447 @@
+package central
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/shardmap"
+	"edgeauth/internal/wal"
+	"edgeauth/internal/wire"
+)
+
+// Online resharding: splitting a hot shard in two (or merging a cold
+// adjacent pair) under live traffic. A transition re-signs exactly the
+// affected shard roots plus the map — never the whole table — and
+// commits as one new map epoch with an explicit parent link, so a
+// replayed pre-transition map fails closed at every verifier.
+//
+// Serialization: a transition takes the table's partition write lock,
+// waiting out in-flight write batches (which hold the read lock from
+// routing through republish) and blocking new ones. Queries, snapshot
+// pulls and delta serves are untouched — they run lock-free against
+// pinned snapshots of whichever partition generation they loaded.
+// Through the group-commit front door a transition is a barrier op,
+// exactly like a delete: it commits alone at its arrival position, so
+// it can never reorder around coalesced inserts on the same table.
+
+// AutoReshardOptions configures the hot-shard detector: an EWMA over
+// each shard's per-tick ingest+query counters, compared against the
+// table-wide total.
+type AutoReshardOptions struct {
+	// Interval between detector ticks (and the EWMA's time base).
+	// Required for the background loop; AutoReshardTick can be driven
+	// manually (tests, cron) with Interval zero.
+	Interval time.Duration
+	// SplitFraction trips a split when one shard carries more than this
+	// fraction of the table's total EWMA load. 0 selects 0.6.
+	SplitFraction float64
+	// MergeFraction trips a merge when an adjacent pair together carries
+	// less than this fraction. 0 selects 0.05.
+	MergeFraction float64
+	// MinShards/MaxShards bound the partition size the detector will
+	// steer to. Zero selects 1 and 64.
+	MinShards, MaxShards int
+	// Alpha is the EWMA smoothing factor in (0,1]; 0 selects 0.3.
+	Alpha float64
+}
+
+func (o AutoReshardOptions) splitFraction() float64 {
+	if o.SplitFraction == 0 {
+		return 0.6
+	}
+	return o.SplitFraction
+}
+
+func (o AutoReshardOptions) mergeFraction() float64 {
+	if o.MergeFraction == 0 {
+		return 0.05
+	}
+	return o.MergeFraction
+}
+
+func (o AutoReshardOptions) minShards() int {
+	if o.MinShards <= 0 {
+		return 1
+	}
+	return o.MinShards
+}
+
+func (o AutoReshardOptions) maxShards() int {
+	if o.MaxShards <= 0 {
+		return 64
+	}
+	return o.MaxShards
+}
+
+func (o AutoReshardOptions) alpha() float64 {
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		return 0.3
+	}
+	return o.Alpha
+}
+
+// Reshard executes one admin-commanded partition transition (the
+// MsgReshardReq handler). It flows through the group-commit queue as a
+// barrier op, so it serializes in arrival order with coalesced writes.
+func (s *Server) Reshard(ctx context.Context, req *wire.ReshardRequest) (*wire.ReshardResponse, error) {
+	switch req.Op {
+	case wire.ReshardSplit:
+		var b *schema.Datum
+		if req.HasBoundary {
+			b = &req.Boundary
+		}
+		return s.SplitShard(ctx, req.Table, req.Shard, b)
+	case wire.ReshardMerge:
+		return s.MergeShards(ctx, req.Table, req.Shard)
+	}
+	return nil, &wire.WireError{Code: wire.CodeBadRequest, Table: req.Table,
+		Msg: fmt.Sprintf("central: unknown reshard op %v", req.Op)}
+}
+
+// SplitShard splits shard idx at boundary (nil = the shard's median
+// key), committing a new map epoch. The transition carves the two new
+// VB-trees from the old shard's pinned state, re-signs exactly their
+// two roots plus the map, WALs a typed RecReshard record, and swaps the
+// partition generation in one commit.
+func (s *Server) SplitShard(ctx context.Context, tableName string, idx uint32, boundary *schema.Datum) (*wire.ReshardResponse, error) {
+	return s.enqueueReshard(ctx, tableName, &reshardCmd{split: true, shard: idx, boundary: boundary})
+}
+
+// MergeShards merges shard idx with its right neighbor idx+1 — the
+// inverse transition: one new tree over the pair's union, one root
+// re-sign plus the map, one new map epoch.
+func (s *Server) MergeShards(ctx context.Context, tableName string, idx uint32) (*wire.ReshardResponse, error) {
+	return s.enqueueReshard(ctx, tableName, &reshardCmd{shard: idx})
+}
+
+// doReshard runs one transition to completion. It is the barrier body
+// the group-commit leader executes (or the direct path when coalescing
+// is disabled).
+func (s *Server) doReshard(tableName string, cmd *reshardCmd) (*wire.ReshardResponse, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.partMu.Lock()
+	defer t.partMu.Unlock()
+	if cmd.split {
+		return s.splitLocked(t, cmd)
+	}
+	return s.mergeLocked(t, cmd)
+}
+
+// transitionStartVersion picks the version new shards are born at: one
+// above the current map version. Every commit round bumps the map
+// version once and each participating shard's version once, so
+// shardVersion <= mapVersion always holds — the newborn version is
+// therefore strictly above every version any shard of this table has
+// ever published. An edge holding a retired shard's replica at the same
+// partition index can never splice histories: its delta fromVersion
+// falls below the new shard's baseline and answers SnapshotNeeded.
+func (t *table) transitionStartVersion() uint64 {
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	return t.mapVersion + 1
+}
+
+func (s *Server) splitLocked(t *table, cmd *reshardCmd) (*wire.ReshardResponse, error) {
+	part := t.part.Load()
+	idx := int(cmd.shard)
+	if idx < 0 || idx >= len(part.shards) {
+		return nil, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+			Msg: fmt.Sprintf("central: split shard %d out of range (table has %d shards)", idx, len(part.shards))}
+	}
+	old := part.shards[idx]
+	tuples, err := scanShard(old)
+	if err != nil {
+		return nil, err
+	}
+	boundary, err := splitBoundary(t, part, idx, tuples, cmd.boundary)
+	if err != nil {
+		return nil, err
+	}
+	// Partition the carved tuples: keys < boundary stay left, >= go
+	// right (the same convention shardmap.ShardFor routes by).
+	cut := len(tuples)
+	for i, tup := range tuples {
+		if tup.Key(t.sch).Compare(boundary) >= 0 {
+			cut = i
+			break
+		}
+	}
+	startVersion := t.transitionStartVersion()
+	leftID, rightID := t.nextShardID, t.nextShardID+1
+	left, err := s.carveShard(t, tuples[:cut], startVersion, leftID)
+	if err != nil {
+		return nil, err
+	}
+	right, err := s.carveShard(t, tuples[cut:], startVersion, rightID)
+	if err != nil {
+		return nil, err
+	}
+	t.nextShardID += 2
+
+	// Inherit the detector's smoothed load: each child starts at half
+	// the parent's EWMA so a just-split shard is not immediately re-split
+	// on stale history.
+	t.detMu.Lock()
+	left.ewma, right.ewma = old.ewma/2, old.ewma/2
+	t.detMu.Unlock()
+
+	next := &partition{
+		boundaries:  make([]schema.Datum, 0, len(part.boundaries)+1),
+		shards:      make([]*shard, 0, len(part.shards)+1),
+		mapEpoch:    part.mapEpoch + 1,
+		parentEpoch: part.mapEpoch,
+	}
+	next.boundaries = append(next.boundaries, part.boundaries[:idx]...)
+	next.boundaries = append(next.boundaries, boundary)
+	next.boundaries = append(next.boundaries, part.boundaries[idx:]...)
+	next.shards = append(next.shards, part.shards[:idx]...)
+	next.shards = append(next.shards, left, right)
+	next.shards = append(next.shards, part.shards[idx+1:]...)
+
+	op := &wal.ReshardOp{
+		Split:       true,
+		Shard:       cmd.shard,
+		Boundary:    &boundary,
+		RetiredIDs:  []uint64{old.id},
+		NewIDs:      []uint64{leftID, rightID},
+		MapEpoch:    next.mapEpoch,
+		ParentEpoch: next.parentEpoch,
+	}
+	if err := s.commitTransition(t, next, op, old); err != nil {
+		return nil, err
+	}
+	s.stats.splits.Add(1)
+	s.stats.reshardResigns.Add(2)
+	return &wire.ReshardResponse{MapEpoch: next.mapEpoch, NumShards: uint32(len(next.shards))}, nil
+}
+
+func (s *Server) mergeLocked(t *table, cmd *reshardCmd) (*wire.ReshardResponse, error) {
+	part := t.part.Load()
+	idx := int(cmd.shard)
+	if idx < 0 || idx+1 >= len(part.shards) {
+		return nil, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+			Msg: fmt.Sprintf("central: merge pair (%d,%d) out of range (table has %d shards)", idx, idx+1, len(part.shards))}
+	}
+	leftOld, rightOld := part.shards[idx], part.shards[idx+1]
+	ltuples, err := scanShard(leftOld)
+	if err != nil {
+		return nil, err
+	}
+	rtuples, err := scanShard(rightOld)
+	if err != nil {
+		return nil, err
+	}
+	// The shards cover adjacent ascending ranges, so the concatenation
+	// is the merged shard's key-ordered build input.
+	tuples := append(append(make([]schema.Tuple, 0, len(ltuples)+len(rtuples)), ltuples...), rtuples...)
+	startVersion := t.transitionStartVersion()
+	mergedID := t.nextShardID
+	merged, err := s.carveShard(t, tuples, startVersion, mergedID)
+	if err != nil {
+		return nil, err
+	}
+	t.nextShardID++
+
+	t.detMu.Lock()
+	merged.ewma = leftOld.ewma + rightOld.ewma
+	t.detMu.Unlock()
+
+	next := &partition{
+		boundaries:  make([]schema.Datum, 0, len(part.boundaries)-1),
+		shards:      make([]*shard, 0, len(part.shards)-1),
+		mapEpoch:    part.mapEpoch + 1,
+		parentEpoch: part.mapEpoch,
+	}
+	next.boundaries = append(next.boundaries, part.boundaries[:idx]...)
+	next.boundaries = append(next.boundaries, part.boundaries[idx+1:]...)
+	next.shards = append(next.shards, part.shards[:idx]...)
+	next.shards = append(next.shards, merged)
+	next.shards = append(next.shards, part.shards[idx+2:]...)
+
+	op := &wal.ReshardOp{
+		Shard:       cmd.shard,
+		RetiredIDs:  []uint64{leftOld.id, rightOld.id},
+		NewIDs:      []uint64{mergedID},
+		MapEpoch:    next.mapEpoch,
+		ParentEpoch: next.parentEpoch,
+	}
+	if err := s.commitTransition(t, next, op, leftOld, rightOld); err != nil {
+		return nil, err
+	}
+	s.stats.merges.Add(1)
+	s.stats.reshardResigns.Add(1)
+	return &wire.ReshardResponse{MapEpoch: next.mapEpoch, NumShards: uint32(len(next.shards))}, nil
+}
+
+// splitBoundary resolves the split key: the caller's explicit boundary
+// (validated strictly inside the shard's range) or the shard's median
+// key, which requires at least two tuples so both sides are non-empty.
+func splitBoundary(t *table, part *partition, idx int, tuples []schema.Tuple, explicit *schema.Datum) (schema.Datum, error) {
+	var b schema.Datum
+	if explicit != nil {
+		b = *explicit
+	} else {
+		if len(tuples) < 2 {
+			return b, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+				Msg: fmt.Sprintf("central: shard %d has %d tuples, too few for a median split", idx, len(tuples))}
+		}
+		b = tuples[len(tuples)/2].Key(t.sch)
+	}
+	if idx > 0 && b.Compare(part.boundaries[idx-1]) <= 0 {
+		return b, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+			Msg: fmt.Sprintf("central: split boundary %v not inside shard %d's range", b, idx)}
+	}
+	if idx < len(part.boundaries) && b.Compare(part.boundaries[idx]) >= 0 {
+		return b, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+			Msg: fmt.Sprintf("central: split boundary %v not inside shard %d's range", b, idx)}
+	}
+	return b, nil
+}
+
+// carveShard builds one transition-created shard over tuples, named by
+// its stable ID, and seeds its WAL with the carved contents as one
+// RecBatch so restart replay reconstructs the shard without the retired
+// parent's log.
+func (s *Server) carveShard(t *table, tuples []schema.Tuple, startVersion, id uint64) (*shard, error) {
+	sh, err := s.buildShard(t.sch, tuples, t.epoch, startVersion, idWalName(t.sch.Table, id))
+	if err != nil {
+		return nil, err
+	}
+	sh.id = id
+	if sh.log != nil && len(tuples) > 0 {
+		if _, err := sh.log.Append(wal.RecBatch, wal.EncodeBatchPayload(tuples)); err != nil {
+			return nil, err
+		}
+		if err := sh.log.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	s.stats.reshardPagesMoved.Add(uint64(sh.pool.Pager().NumPages() - 1))
+	return sh, nil
+}
+
+// commitTransition makes a built transition durable and visible: the
+// typed RecReshard record is WAL-logged and synced first, then — under
+// commitMu, in one step — the map version bumps, the new epoch's map is
+// signed and both the signed map and the partition pointer swap. The
+// retired shards' logs are closed (their history lives on in the
+// carved shards' seed batches).
+func (s *Server) commitTransition(t *table, next *partition, op *wal.ReshardOp, retired ...*shard) error {
+	if t.metaLog != nil {
+		if _, err := t.metaLog.Append(wal.RecReshard, wal.EncodeReshardPayload(op)); err != nil {
+			return err
+		}
+		if err := t.metaLog.Sync(); err != nil {
+			return err
+		}
+	}
+	t.commitMu.Lock()
+	t.mapVersion++
+	// No shard locks are needed building the map: the caller holds partMu
+	// exclusively, so no shard can commit concurrently.
+	signed, err := shardmap.Sign(s.mapOf(t, next, t.mapVersion, false), s.key)
+	if err != nil {
+		t.commitMu.Unlock()
+		return err
+	}
+	t.smap.Store(signed)
+	t.part.Store(next)
+	t.commitMu.Unlock()
+	for _, sh := range retired {
+		if sh.log != nil {
+			// Writers are excluded by partMu and queries never touch the
+			// log, so the retired logs are quiescent.
+			if err := sh.log.Close(); err != nil {
+				return err
+			}
+			sh.log = nil
+		}
+	}
+	return nil
+}
+
+// AutoReshardTick runs one detector pass over a table: it folds the
+// per-shard ingest/query counters accumulated since the last tick into
+// each shard's EWMA, then splits the hottest shard (median boundary) if
+// its load share exceeds SplitFraction, or merges the coldest adjacent
+// pair if their combined share falls below MergeFraction. Returns the
+// committed transition, or nil if the partition was left alone. Safe to
+// drive manually when no background interval is configured.
+func (s *Server) AutoReshardTick(ctx context.Context, tableName string) (*wire.ReshardResponse, error) {
+	opts := s.opts.AutoReshard
+	if opts == nil {
+		return nil, nil
+	}
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	part := t.part.Load()
+	alpha := opts.alpha()
+
+	t.detMu.Lock()
+	total := 0.0
+	for _, sh := range part.shards {
+		load := float64(sh.ingestLoad.Swap(0) + sh.queryLoad.Swap(0))
+		sh.ewma = alpha*load + (1-alpha)*sh.ewma
+		total += sh.ewma
+	}
+	split, merge := -1, -1
+	if total > 0 {
+		hotIdx, hot := 0, part.shards[0].ewma
+		for i, sh := range part.shards[1:] {
+			if sh.ewma > hot {
+				hotIdx, hot = i+1, sh.ewma
+			}
+		}
+		if hot/total > opts.splitFraction() && len(part.shards) < opts.maxShards() {
+			split = hotIdx
+		} else if len(part.shards) > opts.minShards() && len(part.shards) >= 2 {
+			coldIdx, cold := -1, 0.0
+			for i := 0; i+1 < len(part.shards); i++ {
+				pair := part.shards[i].ewma + part.shards[i+1].ewma
+				if coldIdx < 0 || pair < cold {
+					coldIdx, cold = i, pair
+				}
+			}
+			if coldIdx >= 0 && cold/total < opts.mergeFraction() {
+				merge = coldIdx
+			}
+		}
+	}
+	t.detMu.Unlock()
+
+	// Act outside detMu: the transition paths take partMu then detMu.
+	switch {
+	case split >= 0:
+		return s.SplitShard(ctx, tableName, uint32(split), nil)
+	case merge >= 0:
+		return s.MergeShards(ctx, tableName, uint32(merge))
+	}
+	return nil, nil
+}
+
+// autoReshardLoop drives the detector for every table at the configured
+// interval until the server closes. Detector errors are deliberately
+// dropped: a failed automatic transition (e.g. a one-tuple shard that
+// cannot median-split) must not stop the loop, and the manual admin
+// path surfaces the same errors to an operator.
+func (s *Server) autoReshardLoop() {
+	ticker := time.NewTicker(s.opts.AutoReshard.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-ticker.C:
+		}
+		for _, name := range s.Tables() {
+			_, _ = s.AutoReshardTick(s.baseCtx, name)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package central
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/shardmap"
+	"edgeauth/internal/sig"
+	"edgeauth/internal/vbtree"
+	"edgeauth/internal/wire"
+	"edgeauth/internal/workload"
+)
+
+// newReshardServer builds a server with a fast signing scheme (so
+// SignOps counts shard-root signatures one-for-one) and the given shard
+// count over rows sequential tuples.
+func newReshardServer(t *testing.T, rows, shards int, opts Options) *Server {
+	t.Helper()
+	opts.Scheme = sig.SchemeEd25519
+	opts.Shards = shards
+	if opts.PageSize == 0 {
+		opts.PageSize = 1024
+	}
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.DefaultSpec(rows)
+	sch, err := spec.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := spec.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddTable(sch, tuples); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func scanCount(t *testing.T, srv *Server) int {
+	t.Helper()
+	tb, err := srv.table("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := scanTuples(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(tuples)
+}
+
+// TestSplitShardCommitsNewEpoch pins the whole split contract: one new
+// map epoch with the parent link, one more shard, fresh stable IDs, all
+// data retained, the transition validating under the shardmap rules —
+// and the split paying exactly the affected signatures (two carved
+// roots plus one map under ed25519), never a whole-table re-sign.
+func TestSplitShardCommitsNewEpoch(t *testing.T) {
+	srv := newReshardServer(t, 200, 2, Options{})
+	before := srv.SignedShardMap
+	sm0, err := before("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm0.Map.MapEpoch != 1 || sm0.Map.ParentEpoch != 0 {
+		t.Fatalf("fresh table should be generation 1 with no parent, got %d/%d", sm0.Map.MapEpoch, sm0.Map.ParentEpoch)
+	}
+	rows0 := scanCount(t, srv)
+	signsBefore := srv.Stats().SignOps
+
+	resp, err := srv.SplitShard(context.Background(), "items", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signsDelta := srv.Stats().SignOps - signsBefore
+	if signsDelta != 3 {
+		t.Fatalf("split re-signed %d times; want exactly 3 (left root + right root + map)", signsDelta)
+	}
+	if resp.MapEpoch != 2 || resp.NumShards != 3 {
+		t.Fatalf("split response = epoch %d, %d shards; want 2, 3", resp.MapEpoch, resp.NumShards)
+	}
+
+	sm1, err := srv.SignedShardMap("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm1.Verify(srv.PublicKey()); err != nil {
+		t.Fatalf("post-split map does not verify: %v", err)
+	}
+	if sm1.Map.MapEpoch != 2 || sm1.Map.ParentEpoch != 1 {
+		t.Fatalf("post-split generation link = %d/%d; want 2/1", sm1.Map.MapEpoch, sm1.Map.ParentEpoch)
+	}
+	if err := shardmap.ValidateTransition(sm0.Map, sm1.Map); err != nil {
+		t.Fatalf("committed split fails transition validation: %v", err)
+	}
+	if got := scanCount(t, srv); got != rows0 {
+		t.Fatalf("split lost tuples: %d -> %d", rows0, got)
+	}
+	// New shards' versions sit strictly above everything the old
+	// generation published, so a stale replica's delta request can never
+	// splice histories.
+	for i := 1; i <= 2; i++ {
+		if v := sm1.Map.Shards[i].Version; v <= sm0.Map.MapVersion {
+			t.Fatalf("carved shard %d born at version %d, not above old map version %d", i, v, sm0.Map.MapVersion)
+		}
+	}
+
+	// Writes keep landing on the right shards across the new boundary.
+	if err := srv.Insert("items", batchServerRow(t, 100000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := scanCount(t, srv); got != rows0+1 {
+		t.Fatalf("post-split insert lost: %d tuples, want %d", got, rows0+1)
+	}
+}
+
+func TestMergeShardsCommitsNewEpoch(t *testing.T) {
+	srv := newReshardServer(t, 200, 3, Options{})
+	sm0, err := srv.SignedShardMap("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows0 := scanCount(t, srv)
+	signsBefore := srv.Stats().SignOps
+
+	resp, err := srv.MergeShards(context.Background(), "items", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := srv.Stats().SignOps - signsBefore; delta != 2 {
+		t.Fatalf("merge re-signed %d times; want exactly 2 (merged root + map)", delta)
+	}
+	if resp.MapEpoch != 2 || resp.NumShards != 2 {
+		t.Fatalf("merge response = epoch %d, %d shards; want 2, 2", resp.MapEpoch, resp.NumShards)
+	}
+	sm1, err := srv.SignedShardMap("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shardmap.ValidateTransition(sm0.Map, sm1.Map); err != nil {
+		t.Fatalf("committed merge fails transition validation: %v", err)
+	}
+	if got := scanCount(t, srv); got != rows0 {
+		t.Fatalf("merge lost tuples: %d -> %d", rows0, got)
+	}
+}
+
+func TestSplitShardRejectsBadRequests(t *testing.T) {
+	srv := newReshardServer(t, 50, 2, Options{})
+	ctx := context.Background()
+	if _, err := srv.SplitShard(ctx, "items", 9, nil); err == nil {
+		t.Fatal("split of out-of-range shard index succeeded")
+	}
+	if _, err := srv.MergeShards(ctx, "items", 1); err == nil {
+		t.Fatal("merge past the last shard succeeded")
+	}
+	// An explicit boundary outside the shard's range must be rejected:
+	// shard 0 owns keys below the first boundary.
+	sm, err := srv.SignedShardMap("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outside := sm.Map.Boundaries[0]
+	if _, err := srv.SplitShard(ctx, "items", 0, &outside); err == nil {
+		t.Fatal("split at a key outside the shard's range succeeded")
+	}
+	if _, err := srv.SplitShard(ctx, "nope", 0, nil); !errors.Is(err, wire.ErrUnknownTable) {
+		t.Fatalf("split of unknown table: got %v, want ErrUnknownTable", err)
+	}
+}
+
+// TestReshardWALReplay pins the durability story: the transition lands
+// as a typed record in the table's meta log, and the carved shards'
+// logs replay their full contents (seeded as one batch record), so a
+// restart can rebuild the partition without the retired shard's log.
+func TestReshardWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	srv := newReshardServer(t, 100, 2, Options{WALDir: dir})
+	if _, err := srv.SplitShard(context.Background(), "items", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := srv.ReshardHistory("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 {
+		t.Fatalf("meta log holds %d transitions, want 1", len(hist))
+	}
+	op := hist[0]
+	if !op.Split || op.Shard != 0 || op.Boundary == nil {
+		t.Fatalf("reshard record = %+v; want a split of shard 0 with a boundary", op)
+	}
+	if op.MapEpoch != 2 || op.ParentEpoch != 1 {
+		t.Fatalf("reshard record generation link = %d/%d; want 2/1", op.MapEpoch, op.ParentEpoch)
+	}
+	if len(op.RetiredIDs) != 1 || len(op.NewIDs) != 2 {
+		t.Fatalf("reshard record IDs = %v -> %v; want 1 retired, 2 new", op.RetiredIDs, op.NewIDs)
+	}
+	// Build-time shards log only updates (their contents come from the
+	// build input), but carved shards seed their logs with their full
+	// contents — so the replayable history gained exactly the retired
+	// shard's 50 tuples, and a restart needs no retired log.
+	ops, err := srv.LoggedOps("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 50 {
+		t.Fatalf("current shard logs replay %d ops, want the 50 carved tuples", len(ops))
+	}
+}
+
+// TestRetiredShardDeltaFailsClosed pins the no-history-splice property:
+// an edge that pinned a pre-split replica for shard index 0 and asks
+// for a delta from its old version gets SnapshotNeeded, never a delta
+// from the unrelated new shard occupying the index.
+func TestRetiredShardDeltaFailsClosed(t *testing.T) {
+	srv := newReshardServer(t, 100, 2, Options{})
+	epoch, err := srv.TableEpoch("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm0, err := srv.SignedShardMap("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldVersion := sm0.Map.Shards[0].Version
+	if _, err := srv.SplitShard(context.Background(), "items", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := srv.ShardDelta("items", 0, oldVersion, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.SnapshotNeeded {
+		t.Fatal("delta from a pre-split version against the carved shard did not demand a snapshot")
+	}
+}
+
+// TestAutoReshardDetector drives the EWMA detector by hand: skewed
+// ingest trips a split of the hot shard, then an idle table with the
+// load gone trips a merge back down.
+func TestAutoReshardDetector(t *testing.T) {
+	srv := newReshardServer(t, 200, 2, Options{
+		AutoReshard: &AutoReshardOptions{SplitFraction: 0.8, MergeFraction: 0.9, MinShards: 2, MaxShards: 4, Alpha: 1.0},
+	})
+	ctx := context.Background()
+	// All new load lands in shard 1 (keys above every build key).
+	for i := 0; i < 40; i++ {
+		if err := srv.Insert("items", batchServerRow(t, int64(100000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := srv.AutoReshardTick(ctx, "items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp == nil || resp.NumShards != 3 {
+		t.Fatalf("skewed load did not split the hot shard: %+v", resp)
+	}
+	// With the counters drained and fully-decayed EWMA (alpha 1), the
+	// next tick sees zero total load and must leave the partition alone.
+	resp, err = srv.AutoReshardTick(ctx, "items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != nil {
+		t.Fatalf("idle tick committed a transition: %+v", resp)
+	}
+}
+
+// TestReshardThroughWire drives the admin frame end to end through the
+// dispatcher: a MsgReshardReq splits, and a query for the moved range
+// still answers correctly afterwards.
+func TestReshardThroughWire(t *testing.T) {
+	srv := newReshardServer(t, 100, 2, Options{})
+	req := &wire.ReshardRequest{Table: "items", Op: wire.ReshardSplit, Shard: 0}
+	mt, body, err := srv.dispatch(context.Background(), wire.MsgReshardReq, req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != wire.MsgReshardResp {
+		t.Fatalf("dispatch answered %v, want MsgReshardResp", mt)
+	}
+	resp, err := wire.DecodeReshardResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.NumShards != 3 {
+		t.Fatalf("wire split left %d shards, want 3", resp.NumShards)
+	}
+	lo, hi := schema.Int64(0), schema.Int64(1000000)
+	qr, err := srv.RunQuery(context.Background(), "items", vbtree.Query{Lo: &lo, Hi: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Result.Tuples) != 100 {
+		t.Fatalf("post-split full scan returned %d tuples, want 100", len(qr.Result.Tuples))
+	}
+}
+
+// TestReshardIsGroupCommitBarrier proves a transition serializes with
+// the coalescing front door instead of bypassing it: inserts enqueued
+// before the reshard commit before it, and everything lands.
+func TestReshardIsGroupCommitBarrier(t *testing.T) {
+	srv := newReshardServer(t, 100, 2, Options{MaxBatch: 8})
+	ctx := context.Background()
+	rows0 := scanCount(t, srv)
+	const extra = 20
+	errs := make(chan error, extra)
+	for i := 0; i < extra; i++ {
+		go func(i int) {
+			errs <- srv.enqueueInsert(ctx, "items", batchServerRow(t, int64(200000+i)))
+		}(i)
+	}
+	if _, err := srv.SplitShard(ctx, "items", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < extra; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := scanCount(t, srv); got != rows0+extra {
+		t.Fatalf("after concurrent inserts + split: %d tuples, want %d", got, rows0+extra)
+	}
+}

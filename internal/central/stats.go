@@ -30,6 +30,14 @@ type serverCounters struct {
 	// signatures-per-commit ratio the Merkle schemes drive toward 1.
 	commits atomic.Uint64
 
+	// Online resharding: transitions committed and the per-transition
+	// work they paid (the costmodel's observables — shard roots re-signed
+	// and pages copied into the carved-out trees).
+	splits            atomic.Uint64
+	merges            atomic.Uint64
+	reshardResigns    atomic.Uint64
+	reshardPagesMoved atomic.Uint64
+
 	// signOps receives the signing key's op count via digest.Counters
 	// (installed by NewServerWithKey).
 	signOps digest.Counters
@@ -80,6 +88,14 @@ type Stats struct {
 	BatchRounds uint64 `json:"group_commit_rounds"`
 	BatchOps    uint64 `json:"group_commit_ops"`
 	MaxRound    uint64 `json:"group_commit_max_round"`
+	// Online resharding: committed partition transitions, the shard-root
+	// re-signs they paid (a split re-signs exactly the two carved roots,
+	// never the whole table), and the pages copied building the new
+	// shards' trees.
+	Splits            uint64 `json:"reshard_splits"`
+	Merges            uint64 `json:"reshard_merges"`
+	ReshardResigns    uint64 `json:"reshard_root_resigns"`
+	ReshardPagesMoved uint64 `json:"reshard_pages_moved"`
 }
 
 // Stats snapshots the server's counters.
@@ -108,5 +124,9 @@ func (s *Server) Stats() Stats {
 		BatchRounds:         s.stats.batchRounds.Load(),
 		BatchOps:            s.stats.batchOps.Load(),
 		MaxRound:            s.stats.maxRound.Load(),
+		Splits:              s.stats.splits.Load(),
+		Merges:              s.stats.merges.Load(),
+		ReshardResigns:      s.stats.reshardResigns.Load(),
+		ReshardPagesMoved:   s.stats.reshardPagesMoved.Load(),
 	}
 }

@@ -90,6 +90,17 @@ type Client struct {
 	smu         sync.Mutex
 	smaps       map[string]*shardmap.Signed
 	noShardMaps map[string]bool
+	// mapGens is the partition-epoch high-water mark per table: the
+	// freshest (incarnation, map epoch) this client has verified. A
+	// correctly signed map regressing below it is the replay-pre-split
+	// attack and fails closed (verify.ErrMapReplay), never retried.
+	mapGens map[string]mapGen
+}
+
+// mapGen records the freshest partition generation verified for a table.
+type mapGen struct {
+	epoch    uint64 // table incarnation
+	mapEpoch uint64 // partition generation within the incarnation
 }
 
 // Dial creates a client and eagerly connects (and handshakes) to the
@@ -120,6 +131,7 @@ func newClient(cfg Config) *Client {
 		verifiers:   make(map[string]*verify.Verifier),
 		smaps:       make(map[string]*shardmap.Signed),
 		noShardMaps: make(map[string]bool),
+		mapGens:     make(map[string]mapGen),
 	}
 }
 
@@ -248,11 +260,16 @@ func (c *Client) Query(ctx context.Context, table string, preds []query.Predicat
 		return c.queryLegacy(ctx, v, table, preds, project)
 	}
 	res, err := c.queryShards(ctx, v, sm, table, preds, project)
-	if err != nil && errors.Is(err, errShardDrift) {
+	for retry := 0; retry < maxShardDriftRetries && err != nil && errors.Is(err, errShardDrift); retry++ {
 		// The gather straddled an edge refresh (answers from two map
-		// generations) or our cached routing map described a dead
-		// partition. Refetch the routing map once and retry before
-		// treating it as tampering.
+		// generations), raced an online split/merge, or our cached
+		// routing map described a dead partition. Refetch the routing
+		// map and retry: drift is benign racing as long as it stops —
+		// under a busy edge republishing every tick, several gathers
+		// can straddle back to back — so the retry is a bounded loop,
+		// and only drift that persists through it surfaces as the
+		// tampering verdict. Every retry re-verifies from scratch;
+		// an attacker steering the loop gains nothing but delay.
 		sm, rerr := c.shardMap(ctx, v, table, true)
 		if rerr != nil {
 			return nil, rerr
@@ -264,6 +281,13 @@ func (c *Client) Query(ctx context.Context, table string, preds []query.Predicat
 	}
 	return res, err
 }
+
+// maxShardDriftRetries bounds the benign-drift retry loop: each retry
+// costs one map fetch plus one scatter, and a gather's chance of
+// straddling yet another republish shrinks geometrically, so a small
+// bound separates racing (converges in a try or two) from an edge that
+// cannot or will not produce a consistent gather (tampering verdict).
+const maxShardDriftRetries = 6
 
 // queryLegacy is the single-tree query path (unsharded tables and
 // pre-sharding edge servers).

@@ -1,0 +1,195 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"edgeauth/internal/shardmap"
+	"edgeauth/internal/tamper"
+	"edgeauth/internal/verify"
+	"edgeauth/internal/wire"
+)
+
+// TestQuerySurvivesReshardEpochRace: a client whose cached routing map
+// predates an online split (or postdates a merge) must converge
+// transparently — the scatter observes the partition change, refetches
+// the map once, and the retried gather verifies. No ErrTampered, no
+// stale answer.
+func TestQuerySurvivesReshardEpochRace(t *testing.T) {
+	ctx := context.Background()
+	d := deploySharded(t, 400, 4)
+
+	// Warm the routing cache on the 4-shard partition.
+	res, err := d.client.Query(ctx, "items", rangePreds(0, 399), nil)
+	if err != nil || res.ShardsQueried != 4 {
+		t.Fatalf("pre-split query: shards=%d err=%v", res.ShardsQueried, err)
+	}
+
+	// Split through the client's admin path; the edge follows on its
+	// next refresh tick.
+	resp, err := d.client.Reshard(ctx, &wire.ReshardRequest{Table: "items", Op: wire.ReshardSplit, Shard: 1})
+	if err != nil {
+		t.Fatalf("admin split: %v", err)
+	}
+	if resp.NumShards != 5 || resp.MapEpoch != 2 {
+		t.Fatalf("split response: shards=%d epoch=%d, want 5/2", resp.NumShards, resp.MapEpoch)
+	}
+	if _, err := d.edge.Refresh(ctx, "items"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reshard invalidated the cache, so re-prime a STALE map: dial a
+	// second client, warm it pre-merge, then transition again under it.
+	fresh := d.freshClient(t)
+	if res, err := fresh.Query(ctx, "items", rangePreds(0, 399), nil); err != nil || res.ShardsQueried != 5 {
+		t.Fatalf("post-split query: shards=%d err=%v", res.ShardsQueried, err)
+	}
+	if _, err := d.central.MergeShards(ctx, "items", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.edge.Refresh(ctx, "items"); err != nil {
+		t.Fatal(err)
+	}
+	// fresh still routes on the 5-shard map: position 4 no longer
+	// exists (ErrShardMoved under the hood) and the attached maps moved
+	// to epoch 3 — both fold into one drift retry.
+	res, err = fresh.Query(ctx, "items", rangePreds(0, 399), nil)
+	if err != nil {
+		t.Fatalf("query across a merge was not retried: %v", err)
+	}
+	if res.ShardsQueried != 4 || len(res.Result.Tuples) != 400 {
+		t.Fatalf("post-merge query: shards=%d rows=%d, want 4/400", res.ShardsQueried, len(res.Result.Tuples))
+	}
+}
+
+// TestReplayPreSplitMapFailsClosed: an edge replaying the correctly
+// signed pre-split shard map cannot serve a client that has already
+// verified the post-split partition — the partition-epoch ratchet
+// rejects the regression as tampering (verify.ErrMapReplay), with no
+// retry that could be steered to the stale map.
+func TestReplayPreSplitMapFailsClosed(t *testing.T) {
+	ctx := context.Background()
+	d := deploySharded(t, 400, 4)
+
+	old, err := d.edge.SignedShardMap("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.central.SplitShard(ctx, "items", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.edge.Refresh(ctx, "items"); err != nil {
+		t.Fatal(err)
+	}
+	// The client observes (and ratchets to) partition epoch 2.
+	if res, err := d.client.Query(ctx, "items", rangePreds(0, 399), nil); err != nil || res.ShardsQueried != 5 {
+		t.Fatalf("post-split honest query: shards=%d err=%v", res.ShardsQueried, err)
+	}
+
+	// Now the edge turns hostile and replays the pre-split map.
+	d.edge.SetMapTamper(func(*shardmap.Signed) *shardmap.Signed { return old })
+	// Routing maps are cached, so force the refetch path too.
+	d.client.InvalidateShardMap("items")
+	_, err = d.client.Query(ctx, "items", rangePreds(0, 399), nil)
+	if !errors.Is(err, ErrTampered) || !errors.Is(err, verify.ErrMapReplay) {
+		t.Fatalf("replayed pre-split map returned %v, want ErrTampered+ErrMapReplay", err)
+	}
+
+	d.edge.SetMapTamper(nil)
+	if res, err := d.client.Query(ctx, "items", rangePreds(0, 399), nil); err != nil || len(res.Result.Tuples) != 400 {
+		t.Fatalf("post-attack honest query: rows=%d err=%v", len(res.Result.Tuples), err)
+	}
+}
+
+// TestReplayCatalogueAttackOnUnratchetedClient: the catalogue's
+// replay-pre-split-map attack against a client that never saw the
+// post-split epoch (so the ratchet cannot fire). The replayed map is
+// authentic, but the edge's answers come from the post-split trees —
+// each VO anchors at a root the stale map does not pin, so the
+// per-shard binding fails closed instead.
+func TestReplayCatalogueAttackOnUnratchetedClient(t *testing.T) {
+	ctx := context.Background()
+	d := deploySharded(t, 400, 4)
+
+	attack := tamper.ReplayPreSplitMap()
+	d.edge.SetMapTamper(func(sm *shardmap.Signed) *shardmap.Signed {
+		if err := attack.Apply(sm); err != nil && !errors.Is(err, tamper.ErrNotApplicable) {
+			t.Errorf("replay attack: %v", err)
+		}
+		return sm
+	})
+	// Pre-split query: the attack captures the served map, the client
+	// caches it as its routing map.
+	if res, err := d.client.Query(ctx, "items", rangePreds(0, 399), nil); err != nil || res.ShardsQueried != 4 {
+		t.Fatalf("pre-split query: shards=%d err=%v", res.ShardsQueried, err)
+	}
+	if _, err := d.central.SplitShard(ctx, "items", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.edge.Refresh(ctx, "items"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.client.Query(ctx, "items", rangePreds(0, 399), nil); !errors.Is(err, ErrTampered) {
+		t.Fatalf("hidden split returned %v, want ErrTampered", err)
+	}
+}
+
+// TestHideSplitFailsClosed: forging map content — folding a split's
+// children back into one shard and rewinding the epoch — breaks the
+// map signature, for cached and fresh clients alike.
+func TestHideSplitFailsClosed(t *testing.T) {
+	ctx := context.Background()
+	d := deploySharded(t, 400, 4)
+	if _, err := d.central.SplitShard(ctx, "items", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.edge.Refresh(ctx, "items"); err != nil {
+		t.Fatal(err)
+	}
+
+	attack := tamper.HideSplit()
+	d.edge.SetMapTamper(func(sm *shardmap.Signed) *shardmap.Signed {
+		if err := attack.Apply(sm); err != nil {
+			t.Errorf("hide-split inapplicable: %v", err)
+		}
+		return sm
+	})
+	if _, err := d.client.Query(ctx, "items", rangePreds(0, 399), nil); !errors.Is(err, ErrTampered) {
+		t.Fatalf("hide-split on warm client returned %v, want ErrTampered", err)
+	}
+	fresh := d.freshClient(t)
+	if _, err := fresh.Query(ctx, "items", rangePreds(0, 399), nil); !errors.Is(err, ErrTampered) {
+		t.Fatalf("hide-split on fresh client returned %v, want ErrTampered", err)
+	}
+}
+
+// TestCrossEpochSpliceFailsClosed: pairing the current partition shape
+// with a superseded epoch's shard root digest is a pairing the central
+// never signed — the map signature fails closed.
+func TestCrossEpochSpliceFailsClosed(t *testing.T) {
+	ctx := context.Background()
+	d := deploySharded(t, 400, 4)
+
+	attack := tamper.CrossEpochSplice()
+	d.edge.SetMapTamper(func(sm *shardmap.Signed) *shardmap.Signed {
+		if err := attack.Apply(sm); err != nil && !errors.Is(err, tamper.ErrNotApplicable) {
+			t.Errorf("splice attack: %v", err)
+		}
+		return sm
+	})
+	// Capture pass.
+	if _, err := d.client.Query(ctx, "items", rangePreds(0, 399), nil); err != nil {
+		t.Fatalf("pre-split query: %v", err)
+	}
+	if _, err := d.central.SplitShard(ctx, "items", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.edge.Refresh(ctx, "items"); err != nil {
+		t.Fatal(err)
+	}
+	d.client.InvalidateShardMap("items")
+	if _, err := d.client.Query(ctx, "items", rangePreds(0, 399), nil); !errors.Is(err, ErrTampered) {
+		t.Fatalf("cross-epoch splice returned %v, want ErrTampered", err)
+	}
+}

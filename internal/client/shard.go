@@ -72,11 +72,35 @@ func (c *Client) shardMap(ctx context.Context, v *verify.Verifier, table string,
 	if err := c.verifyMap(ctx, v, sm, table); err != nil {
 		return nil, err
 	}
+	if err := c.noteMapEpoch(table, sm.Map); err != nil {
+		return nil, err
+	}
 	c.smu.Lock()
 	c.smaps[table] = sm
 	delete(c.noShardMaps, table)
 	c.smu.Unlock()
 	return sm, nil
+}
+
+// noteMapEpoch ratchets the table's partition-epoch high-water mark
+// forward and fails closed when a verified map regresses below it: a
+// signed pre-split map replayed by the edge would otherwise route
+// queries over dead boundaries and hide the shards a split created.
+// Must be called only with maps that already passed verifyMap.
+func (c *Client) noteMapEpoch(table string, m *shardmap.Map) error {
+	if m.MapEpoch == 0 {
+		return nil // legacy map: predates epoch chaining
+	}
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	g := c.mapGens[table]
+	if err := verify.CheckMapSuccession(g.epoch, g.mapEpoch, m); err != nil {
+		return fmt.Errorf("%w: %w", ErrTampered, err)
+	}
+	if g.epoch != m.Epoch || m.MapEpoch > g.mapEpoch {
+		c.mapGens[table] = mapGen{epoch: m.Epoch, mapEpoch: m.MapEpoch}
+	}
+	return nil
 }
 
 // verifyMap checks a signed map, refetching the trusted key once when
@@ -156,8 +180,14 @@ func (c *Client) queryShards(ctx context.Context, v *verify.Verifier, routing *s
 
 	// A transport failure or refusal for any qualifying shard fails the
 	// whole query: an incomplete range answer must never look complete.
+	// A shard-moved refusal means the scatter raced an online split or
+	// merge — the routing map's positions are dead, which a fresh map
+	// repairs, so it surfaces as retryable drift rather than a failure.
 	for _, a := range answers {
 		if a.err != nil {
+			if errors.Is(a.err, wire.ErrShardMoved) {
+				return nil, fmt.Errorf("%w: shard %d of %q: %w", errShardDrift, a.shard, table, a.err)
+			}
 			return nil, fmt.Errorf("client: shard %d of %q: %w", a.shard, table, a.err)
 		}
 	}
@@ -180,10 +210,19 @@ func (c *Client) queryShards(ctx context.Context, v *verify.Verifier, routing *s
 	if err := c.verifyMap(ctx, v, bound, table); err != nil {
 		return nil, err
 	}
+	// The replay ratchet applies to the attached map too: a signed
+	// pre-split map served alongside the answers fails closed here, it
+	// never reaches the drift retry below.
+	if err := c.noteMapEpoch(table, bound.Map); err != nil {
+		return nil, err
+	}
 	// The attached map must describe the same partition the routing map
 	// did, or the shard selection above was computed over dead
-	// boundaries.
-	if bound.Map.Epoch != routing.Map.Epoch || !boundariesEqual(bound.Map.Boundaries, routing.Map.Boundaries) {
+	// boundaries. A newer partition epoch (an online split or merge
+	// landed mid-scatter) is retryable drift: the caller re-routes once
+	// against the fresh map.
+	if bound.Map.Epoch != routing.Map.Epoch || bound.Map.MapEpoch != routing.Map.MapEpoch ||
+		!boundariesEqual(bound.Map.Boundaries, routing.Map.Boundaries) {
 		return nil, fmt.Errorf("%w: %w: partition changed between routing and answers",
 			ErrTampered, errShardDrift)
 	}
@@ -235,6 +274,29 @@ func (c *Client) queryShards(ctx context.Context, v *verify.Verifier, routing *s
 		out.VO = out.ShardVOs[0]
 	}
 	return out, nil
+}
+
+// Reshard asks the central server to split or merge a shard online (the
+// admin path behind centrald's reshard frame). The table's cached
+// routing map is invalidated on success so the next query routes over
+// the new partition immediately instead of riding the drift retry.
+//
+// The ack is advisory: its fields (new generation, shard count) inform
+// operators and tests but never feed verification or routing — those
+// always come from a signature-verified shard map. It also arrives on
+// the central connection, the same trusted channel the §3.4 key
+// distribution rides, not from an untrusted edge.
+func (c *Client) Reshard(ctx context.Context, req *wire.ReshardRequest) (*wire.ReshardResponse, error) {
+	body, err := c.central.Call(ctx, wire.MsgReshardReq, req.Encode(), wire.MsgReshardResp, false)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeReshardResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	c.InvalidateShardMap(req.Table)
+	return resp, nil //vetauth:ignore trustflow advisory ack from the trusted central channel; routing and verification always use the signature-verified map
 }
 
 func boundariesEqual(a, b []schema.Datum) bool {

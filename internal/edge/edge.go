@@ -232,6 +232,13 @@ func (r *replica) rebuildSet(smap *shardmap.Signed, stores []*storage.PageStore)
 	return nil
 }
 
+// errShardRange marks a shard index outside the published set — after
+// an online merge shrank the partition, a caller routing on an older
+// map can legitimately address a position that no longer exists, so
+// serving paths surface this as the typed shard-moved refusal rather
+// than an internal error.
+var errShardRange = errors.New("edge: shard index outside the published set")
+
 // pinShard takes a reader's pin on shard i of the current set. The
 // caller must Release the returned snapshot. RCU: if the set drains
 // between the load and the Retain, reload and retry.
@@ -242,7 +249,7 @@ func (r *replica) pinShard(i int) (*tableSet, *shardReplica, error) {
 			return nil, nil, errors.New("edge: replica has no published set")
 		}
 		if i < 0 || i >= len(set.shards) {
-			return nil, nil, fmt.Errorf("edge: shard %d out of range (replica has %d)", i, len(set.shards))
+			return nil, nil, fmt.Errorf("%w: shard %d, replica has %d", errShardRange, i, len(set.shards))
 		}
 		sr := set.shards[i]
 		if sr.snap.Retain() {
@@ -395,7 +402,7 @@ func (s *Server) pullAttempt(ctx context.Context, tableName string, retries int)
 	// Commits racing the per-shard snapshot loop can leave a store ahead
 	// of the map we fetched first; align before publishing so the set's
 	// map always pins exactly the data it is served with.
-	final, abytes, _, _, err := s.alignShards(ctx, tableName, sm, stores)
+	final, stores, abytes, _, _, err := s.alignShards(ctx, tableName, sm, stores, shardIDs(sm))
 	total += abytes
 	if err != nil {
 		if errors.Is(err, errEpochChanged) && retries > 0 {
@@ -771,7 +778,7 @@ func (s *Server) refreshSharded(ctx context.Context, tableName string, rep *repl
 	for i, sr := range cur.shards {
 		stores[i] = sr.store
 	}
-	final, bytes, refreshed, snapshotted, err := s.alignShards(ctx, tableName, next, stores)
+	final, stores, bytes, refreshed, snapshotted, err := s.alignShards(ctx, tableName, next, stores, shardIDs(cur.smap))
 	stat.Bytes += bytes
 	if errors.Is(err, errEpochChanged) {
 		// Different incarnation (or repartitioned): this replica's
@@ -816,38 +823,132 @@ func (s *Server) refreshSharded(ctx context.Context, tableName string, rep *repl
 	return stat, nil
 }
 
+// shardIDs extracts a map's stable shard-identity sequence (all zeros
+// on legacy maps that predate epoch-versioned partitions).
+func shardIDs(sm *shardmap.Signed) []uint64 {
+	ids := make([]uint64, len(sm.Map.Shards))
+	for i := range sm.Map.Shards {
+		ids[i] = sm.Map.Shards[i].ID
+	}
+	return ids
+}
+
+// hasShardIDs reports whether every shard carries a nonzero stable ID —
+// i.e. the map speaks the epoch-versioned partition protocol.
+func hasShardIDs(ids []uint64) bool {
+	for _, id := range ids {
+		if id == 0 {
+			return false
+		}
+	}
+	return len(ids) > 0
+}
+
+func sameIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// remapStores rebinds a store slice laid out for the partition
+// identified by ids onto sm's partition, matching by stable shard ID:
+// shards that survived the transition carry their stores (and pinned
+// pages) over untouched, shards the transition created are
+// snapshot-installed, and relay cache entries for positions whose
+// identity changed are dropped so peers are never served a dead
+// shard's deltas under a live position. Both sides must speak the
+// ID protocol (hasShardIDs) — callers gate on that.
+func (s *Server) remapStores(ctx context.Context, tableName string, sm *shardmap.Signed, stores []*storage.PageStore, ids []uint64) (outStores []*storage.PageStore, bytes int, err error) {
+	byID := make(map[uint64]*storage.PageStore, len(ids))
+	for i, id := range ids {
+		if i < len(stores) {
+			byID[id] = stores[i]
+		}
+	}
+	mapIDs := shardIDs(sm)
+	outStores = make([]*storage.PageStore, len(mapIDs))
+	for i, id := range mapIDs {
+		if st, ok := byID[id]; ok {
+			outStores[i] = st
+			continue
+		}
+		n, store, _, err := s.pullShardStore(ctx, tableName, i, sm)
+		if err != nil {
+			return nil, bytes, err
+		}
+		outStores[i] = store
+		bytes += n
+	}
+	// Positions whose identity changed or vanished may have cached
+	// deltas for the retired shard; those must never be relayed as the
+	// new occupant's history.
+	for i, id := range ids {
+		if i >= len(mapIDs) || mapIDs[i] != id {
+			s.relay.Drop(wire.ShardRef(tableName, uint32(i)))
+		}
+	}
+	s.stats.reshardsApplied.Add(1)
+	return outStores, bytes, nil
+}
+
 // alignShards brings every store to exactly the shard versions sm pins,
 // refetching the map (bounded) when a central commit racing the refresh
 // leaves a store ahead of the map — published sets must never pair a
 // map with data from a different version. Deltas are negotiated from
 // each store's HEAD (not the published set), so a refresh that failed
 // partway resumes cleanly instead of wedging on version mismatches.
-// Returns the map the stores ended aligned to.
-func (s *Server) alignShards(ctx context.Context, tableName string, sm *shardmap.Signed, stores []*storage.PageStore) (final *shardmap.Signed, bytes, refreshed int, snapshotted bool, err error) {
+//
+// ids is the stable shard-ID sequence of the partition the stores were
+// laid out for. When sm describes a different partition of the same
+// table incarnation (an online split or merge), stores are re-bound by
+// ID — surviving shards carry over, new shards snapshot-install — so a
+// reshard never discards unaffected state. Legacy maps without IDs
+// keep the old behavior: any count change is an epoch change. Returns
+// the map the stores ended aligned to and the (possibly resized)
+// store slice.
+func (s *Server) alignShards(ctx context.Context, tableName string, sm *shardmap.Signed, stores []*storage.PageStore, ids []uint64) (final *shardmap.Signed, outStores []*storage.PageStore, bytes, refreshed int, snapshotted bool, err error) {
 	for attempt := 0; ; attempt++ {
-		if len(sm.Map.Shards) != len(stores) {
-			return nil, bytes, refreshed, snapshotted, fmt.Errorf("%w: map has %d shards, replica %d", errEpochChanged, len(sm.Map.Shards), len(stores))
+		if mapIDs := shardIDs(sm); hasShardIDs(mapIDs) && hasShardIDs(ids) {
+			if !sameIDs(mapIDs, ids) {
+				newStores, n, err := s.remapStores(ctx, tableName, sm, stores, ids)
+				if err != nil {
+					return nil, stores, bytes, refreshed, snapshotted, err
+				}
+				stores = newStores
+				ids = mapIDs
+				bytes += n
+				refreshed++
+				snapshotted = true
+			}
+		} else if len(sm.Map.Shards) != len(stores) {
+			return nil, stores, bytes, refreshed, snapshotted, fmt.Errorf("%w: map has %d shards, replica %d", errEpochChanged, len(sm.Map.Shards), len(stores))
 		}
 		aligned := true
 		for i := range stores {
 			head, err := storeState(stores[i])
 			if err != nil {
-				return nil, bytes, refreshed, snapshotted, err
+				return nil, stores, bytes, refreshed, snapshotted, err
 			}
 			if head.Epoch != sm.Map.Epoch {
-				return nil, bytes, refreshed, snapshotted, fmt.Errorf("%w: map epoch %d, shard %d epoch %d", errEpochChanged, sm.Map.Epoch, i, head.Epoch)
+				return nil, stores, bytes, refreshed, snapshotted, fmt.Errorf("%w: map epoch %d, shard %d epoch %d", errEpochChanged, sm.Map.Epoch, i, head.Epoch)
 			}
 			if sm.Map.Shards[i].Version > head.Version {
 				n, mode, store, err := s.refreshShard(ctx, tableName, stores[i], i, head, sm)
 				if err != nil {
-					return nil, bytes, refreshed, snapshotted, err
+					return nil, stores, bytes, refreshed, snapshotted, err
 				}
 				stores[i] = store
 				bytes += n
 				refreshed++
 				snapshotted = snapshotted || mode == "snapshot"
 				if head, err = storeState(stores[i]); err != nil {
-					return nil, bytes, refreshed, snapshotted, err
+					return nil, stores, bytes, refreshed, snapshotted, err
 				}
 			}
 			if head.Version != sm.Map.Shards[i].Version {
@@ -857,14 +958,14 @@ func (s *Server) alignShards(ctx context.Context, tableName string, sm *shardmap
 			}
 		}
 		if aligned {
-			return sm, bytes, refreshed, snapshotted, nil
+			return sm, stores, bytes, refreshed, snapshotted, nil
 		}
 		if attempt >= maxAlignAttempts {
-			return nil, bytes, refreshed, snapshotted, fmt.Errorf("edge: central commits kept racing the refresh of %q; retrying next tick", tableName)
+			return nil, stores, bytes, refreshed, snapshotted, fmt.Errorf("edge: central commits kept racing the refresh of %q; retrying next tick", tableName)
 		}
 		next, n, err := s.fetchVerifiedMap(ctx, tableName)
 		if err != nil {
-			return nil, bytes, refreshed, snapshotted, err
+			return nil, stores, bytes, refreshed, snapshotted, err
 		}
 		bytes += n
 		sm = next
@@ -1337,6 +1438,9 @@ func (s *Server) runShardQuery(ctx context.Context, tableName string, rep *repli
 	}
 	set, sr, err := rep.pinShard(idx)
 	if err != nil {
+		if errors.Is(err, errShardRange) {
+			return nil, nil, nil, wire.ShardMoved(tableName, err.Error())
+		}
 		return nil, nil, nil, err
 	}
 	defer sr.snap.Release()

@@ -140,6 +140,9 @@ func (s *Server) servePeerSnapshot(table string, idx int, legacy bool) (wire.Msg
 	}
 	_, sr, err := rep.pinShard(idx)
 	if err != nil {
+		if errors.Is(err, errShardRange) {
+			return 0, nil, wire.ShardMoved(table, err.Error())
+		}
 		return 0, nil, err
 	}
 	defer sr.snap.Release()

@@ -11,6 +11,10 @@ type edgeCounters struct {
 	refreshesApplied   atomic.Uint64
 	deltasApplied      atomic.Uint64
 	snapshotsInstalled atomic.Uint64
+	// reshardsApplied counts partition transitions this edge followed: a
+	// new map epoch where carried-over shard stores were re-bound and
+	// only the transition's new shards were snapshot-installed.
+	reshardsApplied atomic.Uint64
 
 	// Verified-signature cache ledger (see verifySigCached): hits are
 	// public-key operations the refresh path skipped.
@@ -41,6 +45,7 @@ type Stats struct {
 	RefreshesApplied   uint64 `json:"refreshes_applied"`
 	DeltasApplied      uint64 `json:"deltas_applied"`
 	SnapshotsInstalled uint64 `json:"snapshots_installed"`
+	ReshardsApplied    uint64 `json:"reshards_applied"`
 	// SigCacheHits/Misses ledger the verified-signature cache on the
 	// refresh path: each hit is a signature verification skipped.
 	SigCacheHits   uint64 `json:"sig_cache_hits"`
@@ -65,6 +70,7 @@ func (s *Server) Stats() Stats {
 		RefreshesApplied:      s.stats.refreshesApplied.Load(),
 		DeltasApplied:         s.stats.deltasApplied.Load(),
 		SnapshotsInstalled:    s.stats.snapshotsInstalled.Load(),
+		ReshardsApplied:       s.stats.reshardsApplied.Load(),
 		SigCacheHits:          s.stats.sigCacheHits.Load(),
 		SigCacheMisses:        s.stats.sigCacheMisses.Load(),
 		PeerPayloadsServed:    s.stats.peerPayloadsServed.Load(),

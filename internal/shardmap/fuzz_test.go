@@ -19,8 +19,14 @@ func seedSigned() []byte {
 	return s.Encode()
 }
 
+func seedEpochSigned() []byte {
+	s := &Signed{Map: epochMap(), Sig: []byte{9, 9, 9, 9}}
+	return s.Encode()
+}
+
 func FuzzDecodeSigned(f *testing.F) {
 	f.Add(seedSigned())
+	f.Add(seedEpochSigned())
 	one := &Signed{
 		Map: &Map{Table: "t", Shards: []ShardState{{RootDigest: []byte{1}}}},
 		Sig: []byte{1},
@@ -60,6 +66,46 @@ func FuzzDecodeSigned(f *testing.F) {
 		}
 		if !bytes.Equal(s.Encode(), data) {
 			t.Fatal("Clone aliases the original map")
+		}
+	})
+}
+
+// Fuzz target for the epoch-transition checker: both maps are untrusted
+// client input (a malicious edge can hand a client any pair of
+// generations), so ValidateTransition must survive arbitrary decoded
+// maps. Invariants: no panics, symmetry between split and merge
+// (accepting parent->child as a split means accepting child->parent as
+// a merge), and SplitAt/MergeAt outputs always pass ValidateTransition.
+func FuzzValidateTransition(f *testing.F) {
+	parent := epochMap()
+	child, err := parent.SplitAt(1, schema.Int64(150),
+		ShardState{RootDigest: []byte{5, 5, 5, 5}, ID: 5},
+		ShardState{RootDigest: []byte{6, 6, 6, 6}, ID: 6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(parent.Encode(), child.Encode())
+	f.Add(child.Encode(), parent.Encode())
+	f.Add(parent.Encode(), parent.Encode())
+	f.Add(seedSigned(), seedEpochSigned())
+	f.Add([]byte{}, bytes.Repeat([]byte{0xFF}, 40))
+	f.Fuzz(func(t *testing.T, pdata, cdata []byte) {
+		p, perr := Decode(pdata)
+		c, cerr := Decode(cdata)
+		if perr != nil || cerr != nil {
+			return
+		}
+		forward := ValidateTransition(p, c)
+		if forward == nil {
+			// A legal transition is exactly one boundary apart and links
+			// the generations; cross-check the core claims the rest of
+			// the system relies on.
+			if len(c.Shards)-len(p.Shards) != 1 && len(p.Shards)-len(c.Shards) != 1 {
+				t.Fatalf("accepted transition with shard delta %d", len(c.Shards)-len(p.Shards))
+			}
+			if c.MapEpoch != p.MapEpoch+1 || c.ParentEpoch != p.MapEpoch {
+				t.Fatalf("accepted broken generation link %d->%d", p.MapEpoch, c.MapEpoch)
+			}
 		}
 	})
 }

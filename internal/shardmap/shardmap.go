@@ -52,6 +52,12 @@ type ShardState struct {
 	// update that touched the shard). Edges use it to request per-shard
 	// deltas; clients use it only diagnostically.
 	Version uint64
+	// ID is the shard's stable identity, assigned once when the shard is
+	// created and never reused within a table incarnation. Shard slice
+	// indices shift when the partition splits or merges; IDs let an edge
+	// recognize which of its pinned stores survive a transition. Zero
+	// means "legacy map without identities" (pre-resharding encodings).
+	ID uint64
 }
 
 // Map is the unsigned shard-map payload.
@@ -71,6 +77,20 @@ type Map struct {
 	// signing key's validity window (§3.4), not by a clock-skew check,
 	// because an idle table's map is legitimately old.
 	SignedAt int64
+	// MapEpoch is the partition generation: it starts at 1 and is bumped
+	// by exactly one each time the boundary set changes (a split or a
+	// merge). Maps within one MapEpoch differ only in shard versions and
+	// digests; maps across MapEpochs describe different partitions.
+	// Zero marks a legacy map from before dynamic resharding.
+	MapEpoch uint64
+	// ParentEpoch links a map to the partition generation it was derived
+	// from (MapEpoch-1 after a transition, and for generation 1 it is 0,
+	// the origin). The explicit link lets clients fail closed on a
+	// replayed pre-transition map: once a client has verified a map of
+	// generation g, any later map with MapEpoch < g is a replay, not a
+	// concurrent alternative — generations form a signed chain, never a
+	// fork.
+	ParentEpoch uint64
 	// Boundaries are the N-1 strictly increasing split keys of an
 	// N-shard table; all must share the key column's type.
 	Boundaries []schema.Datum
@@ -97,6 +117,32 @@ func (m *Map) Validate() error {
 	for i, s := range m.Shards {
 		if len(s.RootDigest) != dlen {
 			return fmt.Errorf("shardmap: shard %d root digest has %d bytes, shard 0 has %d", i, len(s.RootDigest), dlen)
+		}
+	}
+	if m.MapEpoch == 0 {
+		// Legacy map: no partition generation, so it must not claim a
+		// parent or carry shard identities either.
+		if m.ParentEpoch != 0 {
+			return errors.New("shardmap: parent epoch without map epoch")
+		}
+		for i, s := range m.Shards {
+			if s.ID != 0 {
+				return fmt.Errorf("shardmap: shard %d has an ID but the map has no epoch", i)
+			}
+		}
+	} else {
+		if m.ParentEpoch >= m.MapEpoch {
+			return fmt.Errorf("shardmap: parent epoch %d not before map epoch %d", m.ParentEpoch, m.MapEpoch)
+		}
+		seen := make(map[uint64]int, len(m.Shards))
+		for i, s := range m.Shards {
+			if s.ID == 0 {
+				return fmt.Errorf("shardmap: shard %d missing ID", i)
+			}
+			if j, dup := seen[s.ID]; dup {
+				return fmt.Errorf("shardmap: shards %d and %d share ID %d", j, i, s.ID)
+			}
+			seen[s.ID] = i
 		}
 	}
 	for i, b := range m.Boundaries {
@@ -253,6 +299,8 @@ func (m *Map) Encode() []byte {
 	out = appendU64(out, m.MapVersion)
 	out = appendU32(out, m.KeyVersion)
 	out = appendU64(out, uint64(m.SignedAt))
+	out = appendU64(out, m.MapEpoch)
+	out = appendU64(out, m.ParentEpoch)
 	out = appendU32(out, uint32(len(m.Boundaries)))
 	for _, b := range m.Boundaries {
 		out = b.Encode(out)
@@ -261,6 +309,7 @@ func (m *Map) Encode() []byte {
 	for _, s := range m.Shards {
 		out = appendBytes(out, s.RootDigest)
 		out = appendU64(out, s.Version)
+		out = appendU64(out, s.ID)
 	}
 	return out
 }
@@ -275,6 +324,8 @@ func Decode(body []byte) (*Map, error) {
 	m.MapVersion = r.u64("map version")
 	m.KeyVersion = r.u32("key version")
 	m.SignedAt = int64(r.u64("signed-at"))
+	m.MapEpoch = r.u64("map epoch")
+	m.ParentEpoch = r.u64("parent epoch")
 	bn := int(r.u32("boundary count"))
 	if r.err == nil && bn > len(body) {
 		return nil, errors.New("shardmap: implausible boundary count")
@@ -294,6 +345,7 @@ func Decode(body []byte) (*Map, error) {
 	for i := 0; i < sn && r.err == nil; i++ {
 		s := ShardState{RootDigest: r.bytes("root digest")}
 		s.Version = r.u64("shard version")
+		s.ID = r.u64("shard id")
 		m.Shards = append(m.Shards, s)
 	}
 	if err := r.done(); err != nil {
@@ -307,8 +359,10 @@ func Decode(body []byte) (*Map, error) {
 
 // sigDomain separates shard-map signatures from every other payload the
 // central server signs (digests, deltas), so a signature can never be
-// replayed across contexts.
-const sigDomain = "edgeauth/shardmap/v1\x00"
+// replayed across contexts. v2 added the partition-epoch chain
+// (MapEpoch/ParentEpoch) and stable shard IDs; bumping the domain keeps
+// any v1-era signature from validating over the extended encoding.
+const sigDomain = "edgeauth/shardmap/v2\x00"
 
 // SigPayload is the digest the central server signs: SHA-256 over the
 // domain-separated map encoding.
@@ -378,29 +432,37 @@ func DecodeSigned(body []byte) (*Signed, error) {
 	return &Signed{Map: m, Sig: sig.Signature(sg)}, nil
 }
 
-// Clone returns a deep copy (tamper hooks mutate copies, not the
-// server's canonical map).
-func (s *Signed) Clone() *Signed {
-	m := &Map{
-		Table:      s.Map.Table,
-		Epoch:      s.Map.Epoch,
-		MapVersion: s.Map.MapVersion,
-		KeyVersion: s.Map.KeyVersion,
-		SignedAt:   s.Map.SignedAt,
+// Clone returns a deep copy of the unsigned map.
+func (m *Map) Clone() *Map {
+	c := &Map{
+		Table:       m.Table,
+		Epoch:       m.Epoch,
+		MapVersion:  m.MapVersion,
+		KeyVersion:  m.KeyVersion,
+		SignedAt:    m.SignedAt,
+		MapEpoch:    m.MapEpoch,
+		ParentEpoch: m.ParentEpoch,
 	}
-	for _, b := range s.Map.Boundaries {
+	for _, b := range m.Boundaries {
 		// Datum is a value type except for bytes payloads; copy those so
 		// a hook mutating the clone cannot reach the canonical map.
 		if b.Type == schema.TypeBytes {
 			b.B = append([]byte(nil), b.B...)
 		}
-		m.Boundaries = append(m.Boundaries, b)
+		c.Boundaries = append(c.Boundaries, b)
 	}
-	for _, sh := range s.Map.Shards {
-		m.Shards = append(m.Shards, ShardState{
+	for _, sh := range m.Shards {
+		c.Shards = append(c.Shards, ShardState{
 			RootDigest: append([]byte(nil), sh.RootDigest...),
 			Version:    sh.Version,
+			ID:         sh.ID,
 		})
 	}
-	return &Signed{Map: m, Sig: s.Sig.Clone()}
+	return c
+}
+
+// Clone returns a deep copy (tamper hooks mutate copies, not the
+// server's canonical map).
+func (s *Signed) Clone() *Signed {
+	return &Signed{Map: s.Map.Clone(), Sig: s.Sig.Clone()}
 }

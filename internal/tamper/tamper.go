@@ -10,6 +10,7 @@
 package tamper
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -399,11 +400,99 @@ func RewireShardDigests() MapAttack {
 	}
 }
 
+// ReplayPreSplitMap captures the first shard map the compromised edge
+// serves and replays it verbatim once the central commits a newer
+// partition epoch (an online split or merge). The replayed map is
+// correctly signed — the signature proves nothing about freshness — so
+// the mutation survives signature verification; detection rests on the
+// client's partition-epoch ratchet: a map regressing below an epoch the
+// client already verified fails closed (verify.ErrMapReplay). Routing
+// on the replayed map would otherwise hide the shards a split created.
+func ReplayPreSplitMap() MapAttack {
+	var first *shardmap.Signed
+	return MapAttack{
+		Name:        "replay-pre-split-map",
+		Description: "replay the correctly signed pre-split shard map after an online split commits",
+		Apply: func(sm *shardmap.Signed) error {
+			if first == nil {
+				first = &shardmap.Signed{Map: sm.Map.Clone(), Sig: sm.Sig}
+				return ErrNotApplicable // nothing to replay yet: serve honestly, remember
+			}
+			if sm.Map.MapEpoch <= first.Map.MapEpoch || sm.Map.Epoch != first.Map.Epoch {
+				return ErrNotApplicable // no transition has landed since the capture
+			}
+			sm.Map = first.Map.Clone()
+			sm.Sig = first.Sig
+			return nil
+		},
+	}
+}
+
+// HideSplit rewrites the served map to pretend the most recent split
+// never happened: the first two shards are folded back into one (the
+// left child's root digest claiming the merged range) and the partition
+// epoch is rewound. Unlike ReplayPreSplitMap this forges map CONTENT —
+// the central never signed this shape — so the map signature itself
+// fails and clients reject it as tampered.
+func HideSplit() MapAttack {
+	return MapAttack{
+		Name:        "hide-split",
+		Description: "fold a split's children back into one shard in the served map, rewinding the partition epoch",
+		Apply: func(sm *shardmap.Signed) error {
+			m := sm.Map
+			if m.MapEpoch < 2 || len(m.Shards) < 2 {
+				return ErrNotApplicable // no transition to hide
+			}
+			m.Shards = append(m.Shards[:1], m.Shards[2:]...)
+			m.Boundaries = m.Boundaries[1:]
+			m.MapEpoch--
+			if m.ParentEpoch > 0 {
+				m.ParentEpoch--
+			}
+			return nil
+		},
+	}
+}
+
+// CrossEpochSplice serves the current (post-transition) partition shape
+// but with a root digest from a superseded epoch spliced into one
+// shard — an edge pairing new partition metadata with a retired shard's
+// base data. The central signed both digests, but never this pairing,
+// so the map signature fails closed.
+func CrossEpochSplice() MapAttack {
+	var first *shardmap.Signed
+	return MapAttack{
+		Name:        "cross-epoch-splice",
+		Description: "splice a superseded epoch's shard root digest into the current served map",
+		Apply: func(sm *shardmap.Signed) error {
+			if first == nil {
+				first = &shardmap.Signed{Map: sm.Map.Clone(), Sig: sm.Sig}
+				return ErrNotApplicable
+			}
+			if sm.Map.MapEpoch <= first.Map.MapEpoch || sm.Map.Epoch != first.Map.Epoch {
+				return ErrNotApplicable
+			}
+			for i := range sm.Map.Shards {
+				for _, old := range first.Map.Shards {
+					if !bytes.Equal(old.RootDigest, sm.Map.Shards[i].RootDigest) {
+						sm.Map.Shards[i].RootDigest = append([]byte(nil), old.RootDigest...)
+						return nil
+					}
+				}
+			}
+			return ErrNotApplicable // every digest survived the transition unchanged
+		},
+	}
+}
+
 // MapAttacks returns the shard-map attack catalogue.
 func MapAttacks() []MapAttack {
 	return []MapAttack{
 		DropShardFromMap(),
 		RewireShardDigests(),
+		ReplayPreSplitMap(),
+		HideSplit(),
+		CrossEpochSplice(),
 	}
 }
 

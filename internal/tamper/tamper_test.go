@@ -88,6 +88,30 @@ func TestCatalogueIsValid(t *testing.T) {
 	if err := Validate([]Attack{MutateValue(), MutateValue()}); err == nil {
 		t.Fatal("duplicate attack accepted")
 	}
+	// Attack names are a flat namespace across all three catalogues —
+	// edged -tamper resolves by name with no qualifier.
+	seen := map[string]bool{}
+	for _, a := range All() {
+		seen[a.Name] = true
+	}
+	for _, a := range MapAttacks() {
+		if a.Name == "" || a.Apply == nil {
+			t.Fatalf("malformed map attack %+v", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("map attack %q collides with another catalogue entry", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, a := range PeerAttacks() {
+		if a.Name == "" {
+			t.Fatalf("malformed peer attack %+v", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("peer attack %q collides with another catalogue entry", a.Name)
+		}
+		seen[a.Name] = true
+	}
 }
 
 func TestEveryAttackIsDetected(t *testing.T) {

@@ -35,6 +35,33 @@ import (
 // shard answer. It wraps ErrVerification.
 var ErrShardBinding = errors.New("verify: shard answer not bound to the shard map")
 
+// ErrMapReplay marks a correctly signed shard map whose partition epoch
+// regresses below one the client already verified for the same table
+// incarnation — the replay-pre-split attack: an edge serving a
+// superseded map to route queries around a shard a split created.
+var ErrMapReplay = errors.New("verify: shard map replays a superseded partition epoch")
+
+// CheckMapSuccession enforces the monotone partition-epoch contract
+// between the freshest map already verified for a table incarnation
+// (prevEpoch/prevMapEpoch) and a newly verified map m: within one
+// incarnation the map epoch may only advance, because every online
+// split or merge commits a strictly newer generation linked to its
+// parent. A signature alone cannot catch this — a pre-split map is
+// still correctly signed — so the client's epoch high-water mark is
+// part of the trust model. Legacy maps (MapEpoch 0) predate epoch
+// chaining and are exempt, as is a different table incarnation (which
+// restarts its own chain).
+func CheckMapSuccession(prevEpoch, prevMapEpoch uint64, m *shardmap.Map) error {
+	if m.MapEpoch == 0 || prevEpoch != m.Epoch {
+		return nil
+	}
+	if m.MapEpoch < prevMapEpoch {
+		return fmt.Errorf("%w: already verified partition epoch %d, map presents %d",
+			ErrMapReplay, prevMapEpoch, m.MapEpoch)
+	}
+	return nil
+}
+
 // VerifyShardMap checks a signed shard map against the trusted keys: the
 // signature must recover under the map's key version, resolved and
 // validity-checked at the verifier's own clock, and the map must name

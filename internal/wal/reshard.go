@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"edgeauth/internal/schema"
+)
+
+// ReshardOp is the typed payload of a RecReshard record: one online
+// partition transition. The central server appends it to the table's
+// meta log before publishing the new map epoch, so restart recovery can
+// replay the partition history — which shard WALs exist, which are
+// retired — alongside the per-shard tuple histories.
+type ReshardOp struct {
+	// Split is true for a boundary insert (one shard became two), false
+	// for a merge (two adjacent shards became one).
+	Split bool
+	// Shard is the partition index the transition applied to in the
+	// parent generation: the shard that was split, or the left shard of
+	// the merged pair.
+	Shard uint32
+	// Boundary is the inserted split key (splits only; nil for merges —
+	// the removed boundary is implied by Shard).
+	Boundary *schema.Datum
+	// RetiredIDs and NewIDs are the stable shard identities destroyed
+	// and created by the transition (1->2 for a split, 2->1 for a merge).
+	RetiredIDs []uint64
+	NewIDs     []uint64
+	// MapEpoch and ParentEpoch mirror the signed map's generation link.
+	MapEpoch    uint64
+	ParentEpoch uint64
+}
+
+// EncodeReshardPayload serializes a transition record.
+func EncodeReshardPayload(op *ReshardOp) []byte {
+	var out []byte
+	if op.Split {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	var u4 [4]byte
+	var u8 [8]byte
+	binary.BigEndian.PutUint32(u4[:], op.Shard)
+	out = append(out, u4[:]...)
+	if op.Boundary != nil {
+		out = append(out, 1)
+		out = op.Boundary.Encode(out)
+	} else {
+		out = append(out, 0)
+	}
+	for _, ids := range [][]uint64{op.RetiredIDs, op.NewIDs} {
+		binary.BigEndian.PutUint32(u4[:], uint32(len(ids)))
+		out = append(out, u4[:]...)
+		for _, id := range ids {
+			binary.BigEndian.PutUint64(u8[:], id)
+			out = append(out, u8[:]...)
+		}
+	}
+	binary.BigEndian.PutUint64(u8[:], op.MapEpoch)
+	out = append(out, u8[:]...)
+	binary.BigEndian.PutUint64(u8[:], op.ParentEpoch)
+	out = append(out, u8[:]...)
+	return out
+}
+
+// DecodeReshardPayload parses a payload written by EncodeReshardPayload.
+func DecodeReshardPayload(payload []byte) (*ReshardOp, error) {
+	op := &ReshardOp{}
+	off := 0
+	need := func(n int) bool { return off+n <= len(payload) }
+	if !need(5) {
+		return nil, errors.New("wal: truncated reshard payload")
+	}
+	op.Split = payload[off] == 1
+	off++
+	op.Shard = binary.BigEndian.Uint32(payload[off:])
+	off += 4
+	if !need(1) {
+		return nil, errors.New("wal: truncated reshard payload")
+	}
+	hasBoundary := payload[off] == 1
+	off++
+	if hasBoundary {
+		d, used, err := schema.DecodeDatum(payload[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wal: reshard boundary: %w", err)
+		}
+		off += used
+		op.Boundary = &d
+	}
+	for _, dst := range []*[]uint64{&op.RetiredIDs, &op.NewIDs} {
+		if !need(4) {
+			return nil, errors.New("wal: truncated reshard payload")
+		}
+		n := int(binary.BigEndian.Uint32(payload[off:]))
+		off += 4
+		if n < 0 || n > len(payload) {
+			return nil, fmt.Errorf("wal: implausible reshard ID count %d", n)
+		}
+		for i := 0; i < n; i++ {
+			if !need(8) {
+				return nil, errors.New("wal: truncated reshard payload")
+			}
+			*dst = append(*dst, binary.BigEndian.Uint64(payload[off:]))
+			off += 8
+		}
+	}
+	if !need(16) {
+		return nil, errors.New("wal: truncated reshard payload")
+	}
+	op.MapEpoch = binary.BigEndian.Uint64(payload[off:])
+	off += 8
+	op.ParentEpoch = binary.BigEndian.Uint64(payload[off:])
+	off += 8
+	if off != len(payload) {
+		return nil, errors.New("wal: trailing bytes in reshard payload")
+	}
+	return op, nil
+}

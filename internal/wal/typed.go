@@ -23,6 +23,9 @@ type Op struct {
 	Tuples []schema.Tuple
 	// Lo/Hi bound the key range for RecDelete; nil means unbounded.
 	Lo, Hi *schema.Datum
+	// Reshard is set for RecReshard (a partition split/merge transition
+	// in a table's meta log).
+	Reshard *ReshardOp
 }
 
 // EncodeInsertPayload serializes an insert's payload.
@@ -131,6 +134,12 @@ func ParseOp(r Record) (Op, error) {
 			return Op{}, fmt.Errorf("wal: batch record %d: %w", r.LSN, err)
 		}
 		op.Tuples = tuples
+	case RecReshard:
+		rop, err := DecodeReshardPayload(r.Payload)
+		if err != nil {
+			return Op{}, fmt.Errorf("wal: reshard record %d: %w", r.LSN, err)
+		}
+		op.Reshard = rop
 	case RecCheckpoint:
 	default:
 		return Op{}, fmt.Errorf("wal: record %d has unknown type %v", r.LSN, r.Type)

@@ -36,6 +36,11 @@ const (
 	// RecBatch logs a group-committed insert batch as one record (one
 	// append, one fsync for the whole batch); payload encodes the tuples.
 	RecBatch
+	// RecReshard logs a partition transition (online shard split or
+	// merge) in the table's meta log; payload encodes the transition so
+	// restart recovery replays the partition history, not just the
+	// per-shard tuple histories.
+	RecReshard
 )
 
 func (r RecordType) String() string {
@@ -48,6 +53,8 @@ func (r RecordType) String() string {
 		return "checkpoint"
 	case RecBatch:
 		return "batch"
+	case RecReshard:
+		return "reshard"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(r))
 	}

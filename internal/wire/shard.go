@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"edgeauth/internal/schema"
 )
 
 // Shard-scoped replication and query frames.
@@ -168,6 +170,105 @@ func DecodeShardQueryResponse(body []byte) (*ShardQueryResponse, error) {
 		return nil, err
 	}
 	return &ShardQueryResponse{Resp: resp, SignedMap: mb}, nil
+}
+
+// ReshardOpKind selects the partition transition an admin requests.
+type ReshardOpKind uint8
+
+const (
+	// ReshardSplit splits one shard at a boundary (server-chosen median
+	// when the request carries none).
+	ReshardSplit ReshardOpKind = iota + 1
+	// ReshardMerge merges shard Shard with its right neighbor Shard+1.
+	ReshardMerge
+)
+
+func (k ReshardOpKind) String() string {
+	switch k {
+	case ReshardSplit:
+		return "split"
+	case ReshardMerge:
+		return "merge"
+	}
+	return fmt.Sprintf("ReshardOpKind(%d)", uint8(k))
+}
+
+// ReshardRequest is the admin frame commanding an online partition
+// transition at the central server. It is a manual override of the
+// hot-shard detector: operators (or tests) split/merge a specific shard
+// without waiting for the EWMA thresholds to trip.
+type ReshardRequest struct {
+	Table string
+	Op    ReshardOpKind
+	// Shard is the partition index to split, or the left index of the
+	// pair to merge.
+	Shard uint32
+	// HasBoundary/Boundary optionally pin the split key; without it the
+	// server splits at the shard's median key. Ignored for merges.
+	HasBoundary bool
+	Boundary    schema.Datum
+}
+
+// Encode serializes the request.
+func (r *ReshardRequest) Encode() []byte {
+	out := appendStr(nil, r.Table)
+	out = appendU8(out, uint8(r.Op))
+	out = appendU32(out, r.Shard)
+	if r.HasBoundary {
+		out = appendU8(out, 1)
+		out = r.Boundary.Encode(out)
+	} else {
+		out = appendU8(out, 0)
+	}
+	return out
+}
+
+// DecodeReshardRequest parses a ReshardRequest.
+func DecodeReshardRequest(body []byte) (*ReshardRequest, error) {
+	r := &reader{data: body}
+	q := &ReshardRequest{Table: r.str("table")}
+	q.Op = ReshardOpKind(r.u8("reshard op"))
+	q.Shard = r.u32("shard")
+	if r.u8("boundary flag") == 1 && r.err == nil {
+		v, used, err := schema.DecodeDatum(body[r.off:])
+		if err != nil {
+			return nil, err
+		}
+		r.off += used
+		q.HasBoundary, q.Boundary = true, v
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if q.Op != ReshardSplit && q.Op != ReshardMerge {
+		return nil, fmt.Errorf("wire: unknown reshard op %d", uint8(q.Op))
+	}
+	return q, nil
+}
+
+// ReshardResponse reports the committed transition: the new partition
+// generation and shard count, so callers can poll maps until edges have
+// caught up to MapEpoch.
+type ReshardResponse struct {
+	MapEpoch  uint64
+	NumShards uint32
+}
+
+// Encode serializes the response.
+func (r *ReshardResponse) Encode() []byte {
+	out := appendU64(nil, r.MapEpoch)
+	return appendU32(out, r.NumShards)
+}
+
+// DecodeReshardResponse parses a ReshardResponse.
+func DecodeReshardResponse(body []byte) (*ReshardResponse, error) {
+	r := &reader{data: body}
+	q := &ReshardResponse{MapEpoch: r.u64("map epoch")}
+	q.NumShards = r.u32("shard count")
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return q, nil
 }
 
 // ErrNotSharded is returned (inside a CodeUnsupported wire error) when a

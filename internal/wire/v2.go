@@ -160,6 +160,10 @@ const (
 	// holds no delta covering the requester's version; the requester can
 	// take a snapshot from this peer (catch-up) or fail over.
 	CodeDeltaGap
+	// CodeShardMoved means the request addressed a shard index that an
+	// online split/merge has since re-numbered or retired; the caller
+	// should refetch the shard map (a newer epoch) and re-route.
+	CodeShardMoved
 )
 
 func (c ErrCode) String() string {
@@ -180,6 +184,8 @@ func (c ErrCode) String() string {
 		return "behind"
 	case CodeDeltaGap:
 		return "delta-gap"
+	case CodeShardMoved:
+		return "shard-moved"
 	}
 	return fmt.Sprintf("ErrCode(%d)", uint16(c))
 }
@@ -194,6 +200,7 @@ var (
 	ErrDuplicateKey = errors.New("wire: duplicate key")
 	ErrBehind       = errors.New("wire: serving peer behind requester")
 	ErrDeltaGap     = errors.New("wire: peer relay cache gap")
+	ErrShardMoved   = errors.New("wire: shard re-partitioned")
 )
 
 // WireError is the typed error frame body of protocol v2. It implements
@@ -230,6 +237,8 @@ func (e *WireError) Is(target error) bool {
 		return e.Code == CodeBehind
 	case ErrDeltaGap:
 		return e.Code == CodeDeltaGap
+	case ErrShardMoved:
+		return e.Code == CodeShardMoved
 	}
 	return false
 }
@@ -301,4 +310,11 @@ func Behind(table, msg string) *WireError {
 // current but holds no relayable delta covering the requester's version.
 func DeltaGap(table, msg string) *WireError {
 	return &WireError{Code: CodeDeltaGap, Table: table, Msg: msg}
+}
+
+// ShardMoved builds the typed error for a shard index that an online
+// partition transition has re-numbered or retired since the caller
+// fetched its map.
+func ShardMoved(table, msg string) *WireError {
+	return &WireError{Code: CodeShardMoved, Table: table, Msg: msg}
 }

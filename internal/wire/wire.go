@@ -84,6 +84,11 @@ const (
 	MsgShardDeltaReq
 	MsgShardQueryReq
 	MsgShardQueryResp
+	// MsgReshardReq / MsgReshardResp carry an online partition-transition
+	// command (split a hot shard, merge a cold pair) to the central
+	// server's admin surface (see shard.go).
+	MsgReshardReq
+	MsgReshardResp
 )
 
 func (m MsgType) String() string {
@@ -104,6 +109,8 @@ func (m MsgType) String() string {
 		MsgShardDeltaReq:    "shard-delta-req",
 		MsgShardQueryReq:    "shard-query-req",
 		MsgShardQueryResp:   "shard-query-resp",
+		MsgReshardReq:       "reshard-req",
+		MsgReshardResp:      "reshard-resp",
 	}
 	if n, ok := names[m]; ok {
 		return n

@@ -101,6 +101,20 @@ func payload(rng *rand.Rand, n int) string {
 	return string(b)
 }
 
+// ZipfBuckets returns n bucket indexes drawn zipfian over [0, buckets)
+// — the skewed ingest/query distribution for hot-shard experiments
+// (most draws land in bucket 0). s is the zipf exponent (> 1; larger
+// is more skewed). Deterministic for a given seed.
+func ZipfBuckets(n, buckets int, s float64, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(buckets-1))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
 // RangeForSelectivity returns a key range [lo, hi] covering pct percent of
 // a table with rows sequential int64 keys, starting at a deterministic
 // offset derived from seed.
