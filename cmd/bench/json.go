@@ -127,6 +127,16 @@ type ReshardPoint struct {
 	// codec output, gated.
 	HotVOBytesBefore float64 `json:"hot_vo_bytes_before"`
 	HotVOBytesAfter  float64 `json:"hot_vo_bytes_after"`
+	// In-lock barrier stall of a quiescent median split, by parent shard
+	// size (min of 3 fresh builds each). The absolute stalls are
+	// hardware-dependent; their ratio is the incremental-transition
+	// contract benchdiff gates: the child builds stream outside the
+	// partition lock, so the barrier pays O(tail)+O(1) signatures and
+	// the stall must not scale with the shard's size.
+	BarrierStallSmallMicros float64 `json:"barrier_stall_small_us"`
+	BarrierStallLargeMicros float64 `json:"barrier_stall_large_us"`
+	// BarrierStallRatio = large/small for a 64x shard-size gap.
+	BarrierStallRatio float64 `json:"barrier_stall_ratio"`
 }
 
 // runJSON executes the compact workload and writes the report.
@@ -195,6 +205,17 @@ func runJSON(out io.Writer, rows, keyBits, pageSize int, shardCounts []int) erro
 	rp, err := measureReshard(edKey, rows, pageSize)
 	if err != nil {
 		return fmt.Errorf("reshard: %w", err)
+	}
+	// Stall sweep: the in-lock barrier cost at a 64x shard-size gap.
+	const stallSmallRows, stallLargeRows = 1024, 64 * 1024
+	if rp.BarrierStallSmallMicros, err = measureBarrierStall(edKey, pageSize, stallSmallRows); err != nil {
+		return fmt.Errorf("reshard stall (small): %w", err)
+	}
+	if rp.BarrierStallLargeMicros, err = measureBarrierStall(edKey, pageSize, stallLargeRows); err != nil {
+		return fmt.Errorf("reshard stall (large): %w", err)
+	}
+	if rp.BarrierStallSmallMicros > 0 {
+		rp.BarrierStallRatio = rp.BarrierStallLargeMicros / rp.BarrierStallSmallMicros
 	}
 	report.Reshard = rp
 
@@ -504,6 +525,35 @@ func measureReshard(key *sig.PrivateKey, rows, pageSize int) (ReshardPoint, erro
 
 // hotRangeP99 samples verified range queries across the hot key region
 // [0, hotSpan) and returns the p99 latency and average VO size.
+// measureBarrierStall builds a fresh single-shard table of rows tuples
+// and median-splits it, reporting the in-lock barrier stall in
+// microseconds (the ReshardBarrierStallMs stat delta — wall time inside
+// the partition write lock, excluding the unlocked streaming build).
+// Min of 3 fresh rounds; each round needs its own server because a
+// split consumes its parent.
+func measureBarrierStall(key *sig.PrivateKey, pageSize, rows int) (float64, error) {
+	ctx := context.Background()
+	best := 0.0
+	for round := 0; round < 3; round++ {
+		srv, sch, err := benchServer(key, rows, pageSize, 1, false)
+		if err != nil {
+			return 0, err
+		}
+		s0 := srv.Stats()
+		_, err = srv.SplitShard(ctx, sch.Table, 0, nil)
+		s1 := srv.Stats()
+		srv.Close()
+		if err != nil {
+			return 0, err
+		}
+		stall := (s1.ReshardBarrierStallMs - s0.ReshardBarrierStallMs) * 1000
+		if round == 0 || stall < best {
+			best = stall
+		}
+	}
+	return best, nil
+}
+
 func hotRangeP99(ctx context.Context, srv *central.Server, table string, hotSpan int) (p99, voAvg float64, err error) {
 	const samples = 100
 	const span = 20

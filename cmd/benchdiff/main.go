@@ -64,6 +64,9 @@ type report struct {
 		MergeSignOps     float64 `json:"merge_sign_ops"`
 		HotVOBytesBefore float64 `json:"hot_vo_bytes_before"`
 		HotVOBytesAfter  float64 `json:"hot_vo_bytes_after"`
+		StallSmall       float64 `json:"barrier_stall_small_us"`
+		StallLarge       float64 `json:"barrier_stall_large_us"`
+		StallRatio       float64 `json:"barrier_stall_ratio"`
 	} `json:"reshard"`
 }
 
@@ -189,6 +192,15 @@ func main() {
 	d.check("reshard.hot_p99_after_us", or.HotP99After, nr.HotP99After, false, false)
 	d.check("reshard.split_stall_us", or.SplitStall, nr.SplitStall, false, false)
 	d.check("reshard.merge_stall_us", or.MergeStall, nr.MergeStall, false, false)
+	// The barrier stall ratio is the incremental-transition contract:
+	// child builds run outside the partition lock, so the in-lock stall
+	// of a 64x-larger shard's split must stay a small constant multiple
+	// of the small shard's — never track the 64x size gap. The absolute
+	// stalls are hardware and stay informational; the ratio is
+	// machine-independent and gated.
+	d.check("reshard.barrier_stall_ratio", or.StallRatio, nr.StallRatio, false, true)
+	d.check("reshard.barrier_stall_small_us", or.StallSmall, nr.StallSmall, false, false)
+	d.check("reshard.barrier_stall_large_us", or.StallLarge, nr.StallLarge, false, false)
 
 	if d.failures > 0 {
 		fmt.Printf("\nbenchdiff: %d metric(s) regressed beyond %.0f%%\n", d.failures, *threshold*100)

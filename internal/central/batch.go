@@ -166,6 +166,28 @@ func (s *Server) applyShardBatch(t *table, sh *shard, tuples []schema.Tuple) (in
 		sh.stashJournal()
 		return 0, opErrs, err
 	}
+	// Feed the load sketch and, when a transition has this shard pinned,
+	// its delta tail — applied tuples only: a per-op failure (duplicate
+	// key) applied nothing here, and replaying it into a transition child
+	// would diverge the child from the parent's history.
+	applied := tuples
+	for j := range opErrs {
+		if opErrs[j] != nil {
+			applied = make([]schema.Tuple, 0, stats.Applied)
+			for k, e := range opErrs {
+				if e == nil {
+					applied = append(applied, tuples[k])
+				}
+			}
+			break
+		}
+	}
+	for _, tup := range applied {
+		sh.sketch.observe(tup.Key(t.sch))
+	}
+	if len(applied) > 0 && sh.tail != nil {
+		sh.tail.recordInserts(applied)
+	}
 	if stats.Applied == 0 {
 		sh.stashJournal()
 		return 0, opErrs, nil
@@ -189,12 +211,15 @@ type pendingOp struct {
 }
 
 // reshardCmd is one queued partition transition: a split of shard
-// `shard` (at boundary, or its median when nil) or a merge of `shard`
-// with its right neighbor.
+// `shard` (at boundary, or its load/key median when nil) or a merge of
+// `shard` with its right neighbor. By the time a cmd reaches the
+// barrier queue its transition is already prepared — the children are
+// built and caught up — so tr carries the work to the leader.
 type reshardCmd struct {
 	split    bool
 	shard    uint32
 	boundary *schema.Datum
+	tr       *preparedTransition
 }
 
 // barrier reports whether the op must commit alone at its queue
@@ -247,21 +272,6 @@ func (s *Server) enqueueDelete(ctx context.Context, tableName string, lo, hi *sc
 		return 0, err
 	}
 	return res.n, res.err
-}
-
-// enqueueReshard routes a partition transition through the ordered
-// queue: like a delete it is a barrier, so it cannot commit ahead of
-// inserts that arrived before it, and a round in flight finishes before
-// the partition changes under it.
-func (s *Server) enqueueReshard(ctx context.Context, tableName string, cmd *reshardCmd) (*wire.ReshardResponse, error) {
-	if s.maxBatch() <= 1 {
-		return s.doReshard(tableName, cmd)
-	}
-	res, err := s.enqueueOp(ctx, tableName, &pendingOp{reshard: cmd, done: make(chan opResult, 1)})
-	if err != nil {
-		return nil, err
-	}
-	return res.reshard, res.err
 }
 
 func (s *Server) enqueueOp(ctx context.Context, tableName string, op *pendingOp) (opResult, error) {
@@ -348,7 +358,10 @@ func (s *Server) leadCommits(tableName string, gc *groupCommitter) {
 			gc.queue = append(gc.queue[:0:0], gc.queue[1:]...)
 			gc.mu.Unlock()
 			if op.reshard != nil {
-				resp, err := s.doReshard(tableName, op.reshard)
+				// The transition was prepared and caught up before it was
+				// queued; the barrier position only orders its swap against
+				// the coalesced writes around it.
+				resp, err := s.finishReshard(op.reshard.tr)
 				op.done <- opResult{reshard: resp, err: err}
 			} else {
 				n, err := s.DeleteRange(tableName, op.lo, op.hi)

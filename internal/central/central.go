@@ -113,6 +113,19 @@ type Options struct {
 	// Interval a background loop ticks every table; with Interval zero
 	// the caller drives AutoReshardTick manually.
 	AutoReshard *AutoReshardOptions
+	// ReshardTailBound caps how many delta-tail tuples a transition may
+	// replay inside the partition write lock: while the tail measured
+	// outside the lock exceeds the bound, extra catch-up rounds replay
+	// it lock-free before the barrier is taken. 0 selects
+	// DefaultReshardTailBound; negative disables the pre-barrier
+	// catch-up (the whole tail replays under the lock).
+	ReshardTailBound int
+	// ReshardCheckpointEvery, when positive, writes a partition
+	// checkpoint into the table's meta log after every N committed
+	// transitions, so replaying a long split/merge history is truncated
+	// to the checkpointed state plus at most N records. 0 disables
+	// checkpointing.
+	ReshardCheckpointEvery int
 }
 
 // DefaultDeltaRetention is the changelog depth kept per shard when
@@ -187,6 +200,18 @@ type table struct {
 
 	// detMu guards the hot-shard detector's EWMA state (shard.ewma).
 	detMu sync.Mutex
+
+	// reshardMu serializes whole partition transitions (pin, unlocked
+	// child builds, catch-up, barrier) so at most one is in flight per
+	// table. It is never held while holding partMu or any shard lock in
+	// a way that could invert orders: prepare takes shard locks only
+	// briefly to pin, and the barrier body takes partMu on its own.
+	reshardMu sync.Mutex
+
+	// transitionsSinceCkpt counts committed transitions since the last
+	// meta-log partition checkpoint. Guarded by partMu's write lock
+	// (only the barrier body, which holds it, touches the counter).
+	transitionsSinceCkpt int
 }
 
 // partition is one immutable generation of a table's shard layout,
@@ -234,6 +259,18 @@ type shard struct {
 	ingestLoad atomic.Uint64
 	queryLoad  atomic.Uint64
 	ewma       float64
+
+	// sketch samples the keys this shard's load actually touches, so a
+	// detector-driven split can place its boundary at the load median
+	// instead of the key-count median. It has its own leaf mutex.
+	sketch loadSketch
+
+	// tail, when non-nil, is the delta tail of an in-flight incremental
+	// transition this shard is a parent of: every update committed after
+	// the transition pinned its snapshot is recorded (under mu, after
+	// the tree apply succeeds) so the barrier can catch the children up
+	// without rescanning the shard. Installed and removed under mu.
+	tail *reshardTail
 
 	// rootDigest caches the unsigned root digest after each commit, so
 	// map re-signs don't pay an RSA recovery per shard.
@@ -840,6 +877,10 @@ func (s *Server) insertShard(t *table, sh *shard, tup schema.Tuple) error {
 		sh.stashJournal()
 		return err
 	}
+	if sh.tail != nil {
+		sh.tail.recordInserts([]schema.Tuple{tup})
+	}
+	sh.sketch.observe(tup.Key(t.sch))
 	return s.commitShard(t, sh, lsn)
 }
 
@@ -889,6 +930,9 @@ func (s *Server) deleteShardRange(t *table, sh *shard, lo, hi *schema.Datum) (in
 	if err != nil {
 		sh.stashJournal()
 		return 0, err
+	}
+	if n > 0 && sh.tail != nil {
+		sh.tail.recordDelete(lo, hi)
 	}
 	if n > 0 {
 		if err := s.commitShard(t, sh, lsn); err != nil {
@@ -1089,9 +1133,30 @@ func (s *Server) LoggedOps(tableName string) ([]wal.Op, error) {
 	return ops, nil
 }
 
+// MetaCheckpoint returns the newest partition checkpoint in a table's
+// meta log (nil if none has been written). A checkpoint truncates
+// replay: ReshardHistory resumes from the state it captures instead of
+// the table's first transition. Requires Options.WALDir.
+func (s *Server) MetaCheckpoint(tableName string) (*wal.PartitionCheckpoint, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.partMu.RLock()
+	defer t.partMu.RUnlock()
+	if t.metaLog == nil {
+		return nil, errors.New("central: write-ahead logging not enabled")
+	}
+	if err := t.metaLog.Sync(); err != nil {
+		return nil, err
+	}
+	return wal.LastCheckpoint(filepath.Join(s.opts.WALDir, tableName+".meta.wal"))
+}
+
 // ReshardHistory replays a table's meta log: the typed partition
 // transitions (splits and merges) committed this incarnation, oldest
-// first. Requires Options.WALDir.
+// first — starting after the last checkpoint when one has been written
+// (see Options.ReshardCheckpointEvery). Requires Options.WALDir.
 func (s *Server) ReshardHistory(tableName string) ([]*wal.ReshardOp, error) {
 	t, err := s.table(tableName)
 	if err != nil {
@@ -1176,7 +1241,12 @@ func (s *Server) RunShardQuery(ctx context.Context, tableName string, idx uint32
 }
 
 func (s *Server) runShardQuery(ctx context.Context, t *table, sh *shard, q vbtree.Query) (*wire.QueryResponse, error) {
-	sh.queryLoad.Add(1)
+	// Sample a fraction of query lower bounds into the load sketch so
+	// read-heavy hotspots steer split boundaries too, without a mutex
+	// acquisition on every query.
+	if n := sh.queryLoad.Add(1); n%8 == 0 && q.Lo != nil {
+		sh.sketch.observe(*q.Lo)
+	}
 	pinned, st, err := sh.snapState()
 	if err != nil {
 		return nil, err

@@ -3,10 +3,15 @@ package central
 import (
 	"context"
 	"fmt"
+	"path/filepath"
+	"sync"
 	"time"
 
+	"edgeauth/internal/lock"
 	"edgeauth/internal/schema"
 	"edgeauth/internal/shardmap"
+	"edgeauth/internal/storage"
+	"edgeauth/internal/vbtree"
 	"edgeauth/internal/wal"
 	"edgeauth/internal/wire"
 )
@@ -17,14 +22,51 @@ import (
 // commits as one new map epoch with an explicit parent link, so a
 // replayed pre-transition map fails closed at every verifier.
 //
-// Serialization: a transition takes the table's partition write lock,
-// waiting out in-flight write batches (which hold the read lock from
-// routing through republish) and blocking new ones. Queries, snapshot
-// pulls and delta serves are untouched — they run lock-free against
-// pinned snapshots of whichever partition generation they loaded.
-// Through the group-commit front door a transition is a barrier op,
-// exactly like a delete: it commits alone at its arrival position, so
-// it can never reorder around coalesced inserts on the same table.
+// Transitions are incremental: the expensive part — streaming the child
+// VB-tree builds out of the parent shard(s) — runs against a pinned
+// snapshot WITHOUT the partition write lock, while a per-transition
+// delta tail records every update that commits on the parents after the
+// pin. The partition lock is taken only at the final barrier, which
+// replays the (bounded) tail into the children, assigns their final
+// version, re-signs nothing beyond what the swap itself requires, WALs
+// the RecReshard and swaps the generation. If the tail outgrows the
+// configured bound, catch-up rounds replay it outside the lock first,
+// so the in-lock stall is O(tail bound), never O(shard pages).
+//
+// Serialization: reshardMu admits one transition per table at a time.
+// Through the group-commit front door the barrier is still a queue
+// barrier, exactly like a delete: it commits alone at its arrival
+// position, so it can never reorder around coalesced inserts on the
+// same table. Queries, snapshot pulls and delta serves are untouched
+// throughout — they run lock-free against pinned snapshots of whichever
+// partition generation they loaded.
+
+// DefaultReshardTailBound caps the in-lock tail replay when
+// Options.ReshardTailBound is zero.
+const DefaultReshardTailBound = 64
+
+// reshardBuildChunk is the streaming granularity of phase-1 child
+// builds: tuples per presign/pack round and per WAL seed record.
+const reshardBuildChunk = 1024
+
+// maxCatchupRounds bounds the pre-barrier catch-up loop: under a write
+// rate that re-fills the tail faster than a round drains it, more
+// lock-free rounds cannot converge, so the barrier takes whatever tail
+// remains (the soak shows it stays near one round's arrivals).
+const maxCatchupRounds = 8
+
+// reshardTailBound resolves Options.ReshardTailBound: 0 = default,
+// negative = no pre-barrier catch-up.
+func (s *Server) reshardTailBound() int {
+	switch {
+	case s.opts.ReshardTailBound == 0:
+		return DefaultReshardTailBound
+	case s.opts.ReshardTailBound < 0:
+		return -1
+	default:
+		return s.opts.ReshardTailBound
+	}
+}
 
 // AutoReshardOptions configures the hot-shard detector: an EWMA over
 // each shard's per-tick ingest+query counters, compared against the
@@ -83,8 +125,7 @@ func (o AutoReshardOptions) alpha() float64 {
 }
 
 // Reshard executes one admin-commanded partition transition (the
-// MsgReshardReq handler). It flows through the group-commit queue as a
-// barrier op, so it serializes in arrival order with coalesced writes.
+// MsgReshardReq handler).
 func (s *Server) Reshard(ctx context.Context, req *wire.ReshardRequest) (*wire.ReshardResponse, error) {
 	switch req.Op {
 	case wire.ReshardSplit:
@@ -100,36 +141,538 @@ func (s *Server) Reshard(ctx context.Context, req *wire.ReshardRequest) (*wire.R
 		Msg: fmt.Sprintf("central: unknown reshard op %v", req.Op)}
 }
 
-// SplitShard splits shard idx at boundary (nil = the shard's median
-// key), committing a new map epoch. The transition carves the two new
-// VB-trees from the old shard's pinned state, re-signs exactly their
-// two roots plus the map, WALs a typed RecReshard record, and swaps the
-// partition generation in one commit.
+// SplitShard splits shard idx at boundary (nil = the shard's load
+// median when the sketch is warm, else its key median), committing a
+// new map epoch. The children are streamed from the parent's pinned
+// state outside the partition lock; the swap re-signs exactly their two
+// roots plus the map, WALs a typed RecReshard record and commits the
+// new generation at a bounded catch-up barrier.
 func (s *Server) SplitShard(ctx context.Context, tableName string, idx uint32, boundary *schema.Datum) (*wire.ReshardResponse, error) {
-	return s.enqueueReshard(ctx, tableName, &reshardCmd{split: true, shard: idx, boundary: boundary})
+	return s.runReshard(ctx, tableName, &reshardCmd{split: true, shard: idx, boundary: boundary})
 }
 
 // MergeShards merges shard idx with its right neighbor idx+1 — the
 // inverse transition: one new tree over the pair's union, one root
 // re-sign plus the map, one new map epoch.
 func (s *Server) MergeShards(ctx context.Context, tableName string, idx uint32) (*wire.ReshardResponse, error) {
-	return s.enqueueReshard(ctx, tableName, &reshardCmd{shard: idx})
+	return s.runReshard(ctx, tableName, &reshardCmd{shard: idx})
 }
 
-// doReshard runs one transition to completion. It is the barrier body
-// the group-commit leader executes (or the direct path when coalescing
-// is disabled).
-func (s *Server) doReshard(tableName string, cmd *reshardCmd) (*wire.ReshardResponse, error) {
+// tailOp is one committed parent update recorded after the transition's
+// snapshot pin: an applied insert run or a key-range delete.
+type tailOp struct {
+	tuples []schema.Tuple
+	del    bool
+	lo, hi *schema.Datum
+}
+
+// reshardTail is the delta tail of one in-flight transition. Writers
+// append under their shard's write lock (so tail order is parent commit
+// order — with a merge's shared tail, the interleaved global order);
+// the transition drains it in catch-up rounds and at the barrier. The
+// mutex is a leaf lock.
+type reshardTail struct {
+	mu     sync.Mutex
+	ops    []tailOp
+	queued int // tuples + deletes currently queued
+}
+
+func (rt *reshardTail) recordInserts(tuples []schema.Tuple) {
+	if len(tuples) == 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.ops = append(rt.ops, tailOp{tuples: tuples})
+	rt.queued += len(tuples)
+	rt.mu.Unlock()
+}
+
+func (rt *reshardTail) recordDelete(lo, hi *schema.Datum) {
+	rt.mu.Lock()
+	rt.ops = append(rt.ops, tailOp{del: true, lo: lo, hi: hi})
+	rt.queued++
+	rt.mu.Unlock()
+}
+
+// drain takes the queued ops; writers keep appending behind it.
+func (rt *reshardTail) drain() []tailOp {
+	rt.mu.Lock()
+	ops := rt.ops
+	rt.ops = nil
+	rt.queued = 0
+	rt.mu.Unlock()
+	return ops
+}
+
+func (rt *reshardTail) size() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.queued
+}
+
+// preparedTransition carries one transition from its unlocked build
+// phase to the barrier.
+type preparedTransition struct {
+	t    *table
+	cmd  *reshardCmd
+	part *partition // the generation the snapshots were pinned in
+	idx  int
+	// boundary is the resolved split key (splits only).
+	boundary schema.Datum
+	parents  []*shard
+	// installed lists the parents that had the tail hooked (for rollback).
+	installed []*shard
+	children  []*shard
+	tail      *reshardTail
+	op        *wal.ReshardOp
+	// begun is true once the RecReshardBegin record is durable.
+	begun bool
+}
+
+// uninstallTails detaches the delta tail from every parent it was
+// installed on.
+func (tr *preparedTransition) uninstallTails() {
+	for _, p := range tr.installed {
+		p.mu.Lock()
+		if p.tail == tr.tail {
+			p.tail = nil
+		}
+		p.mu.Unlock()
+	}
+	tr.installed = nil
+}
+
+// runReshard drives one transition end to end: prepare (pin + unlocked
+// child builds), lock-free catch-up, then the barrier — directly when
+// group commit is disabled, else as a barrier op through the ordered
+// queue so it cannot reorder around earlier coalesced writes.
+func (s *Server) runReshard(ctx context.Context, tableName string, cmd *reshardCmd) (*wire.ReshardResponse, error) {
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err
 	}
-	t.partMu.Lock()
-	defer t.partMu.Unlock()
-	if cmd.split {
-		return s.splitLocked(t, cmd)
+	t.reshardMu.Lock()
+	defer t.reshardMu.Unlock()
+	tr, err := s.prepareTransition(t, cmd)
+	if err != nil {
+		return nil, err
 	}
-	return s.mergeLocked(t, cmd)
+	if err := s.preCatchUp(tr); err != nil {
+		s.abortTransition(tr)
+		return nil, err
+	}
+	if s.maxBatch() <= 1 {
+		return s.finishReshard(tr)
+	}
+	cmd.tr = tr
+	res, err := s.enqueueOp(ctx, tableName, &pendingOp{reshard: cmd, done: make(chan opResult, 1)})
+	if err != nil {
+		// ctx expired with the barrier op still queued: the leader owns
+		// the prepared transition now and will finish (or abort) it; the
+		// caller only stops waiting for the acknowledgement.
+		return nil, err
+	}
+	return res.reshard, res.err
+}
+
+// prepareTransition is phase 1: validate, pin the parent snapshot(s)
+// and hook the delta tail (one shard-lock acquisition each — O(1), no
+// scan), resolve the boundary, allocate the child IDs, make the
+// transition's begin record durable and stream the child builds from
+// the pinned views. No partition lock is held; concurrent batches keep
+// committing against the parents and land in the tail.
+func (s *Server) prepareTransition(t *table, cmd *reshardCmd) (tr *preparedTransition, err error) {
+	part := t.part.Load()
+	idx := int(cmd.shard)
+	if cmd.split {
+		if idx < 0 || idx >= len(part.shards) {
+			return nil, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+				Msg: fmt.Sprintf("central: split shard %d out of range (table has %d shards)", idx, len(part.shards))}
+		}
+	} else {
+		if idx < 0 || idx+1 >= len(part.shards) {
+			return nil, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+				Msg: fmt.Sprintf("central: merge pair (%d,%d) out of range (table has %d shards)", idx, idx+1, len(part.shards))}
+		}
+	}
+	var parents []*shard
+	if cmd.split {
+		parents = []*shard{part.shards[idx]}
+	} else {
+		parents = []*shard{part.shards[idx], part.shards[idx+1]}
+	}
+
+	// pt stays valid in the cleanup closure even on `return nil, err`
+	// paths (which zero the named return).
+	pt := &preparedTransition{t: t, cmd: cmd, part: part, idx: idx, parents: parents, tail: &reshardTail{}}
+	tr = pt
+	var pins []*storage.Snapshot
+	defer func() {
+		for _, pin := range pins {
+			pin.Release()
+		}
+		if err != nil {
+			s.abortTransition(pt)
+		}
+	}()
+
+	// Pin + hook, atomically per parent w.r.t. its writers: everything
+	// committed so far is in the pin, everything after lands in the tail
+	// — no gap, no double count.
+	states := make([]*vbtree.TableState, 0, len(parents))
+	for _, p := range parents {
+		p.mu.Lock()
+		if p.tail != nil {
+			p.mu.Unlock()
+			return nil, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+				Msg: fmt.Sprintf("central: shard %d already has a transition in progress", idx)}
+		}
+		pin, st, serr := p.snapState()
+		if serr != nil {
+			p.mu.Unlock()
+			return nil, serr
+		}
+		p.tail = tr.tail
+		p.mu.Unlock()
+		tr.installed = append(tr.installed, p)
+		pins = append(pins, pin)
+		states = append(states, st)
+	}
+
+	views := make([]*vbtree.View, len(parents))
+	for i, st := range states {
+		v, verr := st.ViewOver(pins[i], t.sch, s.acc, s.key.Public())
+		if verr != nil {
+			return nil, verr
+		}
+		views[i] = v
+	}
+
+	var boundaryKey []byte
+	if cmd.split {
+		b, berr := s.resolveBoundary(t, part, idx, parents[0], views[0], cmd.boundary)
+		if berr != nil {
+			return nil, berr
+		}
+		tr.boundary = b
+		boundaryKey = b.KeyBytes()
+	}
+
+	// IDs are allocated only after validation succeeds (a rejected
+	// request must not burn identities), under a brief partition write
+	// lock — the allocator's guard.
+	t.partMu.Lock()
+	firstID := t.nextShardID
+	if cmd.split {
+		t.nextShardID += 2
+	} else {
+		t.nextShardID++
+	}
+	t.partMu.Unlock()
+
+	op := &wal.ReshardOp{
+		Split:       cmd.split,
+		Shard:       cmd.shard,
+		MapEpoch:    part.mapEpoch + 1,
+		ParentEpoch: part.mapEpoch,
+	}
+	if cmd.split {
+		b := tr.boundary
+		op.Boundary = &b
+		op.RetiredIDs = []uint64{parents[0].id}
+		op.NewIDs = []uint64{firstID, firstID + 1}
+	} else {
+		op.RetiredIDs = []uint64{parents[0].id, parents[1].id}
+		op.NewIDs = []uint64{firstID}
+	}
+	tr.op = op
+	if t.metaLog != nil {
+		if _, aerr := t.metaLog.Append(wal.RecReshardBegin, wal.EncodeReshardPayload(op)); aerr != nil {
+			return nil, aerr
+		}
+		if serr := t.metaLog.Sync(); serr != nil {
+			return nil, serr
+		}
+		tr.begun = true
+	}
+
+	buildStart := time.Now()
+	if cmd.split {
+		left, cerr := s.carveShardStream(t, views[0].Tuples(nil, boundaryKey).Next, op.NewIDs[0])
+		if cerr != nil {
+			return nil, cerr
+		}
+		tr.children = append(tr.children, left)
+		right, cerr := s.carveShardStream(t, views[0].Tuples(boundaryKey, nil).Next, op.NewIDs[1])
+		if cerr != nil {
+			return nil, cerr
+		}
+		tr.children = append(tr.children, right)
+	} else {
+		merged, cerr := s.carveShardStream(t, chainSources(views[0].Tuples(nil, nil).Next, views[1].Tuples(nil, nil).Next), op.NewIDs[0])
+		if cerr != nil {
+			return nil, cerr
+		}
+		tr.children = append(tr.children, merged)
+	}
+	s.stats.reshardBuildNanos.Add(uint64(time.Since(buildStart)))
+	return tr, nil
+}
+
+// resolveBoundary picks the split key: the caller's explicit boundary
+// (validated strictly inside the shard's range), the shard's observed
+// load median when the sketch is warm and valid, or the key-count
+// median as the fallback.
+func (s *Server) resolveBoundary(t *table, part *partition, idx int, parent *shard, v *vbtree.View, explicit *schema.Datum) (schema.Datum, error) {
+	inRange := func(b schema.Datum) bool {
+		if idx > 0 && b.Compare(part.boundaries[idx-1]) <= 0 {
+			return false
+		}
+		if idx < len(part.boundaries) && b.Compare(part.boundaries[idx]) >= 0 {
+			return false
+		}
+		return true
+	}
+	if explicit != nil {
+		if !inRange(*explicit) {
+			return schema.Datum{}, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+				Msg: fmt.Sprintf("central: split boundary %v not inside shard %d's range", *explicit, idx)}
+		}
+		return *explicit, nil
+	}
+	n, err := v.KeyCount()
+	if err != nil {
+		return schema.Datum{}, err
+	}
+	if n < 2 {
+		return schema.Datum{}, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+			Msg: fmt.Sprintf("central: shard %d has %d tuples, too few for a median split", idx, n)}
+	}
+	// Load median first: cut where the traffic concentrates, provided it
+	// leaves both children non-empty (at least one key on each side).
+	if m, ok := parent.sketch.median(); ok && inRange(m) {
+		first, ferr := v.TupleAt(0)
+		last, lerr := v.TupleAt(n - 1)
+		if ferr == nil && lerr == nil &&
+			first.Key(t.sch).Compare(m) < 0 && last.Key(t.sch).Compare(m) >= 0 {
+			return m, nil
+		}
+	}
+	mid, err := v.TupleAt(n / 2)
+	if err != nil {
+		return schema.Datum{}, err
+	}
+	b := mid.Key(t.sch)
+	if !inRange(b) {
+		return b, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+			Msg: fmt.Sprintf("central: split boundary %v not inside shard %d's range", b, idx)}
+	}
+	return b, nil
+}
+
+// chainSources concatenates tuple sources (adjacent ascending ranges,
+// so the chain stays key-ordered — the merge build input).
+func chainSources(srcs ...vbtree.TupleSource) vbtree.TupleSource {
+	i := 0
+	return func(limit int) ([]schema.Tuple, error) {
+		for i < len(srcs) {
+			out, err := srcs[i](limit)
+			if err != nil {
+				return nil, err
+			}
+			if len(out) > 0 {
+				return out, nil
+			}
+			i++
+		}
+		return nil, nil
+	}
+}
+
+// carveShardStream builds one transition-created shard by streaming src
+// (a pinned parent view) through the presign/build pool, seeding the
+// child's WAL chunk-by-chunk in the same pass so restart replay
+// reconstructs the shard without the retired parent's log. The shard is
+// published at a provisional version 0 — invisible until the barrier
+// republishes it at its final version.
+func (s *Server) carveShardStream(t *table, src vbtree.TupleSource, id uint64) (*shard, error) {
+	mem, err := storage.NewMemPager(s.opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := storage.NewBufferPool(mem, 1<<20) // generous: pages stay resident
+	if err != nil {
+		return nil, err
+	}
+	heap, err := storage.NewHeapFile(pool)
+	if err != nil {
+		return nil, err
+	}
+	var log *wal.Log
+	walPath := ""
+	if s.opts.WALDir != "" {
+		walPath = idWalName(t.sch.Table, id)
+		if log, err = wal.Create(filepath.Join(s.opts.WALDir, walPath)); err != nil {
+			return nil, err
+		}
+	}
+	fail := func(err error) (*shard, error) {
+		if log != nil {
+			log.Close()
+		}
+		return nil, err
+	}
+	onChunk := func(tuples []schema.Tuple) error {
+		if log == nil || len(tuples) == 0 {
+			return nil
+		}
+		_, err := log.Append(wal.RecBatch, wal.EncodeBatchPayload(tuples))
+		return err
+	}
+	cfg := vbtree.Config{
+		Pool:   pool,
+		Heap:   heap,
+		Schema: t.sch,
+		Acc:    s.acc,
+		Signer: s.key,
+		Pub:    s.key.Public(),
+		// Independent lock manager per shard, as in buildShard: buffer
+		// pools' page IDs overlap across shards.
+		Locks:            lock.NewManager(0),
+		BuildParallelism: s.opts.BuildParallelism,
+	}
+	tree, err := vbtree.BuildFromSource(cfg, 1.0, reshardBuildChunk, src, onChunk)
+	if err != nil {
+		return fail(err)
+	}
+	store, err := storage.NewPageStore(s.opts.PageSize)
+	if err != nil {
+		return fail(err)
+	}
+	sh := &shard{id: id, walPath: walPath, tree: tree, pool: pool, heap: heap, log: log, store: store}
+	if sh.rootDigest, err = tree.RootDigest(); err != nil {
+		return fail(err)
+	}
+	pager := pool.Pager()
+	baseline := make([]storage.PageID, 0, pager.NumPages()-1)
+	for id := 1; id < pager.NumPages(); id++ {
+		baseline = append(baseline, storage.PageID(id))
+	}
+	if err := s.publishShard(sh, 0, t.epoch, baseline); err != nil {
+		return fail(err)
+	}
+	if s.retention() > 0 {
+		// The carved build is the snapshot baseline; journal only the
+		// pages the tail replay dirties.
+		pool.EnableJournal()
+	}
+	if log != nil {
+		if err := log.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	s.stats.reshardPagesMoved.Add(uint64(pager.NumPages() - 1))
+	return sh, nil
+}
+
+// preCatchUp replays the delta tail into the children outside any lock
+// until it fits the configured bound (or the round budget runs out), so
+// the barrier's in-lock replay is O(bound).
+func (s *Server) preCatchUp(tr *preparedTransition) error {
+	bound := s.reshardTailBound()
+	if bound < 0 {
+		return nil
+	}
+	for round := 0; round < maxCatchupRounds && tr.tail.size() > bound; round++ {
+		n, err := s.replayTail(tr, tr.tail.drain())
+		if err != nil {
+			return err
+		}
+		s.stats.reshardTailPrereplayed.Add(uint64(n))
+		s.stats.reshardCatchupRounds.Add(1)
+	}
+	return nil
+}
+
+// replayTail applies recorded parent updates to the children in commit
+// order: consecutive insert runs coalesce into one routed InsertBatch
+// per child, deletes apply to every child (their ranges may straddle
+// the boundary). Each replayed op is appended to the child WALs (synced
+// once, at the barrier). Returns how many tail entries were replayed.
+func (s *Server) replayTail(tr *preparedTransition, ops []tailOp) (int, error) {
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	t := tr.t
+	total := 0
+	var run []schema.Tuple
+	flush := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		groups := make([][]schema.Tuple, len(tr.children))
+		if tr.cmd.split {
+			for _, tup := range run {
+				ci := 0
+				if tup.Key(t.sch).Compare(tr.boundary) >= 0 {
+					ci = 1
+				}
+				groups[ci] = append(groups[ci], tup)
+			}
+		} else {
+			groups[0] = run
+		}
+		for ci, group := range groups {
+			if len(group) == 0 {
+				continue
+			}
+			child := tr.children[ci]
+			if child.log != nil {
+				if _, err := child.log.Append(wal.RecBatch, wal.EncodeBatchPayload(group)); err != nil {
+					return err
+				}
+			}
+			_, opErrs, err := child.tree.InsertBatch(group)
+			if err != nil {
+				return err
+			}
+			// The parent applied every recorded tuple, and the child is
+			// the parent's range restriction at the same logical point —
+			// a per-op failure here means the histories diverged.
+			for _, oe := range opErrs {
+				if oe != nil {
+					return fmt.Errorf("central: reshard tail replay diverged: %w", oe)
+				}
+			}
+		}
+		total += len(run)
+		run = nil
+		return nil
+	}
+	for _, op := range ops {
+		if !op.del {
+			run = append(run, op.tuples...)
+			continue
+		}
+		if err := flush(); err != nil {
+			return total, err
+		}
+		for _, child := range tr.children {
+			if child.log != nil {
+				if _, err := child.log.Append(wal.RecDelete, wal.EncodeDeletePayload(op.lo, op.hi)); err != nil {
+					return total, err
+				}
+			}
+			if _, err := child.tree.DeleteRange(op.lo, op.hi); err != nil {
+				return total, err
+			}
+		}
+		total++
+	}
+	if err := flush(); err != nil {
+		return total, err
+	}
+	return total, nil
 }
 
 // transitionStartVersion picks the version new shards are born at: one
@@ -146,183 +689,179 @@ func (t *table) transitionStartVersion() uint64 {
 	return t.mapVersion + 1
 }
 
-func (s *Server) splitLocked(t *table, cmd *reshardCmd) (*wire.ReshardResponse, error) {
-	part := t.part.Load()
-	idx := int(cmd.shard)
-	if idx < 0 || idx >= len(part.shards) {
-		return nil, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
-			Msg: fmt.Sprintf("central: split shard %d out of range (table has %d shards)", idx, len(part.shards))}
-	}
-	old := part.shards[idx]
-	tuples, err := scanShard(old)
+// publishChild seats one transition child at a version: refresh its
+// cached root digest and publish a snapshot carrying the pages dirtied
+// since the last publish (the whole store when journaling is off).
+func (s *Server) publishChild(t *table, c *shard, version uint64) error {
+	rd, err := c.tree.RootDigest()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	boundary, err := splitBoundary(t, part, idx, tuples, cmd.boundary)
-	if err != nil {
-		return nil, err
-	}
-	// Partition the carved tuples: keys < boundary stay left, >= go
-	// right (the same convention shardmap.ShardFor routes by).
-	cut := len(tuples)
-	for i, tup := range tuples {
-		if tup.Key(t.sch).Compare(boundary) >= 0 {
-			cut = i
-			break
-		}
-	}
-	startVersion := t.transitionStartVersion()
-	leftID, rightID := t.nextShardID, t.nextShardID+1
-	left, err := s.carveShard(t, tuples[:cut], startVersion, leftID)
-	if err != nil {
-		return nil, err
-	}
-	right, err := s.carveShard(t, tuples[cut:], startVersion, rightID)
-	if err != nil {
-		return nil, err
-	}
-	t.nextShardID += 2
-
-	// Inherit the detector's smoothed load: each child starts at half
-	// the parent's EWMA so a just-split shard is not immediately re-split
-	// on stale history.
-	t.detMu.Lock()
-	left.ewma, right.ewma = old.ewma/2, old.ewma/2
-	t.detMu.Unlock()
-
-	next := &partition{
-		boundaries:  make([]schema.Datum, 0, len(part.boundaries)+1),
-		shards:      make([]*shard, 0, len(part.shards)+1),
-		mapEpoch:    part.mapEpoch + 1,
-		parentEpoch: part.mapEpoch,
-	}
-	next.boundaries = append(next.boundaries, part.boundaries[:idx]...)
-	next.boundaries = append(next.boundaries, boundary)
-	next.boundaries = append(next.boundaries, part.boundaries[idx:]...)
-	next.shards = append(next.shards, part.shards[:idx]...)
-	next.shards = append(next.shards, left, right)
-	next.shards = append(next.shards, part.shards[idx+1:]...)
-
-	op := &wal.ReshardOp{
-		Split:       true,
-		Shard:       cmd.shard,
-		Boundary:    &boundary,
-		RetiredIDs:  []uint64{old.id},
-		NewIDs:      []uint64{leftID, rightID},
-		MapEpoch:    next.mapEpoch,
-		ParentEpoch: next.parentEpoch,
-	}
-	if err := s.commitTransition(t, next, op, old); err != nil {
-		return nil, err
-	}
-	s.stats.splits.Add(1)
-	s.stats.reshardResigns.Add(2)
-	return &wire.ReshardResponse{MapEpoch: next.mapEpoch, NumShards: uint32(len(next.shards))}, nil
-}
-
-func (s *Server) mergeLocked(t *table, cmd *reshardCmd) (*wire.ReshardResponse, error) {
-	part := t.part.Load()
-	idx := int(cmd.shard)
-	if idx < 0 || idx+1 >= len(part.shards) {
-		return nil, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
-			Msg: fmt.Sprintf("central: merge pair (%d,%d) out of range (table has %d shards)", idx, idx+1, len(part.shards))}
-	}
-	leftOld, rightOld := part.shards[idx], part.shards[idx+1]
-	ltuples, err := scanShard(leftOld)
-	if err != nil {
-		return nil, err
-	}
-	rtuples, err := scanShard(rightOld)
-	if err != nil {
-		return nil, err
-	}
-	// The shards cover adjacent ascending ranges, so the concatenation
-	// is the merged shard's key-ordered build input.
-	tuples := append(append(make([]schema.Tuple, 0, len(ltuples)+len(rtuples)), ltuples...), rtuples...)
-	startVersion := t.transitionStartVersion()
-	mergedID := t.nextShardID
-	merged, err := s.carveShard(t, tuples, startVersion, mergedID)
-	if err != nil {
-		return nil, err
-	}
-	t.nextShardID++
-
-	t.detMu.Lock()
-	merged.ewma = leftOld.ewma + rightOld.ewma
-	t.detMu.Unlock()
-
-	next := &partition{
-		boundaries:  make([]schema.Datum, 0, len(part.boundaries)-1),
-		shards:      make([]*shard, 0, len(part.shards)-1),
-		mapEpoch:    part.mapEpoch + 1,
-		parentEpoch: part.mapEpoch,
-	}
-	next.boundaries = append(next.boundaries, part.boundaries[:idx]...)
-	next.boundaries = append(next.boundaries, part.boundaries[idx+1:]...)
-	next.shards = append(next.shards, part.shards[:idx]...)
-	next.shards = append(next.shards, merged)
-	next.shards = append(next.shards, part.shards[idx+2:]...)
-
-	op := &wal.ReshardOp{
-		Shard:       cmd.shard,
-		RetiredIDs:  []uint64{leftOld.id, rightOld.id},
-		NewIDs:      []uint64{mergedID},
-		MapEpoch:    next.mapEpoch,
-		ParentEpoch: next.parentEpoch,
-	}
-	if err := s.commitTransition(t, next, op, leftOld, rightOld); err != nil {
-		return nil, err
-	}
-	s.stats.merges.Add(1)
-	s.stats.reshardResigns.Add(1)
-	return &wire.ReshardResponse{MapEpoch: next.mapEpoch, NumShards: uint32(len(next.shards))}, nil
-}
-
-// splitBoundary resolves the split key: the caller's explicit boundary
-// (validated strictly inside the shard's range) or the shard's median
-// key, which requires at least two tuples so both sides are non-empty.
-func splitBoundary(t *table, part *partition, idx int, tuples []schema.Tuple, explicit *schema.Datum) (schema.Datum, error) {
-	var b schema.Datum
-	if explicit != nil {
-		b = *explicit
+	c.rootDigest = rd
+	var pages []storage.PageID
+	if s.retention() > 0 {
+		pages = c.pool.DrainJournal()
 	} else {
-		if len(tuples) < 2 {
-			return b, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
-				Msg: fmt.Sprintf("central: shard %d has %d tuples, too few for a median split", idx, len(tuples))}
+		// Journaling is off (delta serving disabled): republish every
+		// page so the snapshot reflects all replayed tail updates.
+		pager := c.pool.Pager()
+		for id := 1; id < pager.NumPages(); id++ {
+			pages = append(pages, storage.PageID(id))
 		}
-		b = tuples[len(tuples)/2].Key(t.sch)
 	}
-	if idx > 0 && b.Compare(part.boundaries[idx-1]) <= 0 {
-		return b, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
-			Msg: fmt.Sprintf("central: split boundary %v not inside shard %d's range", b, idx)}
-	}
-	if idx < len(part.boundaries) && b.Compare(part.boundaries[idx]) >= 0 {
-		return b, &wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
-			Msg: fmt.Sprintf("central: split boundary %v not inside shard %d's range", b, idx)}
-	}
-	return b, nil
+	return s.publishShard(c, version, t.epoch, pages)
 }
 
-// carveShard builds one transition-created shard over tuples, named by
-// its stable ID, and seeds its WAL with the carved contents as one
-// RecBatch so restart replay reconstructs the shard without the retired
-// parent's log.
-func (s *Server) carveShard(t *table, tuples []schema.Tuple, startVersion, id uint64) (*shard, error) {
-	sh, err := s.buildShard(t.sch, tuples, t.epoch, startVersion, idWalName(t.sch.Table, id))
-	if err != nil {
+// finishReshard is phase 2, the barrier: under the partition write lock
+// — with writers excluded and the tail frozen — replay the remaining
+// tail, seat the children at their final version, splice the new
+// partition generation, WAL the RecReshard and swap. The lock is held
+// for O(tail) + a constant number of signatures — never O(shard pages):
+// the children's snapshots are pre-published at the predicted final
+// version before the lock, so the usual barrier skips the republish
+// entirely.
+func (s *Server) finishReshard(tr *preparedTransition) (*wire.ReshardResponse, error) {
+	t := tr.t
+	// Optimistic seat, still outside the lock: publish each child (with
+	// the catch-up rounds' dirt) at the version the barrier will assign
+	// if no commit sneaks in between, and sync their seeded WALs. The
+	// children are invisible until the swap, so a missed prediction
+	// wastes nothing but the republish below.
+	predicted := t.transitionStartVersion()
+	for _, c := range tr.children {
+		if err := s.publishChild(t, c, predicted); err != nil {
+			s.abortTransition(tr)
+			return nil, err
+		}
+		if c.log != nil {
+			if err := c.log.Sync(); err != nil {
+				s.abortTransition(tr)
+				return nil, err
+			}
+		}
+	}
+
+	t.partMu.Lock()
+	barrierStart := time.Now()
+	fail := func(err error) (*wire.ReshardResponse, error) {
+		t.partMu.Unlock()
+		s.abortTransition(tr)
 		return nil, err
 	}
-	sh.id = id
-	if sh.log != nil && len(tuples) > 0 {
-		if _, err := sh.log.Append(wal.RecBatch, wal.EncodeBatchPayload(tuples)); err != nil {
-			return nil, err
+	if t.part.Load() != tr.part {
+		// The transition was orphaned in the barrier queue past another
+		// committed transition (its dispatcher gave up waiting); its
+		// pinned generation is gone, the built children are garbage.
+		return fail(&wire.WireError{Code: wire.CodeBadRequest, Table: t.sch.Table,
+			Msg: "central: partition changed while the transition was queued"})
+	}
+
+	ops := tr.tail.drain()
+	replayed, err := s.replayTail(tr, ops)
+	if err != nil {
+		return fail(err)
+	}
+	s.stats.reshardTailReplayed.Add(uint64(replayed))
+	tr.uninstallTails()
+
+	final := t.transitionStartVersion()
+	for _, c := range tr.children {
+		c.version = final
+		if final == predicted && replayed == 0 {
+			// The optimistic snapshot is exact — nothing committed between
+			// the prediction and the lock, and the tail was already dry.
+			continue
 		}
-		if err := sh.log.Sync(); err != nil {
-			return nil, err
+		if perr := s.publishChild(t, c, final); perr != nil {
+			return fail(perr)
+		}
+		if c.log != nil {
+			if serr := c.log.Sync(); serr != nil {
+				return fail(serr)
+			}
 		}
 	}
-	s.stats.reshardPagesMoved.Add(uint64(sh.pool.Pager().NumPages() - 1))
-	return sh, nil
+
+	// Inherit the detector's smoothed load so a just-carved shard is not
+	// immediately re-split (or re-merged) on stale history.
+	t.detMu.Lock()
+	if tr.cmd.split {
+		tr.children[0].ewma = tr.parents[0].ewma / 2
+		tr.children[1].ewma = tr.parents[0].ewma / 2
+	} else {
+		tr.children[0].ewma = tr.parents[0].ewma + tr.parents[1].ewma
+	}
+	t.detMu.Unlock()
+
+	part, idx := tr.part, tr.idx
+	var next *partition
+	if tr.cmd.split {
+		next = &partition{
+			boundaries:  make([]schema.Datum, 0, len(part.boundaries)+1),
+			shards:      make([]*shard, 0, len(part.shards)+1),
+			mapEpoch:    part.mapEpoch + 1,
+			parentEpoch: part.mapEpoch,
+		}
+		next.boundaries = append(next.boundaries, part.boundaries[:idx]...)
+		next.boundaries = append(next.boundaries, tr.boundary)
+		next.boundaries = append(next.boundaries, part.boundaries[idx:]...)
+		next.shards = append(next.shards, part.shards[:idx]...)
+		next.shards = append(next.shards, tr.children[0], tr.children[1])
+		next.shards = append(next.shards, part.shards[idx+1:]...)
+	} else {
+		next = &partition{
+			boundaries:  make([]schema.Datum, 0, len(part.boundaries)-1),
+			shards:      make([]*shard, 0, len(part.shards)-1),
+			mapEpoch:    part.mapEpoch + 1,
+			parentEpoch: part.mapEpoch,
+		}
+		next.boundaries = append(next.boundaries, part.boundaries[:idx]...)
+		next.boundaries = append(next.boundaries, part.boundaries[idx+1:]...)
+		next.shards = append(next.shards, part.shards[:idx]...)
+		next.shards = append(next.shards, tr.children[0])
+		next.shards = append(next.shards, part.shards[idx+2:]...)
+	}
+
+	if err := s.commitTransition(t, next, tr.op, tr.parents...); err != nil {
+		// The RecReshard record's durability is ambiguous here — do NOT
+		// write an abort record over it; surface the error and leave the
+		// parent generation authoritative.
+		t.partMu.Unlock()
+		return nil, err
+	}
+	s.maybeCheckpointMeta(t, next)
+	if tr.cmd.split {
+		s.stats.splits.Add(1)
+		s.stats.reshardResigns.Add(2)
+	} else {
+		s.stats.merges.Add(1)
+		s.stats.reshardResigns.Add(1)
+	}
+	s.stats.reshardBarrierNanos.Add(uint64(time.Since(barrierStart)))
+	t.partMu.Unlock()
+	return &wire.ReshardResponse{MapEpoch: next.mapEpoch, NumShards: uint32(len(next.shards))}, nil
+}
+
+// abortTransition rolls back a transition that will not commit: detach
+// the tails (parents resume as the sole authority), mark the begun
+// record aborted in the meta log, and close the children's logs.
+func (s *Server) abortTransition(tr *preparedTransition) {
+	tr.uninstallTails()
+	t := tr.t
+	if tr.begun && t.metaLog != nil && tr.op != nil {
+		// Best-effort: an unmatched Begin is treated exactly like an
+		// explicit Abort on recovery, so a failed append only loses the
+		// tidier record.
+		if _, err := t.metaLog.Append(wal.RecReshardAbort, wal.EncodeReshardPayload(tr.op)); err == nil {
+			_ = t.metaLog.Sync()
+		}
+	}
+	for _, c := range tr.children {
+		if c != nil && c.log != nil {
+			_ = c.log.Close()
+			c.log = nil
+		}
+	}
 }
 
 // commitTransition makes a built transition durable and visible: the
@@ -365,13 +904,47 @@ func (s *Server) commitTransition(t *table, next *partition, op *wal.ReshardOp, 
 	return nil
 }
 
+// maybeCheckpointMeta writes a partition checkpoint into the meta log
+// after every Options.ReshardCheckpointEvery committed transitions, so
+// replaying a long split/merge history starts from the checkpointed
+// state instead of the table's first transition. Best-effort: a failed
+// append leaves the counter unreset and the next transition retries.
+// The caller holds partMu (which guards transitionsSinceCkpt and
+// nextShardID).
+func (s *Server) maybeCheckpointMeta(t *table, next *partition) {
+	every := s.opts.ReshardCheckpointEvery
+	if every <= 0 || t.metaLog == nil {
+		return
+	}
+	t.transitionsSinceCkpt++
+	if t.transitionsSinceCkpt < every {
+		return
+	}
+	cp := &wal.PartitionCheckpoint{
+		MapEpoch:    next.mapEpoch,
+		NextShardID: t.nextShardID,
+		Boundaries:  append([]schema.Datum(nil), next.boundaries...),
+	}
+	for _, sh := range next.shards {
+		cp.ShardIDs = append(cp.ShardIDs, sh.id)
+	}
+	if _, err := t.metaLog.Append(wal.RecCheckpoint, wal.EncodePartitionCheckpoint(cp)); err != nil {
+		return
+	}
+	if err := t.metaLog.Sync(); err != nil {
+		return
+	}
+	t.transitionsSinceCkpt = 0
+}
+
 // AutoReshardTick runs one detector pass over a table: it folds the
 // per-shard ingest/query counters accumulated since the last tick into
-// each shard's EWMA, then splits the hottest shard (median boundary) if
-// its load share exceeds SplitFraction, or merges the coldest adjacent
-// pair if their combined share falls below MergeFraction. Returns the
-// committed transition, or nil if the partition was left alone. Safe to
-// drive manually when no background interval is configured.
+// each shard's EWMA, then splits the hottest shard (load-median
+// boundary when its sketch is warm) if its load share exceeds
+// SplitFraction, or merges the coldest adjacent pair if their combined
+// share falls below MergeFraction. Returns the committed transition, or
+// nil if the partition was left alone. Safe to drive manually when no
+// background interval is configured.
 func (s *Server) AutoReshardTick(ctx context.Context, tableName string) (*wire.ReshardResponse, error) {
 	opts := s.opts.AutoReshard
 	if opts == nil {

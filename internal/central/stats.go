@@ -38,6 +38,17 @@ type serverCounters struct {
 	reshardResigns    atomic.Uint64
 	reshardPagesMoved atomic.Uint64
 
+	// Incremental transitions: tail tuples replayed into the children
+	// inside the partition lock (the in-lock stall is O of this number),
+	// tail tuples pre-replayed outside the lock by catch-up rounds,
+	// catch-up rounds run, and wall time split between the unlocked
+	// build phase and the locked barrier.
+	reshardTailReplayed    atomic.Uint64
+	reshardTailPrereplayed atomic.Uint64
+	reshardCatchupRounds   atomic.Uint64
+	reshardBuildNanos      atomic.Uint64
+	reshardBarrierNanos    atomic.Uint64
+
 	// signOps receives the signing key's op count via digest.Counters
 	// (installed by NewServerWithKey).
 	signOps digest.Counters
@@ -96,6 +107,19 @@ type Stats struct {
 	Merges            uint64 `json:"reshard_merges"`
 	ReshardResigns    uint64 `json:"reshard_root_resigns"`
 	ReshardPagesMoved uint64 `json:"reshard_pages_moved"`
+	// ReshardTailReplayed counts tail tuples replayed into transition
+	// children inside the partition lock — the barrier stall is O(this),
+	// never O(shard pages). ReshardTailPrereplayed counts tuples the
+	// catch-up rounds replayed outside the lock instead, over
+	// ReshardCatchupRounds rounds.
+	ReshardTailReplayed    uint64 `json:"reshard_tail_replayed"`
+	ReshardTailPrereplayed uint64 `json:"reshard_tail_prereplayed"`
+	ReshardCatchupRounds   uint64 `json:"reshard_catchup_rounds"`
+	// ReshardBuildMs is wall time spent streaming child builds off pinned
+	// snapshots (no lock held, writers keep committing);
+	// ReshardBarrierStallMs is wall time inside the partition write lock.
+	ReshardBuildMs        float64 `json:"reshard_build_ms"`
+	ReshardBarrierStallMs float64 `json:"reshard_barrier_stall_ms"`
 }
 
 // Stats snapshots the server's counters.
@@ -128,5 +152,11 @@ func (s *Server) Stats() Stats {
 		Merges:              s.stats.merges.Load(),
 		ReshardResigns:      s.stats.reshardResigns.Load(),
 		ReshardPagesMoved:   s.stats.reshardPagesMoved.Load(),
+
+		ReshardTailReplayed:    s.stats.reshardTailReplayed.Load(),
+		ReshardTailPrereplayed: s.stats.reshardTailPrereplayed.Load(),
+		ReshardCatchupRounds:   s.stats.reshardCatchupRounds.Load(),
+		ReshardBuildMs:         float64(s.stats.reshardBuildNanos.Load()) / 1e6,
+		ReshardBarrierStallMs:  float64(s.stats.reshardBarrierNanos.Load()) / 1e6,
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"edgeauth/internal/central"
 	"edgeauth/internal/schema"
 	"edgeauth/internal/wire"
 	"edgeauth/internal/workload"
@@ -172,6 +173,13 @@ func TestRebalanceUnderLoad(t *testing.T) {
 	// split + 1 per merge, never a whole-table re-sign.
 	if cs.ReshardResigns != 5 {
 		t.Fatalf("reshard root re-signs = %d, want 5 (2+2+1)", cs.ReshardResigns)
+	}
+	// Incremental transitions: across all three transitions the in-lock
+	// tail replay stays near the configured bound (plus a race-window
+	// slack per transition), never near the table's size — the unlocked
+	// build plus catch-up rounds absorbed the rest.
+	if lim := uint64(3 * (central.DefaultReshardTailBound + 512)); cs.ReshardTailReplayed > lim {
+		t.Fatalf("in-lock tail replay = %d tuples across 3 transitions; want <= %d", cs.ReshardTailReplayed, lim)
 	}
 	es := d.edge.Stats()
 	if es.ReshardsApplied == 0 {

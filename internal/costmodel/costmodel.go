@@ -277,6 +277,21 @@ func (p Params) MergeCost(nLeft, nRight int) ReshardCost {
 	return ReshardCost{RootsResigned: 1, SignOps: 2, PagesMoved: pg, Comp: c}
 }
 
+// BarrierComp models the in-lock stall of an incremental transition's
+// catch-up barrier: replaying `tail` buffered updates into the children
+// (each one insert's digest work, formula (11)) plus the transition's
+// constant signatures. The build itself — O(shard) — runs outside the
+// lock and never appears here: the stall is O(tail), with the bound on
+// `tail` set by the server's catch-up rounds (central's
+// ReshardTailBound). Observed counterpart: the ReshardTailReplayed stat
+// is the realized `tail`, ReshardBarrierStallMs the realized wall time.
+func (p Params) BarrierComp(tail int) float64 {
+	if tail < 0 {
+		tail = 0
+	}
+	return float64(tail)*p.InsertCost() + float64(3)*p.CostS()
+}
+
 // QRForSelectivity converts a selectivity percentage into a result size.
 func (p Params) QRForSelectivity(pct float64) int {
 	qr := int(math.Round(float64(p.NR) * pct / 100))

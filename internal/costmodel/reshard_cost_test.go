@@ -13,6 +13,8 @@ import (
 // reshardObs is one transition's observed stats deltas.
 type reshardObs struct {
 	resigns, signs, pages uint64
+	tailReplayed          uint64
+	buildMs               float64
 }
 
 // observedTransitions runs a median split of shard 0 followed by a merge
@@ -52,14 +54,18 @@ func observedTransitions(t *testing.T, rows int) (split, merge reshardObs) {
 	}
 	s2 := srv.Stats()
 	split = reshardObs{
-		resigns: s1.ReshardResigns - s0.ReshardResigns,
-		signs:   s1.SignOps - s0.SignOps,
-		pages:   s1.ReshardPagesMoved - s0.ReshardPagesMoved,
+		resigns:      s1.ReshardResigns - s0.ReshardResigns,
+		signs:        s1.SignOps - s0.SignOps,
+		pages:        s1.ReshardPagesMoved - s0.ReshardPagesMoved,
+		tailReplayed: s1.ReshardTailReplayed - s0.ReshardTailReplayed,
+		buildMs:      s1.ReshardBuildMs - s0.ReshardBuildMs,
 	}
 	merge = reshardObs{
-		resigns: s2.ReshardResigns - s1.ReshardResigns,
-		signs:   s2.SignOps - s1.SignOps,
-		pages:   s2.ReshardPagesMoved - s1.ReshardPagesMoved,
+		resigns:      s2.ReshardResigns - s1.ReshardResigns,
+		signs:        s2.SignOps - s1.SignOps,
+		pages:        s2.ReshardPagesMoved - s1.ReshardPagesMoved,
+		tailReplayed: s2.ReshardTailReplayed - s1.ReshardTailReplayed,
+		buildMs:      s2.ReshardBuildMs - s1.ReshardBuildMs,
 	}
 	return split, merge
 }
@@ -101,6 +107,22 @@ func TestReshardCostTiesToObservedStats(t *testing.T) {
 	checkPages("split", ms.PagesMoved, obsSplit.pages)
 	checkPages("merge", mm.PagesMoved, obsMerge.pages)
 
+	// Incremental transitions on a quiescent table: the delta tail is
+	// empty, so the observed in-lock replay is zero and the modeled
+	// barrier collapses to its constant signature term — while the
+	// O(shard) build work shows up as unlocked build wall time.
+	if obsSplit.tailReplayed != 0 || obsMerge.tailReplayed != 0 {
+		t.Errorf("quiescent transitions replayed a tail: split %d, merge %d, want 0/0",
+			obsSplit.tailReplayed, obsMerge.tailReplayed)
+	}
+	if got, want := p.BarrierComp(int(obsSplit.tailReplayed)), p.BarrierComp(0); got != want {
+		t.Errorf("observed barrier comp %v, want the constant term %v", got, want)
+	}
+	if obsSplit.buildMs <= 0 || obsMerge.buildMs <= 0 {
+		t.Errorf("transitions recorded no unlocked build time: split %.3fms, merge %.3fms",
+			obsSplit.buildMs, obsMerge.buildMs)
+	}
+
 	// Linearity: doubling the table doubles the carved tuple count, and
 	// observed pages must track the model's ratio.
 	obsSplit2, _ := observedTransitions(t, 2*rows)
@@ -139,5 +161,16 @@ func TestReshardCostShape(t *testing.T) {
 	// the minimal re-signing design.
 	if s2.RootsResigned != s.RootsResigned || s2.SignOps != s.SignOps {
 		t.Errorf("signature count grew with shard size: %+v -> %+v", s, s2)
+	}
+	// The barrier stall model: constant signatures at an empty tail,
+	// linear in the tail thereafter, and independent of the shard size —
+	// the build term never enters it.
+	if got, want := p.BarrierComp(0), 3*p.CostS(); got != want {
+		t.Errorf("empty-tail barrier comp %v, want the 3-signature constant %v", got, want)
+	}
+	b1 := p.BarrierComp(100) - p.BarrierComp(0)
+	b2 := p.BarrierComp(200) - p.BarrierComp(0)
+	if b1 <= 0 || b2 != 2*b1 {
+		t.Errorf("barrier comp not linear in the tail: +100 -> %v, +200 -> %v", b1, b2)
 	}
 }

@@ -9,6 +9,18 @@ import (
 	"edgeauth/internal/storage"
 )
 
+// DefaultBuildChunk is the presign/pack granularity BuildFromSource uses
+// when the caller passes chunkSize <= 0: large enough to keep the presign
+// worker pool busy, small enough that a streamed build never materializes
+// the whole table.
+const DefaultBuildChunk = 1024
+
+// TupleSource yields the next run of at most limit tuples in strictly
+// increasing key order; an empty slice (with a nil error) ends the
+// stream. View.Tuples adapts a pinned snapshot view into this shape, so
+// a new tree can be built from a live shard without a materialized scan.
+type TupleSource func(limit int) ([]schema.Tuple, error)
+
 // Build constructs a fully packed VB-tree from tuples sorted in strictly
 // increasing primary-key order (the usual way the central server creates
 // the index over an existing table). fill in (0,1] controls node occupancy.
@@ -18,6 +30,34 @@ import (
 // central server" — so attribute/tuple signatures are produced by a small
 // worker pool.
 func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
+	i := 0
+	src := func(limit int) ([]schema.Tuple, error) {
+		if i >= len(tuples) {
+			return nil, nil
+		}
+		j := i + limit
+		if j > len(tuples) {
+			j = len(tuples)
+		}
+		out := tuples[i:j]
+		i = j
+		return out, nil
+	}
+	// One chunk: the slice is already materialized, so present it to the
+	// presign pool whole, exactly as the pre-streaming builder did.
+	return BuildFromSource(cfg, fill, len(tuples), src, nil)
+}
+
+// BuildFromSource constructs a fully packed VB-tree by streaming tuples
+// from src in chunks of chunkSize (<= 0 selects DefaultBuildChunk): each
+// chunk is presigned by the worker pool, packed incrementally, and —
+// when onChunk is non-nil — handed to the callback after it is packed,
+// so a caller can e.g. seed the new shard's WAL in the same pass. The
+// source must yield strictly increasing keys across its whole stream.
+// This is the build path online resharding runs outside the partition
+// lock: the source reads a pinned parent snapshot while live batches
+// keep committing against the parent.
+func BuildFromSource(cfg Config, fill float64, chunkSize int, src TupleSource, onChunk func([]schema.Tuple) error) (*Tree, error) {
 	t, err := attach(cfg)
 	if err != nil {
 		return nil, err
@@ -28,85 +68,135 @@ func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
 	if fill <= 0 || fill > 1 {
 		return nil, fmt.Errorf("vbtree: fill factor %v out of (0,1]", fill)
 	}
-
-	// Phase 1: digests + signatures, parallel across tuples (the same
-	// presign pool the batched insert path uses).
-	opErrs := make([]error, len(tuples))
-	prep := t.presignTuples(tuples, opErrs)
-	for i, e := range opErrs {
-		if e != nil {
-			return nil, fmt.Errorf("vbtree: preparing tuple %d: %w", i, e)
-		}
+	if chunkSize <= 0 {
+		chunkSize = DefaultBuildChunk
 	}
-
-	// Key-order check (strictly increasing).
-	for i := 1; i < len(prep); i++ {
-		if compare(prep[i-1].keyBytes, prep[i].keyBytes) >= 0 {
-			return nil, fmt.Errorf("vbtree: tuples not in strictly increasing key order at %d", i)
-		}
-	}
-
-	// Phase 2: heap inserts (sequential to keep record order stable).
-	rids := make([]storage.RecordID, len(prep))
-	for i := range prep {
-		rid, err := t.heap.Insert(prep[i].stored)
+	b := newStreamBuilder(t, fill)
+	for {
+		tuples, err := src(chunkSize)
 		if err != nil {
 			return nil, err
 		}
-		rids[i] = rid
-	}
-
-	// Phase 3: pack leaves.
-	pageSize := t.bp.PageSize()
-	budget := int(float64(pageSize) * fill)
-	type levelEntry struct {
-		firstKey []byte
-		pid      storage.PageID
-		u        digest.Value // unsigned node digest
-	}
-	var leaves []levelEntry
-	var cur vbLeaf
-	curAcc := t.acc.NewAcc()
-	curSize := vbLeafHeader
-	flushLeaf := func() error {
-		f, err := t.bp.NewPage(storage.PageVBLeaf)
-		if err != nil {
-			return err
+		if len(tuples) == 0 {
+			break
 		}
-		if err := cur.encode(f.Page().Bytes()); err != nil {
-			t.bp.Unpin(f, false)
-			return err
+		// Digests + signatures, parallel across the chunk (the same
+		// presign pool the batched insert path uses).
+		opErrs := make([]error, len(tuples))
+		prep := t.presignTuples(tuples, opErrs)
+		for i, e := range opErrs {
+			if e != nil {
+				return nil, fmt.Errorf("vbtree: preparing tuple %d: %w", b.n+i, e)
+			}
 		}
-		leaves = append(leaves, levelEntry{firstKey: cur.keys[0], pid: f.ID(), u: curAcc.Value()})
-		t.bp.Unpin(f, true)
-		cur = vbLeaf{}
-		curAcc = t.acc.NewAcc()
-		curSize = vbLeafHeader
-		return nil
-	}
-	for i := range prep {
-		entry := 2 + len(prep[i].keyBytes) + 6 + 2 + len(prep[i].dt)
-		if vbLeafHeader+entry > pageSize {
-			return nil, fmt.Errorf("vbtree: entry %d of %d bytes exceeds page size", i, entry)
-		}
-		if len(cur.keys) > 0 && (curSize+entry > budget || curSize+entry > pageSize) {
-			if err := flushLeaf(); err != nil {
+		for i := range prep {
+			if err := b.add(&prep[i]); err != nil {
 				return nil, err
 			}
 		}
-		cur.keys = append(cur.keys, prep[i].keyBytes)
-		cur.rids = append(cur.rids, rids[i])
-		cur.sigs = append(cur.sigs, prep[i].dt)
-		if err := curAcc.Add(prep[i].ut); err != nil {
-			return nil, err
-		}
-		curSize += entry
-	}
-	if len(cur.keys) > 0 {
-		if err := flushLeaf(); err != nil {
-			return nil, err
+		if onChunk != nil {
+			if err := onChunk(tuples); err != nil {
+				return nil, err
+			}
 		}
 	}
+	return b.finish()
+}
+
+// levelEntry is one node's summary while the level above it is packed.
+type levelEntry struct {
+	firstKey []byte
+	pid      storage.PageID
+	u        digest.Value // unsigned node digest
+}
+
+// streamBuilder packs a VB-tree bottom-up from a strictly-ordered tuple
+// stream: heap inserts and leaf packing happen per tuple as it arrives,
+// so the builder's live state is one partial leaf plus the per-leaf
+// summaries the internal levels need — never the whole tuple set.
+type streamBuilder struct {
+	t        *Tree
+	pageSize int
+	budget   int
+	leaves   []levelEntry
+	cur      vbLeaf
+	curAcc   *digest.Acc
+	curSize  int
+	lastKey  []byte
+	n        int // tuples accepted so far (the error-reporting index)
+}
+
+func newStreamBuilder(t *Tree, fill float64) *streamBuilder {
+	pageSize := t.bp.PageSize()
+	return &streamBuilder{
+		t:        t,
+		pageSize: pageSize,
+		budget:   int(float64(pageSize) * fill),
+		curAcc:   t.acc.NewAcc(),
+		curSize:  vbLeafHeader,
+	}
+}
+
+func (b *streamBuilder) flushLeaf() error {
+	t := b.t
+	f, err := t.bp.NewPage(storage.PageVBLeaf)
+	if err != nil {
+		return err
+	}
+	if err := b.cur.encode(f.Page().Bytes()); err != nil {
+		t.bp.Unpin(f, false)
+		return err
+	}
+	b.leaves = append(b.leaves, levelEntry{firstKey: b.cur.keys[0], pid: f.ID(), u: b.curAcc.Value()})
+	t.bp.Unpin(f, true)
+	b.cur = vbLeaf{}
+	b.curAcc = t.acc.NewAcc()
+	b.curSize = vbLeafHeader
+	return nil
+}
+
+// add accepts the next prepared tuple: order check, heap insert, leaf
+// packing.
+func (b *streamBuilder) add(p *preparedTuple) error {
+	if b.n > 0 && compare(b.lastKey, p.keyBytes) >= 0 {
+		return fmt.Errorf("vbtree: tuples not in strictly increasing key order at %d", b.n)
+	}
+	entry := 2 + len(p.keyBytes) + 6 + 2 + len(p.dt)
+	if vbLeafHeader+entry > b.pageSize {
+		return fmt.Errorf("vbtree: entry %d of %d bytes exceeds page size", b.n, entry)
+	}
+	rid, err := b.t.heap.Insert(p.stored)
+	if err != nil {
+		return err
+	}
+	if len(b.cur.keys) > 0 && (b.curSize+entry > b.budget || b.curSize+entry > b.pageSize) {
+		if err := b.flushLeaf(); err != nil {
+			return err
+		}
+	}
+	b.cur.keys = append(b.cur.keys, p.keyBytes)
+	b.cur.rids = append(b.cur.rids, rid)
+	b.cur.sigs = append(b.cur.sigs, p.dt)
+	if err := b.curAcc.Add(p.ut); err != nil {
+		return err
+	}
+	b.curSize += entry
+	b.lastKey = p.keyBytes
+	b.n++
+	return nil
+}
+
+// finish flushes the last leaf, chains the leaf level, packs the
+// internal levels and signs the root — exactly once, however many
+// chunks fed the builder.
+func (b *streamBuilder) finish() (*Tree, error) {
+	t := b.t
+	if len(b.cur.keys) > 0 {
+		if err := b.flushLeaf(); err != nil {
+			return nil, err
+		}
+	}
+	leaves := b.leaves
 	if len(leaves) == 0 {
 		// Empty table: a single empty leaf, identity digest.
 		f, err := t.bp.NewPage(storage.PageVBLeaf)
@@ -141,7 +231,7 @@ func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
 		}
 	}
 
-	// Phase 4: internal levels.
+	// Internal levels.
 	level := leaves
 	t.height = 1
 	for len(level) > 1 {
@@ -187,7 +277,7 @@ func Build(cfg Config, tuples []schema.Tuple, fill float64) (*Tree, error) {
 		}
 		for _, child := range level {
 			entrySize := 2 + len(child.firstKey) + 4 + 2 + t.storedLen()
-			if len(node.children) > 0 && (nodeSize+entrySize > budget || nodeSize+entrySize > pageSize) {
+			if len(node.children) > 0 && (nodeSize+entrySize > b.budget || nodeSize+entrySize > b.pageSize) {
 				if err := flushInternal(); err != nil {
 					return nil, err
 				}

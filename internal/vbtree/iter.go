@@ -1,0 +1,173 @@
+package vbtree
+
+import (
+	"fmt"
+
+	"edgeauth/internal/schema"
+	"edgeauth/internal/storage"
+)
+
+// TupleIter walks a View's leaf chain in key order, yielding tuples in
+// bounded runs. It is shaped to serve as a TupleSource for
+// BuildFromSource: resharding pins a parent snapshot, wraps it in a
+// View, and streams one key range of it into a child build while the
+// live shard keeps committing.
+type TupleIter struct {
+	v       *View
+	lo      []byte // inclusive lower bound, nil = open
+	hiEx    []byte // exclusive upper bound, nil = open
+	pid     storage.PageID
+	idx     int
+	started bool
+	done    bool
+}
+
+// Tuples returns an iterator over the view's tuples with keys in
+// [lo, hiEx) — hiEx is exclusive so a split boundary key lands in
+// exactly one child. Nil bounds are open.
+func (v *View) Tuples(lo, hiEx []byte) *TupleIter {
+	return &TupleIter{v: v, lo: lo, hiEx: hiEx}
+}
+
+// Source adapts the iterator to the BuildFromSource contract.
+func (it *TupleIter) Source() TupleSource {
+	return it.Next
+}
+
+func (it *TupleIter) start() error {
+	pid := it.v.root
+	for {
+		pt, err := it.v.pageType(pid)
+		if err != nil {
+			return err
+		}
+		if pt != storage.PageVBInternal {
+			break
+		}
+		n, err := it.v.fetchInternal(pid)
+		if err != nil {
+			return err
+		}
+		if it.lo == nil {
+			pid = n.children[0]
+		} else {
+			pid = n.children[n.childIndex(it.lo)]
+		}
+	}
+	it.pid = pid
+	it.started = true
+	return nil
+}
+
+// Next yields the next run of at most limit tuples; an empty slice ends
+// the stream. It satisfies TupleSource.
+func (it *TupleIter) Next(limit int) ([]schema.Tuple, error) {
+	if it.done || limit <= 0 {
+		return nil, nil
+	}
+	if !it.started {
+		if err := it.start(); err != nil {
+			return nil, err
+		}
+	}
+	var out []schema.Tuple
+	for it.pid != storage.InvalidPageID && len(out) < limit {
+		n, err := it.v.fetchLeaf(it.pid)
+		if err != nil {
+			return nil, err
+		}
+		start := it.idx
+		if start == 0 && it.lo != nil {
+			start = n.search(it.lo)
+		}
+		for i := start; i < len(n.keys); i++ {
+			if it.hiEx != nil && compare(n.keys[i], it.hiEx) >= 0 {
+				it.done = true
+				return out, nil
+			}
+			st, err := it.v.loadStored(n.rids[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st.Tuple)
+			if len(out) == limit {
+				it.idx = i + 1
+				if it.idx >= len(n.keys) {
+					it.pid, it.idx, it.lo = n.next, 0, nil
+				}
+				return out, nil
+			}
+		}
+		it.pid, it.idx, it.lo = n.next, 0, nil
+	}
+	if it.pid == storage.InvalidPageID {
+		it.done = true
+	}
+	return out, nil
+}
+
+// KeyCount walks the leaf chain and returns the view's total tuple
+// count without touching the heap.
+func (v *View) KeyCount() (int, error) {
+	pid, err := v.leftmostLeaf()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for pid != storage.InvalidPageID {
+		leaf, err := v.fetchLeaf(pid)
+		if err != nil {
+			return 0, err
+		}
+		n += len(leaf.keys)
+		pid = leaf.next
+	}
+	return n, nil
+}
+
+// TupleAt returns the i-th tuple (0-based) in key order — the key-median
+// fallback for split boundary selection reads a single tuple this way.
+func (v *View) TupleAt(i int) (schema.Tuple, error) {
+	if i < 0 {
+		return schema.Tuple{}, fmt.Errorf("vbtree: tuple index %d out of range", i)
+	}
+	pid, err := v.leftmostLeaf()
+	if err != nil {
+		return schema.Tuple{}, err
+	}
+	seen := 0
+	for pid != storage.InvalidPageID {
+		leaf, err := v.fetchLeaf(pid)
+		if err != nil {
+			return schema.Tuple{}, err
+		}
+		if i < seen+len(leaf.keys) {
+			st, err := v.loadStored(leaf.rids[i-seen])
+			if err != nil {
+				return schema.Tuple{}, err
+			}
+			return st.Tuple, nil
+		}
+		seen += len(leaf.keys)
+		pid = leaf.next
+	}
+	return schema.Tuple{}, fmt.Errorf("vbtree: tuple index %d out of range", i)
+}
+
+func (v *View) leftmostLeaf() (storage.PageID, error) {
+	pid := v.root
+	for {
+		pt, err := v.pageType(pid)
+		if err != nil {
+			return storage.InvalidPageID, err
+		}
+		if pt != storage.PageVBInternal {
+			return pid, nil
+		}
+		n, err := v.fetchInternal(pid)
+		if err != nil {
+			return storage.InvalidPageID, err
+		}
+		pid = n.children[0]
+	}
+}

@@ -120,3 +120,114 @@ func DecodeReshardPayload(payload []byte) (*ReshardOp, error) {
 	}
 	return op, nil
 }
+
+// PartitionCheckpoint is the typed payload of a RecCheckpoint record in
+// a table's meta log: the full partition state as of the checkpoint, so
+// recovery can seat the partition directly instead of replaying every
+// RecReshard of a long split/merge history. Transitions recorded before
+// the checkpoint are already reflected in it.
+type PartitionCheckpoint struct {
+	// MapEpoch is the signed map epoch the checkpointed partition was
+	// published under.
+	MapEpoch uint64
+	// NextShardID is the allocator watermark: stable IDs below it are
+	// burned and must never be reused, even for retired shards.
+	NextShardID uint64
+	// ShardIDs are the live shards' stable identities, in partition
+	// order; Boundaries are the len(ShardIDs)-1 interior split keys.
+	ShardIDs   []uint64
+	Boundaries []schema.Datum
+}
+
+// EncodePartitionCheckpoint serializes a checkpoint payload.
+func EncodePartitionCheckpoint(cp *PartitionCheckpoint) []byte {
+	var out []byte
+	var u4 [4]byte
+	var u8 [8]byte
+	binary.BigEndian.PutUint64(u8[:], cp.MapEpoch)
+	out = append(out, u8[:]...)
+	binary.BigEndian.PutUint64(u8[:], cp.NextShardID)
+	out = append(out, u8[:]...)
+	binary.BigEndian.PutUint32(u4[:], uint32(len(cp.ShardIDs)))
+	out = append(out, u4[:]...)
+	for _, id := range cp.ShardIDs {
+		binary.BigEndian.PutUint64(u8[:], id)
+		out = append(out, u8[:]...)
+	}
+	binary.BigEndian.PutUint32(u4[:], uint32(len(cp.Boundaries)))
+	out = append(out, u4[:]...)
+	for i := range cp.Boundaries {
+		out = cp.Boundaries[i].Encode(out)
+	}
+	return out
+}
+
+// DecodePartitionCheckpoint parses a payload written by
+// EncodePartitionCheckpoint.
+func DecodePartitionCheckpoint(payload []byte) (*PartitionCheckpoint, error) {
+	cp := &PartitionCheckpoint{}
+	off := 0
+	need := func(n int) bool { return off+n <= len(payload) }
+	if !need(16) {
+		return nil, errors.New("wal: truncated partition checkpoint")
+	}
+	cp.MapEpoch = binary.BigEndian.Uint64(payload[off:])
+	off += 8
+	cp.NextShardID = binary.BigEndian.Uint64(payload[off:])
+	off += 8
+	if !need(4) {
+		return nil, errors.New("wal: truncated partition checkpoint")
+	}
+	n := int(binary.BigEndian.Uint32(payload[off:]))
+	off += 4
+	if n < 0 || n > len(payload) {
+		return nil, fmt.Errorf("wal: implausible checkpoint shard count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if !need(8) {
+			return nil, errors.New("wal: truncated partition checkpoint")
+		}
+		cp.ShardIDs = append(cp.ShardIDs, binary.BigEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	if !need(4) {
+		return nil, errors.New("wal: truncated partition checkpoint")
+	}
+	nb := int(binary.BigEndian.Uint32(payload[off:]))
+	off += 4
+	if nb < 0 || nb > len(payload) {
+		return nil, fmt.Errorf("wal: implausible checkpoint boundary count %d", nb)
+	}
+	for i := 0; i < nb; i++ {
+		d, used, err := schema.DecodeDatum(payload[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wal: checkpoint boundary %d: %w", i, err)
+		}
+		off += used
+		cp.Boundaries = append(cp.Boundaries, d)
+	}
+	if off != len(payload) {
+		return nil, errors.New("wal: trailing bytes in partition checkpoint")
+	}
+	return cp, nil
+}
+
+// LastCheckpoint scans a meta log for its most recent partition
+// checkpoint and returns it decoded, or nil if the log has none.
+// Replay/ReplayOps skip everything at or before this record, so the
+// returned state is exactly what a replayer must seed itself with.
+func LastCheckpoint(path string) (*PartitionCheckpoint, error) {
+	var last []byte
+	if err := ReplayAll(path, func(r Record) error {
+		if r.Type == RecCheckpoint && len(r.Payload) > 0 {
+			last = append(last[:0], r.Payload...)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if last == nil {
+		return nil, nil
+	}
+	return DecodePartitionCheckpoint(last)
+}

@@ -24,8 +24,13 @@ type Op struct {
 	// Lo/Hi bound the key range for RecDelete; nil means unbounded.
 	Lo, Hi *schema.Datum
 	// Reshard is set for RecReshard (a partition split/merge transition
-	// in a table's meta log).
+	// in a table's meta log) and for RecReshardBegin/RecReshardAbort
+	// (the incremental transition's build-phase bracket records).
 	Reshard *ReshardOp
+	// Checkpoint is set for a RecCheckpoint in a table's meta log whose
+	// payload carries the full partition state; nil for the bare
+	// per-shard checkpoint records.
+	Checkpoint *PartitionCheckpoint
 }
 
 // EncodeInsertPayload serializes an insert's payload.
@@ -134,13 +139,20 @@ func ParseOp(r Record) (Op, error) {
 			return Op{}, fmt.Errorf("wal: batch record %d: %w", r.LSN, err)
 		}
 		op.Tuples = tuples
-	case RecReshard:
+	case RecReshard, RecReshardBegin, RecReshardAbort:
 		rop, err := DecodeReshardPayload(r.Payload)
 		if err != nil {
 			return Op{}, fmt.Errorf("wal: reshard record %d: %w", r.LSN, err)
 		}
 		op.Reshard = rop
 	case RecCheckpoint:
+		if len(r.Payload) > 0 {
+			cp, err := DecodePartitionCheckpoint(r.Payload)
+			if err != nil {
+				return Op{}, fmt.Errorf("wal: checkpoint record %d: %w", r.LSN, err)
+			}
+			op.Checkpoint = cp
+		}
 	default:
 		return Op{}, fmt.Errorf("wal: record %d has unknown type %v", r.LSN, r.Type)
 	}

@@ -41,6 +41,14 @@ const (
 	// restart recovery replays the partition history, not just the
 	// per-shard tuple histories.
 	RecReshard
+	// RecReshardBegin marks the start of an incremental transition's
+	// build phase in the meta log. A Begin with no matching RecReshard
+	// or RecReshardAbort means the process died mid-build; the child
+	// WALs it names are garbage, the parent generation is authoritative.
+	RecReshardBegin
+	// RecReshardAbort marks a begun transition as abandoned (build or
+	// catch-up failed); the parent generation remains authoritative.
+	RecReshardAbort
 )
 
 func (r RecordType) String() string {
@@ -55,6 +63,10 @@ func (r RecordType) String() string {
 		return "batch"
 	case RecReshard:
 		return "reshard"
+	case RecReshardBegin:
+		return "reshard-begin"
+	case RecReshardAbort:
+		return "reshard-abort"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(r))
 	}
